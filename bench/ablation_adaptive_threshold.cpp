@@ -1,0 +1,94 @@
+// Ablation (§3.2): where should the full→partial on-the-fly switch sit?
+// Sweeps the fixed threshold against an oracle (per-length best) and the
+// latency-model auto-tuner, at BERT_BASE width.
+#include <limits>
+
+#include "bench_common.hpp"
+#include "core/adaptive.hpp"
+#include "gpusim/device.hpp"
+
+namespace {
+
+double run_us(const et::core::AttentionWeights& w,
+              et::core::AttentionConfig cfg, bool partial) {
+  et::gpusim::Device dev;
+  dev.set_traffic_only(true);
+  et::tensor::MatrixF x(cfg.seq_len, cfg.d_model);
+  if (partial) {
+    (void)et::core::partial_otf_attention(dev, x, w, cfg);
+  } else {
+    (void)et::core::otf_attention(dev, x, w, cfg);
+  }
+  return dev.total_time_us();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = et::bench::csv_mode(argc, argv);
+  et::core::AttentionConfig cfg;
+  cfg.d_model = 768;
+  cfg.num_heads = 12;
+  cfg.precision = et::numeric::Precision::kPureFp16;
+  cfg.causal_mask = false;
+  const auto w = et::core::make_dense_weights(cfg, 8);
+
+  // Per-length latencies of both variants.
+  std::vector<std::size_t> lens;
+  std::vector<double> full_us, partial_us;
+  for (std::size_t seq = 64; seq <= 512; seq += 32) {
+    cfg.seq_len = seq;
+    lens.push_back(seq);
+    full_us.push_back(run_us(w, cfg, false));
+    partial_us.push_back(run_us(w, cfg, true));
+  }
+  const auto oracle = [&] {
+    double total = 0.0;
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+      total += std::min(full_us[i], partial_us[i]);
+    }
+    return total;
+  }();
+
+  std::printf("Ablation — adaptive full/partial OTF threshold, BERT_BASE "
+              "width (paper threshold: 224)\n\n");
+  et::bench::Table table({"threshold", "total_us_over_sweep", "vs_oracle"},
+                         csv);
+  double best_total = std::numeric_limits<double>::infinity();
+  std::size_t best_threshold = 0;
+  for (const std::size_t threshold :
+       {96u, 128u, 160u, 192u, 224u, 256u, 288u, 320u, 512u}) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+      total += lens[i] > threshold ? partial_us[i] : full_us[i];
+    }
+    if (total < best_total) {
+      best_total = total;
+      best_threshold = threshold;
+    }
+    table.add_row({std::to_string(threshold), et::bench::fmt(total, 1),
+                   et::bench::fmt(100.0 * (total / oracle - 1.0), 2) + "%"});
+  }
+  table.print();
+  std::printf("\nbest fixed threshold: %zu (oracle total %.1f us)\n",
+              best_threshold, oracle);
+
+  // The auto-tuner should match the oracle by construction.
+  double auto_total = 0.0;
+  et::gpusim::Device probe;
+  et::core::AdaptivePolicy policy;
+  policy.auto_tune = true;
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    cfg.seq_len = lens[i];
+    et::tensor::MatrixF x(lens[i], cfg.d_model);
+    const auto impl =
+        et::core::choose_attention_impl(probe, x, w, cfg, policy);
+    auto_total += impl == et::core::AttentionImpl::kPartialOtf
+                      ? partial_us[i]
+                      : full_us[i];
+  }
+  std::printf("latency-model auto-tune total: %.1f us (%.2f%% over "
+              "oracle)\n",
+              auto_total, 100.0 * (auto_total / oracle - 1.0));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: latency-optimized (one sequence at a time, the paper's
+// metric) vs throughput-optimized batched inference (the TurboTransformer
+// regime the §6 discussion positions E.T. as a backend for). Batched
+// execution amortizes weight loads and kernel launches across sequences;
+// per-sequence latency rises slightly while aggregate throughput climbs.
+#include "bench_common.hpp"
+#include "gpusim/device.hpp"
+#include "nn/encoder.hpp"
+#include "tensor/random.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = et::bench::csv_mode(argc, argv);
+  const auto model = et::nn::bert_base();
+  const auto w = et::nn::make_dense_encoder_weights(model, 1);
+  const auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 128);
+
+  std::printf("Ablation — batched E.T. inference, BERT_BASE encoder layer, "
+              "seq=128\n\n");
+  et::bench::Table table({"batch", "sequential_us", "batched_us",
+                          "per_seq_us", "throughput_seq_per_ms",
+                          "amortization"},
+                         csv);
+  for (const std::size_t batch_size : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<et::tensor::MatrixF> batch(
+        batch_size, et::tensor::MatrixF(128, model.d_model));
+
+    et::gpusim::Device seq_dev;
+    seq_dev.set_traffic_only(true);
+    for (const auto& x : batch) {
+      (void)et::nn::encoder_forward(seq_dev, x, w, opt);
+    }
+    const double sequential = seq_dev.total_time_us();
+
+    et::gpusim::Device bat_dev;
+    bat_dev.set_traffic_only(true);
+    (void)et::nn::batched_encoder_forward(bat_dev, batch, w, opt);
+    const double batched = bat_dev.total_time_us();
+
+    table.add_row({std::to_string(batch_size),
+                   et::bench::fmt(sequential, 1), et::bench::fmt(batched, 1),
+                   et::bench::fmt(batched / batch_size, 1),
+                   et::bench::fmt(1000.0 * batch_size / batched, 1),
+                   et::bench::fmt_ratio(sequential / batched)});
+  }
+  table.print();
+  std::printf("\nVariable-length batch (no padding): ");
+  std::vector<et::tensor::MatrixF> varlen;
+  for (const std::size_t s : {32u, 64u, 96u, 128u}) {
+    varlen.emplace_back(s, model.d_model);
+  }
+  et::gpusim::Device var_dev;
+  var_dev.set_traffic_only(true);
+  (void)et::nn::batched_encoder_forward(var_dev, varlen, w, opt);
+  const double unpadded = var_dev.total_time_us();
+  std::vector<et::tensor::MatrixF> padded(
+      4, et::tensor::MatrixF(128, model.d_model));
+  et::gpusim::Device pad_dev;
+  pad_dev.set_traffic_only(true);
+  (void)et::nn::batched_encoder_forward(pad_dev, padded, w, opt);
+  std::printf("%.1f us vs %.1f us padded -> %.0f%% saved\n", unpadded,
+              pad_dev.total_time_us(),
+              100.0 * (1.0 - unpadded / pad_dev.total_time_us()));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: autoregressive generation cost on the E.T. stack — prefill
+// vs decode, context-length scaling, and what pruning buys in the
+// generation regime (where skinny GEMMs make everything weight-bound).
+#include "bench_common.hpp"
+#include "gpusim/device.hpp"
+#include "nn/generation.hpp"
+#include "pruning/strategy.hpp"
+#include "train/model.hpp"
+
+namespace {
+
+std::vector<et::nn::EncoderWeights> build_layers(
+    const et::nn::ModelConfig& model, double ratio) {
+  if (ratio <= 0.0) {
+    std::vector<et::nn::EncoderWeights> layers;
+    for (std::size_t l = 0; l < model.num_layers; ++l) {
+      layers.push_back(et::nn::make_dense_encoder_weights(model, 1 + l));
+    }
+    return layers;
+  }
+  et::train::TrainModelConfig tcfg;
+  tcfg.vocab_size = 64;
+  tcfg.d_model = model.d_model;
+  tcfg.num_heads = model.num_heads;
+  tcfg.d_ff = model.d_ff;
+  tcfg.num_layers = 1;
+  et::train::TransformerModel shapes(tcfg, 9);
+  const auto masks = et::pruning::compute_layer_masks(
+      shapes.layers()[0], et::pruning::Strategy::kAttentionAware, ratio);
+  const auto w = et::pruning::deploy_layer(
+      shapes.layers()[0], masks, et::pruning::Strategy::kAttentionAware);
+  return std::vector<et::nn::EncoderWeights>(model.num_layers, w);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = et::bench::csv_mode(argc, argv);
+  // DistilBERT-sized decoder-only model (6 causal layers).
+  const auto model = et::nn::distilbert();
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 1,
+                                 /*causal=*/true);
+
+  std::printf("Ablation — KV-cached generation on the E.T. stack "
+              "(6 layers, d=768)\n\n");
+  et::bench::Table table({"config", "prefill_128_us", "per_token_at_128",
+                          "per_token_at_512", "tokens_per_s_at_512"},
+                         csv);
+  for (const double ratio : {0.0, 0.7}) {
+    const auto layers = build_layers(model, ratio);
+    et::nn::GenerationSession session(&layers, opt, 600);
+    et::tensor::MatrixF row(1, model.d_model);
+
+    // Prefill a 128-token prompt (token-by-token through the cache).
+    et::gpusim::Device prefill_dev;
+    prefill_dev.set_traffic_only(true);
+    for (int t = 0; t < 128; ++t) (void)session.step(prefill_dev, row);
+    const double prefill = prefill_dev.total_time_us();
+
+    const auto step_cost = [&] {
+      et::gpusim::Device dev;
+      dev.set_traffic_only(true);
+      (void)session.step(dev, row);
+      return dev.total_time_us();
+    };
+    const double at_128 = step_cost();
+    while (session.context_length() < 512) {
+      et::gpusim::Device dev;
+      dev.set_traffic_only(true);
+      (void)session.step(dev, row);
+    }
+    const double at_512 = step_cost();
+
+    table.add_row({ratio > 0 ? "attention-aware 70%" : "dense",
+                   et::bench::fmt(prefill, 1), et::bench::fmt(at_128, 1),
+                   et::bench::fmt(at_512, 1),
+                   et::bench::fmt(1e6 / at_512, 0)});
+  }
+  table.print();
+  std::printf("\nGeneration is launch/weight-bound: per-token cost grows "
+              "only mildly with context (the cache read), and pruning's "
+              "weight-traffic savings carry over.\n");
+  return 0;
+}

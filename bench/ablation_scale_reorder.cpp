@@ -1,0 +1,67 @@
+// Ablation (§3.3): precision policy × scale-reordering for the on-the-fly
+// attention operator — overflow counts, shared-memory footprint (Eq. 6)
+// and modeled latency. Shows why E.T. runs pure FP16 *with* the reorder:
+// it is the only configuration that is both safe and minimal-footprint.
+#include "bench_common.hpp"
+#include "core/attention.hpp"
+#include "gpusim/device.hpp"
+#include "tensor/random.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = et::bench::csv_mode(argc, argv);
+  using et::numeric::Precision;
+
+  et::core::AttentionConfig base;
+  base.seq_len = 128;
+  base.d_model = 768;
+  base.num_heads = 12;
+  base.causal_mask = false;
+  const auto w = [&] {
+    auto weights = et::core::make_dense_weights(base, 5);
+    // Trained-scale Q/K weights so unscaled pure-FP16 actually overflows.
+    for (auto* any : {&weights.wq, &weights.wk}) {
+      auto big = std::get<et::sparse::DenseWeight>(*any).matrix();
+      for (auto& v : big.flat()) v *= 14.0f;
+      *any = et::sparse::DenseWeight(std::move(big));
+    }
+    return weights;
+  }();
+  et::tensor::MatrixF x(base.seq_len, base.d_model);
+  et::tensor::fill_normal(x, 6, 0.0f, 3.5f);
+
+  struct Config {
+    const char* name;
+    Precision precision;
+    bool reorder;
+  };
+  const Config configs[] = {
+      {"fp32", Precision::kFp32, false},
+      {"mixed (fp16 x fp16 -> fp32)", Precision::kMixed, false},
+      {"pure fp16, scale after", Precision::kPureFp16, false},
+      {"pure fp16, scale before (E.T.)", Precision::kPureFp16, true},
+      {"bf16 mixed", Precision::kBf16Mixed, false},
+  };
+
+  std::printf("Ablation — precision policy x scale reordering, BERT_BASE "
+              "attention, seq=128\n\n");
+  et::bench::Table table({"config", "overflows", "shared_bytes_per_cta",
+                          "latency_us"},
+                         csv);
+  for (const auto& c : configs) {
+    auto cfg = base;
+    cfg.precision = c.precision;
+    cfg.scale_before_multiply = c.reorder;
+    et::gpusim::Device dev;
+    et::numeric::reset_overflow_count();
+    (void)et::core::otf_attention(dev, x, w, cfg);
+    table.add_row({c.name, std::to_string(et::numeric::overflow_count()),
+                   std::to_string(et::core::otf_shared_bytes(cfg)),
+                   et::bench::fmt(dev.total_time_us(), 1)});
+  }
+  et::numeric::reset_overflow_count();
+  table.print();
+  std::printf("\nPure FP16 with the reorder is overflow-free at the mixed-"
+              "precision latency or better, with the smallest Eq. 6 "
+              "footprint.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared helpers for the paper-reproduction bench binaries: aligned table
+// printing, optional CSV output (--csv), and env-var workload scaling.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace et::bench {
+
+inline bool csv_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+/// Scale factor for training-heavy benches: ET_EPOCH_SCALE=4 trains 4×
+/// longer (closer to the paper's schedules), default 1 finishes in seconds.
+inline double epoch_scale() {
+  const char* v = std::getenv("ET_EPOCH_SCALE");
+  return v != nullptr ? std::max(0.25, std::atof(v)) : 1.0;
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, bool csv = false)
+      : headers_(std::move(headers)), csv_(csv) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    if (csv_) {
+      print_delimited(",");
+      return;
+    }
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_aligned(width, headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      if (c + 1 < width.size()) rule += "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_aligned(width, row);
+  }
+
+ private:
+  void print_aligned(const std::vector<std::size_t>& width,
+                     const std::vector<std::string>& row) const {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(width[c]), row[c].c_str(),
+                  c + 1 < row.size() ? "  " : "");
+    }
+    std::printf("\n");
+  }
+  void print_delimited(const char* sep) const {
+    const auto line = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", row[c].c_str(), c + 1 < row.size() ? sep : "");
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    for (const auto& row : rows_) line(row);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  bool csv_ = false;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_ratio(double v) { return fmt(v, 2) + "x"; }
+
+}  // namespace et::bench

@@ -1,0 +1,95 @@
+// Figure 4: the FP16 overflow heatmap of Q·Kᵀ (Transformer-like setup,
+// seq = 16, d_model = 256) when computed in pure FP16 *without* the §3.3
+// scale reordering, vs. the same computation with scaling moved before
+// the multiplication.
+//
+// Expected shape: the unreordered map is mostly overflowed ("the majority
+// of the entries are shadow ones"); the reordered map is clean.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "numeric/half.hpp"
+#include "numeric/precision.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using et::numeric::Precision;
+using et::tensor::MatrixF;
+
+/// Compute one head's Q·Kᵀ in pure FP16 and mark the entries whose
+/// accumulation left the binary16 range (including transient partial-sum
+/// overflow, which is what the tensor-core tile accumulator suffers).
+et::tensor::Matrix<std::uint8_t> overflow_map(const MatrixF& q,
+                                              const MatrixF& k, float scale,
+                                              bool scale_before) {
+  const std::size_t s = q.rows();
+  const std::size_t dk = q.cols();
+  et::tensor::Matrix<std::uint8_t> map(s, s);
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      et::numeric::reset_overflow_count();
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < dk; ++c) {
+        const float qv = scale_before ? et::numeric::round_to_storage(
+                                            Precision::kPureFp16,
+                                            q(i, c) * scale)
+                                      : q(i, c);
+        acc = et::numeric::fma_step(Precision::kPureFp16, qv, k(j, c), acc);
+      }
+      if (!scale_before) {
+        acc = et::numeric::round_to_storage(Precision::kPureFp16,
+                                            acc * scale);
+      }
+      map(i, j) = (et::numeric::overflow_count() > 0 || std::isinf(acc) ||
+                   std::isnan(acc))
+                      ? 1
+                      : 0;
+    }
+  }
+  et::numeric::reset_overflow_count();
+  return map;
+}
+
+void print_map(const char* title,
+               const et::tensor::Matrix<std::uint8_t>& map) {
+  std::size_t overflowed = 0;
+  for (auto v : map.flat()) overflowed += v;
+  std::printf("\n%s — %zu / %zu entries overflow (%.0f%%)\n", title,
+              overflowed, map.size(),
+              100.0 * static_cast<double>(overflowed) /
+                  static_cast<double>(map.size()));
+  for (std::size_t i = 0; i < map.rows(); ++i) {
+    for (std::size_t j = 0; j < map.cols(); ++j) {
+      std::printf("%c", map(i, j) ? '#' : '.');
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int, char**) {
+  const std::size_t seq = 16, d = 256, heads = 2;
+  const std::size_t dk = d / heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+
+  // Trained-model magnitudes: embeddings and Q/K activations in trained
+  // transformers run far from unit scale, which is what pushes the
+  // unscaled tile products past 65504.
+  MatrixF q(seq, dk), k(seq, dk);
+  et::tensor::fill_normal(q, 1, 0.0f, 55.0f);
+  et::tensor::fill_normal(k, 2, 0.0f, 55.0f);
+
+  std::printf("Figure 4 — pure-FP16 Q·K^T overflow heatmap, one head "
+              "(seq=16, d_model=256, d_k=%zu). '#' = overflow.\n", dk);
+  print_map("(a) scaling AFTER Q·K^T (PyTorch/TensorRT order)",
+            overflow_map(q, k, scale, /*scale_before=*/false));
+  print_map("(b) scaling BEFORE Q·K^T (E.T.'s reordering, §3.3)",
+            overflow_map(q, k, scale, /*scale_before=*/true));
+  std::printf("\nThe reordering makes pure-FP16 attention safe, halving the "
+              "shared-memory accumulator footprint and skipping the "
+              "FP32->FP16 conversions mixed precision needs.\n");
+  return 0;
+}

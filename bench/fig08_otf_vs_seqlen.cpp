@@ -1,0 +1,93 @@
+// Figure 8: attention-computation latency (steps ②–⑥ of Fig. 3) vs
+// sequence length for full on-the-fly, partial on-the-fly, and the
+// TensorRT-like attention, on the Transformer (d=800, H=4) and BERT_BASE
+// (d=768, H=12) configurations.
+//
+// Expected shape: both E.T. variants beat TensorRT at every length; full
+// OTF wins at short sequences, partial OTF takes over past a crossover in
+// the low-200s (the paper reports 224 and sets the adaptive threshold
+// there).
+#include <functional>
+
+#include "bench_common.hpp"
+#include "core/attention.hpp"
+#include "gpusim/device.hpp"
+
+namespace {
+
+using et::core::AttentionConfig;
+using et::core::AttentionWeights;
+
+/// Time of the attention-region kernels only (projection / output linears
+/// excluded — they are identical across the three implementations).
+double attention_region_us(
+    const std::function<void(et::gpusim::Device&)>& run) {
+  et::gpusim::Device dev;
+  dev.set_traffic_only(true);
+  run(dev);
+  double us = 0.0;
+  for (const auto& k : dev.history()) {
+    if (k.name.find("linear") != std::string::npos) continue;
+    us += k.time_us;
+  }
+  return us;
+}
+
+void sweep(const char* name, std::size_t d_model, std::size_t heads,
+           bool csv) {
+  AttentionConfig cfg;
+  cfg.d_model = d_model;
+  cfg.num_heads = heads;
+  cfg.precision = et::numeric::Precision::kPureFp16;
+  cfg.causal_mask = false;
+  const AttentionWeights w = et::core::make_dense_weights(cfg, 11);
+
+  et::bench::Table table({"seq_len", "TensorRT_us", "full_OTF_us",
+                          "partial_OTF_us", "OTF_vs_TRT", "winner"},
+                         csv);
+  double sum_speedup = 0.0;
+  int count = 0;
+  std::size_t crossover = 0;
+  for (std::size_t seq = 64; seq <= 512; seq += 32) {
+    cfg.seq_len = seq;
+    et::tensor::MatrixF x(seq, d_model);
+    AttentionConfig trt_cfg = cfg;
+    trt_cfg.precision = et::numeric::Precision::kMixed;
+    trt_cfg.scale_before_multiply = false;
+    const double trt = attention_region_us([&](et::gpusim::Device& dev) {
+      (void)et::core::fused_attention(dev, x, w, trt_cfg);
+    });
+    const double full = attention_region_us([&](et::gpusim::Device& dev) {
+      (void)et::core::otf_attention(dev, x, w, cfg);
+    });
+    const double partial = attention_region_us([&](et::gpusim::Device& dev) {
+      (void)et::core::partial_otf_attention(dev, x, w, cfg);
+    });
+    const double best = std::min(full, partial);
+    if (seq >= 64 && seq <= 256) {
+      sum_speedup += trt / best;
+      ++count;
+    }
+    if (crossover == 0 && partial < full) crossover = seq;
+    table.add_row({std::to_string(seq), et::bench::fmt(trt, 1),
+                   et::bench::fmt(full, 1), et::bench::fmt(partial, 1),
+                   et::bench::fmt_ratio(trt / best),
+                   full <= partial ? "full" : "partial"});
+  }
+  std::printf("\n%s (d_model=%zu, H=%zu)\n\n", name, d_model, heads);
+  table.print();
+  std::printf("\navg speedup over TensorRT (seq 64-256): %.1fx; "
+              "full->partial crossover at seq=%zu (paper: ~224)\n",
+              sum_speedup / count, crossover);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = et::bench::csv_mode(argc, argv);
+  std::printf("Figure 8 — attention implementations vs sequence length "
+              "(paper: avg 2.5x Transformer / 3.3x BERT over TensorRT)\n");
+  sweep("Transformer", 800, 4, csv);
+  sweep("BERT_BASE", 768, 12, csv);
+  return 0;
+}

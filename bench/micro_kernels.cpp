@@ -1,0 +1,93 @@
+// Google-benchmark microbenchmarks of the host-side kernel math itself
+// (wall-clock, not modeled latency): useful when optimizing the simulator
+// and as a regression guard on the numerical kernels' CPU cost.
+#include <benchmark/benchmark.h>
+
+#include "core/attention.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/sparse_gemm.hpp"
+#include "pruning/criteria.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using et::tensor::MatrixF;
+
+void BM_GemmNtFp32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  MatrixF a(n, n), b(n, n);
+  et::tensor::fill_normal(a, 1);
+  et::tensor::fill_normal(b, 2);
+  et::gpusim::Device dev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(et::kernels::gemm_nt(dev, a, b));
+    dev.reset();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_GemmNtFp32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNtPureFp16(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  MatrixF a(n, n), b(n, n);
+  et::tensor::fill_normal(a, 1);
+  et::tensor::fill_normal(b, 2);
+  et::gpusim::Device dev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        et::kernels::gemm_nt(dev, a, b, et::numeric::Precision::kPureFp16));
+    dev.reset();
+  }
+}
+BENCHMARK(BM_GemmNtPureFp16)->Arg(64)->Arg(128);
+
+void BM_BcsrGemm(benchmark::State& state) {
+  const auto ratio = static_cast<double>(state.range(0)) / 100.0;
+  MatrixF x(128, 256), w(256, 256);
+  et::tensor::fill_normal(x, 3);
+  et::tensor::fill_normal(w, 4);
+  const auto tp = et::sparse::TilePrunedWeight::from_masked(
+      w, et::pruning::tile_mask(w, ratio));
+  et::gpusim::Device dev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(et::kernels::bcsr_gemm_nt(dev, x, tp));
+    dev.reset();
+  }
+}
+BENCHMARK(BM_BcsrGemm)->Arg(0)->Arg(50)->Arg(90);
+
+void BM_Softmax(benchmark::State& state) {
+  MatrixF m(256, 256);
+  et::tensor::fill_normal(m, 5);
+  et::gpusim::Device dev;
+  for (auto _ : state) {
+    MatrixF copy = m;
+    et::kernels::softmax_rows(dev, copy);
+    benchmark::DoNotOptimize(copy);
+    dev.reset();
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_OtfAttentionMath(benchmark::State& state) {
+  et::core::AttentionConfig cfg;
+  cfg.seq_len = static_cast<std::size_t>(state.range(0));
+  cfg.d_model = 256;
+  cfg.num_heads = 4;
+  const auto w = et::core::make_dense_weights(cfg, 6);
+  MatrixF x(cfg.seq_len, cfg.d_model);
+  et::tensor::fill_normal(x, 7);
+  et::gpusim::Device dev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(et::core::otf_attention(dev, x, w, cfg));
+    dev.reset();
+  }
+}
+BENCHMARK(BM_OtfAttentionMath)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

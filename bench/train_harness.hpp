@@ -1,0 +1,178 @@
+// Shared training/pruning harness for the accuracy-side benches (Fig. 14,
+// Table 1) and the examples: pre-train -> reweighted regularization ->
+// percentile pruning -> masked retraining, following Fig. 6 and §5.1's
+// schedules (epoch counts scaled down by default; ET_EPOCH_SCALE raises
+// them toward the paper's).
+#pragma once
+
+#include <cmath>
+#include <optional>
+
+#include "data/metrics.hpp"
+#include "data/synthetic_glue.hpp"
+#include "data/synthetic_text.hpp"
+#include "pruning/reweighted.hpp"
+#include "pruning/strategy.hpp"
+#include "train/loss.hpp"
+#include "train/model.hpp"
+#include "train/param.hpp"
+
+namespace et::bench {
+
+// ----------------------------------------------------------- LM side ----
+
+inline void train_lm_epochs(train::TransformerLM& lm,
+                            const data::SyntheticCorpus& corpus, int epochs,
+                            float lr,
+                            pruning::GroupLassoRegularizer* reg = nullptr,
+                            int milestone_every = 2) {
+  train::AdamW opt({.lr = lr});
+  long t = 0;
+  for (int e = 0; e < epochs; ++e) {
+    if (reg != nullptr && e % milestone_every == 0) {
+      reg->update_penalties();  // Fig. 6 step (ii): milestone epochs
+    }
+    for (const auto& ex : corpus.train()) {
+      lm.zero_grad();
+      tensor::MatrixF dlogits;
+      const tensor::MatrixF logits = lm.forward(ex.tokens);
+      (void)train::cross_entropy_lm(logits, ex.targets, dlogits);
+      lm.backward(dlogits);
+      if (reg != nullptr) reg->add_gradients();
+      opt.step(lm.params());
+      lm.aux_step(lr, 0.9f, 0.999f, 1e-8f, ++t);
+    }
+  }
+}
+
+/// Validation perplexity (the customary WikiText-2 metric).
+inline double lm_perplexity(train::TransformerLM& lm,
+                            const data::SyntheticCorpus& corpus) {
+  double total_nll = 0.0;
+  std::size_t tokens = 0;
+  for (const auto& ex : corpus.valid()) {
+    tensor::MatrixF dlogits;
+    const tensor::MatrixF logits = lm.forward(ex.tokens);
+    // cross_entropy_lm returns the mean NLL over the sequence.
+    total_nll += static_cast<double>(
+                     train::cross_entropy_lm(logits, ex.targets, dlogits)) *
+                 static_cast<double>(ex.tokens.size());
+    tokens += ex.tokens.size();
+  }
+  return data::perplexity(total_nll, tokens);
+}
+
+inline double lm_accuracy(train::TransformerLM& lm,
+                          const data::SyntheticCorpus& corpus) {
+  std::size_t correct = 0, total = 0;
+  for (const auto& ex : corpus.valid()) {
+    const tensor::MatrixF logits = lm.forward(ex.tokens);
+    for (std::size_t i = 0; i < ex.tokens.size(); ++i) {
+      correct += (train::argmax_row(logits, i) == ex.targets[i]);
+      ++total;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+/// Full Fig. 6 pipeline on a language model. Returns the attached masks
+/// (whose storage the caller must keep alive while training continues).
+inline pruning::ModelMasks prune_lm(
+    train::TransformerLM& lm, const data::SyntheticCorpus& corpus,
+    pruning::Strategy strategy, double ratio, int reweight_epochs,
+    int retrain_epochs, float lr,
+    const pruning::StrategyOptions& opt = {}) {
+  // (ii)-(iv): reweighted group-lasso training (tile-based strategies only;
+  // magnitude/column criteria prune the trained weights directly).
+  if ((strategy == pruning::Strategy::kTile ||
+       strategy == pruning::Strategy::kAttentionAware) &&
+      reweight_epochs > 0) {
+    std::vector<train::Param*> weights;
+    for (auto& layer : lm.trunk.layers()) layer.collect(weights);
+    pruning::ReweightedConfig rw;
+    rw.lambda = 1e-4f;  // the paper's λ for BERT-style models
+    pruning::GroupLassoRegularizer reg(weights, rw);
+    train_lm_epochs(lm, corpus, reweight_epochs, lr, &reg);
+  }
+  // (v): percentile pruning.
+  auto masks = pruning::compute_model_masks(lm.trunk, strategy, ratio, opt);
+  pruning::attach_masks(lm.trunk, masks);
+  // (vi): masked retraining.
+  train_lm_epochs(lm, corpus, retrain_epochs, lr);
+  return masks;
+}
+
+// --------------------------------------------------- classifier side ----
+
+inline void train_cls_epochs(train::TransformerClassifier& cls,
+                             const data::GlueDataset& ds, int epochs,
+                             float lr,
+                             pruning::GroupLassoRegularizer* reg = nullptr) {
+  train::AdamW opt({.lr = lr});
+  long t = 0;
+  const bool regression = ds.spec().num_classes == 1;
+  for (int e = 0; e < epochs; ++e) {
+    if (reg != nullptr && e % 2 == 0) reg->update_penalties();
+    for (const auto& ex : ds.train()) {
+      cls.zero_grad();
+      tensor::MatrixF dlogits;
+      const tensor::MatrixF logits = cls.forward(ex.tokens);
+      if (regression) {
+        (void)train::mse(logits, ex.target, dlogits);
+      } else {
+        (void)train::cross_entropy_cls(logits, ex.label, dlogits);
+      }
+      cls.backward(dlogits);
+      if (reg != nullptr) reg->add_gradients();
+      opt.step(cls.params());
+      cls.aux_step(lr, 0.9f, 0.999f, 1e-8f, ++t);
+    }
+  }
+}
+
+/// Evaluate with the task's own metric (accuracy / F1 / Spearman), scaled
+/// ×100 like the paper's Table 1 numbers.
+inline double eval_glue(train::TransformerClassifier& cls,
+                        const data::GlueDataset& ds) {
+  const auto& spec = ds.spec();
+  if (spec.metric == data::GlueMetric::kSpearman) {
+    std::vector<float> pred, truth;
+    for (const auto& ex : ds.test()) {
+      pred.push_back(cls.forward(ex.tokens)(0, 0));
+      truth.push_back(ex.target);
+    }
+    return 100.0 * data::spearman(pred, truth);
+  }
+  std::vector<std::int32_t> pred, truth;
+  for (const auto& ex : ds.test()) {
+    pred.push_back(train::argmax_row(cls.forward(ex.tokens)));
+    truth.push_back(ex.label);
+  }
+  if (spec.metric == data::GlueMetric::kF1) {
+    return 100.0 * data::f1_score(pred, truth);
+  }
+  return 100.0 * data::accuracy(pred, truth);
+}
+
+inline pruning::ModelMasks prune_classifier(
+    train::TransformerClassifier& cls, const data::GlueDataset& ds,
+    pruning::Strategy strategy, double ratio, int reweight_epochs,
+    int retrain_epochs, float lr,
+    const pruning::StrategyOptions& opt = {}) {
+  if ((strategy == pruning::Strategy::kTile ||
+       strategy == pruning::Strategy::kAttentionAware) &&
+      reweight_epochs > 0) {
+    std::vector<train::Param*> weights;
+    for (auto& layer : cls.trunk.layers()) layer.collect(weights);
+    pruning::ReweightedConfig rw;
+    rw.lambda = 1e-4f;
+    pruning::GroupLassoRegularizer reg(weights, rw);
+    train_cls_epochs(cls, ds, reweight_epochs, lr, &reg);
+  }
+  auto masks = pruning::compute_model_masks(cls.trunk, strategy, ratio, opt);
+  pruning::attach_masks(cls.trunk, masks);
+  train_cls_epochs(cls, ds, retrain_epochs, lr);
+  return masks;
+}
+
+}  // namespace et::bench

@@ -1,0 +1,138 @@
+// Command-line latency explorer: query any (model, pipeline, sequence
+// length, pruning strategy/ratio, device) combination and get the modeled
+// latency and an optional kernel profile — the tool a performance engineer
+// would reach for before committing to a deployment configuration.
+//
+//   $ ./examples/et_cli --model bert_base --pipeline et --seq 128 \
+//       --strategy attention-aware --ratio 0.7 --device a100 --profile
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "gpusim/profiler.hpp"
+#include "gpusim/trace_export.hpp"
+#include "nn/encoder.hpp"
+#include "pruning/strategy.hpp"
+#include "train/model.hpp"
+
+namespace {
+
+struct Args {
+  std::string model = "bert_base";
+  std::string pipeline = "et";
+  std::string strategy = "none";
+  std::string device = "v100s";
+  std::size_t seq = 128;
+  double ratio = 0.0;
+  bool profile = false;
+  bool help = false;
+  std::string trace;  // chrome-trace output path
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--model") a.model = next();
+    else if (arg == "--pipeline") a.pipeline = next();
+    else if (arg == "--strategy") a.strategy = next();
+    else if (arg == "--device") a.device = next();
+    else if (arg == "--seq") a.seq = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--ratio") a.ratio = std::atof(next());
+    else if (arg == "--profile") a.profile = true;
+    else if (arg == "--trace") a.trace = next();
+    else if (arg == "--help" || arg == "-h") a.help = true;
+    else std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+  }
+  return a;
+}
+
+void usage() {
+  std::printf(
+      "et_cli — modeled-latency explorer for the E.T. reproduction\n\n"
+      "  --model     transformer | bert_base | distilbert | bert_large\n"
+      "  --pipeline  pytorch | tensorrt | fastertransformer | et\n"
+      "  --strategy  none | irregular | column | tile | attention-aware\n"
+      "  --ratio     pruning ratio in [0, 1)          (default 0)\n"
+      "  --seq       sequence length                  (default 128)\n"
+      "  --device    v100s | a100                     (default v100s)\n"
+      "  --profile   print the per-kernel nvprof-style table\n"
+      "  --trace F   write a chrome://tracing JSON timeline to F\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.help) {
+    usage();
+    return 0;
+  }
+
+  const et::nn::ModelConfig model =
+      args.model == "transformer"   ? et::nn::transformer_wikitext()
+      : args.model == "distilbert"  ? et::nn::distilbert()
+      : args.model == "bert_large"  ? et::nn::bert_large()
+                                    : et::nn::bert_base();
+  const et::nn::Pipeline pipeline =
+      args.pipeline == "pytorch"             ? et::nn::Pipeline::kModular
+      : args.pipeline == "tensorrt"          ? et::nn::Pipeline::kTensorRT
+      : args.pipeline == "fastertransformer" ? et::nn::Pipeline::kFasterTransformer
+                                             : et::nn::Pipeline::kET;
+  const et::gpusim::DeviceSpec spec =
+      args.device == "a100" ? et::gpusim::a100() : et::gpusim::v100s();
+
+  // Build weights: dense, or pruned through the requested strategy.
+  et::nn::EncoderWeights weights;
+  if (args.strategy == "none" || args.ratio <= 0.0) {
+    weights = et::nn::make_dense_encoder_weights(model, 1);
+  } else {
+    const et::pruning::Strategy strategy =
+        args.strategy == "irregular" ? et::pruning::Strategy::kIrregular
+        : args.strategy == "column"  ? et::pruning::Strategy::kColumn
+        : args.strategy == "tile"    ? et::pruning::Strategy::kTile
+                                     : et::pruning::Strategy::kAttentionAware;
+    et::train::TrainModelConfig tcfg;
+    tcfg.vocab_size = 64;
+    tcfg.d_model = model.d_model;
+    tcfg.num_heads = model.num_heads;
+    tcfg.d_ff = model.d_ff;
+    tcfg.num_layers = 1;
+    et::train::TransformerModel shapes(tcfg, 2);
+    const auto masks = et::pruning::compute_layer_masks(shapes.layers()[0],
+                                                        strategy, args.ratio);
+    weights = et::pruning::deploy_layer(shapes.layers()[0], masks, strategy);
+  }
+
+  et::gpusim::Device dev(spec);
+  dev.set_traffic_only(true);
+  et::tensor::MatrixF x(args.seq, model.d_model);
+  (void)et::nn::encoder_forward(
+      dev, x, weights, et::nn::options_for(pipeline, model, args.seq));
+
+  const double layer_us = dev.total_time_us();
+  std::printf("%s · %s · seq %zu · %s", model.name.c_str(),
+              args.pipeline.c_str(), args.seq, spec.name.c_str());
+  if (args.ratio > 0.0) {
+    std::printf(" · %s @ %.0f%%", args.strategy.c_str(), 100 * args.ratio);
+  }
+  std::printf("\n  %.1f us / layer,  %.2f ms for the %zu-layer model,  "
+              "%zu kernels\n",
+              layer_us, layer_us * static_cast<double>(model.num_layers) / 1e3,
+              model.num_layers, dev.launch_count());
+  if (args.profile) {
+    std::printf("\n");
+    print_report(std::cout, et::gpusim::profile(dev));
+  }
+  if (!args.trace.empty()) {
+    et::gpusim::write_chrome_trace(args.trace, dev);
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                args.trace.c_str());
+  }
+  return 0;
+}

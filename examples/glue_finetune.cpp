@@ -1,0 +1,89 @@
+// GLUE-style fine-tune + attention-aware prune on one task, end to end:
+// train a classifier on the synthetic task, prune it, and report both the
+// task metric and the modeled full-model latency at BERT_BASE scale.
+//
+//   $ ./examples/glue_finetune [task]   task ∈ mnli qqp qnli sst2 stsb mrpc wnli
+#include <cstdio>
+#include <cstring>
+
+#include "gpusim/device.hpp"
+#include "nn/encoder.hpp"
+#include "train_harness.hpp"
+
+namespace {
+
+et::data::GlueTask parse_task(const char* name) {
+  using et::data::GlueTask;
+  const std::pair<const char*, GlueTask> table[] = {
+      {"mnli", GlueTask::kMNLI}, {"qqp", GlueTask::kQQP},
+      {"qnli", GlueTask::kQNLI}, {"sst2", GlueTask::kSST2},
+      {"stsb", GlueTask::kSTSB}, {"mrpc", GlueTask::kMRPC},
+      {"wnli", GlueTask::kWNLI}};
+  for (const auto& [key, task] : table) {
+    if (std::strcmp(name, key) == 0) return task;
+  }
+  std::fprintf(stderr, "unknown task '%s', using sst2\n", name);
+  return GlueTask::kSST2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const et::data::GlueTask task =
+      parse_task(argc > 1 ? argv[1] : "sst2");
+  const et::data::GlueDataset ds(task, {});
+  std::printf("task %s: %zu train / %zu test, metric %s\n",
+              ds.spec().name.c_str(), ds.train().size(), ds.test().size(),
+              ds.spec().metric == et::data::GlueMetric::kF1 ? "F1"
+              : ds.spec().metric == et::data::GlueMetric::kSpearman
+                  ? "Spearman"
+                  : "accuracy");
+
+  et::train::TrainModelConfig mcfg;
+  mcfg.vocab_size = 256;
+  mcfg.d_model = 64;
+  mcfg.num_heads = 4;
+  mcfg.d_ff = 128;
+  mcfg.num_layers = 2;
+  mcfg.causal = false;
+  et::train::TransformerClassifier cls(
+      mcfg, std::max<std::size_t>(ds.spec().num_classes, 1), 11);
+
+  std::printf("fine-tuning...\n");
+  et::bench::train_cls_epochs(cls, ds, 8, 2e-3f);
+  std::printf("  dense score: %.1f\n", et::bench::eval_glue(cls, ds));
+
+  const double ratio = 0.6;
+  const auto masks = et::bench::prune_classifier(
+      cls, ds, et::pruning::Strategy::kAttentionAware, ratio, 2, 3, 2e-3f);
+  std::printf("attention-aware pruned at %.0f%% (overall %.2f): score %.1f\n",
+              100.0 * ratio, masks.overall_ratio(),
+              et::bench::eval_glue(cls, ds));
+
+  // Latency at the real BERT_BASE configuration, per layer and full model.
+  const auto model = et::nn::bert_base();
+  et::train::TrainModelConfig shape_cfg;
+  shape_cfg.vocab_size = 64;
+  shape_cfg.d_model = model.d_model;
+  shape_cfg.num_heads = model.num_heads;
+  shape_cfg.d_ff = model.d_ff;
+  shape_cfg.num_layers = 1;
+  et::train::TransformerModel shapes(shape_cfg, 23);
+  const auto layer_masks = et::pruning::compute_layer_masks(
+      shapes.layers()[0], et::pruning::Strategy::kAttentionAware, ratio);
+  const auto weights = et::pruning::deploy_layer(
+      shapes.layers()[0], layer_masks, et::pruning::Strategy::kAttentionAware);
+
+  et::gpusim::Device dev;
+  dev.set_traffic_only(true);
+  et::tensor::MatrixF x(128, model.d_model);
+  (void)et::nn::encoder_forward(
+      dev, x, weights,
+      et::nn::options_for(et::nn::Pipeline::kET, model, 128, false));
+  const double per_layer = dev.total_time_us();
+  std::printf("modeled latency at BERT_BASE scale: %.1f us/layer, %.2f ms "
+              "for %zu layers\n",
+              per_layer, per_layer * static_cast<double>(model.num_layers) / 1e3,
+              model.num_layers);
+  return 0;
+}

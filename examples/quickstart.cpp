@@ -1,0 +1,49 @@
+// Quickstart: build a BERT_BASE-shaped encoder, run it through all four
+// pipelines on the simulated V100S, and print what E.T.'s operators save.
+//
+//   $ ./examples/quickstart [seq_len]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "gpusim/device.hpp"
+#include "gpusim/profiler.hpp"
+#include "nn/encoder.hpp"
+#include "tensor/random.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t seq = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
+
+  // 1. A model configuration and dense random weights.
+  const et::nn::ModelConfig model = et::nn::bert_base();
+  const et::nn::EncoderWeights weights =
+      et::nn::make_dense_encoder_weights(model, /*seed=*/42);
+
+  // 2. An input: seq_len token embeddings of width d_model.
+  et::tensor::MatrixF x(seq, model.d_model);
+  et::tensor::fill_normal(x, 7);
+
+  std::printf("one %s encoder layer, seq_len=%zu, on a simulated %s\n\n",
+              model.name.c_str(), seq, et::gpusim::v100s().name.c_str());
+
+  // 3. Run each pipeline and report modeled latency + kernel counts.
+  for (const auto pipeline :
+       {et::nn::Pipeline::kModular, et::nn::Pipeline::kTensorRT,
+        et::nn::Pipeline::kFasterTransformer, et::nn::Pipeline::kET}) {
+    et::gpusim::Device dev;
+    const auto opt = et::nn::options_for(pipeline, model, seq);
+    const et::tensor::MatrixF y = et::nn::encoder_forward(dev, x, weights, opt);
+    std::printf("%-18s %7.1f us  %2zu kernel launches   (output[0][0] = %+.4f)\n",
+                std::string(to_string(pipeline)).c_str(),
+                dev.total_time_us(), dev.launch_count(),
+                static_cast<double>(y(0, 0)));
+  }
+
+  // 4. Peek inside E.T.'s launch log with the nvprof-style profiler.
+  et::gpusim::Device dev;
+  (void)et::nn::encoder_forward(
+      dev, x, weights, et::nn::options_for(et::nn::Pipeline::kET, model, seq));
+  std::printf("\nE.T. kernel-by-kernel profile:\n");
+  print_report(std::cout, et::gpusim::profile(dev));
+  return 0;
+}

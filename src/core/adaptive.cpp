@@ -1,0 +1,54 @@
+#include "core/adaptive.hpp"
+
+namespace et::core {
+
+AttentionImpl choose_attention_impl(const gpusim::Device& dev,
+                                    const tensor::MatrixF& x,
+                                    const AttentionWeights& w,
+                                    const AttentionConfig& cfg,
+                                    const AdaptivePolicy& policy) {
+  // Hard constraint first: the full OTF kernel must fit Eq. 6 in shared
+  // memory.
+  if (!dev.fits_shared(otf_shared_bytes(cfg))) {
+    return AttentionImpl::kPartialOtf;
+  }
+  if (!policy.auto_tune) {
+    return cfg.seq_len > policy.partial_otf_min_seq
+               ? AttentionImpl::kPartialOtf
+               : AttentionImpl::kOtf;
+  }
+  // Replay both variants against the latency model only (no math).
+  const auto replay = [&](AttentionImpl impl) {
+    gpusim::Device scratch(dev.spec());
+    scratch.set_traffic_only(true);
+    if (impl == AttentionImpl::kOtf) {
+      (void)otf_attention(scratch, x, w, cfg);
+    } else {
+      (void)partial_otf_attention(scratch, x, w, cfg);
+    }
+    return scratch.total_time_us();
+  };
+  return replay(AttentionImpl::kOtf) <= replay(AttentionImpl::kPartialOtf)
+             ? AttentionImpl::kOtf
+             : AttentionImpl::kPartialOtf;
+}
+
+tensor::MatrixF adaptive_attention(gpusim::Device& dev,
+                                   const tensor::MatrixF& x,
+                                   const AttentionWeights& w,
+                                   const AttentionConfig& cfg,
+                                   const AdaptivePolicy& policy) {
+  switch (choose_attention_impl(dev, x, w, cfg, policy)) {
+    case AttentionImpl::kOtf:
+      return otf_attention(dev, x, w, cfg);
+    case AttentionImpl::kPartialOtf:
+      return partial_otf_attention(dev, x, w, cfg);
+    case AttentionImpl::kFused:
+      return fused_attention(dev, x, w, cfg);
+    case AttentionImpl::kModular:
+      break;
+  }
+  return modular_attention(dev, x, w, cfg);
+}
+
+}  // namespace et::core

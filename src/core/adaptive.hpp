@@ -1,0 +1,51 @@
+// Sequence-length-aware adaptive dispatch (§3.2, §5.2.2).
+//
+// E.T. switches from the full on-the-fly operator to the partial one when
+// the sequence grows long enough that re-reading K/V per row tile costs
+// more than materializing the score matrix once (the paper finds the
+// crossover at seqLen ≈ 224 on V100S), or when the Eq. 6 shared-memory
+// footprint no longer fits. An auto-tune mode replays both variants on a
+// scratch traffic-only device and picks the lower modeled latency —
+// mirroring how E.T. "automatically searches through various
+// implementations and chooses the optimal one" (§5.2.1).
+#pragma once
+
+#include "core/attention.hpp"
+#include "core/config.hpp"
+#include "core/weights.hpp"
+#include "gpusim/device.hpp"
+
+namespace et::core {
+
+enum class AttentionImpl { kModular, kFused, kOtf, kPartialOtf };
+
+[[nodiscard]] constexpr std::string_view to_string(AttentionImpl i) noexcept {
+  switch (i) {
+    case AttentionImpl::kModular: return "modular";
+    case AttentionImpl::kFused: return "fused";
+    case AttentionImpl::kOtf: return "otf";
+    case AttentionImpl::kPartialOtf: return "partial_otf";
+  }
+  return "?";
+}
+
+struct AdaptivePolicy {
+  /// Fixed crossover: use partial OTF at seq_len > this (paper: 224).
+  std::size_t partial_otf_min_seq = 224;
+  /// When true, ignore the fixed threshold and decide by replaying both
+  /// operators through the latency model.
+  bool auto_tune = false;
+};
+
+/// Decide which E.T. operator to run for this configuration.
+[[nodiscard]] AttentionImpl choose_attention_impl(
+    const gpusim::Device& dev, const tensor::MatrixF& x,
+    const AttentionWeights& w, const AttentionConfig& cfg,
+    const AdaptivePolicy& policy = {});
+
+/// Run the operator choose_attention_impl selects.
+[[nodiscard]] tensor::MatrixF adaptive_attention(
+    gpusim::Device& dev, const tensor::MatrixF& x, const AttentionWeights& w,
+    const AttentionConfig& cfg, const AdaptivePolicy& policy = {});
+
+}  // namespace et::core

@@ -1,0 +1,469 @@
+#include "core/attention.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "core/attention_math.hpp"
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/linear.hpp"
+#include "tensor/matrix.hpp"
+
+namespace et::core {
+
+namespace {
+
+using gpusim::AccessPattern;
+using numeric::Precision;
+
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Tile-staging buffers shrink to whatever the device offers (kernels pick
+/// smaller tiles on scratchpad-constrained hardware); only footprints that
+/// are *algorithmically required* — like Eq. 6's score row — stay fixed
+/// and can overflow.
+std::size_t clamp_shared(const gpusim::Device& dev, std::size_t bytes) {
+  return std::min(bytes, dev.spec().shared_mem_per_cta_bytes);
+}
+
+/// Q/K/context projections shared by every implementation.
+struct Projections {
+  tensor::MatrixF q;
+  tensor::MatrixF k;
+  /// V (full or condensed), or M = X·W_VOᵀ on the pre-computed path.
+  tensor::MatrixF ctx;
+  const PrecomputedVO* vo = nullptr;
+  /// Head-major original-column map when ctx is a condensed V.
+  std::vector<std::uint32_t> v_kept;
+  [[nodiscard]] const std::vector<std::uint32_t>* v_kept_ptr() const {
+    return v_kept.empty() ? nullptr : &v_kept;
+  }
+};
+
+bool try_fused_qkv(gpusim::Device& dev, const tensor::MatrixF& x,
+                   const AttentionWeights& w, const AttentionConfig& cfg,
+                   Projections& pr);
+
+Projections project(gpusim::Device& dev, const tensor::MatrixF& x,
+                    const AttentionWeights& w, const AttentionConfig& cfg,
+                    bool et_operators) {
+  cfg.validate();
+  kernels::LinearOptions opt;
+  opt.precision = cfg.precision;
+
+  Projections pr;
+  if (et_operators && !w.has_precomputed() &&
+      try_fused_qkv(dev, x, w, cfg, pr)) {
+    // Below the pruning regime E.T. also batches Q/K/V into one autotuned
+    // GEMM — the "best cuBLAS routine" search of §5.2.1.
+    return pr;
+  }
+  pr.q = kernels::linear(dev, x, w.wq, opt, "q_linear").y;
+  pr.k = kernels::linear(dev, x, w.wk, opt, "k_linear").y;
+  if (et_operators && w.has_precomputed()) {
+    pr.vo = &w.vo;
+    // One dense GEMM against the pre-computed (H·kept × d) matrix — the
+    // fold of steps ① (V part) and ⑦ (Eq. 5).
+    pr.ctx = kernels::gemm_nt(dev, x, w.vo.weight, cfg.precision, nullptr,
+                              "vo_linear");
+  } else if (et_operators && w.v_condensable(cfg.num_heads)) {
+    // Attention-aware row-pruned W_V: keep the GEMM output condensed so
+    // step ⑥ touches only the surviving columns (§5.3.3).
+    opt.scatter_row_pruned_output = false;
+    auto res = kernels::linear(dev, x, w.wv, opt, "v_linear");
+    pr.ctx = std::move(res.y);
+    pr.v_kept = std::move(res.nonzero_cols);
+    opt.scatter_row_pruned_output = true;
+  } else {
+    pr.ctx = kernels::linear(dev, x, w.wv, opt, "v_linear").y;
+  }
+  return pr;
+}
+
+/// TensorRT-style horizontally-fused QKV projection: when all three
+/// weights are dense, one GEMM against the stacked (3d × d) weight.
+bool try_fused_qkv(gpusim::Device& dev, const tensor::MatrixF& x,
+                   const AttentionWeights& w, const AttentionConfig& cfg,
+                   Projections& pr) {
+  const auto* dq = std::get_if<sparse::DenseWeight>(&w.wq);
+  const auto* dkw = std::get_if<sparse::DenseWeight>(&w.wk);
+  const auto* dv = std::get_if<sparse::DenseWeight>(&w.wv);
+  if (dq == nullptr || dkw == nullptr || dv == nullptr) return false;
+
+  const std::size_t d = cfg.d_model;
+  tensor::MatrixF stacked(3 * d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      stacked(r, c) = dq->matrix()(r, c);
+      stacked(d + r, c) = dkw->matrix()(r, c);
+      stacked(2 * d + r, c) = dv->matrix()(r, c);
+    }
+  }
+  tensor::MatrixF qkv =
+      kernels::gemm_nt(dev, x, stacked, cfg.precision, nullptr, "qkv_linear");
+  pr.q = tensor::slice_cols(qkv, 0, d);
+  pr.k = tensor::slice_cols(qkv, d, d);
+  pr.ctx = tensor::slice_cols(qkv, 2 * d, d);
+  pr.vo = nullptr;
+  return true;
+}
+
+/// Record a batched per-head GEMM kernel (one launch covering all heads),
+/// e.g. torch.bmm or the TensorRT batched-GEMM step. Loads both operands
+/// once, stores the result once.
+void record_batched_gemm(gpusim::Device& dev, std::string name,
+                         std::size_t load_elems_a, std::size_t load_elems_b,
+                         std::size_t store_elems, std::uint64_t flops,
+                         std::size_t ctas, Precision p) {
+  const std::size_t sb = numeric::storage_bytes(p);
+  auto launch = dev.launch({.name = std::move(name),
+                            .ctas = ctas,
+                            .shared_bytes_per_cta =
+                                clamp_shared(dev, 2 * 256 * 16 * sb),
+                            .pattern = AccessPattern::kTiled});
+  launch.load_bytes((load_elems_a + load_elems_b) * sb);
+  launch.store_bytes(store_elems * sb);
+  if (p == Precision::kFp32) {
+    launch.fp_ops(flops);
+  } else {
+    launch.tensor_ops(flops);
+  }
+}
+
+/// Record a kernel over the batched per-head score matrix (scale / mask /
+/// softmax in the unfused pipelines). These kernels walk the head-major
+/// S layout with transposed/strided accesses, which is why the paper
+/// measures them at only ~8.6% of peak bandwidth (Fig. 12).
+void record_score_stream(gpusim::Device& dev, std::string name,
+                         std::size_t elems, double load_frac,
+                         double store_frac, std::uint64_t flops,
+                         Precision p) {
+  const std::size_t sb = numeric::storage_bytes(p);
+  auto launch =
+      dev.launch({.name = std::move(name),
+                  .ctas = std::max<std::size_t>(1, elems / 4096),
+                  .shared_bytes_per_cta = 0,
+                  .pattern = AccessPattern::kStrided});
+  launch.load_bytes(
+      static_cast<std::uint64_t>(static_cast<double>(elems * sb) * load_frac));
+  launch.store_bytes(static_cast<std::uint64_t>(
+      static_cast<double>(elems * sb) * store_frac));
+  launch.fp_ops(flops);
+}
+
+tensor::MatrixF output_linear(gpusim::Device& dev, const tensor::MatrixF& z,
+                              const AttentionWeights& w,
+                              const AttentionConfig& cfg) {
+  kernels::LinearOptions opt;
+  opt.precision = cfg.precision;
+  return kernels::linear(dev, z, w.wo, opt, "out_linear").y;
+}
+
+}  // namespace
+
+std::size_t otf_shared_bytes(const AttentionConfig& cfg) {
+  return otf_shared_bytes(cfg, cfg.seq_len);
+}
+
+std::size_t otf_shared_bytes(const AttentionConfig& cfg, std::size_t kv_len) {
+  const std::size_t acc = numeric::accumulator_bytes(cfg.precision);
+  const std::size_t tile_height = 16;
+  // Eq. 6: tileHeight·d_k (the Q tile) + tileHeight·kvLen (the score
+  // tile row), plus a double-buffered 16×16 staging tile for K/V.
+  return tile_height * cfg.d_k() * acc + tile_height * kv_len * acc +
+         2 * 16 * 16 * numeric::storage_bytes(cfg.precision);
+}
+
+// --------------------------------------------------------------------------
+// PyTorch-like modular pipeline: every operator is its own kernel.
+// --------------------------------------------------------------------------
+tensor::MatrixF modular_attention(gpusim::Device& dev,
+                                  const tensor::MatrixF& x,
+                                  const AttentionWeights& w,
+                                  const AttentionConfig& cfg) {
+  const std::size_t s = cfg.seq_len;
+  const std::size_t d = cfg.d_model;
+  const std::size_t h = cfg.num_heads;
+  const std::size_t score_elems = s * s * h;
+  const Precision p = cfg.precision;
+
+  Projections pr = project(dev, x, w, cfg, /*et_operators=*/false);
+
+  // torch.bmm(Q, K^T): batched over heads.
+  record_batched_gemm(dev, "bmm_qk", s * d, s * d, score_elems,
+                      2ull * s * s * d, h * ceil_div(s, 128) * ceil_div(s, 128),
+                      p);
+  // Separate scale, mask, softmax kernels, each a full global round trip.
+  record_score_stream(dev, "scale", score_elems, 1.0, 1.0, score_elems, p);
+  record_score_stream(dev, "mask", score_elems, 1.0, 1.0, score_elems / 2, p);
+  record_score_stream(dev, "softmax", score_elems, 1.0, 1.0, 5 * score_elems,
+                      p);
+  // torch.bmm(S, V).
+  record_batched_gemm(dev, "bmm_sv", score_elems, s * d, s * d,
+                      2ull * s * s * d, h * ceil_div(s, 128) * ceil_div(d, 128),
+                      p);
+
+  tensor::MatrixF z =
+      dev.traffic_only()
+          ? tensor::MatrixF(s, d)
+          : detail::attention_math(pr.q, pr.k, pr.ctx, nullptr, nullptr, cfg);
+  return output_linear(dev, z, w, cfg);
+}
+
+// --------------------------------------------------------------------------
+// TensorRT-like pipeline: fused QKV projection, batched score GEMMs,
+// vertically-fused pointwise ops — but intermediates still in global
+// memory (steps ①,③,④,⑤,⑥,⑦ of Fig. 12).
+// --------------------------------------------------------------------------
+tensor::MatrixF fused_attention(gpusim::Device& dev, const tensor::MatrixF& x,
+                                const AttentionWeights& w,
+                                const AttentionConfig& cfg,
+                                bool aggressive_fusion) {
+  const std::size_t s = cfg.seq_len;
+  const std::size_t d = cfg.d_model;
+  const std::size_t h = cfg.num_heads;
+  const std::size_t score_elems = s * s * h;
+  const Precision p = cfg.precision;
+
+  Projections pr;
+  if (!try_fused_qkv(dev, x, w, cfg, pr)) {
+    pr = project(dev, x, w, cfg, /*et_operators=*/false);
+  }
+
+  // ③ batched Q·Kᵀ with the scaling folded in (TensorRT fuses the
+  // element-wise scale into the GEMM epilogue).
+  record_batched_gemm(dev, "trt_qk_scale", s * d, s * d, score_elems,
+                      2ull * s * s * d + score_elems,
+                      h * ceil_div(s, 128) * ceil_div(s, 128), p);
+  if (aggressive_fusion) {
+    // FasterTransformer: ④+⑤ fused — S transits global memory once.
+    record_score_stream(dev, "ft_mask_softmax", score_elems, 1.0, 1.0,
+                        5 * score_elems + score_elems / 2, p);
+  } else {
+    // ④ masking, ⑤ softmax: two kernels (per Fig. 12's step list).
+    record_score_stream(dev, "trt_mask", score_elems, 1.0, 1.0,
+                        score_elems / 2, p);
+    record_score_stream(dev, "trt_softmax", score_elems, 1.0, 1.0,
+                        5 * score_elems, p);
+  }
+  // ⑥ batched S·V.
+  record_batched_gemm(dev, "trt_sv", score_elems, s * d, s * d,
+                      2ull * s * s * d, h * ceil_div(s, 128) * ceil_div(d, 128),
+                      p);
+
+  tensor::MatrixF z =
+      dev.traffic_only()
+          ? tensor::MatrixF(s, d)
+          : detail::attention_math(pr.q, pr.k, pr.ctx, nullptr, nullptr, cfg);
+  return output_linear(dev, z, w, cfg);
+}
+
+// --------------------------------------------------------------------------
+// E.T. full on-the-fly operator: steps ②–⑥ in one kernel.
+// --------------------------------------------------------------------------
+tensor::MatrixF otf_attention(gpusim::Device& dev, const tensor::MatrixF& x,
+                              const AttentionWeights& w,
+                              const AttentionConfig& cfg) {
+  const std::size_t s = cfg.seq_len;
+  const std::size_t d = cfg.d_model;
+  const std::size_t h = cfg.num_heads;
+  const std::size_t sb = numeric::storage_bytes(cfg.precision);
+  const Precision p = cfg.precision;
+  const bool pre = w.has_precomputed();
+
+  Projections pr = project(dev, x, w, cfg, /*et_operators=*/true);
+
+  const std::size_t row_tiles = ceil_div(s, 16);
+  // Without pre-computation a CTA owns (head, row-tile); with it the CTA
+  // iterates all heads for its row tile so the Eq. 4/5 head-sum stays in
+  // registers.
+  const std::size_t ctas = pre ? row_tiles : row_tiles * h;
+  const std::size_t ctx_cols = pr.ctx.cols();
+
+  auto launch = dev.launch({.name = "otf_attention",
+                            .ctas = ctas,
+                            .shared_bytes_per_cta = otf_shared_bytes(cfg),
+                            .pattern = AccessPattern::kTiled});
+  // Q read once; K and the context operand re-read once per row tile —
+  // the deliberate extra-loads-for-zero-intermediate-stores trade of
+  // §5.2.5 (Fig. 11).
+  launch.load_bytes(static_cast<std::uint64_t>(s) * d * sb);
+  launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * s * d * sb);
+  launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * s * ctx_cols * sb);
+  // Only the final output touches global memory. With a condensed context
+  // operand only the surviving columns are written.
+  launch.store_bytes(static_cast<std::uint64_t>(s) *
+                     (pr.vo != nullptr ? d : ctx_cols) * sb);
+
+  const std::uint64_t qk_flops = 2ull * s * s * d;
+  const std::uint64_t sv_flops = 2ull * s * s * ctx_cols;
+  const std::uint64_t pointwise =
+      s * d /*scale*/ + 5ull * s * s * h /*softmax*/ + s * s * h / 2 /*mask*/;
+  if (p == Precision::kFp32) {
+    launch.fp_ops(qk_flops + sv_flops + pointwise);
+  } else {
+    launch.tensor_ops(qk_flops + sv_flops);
+    launch.fp_ops(pointwise);
+  }
+  launch.finish();
+
+  tensor::MatrixF z =
+      dev.traffic_only()
+          ? tensor::MatrixF(s, d)
+          : detail::attention_math(pr.q, pr.k, pr.ctx, pr.vo, pr.v_kept_ptr(), cfg);
+  if (pre) return z;  // Eq. 5: the output linear is already folded in.
+  return output_linear(dev, z, w, cfg);
+}
+
+// --------------------------------------------------------------------------
+// E.T. on-the-fly cross-attention: same kernel structure as otf_attention,
+// with K/V projected from the encoder memory.
+// --------------------------------------------------------------------------
+tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
+                                    const tensor::MatrixF& x,
+                                    const tensor::MatrixF& memory,
+                                    const AttentionWeights& w,
+                                    const AttentionConfig& cfg) {
+  const std::size_t s = cfg.seq_len;
+  const std::size_t kv = memory.rows();
+  const std::size_t d = cfg.d_model;
+  const std::size_t sb = numeric::storage_bytes(cfg.precision);
+  const Precision p = cfg.precision;
+  const bool pre = w.has_precomputed();
+  assert(x.rows() == s && memory.cols() == d);
+
+  kernels::LinearOptions opt;
+  opt.precision = cfg.precision;
+  Projections pr;
+  pr.q = kernels::linear(dev, x, w.wq, opt, "xattn_q_linear").y;
+  pr.k = kernels::linear(dev, memory, w.wk, opt, "xattn_k_linear").y;
+  if (pre) {
+    pr.vo = &w.vo;
+    pr.ctx = kernels::gemm_nt(dev, memory, w.vo.weight, cfg.precision,
+                              nullptr, "xattn_vo_linear");
+  } else if (w.v_condensable(cfg.num_heads)) {
+    opt.scatter_row_pruned_output = false;
+    auto res = kernels::linear(dev, memory, w.wv, opt, "xattn_v_linear");
+    pr.ctx = std::move(res.y);
+    pr.v_kept = std::move(res.nonzero_cols);
+  } else {
+    pr.ctx = kernels::linear(dev, memory, w.wv, opt, "xattn_v_linear").y;
+  }
+
+  const std::size_t row_tiles = ceil_div(s, 16);
+  const std::size_t ctas = pre ? row_tiles : row_tiles * cfg.num_heads;
+  const std::size_t ctx_cols = pr.ctx.cols();
+
+  auto launch = dev.launch({.name = "otf_cross_attention",
+                            .ctas = ctas,
+                            .shared_bytes_per_cta = otf_shared_bytes(cfg, kv),
+                            .pattern = AccessPattern::kTiled});
+  launch.load_bytes(static_cast<std::uint64_t>(s) * d * sb);
+  launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * kv * d * sb);
+  launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * kv * ctx_cols *
+                    sb);
+  launch.store_bytes(static_cast<std::uint64_t>(s) *
+                     (pr.vo != nullptr ? d : ctx_cols) * sb);
+  const std::uint64_t qk_flops = 2ull * s * kv * d;
+  const std::uint64_t sv_flops = 2ull * s * kv * ctx_cols;
+  const std::uint64_t pointwise =
+      s * d + 5ull * s * kv * cfg.num_heads;
+  if (p == Precision::kFp32) {
+    launch.fp_ops(qk_flops + sv_flops + pointwise);
+  } else {
+    launch.tensor_ops(qk_flops + sv_flops);
+    launch.fp_ops(pointwise);
+  }
+  launch.finish();
+
+  tensor::MatrixF z =
+      dev.traffic_only()
+          ? tensor::MatrixF(s, d)
+          : detail::attention_math(pr.q, pr.k, pr.ctx, pr.vo,
+                                   pr.v_kept_ptr(), cfg);
+  if (pre) return z;
+  return output_linear(dev, z, w, cfg);
+}
+
+// --------------------------------------------------------------------------
+// E.T. partial on-the-fly operator (§3.2): ②–③ as one outer-product GEMM
+// kernel (Q, K read once; S written once), ④–⑥ as a second fused kernel.
+// --------------------------------------------------------------------------
+tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
+                                      const tensor::MatrixF& x,
+                                      const AttentionWeights& w,
+                                      const AttentionConfig& cfg) {
+  const std::size_t s = cfg.seq_len;
+  const std::size_t d = cfg.d_model;
+  const std::size_t h = cfg.num_heads;
+  const std::size_t sb = numeric::storage_bytes(cfg.precision);
+  const std::size_t acc = numeric::accumulator_bytes(cfg.precision);
+  const std::size_t score_elems = s * s * h;
+  const Precision p = cfg.precision;
+  const bool pre = w.has_precomputed();
+
+  Projections pr = project(dev, x, w, cfg, /*et_operators=*/true);
+  const std::size_t ctx_cols = pr.ctx.cols();
+
+  // Kernel A: ②–③. Outer-product decomposition reads Q and K exactly
+  // once and writes the full score matrix once.
+  {
+    auto launch = dev.launch(
+        {.name = "partial_otf_qk",
+         .ctas = h * ceil_div(s, 128) * ceil_div(s, 128),
+         .shared_bytes_per_cta = clamp_shared(dev, 2 * 256 * 16 * sb),
+         .pattern = AccessPattern::kTiled});
+    launch.load_bytes(2ull * s * d * sb);
+    launch.store_bytes(static_cast<std::uint64_t>(score_elems) * sb);
+    const std::uint64_t flops = 2ull * s * s * d + s * d /*scale*/;
+    if (p == Precision::kFp32) {
+      launch.fp_ops(flops);
+    } else {
+      launch.tensor_ops(2ull * s * s * d);
+      launch.fp_ops(s * d);
+    }
+  }
+
+  // Kernel B: ④–⑥. A CTA stages up to 32 score rows in shared memory,
+  // masks, softmaxes and multiplies against the context operand, which is
+  // re-read once per row tile (less re-reading than the full OTF kernel's
+  // 16-row granularity, at the price of S traffic). On devices with a
+  // small scratchpad the row tile shrinks — V re-reads grow accordingly,
+  // which the traffic accounting below reflects.
+  {
+    const std::size_t staging = 2 * 16 * 16 * sb;
+    const std::size_t capacity = dev.spec().shared_mem_per_cta_bytes;
+    const std::size_t rows_per_cta = std::clamp<std::size_t>(
+        capacity > staging ? (capacity - staging) / (s * acc) : 1, 1, 32);
+    const std::size_t row_tiles = ceil_div(s, rows_per_cta);
+    auto launch = dev.launch(
+        {.name = "partial_otf_softmax_sv",
+         .ctas = (pre ? 1 : h) * row_tiles,
+         .shared_bytes_per_cta = rows_per_cta * s * acc + staging,
+         .pattern = AccessPattern::kTiled});
+    launch.load_bytes(static_cast<std::uint64_t>(score_elems) * sb);
+    launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * s * ctx_cols *
+                      sb);
+    launch.store_bytes(static_cast<std::uint64_t>(s) * d * sb);
+    const std::uint64_t sv_flops = 2ull * s * s * ctx_cols;
+    const std::uint64_t pointwise = 5ull * score_elems + score_elems / 2;
+    if (p == Precision::kFp32) {
+      launch.fp_ops(sv_flops + pointwise);
+    } else {
+      launch.tensor_ops(sv_flops);
+      launch.fp_ops(pointwise);
+    }
+  }
+
+  tensor::MatrixF z =
+      dev.traffic_only()
+          ? tensor::MatrixF(s, d)
+          : detail::attention_math(pr.q, pr.k, pr.ctx, pr.vo, pr.v_kept_ptr(), cfg);
+  if (pre) return z;
+  return output_linear(dev, z, w, cfg);
+}
+
+}  // namespace et::core

@@ -1,0 +1,77 @@
+// The four self-attention implementations the paper compares.
+//
+//   modular_attention      — "PyTorch-like": one kernel per operator, FP32
+//                            general-core math, dense weights; every
+//                            intermediate round-trips global memory.
+//   fused_attention        — "TensorRT-like": horizontally-fused QKV GEMM,
+//                            batched per-head score/context GEMMs, and
+//                            vertically-fused pointwise kernels. Fewer
+//                            launches, but GEMM outputs (Q·Kᵀ, S) still
+//                            live in global memory — the paper's key
+//                            observation about why kernel fusion alone is
+//                            not enough (§1 issue (ii), §3.1).
+//   otf_attention          — E.T.'s on-the-fly operator: steps ②–⑥ of
+//                            Fig. 3 execute in ONE kernel; each CTA owns a
+//                            16-row tile of one head, keeps the scaled Q
+//                            rows and the score row in shared memory, and
+//                            never writes Q·Kᵀ or S to global memory. The
+//                            price: K and V are re-read once per row tile.
+//   partial_otf_attention  — §3.2's long-sequence variant: ②–③ become an
+//                            outer-product GEMM kernel (Q and K read once,
+//                            S written once), ④–⑥ a second fused kernel.
+//
+// All four compute the same function; tests assert cross-equivalence.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/weights.hpp"
+#include "gpusim/device.hpp"
+#include "tensor/matrix.hpp"
+
+namespace et::core {
+
+[[nodiscard]] tensor::MatrixF modular_attention(gpusim::Device& dev,
+                                                const tensor::MatrixF& x,
+                                                const AttentionWeights& w,
+                                                const AttentionConfig& cfg);
+
+/// `aggressive_fusion` = FasterTransformer-style: masking and softmax
+/// merged into one kernel (one fewer global round trip of S than the
+/// TensorRT step list of Fig. 12).
+[[nodiscard]] tensor::MatrixF fused_attention(gpusim::Device& dev,
+                                              const tensor::MatrixF& x,
+                                              const AttentionWeights& w,
+                                              const AttentionConfig& cfg,
+                                              bool aggressive_fusion = false);
+
+[[nodiscard]] tensor::MatrixF otf_attention(gpusim::Device& dev,
+                                            const tensor::MatrixF& x,
+                                            const AttentionWeights& w,
+                                            const AttentionConfig& cfg);
+
+[[nodiscard]] tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
+                                                    const tensor::MatrixF& x,
+                                                    const AttentionWeights& w,
+                                                    const AttentionConfig& cfg);
+
+/// Cross-attention with E.T.'s on-the-fly operator: queries come from `x`
+/// (cfg.seq_len rows) while keys/values come from an encoder `memory`
+/// (any number of rows). This is the decoder-side attention of the
+/// original Transformer (§2.1 notes the decoder mirrors the encoder);
+/// the causal mask never applies across the memory.
+[[nodiscard]] tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
+                                                  const tensor::MatrixF& x,
+                                                  const tensor::MatrixF& memory,
+                                                  const AttentionWeights& w,
+                                                  const AttentionConfig& cfg);
+
+/// Shared memory one OTF CTA needs (Eq. 6): a 16-row tile of Q's head
+/// slice plus a 16-row tile of the seq_len-wide score matrix, in
+/// accumulator precision, plus a staging buffer for K tiles.
+[[nodiscard]] std::size_t otf_shared_bytes(const AttentionConfig& cfg);
+
+/// Cross-attention variant: the score row is kv_len wide.
+[[nodiscard]] std::size_t otf_shared_bytes(const AttentionConfig& cfg,
+                                           std::size_t kv_len);
+
+}  // namespace et::core

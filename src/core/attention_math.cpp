@@ -1,0 +1,165 @@
+#include "core/attention_math.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "numeric/precision.hpp"
+
+namespace et::core::detail {
+
+namespace {
+using numeric::Precision;
+}  // namespace
+
+tensor::MatrixF attention_math(const tensor::MatrixF& q,
+                               const tensor::MatrixF& k,
+                               const tensor::MatrixF& context,
+                               const PrecomputedVO* vo,
+                               const std::vector<std::uint32_t>* v_kept,
+                               const AttentionConfig& cfg) {
+  const std::size_t s = cfg.seq_len;
+  // Cross-attention: keys/values may come from a memory of different
+  // length; self-attention has kv == s.
+  const std::size_t kv = k.rows();
+  const std::size_t d = cfg.d_model;
+  const std::size_t h_count = cfg.num_heads;
+  const std::size_t dk = cfg.d_k();
+  const Precision p = cfg.precision;
+  const float scale = cfg.scale();
+
+  assert(q.rows() == s && q.cols() == d);
+  assert(k.cols() == d);
+  assert(context.rows() == kv);
+  assert(vo == nullptr || v_kept == nullptr);
+  if (vo != nullptr) {
+    assert(context.cols() == h_count * vo->kept());
+  } else if (v_kept != nullptr) {
+    assert(context.cols() == v_kept->size());
+    assert(v_kept->size() % h_count == 0);
+  } else {
+    assert(context.cols() == d);
+  }
+  const std::size_t v_per_head =
+      v_kept != nullptr ? v_kept->size() / h_count : 0;
+
+  tensor::MatrixF out(s, d);
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < s; ++i) {
+    std::vector<float> qrow(dk);
+    std::vector<float> scores(kv);
+    for (std::size_t h = 0; h < h_count; ++h) {
+      // ② the scaling operator. Reordered before the multiply it keeps
+      // every partial product within FP16 range (§3.3).
+      for (std::size_t c = 0; c < dk; ++c) {
+        const float v = q(i, h * dk + c);
+        qrow[c] = cfg.scale_before_multiply
+                      ? numeric::round_to_storage(p, v * scale)
+                      : v;
+      }
+      // ③ one row of Q·Kᵀ, accumulated under the precision policy.
+      for (std::size_t j = 0; j < kv; ++j) {
+        float acc = 0.0f;
+        if (p == Precision::kFp32) {
+          for (std::size_t c = 0; c < dk; ++c) {
+            acc += qrow[c] * k(j, h * dk + c);
+          }
+        } else {
+          for (std::size_t c = 0; c < dk; ++c) {
+            acc = numeric::fma_step(p, qrow[c], k(j, h * dk + c), acc);
+          }
+          acc = numeric::round_to_storage(p, acc);
+        }
+        if (!cfg.scale_before_multiply) {
+          acc = numeric::round_to_storage(p, acc * scale);
+        }
+        scores[j] = acc;
+      }
+      // ④ masking (self-attention only; a causal mask is meaningless when
+      // attending over an encoder memory).
+      if (cfg.causal_mask && kv == s) {
+        for (std::size_t j = i + 1; j < kv; ++j) {
+          scores[j] = -std::numeric_limits<float>::infinity();
+        }
+      }
+      // Padding mask: keys past the valid prefix never receive weight.
+      if (cfg.valid_len > 0 && cfg.valid_len < kv) {
+        for (std::size_t j = cfg.valid_len; j < kv; ++j) {
+          scores[j] = -std::numeric_limits<float>::infinity();
+        }
+      }
+      // ⑤ softmax over the row (max-subtracted; ±inf saturations from an
+      // FP16 overflow propagate into NaN/garbage exactly as on hardware).
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::size_t j = 0; j < kv; ++j) mx = std::max(mx, scores[j]);
+      float sum = 0.0f;
+      for (std::size_t j = 0; j < kv; ++j) {
+        scores[j] = std::exp(scores[j] - mx);
+        sum += scores[j];
+      }
+      const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
+      for (std::size_t j = 0; j < kv; ++j) {
+        scores[j] = numeric::round_to_storage(p, scores[j] * inv);
+      }
+      // ⑥ multiply with the context operand.
+      if (v_kept != nullptr) {
+        // Condensed V: only the surviving columns of this head are
+        // computed; Z keeps zeros at pruned positions.
+        for (std::size_t c = 0; c < v_per_head; ++c) {
+          float acc = 0.0f;
+          if (p == Precision::kFp32) {
+            for (std::size_t j = 0; j < kv; ++j) {
+              acc += scores[j] * context(j, h * v_per_head + c);
+            }
+          } else {
+            for (std::size_t j = 0; j < kv; ++j) {
+              acc = numeric::fma_step(p, scores[j],
+                                      context(j, h * v_per_head + c), acc);
+            }
+            acc = numeric::round_to_storage(p, acc);
+          }
+          out(i, (*v_kept)[h * v_per_head + c]) = acc;
+        }
+      } else if (vo == nullptr) {
+        for (std::size_t c = 0; c < dk; ++c) {
+          float acc = 0.0f;
+          if (p == Precision::kFp32) {
+            for (std::size_t j = 0; j < kv; ++j) {
+              acc += scores[j] * context(j, h * dk + c);
+            }
+          } else {
+            for (std::size_t j = 0; j < kv; ++j) {
+              acc = numeric::fma_step(p, scores[j], context(j, h * dk + c),
+                                      acc);
+            }
+            acc = numeric::round_to_storage(p, acc);
+          }
+          out(i, h * dk + c) = acc;
+        }
+      } else {
+        const std::size_t kept = vo->kept();
+        for (std::size_t c = 0; c < kept; ++c) {
+          float acc = 0.0f;
+          if (p == Precision::kFp32) {
+            for (std::size_t j = 0; j < kv; ++j) {
+              acc += scores[j] * context(j, h * kept + c);
+            }
+          } else {
+            for (std::size_t j = 0; j < kv; ++j) {
+              acc = numeric::fma_step(p, scores[j], context(j, h * kept + c),
+                                      acc);
+            }
+            acc = numeric::round_to_storage(p, acc);
+          }
+          // ⑧ heads sum into the shared output columns (Eq. 4/5).
+          out(i, vo->kept_cols[c]) += acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace et::core::detail

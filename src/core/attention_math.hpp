@@ -1,0 +1,38 @@
+// Host-side numerical core shared by every attention implementation.
+//
+// The four implementations in attention.hpp differ in *kernel structure*
+// (launch counts, traffic, where intermediates live) — that is what the
+// simulated Device records. Their arithmetic is the same function, so it
+// is factored here once, with the precision policy applied at the same
+// algorithmic points a tensor-core kernel would round:
+//   - Q·Kᵀ accumulation (per policy, pure-FP16 rounds every step — the
+//     §3.3 overflow site),
+//   - the scaling operator, before or after the multiply (§3.3 reorder),
+//   - softmax output,
+//   - the S·V (or S·M) accumulation.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/weights.hpp"
+#include "tensor/matrix.hpp"
+
+namespace et::core::detail {
+
+/// Compute multi-head attention output (seq × d_model) from Q and K
+/// (seq × d_model) and one of three context operands:
+///   - `context` = V (seq × d_model), when `vo` and `v_kept` are null,
+///     producing the concatenated Z (the caller then applies W_O);
+///   - `context` = M = X·W_VOᵀ (seq × H·kept), when `vo` is non-null,
+///     producing the already-combined output scattered to full width
+///     (Eq. 5 path; no W_O linear follows);
+///   - `context` = condensed V (seq × H·K), when `v_kept` is non-null:
+///     the attention-aware row-pruned W_V case. `v_kept` lists, head-major,
+///     the original d_model column each condensed column maps to; the
+///     returned Z is full width with zeros at pruned positions (W_O linear
+///     still follows).
+[[nodiscard]] tensor::MatrixF attention_math(
+    const tensor::MatrixF& q, const tensor::MatrixF& k,
+    const tensor::MatrixF& context, const PrecomputedVO* vo,
+    const std::vector<std::uint32_t>* v_kept, const AttentionConfig& cfg);
+
+}  // namespace et::core::detail

@@ -1,0 +1,108 @@
+#include "core/kv_cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/attention_math.hpp"
+#include "kernels/linear.hpp"
+
+namespace et::core {
+
+void KVCache::append(std::span<const float> k_row,
+                     std::span<const float> v_row) {
+  if (full()) {
+    throw std::length_error("KVCache::append: cache is full (" +
+                            std::to_string(capacity()) + " rows)");
+  }
+  assert(k_row.size() == k_.cols() && v_row.size() == v_.cols());
+  for (std::size_t c = 0; c < k_.cols(); ++c) {
+    k_(used_, c) = k_row[c];
+    v_(used_, c) = v_row[c];
+  }
+  ++used_;
+}
+
+tensor::MatrixF KVCache::k_prefix() const {
+  tensor::MatrixF out(used_, k_.cols());
+  for (std::size_t r = 0; r < used_; ++r) {
+    for (std::size_t c = 0; c < k_.cols(); ++c) out(r, c) = k_(r, c);
+  }
+  return out;
+}
+
+tensor::MatrixF KVCache::v_prefix() const {
+  tensor::MatrixF out(used_, v_.cols());
+  for (std::size_t r = 0; r < used_; ++r) {
+    for (std::size_t c = 0; c < v_.cols(); ++c) out(r, c) = v_(r, c);
+  }
+  return out;
+}
+
+tensor::MatrixF incremental_attention(gpusim::Device& dev,
+                                      const tensor::MatrixF& x_row,
+                                      const AttentionWeights& w,
+                                      const AttentionConfig& cfg,
+                                      KVCache& cache) {
+  assert(x_row.rows() == 1 && x_row.cols() == cfg.d_model);
+  if (w.has_precomputed()) {
+    throw std::invalid_argument(
+        "incremental_attention: pre-computed W_VO is not supported in the "
+        "cached path");
+  }
+
+  kernels::LinearOptions opt;
+  opt.precision = cfg.precision;
+
+  // Project the new token's q/k/v (three skinny GEMMs — generation is
+  // kernel-launch- and weight-load-bound, which these counters expose).
+  const tensor::MatrixF q = kernels::linear(dev, x_row, w.wq, opt,
+                                            "gen_q_linear").y;
+  const tensor::MatrixF k_new = kernels::linear(dev, x_row, w.wk, opt,
+                                                "gen_k_linear").y;
+  const tensor::MatrixF v_new =
+      kernels::linear(dev, x_row, w.wv, opt,
+                      "gen_v_linear")
+          .y;
+  cache.append(k_new.row(0), v_new.row(0));
+
+  const std::size_t ctx = cache.used();
+  const std::size_t d = cfg.d_model;
+  const std::size_t sb = numeric::storage_bytes(cfg.precision);
+
+  // One fused kernel: the single query row against the cache. The score
+  // row (H × ctx entries across CTAs) stays in shared memory — a 1-row
+  // OTF instance.
+  {
+    auto launch = dev.launch(
+        {.name = "incremental_otf_attention",
+         .ctas = cfg.num_heads,
+         .shared_bytes_per_cta =
+             cfg.d_k() * numeric::accumulator_bytes(cfg.precision) +
+             ctx * numeric::accumulator_bytes(cfg.precision),
+         .pattern = gpusim::AccessPattern::kTiled});
+    launch.load_bytes(d * sb);                 // q
+    launch.load_bytes(2ull * ctx * d * sb);    // cached K and V, once each
+    launch.store_bytes(d * sb);                // one output row
+    const std::uint64_t flops = 2ull * ctx * d * 2;  // q·K^T and s·V
+    if (cfg.precision == numeric::Precision::kFp32) {
+      launch.fp_ops(flops + 5ull * ctx * cfg.num_heads);
+    } else {
+      launch.tensor_ops(flops);
+      launch.fp_ops(5ull * ctx * cfg.num_heads);
+    }
+  }
+
+  tensor::MatrixF z(1, d);
+  if (!dev.traffic_only()) {
+    AttentionConfig step_cfg = cfg;
+    step_cfg.seq_len = 1;
+    // The query is the latest position: it may attend to the whole cache,
+    // so no mask applies within this step.
+    step_cfg.causal_mask = false;
+    z = detail::attention_math(q, cache.k_prefix(), cache.v_prefix(),
+                               nullptr, nullptr, step_cfg);
+  }
+  return kernels::linear(dev, z, w.wo, opt, "gen_out_linear").y;
+}
+
+}  // namespace et::core

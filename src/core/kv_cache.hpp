@@ -1,0 +1,56 @@
+// Incremental (autoregressive) attention with a KV cache — the inference
+// regime of the decoder-only models the paper cites (GPT-3 is "12 layers
+// of decoders", §2.1). Each generated token projects one new K/V row,
+// appends it to the cache, and attends over everything so far: the
+// on-the-fly operator degenerates to a single-row instance whose score
+// row still lives entirely in shared memory.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/weights.hpp"
+#include "gpusim/device.hpp"
+#include "tensor/matrix.hpp"
+
+namespace et::core {
+
+/// Per-layer key/value cache with fixed capacity. Rows are appended as
+/// tokens are generated; `used()` is the current context length.
+class KVCache {
+ public:
+  KVCache() = default;
+  KVCache(std::size_t capacity, std::size_t d_model)
+      : k_(capacity, d_model), v_(capacity, d_model) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return k_.rows(); }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] bool full() const noexcept { return used_ == capacity(); }
+
+  /// Append one projected row to each of K and V. Throws std::length_error
+  /// when the cache is full.
+  void append(std::span<const float> k_row, std::span<const float> v_row);
+
+  /// Contiguous views of the filled prefix (used × d_model copies).
+  [[nodiscard]] tensor::MatrixF k_prefix() const;
+  [[nodiscard]] tensor::MatrixF v_prefix() const;
+
+  void reset() noexcept { used_ = 0; }
+
+ private:
+  tensor::MatrixF k_;
+  tensor::MatrixF v_;
+  std::size_t used_ = 0;
+};
+
+/// One autoregressive attention step: `x_row` is the current token's
+/// hidden state (1 × d_model). Projects q/k/v for the new token, appends
+/// k/v to the cache, and returns the attention output (1 × d_model)
+/// attending over the whole cache. Pre-computed W_VO and condensed-V
+/// layouts are not supported in the incremental path (the cache stores
+/// full-width rows); w.wo is applied as usual.
+[[nodiscard]] tensor::MatrixF incremental_attention(gpusim::Device& dev,
+                                                    const tensor::MatrixF& x_row,
+                                                    const AttentionWeights& w,
+                                                    const AttentionConfig& cfg,
+                                                    KVCache& cache);
+
+}  // namespace et::core

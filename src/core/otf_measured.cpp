@@ -1,0 +1,140 @@
+#include "core/otf_measured.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "gpusim/cta_engine.hpp"
+#include "kernels/linear.hpp"
+
+namespace et::core {
+
+tensor::MatrixF otf_attention_measured(gpusim::Device& dev,
+                                       const tensor::MatrixF& x,
+                                       const AttentionWeights& w,
+                                       const AttentionConfig& cfg) {
+  if (cfg.precision != numeric::Precision::kFp32) {
+    throw std::invalid_argument(
+        "otf_attention_measured audits traffic in fp32 only");
+  }
+  if (w.has_precomputed()) {
+    throw std::invalid_argument(
+        "otf_attention_measured: precomputed path not supported");
+  }
+
+  const std::size_t s = cfg.seq_len;
+  const std::size_t d = cfg.d_model;
+  const std::size_t heads = cfg.num_heads;
+  const std::size_t dk = cfg.d_k();
+  const float scale = cfg.scale();
+
+  kernels::LinearOptions opt;
+  opt.precision = cfg.precision;
+  const tensor::MatrixF q = kernels::linear(dev, x, w.wq, opt, "q_linear").y;
+  const tensor::MatrixF k = kernels::linear(dev, x, w.wk, opt, "k_linear").y;
+  const tensor::MatrixF v = kernels::linear(dev, x, w.wv, opt, "v_linear").y;
+
+  constexpr std::size_t kTileRows = 16;
+  const std::size_t row_tiles = (s + kTileRows - 1) / kTileRows;
+
+  tensor::MatrixF z(s, d);
+  gpusim::CtaLaunchConfig launch_cfg;
+  launch_cfg.name = "otf_attention_measured";
+  launch_cfg.num_ctas = heads * row_tiles;
+  launch_cfg.element_bytes = numeric::storage_bytes(cfg.precision);
+  launch_cfg.pattern = gpusim::AccessPattern::kTiled;
+
+  run_cta_kernel(dev, launch_cfg, [&](gpusim::CtaContext& ctx) {
+    const std::size_t h = ctx.cta_id() / row_tiles;
+    const std::size_t tile = ctx.cta_id() % row_tiles;
+    const std::size_t r0 = tile * kTileRows;
+    const std::size_t rows = std::min(kTileRows, s - r0);
+
+    // ② stage & pre-scale the Q tile in shared memory.
+    auto q_sh = ctx.shared().alloc_floats(rows * dk);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t c = 0; c < dk; ++c) {
+        const float qv = ctx.load(q, r0 + i, h * dk + c);
+        q_sh[i * dk + c] = cfg.scale_before_multiply ? qv * scale : qv;
+        ctx.count_fp_ops(1);
+      }
+    }
+    // ③ score tile rows live entirely in shared memory (Eq. 6).
+    auto scores = ctx.shared().alloc_floats(rows * s);
+    auto k_sh = ctx.shared().alloc_floats(kTileRows * dk);  // staging chunk
+    for (std::size_t j0 = 0; j0 < s; j0 += kTileRows) {
+      const std::size_t chunk = std::min(kTileRows, s - j0);
+      // Each K chunk is loaded from global memory once per CTA and reused
+      // by every row of the Q tile — the deliberate re-read across CTAs.
+      for (std::size_t j = 0; j < chunk; ++j) {
+        for (std::size_t c = 0; c < dk; ++c) {
+          k_sh[j * dk + c] = ctx.load(k, j0 + j, h * dk + c);
+        }
+      }
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < chunk; ++j) {
+          float acc = 0.0f;
+          for (std::size_t c = 0; c < dk; ++c) {
+            acc += q_sh[i * dk + c] * k_sh[j * dk + c];
+          }
+          ctx.count_tensor_ops(2 * dk);
+          if (!cfg.scale_before_multiply) acc *= scale;
+          scores[i * s + j0 + j] = acc;
+        }
+      }
+    }
+    // ④/⑤ mask + softmax, all in shared memory.
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (cfg.causal_mask) {
+        for (std::size_t j = r0 + i + 1; j < s; ++j) {
+          scores[i * s + j] = -std::numeric_limits<float>::infinity();
+        }
+      }
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::size_t j = 0; j < s; ++j) {
+        mx = std::max(mx, scores[i * s + j]);
+      }
+      float sum = 0.0f;
+      for (std::size_t j = 0; j < s; ++j) {
+        scores[i * s + j] = std::exp(scores[i * s + j] - mx);
+        sum += scores[i * s + j];
+      }
+      const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
+      for (std::size_t j = 0; j < s; ++j) scores[i * s + j] *= inv;
+      ctx.count_fp_ops(5 * s);
+    }
+    // ⑥ multiply with V, chunk-staged the same way; accumulate in shared.
+    auto out_acc = ctx.shared().alloc_floats(rows * dk);
+    std::fill(out_acc.begin(), out_acc.end(), 0.0f);
+    auto v_sh = ctx.shared().alloc_floats(kTileRows * dk);
+    for (std::size_t j0 = 0; j0 < s; j0 += kTileRows) {
+      const std::size_t chunk = std::min(kTileRows, s - j0);
+      for (std::size_t j = 0; j < chunk; ++j) {
+        for (std::size_t c = 0; c < dk; ++c) {
+          v_sh[j * dk + c] = ctx.load(v, j0 + j, h * dk + c);
+        }
+      }
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t c = 0; c < dk; ++c) {
+          float acc = out_acc[i * dk + c];
+          for (std::size_t j = 0; j < chunk; ++j) {
+            acc += scores[i * s + j0 + j] * v_sh[j * dk + c];
+          }
+          out_acc[i * dk + c] = acc;
+        }
+        ctx.count_tensor_ops(2 * chunk * dk);
+      }
+    }
+    // Only the final tile leaves the CTA.
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t c = 0; c < dk; ++c) {
+        ctx.store(z, r0 + i, h * dk + c, out_acc[i * dk + c]);
+      }
+    }
+  });
+
+  return kernels::linear(dev, z, w.wo, opt, "out_linear").y;
+}
+
+}  // namespace et::core

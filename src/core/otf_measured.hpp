@@ -1,0 +1,22 @@
+// A CTA-level implementation of the on-the-fly attention operator,
+// written against the gpusim execution engine so every global-memory
+// access and shared-memory byte is *measured* rather than claimed.
+//
+// This exists to audit the analytic accounting in otf_attention(): tests
+// compare the two kernels' traffic, shared-memory footprint and outputs.
+// (The analytic path remains the production one — it is orders of
+// magnitude faster on the host.)
+#pragma once
+
+#include "core/attention.hpp"
+
+namespace et::core {
+
+/// Same contract as otf_attention() for dense/pruned weights without
+/// pre-computation or condensed V; precision must be kFp32 (the measured
+/// kernel audits traffic, not rounding).
+[[nodiscard]] tensor::MatrixF otf_attention_measured(
+    gpusim::Device& dev, const tensor::MatrixF& x, const AttentionWeights& w,
+    const AttentionConfig& cfg);
+
+}  // namespace et::core

@@ -1,0 +1,89 @@
+#include "data/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace et::data {
+
+double accuracy(std::span<const std::int32_t> predictions,
+                std::span<const std::int32_t> labels) {
+  assert(predictions.size() == labels.size());
+  if (predictions.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    correct += (predictions[i] == labels[i]);
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predictions.size());
+}
+
+double f1_score(std::span<const std::int32_t> predictions,
+                std::span<const std::int32_t> labels, std::int32_t positive) {
+  assert(predictions.size() == labels.size());
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const bool pred_pos = predictions[i] == positive;
+    const bool label_pos = labels[i] == positive;
+    tp += (pred_pos && label_pos);
+    fp += (pred_pos && !label_pos);
+    fn += (!pred_pos && label_pos);
+  }
+  const double denom = 2.0 * static_cast<double>(tp) +
+                       static_cast<double>(fp) + static_cast<double>(fn);
+  return denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+}
+
+namespace {
+/// Ranks with ties averaged.
+std::vector<double> ranks(std::span<const float> v) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(v.size());
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() && v[idx[j + 1]] == v[idx[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+}  // namespace
+
+double spearman(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = ra[i] - ma;
+    const double db = rb[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double denom = std::sqrt(va * vb);
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+double perplexity(double total_nll, std::size_t token_count) {
+  if (token_count == 0) return 0.0;
+  return std::exp(total_nll / static_cast<double>(token_count));
+}
+
+}  // namespace et::data

@@ -1,0 +1,28 @@
+// Evaluation metrics following the GLUE conventions the paper reports
+// (§5.1): accuracy (MNLI, SST-2, QNLI, WNLI), F1 (QQP, MRPC), Spearman
+// correlation (STS-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace et::data {
+
+/// Fraction of matching predictions, in [0, 1].
+[[nodiscard]] double accuracy(std::span<const std::int32_t> predictions,
+                              std::span<const std::int32_t> labels);
+
+/// Binary F1 with `positive` as the positive class.
+[[nodiscard]] double f1_score(std::span<const std::int32_t> predictions,
+                              std::span<const std::int32_t> labels,
+                              std::int32_t positive = 1);
+
+/// Spearman rank correlation (average ranks for ties), in [-1, 1].
+[[nodiscard]] double spearman(std::span<const float> a,
+                              std::span<const float> b);
+
+/// Perplexity from a sum of per-token negative log-likelihoods:
+/// exp(total_nll / token_count). The customary WikiText-2 LM metric.
+[[nodiscard]] double perplexity(double total_nll, std::size_t token_count);
+
+}  // namespace et::data

@@ -1,0 +1,171 @@
+#include "data/synthetic_glue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+
+namespace et::data {
+
+const char* to_string(GlueTask task) {
+  switch (task) {
+    case GlueTask::kMNLI: return "MNLI";
+    case GlueTask::kQQP: return "QQP";
+    case GlueTask::kQNLI: return "QNLI";
+    case GlueTask::kSST2: return "SST-2";
+    case GlueTask::kSTSB: return "STS-B";
+    case GlueTask::kMRPC: return "MRPC";
+    case GlueTask::kWNLI: return "WNLI";
+  }
+  return "?";
+}
+
+GlueTaskSpec glue_task_spec(GlueTask task) {
+  GlueTaskSpec s;
+  s.task = task;
+  s.name = to_string(task);
+  switch (task) {
+    case GlueTask::kMNLI:
+      s.metric = GlueMetric::kAccuracy;
+      s.num_classes = 3;
+      s.train_size = 192;
+      s.test_size = 96;
+      s.signal_strength = 0.50;
+      s.label_noise = 0.15;
+      break;
+    case GlueTask::kQQP:
+      s.metric = GlueMetric::kF1;
+      s.num_classes = 2;
+      s.train_size = 192;
+      s.test_size = 96;
+      s.signal_strength = 0.55;
+      s.label_noise = 0.09;
+      break;
+    case GlueTask::kQNLI:
+      s.metric = GlueMetric::kAccuracy;
+      s.num_classes = 2;
+      s.train_size = 160;
+      s.test_size = 96;
+      s.signal_strength = 0.50;
+      s.label_noise = 0.09;
+      break;
+    case GlueTask::kSST2:
+      s.metric = GlueMetric::kAccuracy;
+      s.num_classes = 2;
+      s.train_size = 160;
+      s.test_size = 96;
+      s.signal_strength = 0.60;
+      s.label_noise = 0.07;
+      break;
+    case GlueTask::kSTSB:
+      s.metric = GlueMetric::kSpearman;
+      s.num_classes = 1;
+      s.train_size = 160;
+      s.test_size = 96;
+      s.signal_strength = 0.50;
+      s.label_noise = 0.45;
+      break;
+    case GlueTask::kMRPC:
+      s.metric = GlueMetric::kF1;
+      s.num_classes = 2;
+      s.train_size = 128;
+      s.test_size = 80;
+      s.signal_strength = 0.50;
+      s.label_noise = 0.11;
+      break;
+    case GlueTask::kWNLI:
+      s.metric = GlueMetric::kAccuracy;
+      s.num_classes = 2;
+      s.train_size = 96;
+      s.test_size = 96;
+      s.signal_strength = 0.0;      // nothing to learn
+      s.majority_fraction = 0.563;  // Table 1's universal 56.3
+      break;
+  }
+  return s;
+}
+
+GlueDataset::GlueDataset(GlueTask task, GlueDatasetConfig cfg)
+    : spec_(glue_task_spec(task)), cfg_(cfg) {
+  spec_.train_size = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(spec_.train_size) * cfg_.size_scale));
+  spec_.test_size = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(spec_.test_size) * cfg_.size_scale));
+
+  std::mt19937_64 rng(cfg_.seed + static_cast<std::uint64_t>(task) * 1000);
+  std::uniform_int_distribution<std::int32_t> any_token(
+      0, static_cast<std::int32_t>(cfg_.vocab_size) - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Each class owns a disjoint marker-token set at the top of the vocab.
+  const std::size_t markers_per_class = 8;
+  const auto marker = [&](std::size_t cls, std::size_t i) {
+    return static_cast<std::int32_t>(cfg_.vocab_size - 1 -
+                                     cls * markers_per_class - i);
+  };
+  std::uniform_int_distribution<std::size_t> which_marker(
+      0, markers_per_class - 1);
+
+  const auto gen = [&](std::vector<GlueExample>& out, std::size_t n) {
+    out.reserve(n);
+    // WNLI labels: exact majority proportion, shuffled so per-example SGD
+    // sees no ordering bias.
+    std::vector<std::int32_t> wnli_labels(n, 1);
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(spec_.majority_fraction *
+                                      static_cast<double>(n) + 0.5);
+         ++i) {
+      if (i < n) wnli_labels[i] = 0;
+    }
+    std::shuffle(wnli_labels.begin(), wnli_labels.end(), rng);
+    for (std::size_t e = 0; e < n; ++e) {
+      GlueExample ex;
+      ex.tokens.resize(cfg_.seq_len);
+      if (spec_.num_classes == 1) {
+        // Regression: target in [0, 5]; the marker fraction encodes it,
+        // and the *observed* target carries Gaussian noise so a perfect
+        // model cannot reach Spearman 1.
+        const float target = static_cast<float>(coin(rng) * 5.0);
+        const double frac = spec_.signal_strength *
+                            static_cast<double>(target) / 5.0;
+        for (auto& t : ex.tokens) {
+          t = coin(rng) < frac ? marker(0, which_marker(rng))
+                               : any_token(rng);
+        }
+        std::normal_distribution<float> tnoise(
+            0.0f, static_cast<float>(spec_.label_noise));
+        ex.target = std::clamp(target + tnoise(rng), 0.0f, 5.0f);
+      } else if (spec_.signal_strength <= 0.0) {
+        // WNLI analogue: the input carries no label information (every
+        // example is the same sentence pattern) and labels appear in
+        // exactly majority_fraction proportion, so the best any model —
+        // pruned at any ratio — can do is predict the majority class and
+        // score majority_fraction, reproducing Table 1's universal 56.3.
+        std::mt19937_64 pattern_rng(cfg_.seed * 131);
+        for (auto& t : ex.tokens) t = any_token(pattern_rng);
+        ex.label = wnli_labels[e];
+      } else {
+        std::uniform_int_distribution<std::int32_t> any_class(
+            0, static_cast<std::int32_t>(spec_.num_classes) - 1);
+        ex.label = any_class(rng);
+        for (auto& t : ex.tokens) {
+          t = coin(rng) < spec_.signal_strength
+                  ? marker(static_cast<std::size_t>(ex.label),
+                           which_marker(rng))
+                  : any_token(rng);
+        }
+        // Flip a fraction of labels to another class: the task's quality
+        // ceiling becomes ~(1 - label_noise).
+        if (coin(rng) < spec_.label_noise) {
+          ex.label = (ex.label + 1 + any_class(rng)) %
+                     static_cast<std::int32_t>(spec_.num_classes);
+        }
+      }
+      out.push_back(std::move(ex));
+    }
+  };
+  gen(train_, spec_.train_size);
+  gen(test_, spec_.test_size);
+}
+
+}  // namespace et::data

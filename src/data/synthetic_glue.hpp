@@ -1,0 +1,87 @@
+// Synthetic GLUE substitute (§5.1): seven sequence tasks whose *structure*
+// mirrors the real suite —
+//
+//   task     kind              metric     notes
+//   MNLI     3-way cls         accuracy   largest, moderate signal
+//   QQP      binary cls        F1         strong signal, easy
+//   QNLI     binary cls        accuracy   moderate
+//   SST-2    binary cls        accuracy   strong signal
+//   STS-B    regression [0,5]  Spearman   signal-fraction encodes target
+//   MRPC     binary cls        F1         small, moderate
+//   WNLI     binary cls        accuracy   NO learnable signal; labels are
+//                                         56.3% majority, so every model —
+//                                         pruned at any ratio — lands on
+//                                         56.3, exactly as in Table 1.
+//
+// Classification examples embed `signal_strength`-fraction class-specific
+// marker tokens in a noise stream; harder tasks use weaker signals, which
+// gives each task its own accuracy ceiling and its own sensitivity to
+// pruning — the structure Table 1 exercises.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace et::data {
+
+enum class GlueTask { kMNLI, kQQP, kQNLI, kSST2, kSTSB, kMRPC, kWNLI };
+
+inline constexpr GlueTask kAllGlueTasks[] = {
+    GlueTask::kMNLI, GlueTask::kQQP,  GlueTask::kQNLI, GlueTask::kSST2,
+    GlueTask::kSTSB, GlueTask::kMRPC, GlueTask::kWNLI};
+
+enum class GlueMetric { kAccuracy, kF1, kSpearman };
+
+struct GlueExample {
+  std::vector<std::int32_t> tokens;
+  std::int32_t label = 0;  ///< classification tasks
+  float target = 0.0f;     ///< regression tasks (STS-B)
+};
+
+struct GlueTaskSpec {
+  std::string name;
+  GlueTask task;
+  GlueMetric metric = GlueMetric::kAccuracy;
+  std::size_t num_classes = 2;  ///< 1 = regression
+  std::size_t train_size = 96;
+  std::size_t test_size = 48;
+  double signal_strength = 0.5;  ///< 0 = pure noise (WNLI)
+  double majority_fraction = 0.5;
+  /// Fraction of flipped labels (classification) or the std-dev of target
+  /// noise (regression). Sets each task's quality ceiling below 100, so
+  /// the Table 1 "retention" structure is meaningful.
+  double label_noise = 0.0;
+};
+
+[[nodiscard]] GlueTaskSpec glue_task_spec(GlueTask task);
+[[nodiscard]] const char* to_string(GlueTask task);
+
+struct GlueDatasetConfig {
+  std::size_t vocab_size = 256;
+  std::size_t seq_len = 32;
+  std::uint64_t seed = 11;
+  /// Scale train/test sizes by this factor (benches shrink for speed).
+  double size_scale = 1.0;
+};
+
+class GlueDataset {
+ public:
+  GlueDataset(GlueTask task, GlueDatasetConfig cfg);
+
+  [[nodiscard]] const GlueTaskSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<GlueExample>& train() const noexcept {
+    return train_;
+  }
+  [[nodiscard]] const std::vector<GlueExample>& test() const noexcept {
+    return test_;
+  }
+
+ private:
+  GlueTaskSpec spec_;
+  GlueDatasetConfig cfg_;
+  std::vector<GlueExample> train_;
+  std::vector<GlueExample> test_;
+};
+
+}  // namespace et::data

@@ -1,0 +1,54 @@
+#include "data/synthetic_text.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+namespace et::data {
+
+SyntheticCorpus::SyntheticCorpus(TextCorpusConfig cfg) : cfg_(cfg) {
+  std::mt19937_64 rng(cfg_.seed);
+
+  // Zipf token weights.
+  std::vector<double> weights(cfg_.vocab_size);
+  for (std::size_t i = 0; i < cfg_.vocab_size; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1),
+                                cfg_.zipf_exponent);
+  }
+  std::discrete_distribution<std::int32_t> zipf(weights.begin(),
+                                                weights.end());
+
+  // Random successor table: token t is followed by successor_[t] with
+  // probability `determinism`.
+  successor_.resize(cfg_.vocab_size);
+  std::iota(successor_.begin(), successor_.end(), 0);
+  std::shuffle(successor_.begin(), successor_.end(), rng);
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const auto gen_sequence = [&]() {
+    LMExample ex;
+    ex.tokens.resize(cfg_.seq_len);
+    ex.targets.resize(cfg_.seq_len);
+    std::int32_t tok = zipf(rng);
+    for (std::size_t i = 0; i < cfg_.seq_len; ++i) {
+      ex.tokens[i] = tok;
+      const std::int32_t next =
+          coin(rng) < cfg_.determinism ? successor_[tok] : zipf(rng);
+      ex.targets[i] = next;
+      tok = next;
+    }
+    return ex;
+  };
+
+  train_.reserve(cfg_.num_train_sequences);
+  for (std::size_t i = 0; i < cfg_.num_train_sequences; ++i) {
+    train_.push_back(gen_sequence());
+  }
+  valid_.reserve(cfg_.num_valid_sequences);
+  for (std::size_t i = 0; i < cfg_.num_valid_sequences; ++i) {
+    valid_.push_back(gen_sequence());
+  }
+}
+
+}  // namespace et::data

@@ -1,0 +1,46 @@
+#include "gpusim/cta_engine.hpp"
+
+#include <algorithm>
+
+namespace et::gpusim {
+
+float* SharedArena::alloc_raw(std::size_t bytes) {
+  if (used_ + bytes > capacity_) {
+    throw SharedMemOverflow(kernel_, used_ + bytes, capacity_);
+  }
+  used_ += bytes;
+  high_water_ = std::max(high_water_, used_);
+  blocks_.emplace_back((bytes + sizeof(float) - 1) / sizeof(float));
+  return blocks_.back().data();
+}
+
+KernelStats run_cta_kernel(Device& dev, const CtaLaunchConfig& cfg,
+                           const std::function<void(CtaContext&)>& body) {
+  std::uint64_t load_bytes = 0, store_bytes = 0, fp_ops = 0, tensor_ops = 0;
+  std::size_t shared_high_water = 0;
+
+  for (std::size_t cta = 0; cta < cfg.num_ctas; ++cta) {
+    CtaContext ctx(cta, cfg.name, dev.spec().shared_mem_per_cta_bytes,
+                   cfg.element_bytes);
+    body(ctx);
+    load_bytes += ctx.load_bytes();
+    store_bytes += ctx.store_bytes();
+    fp_ops += ctx.fp_ops();
+    tensor_ops += ctx.tensor_ops();
+    shared_high_water =
+        std::max(shared_high_water, ctx.shared().high_water_bytes());
+  }
+
+  auto launch = dev.launch({.name = cfg.name,
+                            .ctas = cfg.num_ctas,
+                            .shared_bytes_per_cta = shared_high_water,
+                            .pattern = cfg.pattern});
+  launch.load_bytes(load_bytes);
+  launch.store_bytes(store_bytes);
+  launch.fp_ops(fp_ops);
+  launch.tensor_ops(tensor_ops);
+  launch.finish();
+  return dev.history().back();
+}
+
+}  // namespace et::gpusim

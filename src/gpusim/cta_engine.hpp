@@ -1,0 +1,124 @@
+// CTA-level execution engine: the *measured* counterpart of the analytic
+// traffic accounting in src/kernels.
+//
+// A kernel is a functor executed once per CTA. Inside it, global memory is
+// touched only through the counted accessors of CtaContext, and on-chip
+// buffers come from a SharedArena whose capacity is enforced exactly like
+// the device budget. When the grid finishes, the engine aggregates the
+// per-CTA counters into a KernelStats record and pushes it through the
+// same latency model as every analytic kernel.
+//
+// The point is auditability: for any kernel whose traffic we claim
+// analytically (e.g. the on-the-fly attention operator and its Fig. 11
+// load/store story), a CTA-level implementation can be written against
+// this engine and the two accountings compared in a test.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "tensor/matrix.hpp"
+
+namespace et::gpusim {
+
+/// Per-CTA scratchpad. Allocations are bump-pointer (freed wholesale when
+/// the CTA retires); exceeding the device capacity throws
+/// SharedMemOverflow, as a real launch would fail.
+class SharedArena {
+ public:
+  SharedArena(std::string kernel_name, std::size_t capacity_bytes)
+      : kernel_(std::move(kernel_name)), capacity_(capacity_bytes) {}
+
+  /// Allocate n floats of shared memory.
+  std::span<float> alloc_floats(std::size_t n) {
+    return {alloc_raw(n * sizeof(float)), n};
+  }
+
+  [[nodiscard]] std::size_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::size_t high_water_bytes() const noexcept {
+    return high_water_;
+  }
+
+ private:
+  float* alloc_raw(std::size_t bytes);
+
+  std::string kernel_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::vector<std::vector<float>> blocks_;
+};
+
+/// Handle a CTA body uses to touch memory and record work. Loads/stores
+/// count `element_bytes` per access (set it to the storage width of the
+/// precision policy in use, 2 for FP16).
+class CtaContext {
+ public:
+  CtaContext(std::size_t cta_id, std::string kernel_name,
+             std::size_t shared_capacity, std::size_t element_bytes)
+      : cta_id_(cta_id),
+        element_bytes_(element_bytes),
+        arena_(std::move(kernel_name), shared_capacity) {}
+
+  [[nodiscard]] std::size_t cta_id() const noexcept { return cta_id_; }
+  [[nodiscard]] SharedArena& shared() noexcept { return arena_; }
+
+  /// Counted global-memory read.
+  [[nodiscard]] float load(const tensor::MatrixF& m, std::size_t r,
+                           std::size_t c) {
+    load_bytes_ += element_bytes_;
+    return m(r, c);
+  }
+  /// Counted global-memory write.
+  void store(tensor::MatrixF& m, std::size_t r, std::size_t c, float v) {
+    store_bytes_ += element_bytes_;
+    m(r, c) = v;
+  }
+  /// Atomic-add style write (counts a read-modify-write).
+  void atomic_add(tensor::MatrixF& m, std::size_t r, std::size_t c,
+                  float v) {
+    load_bytes_ += element_bytes_;
+    store_bytes_ += element_bytes_;
+    m(r, c) += v;
+  }
+
+  void count_fp_ops(std::uint64_t n) noexcept { fp_ops_ += n; }
+  void count_tensor_ops(std::uint64_t n) noexcept { tensor_ops_ += n; }
+
+  [[nodiscard]] std::uint64_t load_bytes() const noexcept {
+    return load_bytes_;
+  }
+  [[nodiscard]] std::uint64_t store_bytes() const noexcept {
+    return store_bytes_;
+  }
+  [[nodiscard]] std::uint64_t fp_ops() const noexcept { return fp_ops_; }
+  [[nodiscard]] std::uint64_t tensor_ops() const noexcept {
+    return tensor_ops_;
+  }
+
+ private:
+  std::size_t cta_id_;
+  std::size_t element_bytes_;
+  SharedArena arena_;
+  std::uint64_t load_bytes_ = 0;
+  std::uint64_t store_bytes_ = 0;
+  std::uint64_t fp_ops_ = 0;
+  std::uint64_t tensor_ops_ = 0;
+};
+
+struct CtaLaunchConfig {
+  std::string name;
+  std::size_t num_ctas = 1;
+  std::size_t element_bytes = 4;  ///< storage width counted per access
+  AccessPattern pattern = AccessPattern::kTiled;
+};
+
+/// Execute `body` once per CTA and record the aggregated launch on `dev`.
+/// The recorded shared-memory footprint is the high-water mark across
+/// CTAs; traffic and FLOPs are summed. Returns the recorded stats.
+KernelStats run_cta_kernel(Device& dev, const CtaLaunchConfig& cfg,
+                           const std::function<void(CtaContext&)>& body);
+
+}  // namespace et::gpusim

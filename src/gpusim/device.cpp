@@ -1,0 +1,76 @@
+#include "gpusim/device.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "gpusim/latency_model.hpp"
+
+namespace et::gpusim {
+
+Launch::Launch(Device& dev, LaunchConfig cfg) : dev_(&dev) {
+  stats_.name = std::move(cfg.name);
+  stats_.ctas = cfg.ctas;
+  stats_.shared_bytes_per_cta = cfg.shared_bytes_per_cta;
+  stats_.pattern = cfg.pattern;
+}
+
+Launch::Launch(Launch&& other) noexcept
+    : dev_(other.dev_), stats_(std::move(other.stats_)),
+      finished_(other.finished_) {
+  other.finished_ = true;  // moved-from handle must not double-record
+}
+
+void Launch::finish() {
+  if (finished_) return;
+  finished_ = true;
+  dev_->record(std::move(stats_));
+}
+
+Launch::~Launch() { finish(); }
+
+Launch Device::launch(LaunchConfig cfg) {
+  if (cfg.shared_bytes_per_cta > spec_.shared_mem_per_cta_bytes) {
+    throw SharedMemOverflow(cfg.name, cfg.shared_bytes_per_cta,
+                            spec_.shared_mem_per_cta_bytes);
+  }
+  return Launch(*this, std::move(cfg));
+}
+
+void Device::record(KernelStats stats) {
+  apply_latency_model(stats, spec_);
+  log_.push_back(std::move(stats));
+}
+
+double Device::total_time_us() const noexcept {
+  double t = 0.0;
+  for (const auto& k : log_) t += k.time_us;
+  return t;
+}
+
+std::uint64_t Device::total_load_bytes() const noexcept {
+  std::uint64_t b = 0;
+  for (const auto& k : log_) b += k.global_load_bytes;
+  return b;
+}
+
+std::uint64_t Device::total_store_bytes() const noexcept {
+  std::uint64_t b = 0;
+  for (const auto& k : log_) b += k.global_store_bytes;
+  return b;
+}
+
+std::uint64_t Device::total_ops() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& k : log_) n += k.total_ops();
+  return n;
+}
+
+double Device::time_us_matching(const std::string& substr) const {
+  double t = 0.0;
+  for (const auto& k : log_) {
+    if (k.name.find(substr) != std::string::npos) t += k.time_us;
+  }
+  return t;
+}
+
+}  // namespace et::gpusim

@@ -1,0 +1,123 @@
+// The simulated device: a log of kernel launches with enforced
+// shared-memory budgets and a latency model applied to each launch.
+//
+// Kernels in src/kernels execute their real math on the CPU while calling
+// into a Launch handle to record the global-memory traffic, FLOP counts
+// and shared-memory footprint the equivalent CUDA kernel would incur.
+// This gives us (a) checkable numerics and (b) nvprof-comparable counters
+// to reproduce Figures 11 and 12 and the latency studies.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+
+namespace et::gpusim {
+
+/// Thrown when a kernel requests more shared memory per CTA than the
+/// device offers — the §3.2 capacity limit (Eq. 6) made tangible.
+class SharedMemOverflow : public std::runtime_error {
+ public:
+  SharedMemOverflow(const std::string& kernel, std::size_t requested,
+                    std::size_t capacity)
+      : std::runtime_error("kernel '" + kernel + "' requests " +
+                           std::to_string(requested) +
+                           " B of shared memory per CTA; device offers " +
+                           std::to_string(capacity) + " B") {}
+};
+
+struct LaunchConfig {
+  std::string name;
+  std::size_t ctas = 1;
+  std::size_t shared_bytes_per_cta = 0;
+  AccessPattern pattern = AccessPattern::kStreaming;
+};
+
+class Device;
+
+/// RAII handle for one simulated kernel launch. Counters accumulate while
+/// the handle lives; `finish()` (or destruction) runs the latency model
+/// and appends the record to the device log.
+class Launch {
+ public:
+  Launch(Launch&& other) noexcept;
+  Launch(const Launch&) = delete;
+  Launch& operator=(const Launch&) = delete;
+  Launch& operator=(Launch&&) = delete;
+  ~Launch();
+
+  void load_bytes(std::uint64_t b) noexcept { stats_.global_load_bytes += b; }
+  void store_bytes(std::uint64_t b) noexcept {
+    stats_.global_store_bytes += b;
+  }
+  void fp_ops(std::uint64_t n) noexcept { stats_.fp_ops += n; }
+  void tensor_ops(std::uint64_t n) noexcept { stats_.tensor_ops += n; }
+
+  /// Record the launch; idempotent.
+  void finish();
+
+ private:
+  friend class Device;
+  Launch(Device& dev, LaunchConfig cfg);
+
+  Device* dev_;
+  KernelStats stats_;
+  bool finished_ = false;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = v100s()) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Begin a kernel launch. Throws SharedMemOverflow if the requested
+  /// per-CTA shared memory exceeds the device capacity.
+  [[nodiscard]] Launch launch(LaunchConfig cfg);
+
+  /// Would a kernel with this per-CTA footprint fit? Used by the
+  /// sequence-length-aware dispatch (§3.2) before committing to the
+  /// fully-fused on-the-fly operator.
+  [[nodiscard]] bool fits_shared(std::size_t bytes_per_cta) const noexcept {
+    return bytes_per_cta <= spec_.shared_mem_per_cta_bytes;
+  }
+
+  [[nodiscard]] const std::vector<KernelStats>& history() const noexcept {
+    return log_;
+  }
+  [[nodiscard]] std::size_t launch_count() const noexcept {
+    return log_.size();
+  }
+
+  [[nodiscard]] double total_time_us() const noexcept;
+  [[nodiscard]] std::uint64_t total_load_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t total_store_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t total_ops() const noexcept;
+
+  /// Time spent in kernels whose name contains `substr`.
+  [[nodiscard]] double time_us_matching(const std::string& substr) const;
+
+  void reset() noexcept { log_.clear(); }
+
+  /// When set, kernels record traffic/FLOP counters and modeled latency
+  /// but skip the actual CPU arithmetic. Used by latency sweeps at the
+  /// paper's full model sizes (e.g. BERT_BASE d=768, L=12), where the
+  /// modeled time is the output and the numerics are already covered by
+  /// the test suite at smaller sizes.
+  void set_traffic_only(bool v) noexcept { traffic_only_ = v; }
+  [[nodiscard]] bool traffic_only() const noexcept { return traffic_only_; }
+
+ private:
+  friend class Launch;
+  void record(KernelStats stats);
+
+  DeviceSpec spec_;
+  std::vector<KernelStats> log_;
+  bool traffic_only_ = false;
+};
+
+}  // namespace et::gpusim

@@ -1,0 +1,86 @@
+// Parameters of the simulated GPU.
+//
+// The paper's testbed is an NVIDIA V100S; the defaults below are that
+// card's public specification (§2.2 and [34] of the paper) plus a handful
+// of latency-model constants calibrated so that the TensorRT-like encoder
+// at BERT_BASE / seqLen=128 lands near the ~160 µs the paper quotes in §1.
+// Every constant is a plain struct field so tests and ablations can build
+// hypothetical devices (more shared memory, slower HBM, ...).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace et::gpusim {
+
+/// How a kernel touches global memory; selects the achievable fraction of
+/// peak bandwidth (perfectly coalesced streaming loads reach a much larger
+/// fraction of peak than gather/scatter traffic).
+enum class AccessPattern {
+  kStreaming,  ///< unit-stride, fully coalesced (elementwise ops)
+  kTiled,      ///< 16×16 tile loads of a tiled GEMM
+  kStrided,    ///< column-strided access (transposes, gathers over rows)
+  kRandom,     ///< data-dependent gather/scatter (irregular sparse formats)
+};
+
+struct DeviceSpec {
+  std::string name = "V100S (simulated)";
+
+  // --- architecture ---
+  int sm_count = 80;
+  /// Opt-in maximum shared memory usable by one CTA (96 KB on Volta).
+  std::size_t shared_mem_per_cta_bytes = 96 * 1024;
+  double core_clock_ghz = 1.245;
+  /// nvprof counts global memory transactions in 32-byte sectors.
+  std::size_t transaction_bytes = 32;
+
+  // --- peaks ---
+  double hbm_bw_gbps = 1134.0;        ///< GB/s
+  double fp16_tensor_tflops = 130.0;  ///< tensor-core peak
+  double fp32_tflops = 16.4;          ///< general-core peak
+  double fp16_tflops = 32.8;          ///< general-core FP16 (2× FP32 rate)
+
+  // --- latency-model calibration ---
+  /// Fixed cost of a kernel launch + the implicit global synchronization
+  /// between dependent kernels (the paper's issue (ii) in §1: on/off-chip
+  /// movement at every kernel boundary sits on the critical path).
+  double kernel_launch_us = 1.5;
+  /// Achieved-bandwidth ramp: small transfers cannot fill the memory
+  /// pipeline, so achieved BW = peak * pattern_eff * B/(B + bw_ramp_bytes).
+  /// This is what makes the many tiny kernels of the modular pipeline
+  /// reach only ~8.6% of peak (Fig. 12) while one large fused kernel
+  /// approaches ~27.5%.
+  double bw_ramp_bytes = 2.0 * 1024 * 1024;
+  /// Sustained fraction of compute peak for well-formed kernels.
+  double tensor_compute_eff = 0.55;
+  double general_compute_eff = 0.45;
+
+  [[nodiscard]] double pattern_efficiency(AccessPattern p) const {
+    switch (p) {
+      case AccessPattern::kStreaming: return 0.85;
+      case AccessPattern::kTiled: return 0.65;
+      case AccessPattern::kStrided: return 0.30;
+      case AccessPattern::kRandom: return 0.10;
+    }
+    return 0.5;
+  }
+};
+
+/// The card the paper evaluates on.
+[[nodiscard]] inline DeviceSpec v100s() { return DeviceSpec{}; }
+
+/// An A100-like device for the §7 "other hardware" discussion benches.
+[[nodiscard]] inline DeviceSpec a100() {
+  DeviceSpec s;
+  s.name = "A100 (simulated)";
+  s.sm_count = 108;
+  s.shared_mem_per_cta_bytes = 164 * 1024;
+  s.hbm_bw_gbps = 1555.0;
+  s.fp16_tensor_tflops = 312.0;
+  s.fp32_tflops = 19.5;
+  s.fp16_tflops = 39.0;
+  s.core_clock_ghz = 1.41;
+  return s;
+}
+
+}  // namespace et::gpusim

@@ -1,0 +1,75 @@
+#include "gpusim/profiler.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace et::gpusim {
+
+DeviceReport profile(const Device& dev) {
+  DeviceReport rep;
+  const std::size_t txn = dev.spec().transaction_bytes;
+
+  double weighted_sm = 0.0;
+  double weighted_ipc = 0.0;
+  double weighted_bw = 0.0;
+  std::uint64_t total_bytes = 0;
+
+  for (const auto& k : dev.history()) {
+    KernelReport kr;
+    kr.name = k.name;
+    kr.time_us = k.time_us;
+    kr.gld_transactions = k.gld_transactions(txn);
+    kr.gst_transactions = k.gst_transactions(txn);
+    kr.achieved_gbps = k.achieved_gbps();
+    kr.arithmetic_intensity = k.arithmetic_intensity();
+    kr.memory_bound = kr.arithmetic_intensity < kMemoryBoundAiThreshold;
+    kr.sm_efficiency = k.sm_efficiency;
+    kr.ipc = k.ipc;
+
+    rep.total_time_us += kr.time_us;
+    rep.gld_transactions += kr.gld_transactions;
+    rep.gst_transactions += kr.gst_transactions;
+    weighted_sm += kr.sm_efficiency * kr.time_us;
+    weighted_ipc += kr.ipc * kr.time_us;
+    weighted_bw +=
+        kr.achieved_gbps * static_cast<double>(k.total_bytes());
+    total_bytes += k.total_bytes();
+
+    rep.kernels.push_back(std::move(kr));
+  }
+
+  if (rep.total_time_us > 0.0) {
+    rep.avg_sm_efficiency = weighted_sm / rep.total_time_us;
+    rep.avg_ipc = weighted_ipc / rep.total_time_us;
+  }
+  if (total_bytes > 0) {
+    rep.avg_achieved_gbps = weighted_bw / static_cast<double>(total_bytes);
+  }
+  return rep;
+}
+
+void print_report(std::ostream& os, const DeviceReport& report) {
+  os << std::left << std::setw(38) << "kernel" << std::right << std::setw(10)
+     << "time_us" << std::setw(12) << "gld_txn" << std::setw(12) << "gst_txn"
+     << std::setw(10) << "GB/s" << std::setw(8) << "AI" << std::setw(7)
+     << "bound" << std::setw(8) << "sm_eff" << std::setw(7) << "ipc" << '\n';
+  for (const auto& k : report.kernels) {
+    os << std::left << std::setw(38) << k.name << std::right << std::fixed
+       << std::setprecision(2) << std::setw(10) << k.time_us << std::setw(12)
+       << k.gld_transactions << std::setw(12) << k.gst_transactions
+       << std::setw(10) << std::setprecision(1) << k.achieved_gbps
+       << std::setw(8) << k.arithmetic_intensity << std::setw(7)
+       << (k.memory_bound ? "mem" : "comp") << std::setw(8)
+       << std::setprecision(2) << k.sm_efficiency << std::setw(7) << k.ipc
+       << '\n';
+  }
+  os << std::left << std::setw(38) << "TOTAL" << std::right << std::fixed
+     << std::setprecision(2) << std::setw(10) << report.total_time_us
+     << std::setw(12) << report.gld_transactions << std::setw(12)
+     << report.gst_transactions << std::setw(10) << std::setprecision(1)
+     << report.avg_achieved_gbps << std::setw(8) << "" << std::setw(7) << ""
+     << std::setw(8) << std::setprecision(2) << report.avg_sm_efficiency
+     << std::setw(7) << report.avg_ipc << '\n';
+}
+
+}  // namespace et::gpusim

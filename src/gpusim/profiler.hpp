@@ -1,0 +1,54 @@
+// nvprof-style aggregation over a Device's launch history.
+//
+// Reproduces the metrics the paper reports in §5.2.5–5.2.6:
+//   gld_transactions / gst_transactions  (Fig. 11a/b)
+//   sm_efficiency                        (Fig. 11c)
+//   IPC                                  (Fig. 11d)
+//   achieved memory throughput per step  (Fig. 12)
+// plus the arithmetic-intensity classification ("memory bound when AI<138"
+// on V100S, citing [36]).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace et::gpusim {
+
+struct KernelReport {
+  std::string name;
+  double time_us = 0.0;
+  std::uint64_t gld_transactions = 0;
+  std::uint64_t gst_transactions = 0;
+  double achieved_gbps = 0.0;
+  double arithmetic_intensity = 0.0;
+  bool memory_bound = false;
+  double sm_efficiency = 0.0;
+  double ipc = 0.0;
+};
+
+struct DeviceReport {
+  std::vector<KernelReport> kernels;
+  double total_time_us = 0.0;
+  std::uint64_t gld_transactions = 0;
+  std::uint64_t gst_transactions = 0;
+  /// Time-weighted averages over all kernels.
+  double avg_sm_efficiency = 0.0;
+  double avg_ipc = 0.0;
+  /// Bytes-weighted mean achieved throughput.
+  double avg_achieved_gbps = 0.0;
+};
+
+/// Arithmetic-intensity threshold below which an op is memory-bound on the
+/// simulated V100S (FLOP:byte balance point, per the paper's §5.2.6).
+inline constexpr double kMemoryBoundAiThreshold = 138.0;
+
+[[nodiscard]] DeviceReport profile(const Device& dev);
+
+/// Pretty-print the per-kernel table (aligned columns).
+void print_report(std::ostream& os, const DeviceReport& report);
+
+}  // namespace et::gpusim

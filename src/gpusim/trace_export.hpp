@@ -1,0 +1,24 @@
+// Chrome-trace (chrome://tracing / Perfetto) export of a Device's launch
+// history: each kernel becomes a complete event on a per-stream track,
+// with the counters attached as arguments. Drop the JSON into Perfetto to
+// see the modeled timeline the way one would a real nvprof capture.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace et::gpusim {
+
+/// Write the launch history as a Chrome trace-event JSON array. Kernels
+/// are laid out back to back on one "stream 0" track starting at t=0
+/// (the simulator is sequential, like a single CUDA stream).
+void write_chrome_trace(std::ostream& os, const Device& dev,
+                        const std::string& process_name = "et-gpusim");
+
+/// File-path convenience wrapper; throws std::runtime_error on failure.
+void write_chrome_trace(const std::string& path, const Device& dev,
+                        const std::string& process_name = "et-gpusim");
+
+}  // namespace et::gpusim

@@ -1,0 +1,179 @@
+#include "kernels/gemm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "gpusim/latency_model.hpp"
+
+namespace et::kernels {
+
+namespace {
+
+using numeric::Precision;
+
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Build the traffic/FLOP record a blocked GEMM kernel incurs without
+/// running it. Shared by the launch path and the autotuner.
+gpusim::KernelStats gemm_counters(std::string name, std::size_t m,
+                                  std::size_t n, std::size_t k, Precision p,
+                                  const GemmAlgo& algo) {
+  const std::size_t sb = numeric::storage_bytes(p);
+  const std::size_t blocks_m = ceil_div(m, algo.block_m);
+  const std::size_t blocks_n = ceil_div(n, algo.block_n);
+
+  gpusim::KernelStats st;
+  st.name = std::move(name);
+  st.ctas = blocks_m * blocks_n * algo.split_k;
+  st.pattern = gpusim::AccessPattern::kTiled;
+  // Each CTA stages one block_m×16 A-tile strip and one block_n×16 B-tile
+  // strip, double-buffered, plus nothing for C (accumulated in registers).
+  st.shared_bytes_per_cta = 2 * (algo.block_m + algo.block_n) * 16 * sb;
+  // Every block column of C re-reads the whole A panel; every block row of
+  // C re-reads the whole B panel. This is the classic blocked-GEMM traffic
+  // m*k*(n/block_n) + n*k*(m/block_m). Split-K writes (and re-reads) one
+  // partial C per split before the reduction.
+  st.global_load_bytes =
+      static_cast<std::uint64_t>(blocks_n) * m * k * sb +
+      static_cast<std::uint64_t>(blocks_m) * n * k * sb +
+      (algo.split_k > 1
+           ? static_cast<std::uint64_t>(algo.split_k) * m * n * sb
+           : 0);
+  st.global_store_bytes =
+      static_cast<std::uint64_t>(algo.split_k) * m * n * sb;
+  const std::uint64_t flops = 2ull * m * n * k;
+  if (p == Precision::kFp32) {
+    st.fp_ops = flops;
+  } else {
+    st.tensor_ops = flops;
+  }
+  return st;
+}
+
+/// Run the actual math: C(i,j) = Σ_k a(i,k)·b_row(j)(k), with rounding per
+/// the precision policy applied at each accumulate step (tile-granularity
+/// rounding is what real tensor cores do; per-step rounding is the
+/// conservative software equivalent and reproduces the Fig. 4 overflow).
+template <bool Transposed>
+void gemm_math(const tensor::MatrixF& a, const tensor::MatrixF& b,
+               tensor::MatrixF& c, Precision p) {
+  const std::size_t m = a.rows();
+  const std::size_t n = Transposed ? b.rows() : b.cols();
+  const std::size_t kk = a.cols();
+
+  if (p == Precision::kFp32) {
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < kk; ++k) {
+          acc += a(i, k) * (Transposed ? b(j, k) : b(k, j));
+        }
+        c(i, j) = acc;
+      }
+    }
+    return;
+  }
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < kk; ++k) {
+        acc = numeric::fma_step(p, a(i, k), Transposed ? b(j, k) : b(k, j),
+                                acc);
+      }
+      c(i, j) = numeric::round_to_storage(p, acc);
+    }
+  }
+}
+
+template <bool Transposed>
+tensor::MatrixF gemm_impl(gpusim::Device& dev, const tensor::MatrixF& a,
+                          const tensor::MatrixF& b, Precision p,
+                          const GemmAlgo* algo, std::string_view name) {
+  const std::size_t m = a.rows();
+  const std::size_t n = Transposed ? b.rows() : b.cols();
+  const std::size_t kk = a.cols();
+  assert(Transposed ? b.cols() == kk : b.rows() == kk);
+
+  if (algo == nullptr) algo = &autotune_gemm(dev.spec(), m, n, kk, p);
+
+  auto st = gemm_counters(std::string(name) + "[" + algo->name + "]", m, n,
+                          kk, p, *algo);
+  auto launch = dev.launch({.name = st.name,
+                            .ctas = st.ctas,
+                            .shared_bytes_per_cta = st.shared_bytes_per_cta,
+                            .pattern = st.pattern});
+  launch.load_bytes(st.global_load_bytes);
+  launch.store_bytes(st.global_store_bytes);
+  launch.fp_ops(st.fp_ops);
+  launch.tensor_ops(st.tensor_ops);
+
+  tensor::MatrixF c(m, n);
+  if (!dev.traffic_only()) gemm_math<Transposed>(a, b, c, p);
+  return c;
+}
+
+}  // namespace
+
+const std::vector<GemmAlgo>& gemm_algos() {
+  static const std::vector<GemmAlgo> algos = {
+      {"algo0_64x64", 64, 64, 1},      {"algo1_64x128", 64, 128, 1},
+      {"algo2_128x64", 128, 64, 1},    {"algo3_128x128", 128, 128, 1},
+      {"algo4_128x256", 128, 256, 1},  {"algo5_256x128", 256, 128, 1},
+      {"algo6_128x128_sk4", 128, 128, 4},
+      {"algo7_64x64_sk8", 64, 64, 8},
+      {"algo8_64x128_sk4", 64, 128, 4},
+      // Small-tile fallbacks for scratchpad-constrained devices (§7's
+      // "adjusting the hyper-parameters" for other accelerators).
+      {"algo9_32x32", 32, 32, 1},
+      {"algo10_16x16", 16, 16, 1},
+  };
+  return algos;
+}
+
+const GemmAlgo& gemm_algo5() { return gemm_algos()[5]; }
+
+const GemmAlgo& autotune_gemm(const gpusim::DeviceSpec& spec, std::size_t m,
+                              std::size_t n, std::size_t k,
+                              numeric::Precision p) {
+  const GemmAlgo* best = nullptr;
+  double best_us = 0.0;
+  for (const auto& algo : gemm_algos()) {
+    if (2 * (algo.block_m + algo.block_n) * 16 * numeric::storage_bytes(p) >
+        spec.shared_mem_per_cta_bytes) {
+      continue;
+    }
+    const auto st = gemm_counters("autotune", m, n, k, p, algo);
+    const double us = gpusim::estimate_latency(st, spec).total_us;
+    if (best == nullptr || us < best_us) {
+      best = &algo;
+      best_us = us;
+    }
+  }
+  if (best == nullptr) {
+    throw std::runtime_error(
+        "autotune_gemm: no GEMM algorithm fits in " +
+        std::to_string(spec.shared_mem_per_cta_bytes) +
+        " B of shared memory");
+  }
+  return *best;
+}
+
+tensor::MatrixF gemm_nt(gpusim::Device& dev, const tensor::MatrixF& a,
+                        const tensor::MatrixF& b, numeric::Precision p,
+                        const GemmAlgo* algo, std::string_view name) {
+  return gemm_impl<true>(dev, a, b, p, algo, name);
+}
+
+tensor::MatrixF gemm_nn(gpusim::Device& dev, const tensor::MatrixF& a,
+                        const tensor::MatrixF& b, numeric::Precision p,
+                        const GemmAlgo* algo, std::string_view name) {
+  return gemm_impl<false>(dev, a, b, p, algo, name);
+}
+
+}  // namespace et::kernels

@@ -1,0 +1,62 @@
+// Dense tiled GEMM on the simulated tensor cores.
+//
+// The multiplication is decomposed into 16×16×16 tile FMAs (§2.2, Fig. 2a)
+// grouped into CTA blocks of block_m × block_n output elements. The block
+// shape is the "algorithm" — E.T. auto-searches cuBLAS algorithms and
+// settles on CUBLAS_GEMM_ALGO5_TENSOR_OP on the paper's server (§5.2.1);
+// here the same search runs over the block-shape variants below and the
+// analytic latency model picks the winner.
+//
+// Math executes on the CPU with the requested accumulator-precision policy
+// so numerical claims (overflow, rounding) are real; traffic/FLOP counters
+// and the modeled latency describe the equivalent GPU kernel.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "numeric/precision.hpp"
+#include "tensor/matrix.hpp"
+
+namespace et::kernels {
+
+struct GemmAlgo {
+  std::string name;
+  std::size_t block_m = 128;
+  std::size_t block_n = 128;
+  /// Split-K factor: the k dimension is partitioned across split_k CTA
+  /// groups whose partial results are reduced through global memory —
+  /// how cuBLAS keeps small-m/n problems from starving the SMs.
+  std::size_t split_k = 1;
+};
+
+/// The algorithm menu the autotuner searches (analogous to
+/// cublasGemmAlgo_t's tensor-op entries).
+[[nodiscard]] const std::vector<GemmAlgo>& gemm_algos();
+
+/// ALGO5 analogue — 256×128 blocks, the paper's reported winner.
+[[nodiscard]] const GemmAlgo& gemm_algo5();
+
+/// Pick the algorithm with the lowest modeled latency for an m×n×k
+/// problem under `p` on `spec` (no kernel is launched).
+[[nodiscard]] const GemmAlgo& autotune_gemm(const gpusim::DeviceSpec& spec,
+                                            std::size_t m, std::size_t n,
+                                            std::size_t k,
+                                            numeric::Precision p);
+
+/// C = A (m×k) · Bᵀ (B is n×k) — the X·Wᵀ orientation of every linear
+/// transformation in the paper.
+[[nodiscard]] tensor::MatrixF gemm_nt(
+    gpusim::Device& dev, const tensor::MatrixF& a, const tensor::MatrixF& b,
+    numeric::Precision p = numeric::Precision::kFp32,
+    const GemmAlgo* algo = nullptr, std::string_view name = "gemm_nt");
+
+/// C = A (m×k) · B (k×n).
+[[nodiscard]] tensor::MatrixF gemm_nn(
+    gpusim::Device& dev, const tensor::MatrixF& a, const tensor::MatrixF& b,
+    numeric::Precision p = numeric::Precision::kFp32,
+    const GemmAlgo* algo = nullptr, std::string_view name = "gemm_nn");
+
+}  // namespace et::kernels

@@ -1,0 +1,65 @@
+#include "kernels/linear.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "kernels/elementwise.hpp"
+
+namespace et::kernels {
+
+tensor::MatrixF LinearResult::full_width(std::size_t out_cols) const {
+  if (!condensed) return y;
+  tensor::MatrixF full(y.rows(), out_cols);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t i = 0; i < nonzero_cols.size(); ++i) {
+      full(r, nonzero_cols[i]) = y(r, i);
+    }
+  }
+  return full;
+}
+
+LinearResult linear(gpusim::Device& dev, const tensor::MatrixF& x,
+                    const sparse::AnyWeight& w, const LinearOptions& opt,
+                    std::string_view name) {
+  const std::string base(name);
+  LinearResult out;
+
+  if (const auto* dense = std::get_if<sparse::DenseWeight>(&w)) {
+    out.y = gemm_nt(dev, x, dense->matrix(), opt.precision, opt.algo,
+                    base + ".dense");
+    return out;
+  }
+
+  if (const auto* row = std::get_if<sparse::RowPrunedWeight>(&w)) {
+    tensor::MatrixF cond = gemm_nt(dev, x, row->condensed(), opt.precision,
+                                   opt.algo, base + ".row_gemm");
+    if (opt.scatter_row_pruned_output) {
+      out.y = scatter_cols(dev, cond, row->kept_rows(), row->original_rows(),
+                           opt.precision, base + ".scatter");
+    } else {
+      out.y = std::move(cond);
+      out.condensed = true;
+      out.nonzero_cols = row->kept_rows();
+    }
+    return out;
+  }
+
+  if (const auto* col = std::get_if<sparse::ColPrunedWeight>(&w)) {
+    tensor::MatrixF adjusted = gather_cols(dev, x, col->kept_cols(),
+                                           opt.precision, base + ".gather");
+    out.y = gemm_nt(dev, adjusted, col->condensed(), opt.precision, opt.algo,
+                    base + ".col_gemm");
+    return out;
+  }
+
+  if (const auto* tile = std::get_if<sparse::TilePrunedWeight>(&w)) {
+    out.y = bcsr_gemm_nt(dev, x, *tile, opt.precision, base + ".bcsr_gemm");
+    return out;
+  }
+
+  const auto& irr = std::get<sparse::IrregularWeight>(w);
+  out.y = irregular_gemm_nt(dev, x, irr, opt.precision, base + ".irr_gemm");
+  return out;
+}
+
+}  // namespace et::kernels

@@ -1,0 +1,25 @@
+// Token embedding lookup (host-side pre-processing; the paper's latency
+// metric "takes word embeddings as the input" — §5.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace et::nn {
+
+/// Gather rows of the (vocab × d_model) table for each token id.
+[[nodiscard]] inline tensor::MatrixF embed_tokens(
+    const tensor::MatrixF& table, std::span<const std::int32_t> tokens) {
+  tensor::MatrixF x(tokens.size(), table.cols());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const auto id = static_cast<std::size_t>(tokens[i]);
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      x(i, c) = table(id, c);
+    }
+  }
+  return x;
+}
+
+}  // namespace et::nn

@@ -1,0 +1,293 @@
+#include "nn/encoder.hpp"
+
+#include <cassert>
+#include <random>
+
+#include "kernels/elementwise.hpp"
+#include "kernels/linear.hpp"
+#include "tensor/random.hpp"
+
+namespace et::nn {
+
+namespace {
+
+using numeric::Precision;
+
+std::vector<float> small_random_vector(std::size_t n, std::uint64_t seed,
+                                       float scale) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, scale);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+void apply_bias_gelu(tensor::MatrixF& h, const std::vector<float>& bias,
+                     Precision p) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    for (std::size_t c = 0; c < h.cols(); ++c) {
+      const float v = h(r, c) + bias[c];
+      const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+      h(r, c) = numeric::round_to_storage(
+          p, 0.5f * v * (1.0f + std::tanh(inner)));
+    }
+  }
+}
+
+/// MLP + residual + layernorm with pipeline-dependent fusion. Returns the
+/// block output; `x` is the block input (residual source).
+tensor::MatrixF mlp_block(gpusim::Device& dev, const tensor::MatrixF& x,
+                          const EncoderWeights& w, const EncoderOptions& opt) {
+  const Precision p = opt.attn.precision;
+  kernels::LinearOptions lopt;
+  lopt.precision = p;
+
+  tensor::MatrixF h = kernels::linear(dev, x, w.w_ff1, lopt, "ff1").y;
+  switch (opt.pipeline) {
+    case Pipeline::kModular:
+      // Separate bias and activation kernels.
+      kernels::add_bias(dev, h, w.b_ff1, p, "ff1_bias");
+      kernels::gelu(dev, h, p, "gelu");
+      break;
+    case Pipeline::kTensorRT: {
+      // TensorRT: bias+GELU fused into one epilogue kernel (still a
+      // global round trip of the d_ff-wide activation).
+      auto launch = dev.launch({.name = "ff1_bias_gelu",
+                                .ctas = std::max<std::size_t>(1, h.size() / 4096),
+                                .shared_bytes_per_cta = 0,
+                                .pattern = gpusim::AccessPattern::kStreaming});
+      launch.load_bytes(h.size() * numeric::storage_bytes(p));
+      launch.store_bytes(h.size() * numeric::storage_bytes(p));
+      launch.fp_ops(9 * h.size());
+      launch.finish();
+      if (!dev.traffic_only()) apply_bias_gelu(h, w.b_ff1, p);
+      break;
+    }
+    case Pipeline::kFasterTransformer:
+    case Pipeline::kET:
+      // bias+GELU folded into the GEMM epilogue: zero extra kernels,
+      // zero extra global traffic (the activation is transformed in
+      // registers before the store the GEMM performs anyway).
+      if (!dev.traffic_only()) apply_bias_gelu(h, w.b_ff1, p);
+      break;
+  }
+
+  tensor::MatrixF y = kernels::linear(dev, h, w.w_ff2, lopt, "ff2").y;
+  switch (opt.pipeline) {
+    case Pipeline::kModular:
+      kernels::add_bias(dev, y, w.b_ff2, p, "ff2_bias");
+      break;
+    case Pipeline::kTensorRT:
+      kernels::add_bias(dev, y, w.b_ff2, p, "ff2_bias_fused");
+      break;
+    case Pipeline::kFasterTransformer:
+    case Pipeline::kET:
+      // Folded into the ff2 GEMM epilogue.
+      if (!dev.traffic_only()) {
+        for (std::size_t r = 0; r < y.rows(); ++r) {
+          for (std::size_t c = 0; c < y.cols(); ++c) {
+            y(r, c) = numeric::round_to_storage(p, y(r, c) + w.b_ff2[c]);
+          }
+        }
+      }
+      break;
+  }
+  return y;
+}
+
+}  // namespace
+
+EncoderWeights make_dense_encoder_weights(const ModelConfig& cfg,
+                                          std::uint64_t seed) {
+  EncoderWeights w;
+  core::AttentionConfig acfg;
+  acfg.d_model = cfg.d_model;
+  acfg.num_heads = cfg.num_heads;
+  w.attn = core::make_dense_weights(acfg, seed);
+
+  tensor::MatrixF ff1(cfg.d_ff, cfg.d_model), ff2(cfg.d_model, cfg.d_ff);
+  tensor::fill_normal(ff1, seed + 11, 0.0f,
+                      1.0f / std::sqrt(static_cast<float>(cfg.d_model)));
+  tensor::fill_normal(ff2, seed + 12, 0.0f,
+                      1.0f / std::sqrt(static_cast<float>(cfg.d_ff)));
+  w.w_ff1 = sparse::DenseWeight(std::move(ff1));
+  w.w_ff2 = sparse::DenseWeight(std::move(ff2));
+  w.b_ff1 = small_random_vector(cfg.d_ff, seed + 13, 0.02f);
+  w.b_ff2 = small_random_vector(cfg.d_model, seed + 14, 0.02f);
+  w.ln1_gamma.assign(cfg.d_model, 1.0f);
+  w.ln1_beta.assign(cfg.d_model, 0.0f);
+  w.ln2_gamma.assign(cfg.d_model, 1.0f);
+  w.ln2_beta.assign(cfg.d_model, 0.0f);
+  return w;
+}
+
+tensor::MatrixF encoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
+                                const EncoderWeights& w,
+                                const EncoderOptions& opt) {
+  assert(x.rows() == opt.attn.seq_len && x.cols() == opt.attn.d_model);
+  const Precision p = opt.attn.precision;
+
+  // --- self-attention ---
+  tensor::MatrixF attn_out;
+  switch (opt.pipeline) {
+    case Pipeline::kModular:
+      attn_out = core::modular_attention(dev, x, w.attn, opt.attn);
+      break;
+    case Pipeline::kTensorRT:
+      attn_out = core::fused_attention(dev, x, w.attn, opt.attn,
+                                       /*aggressive_fusion=*/false);
+      break;
+    case Pipeline::kFasterTransformer:
+      attn_out = core::fused_attention(dev, x, w.attn, opt.attn,
+                                       /*aggressive_fusion=*/true);
+      break;
+    case Pipeline::kET:
+      attn_out = core::adaptive_attention(dev, x, w.attn, opt.attn,
+                                          opt.adaptive);
+      break;
+  }
+
+  // --- residual + layernorm 1 ---
+  const bool fuse_res_ln = opt.pipeline == Pipeline::kFasterTransformer ||
+                           opt.pipeline == Pipeline::kET;
+  if (fuse_res_ln) {
+    kernels::fused_residual_layernorm(dev, attn_out, x, w.ln1_gamma,
+                                      w.ln1_beta, p, "residual_layernorm1");
+  } else {
+    kernels::residual_add(dev, attn_out, x, p, "attn_residual");
+    kernels::layernorm(dev, attn_out, w.ln1_gamma, w.ln1_beta, 1e-5f, p,
+                       "layernorm1");
+  }
+
+  // --- MLP ---
+  tensor::MatrixF mlp_out = mlp_block(dev, attn_out, w, opt);
+
+  // --- residual + layernorm 2 ---
+  if (fuse_res_ln) {
+    kernels::fused_residual_layernorm(dev, mlp_out, attn_out, w.ln2_gamma,
+                                      w.ln2_beta, p, "residual_layernorm2");
+  } else {
+    kernels::residual_add(dev, mlp_out, attn_out, p, "mlp_residual");
+    kernels::layernorm(dev, mlp_out, w.ln2_gamma, w.ln2_beta, 1e-5f, p,
+                       "layernorm2");
+  }
+  return mlp_out;
+}
+
+tensor::MatrixF encoder_stack_forward(gpusim::Device& dev,
+                                      const tensor::MatrixF& x,
+                                      const std::vector<EncoderWeights>& layers,
+                                      const EncoderOptions& opt) {
+  tensor::MatrixF h = x;
+  for (const auto& layer : layers) {
+    h = encoder_forward(dev, h, layer, opt);
+  }
+  return h;
+}
+
+std::vector<tensor::MatrixF> batched_encoder_forward(
+    gpusim::Device& dev, const std::vector<tensor::MatrixF>& batch,
+    const EncoderWeights& w, const EncoderOptions& opt) {
+  const Precision p = opt.attn.precision;
+  std::size_t total_rows = 0;
+  for (const auto& x : batch) {
+    assert(x.cols() == opt.attn.d_model);
+    total_rows += x.rows();
+  }
+
+  // --- attention per sample (adaptive per-sequence-length dispatch, the
+  // padding-free property TurboTransformer argues for) ---
+  tensor::MatrixF stacked(total_rows, opt.attn.d_model);
+  tensor::MatrixF residual_src(total_rows, opt.attn.d_model);
+  std::size_t row0 = 0;
+  for (const auto& x : batch) {
+    core::AttentionConfig cfg = opt.attn;
+    cfg.seq_len = x.rows();
+    const tensor::MatrixF a =
+        core::adaptive_attention(dev, x, w.attn, cfg, opt.adaptive);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        stacked(row0 + r, c) = a(r, c);
+        residual_src(row0 + r, c) = x(r, c);
+      }
+    }
+    row0 += x.rows();
+  }
+
+  // --- everything else on the stacked activations: one kernel set for
+  // the whole batch ---
+  kernels::fused_residual_layernorm(dev, stacked, residual_src, w.ln1_gamma,
+                                    w.ln1_beta, p,
+                                    "batched_residual_layernorm1");
+  EncoderOptions stacked_opt = opt;
+  stacked_opt.attn.seq_len = total_rows;
+  tensor::MatrixF mlp_out = [&] {
+    kernels::LinearOptions lopt;
+    lopt.precision = p;
+    tensor::MatrixF h =
+        kernels::linear(dev, stacked, w.w_ff1, lopt, "batched_ff1").y;
+    if (!dev.traffic_only()) apply_bias_gelu(h, w.b_ff1, p);
+    tensor::MatrixF y =
+        kernels::linear(dev, h, w.w_ff2, lopt, "batched_ff2").y;
+    if (!dev.traffic_only()) {
+      for (std::size_t r = 0; r < y.rows(); ++r) {
+        for (std::size_t c = 0; c < y.cols(); ++c) {
+          y(r, c) = numeric::round_to_storage(p, y(r, c) + w.b_ff2[c]);
+        }
+      }
+    }
+    return y;
+  }();
+  kernels::fused_residual_layernorm(dev, mlp_out, stacked, w.ln2_gamma,
+                                    w.ln2_beta, p,
+                                    "batched_residual_layernorm2");
+
+  // Unstack.
+  std::vector<tensor::MatrixF> out;
+  out.reserve(batch.size());
+  row0 = 0;
+  for (const auto& x : batch) {
+    tensor::MatrixF y(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        y(r, c) = mlp_out(row0 + r, c);
+      }
+    }
+    row0 += x.rows();
+    out.push_back(std::move(y));
+  }
+  return out;
+}
+
+EncoderOptions options_for(Pipeline pipeline, const ModelConfig& model,
+                           std::size_t seq_len, bool causal_mask) {
+  EncoderOptions opt;
+  opt.pipeline = pipeline;
+  opt.attn.seq_len = seq_len;
+  opt.attn.d_model = model.d_model;
+  opt.attn.num_heads = model.num_heads;
+  opt.attn.causal_mask = causal_mask;
+  switch (pipeline) {
+    case Pipeline::kModular:
+      // PyTorch default: FP32 general-core math, scale applied after QKᵀ.
+      opt.attn.precision = Precision::kFp32;
+      opt.attn.scale_before_multiply = false;
+      break;
+    case Pipeline::kTensorRT:
+    case Pipeline::kFasterTransformer:
+      // Mixed precision (FP32 accumulate) — required without the §3.3
+      // reorder to dodge FP16 overflow.
+      opt.attn.precision = Precision::kMixed;
+      opt.attn.scale_before_multiply = false;
+      break;
+    case Pipeline::kET:
+      // Pure FP16 enabled by the scale reorder.
+      opt.attn.precision = Precision::kPureFp16;
+      opt.attn.scale_before_multiply = true;
+      break;
+  }
+  return opt;
+}
+
+}  // namespace et::nn

@@ -1,0 +1,87 @@
+// One transformer encoder layer (Fig. 1) on the simulated device, plus the
+// stacked model. Four pipeline styles mirror the systems the paper
+// benchmarks against each other in Figure 7:
+//
+//   kModular           — PyTorch-like: one kernel per op, FP32.
+//   kTensorRT          — fused pointwise ops, batched GEMMs, FP16.
+//   kFasterTransformer — like TensorRT with more aggressive fusion and an
+//                        autotuned GEMM choice.
+//   kET                — this paper: adaptive on-the-fly attention,
+//                        pre-computed linear transformation when weights
+//                        provide it, pruned-format linears, pure FP16.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/attention.hpp"
+#include "core/weights.hpp"
+#include "gpusim/device.hpp"
+#include "nn/model_config.hpp"
+#include "sparse/formats.hpp"
+
+namespace et::nn {
+
+enum class Pipeline { kModular, kTensorRT, kFasterTransformer, kET };
+
+[[nodiscard]] constexpr std::string_view to_string(Pipeline p) noexcept {
+  switch (p) {
+    case Pipeline::kModular: return "PyTorch";
+    case Pipeline::kTensorRT: return "TensorRT";
+    case Pipeline::kFasterTransformer: return "FasterTransformer";
+    case Pipeline::kET: return "E.T.";
+  }
+  return "?";
+}
+
+struct EncoderWeights {
+  core::AttentionWeights attn;
+  sparse::AnyWeight w_ff1;  ///< (d_ff × d_model)
+  sparse::AnyWeight w_ff2;  ///< (d_model × d_ff)
+  std::vector<float> b_ff1;
+  std::vector<float> b_ff2;
+  std::vector<float> ln1_gamma, ln1_beta;
+  std::vector<float> ln2_gamma, ln2_beta;
+};
+
+struct EncoderOptions {
+  core::AttentionConfig attn;
+  Pipeline pipeline = Pipeline::kET;
+  core::AdaptivePolicy adaptive;  ///< E.T. full/partial OTF dispatch
+};
+
+/// Dense random-initialized encoder weights (deterministic).
+[[nodiscard]] EncoderWeights make_dense_encoder_weights(
+    const ModelConfig& cfg, std::uint64_t seed);
+
+/// Forward one encoder layer: LN(x + Attn(x)) -> LN(y + MLP(y)).
+[[nodiscard]] tensor::MatrixF encoder_forward(gpusim::Device& dev,
+                                              const tensor::MatrixF& x,
+                                              const EncoderWeights& w,
+                                              const EncoderOptions& opt);
+
+/// Forward a stack of identical-shape layers.
+[[nodiscard]] tensor::MatrixF encoder_stack_forward(
+    gpusim::Device& dev, const tensor::MatrixF& x,
+    const std::vector<EncoderWeights>& layers, const EncoderOptions& opt);
+
+/// TurboTransformer-style batched inference (§6 discussion): sequences of
+/// possibly different lengths share one forward pass. Attention runs per
+/// sample (its shape is per-sequence), but the linear transformations and
+/// pointwise kernels run once over the stacked (Σ seq_i × d) activations,
+/// amortizing weight loads and kernel launches — the throughput-side
+/// trade E.T.'s latency-focused design can serve as a backend for.
+/// opt.attn.seq_len is ignored; each sample uses its own length.
+[[nodiscard]] std::vector<tensor::MatrixF> batched_encoder_forward(
+    gpusim::Device& dev, const std::vector<tensor::MatrixF>& batch,
+    const EncoderWeights& w, const EncoderOptions& opt);
+
+/// Build the EncoderOptions a given pipeline conventionally runs with
+/// (precision, scale reordering, adaptive policy) for a model config.
+[[nodiscard]] EncoderOptions options_for(Pipeline pipeline,
+                                         const ModelConfig& model,
+                                         std::size_t seq_len,
+                                         bool causal_mask = false);
+
+}  // namespace et::nn

@@ -1,0 +1,76 @@
+#include "nn/generation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "kernels/elementwise.hpp"
+#include "kernels/linear.hpp"
+
+namespace et::nn {
+
+GenerationSession::GenerationSession(const std::vector<EncoderWeights>* layers,
+                                     EncoderOptions opt,
+                                     std::size_t max_context)
+    : layers_(layers), opt_(opt), max_ctx_(max_context) {
+  assert(layers_ != nullptr);
+  caches_.reserve(layers_->size());
+  for (std::size_t l = 0; l < layers_->size(); ++l) {
+    caches_.emplace_back(max_context, opt_.attn.d_model);
+  }
+}
+
+tensor::MatrixF GenerationSession::step(gpusim::Device& dev,
+                                        const tensor::MatrixF& x_row) {
+  assert(x_row.rows() == 1 && x_row.cols() == opt_.attn.d_model);
+  const auto p = opt_.attn.precision;
+
+  tensor::MatrixF h = x_row;
+  for (std::size_t l = 0; l < layers_->size(); ++l) {
+    const EncoderWeights& w = (*layers_)[l];
+    tensor::MatrixF attn =
+        core::incremental_attention(dev, h, w.attn, opt_.attn, caches_[l]);
+    kernels::fused_residual_layernorm(dev, attn, h, w.ln1_gamma, w.ln1_beta,
+                                      p, "gen_residual_layernorm1");
+
+    kernels::LinearOptions lopt;
+    lopt.precision = p;
+    tensor::MatrixF m = kernels::linear(dev, attn, w.w_ff1, lopt,
+                                        "gen_ff1").y;
+    if (!dev.traffic_only()) {
+      constexpr float kSqrt2OverPi = 0.7978845608028654f;
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        const float v = m(0, c) + w.b_ff1[c];
+        const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+        m(0, c) = numeric::round_to_storage(
+            p, 0.5f * v * (1.0f + std::tanh(inner)));
+      }
+    }
+    tensor::MatrixF y = kernels::linear(dev, m, w.w_ff2, lopt, "gen_ff2").y;
+    if (!dev.traffic_only()) {
+      for (std::size_t c = 0; c < y.cols(); ++c) {
+        y(0, c) = numeric::round_to_storage(p, y(0, c) + w.b_ff2[c]);
+      }
+    }
+    kernels::fused_residual_layernorm(dev, y, attn, w.ln2_gamma, w.ln2_beta,
+                                      p, "gen_residual_layernorm2");
+    h = std::move(y);
+  }
+  return h;
+}
+
+tensor::MatrixF GenerationSession::prime(gpusim::Device& dev,
+                                         const tensor::MatrixF& prompt) {
+  tensor::MatrixF last;
+  for (std::size_t t = 0; t < prompt.rows(); ++t) {
+    tensor::MatrixF row(1, prompt.cols());
+    for (std::size_t c = 0; c < prompt.cols(); ++c) row(0, c) = prompt(t, c);
+    last = step(dev, row);
+  }
+  return last;
+}
+
+void GenerationSession::reset() {
+  for (auto& cache : caches_) cache.reset();
+}
+
+}  // namespace et::nn

@@ -1,0 +1,43 @@
+// Autoregressive generation over the inference stack: a decoder-only
+// model (stack of causal encoder layers, GPT-style per §2.1) consuming
+// one token per step with per-layer KV caches.
+#pragma once
+
+#include "core/kv_cache.hpp"
+#include "nn/encoder.hpp"
+
+namespace et::nn {
+
+/// Holds the per-layer KV caches and steps the stack one token at a time.
+/// Prefill (`prime`) runs the prompt through token by token so the caches
+/// and the step path share one code path (and one set of tests).
+class GenerationSession {
+ public:
+  GenerationSession(const std::vector<EncoderWeights>* layers,
+                    EncoderOptions opt, std::size_t max_context);
+
+  /// Feed one token's embedding (1 × d_model); returns the top-layer
+  /// hidden state for that position (1 × d_model).
+  [[nodiscard]] tensor::MatrixF step(gpusim::Device& dev,
+                                     const tensor::MatrixF& x_row);
+
+  /// Feed a whole prompt (rows = tokens); returns the final position's
+  /// hidden state.
+  [[nodiscard]] tensor::MatrixF prime(gpusim::Device& dev,
+                                      const tensor::MatrixF& prompt);
+
+  [[nodiscard]] std::size_t context_length() const noexcept {
+    return caches_.empty() ? 0 : caches_[0].used();
+  }
+  [[nodiscard]] std::size_t max_context() const noexcept { return max_ctx_; }
+
+  void reset();
+
+ private:
+  const std::vector<EncoderWeights>* layers_;  // not owned
+  EncoderOptions opt_;
+  std::size_t max_ctx_;
+  std::vector<core::KVCache> caches_;  // one per layer
+};
+
+}  // namespace et::nn

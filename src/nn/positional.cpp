@@ -1,0 +1,31 @@
+#include "nn/positional.hpp"
+
+#include <cmath>
+
+namespace et::nn {
+
+tensor::MatrixF positional_encoding(std::size_t seq_len, std::size_t d_model) {
+  tensor::MatrixF pe(seq_len, d_model);
+  for (std::size_t pos = 0; pos < seq_len; ++pos) {
+    for (std::size_t i = 0; i < d_model / 2; ++i) {
+      const double angle =
+          static_cast<double>(pos) /
+          std::pow(10000.0, 2.0 * static_cast<double>(i) /
+                                static_cast<double>(d_model));
+      pe(pos, 2 * i) = static_cast<float>(std::sin(angle));
+      if (2 * i + 1 < d_model) {
+        pe(pos, 2 * i + 1) = static_cast<float>(std::cos(angle));
+      }
+    }
+  }
+  return pe;
+}
+
+void add_positional_encoding(tensor::MatrixF& x) {
+  const tensor::MatrixF pe = positional_encoding(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.flat()[i] += pe.flat()[i];
+  }
+}
+
+}  // namespace et::nn

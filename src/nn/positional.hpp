@@ -1,0 +1,17 @@
+// Sinusoidal positional encoding (Eq. 1–2 of the paper).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace et::nn {
+
+/// PE(pos, 2i)   = sin(pos / 10000^(2i/d_model))
+/// PE(pos, 2i+1) = cos(pos / 10000^(2i/d_model))
+[[nodiscard]] tensor::MatrixF positional_encoding(std::size_t seq_len,
+                                                  std::size_t d_model);
+
+/// x += PE (host-side preprocessing; the paper adds PE before the encoder
+/// stack).
+void add_positional_encoding(tensor::MatrixF& x);
+
+}  // namespace et::nn

@@ -1,0 +1,27 @@
+// Double-precision host reference for the encoder forward pass. This is
+// the oracle the pipeline implementations are validated against; it never
+// records device kernels.
+#pragma once
+
+#include "core/config.hpp"
+#include "nn/encoder.hpp"
+#include "tensor/matrix.hpp"
+
+namespace et::nn {
+
+/// Multi-head self-attention (no pruning, no precompute) in double.
+[[nodiscard]] tensor::MatrixF reference_attention(
+    const tensor::MatrixF& x, const core::AttentionWeights& w,
+    const core::AttentionConfig& cfg);
+
+/// Cross-attention in double: queries from x, keys/values from memory.
+[[nodiscard]] tensor::MatrixF reference_cross_attention(
+    const tensor::MatrixF& x, const tensor::MatrixF& memory,
+    const core::AttentionWeights& w, const core::AttentionConfig& cfg);
+
+/// Full encoder layer in double.
+[[nodiscard]] tensor::MatrixF reference_encoder(const tensor::MatrixF& x,
+                                                const EncoderWeights& w,
+                                                const core::AttentionConfig& cfg);
+
+}  // namespace et::nn

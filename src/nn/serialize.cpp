@@ -1,0 +1,353 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace et::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31575445;   // "ETW1" (encoder stacks)
+constexpr std::uint32_t kDecMagic = 0x31445445;  // "ETD1" (decoder stacks)
+constexpr std::uint32_t kVersion = 1;
+
+enum class Tag : std::uint32_t {
+  kDense = 1,
+  kRow = 2,
+  kColumn = 3,
+  kTile = 4,
+  kIrregular = 5,
+};
+
+// ------------------------------------------------------- raw helpers ----
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("et::nn::load: truncated stream (u32)");
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("et::nn::load: truncated stream (u64)");
+  return v;
+}
+
+void put_floats(std::ostream& os, const float* data, std::size_t n) {
+  put_u64(os, n);
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+std::vector<float> get_floats(std::istream& is) {
+  const std::uint64_t n = get_u64(is);
+  std::vector<float> out(n);
+  is.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is) throw std::runtime_error("et::nn::load: truncated float block");
+  return out;
+}
+
+void put_u32s(std::ostream& os, const std::vector<std::uint32_t>& v) {
+  put_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(std::uint32_t)));
+}
+
+std::vector<std::uint32_t> get_u32s(std::istream& is) {
+  const std::uint64_t n = get_u64(is);
+  std::vector<std::uint32_t> out(n);
+  is.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+  if (!is) throw std::runtime_error("et::nn::load: truncated index block");
+  return out;
+}
+
+void put_matrix(std::ostream& os, const tensor::MatrixF& m) {
+  put_u64(os, m.rows());
+  put_u64(os, m.cols());
+  put_floats(os, m.data(), m.size());
+}
+
+tensor::MatrixF get_matrix(std::istream& is) {
+  const std::uint64_t rows = get_u64(is);
+  const std::uint64_t cols = get_u64(is);
+  const auto flat = get_floats(is);
+  if (flat.size() != rows * cols) {
+    throw std::runtime_error("et::nn::load: matrix size mismatch");
+  }
+  tensor::MatrixF m(rows, cols);
+  std::copy(flat.begin(), flat.end(), m.data());
+  return m;
+}
+
+// ----------------------------------------------------- weight formats ----
+
+void put_weight(std::ostream& os, const sparse::AnyWeight& w) {
+  // Weights serialize through their masked-dense reconstruction plus the
+  // structural metadata needed to rebuild the exact format: simple,
+  // version-stable, and exact (the formats are lossless views).
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, sparse::DenseWeight>) {
+          put_u32(os, static_cast<std::uint32_t>(Tag::kDense));
+          put_matrix(os, v.matrix());
+        } else if constexpr (std::is_same_v<T, sparse::RowPrunedWeight>) {
+          put_u32(os, static_cast<std::uint32_t>(Tag::kRow));
+          put_u64(os, v.original_rows());
+          put_u64(os, v.original_cols());
+          put_u32s(os, v.kept_rows());
+          put_matrix(os, v.condensed());
+        } else if constexpr (std::is_same_v<T, sparse::ColPrunedWeight>) {
+          put_u32(os, static_cast<std::uint32_t>(Tag::kColumn));
+          put_u64(os, v.original_rows());
+          put_u64(os, v.original_cols());
+          put_u32s(os, v.kept_cols());
+          put_matrix(os, v.condensed());
+        } else if constexpr (std::is_same_v<T, sparse::TilePrunedWeight>) {
+          put_u32(os, static_cast<std::uint32_t>(Tag::kTile));
+          // Tile structure is recoverable from the dense zeros pattern.
+          put_matrix(os, v.to_dense());
+        } else {
+          put_u32(os, static_cast<std::uint32_t>(Tag::kIrregular));
+          put_matrix(os, v.to_dense());
+        }
+      },
+      w);
+}
+
+sparse::Mask nonzero_mask(const tensor::MatrixF& m) {
+  sparse::Mask mask(m.rows(), m.cols(), 0);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    mask.flat()[i] = m.flat()[i] != 0.0f ? 1 : 0;
+  }
+  return mask;
+}
+
+sparse::AnyWeight get_weight(std::istream& is) {
+  const auto tag = static_cast<Tag>(get_u32(is));
+  switch (tag) {
+    case Tag::kDense:
+      return sparse::DenseWeight(get_matrix(is));
+    case Tag::kRow: {
+      const std::uint64_t rows = get_u64(is);
+      const std::uint64_t cols = get_u64(is);
+      auto kept = get_u32s(is);
+      const auto condensed = get_matrix(is);
+      if (condensed.rows() != kept.size() || condensed.cols() != cols) {
+        throw std::runtime_error("et::nn::load: row-pruned shape mismatch");
+      }
+      // Rebuild through the dense reconstruction for validation.
+      tensor::MatrixF dense(rows, cols);
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          dense(kept[i], c) = condensed(i, c);
+        }
+      }
+      return sparse::RowPrunedWeight::from_kept_rows(dense, std::move(kept));
+    }
+    case Tag::kColumn: {
+      const std::uint64_t rows = get_u64(is);
+      const std::uint64_t cols = get_u64(is);
+      auto kept = get_u32s(is);
+      const auto condensed = get_matrix(is);
+      if (condensed.cols() != kept.size() || condensed.rows() != rows) {
+        throw std::runtime_error(
+            "et::nn::load: column-pruned shape mismatch");
+      }
+      tensor::MatrixF dense(rows, cols);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+          dense(r, kept[i]) = condensed(r, i);
+        }
+      }
+      return sparse::ColPrunedWeight::from_kept_cols(dense, std::move(kept));
+    }
+    case Tag::kTile: {
+      const auto dense = get_matrix(is);
+      return sparse::TilePrunedWeight::from_masked(dense,
+                                                   nonzero_mask(dense));
+    }
+    case Tag::kIrregular: {
+      const auto dense = get_matrix(is);
+      return sparse::IrregularWeight::from_masked(dense,
+                                                  nonzero_mask(dense));
+    }
+  }
+  throw std::runtime_error("et::nn::load: unknown weight tag");
+}
+
+void put_vector(std::ostream& os, const std::vector<float>& v) {
+  put_floats(os, v.data(), v.size());
+}
+
+}  // namespace
+
+void save_encoder_weights(std::ostream& os, const EncoderWeights& w) {
+  put_weight(os, w.attn.wq);
+  put_weight(os, w.attn.wk);
+  put_weight(os, w.attn.wv);
+  put_weight(os, w.attn.wo);
+  // Pre-computed W_VO (may be empty).
+  put_u64(os, w.attn.vo.num_heads);
+  put_u32s(os, w.attn.vo.kept_cols);
+  put_matrix(os, w.attn.vo.weight);
+  put_weight(os, w.w_ff1);
+  put_weight(os, w.w_ff2);
+  put_vector(os, w.b_ff1);
+  put_vector(os, w.b_ff2);
+  put_vector(os, w.ln1_gamma);
+  put_vector(os, w.ln1_beta);
+  put_vector(os, w.ln2_gamma);
+  put_vector(os, w.ln2_beta);
+}
+
+EncoderWeights load_encoder_weights(std::istream& is) {
+  EncoderWeights w;
+  w.attn.wq = get_weight(is);
+  w.attn.wk = get_weight(is);
+  w.attn.wv = get_weight(is);
+  w.attn.wo = get_weight(is);
+  w.attn.vo.num_heads = get_u64(is);
+  w.attn.vo.kept_cols = get_u32s(is);
+  w.attn.vo.weight = get_matrix(is);
+  w.w_ff1 = get_weight(is);
+  w.w_ff2 = get_weight(is);
+  w.b_ff1 = get_floats(is);
+  w.b_ff2 = get_floats(is);
+  w.ln1_gamma = get_floats(is);
+  w.ln1_beta = get_floats(is);
+  w.ln2_gamma = get_floats(is);
+  w.ln2_beta = get_floats(is);
+  return w;
+}
+
+namespace {
+void put_attention(std::ostream& os, const core::AttentionWeights& a) {
+  put_weight(os, a.wq);
+  put_weight(os, a.wk);
+  put_weight(os, a.wv);
+  put_weight(os, a.wo);
+  put_u64(os, a.vo.num_heads);
+  put_u32s(os, a.vo.kept_cols);
+  put_matrix(os, a.vo.weight);
+}
+
+core::AttentionWeights get_attention(std::istream& is) {
+  core::AttentionWeights a;
+  a.wq = get_weight(is);
+  a.wk = get_weight(is);
+  a.wv = get_weight(is);
+  a.wo = get_weight(is);
+  a.vo.num_heads = get_u64(is);
+  a.vo.kept_cols = get_u32s(is);
+  a.vo.weight = get_matrix(is);
+  return a;
+}
+}  // namespace
+
+void save_decoder_stack(std::ostream& os,
+                        const std::vector<DecoderWeights>& layers) {
+  put_u32(os, kDecMagic);
+  put_u32(os, kVersion);
+  put_u64(os, layers.size());
+  for (const auto& w : layers) {
+    put_attention(os, w.self_attn);
+    put_attention(os, w.cross_attn);
+    put_weight(os, w.w_ff1);
+    put_weight(os, w.w_ff2);
+    put_vector(os, w.b_ff1);
+    put_vector(os, w.b_ff2);
+    put_vector(os, w.ln1_gamma);
+    put_vector(os, w.ln1_beta);
+    put_vector(os, w.ln2_gamma);
+    put_vector(os, w.ln2_beta);
+    put_vector(os, w.ln3_gamma);
+    put_vector(os, w.ln3_beta);
+  }
+}
+
+std::vector<DecoderWeights> load_decoder_stack(std::istream& is) {
+  if (get_u32(is) != kDecMagic) {
+    throw std::runtime_error("et::nn::load: bad magic (not an ETD file)");
+  }
+  if (get_u32(is) != kVersion) {
+    throw std::runtime_error("et::nn::load: unsupported decoder version");
+  }
+  const std::uint64_t count = get_u64(is);
+  std::vector<DecoderWeights> layers;
+  layers.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DecoderWeights w;
+    w.self_attn = get_attention(is);
+    w.cross_attn = get_attention(is);
+    w.w_ff1 = get_weight(is);
+    w.w_ff2 = get_weight(is);
+    w.b_ff1 = get_floats(is);
+    w.b_ff2 = get_floats(is);
+    w.ln1_gamma = get_floats(is);
+    w.ln1_beta = get_floats(is);
+    w.ln2_gamma = get_floats(is);
+    w.ln2_beta = get_floats(is);
+    w.ln3_gamma = get_floats(is);
+    w.ln3_beta = get_floats(is);
+    layers.push_back(std::move(w));
+  }
+  return layers;
+}
+
+void save_encoder_stack(std::ostream& os,
+                        const std::vector<EncoderWeights>& layers) {
+  put_u32(os, kMagic);
+  put_u32(os, kVersion);
+  put_u64(os, layers.size());
+  for (const auto& layer : layers) save_encoder_weights(os, layer);
+}
+
+std::vector<EncoderWeights> load_encoder_stack(std::istream& is) {
+  if (get_u32(is) != kMagic) {
+    throw std::runtime_error("et::nn::load: bad magic (not an ETW file)");
+  }
+  const std::uint32_t version = get_u32(is);
+  if (version != kVersion) {
+    throw std::runtime_error("et::nn::load: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t count = get_u64(is);
+  std::vector<EncoderWeights> layers;
+  layers.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    layers.push_back(load_encoder_weights(is));
+  }
+  return layers;
+}
+
+void save_encoder_stack(const std::string& path,
+                        const std::vector<EncoderWeights>& layers) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  save_encoder_stack(f, layers);
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<EncoderWeights> load_encoder_stack(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  return load_encoder_stack(f);
+}
+
+}  // namespace et::nn

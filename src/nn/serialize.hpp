@@ -1,0 +1,41 @@
+// Binary serialization of deployed encoder weights — the artifact a
+// production user ships after the prune/retrain pipeline. All five weight
+// formats round-trip, so a model pruned on one machine loads for
+// inference elsewhere without re-deriving masks.
+//
+// Format: little-endian, "ETW1" magic + version, then a tagged stream of
+// sections. Not designed for cross-endian portability (like most ML
+// checkpoint formats); integrity is guarded by the magic, version and
+// per-section element counts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/decoder.hpp"
+#include "nn/encoder.hpp"
+
+namespace et::nn {
+
+/// Serialize one encoder layer's weights.
+void save_encoder_weights(std::ostream& os, const EncoderWeights& w);
+[[nodiscard]] EncoderWeights load_encoder_weights(std::istream& is);
+
+/// Serialize a whole stack (layer count + layers).
+void save_encoder_stack(std::ostream& os,
+                        const std::vector<EncoderWeights>& layers);
+[[nodiscard]] std::vector<EncoderWeights> load_encoder_stack(std::istream& is);
+
+/// Decoder stacks (self-attn + cross-attn + MLP per layer).
+void save_decoder_stack(std::ostream& os,
+                        const std::vector<DecoderWeights>& layers);
+[[nodiscard]] std::vector<DecoderWeights> load_decoder_stack(std::istream& is);
+
+/// File-path convenience wrappers; throw std::runtime_error on IO failure.
+void save_encoder_stack(const std::string& path,
+                        const std::vector<EncoderWeights>& layers);
+[[nodiscard]] std::vector<EncoderWeights> load_encoder_stack(
+    const std::string& path);
+
+}  // namespace et::nn

@@ -1,0 +1,30 @@
+#include "numeric/bfloat16.hpp"
+
+#include <bit>
+#include <ostream>
+
+namespace et::numeric::detail {
+
+// Round-to-nearest-even truncation of the low 16 mantissa bits.
+std::uint16_t f32_to_bf16_bits(float f) noexcept {
+  std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  if ((x & 0x7f800000u) == 0x7f800000u && (x & 0x7fffffu) != 0) {
+    // NaN: keep it a NaN after truncation.
+    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+  }
+  const std::uint32_t lsb = (x >> 16) & 1u;
+  x += 0x7fffu + lsb;  // RNE rounding bias
+  return static_cast<std::uint16_t>(x >> 16);
+}
+
+float bf16_bits_to_f32(std::uint16_t b) noexcept {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16);
+}
+
+}  // namespace et::numeric::detail
+
+namespace et::numeric {
+std::ostream& operator<<(std::ostream& os, bfloat16 v) {
+  return os << static_cast<float>(v);
+}
+}  // namespace et::numeric

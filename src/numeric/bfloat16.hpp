@@ -1,0 +1,61 @@
+// Brain floating point (bfloat16): same exponent range as float32 with an
+// 8-bit mantissa. The paper (§2.2) notes A100/TPU support it; E.T. itself
+// runs on V100S FP16, so bf16 is provided for the precision-policy sweep
+// ablation (it does not overflow where FP16 does, but loses precision).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace et::numeric {
+
+namespace detail {
+std::uint16_t f32_to_bf16_bits(float f) noexcept;
+float bf16_bits_to_f32(std::uint16_t b) noexcept;
+}  // namespace detail
+
+class bfloat16 {
+ public:
+  constexpr bfloat16() = default;
+  explicit bfloat16(float f) : bits_(detail::f32_to_bf16_bits(f)) {}
+  explicit bfloat16(double d) : bfloat16(static_cast<float>(d)) {}
+
+  static constexpr bfloat16 from_bits(std::uint16_t b) noexcept {
+    bfloat16 v;
+    v.bits_ = b;
+    return v;
+  }
+  [[nodiscard]] constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  operator float() const noexcept { return detail::bf16_bits_to_f32(bits_); }
+
+  [[nodiscard]] constexpr bool is_finite() const noexcept {
+    return (bits_ & 0x7f80u) != 0x7f80u;
+  }
+
+  friend bfloat16 operator+(bfloat16 a, bfloat16 b) {
+    return bfloat16(static_cast<float>(a) + static_cast<float>(b));
+  }
+  friend bfloat16 operator-(bfloat16 a, bfloat16 b) {
+    return bfloat16(static_cast<float>(a) - static_cast<float>(b));
+  }
+  friend bfloat16 operator*(bfloat16 a, bfloat16 b) {
+    return bfloat16(static_cast<float>(a) * static_cast<float>(b));
+  }
+  friend bfloat16 operator/(bfloat16 a, bfloat16 b) {
+    return bfloat16(static_cast<float>(a) / static_cast<float>(b));
+  }
+  friend bool operator==(bfloat16 a, bfloat16 b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+  friend bool operator!=(bfloat16 a, bfloat16 b) { return !(a == b); }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, bfloat16 v);
+
+static_assert(sizeof(bfloat16) == 2, "bfloat16 must occupy two bytes");
+
+}  // namespace et::numeric

@@ -1,0 +1,103 @@
+#include "numeric/half.hpp"
+
+#include <atomic>
+#include <bit>
+#include <ostream>
+
+namespace et::numeric {
+
+namespace {
+std::atomic<std::uint64_t> g_overflow_events{0};
+}  // namespace
+
+std::uint64_t overflow_count() noexcept {
+  return g_overflow_events.load(std::memory_order_relaxed);
+}
+
+void reset_overflow_count() noexcept {
+  g_overflow_events.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+// Round-to-nearest-even float -> binary16, matching the behaviour of
+// hardware FP16 conversion (e.g. CUDA __float2half_rn). A finite input
+// that rounds to ±inf is recorded as an overflow event.
+std::uint16_t f32_to_f16_bits(float f) noexcept {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint16_t sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t exp32 = (x >> 23) & 0xffu;
+  const std::uint32_t mant = x & 0x7fffffu;
+
+  if (exp32 == 0xffu) {  // inf or NaN: propagate, never counts as overflow
+    if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    // Keep NaN payload top bits; force a quiet NaN if payload truncates to 0.
+    std::uint16_t payload = static_cast<std::uint16_t>(mant >> 13);
+    if (payload == 0) payload = 0x200u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | payload);
+  }
+
+  const std::int32_t exp = static_cast<std::int32_t>(exp32) - 127 + 15;
+
+  if (exp >= 0x1f) {  // overflow to inf
+    g_overflow_events.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  if (exp <= 0) {  // subnormal or zero
+    if (exp < -10) return sign;  // rounds to (signed) zero
+    const std::uint32_t full = mant | 0x800000u;  // implicit leading 1
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - exp);  // 14..24
+    std::uint16_t sub = static_cast<std::uint16_t>(full >> shift);
+    const std::uint32_t rem = full & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (sub & 1u))) ++sub;
+    // Rounding a subnormal up may legitimately carry into the smallest
+    // normal (exponent field becomes 1); the bit pattern is already right.
+    return static_cast<std::uint16_t>(sign | sub);
+  }
+
+  std::uint16_t h = static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13));
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) {
+    // Carry may ripple into the exponent; 0x7bff + 1 == 0x7c00 == inf,
+    // which is the 65520-and-above overflow case.
+    ++h;
+    if ((h & 0x7fffu) == 0x7c00u) {
+      g_overflow_events.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return h;
+}
+
+float f16_bits_to_f32(std::uint16_t h) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x3ffu;
+
+  if (exp == 0x1fu) {  // inf / NaN
+    return std::bit_cast<float>(sign | 0x7f800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return std::bit_cast<float>(sign);  // ±0
+    // Normalize the subnormal.
+    int e = -1;
+    do {
+      ++e;
+      mant <<= 1;
+    } while ((mant & 0x400u) == 0);
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+    return std::bit_cast<float>(sign | (exp32 << 23) | ((mant & 0x3ffu) << 13));
+  }
+  const std::uint32_t exp32 = exp - 15 + 127;
+  return std::bit_cast<float>(sign | (exp32 << 23) | (mant << 13));
+}
+
+}  // namespace detail
+
+std::ostream& operator<<(std::ostream& os, half h) {
+  return os << static_cast<float>(h);
+}
+
+}  // namespace et::numeric

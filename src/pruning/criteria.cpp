@@ -1,0 +1,129 @@
+#include "pruning/criteria.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "tensor/compare.hpp"
+
+namespace et::pruning {
+
+namespace {
+
+/// Number of groups to prune for `total` groups at `ratio`, clamped so at
+/// least one group always survives a ratio < 1.
+std::size_t prune_count(std::size_t total, double ratio) {
+  const auto k = static_cast<std::size_t>(
+      std::floor(static_cast<double>(total) * ratio + 0.5));
+  return std::min(k, total == 0 ? 0 : total - (ratio < 1.0 ? 1 : 0));
+}
+
+/// Threshold below which groups die: the k-th smallest score.
+double kth_smallest(std::vector<double> scores, std::size_t k) {
+  if (k == 0) return -1.0;  // nothing pruned
+  assert(k <= scores.size());
+  std::nth_element(scores.begin(), scores.begin() + (k - 1), scores.end());
+  return scores[k - 1];
+}
+
+}  // namespace
+
+sparse::Mask magnitude_mask(const tensor::MatrixF& w, double ratio) {
+  std::vector<double> scores(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    scores[i] = std::abs(static_cast<double>(w.flat()[i]));
+  }
+  const std::size_t k = prune_count(w.size(), ratio);
+  const double thresh = kth_smallest(scores, k);
+
+  sparse::Mask mask(w.rows(), w.cols(), 1);
+  std::size_t pruned = 0;
+  for (std::size_t i = 0; i < w.size() && pruned < k; ++i) {
+    if (std::abs(static_cast<double>(w.flat()[i])) <= thresh) {
+      mask.flat()[i] = 0;
+      ++pruned;
+    }
+  }
+  return mask;
+}
+
+sparse::Mask row_mask(const tensor::MatrixF& w, double ratio) {
+  std::vector<double> scores(w.rows());
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      s += static_cast<double>(w(r, c)) * static_cast<double>(w(r, c));
+    }
+    scores[r] = std::sqrt(s);
+  }
+  const std::size_t k = prune_count(w.rows(), ratio);
+  const double thresh = kth_smallest(scores, k);
+
+  sparse::Mask mask(w.rows(), w.cols(), 1);
+  std::size_t pruned = 0;
+  for (std::size_t r = 0; r < w.rows() && pruned < k; ++r) {
+    if (scores[r] <= thresh) {
+      for (std::size_t c = 0; c < w.cols(); ++c) mask(r, c) = 0;
+      ++pruned;
+    }
+  }
+  return mask;
+}
+
+sparse::Mask column_mask(const tensor::MatrixF& w, double ratio) {
+  std::vector<double> scores(w.cols());
+  for (std::size_t c = 0; c < w.cols(); ++c) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      s += static_cast<double>(w(r, c)) * static_cast<double>(w(r, c));
+    }
+    scores[c] = std::sqrt(s);
+  }
+  const std::size_t k = prune_count(w.cols(), ratio);
+  const double thresh = kth_smallest(scores, k);
+
+  sparse::Mask mask(w.rows(), w.cols(), 1);
+  std::size_t pruned = 0;
+  for (std::size_t c = 0; c < w.cols() && pruned < k; ++c) {
+    if (scores[c] <= thresh) {
+      for (std::size_t r = 0; r < w.rows(); ++r) mask(r, c) = 0;
+      ++pruned;
+    }
+  }
+  return mask;
+}
+
+sparse::Mask tile_mask(const tensor::MatrixF& w, double ratio,
+                       std::size_t tile_r, std::size_t tile_c) {
+  assert(w.rows() % tile_r == 0 && w.cols() % tile_c == 0);
+  const std::size_t p = w.rows() / tile_r;
+  const std::size_t q = w.cols() / tile_c;
+  std::vector<double> scores(p * q);
+  for (std::size_t tr = 0; tr < p; ++tr) {
+    for (std::size_t tc = 0; tc < q; ++tc) {
+      scores[tr * q + tc] = tensor::tile_l2_norm(w, tile_r, tile_c, tr, tc);
+    }
+  }
+  const std::size_t k = prune_count(p * q, ratio);
+  const double thresh = kth_smallest(scores, k);
+
+  sparse::Mask mask(w.rows(), w.cols(), 1);
+  std::size_t pruned = 0;
+  for (std::size_t tr = 0; tr < p; ++tr) {
+    for (std::size_t tc = 0; tc < q; ++tc) {
+      if (pruned >= k) break;
+      if (scores[tr * q + tc] <= thresh) {
+        for (std::size_t i = 0; i < tile_r; ++i) {
+          for (std::size_t j = 0; j < tile_c; ++j) {
+            mask(tr * tile_r + i, tc * tile_c + j) = 0;
+          }
+        }
+        ++pruned;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace et::pruning

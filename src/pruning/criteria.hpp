@@ -1,0 +1,31 @@
+// Mask generators for the four pruning patterns (§4.1–4.2).
+//
+// Each takes a weight matrix and a target pruning ratio and returns a 0/1
+// mask selecting the survivors by an l2/magnitude criterion at the
+// pattern's granularity (element / row / column / tensor tile). The
+// percentile-threshold step matches Fig. 6 step (v): score every group,
+// zero the groups below the ratio-quantile.
+#pragma once
+
+#include "sparse/mask.hpp"
+#include "tensor/matrix.hpp"
+
+namespace et::pruning {
+
+/// Irregular magnitude pruning [23]: per-element |w| criterion.
+[[nodiscard]] sparse::Mask magnitude_mask(const tensor::MatrixF& w,
+                                          double ratio);
+
+/// Row pruning: per-row l2 norm criterion; whole rows survive or die.
+[[nodiscard]] sparse::Mask row_mask(const tensor::MatrixF& w, double ratio);
+
+/// Column pruning: per-column l2 norm criterion.
+[[nodiscard]] sparse::Mask column_mask(const tensor::MatrixF& w, double ratio);
+
+/// Tensor-tile pruning (§4.2): per-tile l2 norm criterion over
+/// tile_r × tile_c tiles (16×16 by default, the tensor-core granularity).
+[[nodiscard]] sparse::Mask tile_mask(const tensor::MatrixF& w, double ratio,
+                                     std::size_t tile_r = 16,
+                                     std::size_t tile_c = 16);
+
+}  // namespace et::pruning

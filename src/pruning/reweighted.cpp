@@ -1,0 +1,77 @@
+#include "pruning/reweighted.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/compare.hpp"
+
+namespace et::pruning {
+
+GroupLassoRegularizer::GroupLassoRegularizer(
+    std::vector<train::Param*> params, ReweightedConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  betas_.reserve(params_.size());
+  for (const train::Param* p : params_) {
+    assert(p->w.rows() % cfg_.tile_rows == 0);
+    assert(p->w.cols() % cfg_.tile_cols == 0);
+    betas_.emplace_back(p->w.rows() / cfg_.tile_rows,
+                        p->w.cols() / cfg_.tile_cols, 1.0f);
+  }
+}
+
+void GroupLassoRegularizer::update_penalties() {
+  if (!cfg_.reweighted) return;  // fixed-penalty baseline: β stays 1
+  for (std::size_t n = 0; n < params_.size(); ++n) {
+    const auto& w = params_[n]->w;
+    auto& beta = betas_[n];
+    for (std::size_t tr = 0; tr < beta.rows(); ++tr) {
+      for (std::size_t tc = 0; tc < beta.cols(); ++tc) {
+        const double norm =
+            tensor::tile_l2_norm(w, cfg_.tile_rows, cfg_.tile_cols, tr, tc);
+        beta(tr, tc) =
+            1.0f / (static_cast<float>(norm) + cfg_.epsilon);
+      }
+    }
+  }
+}
+
+double GroupLassoRegularizer::penalty() const {
+  double total = 0.0;
+  for (std::size_t n = 0; n < params_.size(); ++n) {
+    const auto& w = params_[n]->w;
+    const auto& beta = betas_[n];
+    for (std::size_t tr = 0; tr < beta.rows(); ++tr) {
+      for (std::size_t tc = 0; tc < beta.cols(); ++tc) {
+        total += static_cast<double>(beta(tr, tc)) *
+                 tensor::tile_l2_norm(w, cfg_.tile_rows, cfg_.tile_cols, tr,
+                                      tc);
+      }
+    }
+  }
+  return cfg_.lambda * total;
+}
+
+void GroupLassoRegularizer::add_gradients() {
+  for (std::size_t n = 0; n < params_.size(); ++n) {
+    auto& p = *params_[n];
+    const auto& beta = betas_[n];
+    for (std::size_t tr = 0; tr < beta.rows(); ++tr) {
+      for (std::size_t tc = 0; tc < beta.cols(); ++tc) {
+        const double norm = tensor::tile_l2_norm(p.w, cfg_.tile_rows,
+                                                 cfg_.tile_cols, tr, tc);
+        if (norm < 1e-12) continue;  // ∂‖0‖₂ subgradient: leave at 0
+        const float coef =
+            cfg_.lambda * beta(tr, tc) / static_cast<float>(norm);
+        for (std::size_t i = 0; i < cfg_.tile_rows; ++i) {
+          for (std::size_t j = 0; j < cfg_.tile_cols; ++j) {
+            const std::size_t r = tr * cfg_.tile_rows + i;
+            const std::size_t c = tc * cfg_.tile_cols + j;
+            p.g(r, c) += coef * p.w(r, c);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace et::pruning

@@ -1,0 +1,64 @@
+// Reweighted group-lasso regularization for tensor-tile pruning (§4.2,
+// Eq. 8, Fig. 6 steps (ii)–(iv)).
+//
+// At every milestone epoch the per-tile penalty factors are recomputed as
+//   β_ij = 1 / (‖W_ij‖₂ + ε)
+// so tiles that are already small get pushed harder toward zero, while
+// large (useful) tiles are barely penalized — the reweighting idea of [4].
+// Between milestones the regularizer contributes
+//   λ Σ_ij β_ij ‖W_ij‖₂
+// to the loss, i.e. gradient λ·β_ij·W/‖W_ij‖₂ on every weight.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "train/param.hpp"
+
+namespace et::pruning {
+
+struct ReweightedConfig {
+  float lambda = 1e-4f;  ///< paper: 1e-4 (BERT), 1e-4/3e-4 (DistilBERT)
+  std::size_t tile_rows = 16;
+  std::size_t tile_cols = 16;
+  float epsilon = 1e-6f;  ///< division-by-zero guard in the β update
+  /// When false, β stays at its initial 1 forever — the *fixed-penalty*
+  /// group lasso the paper's §6 compares against (reweighting is claimed
+  /// to reach higher compression at the same accuracy).
+  bool reweighted = true;
+};
+
+class GroupLassoRegularizer {
+ public:
+  GroupLassoRegularizer(std::vector<train::Param*> params,
+                        ReweightedConfig cfg);
+
+  /// Fig. 6 step (ii): recompute β from the current tile norms. Call at
+  /// milestone epochs. No-op when config().reweighted is false (the
+  /// fixed-penalty baseline).
+  void update_penalties();
+
+  /// The regularization term's current value (for loss logging).
+  [[nodiscard]] double penalty() const;
+
+  /// Fig. 6 step (iii)/(iv): add λ·β_ij·W/‖W_ij‖₂ to every Param's
+  /// gradient. Call once per optimizer step, after the data gradient.
+  void add_gradients();
+
+  [[nodiscard]] const ReweightedConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  /// Fig. 6 step (iv) ramps λ during reweighted training and "stops
+  /// increasing λ when the reweighted training accuracy drops slightly".
+  void set_lambda(float lambda) noexcept { cfg_.lambda = lambda; }
+  [[nodiscard]] float lambda() const noexcept { return cfg_.lambda; }
+
+ private:
+  std::vector<train::Param*> params_;
+  /// β for each param, as a (tile_rows_count × tile_cols_count) matrix.
+  std::vector<tensor::MatrixF> betas_;
+  ReweightedConfig cfg_;
+};
+
+}  // namespace et::pruning

@@ -1,0 +1,245 @@
+#include "pruning/strategy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/weights.hpp"
+#include "pruning/criteria.hpp"
+
+namespace et::pruning {
+
+namespace {
+
+/// Attention-aware W_V mask: prune whole `group`-row blocks, the same
+/// number in every head, chosen by block l2 norm. Balanced head blocks are
+/// what let the inference side consume the condensed V (head slicing
+/// requires equal widths).
+sparse::Mask balanced_v_row_mask(const tensor::MatrixF& w, double ratio,
+                                 std::size_t heads, std::size_t group) {
+  const std::size_t d = w.rows();
+  assert(d % heads == 0);
+  const std::size_t dk = d / heads;
+  const std::size_t full_groups = dk / group;  // partial tail never pruned
+  const auto prune_per_head = static_cast<std::size_t>(
+      std::floor(static_cast<double>(full_groups) * ratio + 0.5));
+
+  sparse::Mask mask(w.rows(), w.cols(), 1);
+  if (prune_per_head == 0 || full_groups == 0) return mask;
+
+  for (std::size_t h = 0; h < heads; ++h) {
+    // Score each group in this head.
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(full_groups);
+    for (std::size_t g = 0; g < full_groups; ++g) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < group; ++i) {
+        const std::size_t r = h * dk + g * group + i;
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+          s += static_cast<double>(w(r, c)) * static_cast<double>(w(r, c));
+        }
+      }
+      scored.emplace_back(s, g);
+    }
+    std::sort(scored.begin(), scored.end());
+    const std::size_t kill =
+        std::min(prune_per_head,
+                 full_groups > 0 ? full_groups - 1 : std::size_t{0});
+    for (std::size_t n = 0; n < kill; ++n) {
+      const std::size_t g = scored[n].second;
+      for (std::size_t i = 0; i < group; ++i) {
+        const std::size_t r = h * dk + g * group + i;
+        for (std::size_t c = 0; c < w.cols(); ++c) mask(r, c) = 0;
+      }
+    }
+  }
+  return mask;
+}
+
+/// Kill W_O tiles whose entire input (column) strip corresponds to pruned
+/// Z columns. Only valid when the dead V rows are globally 16-aligned.
+void intersect_wo_with_dead_v(sparse::Mask& wo_mask,
+                              const sparse::Mask& v_mask) {
+  const std::size_t d = v_mask.rows();
+  for (std::size_t tc = 0; tc < d / 16; ++tc) {
+    bool all_dead = true;
+    for (std::size_t i = 0; i < 16 && all_dead; ++i) {
+      all_dead = v_mask(tc * 16 + i, 0) == 0;
+    }
+    if (!all_dead) continue;
+    for (std::size_t r = 0; r < wo_mask.rows(); ++r) {
+      for (std::size_t i = 0; i < 16; ++i) wo_mask(r, tc * 16 + i) = 0;
+    }
+  }
+}
+
+sparse::Mask full_mask(const tensor::MatrixF& w) {
+  return sparse::Mask(w.rows(), w.cols(), 1);
+}
+
+}  // namespace
+
+double ModelMasks::overall_ratio() const {
+  std::size_t zeros = 0, total = 0;
+  const auto count = [&](const sparse::Mask& m) {
+    for (auto v : m.flat()) zeros += (v == 0);
+    total += m.size();
+  };
+  for (const auto& l : layers) {
+    count(l.wq);
+    count(l.wk);
+    count(l.wv);
+    count(l.wo);
+    count(l.ff1);
+    count(l.ff2);
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+LayerMasks compute_layer_masks(const train::EncoderLayer& layer,
+                               Strategy strategy, double ratio,
+                               const StrategyOptions& opt) {
+  const auto& wq = layer.mha.wq.weight.w;
+  const auto& wk = layer.mha.wk.weight.w;
+  const auto& wv = layer.mha.wv.weight.w;
+  const auto& wo = layer.mha.wo.weight.w;
+  const auto& ff1 = layer.ff1.weight.w;
+  const auto& ff2 = layer.ff2.weight.w;
+
+  LayerMasks m;
+  switch (strategy) {
+    case Strategy::kIrregular:
+      m = {magnitude_mask(wq, ratio), magnitude_mask(wk, ratio),
+           magnitude_mask(wv, ratio), magnitude_mask(wo, ratio),
+           magnitude_mask(ff1, ratio), magnitude_mask(ff2, ratio)};
+      break;
+    case Strategy::kColumn:
+      m = {column_mask(wq, ratio), column_mask(wk, ratio),
+           column_mask(wv, ratio), column_mask(wo, ratio),
+           column_mask(ff1, ratio), column_mask(ff2, ratio)};
+      break;
+    case Strategy::kTile:
+      m = {tile_mask(wq, ratio), tile_mask(wk, ratio), tile_mask(wv, ratio),
+           tile_mask(wo, ratio), tile_mask(ff1, ratio), tile_mask(ff2, ratio)};
+      break;
+    case Strategy::kAttentionAware: {
+      const std::size_t heads = layer.mha.num_heads();
+      m.wq = tile_mask(wq, ratio);
+      m.wk = tile_mask(wk, ratio);
+      m.ff1 = tile_mask(ff1, ratio);
+      m.ff2 = tile_mask(ff2, ratio);
+      if (opt.precompute_vo) {
+        // Fig. 3(b): W_V dense, W_O row-pruned, folded at deploy time.
+        m.wv = full_mask(wv);
+        m.wo = row_mask(wo, ratio);
+      } else {
+        // Table 1 / Fig. 13(a): W_V row-pruned, W_O tile-pruned; kill the
+        // W_O tiles fed only by dead Z columns when alignment permits.
+        m.wv = balanced_v_row_mask(wv, ratio, heads, opt.v_group);
+        m.wo = tile_mask(wo, ratio);
+        const std::size_t dk = wv.rows() / heads;
+        if (opt.v_group == 16 && dk % 16 == 0) {
+          intersect_wo_with_dead_v(m.wo, m.wv);
+        }
+      }
+      break;
+    }
+  }
+  return m;
+}
+
+ModelMasks compute_model_masks(train::TransformerModel& model,
+                               Strategy strategy, double ratio,
+                               const StrategyOptions& opt) {
+  ModelMasks masks;
+  masks.layers.reserve(model.layers().size());
+  for (const auto& layer : model.layers()) {
+    masks.layers.push_back(compute_layer_masks(layer, strategy, ratio, opt));
+  }
+  return masks;
+}
+
+void attach_masks(train::TransformerModel& model, ModelMasks& masks) {
+  if (masks.layers.size() != model.layers().size()) {
+    throw std::invalid_argument("attach_masks: layer count mismatch");
+  }
+  for (std::size_t l = 0; l < masks.layers.size(); ++l) {
+    auto& layer = model.layers()[l];
+    auto& m = masks.layers[l];
+    layer.mha.wq.weight.mask = &m.wq;
+    layer.mha.wk.weight.mask = &m.wk;
+    layer.mha.wv.weight.mask = &m.wv;
+    layer.mha.wo.weight.mask = &m.wo;
+    layer.ff1.weight.mask = &m.ff1;
+    layer.ff2.weight.mask = &m.ff2;
+    layer.mha.wq.weight.enforce_mask();
+    layer.mha.wk.weight.enforce_mask();
+    layer.mha.wv.weight.enforce_mask();
+    layer.mha.wo.weight.enforce_mask();
+    layer.ff1.weight.enforce_mask();
+    layer.ff2.weight.enforce_mask();
+  }
+}
+
+nn::EncoderWeights deploy_layer(const train::EncoderLayer& layer,
+                                const LayerMasks& masks, Strategy strategy,
+                                const StrategyOptions& opt) {
+  const auto& mha = layer.mha;
+  nn::EncoderWeights w;
+
+  const auto method = [&]() -> sparse::PruneMethod {
+    switch (strategy) {
+      case Strategy::kIrregular: return sparse::PruneMethod::kIrregular;
+      case Strategy::kColumn: return sparse::PruneMethod::kColumn;
+      case Strategy::kTile:
+      case Strategy::kAttentionAware: return sparse::PruneMethod::kTile;
+    }
+    return sparse::PruneMethod::kDense;
+  }();
+
+  w.attn.wq = sparse::make_weight(method, mha.wq.weight.w, masks.wq);
+  w.attn.wk = sparse::make_weight(method, mha.wk.weight.w, masks.wk);
+  w.w_ff1 = sparse::make_weight(method, layer.ff1.weight.w, masks.ff1);
+  w.w_ff2 = sparse::make_weight(method, layer.ff2.weight.w, masks.ff2);
+
+  if (strategy == Strategy::kAttentionAware && opt.precompute_vo) {
+    w.attn.wv = sparse::DenseWeight(mha.wv.weight.w);
+    auto wo_row = sparse::RowPrunedWeight::from_masked(mha.wo.weight.w,
+                                                       masks.wo);
+    w.attn.vo = core::precompute_vo(mha.wv.weight.w, mha.wo.weight.w,
+                                    mha.num_heads(), wo_row.kept_rows());
+    w.attn.wo = std::move(wo_row);
+  } else if (strategy == Strategy::kAttentionAware) {
+    w.attn.wv = sparse::RowPrunedWeight::from_masked(mha.wv.weight.w,
+                                                     masks.wv);
+    w.attn.wo = sparse::make_weight(method, mha.wo.weight.w, masks.wo);
+  } else {
+    w.attn.wv = sparse::make_weight(method, mha.wv.weight.w, masks.wv);
+    w.attn.wo = sparse::make_weight(method, mha.wo.weight.w, masks.wo);
+  }
+
+  w.b_ff1 = layer.ff1.bias;
+  w.b_ff2 = layer.ff2.bias;
+  w.ln1_gamma = layer.ln1.gamma;
+  w.ln1_beta = layer.ln1.beta;
+  w.ln2_gamma = layer.ln2.gamma;
+  w.ln2_beta = layer.ln2.beta;
+  return w;
+}
+
+std::vector<nn::EncoderWeights> deploy_model(train::TransformerModel& model,
+                                             const ModelMasks& masks,
+                                             Strategy strategy,
+                                             const StrategyOptions& opt) {
+  std::vector<nn::EncoderWeights> out;
+  out.reserve(model.layers().size());
+  for (std::size_t l = 0; l < model.layers().size(); ++l) {
+    out.push_back(
+        deploy_layer(model.layers()[l], masks.layers[l], strategy, opt));
+  }
+  return out;
+}
+
+}  // namespace et::pruning

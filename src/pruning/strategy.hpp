@@ -1,0 +1,87 @@
+// The four whole-model pruning strategies compared in Table 1 / Fig. 13,
+// and the deployment step that turns a trained (and masked) model into
+// inference-side pruned weight formats.
+//
+//   kIrregular       — magnitude pruning on every matrix → IrregularWeight.
+//   kColumn          — column pruning on every matrix → ColPrunedWeight.
+//   kTile            — tensor-tile pruning on every matrix → TilePruned.
+//   kAttentionAware  — §4.3 / Table 1: W_V row-pruned (16-row groups,
+//                      balanced per head so E.T. can consume the condensed
+//                      V), everything else tensor-tile pruned. When W_V's
+//                      head blocks are 16-aligned, W_O's mask is
+//                      additionally intersected with the dead Z columns,
+//                      which is the "attention-aware pruning can further
+//                      increase sparsity" effect of §5.3.3.
+//
+// A separate flag selects the pre-computed linear transformation variant
+// of §4.3 / Fig. 3(b): W_V dense, W_O row-pruned, W_VO folded at deploy.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "nn/encoder.hpp"
+#include "sparse/mask.hpp"
+#include "train/model.hpp"
+
+namespace et::pruning {
+
+enum class Strategy { kIrregular, kColumn, kTile, kAttentionAware };
+
+[[nodiscard]] constexpr std::string_view to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kIrregular: return "irregular";
+    case Strategy::kColumn: return "column";
+    case Strategy::kTile: return "tile";
+    case Strategy::kAttentionAware: return "attention-aware";
+  }
+  return "?";
+}
+
+struct StrategyOptions {
+  /// Use the Fig. 3(b) pre-computed W_V·W_O variant of attention-aware
+  /// pruning (W_V dense, W_O row-pruned) instead of the Table 1 variant
+  /// (W_V row-pruned, W_O tile-pruned).
+  bool precompute_vo = false;
+  /// Row-group granularity of attention-aware W_V pruning.
+  std::size_t v_group = 16;
+};
+
+struct LayerMasks {
+  sparse::Mask wq, wk, wv, wo, ff1, ff2;
+};
+
+struct ModelMasks {
+  std::vector<LayerMasks> layers;
+  /// Weighted fraction of pruned weight entries across all masks.
+  [[nodiscard]] double overall_ratio() const;
+};
+
+/// Compute masks for one encoder layer's six weight matrices.
+[[nodiscard]] LayerMasks compute_layer_masks(const train::EncoderLayer& layer,
+                                             Strategy strategy, double ratio,
+                                             const StrategyOptions& opt = {});
+
+/// Compute masks for every layer of a model.
+[[nodiscard]] ModelMasks compute_model_masks(train::TransformerModel& model,
+                                             Strategy strategy, double ratio,
+                                             const StrategyOptions& opt = {});
+
+/// Zero the pruned weights and attach the masks to the Params so masked
+/// retraining keeps them at zero (Fig. 6 steps (v)–(vi)). `masks` must
+/// outlive the model's training.
+void attach_masks(train::TransformerModel& model, ModelMasks& masks);
+
+/// Convert one trained+masked layer into inference weights in the formats
+/// the strategy prescribes.
+[[nodiscard]] nn::EncoderWeights deploy_layer(const train::EncoderLayer& layer,
+                                              const LayerMasks& masks,
+                                              Strategy strategy,
+                                              const StrategyOptions& opt = {});
+
+/// Deploy every layer of a model.
+[[nodiscard]] std::vector<nn::EncoderWeights> deploy_model(
+    train::TransformerModel& model, const ModelMasks& masks, Strategy strategy,
+    const StrategyOptions& opt = {});
+
+}  // namespace et::pruning

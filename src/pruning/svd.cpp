@@ -1,0 +1,118 @@
+#include "pruning/svd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace et::pruning {
+
+namespace {
+
+/// Thin QR (modified Gram-Schmidt) of the columns of a, in place.
+void orthonormalize(tensor::MatrixF& a) {
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.rows(); ++i) {
+        dot += static_cast<double>(a(i, k)) * static_cast<double>(a(i, j));
+      }
+      for (std::size_t i = 0; i < a.rows(); ++i) {
+        a(i, j) -= static_cast<float>(dot) * a(i, k);
+      }
+    }
+    double norm = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      norm += static_cast<double>(a(i, j)) * static_cast<double>(a(i, j));
+    }
+    norm = std::sqrt(norm);
+    const float inv = norm > 1e-12 ? static_cast<float>(1.0 / norm) : 0.0f;
+    for (std::size_t i = 0; i < a.rows(); ++i) a(i, j) *= inv;
+  }
+}
+
+}  // namespace
+
+std::size_t rank_for_ratio(std::size_t m, std::size_t n, double ratio) {
+  const double budget = (1.0 - ratio) * static_cast<double>(m) *
+                        static_cast<double>(n) /
+                        static_cast<double>(m + n);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(budget));
+}
+
+tensor::MatrixF low_rank_approx(const tensor::MatrixF& w, std::size_t rank,
+                                std::uint64_t seed, std::size_t power_iters) {
+  const std::size_t m = w.rows();
+  const std::size_t n = w.cols();
+  rank = std::min({rank, m, n});
+
+  // Randomized range finder: Y = (W Wᵀ)^p W Ω, Ω ~ N(0,1)^{n×rank}.
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  tensor::MatrixF y(m, rank);
+  {
+    tensor::MatrixF omega(n, rank);
+    for (auto& v : omega.flat()) v = dist(rng);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < rank; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          acc += static_cast<double>(w(i, k)) *
+                 static_cast<double>(omega(k, j));
+        }
+        y(i, j) = static_cast<float>(acc);
+      }
+    }
+  }
+  for (std::size_t it = 0; it < power_iters; ++it) {
+    orthonormalize(y);
+    // z = Wᵀ y ; y = W z
+    tensor::MatrixF z(n, rank);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < rank; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < m; ++k) {
+          acc += static_cast<double>(w(k, i)) * static_cast<double>(y(k, j));
+        }
+        z(i, j) = static_cast<float>(acc);
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < rank; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          acc += static_cast<double>(w(i, k)) * static_cast<double>(z(k, j));
+        }
+        y(i, j) = static_cast<float>(acc);
+      }
+    }
+  }
+  orthonormalize(y);  // y = Q, m×rank orthonormal
+
+  // Projection: B = Qᵀ W (rank × n); reconstruction Q·B is the rank-k
+  // approximation (no need to diagonalize B for reconstruction purposes).
+  tensor::MatrixF b(rank, n);
+  for (std::size_t i = 0; i < rank; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < m; ++k) {
+        acc += static_cast<double>(y(k, i)) * static_cast<double>(w(k, j));
+      }
+      b(i, j) = static_cast<float>(acc);
+    }
+  }
+  tensor::MatrixF out(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < rank; ++k) {
+        acc += static_cast<double>(y(i, k)) * static_cast<double>(b(k, j));
+      }
+      out(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace et::pruning

@@ -1,0 +1,26 @@
+// Low-rank (SVD) compression baseline (§6 "E.T. tensor tile pruning vs
+// existing pruning methods", item (ii)): the paper compares against a
+// truncated-SVD compressed Transformer and finds it underperforms all
+// four pruning methods (Fig. 14 discussion).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace et::pruning {
+
+/// Rank-k approximation of W via randomized subspace iteration: returns
+/// the reconstructed (full-shape) matrix U·Σ·Vᵀ truncated to `rank`.
+[[nodiscard]] tensor::MatrixF low_rank_approx(const tensor::MatrixF& w,
+                                              std::size_t rank,
+                                              std::uint64_t seed = 42,
+                                              std::size_t power_iters = 4);
+
+/// Rank that matches a parameter budget: a rank-k factorization of an
+/// m×n matrix stores k(m+n) values, so compressing by `ratio` keeps
+/// k = (1-ratio)·m·n / (m+n).
+[[nodiscard]] std::size_t rank_for_ratio(std::size_t m, std::size_t n,
+                                         double ratio);
+
+}  // namespace et::pruning

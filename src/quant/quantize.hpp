@@ -1,0 +1,45 @@
+// INT8 post-training quantization — the §2.2/§6 extension point (A100
+// tensor cores run INT8 at 2× the FP16 rate; GOBO [60] quantizes
+// attention models for latency/energy). E.T.'s pruning composes with
+// quantization: a tile-pruned weight quantizes tile by tile.
+//
+// Scheme: symmetric per-row (per output channel) int8 with an FP scale,
+//   w ≈ scale_r · q,  q ∈ [-127, 127],
+// activations quantized per-tensor on the fly inside the kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "tensor/matrix.hpp"
+
+namespace et::quant {
+
+struct QuantizedWeight {
+  tensor::Matrix<std::int8_t> q;   ///< (out × in)
+  std::vector<float> row_scale;    ///< per output row
+  [[nodiscard]] std::size_t rows() const noexcept { return q.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return q.cols(); }
+};
+
+/// Symmetric per-row quantization of a weight matrix.
+[[nodiscard]] QuantizedWeight quantize_weight(const tensor::MatrixF& w);
+
+/// Reconstruct the FP32 view (for error measurement / tests).
+[[nodiscard]] tensor::MatrixF dequantize(const QuantizedWeight& w);
+
+/// Largest |w - dequantize(quantize(w))| relative to the row scale — the
+/// quantization step is scale/1, so this is ≤ 0.5 for a correct rounding.
+[[nodiscard]] double max_quantization_error_steps(const tensor::MatrixF& w,
+                                                  const QuantizedWeight& qw);
+
+/// Y = X · Wᵀ with an INT8 tensor-core kernel: X is quantized per-tensor
+/// on the fly, the int32 accumulators are rescaled to float in the
+/// epilogue. Traffic: 1-byte operands; compute: 2× the FP16 tensor rate.
+[[nodiscard]] tensor::MatrixF int8_linear(gpusim::Device& dev,
+                                          const tensor::MatrixF& x,
+                                          const QuantizedWeight& w,
+                                          std::string_view name = "int8_linear");
+
+}  // namespace et::quant

@@ -1,0 +1,57 @@
+#include "sparse/mask.hpp"
+
+#include <cassert>
+
+namespace et::sparse {
+
+double pruning_ratio(const Mask& mask) {
+  if (mask.empty()) return 0.0;
+  std::size_t zeros = 0;
+  for (auto v : mask.flat()) zeros += (v == 0);
+  return static_cast<double>(zeros) / static_cast<double>(mask.size());
+}
+
+void apply_mask(tensor::MatrixF& w, const Mask& mask) {
+  assert(w.rows() == mask.rows() && w.cols() == mask.cols());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (mask.flat()[i] == 0) w.flat()[i] = 0.0f;
+  }
+}
+
+bool is_row_structured(const Mask& mask) {
+  for (std::size_t r = 0; r < mask.rows(); ++r) {
+    const auto first = mask(r, 0);
+    for (std::size_t c = 1; c < mask.cols(); ++c) {
+      if (mask(r, c) != first) return false;
+    }
+  }
+  return true;
+}
+
+bool is_col_structured(const Mask& mask) {
+  for (std::size_t c = 0; c < mask.cols(); ++c) {
+    const auto first = mask(0, c);
+    for (std::size_t r = 1; r < mask.rows(); ++r) {
+      if (mask(r, c) != first) return false;
+    }
+  }
+  return true;
+}
+
+bool is_tile_structured(const Mask& mask, std::size_t tile_r,
+                        std::size_t tile_c) {
+  if (mask.rows() % tile_r != 0 || mask.cols() % tile_c != 0) return false;
+  for (std::size_t tr = 0; tr < mask.rows() / tile_r; ++tr) {
+    for (std::size_t tc = 0; tc < mask.cols() / tile_c; ++tc) {
+      const auto first = mask(tr * tile_r, tc * tile_c);
+      for (std::size_t i = 0; i < tile_r; ++i) {
+        for (std::size_t j = 0; j < tile_c; ++j) {
+          if (mask(tr * tile_r + i, tc * tile_c + j) != first) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace et::sparse

@@ -1,0 +1,32 @@
+// Pruning masks: 0/1 matrices the training side produces and the format
+// converters consume. A mask has the same shape as its weight matrix; a 0
+// entry means the weight is pruned.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace et::sparse {
+
+using Mask = tensor::Matrix<std::uint8_t>;
+
+/// Fraction of entries pruned (the paper's "pruning ratio").
+[[nodiscard]] double pruning_ratio(const Mask& mask);
+
+/// Zero out the weights the mask prunes (element-wise multiply, Fig. 6
+/// step (v)-4).
+void apply_mask(tensor::MatrixF& w, const Mask& mask);
+
+/// Is every row of the mask either all-ones or all-zeros?
+[[nodiscard]] bool is_row_structured(const Mask& mask);
+
+/// Is every column of the mask either all-ones or all-zeros?
+[[nodiscard]] bool is_col_structured(const Mask& mask);
+
+/// Is the mask constant within every tile_r × tile_c tile? (Requires the
+/// mask dimensions to be divisible by the tile dimensions.)
+[[nodiscard]] bool is_tile_structured(const Mask& mask, std::size_t tile_r,
+                                      std::size_t tile_c);
+
+}  // namespace et::sparse

@@ -1,0 +1,137 @@
+// Dense row-major matrix container used throughout E.T.
+//
+// Kept deliberately small: owning storage, checked element access in
+// debug builds, row spans, and head-slicing views (a "head" in the paper
+// is a contiguous block of columns of width d_model / H — the ‖ operator
+// in Fig. 3 concatenates heads along columns).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace et::tensor {
+
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<T> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<T> flat() noexcept { return {data_}; }
+  [[nodiscard]] std::span<const T> flat() const noexcept { return {data_}; }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  /// Bytes this matrix would occupy in (simulated) device global memory.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return data_.size() * sizeof(T);
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Transpose (out-of-place).
+template <typename T>
+[[nodiscard]] Matrix<T> transpose(const Matrix<T>& a) {
+  Matrix<T> t(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      t(c, r) = a(r, c);
+    }
+  }
+  return t;
+}
+
+/// Copy the column block [col0, col0+width) — e.g. one attention head.
+template <typename T>
+[[nodiscard]] Matrix<T> slice_cols(const Matrix<T>& a, std::size_t col0,
+                                   std::size_t width) {
+  assert(col0 + width <= a.cols());
+  Matrix<T> s(a.rows(), width);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      s(r, c) = a(r, col0 + c);
+    }
+  }
+  return s;
+}
+
+/// Copy the row block [row0, row0+height).
+template <typename T>
+[[nodiscard]] Matrix<T> slice_rows(const Matrix<T>& a, std::size_t row0,
+                                   std::size_t height) {
+  assert(row0 + height <= a.rows());
+  Matrix<T> s(height, a.cols());
+  for (std::size_t r = 0; r < height; ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      s(r, c) = a(row0 + r, c);
+    }
+  }
+  return s;
+}
+
+/// Concatenate along columns — the paper's ‖ operator over heads.
+template <typename T>
+[[nodiscard]] Matrix<T> concat_cols(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.rows() == b.rows());
+  Matrix<T> c(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c(r, j) = a(r, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) c(r, a.cols() + j) = b(r, j);
+  }
+  return c;
+}
+
+/// Write the column block of `dst` starting at col0 from `src`.
+template <typename T>
+void paste_cols(Matrix<T>& dst, const Matrix<T>& src, std::size_t col0) {
+  assert(col0 + src.cols() <= dst.cols());
+  assert(src.rows() == dst.rows());
+  for (std::size_t r = 0; r < src.rows(); ++r) {
+    for (std::size_t c = 0; c < src.cols(); ++c) {
+      dst(r, col0 + c) = src(r, c);
+    }
+  }
+}
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+
+}  // namespace et::tensor

@@ -1,0 +1,45 @@
+// Deterministic random initialization. Everything in the repo seeds
+// explicitly so every experiment is bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/matrix.hpp"
+
+namespace et::tensor {
+
+/// Fill with U(lo, hi).
+template <typename T>
+void fill_uniform(Matrix<T>& m, std::uint64_t seed, float lo = -1.0f,
+                  float hi = 1.0f) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (auto& v : m.flat()) v = T(dist(rng));
+}
+
+/// Fill with N(mean, stddev).
+template <typename T>
+void fill_normal(Matrix<T>& m, std::uint64_t seed, float mean = 0.0f,
+                 float stddev = 1.0f) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(mean, stddev);
+  for (auto& v : m.flat()) v = T(dist(rng));
+}
+
+/// Xavier/Glorot uniform init: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+template <typename T>
+void fill_xavier(Matrix<T>& m, std::uint64_t seed) {
+  const float a =
+      std::sqrt(6.0f / (static_cast<float>(m.rows()) + static_cast<float>(m.cols())));
+  fill_uniform(m, seed, -a, a);
+}
+
+/// Embedding-scale init used by the paper's models: N(0, 1/sqrt(d)).
+template <typename T>
+void fill_embedding(Matrix<T>& m, std::uint64_t seed) {
+  fill_normal(m, seed, 0.0f,
+              1.0f / std::sqrt(static_cast<float>(m.cols())));
+}
+
+}  // namespace et::tensor

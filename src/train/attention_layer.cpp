@@ -1,0 +1,142 @@
+#include "train/attention_layer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace et::train {
+
+MultiHeadAttention::MultiHeadAttention(std::size_t d_model,
+                                       std::size_t num_heads,
+                                       std::uint64_t seed, bool causal)
+    : wq(d_model, d_model, seed + 1),
+      wk(d_model, d_model, seed + 2),
+      wv(d_model, d_model, seed + 3),
+      wo(d_model, d_model, seed + 4),
+      d_model_(d_model),
+      heads_(num_heads),
+      causal_(causal) {}
+
+tensor::MatrixF MultiHeadAttention::forward(const tensor::MatrixF& x) {
+  const std::size_t s = x.rows();
+  const std::size_t dk = d_model_ / heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+
+  q_ = wq.forward(x);
+  k_ = wk.forward(x);
+  v_ = wv.forward(x);
+
+  // s_ stacks heads vertically: rows [h·s, (h+1)·s).
+  s_ = tensor::MatrixF(heads_ * s, s);
+  z_ = tensor::MatrixF(s, d_model_);
+
+  for (std::size_t h = 0; h < heads_; ++h) {
+    for (std::size_t i = 0; i < s; ++i) {
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::size_t j = 0; j < s; ++j) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < dk; ++c) {
+          acc += q_(i, h * dk + c) * k_(j, h * dk + c);
+        }
+        acc *= scale;
+        if (causal_ && j > i) acc = -std::numeric_limits<float>::infinity();
+        s_(h * s + i, j) = acc;
+        mx = std::max(mx, acc);
+      }
+      float sum = 0.0f;
+      for (std::size_t j = 0; j < s; ++j) {
+        float& e = s_(h * s + i, j);
+        e = std::exp(e - mx);
+        sum += e;
+      }
+      for (std::size_t j = 0; j < s; ++j) s_(h * s + i, j) /= sum;
+      for (std::size_t c = 0; c < dk; ++c) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < s; ++j) {
+          acc += s_(h * s + i, j) * v_(j, h * dk + c);
+        }
+        z_(i, h * dk + c) = acc;
+      }
+    }
+  }
+  return wo.forward(z_);
+}
+
+tensor::MatrixF MultiHeadAttention::backward(const tensor::MatrixF& dy) {
+  const std::size_t s = dy.rows();
+  const std::size_t dk = d_model_ / heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+
+  const tensor::MatrixF dz = wo.backward(dy);
+
+  tensor::MatrixF dq(s, d_model_), dkm(s, d_model_), dv(s, d_model_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    // dV_h = S_hᵀ · dZ_h
+    for (std::size_t j = 0; j < s; ++j) {
+      for (std::size_t c = 0; c < dk; ++c) {
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < s; ++i) {
+          acc += s_(h * s + i, j) * dz(i, h * dk + c);
+        }
+        dv(j, h * dk + c) = acc;
+      }
+    }
+    for (std::size_t i = 0; i < s; ++i) {
+      // dS row, then softmax backward in place.
+      std::vector<float> ds(s);
+      for (std::size_t j = 0; j < s; ++j) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < dk; ++c) {
+          acc += dz(i, h * dk + c) * v_(j, h * dk + c);
+        }
+        ds[j] = acc;
+      }
+      float dot = 0.0f;
+      for (std::size_t j = 0; j < s; ++j) dot += ds[j] * s_(h * s + i, j);
+      for (std::size_t j = 0; j < s; ++j) {
+        ds[j] = s_(h * s + i, j) * (ds[j] - dot);  // dA (pre-softmax grad)
+      }
+      // dQ_i += scale · Σ_j dA_ij K_j ; dK_j += scale · dA_ij Q_i.
+      for (std::size_t j = 0; j < s; ++j) {
+        if (causal_ && j > i) continue;  // masked entries carry no grad
+        const float d = ds[j] * scale;
+        for (std::size_t c = 0; c < dk; ++c) {
+          dq(i, h * dk + c) += d * k_(j, h * dk + c);
+          dkm(j, h * dk + c) += d * q_(i, h * dk + c);
+        }
+      }
+    }
+  }
+
+  tensor::MatrixF dx = wq.backward(dq);
+  const tensor::MatrixF dxk = wk.backward(dkm);
+  const tensor::MatrixF dxv = wv.backward(dv);
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    dx.flat()[i] += dxk.flat()[i] + dxv.flat()[i];
+  }
+  return dx;
+}
+
+void MultiHeadAttention::zero_grad() {
+  wq.zero_grad();
+  wk.zero_grad();
+  wv.zero_grad();
+  wo.zero_grad();
+}
+
+void MultiHeadAttention::collect(std::vector<Param*>& out) {
+  wq.collect(out);
+  wk.collect(out);
+  wv.collect(out);
+  wo.collect(out);
+}
+
+void MultiHeadAttention::bias_step(float lr, float beta1, float beta2,
+                                   float eps, long t) {
+  wq.bias_step(lr, beta1, beta2, eps, t);
+  wk.bias_step(lr, beta1, beta2, eps, t);
+  wv.bias_step(lr, beta1, beta2, eps, t);
+  wo.bias_step(lr, beta1, beta2, eps, t);
+}
+
+}  // namespace et::train

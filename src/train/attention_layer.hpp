@@ -1,0 +1,36 @@
+// Multi-head self-attention with full manual backward — the training-side
+// counterpart of src/core's inference operators.
+#pragma once
+
+#include "train/layers.hpp"
+
+namespace et::train {
+
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention() = default;
+  MultiHeadAttention(std::size_t d_model, std::size_t num_heads,
+                     std::uint64_t seed, bool causal);
+
+  [[nodiscard]] tensor::MatrixF forward(const tensor::MatrixF& x);
+  [[nodiscard]] tensor::MatrixF backward(const tensor::MatrixF& dy);
+
+  void zero_grad();
+  void collect(std::vector<Param*>& out);
+  void bias_step(float lr, float beta1, float beta2, float eps, long t);
+
+  Linear wq, wk, wv, wo;
+  [[nodiscard]] std::size_t d_model() const noexcept { return d_model_; }
+  [[nodiscard]] std::size_t num_heads() const noexcept { return heads_; }
+  [[nodiscard]] bool causal() const noexcept { return causal_; }
+
+ private:
+  std::size_t d_model_ = 0;
+  std::size_t heads_ = 0;
+  bool causal_ = true;
+
+  // forward caches
+  tensor::MatrixF q_, k_, v_, s_, z_;
+};
+
+}  // namespace et::train

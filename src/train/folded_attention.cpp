@@ -1,0 +1,205 @@
+#include "train/folded_attention.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "tensor/random.hpp"
+#include "train/attention_layer.hpp"
+
+namespace et::train {
+
+FoldedMultiHeadAttention::FoldedMultiHeadAttention(std::size_t d_model,
+                                                   std::size_t num_heads,
+                                                   std::uint64_t seed,
+                                                   bool causal)
+    : wq(d_model, d_model, seed + 1),
+      wk(d_model, d_model, seed + 2),
+      wvo(num_heads * d_model, d_model),
+      d_model_(d_model),
+      heads_(num_heads),
+      causal_(causal) {
+  // Initialize like the product of two Xavier matrices: variance
+  // 1/(d·(fan_in+fan_out)) keeps the folded path's output scale matched
+  // to the unfolded layer's.
+  tensor::fill_normal(wvo.w, seed + 3, 0.0f,
+                      1.0f / static_cast<float>(d_model));
+}
+
+FoldedMultiHeadAttention FoldedMultiHeadAttention::fold(
+    const MultiHeadAttention& mha) {
+  const std::size_t d = mha.d_model();
+  const std::size_t heads = mha.num_heads();
+  const std::size_t dk = d / heads;
+
+  FoldedMultiHeadAttention out(d, heads, 1, mha.causal());
+  out.wq.weight.w = mha.wq.weight.w;
+  out.wq.bias = mha.wq.bias;
+  out.wk.weight.w = mha.wk.weight.w;
+  out.wk.bias = mha.wk.bias;
+
+  // wvo(h·d + j, i) = Σ_k W_V(h·dk + k, i) · W_O(j, h·dk + k)  (Eq. 5).
+  for (std::size_t h = 0; h < heads; ++h) {
+    for (std::size_t j = 0; j < d; ++j) {
+      for (std::size_t i = 0; i < d; ++i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < dk; ++k) {
+          acc += static_cast<double>(mha.wv.weight.w(h * dk + k, i)) *
+                 static_cast<double>(mha.wo.weight.w(j, h * dk + k));
+        }
+        out.wvo.w(h * d + j, i) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+tensor::MatrixF FoldedMultiHeadAttention::forward(const tensor::MatrixF& x) {
+  const std::size_t s = x.rows();
+  const std::size_t d = d_model_;
+  const std::size_t dk = d / heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+
+  x_ = x;
+  q_ = wq.forward(x);
+  k_ = wk.forward(x);
+
+  // M = X · W_VOᵀ (s × H·d).
+  m_ = tensor::MatrixF(s, heads_ * d);
+#pragma omp parallel for schedule(static)
+  for (std::size_t t = 0; t < s; ++t) {
+    for (std::size_t j = 0; j < heads_ * d; ++j) {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < d; ++i) acc += x(t, i) * wvo.w(j, i);
+      m_(t, j) = acc;
+    }
+  }
+
+  // Scores per head, then Output = Σ_h S_h · M_h.
+  s_ = tensor::MatrixF(heads_ * s, s);
+  tensor::MatrixF out(s, d);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    for (std::size_t i = 0; i < s; ++i) {
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::size_t j = 0; j < s; ++j) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < dk; ++c) {
+          acc += q_(i, h * dk + c) * k_(j, h * dk + c);
+        }
+        acc *= scale;
+        if (causal_ && j > i) acc = -std::numeric_limits<float>::infinity();
+        s_(h * s + i, j) = acc;
+        mx = std::max(mx, acc);
+      }
+      float sum = 0.0f;
+      for (std::size_t j = 0; j < s; ++j) {
+        float& e = s_(h * s + i, j);
+        e = std::exp(e - mx);
+        sum += e;
+      }
+      for (std::size_t j = 0; j < s; ++j) s_(h * s + i, j) /= sum;
+      for (std::size_t c = 0; c < d; ++c) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < s; ++j) {
+          acc += s_(h * s + i, j) * m_(j, h * d + c);
+        }
+        out(i, c) += acc;
+      }
+    }
+  }
+  return out;
+}
+
+tensor::MatrixF FoldedMultiHeadAttention::backward(const tensor::MatrixF& dy) {
+  const std::size_t s = dy.rows();
+  const std::size_t d = d_model_;
+  const std::size_t dk = d / heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+
+  tensor::MatrixF dm(s, heads_ * d);
+  tensor::MatrixF dq(s, d), dkm(s, d);
+
+  for (std::size_t h = 0; h < heads_; ++h) {
+    // dM_h = S_hᵀ · dY.
+    for (std::size_t j = 0; j < s; ++j) {
+      for (std::size_t c = 0; c < d; ++c) {
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < s; ++i) {
+          acc += s_(h * s + i, j) * dy(i, c);
+        }
+        dm(j, h * d + c) = acc;
+      }
+    }
+    // dS, softmax backward, dQ/dK.
+    for (std::size_t i = 0; i < s; ++i) {
+      std::vector<float> ds(s);
+      for (std::size_t j = 0; j < s; ++j) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < d; ++c) {
+          acc += dy(i, c) * m_(j, h * d + c);
+        }
+        ds[j] = acc;
+      }
+      float dot = 0.0f;
+      for (std::size_t j = 0; j < s; ++j) dot += ds[j] * s_(h * s + i, j);
+      for (std::size_t j = 0; j < s; ++j) {
+        ds[j] = s_(h * s + i, j) * (ds[j] - dot);
+      }
+      for (std::size_t j = 0; j < s; ++j) {
+        if (causal_ && j > i) continue;
+        const float dv = ds[j] * scale;
+        for (std::size_t c = 0; c < dk; ++c) {
+          dq(i, h * dk + c) += dv * k_(j, h * dk + c);
+          dkm(j, h * dk + c) += dv * q_(i, h * dk + c);
+        }
+      }
+    }
+  }
+
+  // dW_VO += dMᵀ·X ; dx += dM·W_VO (per row block).
+  tensor::MatrixF dx(s, d);
+#pragma omp parallel for schedule(static)
+  for (std::size_t j = 0; j < heads_ * d; ++j) {
+    for (std::size_t i = 0; i < d; ++i) {
+      float acc = 0.0f;
+      for (std::size_t t = 0; t < s; ++t) acc += dm(t, j) * x_(t, i);
+      wvo.g(j, i) += acc;
+    }
+  }
+  for (std::size_t t = 0; t < s; ++t) {
+    for (std::size_t i = 0; i < d; ++i) {
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < heads_ * d; ++j) {
+        acc += dm(t, j) * wvo.w(j, i);
+      }
+      dx(t, i) = acc;
+    }
+  }
+
+  const tensor::MatrixF dxq = wq.backward(dq);
+  const tensor::MatrixF dxk = wk.backward(dkm);
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    dx.flat()[i] += dxq.flat()[i] + dxk.flat()[i];
+  }
+  return dx;
+}
+
+void FoldedMultiHeadAttention::zero_grad() {
+  wq.zero_grad();
+  wk.zero_grad();
+  wvo.zero_grad();
+}
+
+void FoldedMultiHeadAttention::collect(std::vector<Param*>& out) {
+  wq.collect(out);
+  wk.collect(out);
+  out.push_back(&wvo);
+}
+
+void FoldedMultiHeadAttention::bias_step(float lr, float beta1, float beta2,
+                                         float eps, long t) {
+  wq.bias_step(lr, beta1, beta2, eps, t);
+  wk.bias_step(lr, beta1, beta2, eps, t);
+}
+
+}  // namespace et::train

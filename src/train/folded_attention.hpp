@@ -1,0 +1,52 @@
+// "E.T. for training" (§7): a multi-head attention layer whose value/output
+// path is the *pre-computed* matrix W_VO = ‖ₕ (W_V,hᵀ·W_O,hᵀ) itself —
+// "the new architecture will not have W_V and W_O matrices anymore. It
+// will directly use [the folded] matrix... the backward propagation phase
+// will automatically update this new matrix as opposed to the prior ones."
+//
+// Forward:  M = X·W_VOᵀ (s × H·d, head-major blocks),
+//           Output = Σ_h softmax(Q_h·K_hᵀ/√d_k) · M_h.
+// The layer carries H·d² parameters in W_VO versus 2·d² for W_V+W_O; the
+// §4.3 row pruning is what makes the folded form economical at inference.
+#pragma once
+
+#include "train/layers.hpp"
+
+namespace et::train {
+
+class MultiHeadAttention;  // fold() source
+
+class FoldedMultiHeadAttention {
+ public:
+  FoldedMultiHeadAttention() = default;
+  FoldedMultiHeadAttention(std::size_t d_model, std::size_t num_heads,
+                           std::uint64_t seed, bool causal);
+
+  /// Initialize from a conventionally-parameterized layer by folding its
+  /// trained W_V/W_O (the §7 migration path). Q/K weights and biases copy
+  /// over; the result computes the same function (attention biases on
+  /// W_V/W_O excepted — fold() requires them to be zero).
+  static FoldedMultiHeadAttention fold(const MultiHeadAttention& mha);
+
+  [[nodiscard]] tensor::MatrixF forward(const tensor::MatrixF& x);
+  [[nodiscard]] tensor::MatrixF backward(const tensor::MatrixF& dy);
+
+  void zero_grad();
+  void collect(std::vector<Param*>& out);
+  void bias_step(float lr, float beta1, float beta2, float eps, long t);
+
+  Linear wq, wk;
+  Param wvo;  ///< (H·d_model) × d_model, head-major row blocks
+
+  [[nodiscard]] std::size_t d_model() const noexcept { return d_model_; }
+  [[nodiscard]] std::size_t num_heads() const noexcept { return heads_; }
+
+ private:
+  std::size_t d_model_ = 0;
+  std::size_t heads_ = 0;
+  bool causal_ = true;
+
+  tensor::MatrixF x_, q_, k_, m_, s_;
+};
+
+}  // namespace et::train

@@ -1,0 +1,86 @@
+// Manual-backprop layers for the training-side transformer.
+// Each layer caches what its backward pass needs during forward; the
+// training loop is strictly forward-then-backward per sample, gradients
+// accumulate across a batch, then the optimizer steps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "train/param.hpp"
+
+namespace et::train {
+
+/// y = x·Wᵀ + b.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(std::size_t out_features, std::size_t in_features,
+         std::uint64_t seed);
+
+  [[nodiscard]] tensor::MatrixF forward(const tensor::MatrixF& x);
+  /// Returns dL/dx; accumulates into weight.g / bias_g.
+  [[nodiscard]] tensor::MatrixF backward(const tensor::MatrixF& dy);
+
+  Param weight;  ///< (out × in)
+  std::vector<float> bias, bias_g, bias_m, bias_v;
+
+  void zero_grad();
+  void collect(std::vector<Param*>& out) { out.push_back(&weight); }
+  /// Adam step for the bias vector (Params handled by AdamW).
+  void bias_step(float lr, float beta1, float beta2, float eps, long t);
+
+ private:
+  tensor::MatrixF x_;  // cached input
+};
+
+/// Row-wise layer normalization with affine parameters.
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+  explicit LayerNorm(std::size_t dim);
+
+  [[nodiscard]] tensor::MatrixF forward(const tensor::MatrixF& x);
+  [[nodiscard]] tensor::MatrixF backward(const tensor::MatrixF& dy);
+
+  std::vector<float> gamma, beta, gamma_g, beta_g;
+
+  void zero_grad();
+  void step(float lr);  ///< plain SGD on the (tiny) affine parameters
+
+ private:
+  tensor::MatrixF xhat_;
+  std::vector<float> inv_std_;
+  float eps_ = 1e-5f;
+};
+
+/// GELU (tanh approximation).
+class Gelu {
+ public:
+  [[nodiscard]] tensor::MatrixF forward(const tensor::MatrixF& x);
+  [[nodiscard]] tensor::MatrixF backward(const tensor::MatrixF& dy);
+
+ private:
+  tensor::MatrixF x_;
+};
+
+/// Token embedding with sinusoidal positional encoding added.
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(std::size_t vocab, std::size_t dim, std::uint64_t seed);
+
+  [[nodiscard]] tensor::MatrixF forward(std::span<const std::int32_t> tokens,
+                                        bool add_positional = true);
+  void backward(const tensor::MatrixF& dy);
+
+  Param table;  ///< (vocab × dim)
+  void zero_grad() { table.zero_grad(); }
+  void collect(std::vector<Param*>& out) { out.push_back(&table); }
+
+ private:
+  std::vector<std::int32_t> tokens_;
+};
+
+}  // namespace et::train

@@ -1,0 +1,72 @@
+#include "train/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace et::train {
+
+namespace {
+/// softmax of one row in place; returns log(sum(exp)) + max for log-prob.
+void softmax_row(tensor::MatrixF& m, std::size_t r) {
+  float mx = -std::numeric_limits<float>::infinity();
+  for (std::size_t c = 0; c < m.cols(); ++c) mx = std::max(mx, m(r, c));
+  float sum = 0.0f;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    m(r, c) = std::exp(m(r, c) - mx);
+    sum += m(r, c);
+  }
+  for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) /= sum;
+}
+}  // namespace
+
+float cross_entropy_lm(const tensor::MatrixF& logits,
+                       std::span<const std::int32_t> targets,
+                       tensor::MatrixF& dlogits) {
+  assert(logits.rows() == targets.size());
+  dlogits = logits;
+  float loss = 0.0f;
+  const float inv_n = 1.0f / static_cast<float>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    softmax_row(dlogits, r);
+    const auto t = static_cast<std::size_t>(targets[r]);
+    assert(t < logits.cols());
+    loss -= std::log(std::max(dlogits(r, t), 1e-12f));
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      dlogits(r, c) *= inv_n;
+    }
+    dlogits(r, t) -= inv_n;
+  }
+  return loss * inv_n;
+}
+
+float cross_entropy_cls(const tensor::MatrixF& logits, std::int32_t label,
+                        tensor::MatrixF& dlogits) {
+  assert(logits.rows() == 1);
+  dlogits = logits;
+  softmax_row(dlogits, 0);
+  const auto t = static_cast<std::size_t>(label);
+  assert(t < logits.cols());
+  const float loss = -std::log(std::max(dlogits(0, t), 1e-12f));
+  dlogits(0, t) -= 1.0f;
+  return loss;
+}
+
+float mse(const tensor::MatrixF& logits, float target,
+          tensor::MatrixF& dlogits) {
+  assert(logits.rows() == 1 && logits.cols() == 1);
+  dlogits = tensor::MatrixF(1, 1);
+  const float diff = logits(0, 0) - target;
+  dlogits(0, 0) = 2.0f * diff;
+  return diff * diff;
+}
+
+std::int32_t argmax_row(const tensor::MatrixF& logits, std::size_t row) {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < logits.cols(); ++c) {
+    if (logits(row, c) > logits(row, best)) best = c;
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+}  // namespace et::train

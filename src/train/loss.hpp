@@ -1,0 +1,31 @@
+// Losses: per-position softmax cross-entropy (language modelling), single
+// softmax cross-entropy (classification), MSE (STS-B-style regression).
+// Each returns the scalar loss and fills the logit gradient.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace et::train {
+
+/// LM loss: logits (seq × vocab) vs targets (seq). Mean over positions.
+[[nodiscard]] float cross_entropy_lm(const tensor::MatrixF& logits,
+                                     std::span<const std::int32_t> targets,
+                                     tensor::MatrixF& dlogits);
+
+/// Classification loss: logits (1 × classes) vs a single label.
+[[nodiscard]] float cross_entropy_cls(const tensor::MatrixF& logits,
+                                      std::int32_t label,
+                                      tensor::MatrixF& dlogits);
+
+/// Regression loss: logits (1 × 1) vs a scalar target.
+[[nodiscard]] float mse(const tensor::MatrixF& logits, float target,
+                        tensor::MatrixF& dlogits);
+
+/// argmax of a (1 × classes) logit row.
+[[nodiscard]] std::int32_t argmax_row(const tensor::MatrixF& logits,
+                                      std::size_t row = 0);
+
+}  // namespace et::train

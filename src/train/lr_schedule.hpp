@@ -1,0 +1,66 @@
+// Learning-rate schedules. The original Transformer trains with the
+// inverse-square-root warmup schedule; BERT fine-tuning (the paper's
+// §5.1 recipe: lr selected in [3e-5, 5e-5], 4 epochs) uses linear decay
+// with warmup. Both are provided; the bench harness defaults to
+// warmup + linear decay, which also stabilizes the small-model training
+// used for the accuracy-side experiments.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace et::train {
+
+/// Linear warmup to `peak_lr` over `warmup_steps`, then linear decay to
+/// `floor_lr` at `total_steps`.
+class WarmupLinearDecay {
+ public:
+  WarmupLinearDecay(float peak_lr, std::size_t warmup_steps,
+                    std::size_t total_steps, float floor_lr = 0.0f)
+      : peak_(peak_lr),
+        warmup_(std::max<std::size_t>(warmup_steps, 1)),
+        total_(std::max(total_steps, warmup_steps + 1)),
+        floor_(floor_lr) {}
+
+  [[nodiscard]] float lr(std::size_t step) const {
+    if (step < warmup_) {
+      return peak_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_);
+    }
+    const float progress =
+        static_cast<float>(std::min(step, total_) - warmup_) /
+        static_cast<float>(total_ - warmup_);
+    return floor_ + (peak_ - floor_) * (1.0f - progress);
+  }
+
+ private:
+  float peak_;
+  std::size_t warmup_;
+  std::size_t total_;
+  float floor_;
+};
+
+/// The "Attention is all you need" schedule:
+/// lr = d_model^-0.5 · min(step^-0.5, step · warmup^-1.5).
+class NoamSchedule {
+ public:
+  NoamSchedule(std::size_t d_model, std::size_t warmup_steps,
+               float scale = 1.0f)
+      : d_model_(static_cast<float>(d_model)),
+        warmup_(static_cast<float>(std::max<std::size_t>(warmup_steps, 1))),
+        scale_(scale) {}
+
+  [[nodiscard]] float lr(std::size_t step) const {
+    const float s = static_cast<float>(step + 1);
+    return scale_ / std::sqrt(d_model_) *
+           std::min(1.0f / std::sqrt(s), s / std::pow(warmup_, 1.5f));
+  }
+
+ private:
+  float d_model_;
+  float warmup_;
+  float scale_;
+};
+
+}  // namespace et::train

@@ -1,0 +1,186 @@
+#include "train/model.hpp"
+
+#include <cassert>
+
+namespace et::train {
+
+// ------------------------------------------------------- EncoderLayer ----
+
+EncoderLayer::EncoderLayer(const TrainModelConfig& cfg, std::uint64_t seed)
+    : mha(cfg.d_model, cfg.num_heads, seed, cfg.causal),
+      ln1(cfg.d_model),
+      ln2(cfg.d_model),
+      ff1(cfg.d_ff, cfg.d_model, seed + 21),
+      ff2(cfg.d_model, cfg.d_ff, seed + 22) {}
+
+tensor::MatrixF EncoderLayer::forward(const tensor::MatrixF& x) {
+  attn_in_ = x;
+  tensor::MatrixF a = mha.forward(x);
+  for (std::size_t i = 0; i < a.size(); ++i) a.flat()[i] += x.flat()[i];
+  tensor::MatrixF h = ln1.forward(a);
+
+  mlp_in_ = h;
+  tensor::MatrixF m = ff2.forward(gelu.forward(ff1.forward(h)));
+  for (std::size_t i = 0; i < m.size(); ++i) m.flat()[i] += h.flat()[i];
+  return ln2.forward(m);
+}
+
+tensor::MatrixF EncoderLayer::backward(const tensor::MatrixF& dy) {
+  tensor::MatrixF dm = ln2.backward(dy);
+  // residual split: dm flows into the MLP and straight through.
+  tensor::MatrixF dh = ff1.backward(gelu.backward(ff2.backward(dm)));
+  for (std::size_t i = 0; i < dh.size(); ++i) dh.flat()[i] += dm.flat()[i];
+
+  tensor::MatrixF da = ln1.backward(dh);
+  tensor::MatrixF dx = mha.backward(da);
+  for (std::size_t i = 0; i < dx.size(); ++i) dx.flat()[i] += da.flat()[i];
+  return dx;
+}
+
+void EncoderLayer::zero_grad() {
+  mha.zero_grad();
+  ln1.zero_grad();
+  ln2.zero_grad();
+  ff1.zero_grad();
+  ff2.zero_grad();
+}
+
+void EncoderLayer::collect(std::vector<Param*>& out) {
+  mha.collect(out);
+  ff1.collect(out);
+  ff2.collect(out);
+}
+
+void EncoderLayer::aux_step(float lr, float beta1, float beta2, float eps,
+                            long t) {
+  mha.bias_step(lr, beta1, beta2, eps, t);
+  ff1.bias_step(lr, beta1, beta2, eps, t);
+  ff2.bias_step(lr, beta1, beta2, eps, t);
+  ln1.step(lr);
+  ln2.step(lr);
+}
+
+// --------------------------------------------------- TransformerModel ----
+
+TransformerModel::TransformerModel(const TrainModelConfig& cfg,
+                                   std::uint64_t seed)
+    : embedding(cfg.vocab_size, cfg.d_model, seed), cfg_(cfg) {
+  layers_.reserve(cfg.num_layers);
+  for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+    layers_.emplace_back(cfg, seed + 100 * (l + 1));
+  }
+}
+
+tensor::MatrixF TransformerModel::encode(
+    std::span<const std::int32_t> tokens) {
+  tensor::MatrixF h = embedding.forward(tokens);
+  for (auto& layer : layers_) h = layer.forward(h);
+  return h;
+}
+
+void TransformerModel::backward_trunk(const tensor::MatrixF& dy) {
+  tensor::MatrixF d = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    d = it->backward(d);
+  }
+  embedding.backward(d);
+}
+
+void TransformerModel::zero_grad() {
+  embedding.zero_grad();
+  for (auto& layer : layers_) layer.zero_grad();
+}
+
+std::vector<Param*> TransformerModel::params() {
+  std::vector<Param*> out;
+  embedding.collect(out);
+  for (auto& layer : layers_) layer.collect(out);
+  return out;
+}
+
+void TransformerModel::aux_step(float lr, float beta1, float beta2, float eps,
+                                long t) {
+  for (auto& layer : layers_) layer.aux_step(lr, beta1, beta2, eps, t);
+}
+
+// ------------------------------------------------------ TransformerLM ----
+
+TransformerLM::TransformerLM(const TrainModelConfig& cfg, std::uint64_t seed)
+    : trunk(cfg, seed), head(cfg.vocab_size, cfg.d_model, seed + 999) {}
+
+tensor::MatrixF TransformerLM::forward(std::span<const std::int32_t> tokens) {
+  return head.forward(trunk.encode(tokens));
+}
+
+void TransformerLM::backward(const tensor::MatrixF& dlogits) {
+  trunk.backward_trunk(head.backward(dlogits));
+}
+
+void TransformerLM::zero_grad() {
+  trunk.zero_grad();
+  head.zero_grad();
+}
+
+std::vector<Param*> TransformerLM::params() {
+  auto out = trunk.params();
+  head.collect(out);
+  return out;
+}
+
+void TransformerLM::aux_step(float lr, float beta1, float beta2, float eps,
+                             long t) {
+  trunk.aux_step(lr, beta1, beta2, eps, t);
+  head.bias_step(lr, beta1, beta2, eps, t);
+}
+
+// ---------------------------------------------- TransformerClassifier ----
+
+TransformerClassifier::TransformerClassifier(const TrainModelConfig& cfg,
+                                             std::size_t num_classes,
+                                             std::uint64_t seed)
+    : trunk(cfg, seed), head(num_classes, cfg.d_model, seed + 999) {}
+
+tensor::MatrixF TransformerClassifier::forward(
+    std::span<const std::int32_t> tokens) {
+  const tensor::MatrixF h = trunk.encode(tokens);
+  seq_len_ = h.rows();
+  // Mean pool over positions.
+  tensor::MatrixF pooled(1, h.cols());
+  for (std::size_t c = 0; c < h.cols(); ++c) {
+    float acc = 0.0f;
+    for (std::size_t r = 0; r < h.rows(); ++r) acc += h(r, c);
+    pooled(0, c) = acc / static_cast<float>(h.rows());
+  }
+  return head.forward(pooled);
+}
+
+void TransformerClassifier::backward(const tensor::MatrixF& dlogits) {
+  const tensor::MatrixF dpooled = head.backward(dlogits);
+  tensor::MatrixF dh(seq_len_, dpooled.cols());
+  const float inv = 1.0f / static_cast<float>(seq_len_);
+  for (std::size_t r = 0; r < seq_len_; ++r) {
+    for (std::size_t c = 0; c < dpooled.cols(); ++c) {
+      dh(r, c) = dpooled(0, c) * inv;
+    }
+  }
+  trunk.backward_trunk(dh);
+}
+
+void TransformerClassifier::zero_grad() {
+  trunk.zero_grad();
+  head.zero_grad();
+}
+
+std::vector<Param*> TransformerClassifier::params() {
+  auto out = trunk.params();
+  head.collect(out);
+  return out;
+}
+
+void TransformerClassifier::aux_step(float lr, float beta1, float beta2,
+                                     float eps, long t) {
+  trunk.aux_step(lr, beta1, beta2, eps, t);
+  head.bias_step(lr, beta1, beta2, eps, t);
+}
+
+}  // namespace et::train

@@ -1,0 +1,115 @@
+// Training-side transformer models: a next-token language model (the
+// WikiText-2 experiments) and a sequence classifier/regressor (the GLUE
+// experiments). Both are encoder stacks in the Fig. 1 layout.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "train/attention_layer.hpp"
+#include "train/layers.hpp"
+
+namespace et::train {
+
+struct TrainModelConfig {
+  std::size_t vocab_size = 256;
+  std::size_t d_model = 64;
+  std::size_t num_heads = 4;
+  std::size_t d_ff = 256;
+  std::size_t num_layers = 2;
+  bool causal = true;  ///< LM uses the causal mask; classifiers do not
+};
+
+class EncoderLayer {
+ public:
+  EncoderLayer() = default;
+  EncoderLayer(const TrainModelConfig& cfg, std::uint64_t seed);
+
+  [[nodiscard]] tensor::MatrixF forward(const tensor::MatrixF& x);
+  [[nodiscard]] tensor::MatrixF backward(const tensor::MatrixF& dy);
+
+  void zero_grad();
+  void collect(std::vector<Param*>& out);
+  void aux_step(float lr, float beta1, float beta2, float eps, long t);
+
+  MultiHeadAttention mha;
+  LayerNorm ln1, ln2;
+  Linear ff1, ff2;
+  Gelu gelu;
+
+ private:
+  tensor::MatrixF attn_in_, mlp_in_;
+};
+
+/// Shared encoder trunk + task-specific heads.
+class TransformerModel {
+ public:
+  TransformerModel() = default;
+  TransformerModel(const TrainModelConfig& cfg, std::uint64_t seed);
+
+  /// Token ids -> encoder output (seq × d_model).
+  [[nodiscard]] tensor::MatrixF encode(std::span<const std::int32_t> tokens);
+  /// Backward through the trunk given dL/d(encoder output).
+  void backward_trunk(const tensor::MatrixF& dy);
+
+  void zero_grad();
+  /// All matrix Params (weights + embedding table), for AdamW.
+  [[nodiscard]] std::vector<Param*> params();
+  /// Step the non-Param parameters (biases, layernorm affine).
+  void aux_step(float lr, float beta1, float beta2, float eps, long t);
+
+  [[nodiscard]] const TrainModelConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] std::vector<EncoderLayer>& layers() noexcept {
+    return layers_;
+  }
+  Embedding embedding;
+
+ private:
+  TrainModelConfig cfg_;
+  std::vector<EncoderLayer> layers_;
+};
+
+/// Next-token language model: encoder + tied-width output projection.
+class TransformerLM {
+ public:
+  TransformerLM() = default;
+  TransformerLM(const TrainModelConfig& cfg, std::uint64_t seed);
+
+  /// Returns per-position logits (seq × vocab).
+  [[nodiscard]] tensor::MatrixF forward(std::span<const std::int32_t> tokens);
+  void backward(const tensor::MatrixF& dlogits);
+
+  void zero_grad();
+  [[nodiscard]] std::vector<Param*> params();
+  void aux_step(float lr, float beta1, float beta2, float eps, long t);
+
+  TransformerModel trunk;
+  Linear head;  ///< (vocab × d_model)
+};
+
+/// Sequence classifier (num_classes > 1) or regressor (num_classes == 1):
+/// encoder + mean pool + linear head.
+class TransformerClassifier {
+ public:
+  TransformerClassifier() = default;
+  TransformerClassifier(const TrainModelConfig& cfg, std::size_t num_classes,
+                        std::uint64_t seed);
+
+  /// Returns logits (1 × num_classes).
+  [[nodiscard]] tensor::MatrixF forward(std::span<const std::int32_t> tokens);
+  void backward(const tensor::MatrixF& dlogits);
+
+  void zero_grad();
+  [[nodiscard]] std::vector<Param*> params();
+  void aux_step(float lr, float beta1, float beta2, float eps, long t);
+
+  TransformerModel trunk;
+  Linear head;
+
+ private:
+  std::size_t seq_len_ = 0;
+};
+
+}  // namespace et::train

@@ -1,0 +1,324 @@
+// The core contribution: all attention implementations compute the same
+// function; the pre-computed linear transformation is an identity (Eq. 5);
+// scale reordering fixes pure-FP16 overflow (§3.3); the adaptive dispatch
+// honors the §3.2 crossover and the Eq. 6 capacity limit.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "core/attention.hpp"
+#include "nn/reference.hpp"
+#include "pruning/criteria.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using et::core::AttentionConfig;
+using et::core::AttentionWeights;
+using et::gpusim::Device;
+using et::numeric::Precision;
+using et::tensor::MatrixF;
+
+AttentionConfig small_cfg(bool causal = true) {
+  AttentionConfig cfg;
+  cfg.seq_len = 24;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.precision = Precision::kFp32;
+  cfg.causal_mask = causal;
+  return cfg;
+}
+
+MatrixF random_input(const AttentionConfig& cfg, std::uint64_t seed = 77) {
+  MatrixF x(cfg.seq_len, cfg.d_model);
+  et::tensor::fill_normal(x, seed);
+  return x;
+}
+
+TEST(Attention, AllImplementationsMatchReference) {
+  const auto cfg = small_cfg();
+  const auto w = et::core::make_dense_weights(cfg, 5);
+  const MatrixF x = random_input(cfg);
+  const MatrixF ref = et::nn::reference_attention(x, w, cfg);
+
+  Device dev;
+  const MatrixF modular = et::core::modular_attention(dev, x, w, cfg);
+  const MatrixF fused = et::core::fused_attention(dev, x, w, cfg);
+  const MatrixF ft = et::core::fused_attention(dev, x, w, cfg, true);
+  const MatrixF otf = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF partial = et::core::partial_otf_attention(dev, x, w, cfg);
+
+  EXPECT_TRUE(allclose(modular, ref, 1e-4, 1e-3));
+  EXPECT_TRUE(allclose(fused, ref, 1e-4, 1e-3));
+  EXPECT_TRUE(allclose(ft, ref, 1e-4, 1e-3));
+  EXPECT_TRUE(allclose(otf, ref, 1e-4, 1e-3))
+      << "max diff " << max_abs_diff(otf, ref);
+  EXPECT_TRUE(allclose(partial, ref, 1e-4, 1e-3));
+}
+
+TEST(Attention, BidirectionalMaskMatchesReference) {
+  const auto cfg = small_cfg(/*causal=*/false);
+  const auto w = et::core::make_dense_weights(cfg, 6);
+  const MatrixF x = random_input(cfg);
+  const MatrixF ref = et::nn::reference_attention(x, w, cfg);
+  Device dev;
+  EXPECT_TRUE(allclose(et::core::otf_attention(dev, x, w, cfg), ref, 1e-4,
+                       1e-3));
+}
+
+TEST(Attention, PrecomputeIsExactIdentity) {
+  // Eq. 5: the pre-computed path "yields the same results as the original
+  // design" (§3.1).
+  const auto cfg = small_cfg();
+  auto w = et::core::make_dense_weights(cfg, 7);
+  const MatrixF x = random_input(cfg);
+  Device dev;
+  const MatrixF without = et::core::otf_attention(dev, x, w, cfg);
+
+  const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
+  const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
+  w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
+  ASSERT_TRUE(w.has_precomputed());
+  const MatrixF with = et::core::otf_attention(dev, x, w, cfg);
+
+  EXPECT_TRUE(allclose(with, without, 1e-3, 1e-3))
+      << "max diff " << max_abs_diff(with, without);
+}
+
+TEST(Attention, PrecomputeWithRowPrunedWoMatchesMaskedBaseline) {
+  const auto cfg = small_cfg();
+  auto w = et::core::make_dense_weights(cfg, 8);
+  const MatrixF x = random_input(cfg);
+  const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
+  const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
+
+  const auto wo_mask = et::pruning::row_mask(wo, 0.5);
+  auto wo_row = et::sparse::RowPrunedWeight::from_masked(wo, wo_mask);
+
+  // Baseline: dense path with the masked W_O.
+  AttentionWeights masked = w;
+  MatrixF wo_masked = wo;
+  et::sparse::apply_mask(wo_masked, wo_mask);
+  masked.wo = et::sparse::DenseWeight(wo_masked);
+  Device dev;
+  const MatrixF ref = et::core::otf_attention(dev, x, masked, cfg);
+
+  // Pre-computed path with only the kept rows folded in.
+  w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads, wo_row.kept_rows());
+  const MatrixF pre = et::core::otf_attention(dev, x, w, cfg);
+  EXPECT_TRUE(allclose(pre, ref, 1e-3, 1e-3))
+      << "max diff " << max_abs_diff(pre, ref);
+}
+
+TEST(Attention, PrecomputeSkipsOutputLinearKernel) {
+  const auto cfg = small_cfg();
+  auto w = et::core::make_dense_weights(cfg, 9);
+  const MatrixF x = random_input(cfg);
+  Device dev;
+  (void)et::core::otf_attention(dev, x, w, cfg);
+  EXPECT_GT(dev.time_us_matching("out_linear"), 0.0);
+  dev.reset();
+  const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
+  const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
+  w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
+  (void)et::core::otf_attention(dev, x, w, cfg);
+  EXPECT_EQ(dev.time_us_matching("out_linear"), 0.0);
+  EXPECT_GT(dev.time_us_matching("vo_linear"), 0.0);
+}
+
+TEST(Attention, CondensedVMatchesScatteredV) {
+  // Attention-aware row-pruned W_V: E.T. consumes the condensed V; result
+  // must equal running with the zero-padded V.
+  auto cfg = small_cfg();
+  auto w = et::core::make_dense_weights(cfg, 10);
+  const MatrixF x = random_input(cfg);
+  const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
+
+  // Balanced per-head mask: prune the last 8 rows of each 16-row head.
+  et::sparse::Mask mask(32, 32, 1);
+  for (std::size_t h = 0; h < 2; ++h) {
+    for (std::size_t r = 8; r < 16; ++r) {
+      for (std::size_t c = 0; c < 32; ++c) mask(h * 16 + r, c) = 0;
+    }
+  }
+  AttentionWeights pruned = w;
+  pruned.wv = et::sparse::RowPrunedWeight::from_masked(wv, mask);
+  ASSERT_TRUE(pruned.v_condensable(cfg.num_heads));
+
+  AttentionWeights padded = w;
+  MatrixF wv_masked = wv;
+  et::sparse::apply_mask(wv_masked, mask);
+  padded.wv = et::sparse::DenseWeight(wv_masked);
+
+  Device dev;
+  const MatrixF a = et::core::otf_attention(dev, x, pruned, cfg);
+  const MatrixF b = et::core::otf_attention(dev, x, padded, cfg);
+  EXPECT_TRUE(allclose(a, b, 1e-4, 1e-3)) << max_abs_diff(a, b);
+}
+
+TEST(Attention, UnbalancedRowPrunedVIsNotCondensable) {
+  auto cfg = small_cfg();
+  auto w = et::core::make_dense_weights(cfg, 11);
+  const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
+  et::sparse::Mask mask(32, 32, 1);
+  for (std::size_t c = 0; c < 32; ++c) mask(0, c) = 0;  // head 0 only
+  w.wv = et::sparse::RowPrunedWeight::from_masked(wv, mask);
+  EXPECT_FALSE(w.v_condensable(cfg.num_heads));
+  // Still numerically correct via the scatter path.
+  const MatrixF x = random_input(cfg);
+  Device dev;
+  const MatrixF out = et::core::otf_attention(dev, x, w, cfg);
+  EXPECT_EQ(out.rows(), cfg.seq_len);
+}
+
+TEST(Attention, ScaleReorderIsExactInFp32) {
+  auto cfg = small_cfg();
+  const auto w = et::core::make_dense_weights(cfg, 12);
+  const MatrixF x = random_input(cfg);
+  Device dev;
+  cfg.scale_before_multiply = true;
+  const MatrixF before = et::core::otf_attention(dev, x, w, cfg);
+  cfg.scale_before_multiply = false;
+  const MatrixF after = et::core::otf_attention(dev, x, w, cfg);
+  EXPECT_TRUE(allclose(before, after, 1e-5, 1e-5));
+}
+
+TEST(Attention, PureFp16OverflowsWithoutReorderOnly) {
+  // Fig. 4 in miniature: activations/weights large enough that unscaled
+  // Q·Kᵀ products exceed 65504, while scaled ones do not.
+  AttentionConfig cfg;
+  cfg.seq_len = 16;
+  cfg.d_model = 256;
+  cfg.num_heads = 2;
+  cfg.precision = Precision::kPureFp16;
+  cfg.causal_mask = false;
+
+  AttentionWeights w = et::core::make_dense_weights(cfg, 13);
+  // Scale weights up to "trained-model" magnitudes.
+  for (auto* any : {&w.wq, &w.wk}) {
+    auto& m = std::get<et::sparse::DenseWeight>(*any);
+    MatrixF big = m.matrix();
+    for (auto& v : big.flat()) v *= 15.0f;
+    *any = et::sparse::DenseWeight(std::move(big));
+  }
+  MatrixF x(cfg.seq_len, cfg.d_model);
+  et::tensor::fill_normal(x, 14, 0.0f, 4.0f);
+
+  Device dev;
+  cfg.scale_before_multiply = false;
+  et::numeric::reset_overflow_count();
+  (void)et::core::otf_attention(dev, x, w, cfg);
+  const auto overflows_after = et::numeric::overflow_count();
+  EXPECT_GT(overflows_after, 0u) << "unreordered pure FP16 must overflow";
+
+  cfg.scale_before_multiply = true;
+  et::numeric::reset_overflow_count();
+  (void)et::core::otf_attention(dev, x, w, cfg);
+  EXPECT_EQ(et::numeric::overflow_count(), 0u)
+      << "the §3.3 reorder keeps everything in range";
+}
+
+TEST(Attention, SharedBytesFollowEq6) {
+  AttentionConfig cfg;
+  cfg.seq_len = 384;
+  cfg.d_model = 1024;
+  cfg.num_heads = 16;
+  cfg.precision = Precision::kMixed;
+  // The §3.2 worked example: BERT_LARGE at seq 384 needs ~7 KB...
+  // (16·64 + 16·384) accumulator entries = 7168 floats.
+  const auto bytes = et::core::otf_shared_bytes(cfg);
+  EXPECT_GE(bytes, 7168u * 4u);
+  EXPECT_LT(bytes, 96u * 1024u) << "fits the V100S budget as the paper says";
+  // Pure FP16 halves the accumulator footprint (§3.3 overhead (i)).
+  AttentionConfig fp16 = cfg;
+  fp16.precision = Precision::kPureFp16;
+  EXPECT_LT(et::core::otf_shared_bytes(fp16), bytes);
+}
+
+TEST(Adaptive, ThresholdDispatch) {
+  Device dev;
+  auto cfg = small_cfg();
+  const auto w = et::core::make_dense_weights(cfg, 15);
+  const MatrixF x = random_input(cfg);
+  cfg.seq_len = 128;
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x, w, cfg),
+            et::core::AttentionImpl::kOtf);
+  cfg.seq_len = 225;
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x, w, cfg),
+            et::core::AttentionImpl::kPartialOtf);
+}
+
+TEST(Adaptive, SharedMemoryCapacityForcesPartial) {
+  // A device with tiny shared memory cannot host the full OTF kernel.
+  et::gpusim::DeviceSpec spec;
+  spec.shared_mem_per_cta_bytes = 1024;
+  Device dev(spec);
+  auto cfg = small_cfg();
+  cfg.seq_len = 64;
+  const auto w = et::core::make_dense_weights(cfg, 16);
+  const MatrixF x = random_input(cfg);
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x, w, cfg),
+            et::core::AttentionImpl::kPartialOtf);
+}
+
+TEST(Adaptive, AutoTuneAgreesWithThresholdAtExtremes) {
+  Device dev;
+  AttentionConfig cfg;
+  cfg.d_model = 768;
+  cfg.num_heads = 12;
+  cfg.precision = Precision::kPureFp16;
+  const auto w = et::core::make_dense_weights(cfg, 17);
+  et::core::AdaptivePolicy policy;
+  policy.auto_tune = true;
+
+  cfg.seq_len = 64;
+  MatrixF x64(64, 768);
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x64, w, cfg, policy),
+            et::core::AttentionImpl::kOtf);
+
+  cfg.seq_len = 512;
+  MatrixF x512(512, 768);
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x512, w, cfg, policy),
+            et::core::AttentionImpl::kPartialOtf);
+}
+
+TEST(Attention, OtfStoresLessLoadsMore) {
+  // Fig. 11's claim in kernel form: the fused OTF kernel stores much less
+  // and loads somewhat more than the TensorRT-like sequence.
+  AttentionConfig cfg;
+  cfg.seq_len = 128;
+  cfg.d_model = 768;
+  cfg.num_heads = 12;
+  cfg.precision = Precision::kMixed;
+  const auto w = et::core::make_dense_weights(cfg, 18);
+  MatrixF x(cfg.seq_len, cfg.d_model);
+
+  Device trt, otf;
+  trt.set_traffic_only(true);
+  otf.set_traffic_only(true);
+  (void)et::core::fused_attention(trt, x, w, cfg);
+  (void)et::core::otf_attention(otf, x, w, cfg);
+
+  // Compare the attention region only (steps ②–⑥) — both pipelines share
+  // the projection and output GEMMs.
+  const auto region = [](const Device& dev) {
+    std::uint64_t loads = 0, stores = 0;
+    std::size_t launches = 0;
+    for (const auto& k : dev.history()) {
+      if (k.name.find("linear") != std::string::npos) continue;
+      loads += k.global_load_bytes;
+      stores += k.global_store_bytes;
+      ++launches;
+    }
+    return std::tuple{loads, stores, launches};
+  };
+  const auto [trt_ld, trt_st, trt_n] = region(trt);
+  const auto [otf_ld, otf_st, otf_n] = region(otf);
+
+  EXPECT_LT(otf_st, trt_st / 2)
+      << "OTF never writes Q·Kᵀ or S to global memory";
+  EXPECT_GT(otf_ld, trt_ld) << "the price: K and V re-read per row tile";
+  EXPECT_LT(otf_n, trt_n) << "one kernel instead of four";
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Parameterized cross-equivalence sweeps: every attention implementation
+// must compute the same function across shapes, masks, precisions and
+// pruned weight formats.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/adaptive.hpp"
+#include "core/attention.hpp"
+#include "nn/reference.hpp"
+#include "pruning/criteria.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using et::core::AttentionConfig;
+using et::core::AttentionImpl;
+using et::core::AttentionWeights;
+using et::gpusim::Device;
+using et::numeric::Precision;
+using et::sparse::PruneMethod;
+using et::tensor::MatrixF;
+
+MatrixF run_impl(AttentionImpl impl, Device& dev, const MatrixF& x,
+                 const AttentionWeights& w, const AttentionConfig& cfg) {
+  switch (impl) {
+    case AttentionImpl::kModular:
+      return et::core::modular_attention(dev, x, w, cfg);
+    case AttentionImpl::kFused:
+      return et::core::fused_attention(dev, x, w, cfg);
+    case AttentionImpl::kOtf:
+      return et::core::otf_attention(dev, x, w, cfg);
+    case AttentionImpl::kPartialOtf:
+      return et::core::partial_otf_attention(dev, x, w, cfg);
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Shape sweep: (seq, d_model, heads, causal) × implementation.
+// ---------------------------------------------------------------------------
+class ShapeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, bool, AttentionImpl>> {};
+
+TEST_P(ShapeSweep, MatchesReference) {
+  const auto [seq, d, heads, causal, impl] = GetParam();
+  AttentionConfig cfg;
+  cfg.seq_len = seq;
+  cfg.d_model = d;
+  cfg.num_heads = heads;
+  cfg.causal_mask = causal;
+  cfg.precision = Precision::kFp32;
+  const auto w = et::core::make_dense_weights(cfg, 40 + seq + d);
+  MatrixF x(cfg.seq_len, cfg.d_model);
+  et::tensor::fill_normal(x, 50 + seq);
+
+  Device dev;
+  const MatrixF out = run_impl(impl, dev, x, w, cfg);
+  const MatrixF ref = et::nn::reference_attention(x, w, cfg);
+  EXPECT_TRUE(allclose(out, ref, 1e-4, 1e-3))
+      << "impl " << static_cast<int>(impl) << " seq " << seq << " d " << d
+      << " heads " << heads << " max diff " << max_abs_diff(out, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Combine(::testing::Values(8, 17, 32),      // seq (incl. odd)
+                       ::testing::Values(32, 48),         // d_model
+                       ::testing::Values(2, 4),           // heads
+                       ::testing::Bool(),                 // causal
+                       ::testing::Values(AttentionImpl::kModular,
+                                         AttentionImpl::kFused,
+                                         AttentionImpl::kOtf,
+                                         AttentionImpl::kPartialOtf)));
+
+// ---------------------------------------------------------------------------
+// Pruned-weight sweep: the OTF operator over every format × ratio must
+// equal the dense operator over the masked weights.
+// ---------------------------------------------------------------------------
+class PrunedWeightSweep
+    : public ::testing::TestWithParam<std::tuple<PruneMethod, double>> {};
+
+TEST_P(PrunedWeightSweep, OtfMatchesMaskedDense) {
+  const auto [method, ratio] = GetParam();
+  AttentionConfig cfg;
+  cfg.seq_len = 16;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.precision = Precision::kFp32;
+  auto dense_w = et::core::make_dense_weights(cfg, 60);
+  MatrixF x(16, 32);
+  et::tensor::fill_normal(x, 61);
+
+  // Prune W_Q with the given method; leave the rest dense.
+  const MatrixF wq = std::get<et::sparse::DenseWeight>(dense_w.wq).matrix();
+  et::sparse::Mask mask(32, 32, 1);
+  switch (method) {
+    case PruneMethod::kRow: mask = et::pruning::row_mask(wq, ratio); break;
+    case PruneMethod::kColumn:
+      mask = et::pruning::column_mask(wq, ratio);
+      break;
+    case PruneMethod::kTile: mask = et::pruning::tile_mask(wq, ratio); break;
+    case PruneMethod::kIrregular:
+      mask = et::pruning::magnitude_mask(wq, ratio);
+      break;
+    case PruneMethod::kDense: break;
+  }
+
+  AttentionWeights pruned = dense_w;
+  pruned.wq = et::sparse::make_weight(method, wq, mask);
+  AttentionWeights masked = dense_w;
+  MatrixF wq_masked = wq;
+  et::sparse::apply_mask(wq_masked, mask);
+  masked.wq = et::sparse::DenseWeight(wq_masked);
+
+  Device dev;
+  const MatrixF a = et::core::otf_attention(dev, x, pruned, cfg);
+  const MatrixF b = et::core::otf_attention(dev, x, masked, cfg);
+  EXPECT_TRUE(allclose(a, b, 1e-4, 1e-4))
+      << to_string(method) << " @ " << ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, PrunedWeightSweep,
+    ::testing::Combine(::testing::Values(PruneMethod::kRow,
+                                         PruneMethod::kColumn,
+                                         PruneMethod::kTile,
+                                         PruneMethod::kIrregular),
+                       ::testing::Values(0.25, 0.5, 0.75)));
+
+// ---------------------------------------------------------------------------
+// Precision sweep: reduced-precision outputs stay near the FP32 result.
+// ---------------------------------------------------------------------------
+class PrecisionSweep : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(PrecisionSweep, CloseToFp32) {
+  const Precision p = GetParam();
+  AttentionConfig cfg;
+  cfg.seq_len = 16;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.causal_mask = true;
+  const auto w = et::core::make_dense_weights(cfg, 70);
+  MatrixF x(16, 32);
+  et::tensor::fill_normal(x, 71);
+
+  Device dev;
+  cfg.precision = Precision::kFp32;
+  const MatrixF exact = et::core::otf_attention(dev, x, w, cfg);
+  cfg.precision = p;
+  cfg.scale_before_multiply = true;
+  const MatrixF approx = et::core::otf_attention(dev, x, w, cfg);
+  // Attention outputs are O(0.1-1); binary16 keeps ~3 decimal digits.
+  EXPECT_TRUE(allclose(approx, exact, 0.05, 0.05))
+      << to_string(p) << " max diff " << max_abs_diff(approx, exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, PrecisionSweep,
+                         ::testing::Values(Precision::kMixed,
+                                           Precision::kPureFp16,
+                                           Precision::kBf16Mixed));
+
+// ---------------------------------------------------------------------------
+// Adaptive consistency: whatever the dispatcher picks computes the same
+// function as the reference, at every length.
+// ---------------------------------------------------------------------------
+class AdaptiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptiveSweep, AdaptiveMatchesReference) {
+  const std::size_t seq = static_cast<std::size_t>(GetParam());
+  AttentionConfig cfg;
+  cfg.seq_len = seq;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.precision = Precision::kFp32;
+  const auto w = et::core::make_dense_weights(cfg, 80);
+  MatrixF x(seq, 32);
+  et::tensor::fill_normal(x, 81);
+  Device dev;
+  const MatrixF out = et::core::adaptive_attention(dev, x, w, cfg);
+  const MatrixF ref = et::nn::reference_attention(x, w, cfg);
+  EXPECT_TRUE(allclose(out, ref, 1e-4, 1e-3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AdaptiveSweep,
+                         ::testing::Values(16, 64, 200, 240, 288));
+
+}  // namespace

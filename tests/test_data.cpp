@@ -1,0 +1,138 @@
+// Synthetic datasets and metrics.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/metrics.hpp"
+#include "data/synthetic_glue.hpp"
+#include "data/synthetic_text.hpp"
+
+namespace {
+
+using et::data::GlueDataset;
+using et::data::GlueDatasetConfig;
+using et::data::GlueTask;
+using et::data::SyntheticCorpus;
+using et::data::TextCorpusConfig;
+
+TEST(Metrics, Accuracy) {
+  const std::int32_t p[] = {0, 1, 1, 0};
+  const std::int32_t l[] = {0, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(et::data::accuracy(p, l), 0.75);
+}
+
+TEST(Metrics, F1KnownValue) {
+  // tp=2, fp=1, fn=1 -> F1 = 2·2/(4+1+1) = 2/3.
+  const std::int32_t p[] = {1, 1, 1, 0, 0};
+  const std::int32_t l[] = {1, 1, 0, 1, 0};
+  EXPECT_NEAR(et::data::f1_score(p, l), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, F1DegenerateCases) {
+  const std::int32_t none_pos_p[] = {0, 0};
+  const std::int32_t none_pos_l[] = {0, 0};
+  EXPECT_EQ(et::data::f1_score(none_pos_p, none_pos_l), 0.0);
+}
+
+TEST(Metrics, SpearmanPerfectAndInverted) {
+  const float a[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const float up[] = {10.0f, 20.0f, 25.0f, 100.0f};  // monotone
+  const float down[] = {4.0f, 3.0f, 2.0f, 1.0f};
+  EXPECT_NEAR(et::data::spearman(a, up), 1.0, 1e-12);
+  EXPECT_NEAR(et::data::spearman(a, down), -1.0, 1e-12);
+}
+
+TEST(Metrics, SpearmanHandlesTies) {
+  const float a[] = {1.0f, 2.0f, 2.0f, 3.0f};
+  const float b[] = {1.0f, 2.0f, 2.0f, 3.0f};
+  EXPECT_NEAR(et::data::spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  TextCorpusConfig cfg;
+  const SyntheticCorpus a(cfg), b(cfg);
+  ASSERT_EQ(a.train().size(), b.train().size());
+  EXPECT_EQ(a.train()[0].tokens, b.train()[0].tokens);
+  EXPECT_EQ(a.successor_table(), b.successor_table());
+}
+
+TEST(Corpus, TargetsFollowSuccessorTableMostOfTheTime) {
+  TextCorpusConfig cfg;
+  cfg.determinism = 0.9;
+  const SyntheticCorpus corpus(cfg);
+  std::size_t follows = 0, total = 0;
+  for (const auto& ex : corpus.train()) {
+    for (std::size_t i = 0; i < ex.tokens.size(); ++i) {
+      follows += (ex.targets[i] == corpus.successor_table()[ex.tokens[i]]);
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(follows) /
+                      static_cast<double>(total);
+  EXPECT_GT(frac, 0.85);
+  EXPECT_LT(frac, 0.97);
+}
+
+TEST(Corpus, ChainIsConsistent) {
+  const SyntheticCorpus corpus(TextCorpusConfig{});
+  for (const auto& ex : corpus.train()) {
+    for (std::size_t i = 0; i + 1 < ex.tokens.size(); ++i) {
+      EXPECT_EQ(ex.tokens[i + 1], ex.targets[i])
+          << "targets are the shifted token stream";
+    }
+  }
+}
+
+TEST(Glue, SevenTasksWithPaperMetrics) {
+  using et::data::GlueMetric;
+  EXPECT_EQ(et::data::glue_task_spec(GlueTask::kMNLI).num_classes, 3u);
+  EXPECT_EQ(et::data::glue_task_spec(GlueTask::kQQP).metric, GlueMetric::kF1);
+  EXPECT_EQ(et::data::glue_task_spec(GlueTask::kMRPC).metric, GlueMetric::kF1);
+  EXPECT_EQ(et::data::glue_task_spec(GlueTask::kSTSB).metric,
+            GlueMetric::kSpearman);
+  EXPECT_EQ(et::data::glue_task_spec(GlueTask::kSTSB).num_classes, 1u);
+  EXPECT_EQ(et::data::glue_task_spec(GlueTask::kWNLI).signal_strength, 0.0);
+}
+
+TEST(Glue, WnliMajorityFractionNear563) {
+  GlueDatasetConfig cfg;
+  cfg.size_scale = 4.0;  // more samples for a tighter estimate
+  const GlueDataset ds(GlueTask::kWNLI, cfg);
+  std::size_t zeros = 0;
+  for (const auto& ex : ds.train()) zeros += (ex.label == 0);
+  const double frac = static_cast<double>(zeros) /
+                      static_cast<double>(ds.train().size());
+  EXPECT_NEAR(frac, 0.563, 0.08);
+}
+
+TEST(Glue, ClassificationTokensCarrySignal) {
+  const GlueDataset ds(GlueTask::kSST2, GlueDatasetConfig{});
+  // Count marker-region tokens (top of vocab) per class.
+  std::map<std::int32_t, std::size_t> marker_hits;
+  for (const auto& ex : ds.train()) {
+    for (const auto t : ex.tokens) {
+      if (t >= 240) ++marker_hits[ex.label];
+    }
+  }
+  EXPECT_GT(marker_hits[0], 0u);
+  EXPECT_GT(marker_hits[1], 0u);
+}
+
+TEST(Glue, RegressionTargetsInRange) {
+  const GlueDataset ds(GlueTask::kSTSB, GlueDatasetConfig{});
+  for (const auto& ex : ds.train()) {
+    EXPECT_GE(ex.target, 0.0f);
+    EXPECT_LE(ex.target, 5.0f);
+  }
+}
+
+TEST(Glue, SizeScaleShrinks) {
+  GlueDatasetConfig small;
+  small.size_scale = 0.25;
+  const GlueDataset big(GlueTask::kMNLI, GlueDatasetConfig{});
+  const GlueDataset tiny(GlueTask::kMNLI, small);
+  EXPECT_LT(tiny.train().size(), big.train().size());
+  EXPECT_GE(tiny.train().size(), 1u);
+}
+
+}  // namespace

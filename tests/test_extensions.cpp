@@ -1,0 +1,389 @@
+// Extensions beyond the paper's evaluation: serialization round trips,
+// cross-attention + decoder stacks, the §7 folded-attention training
+// layer, and other-hardware behaviour.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/attention.hpp"
+#include "nn/decoder.hpp"
+#include "nn/reference.hpp"
+#include "nn/serialize.hpp"
+#include "pruning/criteria.hpp"
+#include "pruning/strategy.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/random.hpp"
+#include "train/folded_attention.hpp"
+#include "train/model.hpp"
+
+namespace {
+
+using et::tensor::MatrixF;
+
+et::nn::ModelConfig tiny_model() {
+  et::nn::ModelConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_layers = 2;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.d_ff = 64;
+  return cfg;
+}
+
+// ------------------------------------------------------- serialization ----
+
+TEST(Serialize, DenseRoundTrip) {
+  const auto w = et::nn::make_dense_encoder_weights(tiny_model(), 3);
+  std::stringstream ss;
+  et::nn::save_encoder_stack(ss, {w});
+  const auto loaded = et::nn::load_encoder_stack(ss);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(allclose(to_dense(loaded[0].attn.wq), to_dense(w.attn.wq), 0.0,
+                       0.0));
+  EXPECT_TRUE(allclose(to_dense(loaded[0].w_ff2), to_dense(w.w_ff2), 0.0,
+                       0.0));
+  EXPECT_EQ(loaded[0].b_ff1, w.b_ff1);
+  EXPECT_EQ(loaded[0].ln2_gamma, w.ln2_gamma);
+}
+
+TEST(Serialize, PrunedFormatsRoundTripExactly) {
+  et::train::TrainModelConfig cfg;
+  cfg.vocab_size = 32;
+  cfg.d_model = 64;
+  cfg.num_heads = 4;
+  cfg.d_ff = 128;
+  cfg.num_layers = 1;
+  et::train::TransformerModel model(cfg, 4);
+
+  for (const auto strategy :
+       {et::pruning::Strategy::kIrregular, et::pruning::Strategy::kColumn,
+        et::pruning::Strategy::kTile,
+        et::pruning::Strategy::kAttentionAware}) {
+    const auto masks = et::pruning::compute_layer_masks(model.layers()[0],
+                                                        strategy, 0.5);
+    const auto w =
+        et::pruning::deploy_layer(model.layers()[0], masks, strategy);
+    std::stringstream ss;
+    et::nn::save_encoder_stack(ss, {w});
+    const auto loaded = et::nn::load_encoder_stack(ss);
+    ASSERT_EQ(loaded.size(), 1u);
+    // The format survives, not just the values.
+    EXPECT_EQ(method_of(loaded[0].attn.wq), method_of(w.attn.wq))
+        << to_string(strategy);
+    EXPECT_EQ(method_of(loaded[0].attn.wv), method_of(w.attn.wv));
+    EXPECT_TRUE(allclose(to_dense(loaded[0].attn.wv), to_dense(w.attn.wv),
+                         0.0, 0.0));
+    EXPECT_TRUE(allclose(to_dense(loaded[0].attn.wo), to_dense(w.attn.wo),
+                         0.0, 0.0));
+    EXPECT_NEAR(pruning_ratio(loaded[0].attn.wq),
+                pruning_ratio(w.attn.wq), 1e-12);
+  }
+}
+
+TEST(Serialize, PrecomputedVoRoundTrip) {
+  et::train::TrainModelConfig cfg;
+  cfg.vocab_size = 32;
+  cfg.d_model = 64;
+  cfg.num_heads = 4;
+  cfg.d_ff = 128;
+  cfg.num_layers = 1;
+  et::train::TransformerModel model(cfg, 5);
+  et::pruning::StrategyOptions opt;
+  opt.precompute_vo = true;
+  const auto masks = et::pruning::compute_layer_masks(
+      model.layers()[0], et::pruning::Strategy::kAttentionAware, 0.5, opt);
+  const auto w = et::pruning::deploy_layer(
+      model.layers()[0], masks, et::pruning::Strategy::kAttentionAware, opt);
+  ASSERT_TRUE(w.attn.has_precomputed());
+
+  std::stringstream ss;
+  et::nn::save_encoder_stack(ss, {w});
+  const auto loaded = et::nn::load_encoder_stack(ss);
+  ASSERT_TRUE(loaded[0].attn.has_precomputed());
+  EXPECT_EQ(loaded[0].attn.vo.kept_cols, w.attn.vo.kept_cols);
+  EXPECT_TRUE(allclose(loaded[0].attn.vo.weight, w.attn.vo.weight, 0.0, 0.0));
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "this is not an ETW file at all";
+  EXPECT_THROW((void)et::nn::load_encoder_stack(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  const auto w = et::nn::make_dense_encoder_weights(tiny_model(), 6);
+  std::stringstream ss;
+  et::nn::save_encoder_stack(ss, {w});
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)et::nn::load_encoder_stack(cut), std::runtime_error);
+}
+
+// ------------------------------------------------------ cross-attention ----
+
+TEST(CrossAttention, MatchesReference) {
+  et::core::AttentionConfig cfg;
+  cfg.seq_len = 12;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.precision = et::numeric::Precision::kFp32;
+  cfg.causal_mask = false;
+  const auto w = et::core::make_dense_weights(cfg, 7);
+  MatrixF x(12, 32), memory(20, 32);
+  et::tensor::fill_normal(x, 8);
+  et::tensor::fill_normal(memory, 9);
+
+  et::gpusim::Device dev;
+  const MatrixF out = et::core::otf_cross_attention(dev, x, memory, w, cfg);
+  const MatrixF ref = et::nn::reference_cross_attention(x, memory, w, cfg);
+  EXPECT_TRUE(allclose(out, ref, 1e-4, 1e-3))
+      << "max diff " << max_abs_diff(out, ref);
+}
+
+TEST(CrossAttention, SelfMemoryEqualsSelfAttention) {
+  et::core::AttentionConfig cfg;
+  cfg.seq_len = 16;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.precision = et::numeric::Precision::kFp32;
+  cfg.causal_mask = false;
+  const auto w = et::core::make_dense_weights(cfg, 10);
+  MatrixF x(16, 32);
+  et::tensor::fill_normal(x, 11);
+  et::gpusim::Device dev;
+  const MatrixF cross = et::core::otf_cross_attention(dev, x, x, w, cfg);
+  const MatrixF self = et::core::otf_attention(dev, x, w, cfg);
+  EXPECT_TRUE(allclose(cross, self, 1e-5, 1e-5));
+}
+
+TEST(CrossAttention, PrecomputePathWorks) {
+  et::core::AttentionConfig cfg;
+  cfg.seq_len = 8;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.precision = et::numeric::Precision::kFp32;
+  cfg.causal_mask = false;
+  auto w = et::core::make_dense_weights(cfg, 12);
+  MatrixF x(8, 32), memory(24, 32);
+  et::tensor::fill_normal(x, 13);
+  et::tensor::fill_normal(memory, 14);
+
+  et::gpusim::Device dev;
+  const MatrixF without = et::core::otf_cross_attention(dev, x, memory, w,
+                                                        cfg);
+  const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
+  const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
+  w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
+  const MatrixF with_pre = et::core::otf_cross_attention(dev, x, memory, w,
+                                                         cfg);
+  EXPECT_TRUE(allclose(with_pre, without, 1e-3, 1e-3));
+}
+
+// -------------------------------------------------------------- decoder ----
+
+TEST(Decoder, MatchesReference) {
+  const auto model = tiny_model();
+  const auto w = et::nn::make_dense_decoder_weights(model, 15);
+  MatrixF x(10, model.d_model), memory(14, model.d_model);
+  et::tensor::fill_normal(x, 16, 0.0f, 0.5f);
+  et::tensor::fill_normal(memory, 17, 0.0f, 0.5f);
+
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 10);
+  opt.attn.precision = et::numeric::Precision::kFp32;
+  et::gpusim::Device dev;
+  const MatrixF out = et::nn::decoder_forward(dev, x, memory, w, opt);
+  const MatrixF ref = et::nn::reference_decoder(x, memory, w, opt.attn);
+  EXPECT_TRUE(allclose(out, ref, 2e-3, 2e-3))
+      << "max diff " << max_abs_diff(out, ref);
+}
+
+TEST(Decoder, Seq2SeqRunsAndCountsKernels) {
+  const auto model = tiny_model();
+  std::vector<et::nn::EncoderWeights> enc = {
+      et::nn::make_dense_encoder_weights(model, 18)};
+  std::vector<et::nn::DecoderWeights> dec = {
+      et::nn::make_dense_decoder_weights(model, 19)};
+  MatrixF source(16, model.d_model), target(8, model.d_model);
+  et::tensor::fill_normal(source, 20, 0.0f, 0.5f);
+  et::tensor::fill_normal(target, 21, 0.0f, 0.5f);
+
+  auto enc_opt = et::nn::options_for(et::nn::Pipeline::kET, model, 16);
+  enc_opt.attn.precision = et::numeric::Precision::kFp32;
+  auto dec_opt = enc_opt;
+  dec_opt.attn.seq_len = 8;
+  dec_opt.attn.causal_mask = true;
+
+  et::gpusim::Device dev;
+  const MatrixF out = et::nn::seq2seq_forward(dev, source, target, enc, dec,
+                                              enc_opt, dec_opt);
+  EXPECT_EQ(out.rows(), 8u);
+  EXPECT_EQ(out.cols(), model.d_model);
+  EXPECT_GT(dev.time_us_matching("otf_cross_attention"), 0.0);
+  for (float v : out.flat()) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(Decoder, PrunedCrossAttentionWeights) {
+  // Decoder attention weights prune like encoder ones.
+  const auto model = tiny_model();
+  auto w = et::nn::make_dense_decoder_weights(model, 22);
+  const auto& wq =
+      std::get<et::sparse::DenseWeight>(w.cross_attn.wq).matrix();
+  w.cross_attn.wq = et::sparse::make_weight(
+      et::sparse::PruneMethod::kTile, wq, et::pruning::tile_mask(wq, 0.5));
+  MatrixF x(8, model.d_model), memory(12, model.d_model);
+  et::tensor::fill_normal(x, 23, 0.0f, 0.5f);
+  et::tensor::fill_normal(memory, 24, 0.0f, 0.5f);
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 8);
+  opt.attn.precision = et::numeric::Precision::kFp32;
+  et::gpusim::Device dev;
+  const MatrixF out = et::nn::decoder_forward(dev, x, memory, w, opt);
+  EXPECT_GT(dev.time_us_matching("bcsr"), 0.0) << "tile kernel in use";
+  for (float v : out.flat()) ASSERT_TRUE(std::isfinite(v));
+}
+
+// ----------------------------------------------------- folded training ----
+
+TEST(FoldedAttention, FoldReproducesStandardForward) {
+  et::train::MultiHeadAttention mha(16, 2, 30, /*causal=*/true);
+  // fold() requires zero V/O biases (documented).
+  std::fill(mha.wv.bias.begin(), mha.wv.bias.end(), 0.0f);
+  std::fill(mha.wo.bias.begin(), mha.wo.bias.end(), 0.0f);
+  auto folded = et::train::FoldedMultiHeadAttention::fold(mha);
+
+  MatrixF x(6, 16);
+  et::tensor::fill_normal(x, 31);
+  const MatrixF a = mha.forward(x);
+  const MatrixF b = folded.forward(x);
+  EXPECT_TRUE(allclose(b, a, 1e-4, 1e-4)) << max_abs_diff(a, b);
+}
+
+TEST(FoldedAttention, GradientCheckOnWvo) {
+  et::train::FoldedMultiHeadAttention layer(16, 2, 32, /*causal=*/false);
+  MatrixF x(5, 16);
+  et::tensor::fill_normal(x, 33);
+  MatrixF coeffs(5, 16);
+  et::tensor::fill_normal(coeffs, 34);
+  const auto loss = [&](const MatrixF& y) {
+    float s = 0.0f;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      s += y.flat()[i] * coeffs.flat()[i];
+    }
+    return s;
+  };
+
+  layer.zero_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(coeffs);
+
+  const float eps = 1e-3f;
+  for (const std::size_t i : {0u, 123u, 400u}) {
+    const float orig = layer.wvo.w.flat()[i];
+    layer.wvo.w.flat()[i] = orig + eps;
+    const float up = loss(layer.forward(x));
+    layer.wvo.w.flat()[i] = orig - eps;
+    const float down = loss(layer.forward(x));
+    layer.wvo.w.flat()[i] = orig;
+    EXPECT_NEAR(layer.wvo.g.flat()[i], (up - down) / (2 * eps), 2e-2f)
+        << "wvo entry " << i;
+  }
+}
+
+TEST(FoldedAttention, TrainsToReduceLoss) {
+  // Regress a fixed target through the folded layer alone.
+  et::train::FoldedMultiHeadAttention layer(16, 2, 35, /*causal=*/false);
+  MatrixF x(4, 16), target(4, 16);
+  et::tensor::fill_normal(x, 36);
+  et::tensor::fill_normal(target, 37, 0.0f, 0.3f);
+  et::train::AdamW opt({.lr = 5e-3f, .weight_decay = 0.0f});
+
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 40; ++step) {
+    layer.zero_grad();
+    const MatrixF y = layer.forward(x);
+    MatrixF dy(4, 16);
+    float loss = 0.0f;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const float diff = y.flat()[i] - target.flat()[i];
+      loss += diff * diff;
+      dy.flat()[i] = 2.0f * diff;
+    }
+    (void)layer.backward(dy);
+    std::vector<et::train::Param*> params;
+    layer.collect(params);
+    opt.step(params);
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.2f * first) << first << " -> " << last;
+}
+
+TEST(FoldedAttention, ParameterCountIsHTimesD2) {
+  et::train::FoldedMultiHeadAttention layer(32, 4, 38, true);
+  EXPECT_EQ(layer.wvo.w.rows(), 4u * 32u);
+  EXPECT_EQ(layer.wvo.w.cols(), 32u);
+}
+
+// ------------------------------------------------------- other hardware ----
+
+TEST(OtherHardware, A100FasterAndShiftsCrossover) {
+  const auto model = tiny_model();
+  const auto w = et::nn::make_dense_encoder_weights(model, 40);
+  MatrixF x(64, model.d_model);
+  const auto run = [&](const et::gpusim::DeviceSpec& spec) {
+    et::gpusim::Device dev(spec);
+    dev.set_traffic_only(true);
+    (void)et::nn::encoder_forward(
+        dev, x, w, et::nn::options_for(et::nn::Pipeline::kET, model, 64));
+    return dev.total_time_us();
+  };
+  EXPECT_LT(run(et::gpusim::a100()), run(et::gpusim::v100s()));
+}
+
+}  // namespace
+
+namespace {
+
+TEST(Serialize, DecoderStackRoundTrip) {
+  et::nn::ModelConfig model;
+  model.num_layers = 2;
+  model.d_model = 32;
+  model.num_heads = 2;
+  model.d_ff = 64;
+  std::vector<et::nn::DecoderWeights> layers = {
+      et::nn::make_dense_decoder_weights(model, 60),
+      et::nn::make_dense_decoder_weights(model, 61)};
+  std::stringstream ss;
+  et::nn::save_decoder_stack(ss, layers);
+  const auto loaded = et::nn::load_decoder_stack(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(et::tensor::allclose(to_dense(loaded[1].cross_attn.wk),
+                                   to_dense(layers[1].cross_attn.wk), 0.0,
+                                   0.0));
+  EXPECT_EQ(loaded[0].ln3_gamma, layers[0].ln3_gamma);
+  // Loaded weights forward identically.
+  MatrixF x(6, 32), memory(9, 32);
+  et::tensor::fill_normal(x, 62, 0.0f, 0.5f);
+  et::tensor::fill_normal(memory, 63, 0.0f, 0.5f);
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 6);
+  opt.attn.precision = et::numeric::Precision::kFp32;
+  et::gpusim::Device dev;
+  const MatrixF a =
+      et::nn::decoder_stack_forward(dev, x, memory, layers, opt);
+  const MatrixF b =
+      et::nn::decoder_stack_forward(dev, x, memory, loaded, opt);
+  EXPECT_TRUE(et::tensor::allclose(a, b, 1e-6, 1e-6));
+}
+
+TEST(Serialize, EncoderRejectsDecoderFile) {
+  et::nn::ModelConfig model;
+  model.d_model = 32;
+  model.num_heads = 2;
+  model.d_ff = 64;
+  std::vector<et::nn::DecoderWeights> layers = {
+      et::nn::make_dense_decoder_weights(model, 70)};
+  std::stringstream ss;
+  et::nn::save_decoder_stack(ss, layers);
+  EXPECT_THROW((void)et::nn::load_encoder_stack(ss), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// KV-cached autoregressive inference: the incremental path must equal the
+// full causal forward position by position, and its kernel profile must
+// show the generation regime (context-linear attention cost, weight-bound
+// linears).
+#include <gtest/gtest.h>
+
+#include "core/kv_cache.hpp"
+#include "nn/generation.hpp"
+#include "pruning/criteria.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using et::tensor::MatrixF;
+
+et::nn::ModelConfig tiny_model() {
+  et::nn::ModelConfig cfg;
+  cfg.num_layers = 2;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.d_ff = 64;
+  return cfg;
+}
+
+MatrixF row_of(const MatrixF& m, std::size_t r) {
+  MatrixF out(1, m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) out(0, c) = m(r, c);
+  return out;
+}
+
+TEST(KVCache, AppendAndPrefix) {
+  et::core::KVCache cache(4, 3);
+  EXPECT_EQ(cache.used(), 0u);
+  const float k1[] = {1, 2, 3};
+  const float v1[] = {4, 5, 6};
+  cache.append(k1, v1);
+  cache.append(v1, k1);
+  EXPECT_EQ(cache.used(), 2u);
+  const auto k = cache.k_prefix();
+  EXPECT_EQ(k.rows(), 2u);
+  EXPECT_EQ(k(0, 2), 3.0f);
+  EXPECT_EQ(k(1, 0), 4.0f);
+  cache.reset();
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+TEST(KVCache, ThrowsWhenFull) {
+  et::core::KVCache cache(1, 2);
+  const float r[] = {1, 2};
+  cache.append(r, r);
+  EXPECT_TRUE(cache.full());
+  EXPECT_THROW(cache.append(r, r), std::length_error);
+}
+
+TEST(IncrementalAttention, MatchesCausalAttentionPerPosition) {
+  et::core::AttentionConfig cfg;
+  cfg.seq_len = 12;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.precision = et::numeric::Precision::kFp32;
+  cfg.causal_mask = true;
+  const auto w = et::core::make_dense_weights(cfg, 1);
+  MatrixF x(12, 32);
+  et::tensor::fill_normal(x, 2);
+
+  et::gpusim::Device dev;
+  const MatrixF full = et::core::otf_attention(dev, x, w, cfg);
+
+  et::core::KVCache cache(12, 32);
+  for (std::size_t t = 0; t < 12; ++t) {
+    const MatrixF step =
+        et::core::incremental_attention(dev, row_of(x, t), w, cfg, cache);
+    for (std::size_t c = 0; c < 32; ++c) {
+      ASSERT_NEAR(step(0, c), full(t, c), 1e-4f)
+          << "position " << t << " col " << c;
+    }
+  }
+}
+
+TEST(IncrementalAttention, RejectsPrecomputedWeights) {
+  et::core::AttentionConfig cfg;
+  cfg.seq_len = 4;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  auto w = et::core::make_dense_weights(cfg, 3);
+  const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
+  const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
+  w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
+  et::core::KVCache cache(4, 32);
+  et::gpusim::Device dev;
+  MatrixF x(1, 32);
+  EXPECT_THROW(
+      (void)et::core::incremental_attention(dev, x, w, cfg, cache),
+      std::invalid_argument);
+}
+
+TEST(GenerationSession, MatchesFullCausalForwardPerPosition) {
+  const auto model = tiny_model();
+  std::vector<et::nn::EncoderWeights> layers;
+  for (std::size_t l = 0; l < model.num_layers; ++l) {
+    layers.push_back(et::nn::make_dense_encoder_weights(model, 10 + l));
+  }
+  MatrixF x(10, model.d_model);
+  et::tensor::fill_normal(x, 4, 0.0f, 0.5f);
+
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 10,
+                                 /*causal=*/true);
+  opt.attn.precision = et::numeric::Precision::kFp32;
+
+  et::gpusim::Device dev;
+  const MatrixF full = et::nn::encoder_stack_forward(dev, x, layers, opt);
+
+  et::nn::GenerationSession session(&layers, opt, /*max_context=*/16);
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    const MatrixF h = session.step(dev, row_of(x, t));
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      ASSERT_NEAR(h(0, c), full(t, c), 2e-3f)
+          << "position " << t << " col " << c;
+    }
+  }
+  EXPECT_EQ(session.context_length(), 10u);
+}
+
+TEST(GenerationSession, PrimeEqualsSteps) {
+  const auto model = tiny_model();
+  std::vector<et::nn::EncoderWeights> layers = {
+      et::nn::make_dense_encoder_weights(model, 20)};
+  MatrixF prompt(6, model.d_model);
+  et::tensor::fill_normal(prompt, 5, 0.0f, 0.5f);
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 6, true);
+  opt.attn.precision = et::numeric::Precision::kFp32;
+
+  et::gpusim::Device dev;
+  et::nn::GenerationSession a(&layers, opt, 8), b(&layers, opt, 8);
+  const MatrixF via_prime = a.prime(dev, prompt);
+  MatrixF via_steps;
+  for (std::size_t t = 0; t < prompt.rows(); ++t) {
+    via_steps = b.step(dev, row_of(prompt, t));
+  }
+  EXPECT_TRUE(allclose(via_prime, via_steps, 1e-6, 1e-6));
+}
+
+TEST(GenerationSession, StepCostGrowsLinearlyWithContext) {
+  // The attention kernel's loads scale with the cache length; the linears
+  // stay constant — the classic generation cost profile.
+  const auto model = tiny_model();
+  std::vector<et::nn::EncoderWeights> layers = {
+      et::nn::make_dense_encoder_weights(model, 21)};
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 1, true);
+
+  et::nn::GenerationSession session(&layers, opt, 512);
+  MatrixF row(1, model.d_model);
+
+  double early = 0.0, late = 0.0;
+  for (int t = 0; t < 400; ++t) {
+    et::gpusim::Device dev;
+    dev.set_traffic_only(true);
+    (void)session.step(dev, row);
+    const double us = dev.time_us_matching("incremental_otf_attention");
+    if (t == 10) early = us;
+    if (t == 390) late = us;
+  }
+  EXPECT_GT(late, early) << "attention cost must grow with context";
+}
+
+TEST(GenerationSession, WorksWithPrunedWeights) {
+  const auto model = tiny_model();
+  auto w = et::nn::make_dense_encoder_weights(model, 22);
+  const auto& wq = std::get<et::sparse::DenseWeight>(w.attn.wq).matrix();
+  w.attn.wq = et::sparse::make_weight(et::sparse::PruneMethod::kTile, wq,
+                                      et::pruning::tile_mask(wq, 0.5));
+  std::vector<et::nn::EncoderWeights> layers = {std::move(w)};
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 1, true);
+  opt.attn.precision = et::numeric::Precision::kFp32;
+
+  et::gpusim::Device dev;
+  et::nn::GenerationSession session(&layers, opt, 8);
+  MatrixF row(1, model.d_model);
+  et::tensor::fill_normal(row, 23, 0.0f, 0.5f);
+  for (int t = 0; t < 4; ++t) {
+    const MatrixF h = session.step(dev, row);
+    for (float v : h.flat()) ASSERT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(dev.time_us_matching("bcsr"), 0.0);
+}
+
+}  // namespace

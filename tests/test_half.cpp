@@ -1,0 +1,182 @@
+// binary16 / bfloat16 emulation: rounding, special values, overflow
+// accounting (the §3.3 mechanism).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "numeric/bfloat16.hpp"
+#include "numeric/half.hpp"
+#include "numeric/precision.hpp"
+
+namespace {
+
+using et::numeric::bfloat16;
+using et::numeric::half;
+using et::numeric::overflow_count;
+using et::numeric::Precision;
+using et::numeric::reset_overflow_count;
+
+TEST(Half, ExactSmallIntegersRoundTrip) {
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(static_cast<float>(half(static_cast<float>(i))),
+              static_cast<float>(i))
+        << "integer " << i;
+  }
+}
+
+TEST(Half, PowersOfTwoRoundTrip) {
+  for (int e = -14; e <= 15; ++e) {
+    const float v = std::ldexp(1.0f, e);
+    EXPECT_EQ(static_cast<float>(half(v)), v) << "2^" << e;
+  }
+}
+
+TEST(Half, MaxFiniteIs65504) {
+  EXPECT_EQ(static_cast<float>(half(65504.0f)), 65504.0f);
+  EXPECT_TRUE(half(65504.0f).is_finite());
+}
+
+TEST(Half, OverflowProducesInfAndCounts) {
+  reset_overflow_count();
+  const half h(70000.0f);
+  EXPECT_TRUE(h.is_inf());
+  EXPECT_FALSE(h.signbit());
+  EXPECT_EQ(overflow_count(), 1u);
+
+  const half hneg(-1.0e6f);
+  EXPECT_TRUE(hneg.is_inf());
+  EXPECT_TRUE(hneg.signbit());
+  EXPECT_EQ(overflow_count(), 2u);
+  reset_overflow_count();
+  EXPECT_EQ(overflow_count(), 0u);
+}
+
+TEST(Half, RoundingBoundaryAt65520) {
+  // 65519.99 rounds down to 65504; 65520 is the tie that rounds to inf.
+  reset_overflow_count();
+  EXPECT_TRUE(half(65519.0f).is_finite());
+  EXPECT_EQ(overflow_count(), 0u);
+  EXPECT_TRUE(half(65520.0f).is_inf());
+  EXPECT_EQ(overflow_count(), 1u);
+  reset_overflow_count();
+}
+
+TEST(Half, InfAndNanPropagateWithoutCounting) {
+  reset_overflow_count();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(half(inf).is_inf());
+  EXPECT_TRUE(half(-inf).is_inf());
+  EXPECT_TRUE(half(std::nanf("")).is_nan());
+  EXPECT_EQ(overflow_count(), 0u) << "inf/NaN inputs are not overflows";
+}
+
+TEST(Half, SubnormalsRepresentable) {
+  // Smallest positive subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(static_cast<float>(half(tiny)), tiny);
+  // Below half of it rounds to zero.
+  EXPECT_EQ(static_cast<float>(half(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(Half, SignedZero) {
+  EXPECT_EQ(half(0.0f).bits(), 0u);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+}
+
+TEST(Half, RoundToNearestEvenTies) {
+  // 1 + 2^-11 is exactly halfway between 1 and 1+2^-10: ties to even (1).
+  const float tie = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(static_cast<float>(half(tie)), 1.0f);
+  // 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even
+  // (1+2^-9, whose mantissa LSB is 0).
+  const float tie2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(static_cast<float>(half(tie2)), 1.0f + std::ldexp(1.0f, -9));
+}
+
+#ifdef __FLT16_MAX__
+TEST(Half, MatchesHardwareFloat16OnRandomValues) {
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<float> dist(-70000.0f, 70000.0f);
+  for (int i = 0; i < 20000; ++i) {
+    const float v = dist(rng);
+    const float ours = static_cast<float>(half(v));
+    const float theirs = static_cast<float>(static_cast<_Float16>(v));
+    EXPECT_EQ(ours, theirs) << "value " << v;
+  }
+  reset_overflow_count();
+}
+#endif
+
+TEST(Half, ArithmeticRoundsPerOperation) {
+  // 2048 + 1 is not representable (spacing is 2 at that magnitude).
+  const half a(2048.0f);
+  const half b(1.0f);
+  EXPECT_EQ(static_cast<float>(a + b), 2048.0f);
+  const half c(2.0f);
+  EXPECT_EQ(static_cast<float>(a + c), 2050.0f);
+}
+
+TEST(Bfloat16, WiderRangeNoOverflowWhereHalfOverflows) {
+  reset_overflow_count();
+  const bfloat16 big(1.0e20f);
+  EXPECT_TRUE(big.is_finite());
+  EXPECT_EQ(overflow_count(), 0u);
+  EXPECT_NEAR(static_cast<float>(big), 1.0e20f, 1.0e18f);
+}
+
+TEST(Bfloat16, LowerPrecisionThanHalfNearOne) {
+  // bf16 has 8 candidate mantissa bits vs half's 10.
+  const float v = 1.0f + std::ldexp(1.0f, -9);  // representable in half
+  EXPECT_EQ(static_cast<float>(half(v)), v);
+  EXPECT_NE(static_cast<float>(bfloat16(v)), v);
+}
+
+TEST(PrecisionPolicy, AccumulatorBytes) {
+  EXPECT_EQ(et::numeric::accumulator_bytes(Precision::kPureFp16), 2u);
+  EXPECT_EQ(et::numeric::accumulator_bytes(Precision::kMixed), 4u);
+  EXPECT_EQ(et::numeric::accumulator_bytes(Precision::kFp32), 4u);
+  EXPECT_EQ(et::numeric::storage_bytes(Precision::kMixed), 2u);
+}
+
+TEST(PrecisionPolicy, PureFp16FmaOverflows) {
+  reset_overflow_count();
+  float acc = 0.0f;
+  for (int i = 0; i < 16; ++i) {
+    acc = et::numeric::fma_step(Precision::kPureFp16, 250.0f, 250.0f, acc);
+  }
+  EXPECT_TRUE(std::isinf(acc)) << "16 × 62500 overflows binary16";
+  EXPECT_GT(overflow_count(), 0u);
+  reset_overflow_count();
+}
+
+TEST(PrecisionPolicy, MixedFmaDoesNotOverflow) {
+  reset_overflow_count();
+  float acc = 0.0f;
+  for (int i = 0; i < 16; ++i) {
+    acc = et::numeric::fma_step(Precision::kMixed, 250.0f, 250.0f, acc);
+  }
+  EXPECT_FALSE(std::isinf(acc));
+  EXPECT_NEAR(acc, 16.0f * 62500.0f, 200.0f);
+  EXPECT_EQ(overflow_count(), 0u);
+  reset_overflow_count();
+}
+
+class HalfSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(HalfSweep, RoundTripWithinHalfUlp) {
+  const float v = GetParam();
+  const float r = static_cast<float>(half(v));
+  // |v - round(v)| must be at most half the spacing at v's magnitude.
+  const float spacing = std::ldexp(
+      1.0f, std::max(-24, std::ilogb(std::abs(v) > 0 ? v : 1.0f) - 10));
+  EXPECT_LE(std::abs(v - r), spacing * 0.5f + 1e-12f) << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HalfSweep,
+                         ::testing::Values(0.1f, -0.1f, 3.14159f, 1e-3f,
+                                           -2.71828f, 123.456f, -999.9f,
+                                           6e-5f, 1e-7f, 40000.0f));
+
+}  // namespace

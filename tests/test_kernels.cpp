@@ -1,0 +1,227 @@
+// Simulated kernels: numerics against the double-precision oracle and
+// traffic/structure sanity.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gpusim/device.hpp"
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/random.hpp"
+#include "tensor/reference_gemm.hpp"
+
+namespace {
+
+using et::gpusim::Device;
+using et::kernels::gemm_nn;
+using et::kernels::gemm_nt;
+using et::numeric::Precision;
+using et::tensor::MatrixF;
+
+class GemmSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, NtMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  MatrixF a(m, k), b(n, k);
+  et::tensor::fill_normal(a, 1);
+  et::tensor::fill_normal(b, 2);
+  Device dev;
+  const MatrixF c = gemm_nt(dev, a, b);
+  const MatrixF ref = et::tensor::reference_gemm_nt(a, b);
+  EXPECT_TRUE(allclose(c, ref, 1e-3, 1e-3))
+      << "max diff " << max_abs_diff(c, ref);
+  EXPECT_EQ(dev.launch_count(), 1u);
+}
+
+TEST_P(GemmSizes, NnMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  MatrixF a(m, k), b(k, n);
+  et::tensor::fill_normal(a, 3);
+  et::tensor::fill_normal(b, 4);
+  Device dev;
+  const MatrixF c = gemm_nn(dev, a, b);
+  const MatrixF ref = et::tensor::reference_gemm(a, b);
+  EXPECT_TRUE(allclose(c, ref, 1e-3, 1e-3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmSizes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 7},
+                      std::tuple{16, 16, 16}, std::tuple{32, 48, 64},
+                      std::tuple{17, 31, 13}, std::tuple{128, 64, 32}));
+
+TEST(Gemm, MixedPrecisionCloseToFp32) {
+  MatrixF a(24, 40), b(24, 40);
+  et::tensor::fill_normal(a, 5);
+  et::tensor::fill_normal(b, 6);
+  Device dev;
+  const MatrixF fp32 = gemm_nt(dev, a, b, Precision::kFp32);
+  const MatrixF mixed = gemm_nt(dev, a, b, Precision::kMixed);
+  EXPECT_TRUE(allclose(mixed, fp32, 0.05, 0.02))
+      << "max diff " << max_abs_diff(mixed, fp32);
+}
+
+TEST(Gemm, TensorOpsOnlyForFp16Paths) {
+  MatrixF a(16, 16), b(16, 16);
+  et::tensor::fill_normal(a, 7);
+  et::tensor::fill_normal(b, 8);
+  Device dev;
+  (void)gemm_nt(dev, a, b, Precision::kFp32);
+  (void)gemm_nt(dev, a, b, Precision::kMixed);
+  EXPECT_EQ(dev.history()[0].tensor_ops, 0u);
+  EXPECT_GT(dev.history()[0].fp_ops, 0u);
+  EXPECT_GT(dev.history()[1].tensor_ops, 0u);
+  EXPECT_EQ(dev.history()[1].fp_ops, 0u);
+}
+
+TEST(Gemm, AutotunerPrefersBigBlocksForBigProblems) {
+  const et::gpusim::DeviceSpec spec;
+  const auto& algo =
+      et::kernels::autotune_gemm(spec, 4096, 4096, 4096, Precision::kMixed);
+  EXPECT_GE(algo.block_m * algo.block_n, 128u * 128u)
+      << "picked " << algo.name;
+}
+
+TEST(Gemm, TrafficOnlySkipsMath) {
+  MatrixF a(8, 8, 1.0f), b(8, 8, 1.0f);
+  Device dev;
+  dev.set_traffic_only(true);
+  const MatrixF c = gemm_nt(dev, a, b);
+  EXPECT_EQ(c(0, 0), 0.0f) << "math skipped";
+  EXPECT_EQ(dev.launch_count(), 1u);
+  EXPECT_GT(dev.history()[0].total_bytes(), 0u);
+}
+
+TEST(Elementwise, Scale) {
+  MatrixF m(4, 4, 2.0f);
+  Device dev;
+  et::kernels::scale(dev, m, 0.5f);
+  EXPECT_EQ(m(3, 3), 1.0f);
+  EXPECT_EQ(dev.history()[0].global_load_bytes,
+            dev.history()[0].global_store_bytes);
+}
+
+TEST(Elementwise, AddBiasAndResidual) {
+  MatrixF m(2, 3, 1.0f);
+  const std::vector<float> bias = {1.0f, 2.0f, 3.0f};
+  Device dev;
+  et::kernels::add_bias(dev, m, bias);
+  EXPECT_EQ(m(0, 0), 2.0f);
+  EXPECT_EQ(m(1, 2), 4.0f);
+  MatrixF other(2, 3, 10.0f);
+  et::kernels::residual_add(dev, m, other);
+  EXPECT_EQ(m(0, 0), 12.0f);
+}
+
+TEST(Elementwise, ReluAndGelu) {
+  MatrixF m(1, 4);
+  m(0, 0) = -2.0f;
+  m(0, 1) = -0.5f;
+  m(0, 2) = 0.5f;
+  m(0, 3) = 2.0f;
+  Device dev;
+  MatrixF g = m;
+  et::kernels::gelu(dev, g);
+  // GELU(-2) ≈ -0.0454, GELU(2) ≈ 1.9546, GELU(0.5) ≈ 0.3457
+  EXPECT_NEAR(g(0, 0), -0.0454f, 5e-3f);
+  EXPECT_NEAR(g(0, 3), 1.9546f, 5e-3f);
+  et::kernels::relu(dev, m);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 3), 2.0f);
+}
+
+TEST(Elementwise, CausalMask) {
+  MatrixF s(4, 4, 1.0f);
+  Device dev;
+  et::kernels::causal_mask(dev, s);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (j > i) {
+        EXPECT_TRUE(std::isinf(s(i, j)) && s(i, j) < 0);
+      } else {
+        EXPECT_EQ(s(i, j), 1.0f);
+      }
+    }
+  }
+}
+
+TEST(Elementwise, SoftmaxRowsSumToOne) {
+  MatrixF m(6, 9);
+  et::tensor::fill_normal(m, 9, 0.0f, 3.0f);
+  Device dev;
+  et::kernels::softmax_rows(dev, m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float sum = 0.0f;
+    for (float v : m.row(r)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Elementwise, SoftmaxHandlesMaskedRow) {
+  MatrixF m(1, 4, -std::numeric_limits<float>::infinity());
+  m(0, 0) = 0.0f;  // only one unmasked entry
+  Device dev;
+  et::kernels::softmax_rows(dev, m);
+  EXPECT_NEAR(m(0, 0), 1.0f, 1e-6f);
+  EXPECT_EQ(m(0, 3), 0.0f);
+}
+
+TEST(Elementwise, SoftmaxInvariantToShift) {
+  MatrixF a(1, 5), b(1, 5);
+  for (std::size_t c = 0; c < 5; ++c) {
+    a(0, c) = static_cast<float>(c);
+    b(0, c) = static_cast<float>(c) + 100.0f;
+  }
+  Device dev;
+  et::kernels::softmax_rows(dev, a);
+  et::kernels::softmax_rows(dev, b);
+  EXPECT_TRUE(allclose(a, b, 1e-5));
+}
+
+TEST(Elementwise, LayerNormZeroMeanUnitVar) {
+  MatrixF m(3, 64);
+  et::tensor::fill_normal(m, 10, 5.0f, 3.0f);
+  std::vector<float> gamma(64, 1.0f), beta(64, 0.0f);
+  Device dev;
+  et::kernels::layernorm(dev, m, gamma, beta);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double mean = 0.0, var = 0.0;
+    for (float v : m.row(r)) mean += v;
+    mean /= 64.0;
+    for (float v : m.row(r)) var += (v - mean) * (v - mean);
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(Elementwise, TransposeKernel) {
+  MatrixF m(3, 5);
+  et::tensor::fill_uniform(m, 11);
+  Device dev;
+  const MatrixF t = et::kernels::transpose_kernel(dev, m);
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t(4, 2), m(2, 4));
+}
+
+TEST(Elementwise, GatherScatterRoundTrip) {
+  MatrixF x(4, 8);
+  et::tensor::fill_uniform(x, 12);
+  const std::vector<std::uint32_t> cols = {1, 3, 6};
+  Device dev;
+  const MatrixF gathered = et::kernels::gather_cols(dev, x, cols);
+  EXPECT_EQ(gathered.cols(), 3u);
+  EXPECT_EQ(gathered(2, 1), x(2, 3));
+  const MatrixF scattered = et::kernels::scatter_cols(dev, gathered, cols, 8);
+  EXPECT_EQ(scattered.cols(), 8u);
+  EXPECT_EQ(scattered(2, 3), x(2, 3));
+  EXPECT_EQ(scattered(2, 0), 0.0f);
+  EXPECT_EQ(scattered(2, 7), 0.0f);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Properties the latency model must satisfy for the paper's comparative
+// claims to be trustworthy: monotonicity in problem size, monotone benefit
+// of sparsity, stable orderings, and a crossover that actually exists.
+#include <gtest/gtest.h>
+
+#include "core/attention.hpp"
+#include "pruning/criteria.hpp"
+#include "gpusim/device.hpp"
+#include "nn/encoder.hpp"
+#include "pruning/strategy.hpp"
+#include "train/model.hpp"
+
+namespace {
+
+using et::nn::Pipeline;
+using et::pruning::Strategy;
+using et::tensor::MatrixF;
+
+double encoder_us(Pipeline p, const et::nn::EncoderWeights& w,
+                  const et::nn::ModelConfig& model, std::size_t seq) {
+  et::gpusim::Device dev;
+  dev.set_traffic_only(true);
+  MatrixF x(seq, model.d_model);
+  (void)et::nn::encoder_forward(dev, x, w,
+                                et::nn::options_for(p, model, seq));
+  return dev.total_time_us();
+}
+
+class PipelineSweep : public ::testing::TestWithParam<Pipeline> {};
+
+TEST_P(PipelineSweep, LatencyMonotoneInSequenceLength) {
+  const auto model = et::nn::bert_base();
+  const auto w = et::nn::make_dense_encoder_weights(model, 1);
+  double prev = 0.0;
+  for (const std::size_t seq : {32u, 64u, 128u, 256u, 512u}) {
+    const double us = encoder_us(GetParam(), w, model, seq);
+    EXPECT_GT(us, prev) << "seq " << seq;
+    prev = us;
+  }
+}
+
+TEST_P(PipelineSweep, KernelCountIndependentOfSequenceLength) {
+  const auto model = et::nn::bert_base();
+  const auto w = et::nn::make_dense_encoder_weights(model, 2);
+  // E.T. switches full->partial OTF across this range (+1 kernel), so
+  // compare within the short regime only for it.
+  const bool is_et = GetParam() == Pipeline::kET;
+  std::size_t counts[2];
+  const std::size_t seqs[2] = {64u, is_et ? 192u : 384u};
+  for (int i = 0; i < 2; ++i) {
+    et::gpusim::Device dev;
+    dev.set_traffic_only(true);
+    MatrixF x(seqs[i], model.d_model);
+    (void)et::nn::encoder_forward(
+        dev, x, w, et::nn::options_for(GetParam(), model, seqs[i]));
+    counts[i] = dev.launch_count();
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pipelines, PipelineSweep,
+                         ::testing::Values(Pipeline::kModular,
+                                           Pipeline::kTensorRT,
+                                           Pipeline::kFasterTransformer,
+                                           Pipeline::kET));
+
+class SparsitySweep : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(SparsitySweep, EtLatencyNonIncreasingWithRatio) {
+  et::train::TrainModelConfig cfg;
+  cfg.vocab_size = 64;
+  cfg.d_model = 768;
+  cfg.num_heads = 12;
+  cfg.d_ff = 3072;
+  cfg.num_layers = 1;
+  et::train::TransformerModel model(cfg, 3);
+  const auto bert = et::nn::bert_base();
+
+  double prev = 1e18;
+  for (const double ratio : {0.4, 0.6, 0.8, 0.95}) {
+    const auto masks = et::pruning::compute_layer_masks(model.layers()[0],
+                                                        GetParam(), ratio);
+    const auto w =
+        et::pruning::deploy_layer(model.layers()[0], masks, GetParam());
+    const double us = encoder_us(Pipeline::kET, w, bert, 128);
+    EXPECT_LE(us, prev * 1.02)  // small tolerance for rounding in masks
+        << to_string(GetParam()) << " @ " << ratio;
+    prev = us;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, SparsitySweep,
+                         ::testing::Values(Strategy::kColumn, Strategy::kTile,
+                                           Strategy::kAttentionAware,
+                                           Strategy::kIrregular));
+
+TEST(LatencyProperties, PipelineOrderingStableAcrossSeqLens) {
+  const auto model = et::nn::bert_base();
+  const auto w = et::nn::make_dense_encoder_weights(model, 4);
+  for (const std::size_t seq : {64u, 128u, 256u}) {
+    const double pytorch = encoder_us(Pipeline::kModular, w, model, seq);
+    const double trt = encoder_us(Pipeline::kTensorRT, w, model, seq);
+    const double ft = encoder_us(Pipeline::kFasterTransformer, w, model, seq);
+    const double et_us = encoder_us(Pipeline::kET, w, model, seq);
+    EXPECT_GT(pytorch, trt) << seq;
+    EXPECT_GE(trt, ft) << seq;
+    EXPECT_GE(ft, et_us) << seq;
+  }
+}
+
+TEST(LatencyProperties, FullPartialCrossoverExistsOnce) {
+  // full OTF wins short, partial wins long, and the sign changes exactly
+  // once over the sweep — the premise of the §3.2 adaptive design.
+  et::core::AttentionConfig cfg;
+  cfg.d_model = 768;
+  cfg.num_heads = 12;
+  cfg.precision = et::numeric::Precision::kPureFp16;
+  cfg.causal_mask = false;
+  const auto w = et::core::make_dense_weights(cfg, 5);
+
+  int sign_changes = 0;
+  bool prev_full_wins = true;
+  bool first = true;
+  for (std::size_t seq = 64; seq <= 512; seq += 32) {
+    cfg.seq_len = seq;
+    MatrixF x(seq, 768);
+    et::gpusim::Device d1, d2;
+    d1.set_traffic_only(true);
+    d2.set_traffic_only(true);
+    (void)et::core::otf_attention(d1, x, w, cfg);
+    (void)et::core::partial_otf_attention(d2, x, w, cfg);
+    const bool full_wins = d1.total_time_us() <= d2.total_time_us();
+    if (!first && full_wins != prev_full_wins) ++sign_changes;
+    if (first && !full_wins) {
+      ADD_FAILURE() << "full OTF must win at seq 64";
+    }
+    prev_full_wins = full_wins;
+    first = false;
+  }
+  EXPECT_EQ(sign_changes, 1) << "exactly one crossover";
+}
+
+TEST(LatencyProperties, PrecomputeRemovesOneGemmLatency) {
+  // With tile-pruned Q/K (so the dense fused-QKV shortcut is out of play),
+  // the precomputed path trades the W_V and W_O GEMMs for one bigger
+  // GEMM: exactly one fewer kernel launch.
+  et::core::AttentionConfig cfg;
+  cfg.seq_len = 64;
+  cfg.d_model = 128;
+  cfg.num_heads = 4;
+  auto w = et::core::make_dense_weights(cfg, 6);
+  const MatrixF wq = std::get<et::sparse::DenseWeight>(w.wq).matrix();
+  w.wq = et::sparse::make_weight(et::sparse::PruneMethod::kTile, wq,
+                                 et::pruning::tile_mask(wq, 0.5));
+  MatrixF x(64, 128);
+
+  et::gpusim::Device without, with_pre;
+  without.set_traffic_only(true);
+  with_pre.set_traffic_only(true);
+  (void)et::core::otf_attention(without, x, w, cfg);
+  const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
+  const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
+  w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
+  (void)et::core::otf_attention(with_pre, x, w, cfg);
+  EXPECT_EQ(with_pre.launch_count() + 1, without.launch_count());
+}
+
+TEST(LatencyProperties, SharedMemViolationSurfacesAsException) {
+  // Directly calling the full OTF operator past the device's capacity must
+  // throw, not silently mis-model. 8 KB fits the small-tile GEMMs and the
+  // (shrunken) partial-OTF row tiles, but not Eq. 6's full score row.
+  et::gpusim::DeviceSpec tiny;
+  tiny.shared_mem_per_cta_bytes = 8 * 1024;
+  et::gpusim::Device dev(tiny);
+  et::core::AttentionConfig cfg;
+  cfg.seq_len = 256;
+  cfg.d_model = 64;
+  cfg.num_heads = 4;
+  const auto w = et::core::make_dense_weights(cfg, 7);
+  MatrixF x(256, 64);
+  ASSERT_FALSE(dev.fits_shared(et::core::otf_shared_bytes(cfg)));
+  EXPECT_THROW((void)et::core::otf_attention(dev, x, w, cfg),
+               et::gpusim::SharedMemOverflow);
+  // The adaptive dispatcher routes around it.
+  EXPECT_NO_THROW((void)et::core::adaptive_attention(dev, x, w, cfg));
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// BERT-style padding masks and configuration validation.
+#include <gtest/gtest.h>
+
+#include "core/attention.hpp"
+#include "nn/encoder.hpp"
+#include "nn/reference.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using et::core::AttentionConfig;
+using et::tensor::MatrixF;
+
+AttentionConfig base_cfg() {
+  AttentionConfig cfg;
+  cfg.seq_len = 24;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.precision = et::numeric::Precision::kFp32;
+  cfg.causal_mask = false;
+  return cfg;
+}
+
+TEST(PaddingMask, ValidPrefixRowsMatchTruncatedRun) {
+  // With padding masked out, the first valid_len output rows must equal
+  // the output of running only the valid prefix.
+  auto cfg = base_cfg();
+  cfg.valid_len = 16;
+  const auto w = et::core::make_dense_weights(cfg, 1);
+  MatrixF x(24, 32);
+  et::tensor::fill_normal(x, 2);
+
+  et::gpusim::Device dev;
+  const MatrixF padded_out = et::core::otf_attention(dev, x, w, cfg);
+
+  auto short_cfg = cfg;
+  short_cfg.seq_len = 16;
+  short_cfg.valid_len = 0;
+  const MatrixF truncated = et::tensor::slice_rows(x, 0, 16);
+  const MatrixF short_out =
+      et::core::otf_attention(dev, truncated, w, short_cfg);
+
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 32; ++c) {
+      ASSERT_NEAR(padded_out(r, c), short_out(r, c), 1e-4f)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(PaddingMask, PaddingContentIsIrrelevant) {
+  auto cfg = base_cfg();
+  cfg.valid_len = 12;
+  const auto w = et::core::make_dense_weights(cfg, 3);
+  MatrixF a(24, 32), b;
+  et::tensor::fill_normal(a, 4);
+  b = a;
+  // Scramble the padding region of b.
+  for (std::size_t r = 12; r < 24; ++r) {
+    for (std::size_t c = 0; c < 32; ++c) b(r, c) = 1e3f;
+  }
+  et::gpusim::Device dev;
+  const MatrixF ya = et::core::otf_attention(dev, a, w, cfg);
+  const MatrixF yb = et::core::otf_attention(dev, b, w, cfg);
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 32; ++c) {
+      ASSERT_NEAR(ya(r, c), yb(r, c), 1e-4f) << r << "," << c;
+    }
+  }
+}
+
+TEST(PaddingMask, AllImplementationsAgree) {
+  auto cfg = base_cfg();
+  cfg.valid_len = 10;
+  const auto w = et::core::make_dense_weights(cfg, 5);
+  MatrixF x(24, 32);
+  et::tensor::fill_normal(x, 6);
+  et::gpusim::Device dev;
+  const MatrixF otf = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF fused = et::core::fused_attention(dev, x, w, cfg);
+  const MatrixF partial = et::core::partial_otf_attention(dev, x, w, cfg);
+  const MatrixF ref = et::nn::reference_attention(x, w, cfg);
+  EXPECT_TRUE(allclose(otf, ref, 1e-4, 1e-3));
+  EXPECT_TRUE(allclose(fused, ref, 1e-4, 1e-3));
+  EXPECT_TRUE(allclose(partial, ref, 1e-4, 1e-3));
+}
+
+TEST(PaddingMask, ComposesWithCausalMask) {
+  auto cfg = base_cfg();
+  cfg.causal_mask = true;
+  cfg.valid_len = 12;
+  const auto w = et::core::make_dense_weights(cfg, 7);
+  MatrixF x(24, 32);
+  et::tensor::fill_normal(x, 8);
+  et::gpusim::Device dev;
+  const MatrixF out = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF ref = et::nn::reference_attention(x, w, cfg);
+  EXPECT_TRUE(allclose(out, ref, 1e-4, 1e-3));
+}
+
+TEST(ConfigValidation, RejectsBadConfigs) {
+  et::gpusim::Device dev;
+  MatrixF x(8, 30);
+  {
+    AttentionConfig cfg;
+    cfg.seq_len = 8;
+    cfg.d_model = 30;  // not divisible by 4 heads
+    cfg.num_heads = 4;
+    const auto w = et::core::make_dense_weights(base_cfg(), 9);
+    EXPECT_THROW((void)et::core::otf_attention(dev, x, w, cfg),
+                 std::invalid_argument);
+  }
+  {
+    auto cfg = base_cfg();
+    cfg.valid_len = 99;  // > seq_len
+    const auto w = et::core::make_dense_weights(cfg, 10);
+    MatrixF x2(24, 32);
+    EXPECT_THROW((void)et::core::otf_attention(dev, x2, w, cfg),
+                 std::invalid_argument);
+  }
+  {
+    auto cfg = base_cfg();
+    cfg.num_heads = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Pruned-weight formats: structure validation, condensation, round trips.
+#include <gtest/gtest.h>
+
+#include "pruning/criteria.hpp"
+#include "sparse/formats.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using et::sparse::ColPrunedWeight;
+using et::sparse::IrregularWeight;
+using et::sparse::Mask;
+using et::sparse::PruneMethod;
+using et::sparse::RowPrunedWeight;
+using et::sparse::TilePrunedWeight;
+using et::tensor::MatrixF;
+
+MatrixF random_weight(std::size_t r, std::size_t c, std::uint64_t seed) {
+  MatrixF w(r, c);
+  et::tensor::fill_normal(w, seed);
+  return w;
+}
+
+MatrixF masked(const MatrixF& w, const Mask& m) {
+  MatrixF out = w;
+  et::sparse::apply_mask(out, m);
+  return out;
+}
+
+TEST(Mask, PruningRatio) {
+  Mask m(4, 4, 1);
+  EXPECT_EQ(et::sparse::pruning_ratio(m), 0.0);
+  for (std::size_t c = 0; c < 4; ++c) m(0, c) = 0;
+  EXPECT_NEAR(et::sparse::pruning_ratio(m), 0.25, 1e-9);
+}
+
+TEST(Mask, StructureChecks) {
+  Mask row(4, 4, 1);
+  for (std::size_t c = 0; c < 4; ++c) row(2, c) = 0;
+  EXPECT_TRUE(et::sparse::is_row_structured(row));
+  EXPECT_FALSE(et::sparse::is_col_structured(row));
+
+  Mask col(4, 4, 1);
+  for (std::size_t r = 0; r < 4; ++r) col(r, 1) = 0;
+  EXPECT_TRUE(et::sparse::is_col_structured(col));
+  EXPECT_FALSE(et::sparse::is_row_structured(col));
+
+  Mask tile(32, 32, 1);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) tile(16 + i, j) = 0;
+  }
+  EXPECT_TRUE(et::sparse::is_tile_structured(tile, 16, 16));
+  tile(16, 0) = 1;
+  EXPECT_FALSE(et::sparse::is_tile_structured(tile, 16, 16));
+}
+
+TEST(RowPruned, CondenseAndRoundTrip) {
+  const MatrixF w = random_weight(8, 6, 1);
+  const Mask m = et::pruning::row_mask(w, 0.5);
+  const auto rp = RowPrunedWeight::from_masked(w, m);
+  EXPECT_EQ(rp.condensed().rows(), 4u);
+  EXPECT_EQ(rp.condensed().cols(), 6u);
+  EXPECT_NEAR(rp.pruning_ratio(), 0.5, 1e-9);
+  EXPECT_TRUE(allclose(rp.to_dense(), masked(w, m), 0.0, 0.0));
+}
+
+TEST(RowPruned, RejectsUnstructuredMask) {
+  const MatrixF w = random_weight(4, 4, 2);
+  Mask m(4, 4, 1);
+  m(0, 0) = 0;  // not a whole row
+  EXPECT_THROW((void)RowPrunedWeight::from_masked(w, m),
+               std::invalid_argument);
+}
+
+TEST(ColPruned, CondenseAndRoundTrip) {
+  const MatrixF w = random_weight(6, 8, 3);
+  const Mask m = et::pruning::column_mask(w, 0.25);
+  const auto cp = ColPrunedWeight::from_masked(w, m);
+  EXPECT_EQ(cp.condensed().cols(), 6u);
+  EXPECT_NEAR(cp.pruning_ratio(), 0.25, 1e-9);
+  EXPECT_TRUE(allclose(cp.to_dense(), masked(w, m), 0.0, 0.0));
+}
+
+TEST(TilePruned, BcsrStructure) {
+  const MatrixF w = random_weight(64, 48, 4);
+  const Mask m = et::pruning::tile_mask(w, 0.5);
+  const auto tp = TilePrunedWeight::from_masked(w, m);
+  EXPECT_EQ(tp.tile_rows(), 4u);
+  EXPECT_EQ(tp.tile_cols(), 3u);
+  EXPECT_EQ(tp.nnz_tiles(), 6u);  // 12 tiles, half pruned
+  EXPECT_EQ(tp.row_ptr().size(), 5u);
+  EXPECT_EQ(tp.row_ptr().back(), tp.nnz_tiles());
+  EXPECT_TRUE(allclose(tp.to_dense(), masked(w, m), 0.0, 0.0));
+}
+
+TEST(TilePruned, RejectsNonTileMask) {
+  const MatrixF w = random_weight(32, 32, 5);
+  Mask m(32, 32, 1);
+  m(0, 0) = 0;
+  EXPECT_THROW((void)TilePrunedWeight::from_masked(w, m),
+               std::invalid_argument);
+}
+
+TEST(TilePruned, RejectsUnalignedDims) {
+  const MatrixF w = random_weight(30, 32, 6);
+  const Mask m(30, 32, 1);
+  EXPECT_THROW((void)TilePrunedWeight::from_masked(w, m),
+               std::invalid_argument);
+}
+
+TEST(Irregular, RoundTripArbitraryMask) {
+  const MatrixF w = random_weight(32, 32, 7);
+  const Mask m = et::pruning::magnitude_mask(w, 0.7);
+  const auto iw = IrregularWeight::from_masked(w, m);
+  EXPECT_NEAR(iw.pruning_ratio(), 0.7, 0.01);
+  EXPECT_TRUE(allclose(iw.to_dense(), masked(w, m), 0.0, 0.0));
+  EXPECT_GT(iw.occupied_tiles(), 0u);
+  EXPECT_LE(iw.occupied_tiles(), 4u);
+}
+
+TEST(Irregular, EmptyTilesDropped) {
+  MatrixF w(32, 32, 0.0f);
+  w(0, 0) = 1.0f;  // single nonzero in tile (0,0)
+  Mask m(32, 32, 0);
+  m(0, 0) = 1;
+  const auto iw = IrregularWeight::from_masked(w, m);
+  EXPECT_EQ(iw.occupied_tiles(), 1u);
+  EXPECT_EQ(iw.nnz(), 1u);
+  EXPECT_LT(iw.storage_bytes(), 32u * 32u * 4u)
+      << "bitmap format beats dense storage at high sparsity";
+}
+
+TEST(AnyWeight, MakeWeightDispatch) {
+  const MatrixF w = random_weight(32, 32, 8);
+  const Mask all(32, 32, 1);
+  EXPECT_EQ(method_of(et::sparse::make_weight(PruneMethod::kDense, w, all)),
+            PruneMethod::kDense);
+  EXPECT_EQ(method_of(et::sparse::make_weight(
+                PruneMethod::kRow, w, et::pruning::row_mask(w, 0.5))),
+            PruneMethod::kRow);
+  EXPECT_EQ(method_of(et::sparse::make_weight(
+                PruneMethod::kColumn, w, et::pruning::column_mask(w, 0.5))),
+            PruneMethod::kColumn);
+  EXPECT_EQ(method_of(et::sparse::make_weight(
+                PruneMethod::kTile, w, et::pruning::tile_mask(w, 0.5))),
+            PruneMethod::kTile);
+  EXPECT_EQ(
+      method_of(et::sparse::make_weight(
+          PruneMethod::kIrregular, w, et::pruning::magnitude_mask(w, 0.5))),
+      PruneMethod::kIrregular);
+}
+
+TEST(AnyWeight, ToDenseConsistentAcrossFormats) {
+  const MatrixF w = random_weight(32, 32, 9);
+  const Mask m = et::pruning::tile_mask(w, 0.5);
+  // A tile mask is a valid irregular mask too.
+  const auto tile = et::sparse::make_weight(PruneMethod::kTile, w, m);
+  const auto irr = et::sparse::make_weight(PruneMethod::kIrregular, w, m);
+  EXPECT_TRUE(allclose(to_dense(tile), to_dense(irr), 0.0, 0.0));
+  EXPECT_NEAR(pruning_ratio(tile), pruning_ratio(irr), 1e-9);
+}
+
+class RatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioSweep, AllCriteriaHitRequestedRatio) {
+  const double ratio = GetParam();
+  const MatrixF w = random_weight(64, 64, 10);
+  EXPECT_NEAR(et::sparse::pruning_ratio(et::pruning::magnitude_mask(w, ratio)),
+              ratio, 0.01);
+  EXPECT_NEAR(et::sparse::pruning_ratio(et::pruning::row_mask(w, ratio)),
+              ratio, 0.02);
+  EXPECT_NEAR(et::sparse::pruning_ratio(et::pruning::column_mask(w, ratio)),
+              ratio, 0.02);
+  EXPECT_NEAR(et::sparse::pruning_ratio(et::pruning::tile_mask(w, ratio)),
+              ratio, 0.07);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.7, 0.8, 0.9,
+                                           0.95));
+
+}  // namespace

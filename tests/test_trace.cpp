@@ -1,0 +1,85 @@
+// Chrome-trace export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpusim/device.hpp"
+#include "gpusim/trace_export.hpp"
+#include "nn/encoder.hpp"
+
+namespace {
+
+TEST(TraceExport, EmitsOneEventPerKernelPlusMetadata) {
+  et::gpusim::Device dev;
+  {
+    auto l = dev.launch({.name = "alpha", .ctas = 4});
+    l.load_bytes(1024);
+  }
+  {
+    auto l = dev.launch({.name = "beta", .ctas = 8});
+    l.store_bytes(2048);
+  }
+  std::stringstream ss;
+  et::gpusim::write_chrome_trace(ss, dev, "unit-test");
+  const std::string json = ss.str();
+
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"gld_transactions\":32"), std::string::npos);
+  // 2 metadata + 2 kernel events.
+  std::size_t events = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"ph\"", pos)) != std::string::npos;
+       ++pos) {
+    ++events;
+  }
+  EXPECT_EQ(events, 4u);
+  // Braces/brackets balance (cheap well-formedness check).
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceExport, KernelsLaidOutBackToBack) {
+  et::gpusim::Device dev;
+  const auto model = [] {
+    et::nn::ModelConfig cfg;
+    cfg.d_model = 32;
+    cfg.num_heads = 2;
+    cfg.d_ff = 64;
+    return cfg;
+  }();
+  const auto w = et::nn::make_dense_encoder_weights(model, 1);
+  et::tensor::MatrixF x(16, 32);
+  dev.set_traffic_only(true);
+  (void)et::nn::encoder_forward(
+      dev, x, w, et::nn::options_for(et::nn::Pipeline::kET, model, 16));
+
+  std::stringstream ss;
+  et::gpusim::write_chrome_trace(ss, dev);
+  const std::string json = ss.str();
+  // Every launch appears, and the first event starts at ts 0.
+  EXPECT_NE(json.find("\"ts\":0,"), std::string::npos);
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"cat\":\"kernel\"", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, dev.launch_count());
+}
+
+TEST(TraceExport, EscapesSpecialCharacters) {
+  et::gpusim::Device dev;
+  { auto l = dev.launch({.name = "weird\"name\\here"}); }
+  std::stringstream ss;
+  et::gpusim::write_chrome_trace(ss, dev);
+  EXPECT_NE(ss.str().find("weird\\\"name\\\\here"), std::string::npos);
+}
+
+}  // namespace
