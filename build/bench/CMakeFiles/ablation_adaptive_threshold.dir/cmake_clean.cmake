@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_threshold.dir/ablation_adaptive_threshold.cpp.o"
+  "CMakeFiles/ablation_adaptive_threshold.dir/ablation_adaptive_threshold.cpp.o.d"
+  "ablation_adaptive_threshold"
+  "ablation_adaptive_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

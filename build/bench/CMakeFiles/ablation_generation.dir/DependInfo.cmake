@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_generation.cpp" "bench/CMakeFiles/ablation_generation.dir/ablation_generation.cpp.o" "gcc" "bench/CMakeFiles/ablation_generation.dir/ablation_generation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pruning/CMakeFiles/et_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/et_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/et_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/et_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/et_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/et_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/et_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/et_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/et_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/et_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_int8.dir/ablation_int8.cpp.o"
+  "CMakeFiles/ablation_int8.dir/ablation_int8.cpp.o.d"
+  "ablation_int8"
+  "ablation_int8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_int8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reweighted.dir/ablation_reweighted.cpp.o"
+  "CMakeFiles/ablation_reweighted.dir/ablation_reweighted.cpp.o.d"
+  "ablation_reweighted"
+  "ablation_reweighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reweighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scale_reorder.dir/ablation_scale_reorder.cpp.o"
+  "CMakeFiles/ablation_scale_reorder.dir/ablation_scale_reorder.cpp.o.d"
+  "ablation_scale_reorder"
+  "ablation_scale_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scale_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

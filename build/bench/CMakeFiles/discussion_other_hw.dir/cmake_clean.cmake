@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_other_hw.dir/discussion_other_hw.cpp.o"
+  "CMakeFiles/discussion_other_hw.dir/discussion_other_hw.cpp.o.d"
+  "discussion_other_hw"
+  "discussion_other_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_other_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

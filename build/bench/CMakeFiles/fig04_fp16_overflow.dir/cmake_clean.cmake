@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_fp16_overflow.dir/fig04_fp16_overflow.cpp.o"
+  "CMakeFiles/fig04_fp16_overflow.dir/fig04_fp16_overflow.cpp.o.d"
+  "fig04_fp16_overflow"
+  "fig04_fp16_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fp16_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_fp16_overflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_otf_vs_seqlen.dir/fig08_otf_vs_seqlen.cpp.o"
+  "CMakeFiles/fig08_otf_vs_seqlen.dir/fig08_otf_vs_seqlen.cpp.o.d"
+  "fig08_otf_vs_seqlen"
+  "fig08_otf_vs_seqlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_otf_vs_seqlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_otf_vs_seqlen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pruned_gemm.dir/fig10_pruned_gemm.cpp.o"
+  "CMakeFiles/fig10_pruned_gemm.dir/fig10_pruned_gemm.cpp.o.d"
+  "fig10_pruned_gemm"
+  "fig10_pruned_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pruned_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_profiling.dir/fig11_profiling.cpp.o"
+  "CMakeFiles/fig11_profiling.dir/fig11_profiling.cpp.o.d"
+  "fig11_profiling"
+  "fig11_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mem_throughput.dir/fig12_mem_throughput.cpp.o"
+  "CMakeFiles/fig12_mem_throughput.dir/fig12_mem_throughput.cpp.o.d"
+  "fig12_mem_throughput"
+  "fig12_mem_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mem_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

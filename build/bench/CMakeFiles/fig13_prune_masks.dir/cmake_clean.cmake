@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_prune_masks.dir/fig13_prune_masks.cpp.o"
+  "CMakeFiles/fig13_prune_masks.dir/fig13_prune_masks.cpp.o.d"
+  "fig13_prune_masks"
+  "fig13_prune_masks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_prune_masks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_transformer_prune.dir/fig14_transformer_prune.cpp.o"
+  "CMakeFiles/fig14_transformer_prune.dir/fig14_transformer_prune.cpp.o.d"
+  "fig14_transformer_prune"
+  "fig14_transformer_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_transformer_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_glue.dir/table1_glue.cpp.o"
+  "CMakeFiles/table1_glue.dir/table1_glue.cpp.o.d"
+  "table1_glue"
+  "table1_glue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_glue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

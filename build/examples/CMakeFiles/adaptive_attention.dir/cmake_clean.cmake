@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_attention.dir/adaptive_attention.cpp.o"
+  "CMakeFiles/adaptive_attention.dir/adaptive_attention.cpp.o.d"
+  "adaptive_attention"
+  "adaptive_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

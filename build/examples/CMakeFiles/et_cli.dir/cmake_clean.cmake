@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_cli.dir/et_cli.cpp.o"
+  "CMakeFiles/et_cli.dir/et_cli.cpp.o.d"
+  "et_cli"
+  "et_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glue_finetune.dir/glue_finetune.cpp.o"
+  "CMakeFiles/glue_finetune.dir/glue_finetune.cpp.o.d"
+  "glue_finetune"
+  "glue_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glue_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

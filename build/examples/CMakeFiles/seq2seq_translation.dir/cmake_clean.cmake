@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq2seq_translation.dir/seq2seq_translation.cpp.o"
+  "CMakeFiles/seq2seq_translation.dir/seq2seq_translation.cpp.o.d"
+  "seq2seq_translation"
+  "seq2seq_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq2seq_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

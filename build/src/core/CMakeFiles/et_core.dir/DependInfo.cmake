@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/et_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/attention.cpp" "src/core/CMakeFiles/et_core.dir/attention.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/attention.cpp.o.d"
+  "/root/repo/src/core/attention_math.cpp" "src/core/CMakeFiles/et_core.dir/attention_math.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/attention_math.cpp.o.d"
+  "/root/repo/src/core/kv_cache.cpp" "src/core/CMakeFiles/et_core.dir/kv_cache.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/kv_cache.cpp.o.d"
+  "/root/repo/src/core/otf_measured.cpp" "src/core/CMakeFiles/et_core.dir/otf_measured.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/otf_measured.cpp.o.d"
+  "/root/repo/src/core/weights.cpp" "src/core/CMakeFiles/et_core.dir/weights.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/et_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/et_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/et_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/et_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

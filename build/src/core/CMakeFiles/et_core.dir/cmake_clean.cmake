@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_core.dir/adaptive.cpp.o"
+  "CMakeFiles/et_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/et_core.dir/attention.cpp.o"
+  "CMakeFiles/et_core.dir/attention.cpp.o.d"
+  "CMakeFiles/et_core.dir/attention_math.cpp.o"
+  "CMakeFiles/et_core.dir/attention_math.cpp.o.d"
+  "CMakeFiles/et_core.dir/kv_cache.cpp.o"
+  "CMakeFiles/et_core.dir/kv_cache.cpp.o.d"
+  "CMakeFiles/et_core.dir/otf_measured.cpp.o"
+  "CMakeFiles/et_core.dir/otf_measured.cpp.o.d"
+  "CMakeFiles/et_core.dir/weights.cpp.o"
+  "CMakeFiles/et_core.dir/weights.cpp.o.d"
+  "libet_core.a"
+  "libet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_data.dir/metrics.cpp.o"
+  "CMakeFiles/et_data.dir/metrics.cpp.o.d"
+  "CMakeFiles/et_data.dir/synthetic_glue.cpp.o"
+  "CMakeFiles/et_data.dir/synthetic_glue.cpp.o.d"
+  "CMakeFiles/et_data.dir/synthetic_text.cpp.o"
+  "CMakeFiles/et_data.dir/synthetic_text.cpp.o.d"
+  "libet_data.a"
+  "libet_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cta_engine.cpp" "src/gpusim/CMakeFiles/et_gpusim.dir/cta_engine.cpp.o" "gcc" "src/gpusim/CMakeFiles/et_gpusim.dir/cta_engine.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/et_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/et_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/latency_model.cpp" "src/gpusim/CMakeFiles/et_gpusim.dir/latency_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/et_gpusim.dir/latency_model.cpp.o.d"
+  "/root/repo/src/gpusim/profiler.cpp" "src/gpusim/CMakeFiles/et_gpusim.dir/profiler.cpp.o" "gcc" "src/gpusim/CMakeFiles/et_gpusim.dir/profiler.cpp.o.d"
+  "/root/repo/src/gpusim/trace_export.cpp" "src/gpusim/CMakeFiles/et_gpusim.dir/trace_export.cpp.o" "gcc" "src/gpusim/CMakeFiles/et_gpusim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/et_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_gpusim.dir/cta_engine.cpp.o"
+  "CMakeFiles/et_gpusim.dir/cta_engine.cpp.o.d"
+  "CMakeFiles/et_gpusim.dir/device.cpp.o"
+  "CMakeFiles/et_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/et_gpusim.dir/latency_model.cpp.o"
+  "CMakeFiles/et_gpusim.dir/latency_model.cpp.o.d"
+  "CMakeFiles/et_gpusim.dir/profiler.cpp.o"
+  "CMakeFiles/et_gpusim.dir/profiler.cpp.o.d"
+  "CMakeFiles/et_gpusim.dir/trace_export.cpp.o"
+  "CMakeFiles/et_gpusim.dir/trace_export.cpp.o.d"
+  "libet_gpusim.a"
+  "libet_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/elementwise.cpp" "src/kernels/CMakeFiles/et_kernels.dir/elementwise.cpp.o" "gcc" "src/kernels/CMakeFiles/et_kernels.dir/elementwise.cpp.o.d"
+  "/root/repo/src/kernels/gemm.cpp" "src/kernels/CMakeFiles/et_kernels.dir/gemm.cpp.o" "gcc" "src/kernels/CMakeFiles/et_kernels.dir/gemm.cpp.o.d"
+  "/root/repo/src/kernels/linear.cpp" "src/kernels/CMakeFiles/et_kernels.dir/linear.cpp.o" "gcc" "src/kernels/CMakeFiles/et_kernels.dir/linear.cpp.o.d"
+  "/root/repo/src/kernels/sparse_gemm.cpp" "src/kernels/CMakeFiles/et_kernels.dir/sparse_gemm.cpp.o" "gcc" "src/kernels/CMakeFiles/et_kernels.dir/sparse_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/et_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/et_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/et_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_kernels.dir/elementwise.cpp.o"
+  "CMakeFiles/et_kernels.dir/elementwise.cpp.o.d"
+  "CMakeFiles/et_kernels.dir/gemm.cpp.o"
+  "CMakeFiles/et_kernels.dir/gemm.cpp.o.d"
+  "CMakeFiles/et_kernels.dir/linear.cpp.o"
+  "CMakeFiles/et_kernels.dir/linear.cpp.o.d"
+  "CMakeFiles/et_kernels.dir/sparse_gemm.cpp.o"
+  "CMakeFiles/et_kernels.dir/sparse_gemm.cpp.o.d"
+  "libet_kernels.a"
+  "libet_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

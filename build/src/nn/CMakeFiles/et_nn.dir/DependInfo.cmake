@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/decoder.cpp" "src/nn/CMakeFiles/et_nn.dir/decoder.cpp.o" "gcc" "src/nn/CMakeFiles/et_nn.dir/decoder.cpp.o.d"
+  "/root/repo/src/nn/encoder.cpp" "src/nn/CMakeFiles/et_nn.dir/encoder.cpp.o" "gcc" "src/nn/CMakeFiles/et_nn.dir/encoder.cpp.o.d"
+  "/root/repo/src/nn/generation.cpp" "src/nn/CMakeFiles/et_nn.dir/generation.cpp.o" "gcc" "src/nn/CMakeFiles/et_nn.dir/generation.cpp.o.d"
+  "/root/repo/src/nn/positional.cpp" "src/nn/CMakeFiles/et_nn.dir/positional.cpp.o" "gcc" "src/nn/CMakeFiles/et_nn.dir/positional.cpp.o.d"
+  "/root/repo/src/nn/reference.cpp" "src/nn/CMakeFiles/et_nn.dir/reference.cpp.o" "gcc" "src/nn/CMakeFiles/et_nn.dir/reference.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/et_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/et_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/et_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/et_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/et_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/et_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/et_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

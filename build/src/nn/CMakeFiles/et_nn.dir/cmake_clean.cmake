@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_nn.dir/decoder.cpp.o"
+  "CMakeFiles/et_nn.dir/decoder.cpp.o.d"
+  "CMakeFiles/et_nn.dir/encoder.cpp.o"
+  "CMakeFiles/et_nn.dir/encoder.cpp.o.d"
+  "CMakeFiles/et_nn.dir/generation.cpp.o"
+  "CMakeFiles/et_nn.dir/generation.cpp.o.d"
+  "CMakeFiles/et_nn.dir/positional.cpp.o"
+  "CMakeFiles/et_nn.dir/positional.cpp.o.d"
+  "CMakeFiles/et_nn.dir/reference.cpp.o"
+  "CMakeFiles/et_nn.dir/reference.cpp.o.d"
+  "CMakeFiles/et_nn.dir/serialize.cpp.o"
+  "CMakeFiles/et_nn.dir/serialize.cpp.o.d"
+  "libet_nn.a"
+  "libet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

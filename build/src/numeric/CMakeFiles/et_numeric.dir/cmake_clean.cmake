@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_numeric.dir/bfloat16.cpp.o"
+  "CMakeFiles/et_numeric.dir/bfloat16.cpp.o.d"
+  "CMakeFiles/et_numeric.dir/half.cpp.o"
+  "CMakeFiles/et_numeric.dir/half.cpp.o.d"
+  "libet_numeric.a"
+  "libet_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_pruning.dir/criteria.cpp.o"
+  "CMakeFiles/et_pruning.dir/criteria.cpp.o.d"
+  "CMakeFiles/et_pruning.dir/reweighted.cpp.o"
+  "CMakeFiles/et_pruning.dir/reweighted.cpp.o.d"
+  "CMakeFiles/et_pruning.dir/strategy.cpp.o"
+  "CMakeFiles/et_pruning.dir/strategy.cpp.o.d"
+  "CMakeFiles/et_pruning.dir/svd.cpp.o"
+  "CMakeFiles/et_pruning.dir/svd.cpp.o.d"
+  "libet_pruning.a"
+  "libet_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_quant.dir/quantize.cpp.o"
+  "CMakeFiles/et_quant.dir/quantize.cpp.o.d"
+  "libet_quant.a"
+  "libet_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_sparse.dir/formats.cpp.o"
+  "CMakeFiles/et_sparse.dir/formats.cpp.o.d"
+  "CMakeFiles/et_sparse.dir/mask.cpp.o"
+  "CMakeFiles/et_sparse.dir/mask.cpp.o.d"
+  "libet_sparse.a"
+  "libet_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

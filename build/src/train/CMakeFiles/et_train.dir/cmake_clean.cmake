@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_train.dir/attention_layer.cpp.o"
+  "CMakeFiles/et_train.dir/attention_layer.cpp.o.d"
+  "CMakeFiles/et_train.dir/folded_attention.cpp.o"
+  "CMakeFiles/et_train.dir/folded_attention.cpp.o.d"
+  "CMakeFiles/et_train.dir/layers.cpp.o"
+  "CMakeFiles/et_train.dir/layers.cpp.o.d"
+  "CMakeFiles/et_train.dir/loss.cpp.o"
+  "CMakeFiles/et_train.dir/loss.cpp.o.d"
+  "CMakeFiles/et_train.dir/model.cpp.o"
+  "CMakeFiles/et_train.dir/model.cpp.o.d"
+  "libet_train.a"
+  "libet_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

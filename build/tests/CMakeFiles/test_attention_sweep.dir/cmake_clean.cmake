@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attention_sweep.dir/test_attention_sweep.cpp.o"
+  "CMakeFiles/test_attention_sweep.dir/test_attention_sweep.cpp.o.d"
+  "test_attention_sweep"
+  "test_attention_sweep.pdb"
+  "test_attention_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attention_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cta_engine.dir/test_cta_engine.cpp.o"
+  "CMakeFiles/test_cta_engine.dir/test_cta_engine.cpp.o.d"
+  "test_cta_engine"
+  "test_cta_engine.pdb"
+  "test_cta_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cta_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

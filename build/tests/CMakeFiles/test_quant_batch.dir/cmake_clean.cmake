@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant_batch.dir/test_quant_batch.cpp.o"
+  "CMakeFiles/test_quant_batch.dir/test_quant_batch.cpp.o.d"
+  "test_quant_batch"
+  "test_quant_batch.pdb"
+  "test_quant_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

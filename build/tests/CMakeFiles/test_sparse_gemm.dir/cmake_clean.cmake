@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_gemm.dir/test_sparse_gemm.cpp.o"
+  "CMakeFiles/test_sparse_gemm.dir/test_sparse_gemm.cpp.o.d"
+  "test_sparse_gemm"
+  "test_sparse_gemm.pdb"
+  "test_sparse_gemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_half[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_gemm[1]_include.cmake")
+include("/root/repo/build/tests/test_attention[1]_include.cmake")
+include("/root/repo/build/tests/test_encoder[1]_include.cmake")
+include("/root/repo/build/tests/test_train[1]_include.cmake")
+include("/root/repo/build/tests/test_pruning[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_attention_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_latency_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_quant_batch[1]_include.cmake")
+include("/root/repo/build/tests/test_generation[1]_include.cmake")
+include("/root/repo/build/tests/test_cta_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_padding_mask[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_train_extras[1]_include.cmake")
