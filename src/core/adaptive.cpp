@@ -7,6 +7,7 @@ AttentionImpl choose_attention_impl(const gpusim::Device& dev,
                                     const AttentionWeights& w,
                                     const AttentionConfig& cfg,
                                     const AdaptivePolicy& policy) {
+  cfg.validate();
   // Hard constraint first: the full OTF kernel must fit Eq. 6 in shared
   // memory.
   if (!dev.fits_shared(otf_shared_bytes(cfg))) {
@@ -33,12 +34,12 @@ AttentionImpl choose_attention_impl(const gpusim::Device& dev,
              : AttentionImpl::kPartialOtf;
 }
 
-tensor::MatrixF adaptive_attention(gpusim::Device& dev,
-                                   const tensor::MatrixF& x,
-                                   const AttentionWeights& w,
-                                   const AttentionConfig& cfg,
-                                   const AdaptivePolicy& policy) {
-  switch (choose_attention_impl(dev, x, w, cfg, policy)) {
+namespace {
+
+tensor::MatrixF run_impl(AttentionImpl impl, gpusim::Device& dev,
+                         const tensor::MatrixF& x, const AttentionWeights& w,
+                         const AttentionConfig& cfg) {
+  switch (impl) {
     case AttentionImpl::kOtf:
       return otf_attention(dev, x, w, cfg);
     case AttentionImpl::kPartialOtf:
@@ -49,6 +50,48 @@ tensor::MatrixF adaptive_attention(gpusim::Device& dev,
       break;
   }
   return modular_attention(dev, x, w, cfg);
+}
+
+}  // namespace
+
+tensor::MatrixF adaptive_attention(gpusim::Device& dev,
+                                   const tensor::MatrixF& x,
+                                   const AttentionWeights& w,
+                                   const AttentionConfig& cfg,
+                                   const AdaptivePolicy& policy) {
+  cfg.validate();
+  // All four implementations compute the same function (the tests assert
+  // cross-equivalence), so any faster operator that fails mid-flight can
+  // be substituted by the next slower one without changing the answer —
+  // the FlashAttention exact-fallback guarantee. Walk the chain from the
+  // chosen operator toward kModular, the always-safe baseline; each hop is
+  // reported to the device so degradation is observable, not silent.
+  // Launches already recorded by a failed attempt stay in the log: that is
+  // real (wasted) work the profiler should charge for.
+  static constexpr AttentionImpl kChain[] = {
+      AttentionImpl::kOtf, AttentionImpl::kPartialOtf, AttentionImpl::kFused,
+      AttentionImpl::kModular};
+  constexpr std::size_t kChainLen = std::size(kChain);
+
+  const AttentionImpl first = choose_attention_impl(dev, x, w, cfg, policy);
+  std::size_t start = 0;
+  while (kChain[start] != first) ++start;
+
+  for (std::size_t i = start;; ++i) {
+    try {
+      return run_impl(kChain[i], dev, x, w, cfg);
+    } catch (const gpusim::KernelFault& f) {
+      if (i + 1 >= kChainLen) throw;  // nothing safer than modular
+      dev.note_fallback({std::string(to_string(kChain[i])),
+                         std::string(to_string(kChain[i + 1])), f.kernel(),
+                         std::string(to_string(f.cause()))});
+    } catch (const gpusim::SharedMemOverflow& o) {
+      if (i + 1 >= kChainLen) throw;
+      dev.note_fallback({std::string(to_string(kChain[i])),
+                         std::string(to_string(kChain[i + 1])), o.kernel(),
+                         "shared_mem_overflow"});
+    }
+  }
 }
 
 }  // namespace et::core

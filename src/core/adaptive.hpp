@@ -43,7 +43,13 @@ struct AdaptivePolicy {
     const AttentionWeights& w, const AttentionConfig& cfg,
     const AdaptivePolicy& policy = {});
 
-/// Run the operator choose_attention_impl selects.
+/// Run the operator choose_attention_impl selects. Resilient: if the
+/// chosen operator fails with a gpusim::KernelFault or SharedMemOverflow,
+/// it walks the degradation chain otf → partial_otf → fused → modular
+/// (every implementation computes the same function, so the safe path is
+/// always a valid substitute). Each hop is recorded via
+/// Device::note_fallback and surfaces in the profiler report; only a fault
+/// in the modular baseline itself propagates.
 [[nodiscard]] tensor::MatrixF adaptive_attention(
     gpusim::Device& dev, const tensor::MatrixF& x, const AttentionWeights& w,
     const AttentionConfig& cfg, const AdaptivePolicy& policy = {});

@@ -184,6 +184,7 @@ tensor::MatrixF modular_attention(gpusim::Device& dev,
                                   const tensor::MatrixF& x,
                                   const AttentionWeights& w,
                                   const AttentionConfig& cfg) {
+  cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t d = cfg.d_model;
   const std::size_t h = cfg.num_heads;
@@ -222,6 +223,7 @@ tensor::MatrixF fused_attention(gpusim::Device& dev, const tensor::MatrixF& x,
                                 const AttentionWeights& w,
                                 const AttentionConfig& cfg,
                                 bool aggressive_fusion) {
+  cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t d = cfg.d_model;
   const std::size_t h = cfg.num_heads;
@@ -267,6 +269,7 @@ tensor::MatrixF fused_attention(gpusim::Device& dev, const tensor::MatrixF& x,
 tensor::MatrixF otf_attention(gpusim::Device& dev, const tensor::MatrixF& x,
                               const AttentionWeights& w,
                               const AttentionConfig& cfg) {
+  cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t d = cfg.d_model;
   const std::size_t h = cfg.num_heads;
@@ -327,6 +330,7 @@ tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
                                     const tensor::MatrixF& memory,
                                     const AttentionWeights& w,
                                     const AttentionConfig& cfg) {
+  cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t kv = memory.rows();
   const std::size_t d = cfg.d_model;
@@ -396,6 +400,7 @@ tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
                                       const tensor::MatrixF& x,
                                       const AttentionWeights& w,
                                       const AttentionConfig& cfg) {
+  cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t d = cfg.d_model;
   const std::size_t h = cfg.num_heads;

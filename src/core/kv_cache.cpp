@@ -43,6 +43,7 @@ tensor::MatrixF incremental_attention(gpusim::Device& dev,
                                       const AttentionWeights& w,
                                       const AttentionConfig& cfg,
                                       KVCache& cache) {
+  cfg.validate();
   assert(x_row.rows() == 1 && x_row.cols() == cfg.d_model);
   if (w.has_precomputed()) {
     throw std::invalid_argument(

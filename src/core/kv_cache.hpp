@@ -35,6 +35,13 @@ class KVCache {
 
   void reset() noexcept { used_ = 0; }
 
+  /// Roll the cache back to `n` used rows (no-op when n >= used()). Lets
+  /// a caller undo appends from a step that failed partway, keeping the
+  /// step atomic — see GenerationSession::step.
+  void truncate(std::size_t n) noexcept {
+    if (n < used_) used_ = n;
+  }
+
  private:
   tensor::MatrixF k_;
   tensor::MatrixF v_;

@@ -29,6 +29,7 @@ void Launch::finish() {
 Launch::~Launch() { finish(); }
 
 Launch Device::launch(LaunchConfig cfg) {
+  injector_.on_launch(cfg.name, cfg.shared_bytes_per_cta);
   if (cfg.shared_bytes_per_cta > spec_.shared_mem_per_cta_bytes) {
     throw SharedMemOverflow(cfg.name, cfg.shared_bytes_per_cta,
                             spec_.shared_mem_per_cta_bytes);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gpusim/device_spec.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/kernel_stats.hpp"
 
 namespace et::gpusim {
@@ -27,7 +28,29 @@ class SharedMemOverflow : public std::runtime_error {
       : std::runtime_error("kernel '" + kernel + "' requests " +
                            std::to_string(requested) +
                            " B of shared memory per CTA; device offers " +
-                           std::to_string(capacity) + " B") {}
+                           std::to_string(capacity) + " B"),
+        kernel_(kernel),
+        requested_(requested),
+        capacity_(capacity) {}
+
+  [[nodiscard]] const std::string& kernel() const noexcept { return kernel_; }
+  [[nodiscard]] std::size_t requested() const noexcept { return requested_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::string kernel_;
+  std::size_t requested_;
+  std::size_t capacity_;
+};
+
+/// One recovery step taken by a resilient execution layer (e.g. the
+/// core::adaptive_attention degradation chain): implementation `from`
+/// failed in kernel `kernel` for `cause`, and `to` was tried instead.
+struct FallbackEvent {
+  std::string from_impl;
+  std::string to_impl;
+  std::string kernel;
+  std::string cause;
 };
 
 struct LaunchConfig {
@@ -76,8 +99,26 @@ class Device {
   [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
 
   /// Begin a kernel launch. Throws SharedMemOverflow if the requested
-  /// per-CTA shared memory exceeds the device capacity.
+  /// per-CTA shared memory exceeds the device capacity, or KernelFault if
+  /// an armed fault-injection rule trips.
   [[nodiscard]] Launch launch(LaunchConfig cfg);
+
+  /// Deterministic fault source consulted on every launch attempt. Arm it
+  /// to rehearse failure: `dev.fault_injector().arm_kernel("otf")`.
+  [[nodiscard]] FaultInjector& fault_injector() noexcept { return injector_; }
+  [[nodiscard]] const FaultInjector& fault_injector() const noexcept {
+    return injector_;
+  }
+
+  /// Resilient layers report each degradation step here so recovery is
+  /// observable in the profiler rather than silent.
+  void note_fallback(FallbackEvent event) {
+    fallbacks_.push_back(std::move(event));
+  }
+  [[nodiscard]] const std::vector<FallbackEvent>& fallback_log()
+      const noexcept {
+    return fallbacks_;
+  }
 
   /// Would a kernel with this per-CTA footprint fit? Used by the
   /// sequence-length-aware dispatch (§3.2) before committing to the
@@ -101,7 +142,10 @@ class Device {
   /// Time spent in kernels whose name contains `substr`.
   [[nodiscard]] double time_us_matching(const std::string& substr) const;
 
-  void reset() noexcept { log_.clear(); }
+  void reset() noexcept {
+    log_.clear();
+    fallbacks_.clear();
+  }
 
   /// When set, kernels record traffic/FLOP counters and modeled latency
   /// but skip the actual CPU arithmetic. Used by latency sweeps at the
@@ -117,6 +161,8 @@ class Device {
 
   DeviceSpec spec_;
   std::vector<KernelStats> log_;
+  std::vector<FallbackEvent> fallbacks_;
+  FaultInjector injector_;
   bool traffic_only_ = false;
 };
 

@@ -45,6 +45,7 @@ DeviceReport profile(const Device& dev) {
   if (total_bytes > 0) {
     rep.avg_achieved_gbps = weighted_bw / static_cast<double>(total_bytes);
   }
+  rep.fallbacks = dev.fallback_log();
   return rep;
 }
 
@@ -70,6 +71,13 @@ void print_report(std::ostream& os, const DeviceReport& report) {
      << report.avg_achieved_gbps << std::setw(8) << "" << std::setw(7) << ""
      << std::setw(8) << std::setprecision(2) << report.avg_sm_efficiency
      << std::setw(7) << report.avg_ipc << '\n';
+  if (!report.fallbacks.empty()) {
+    os << "\nfallbacks (" << report.fallbacks.size() << "):\n";
+    for (const auto& f : report.fallbacks) {
+      os << "  " << f.from_impl << " -> " << f.to_impl << "  (kernel '"
+         << f.kernel << "', cause: " << f.cause << ")\n";
+    }
+  }
 }
 
 }  // namespace et::gpusim

@@ -32,6 +32,10 @@ struct KernelReport {
 
 struct DeviceReport {
   std::vector<KernelReport> kernels;
+  /// Degradation steps the resilient execution layer took during the run
+  /// (e.g. otf → partial_otf after an injected kernel fault). Empty on a
+  /// healthy run.
+  std::vector<FallbackEvent> fallbacks;
   double total_time_us = 0.0;
   std::uint64_t gld_transactions = 0;
   std::uint64_t gst_transactions = 0;

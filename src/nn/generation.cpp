@@ -24,6 +24,24 @@ tensor::MatrixF GenerationSession::step(gpusim::Device& dev,
   assert(x_row.rows() == 1 && x_row.cols() == opt_.attn.d_model);
   const auto p = opt_.attn.precision;
 
+  // A kernel fault partway through the stack would leave earlier layers'
+  // caches one row longer than later ones. Roll every cache back to its
+  // pre-step length on any exception so a failed step has no effect.
+  const std::size_t pre_step = context_length();
+  const auto rollback = [&]() noexcept {
+    for (auto& cache : caches_) cache.truncate(pre_step);
+  };
+  try {
+    return step_layers(dev, x_row, p);
+  } catch (...) {
+    rollback();
+    throw;
+  }
+}
+
+tensor::MatrixF GenerationSession::step_layers(gpusim::Device& dev,
+                                               const tensor::MatrixF& x_row,
+                                               numeric::Precision p) {
   tensor::MatrixF h = x_row;
   for (std::size_t l = 0; l < layers_->size(); ++l) {
     const EncoderWeights& w = (*layers_)[l];
@@ -71,6 +89,38 @@ tensor::MatrixF GenerationSession::prime(gpusim::Device& dev,
 
 void GenerationSession::reset() {
   for (auto& cache : caches_) cache.reset();
+}
+
+GenerationResult generate(gpusim::Device& dev, GenerationSession& session,
+                          std::int32_t first_token,
+                          std::size_t max_new_tokens, const EmbedFn& embed,
+                          const SelectFn& select) {
+  GenerationResult result;
+  std::int32_t token = first_token;
+  for (std::size_t t = 0; t < max_new_tokens; ++t) {
+    if (session.at_capacity()) {
+      result.stop_reason = StopReason::kKvCacheFull;
+      return result;
+    }
+    tensor::MatrixF h;
+    try {
+      h = session.step(dev, embed(token, session.context_length()));
+    } catch (const gpusim::KernelFault& f) {
+      result.stop_reason = StopReason::kKernelFault;
+      result.fault_kernel = f.kernel();
+      return result;
+    } catch (const std::length_error&) {
+      // Defensive: a cache filled behind our back (shared caches, races in
+      // future batched paths) must degrade exactly like the pre-checked
+      // capacity stop, never abort generation.
+      result.stop_reason = StopReason::kKvCacheFull;
+      return result;
+    }
+    token = select(h);
+    result.tokens.push_back(token);
+  }
+  result.stop_reason = StopReason::kMaxTokens;
+  return result;
 }
 
 }  // namespace et::nn

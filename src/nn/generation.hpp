@@ -3,6 +3,10 @@
 // one token per step with per-layer KV caches.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <string>
+
 #include "core/kv_cache.hpp"
 #include "nn/encoder.hpp"
 
@@ -17,7 +21,10 @@ class GenerationSession {
                     EncoderOptions opt, std::size_t max_context);
 
   /// Feed one token's embedding (1 × d_model); returns the top-layer
-  /// hidden state for that position (1 × d_model).
+  /// hidden state for that position (1 × d_model). Atomic under faults:
+  /// if a kernel fails partway through the layer stack, every per-layer
+  /// KV cache is rolled back to its pre-step length before the exception
+  /// propagates, so the session stays consistent and resumable.
   [[nodiscard]] tensor::MatrixF step(gpusim::Device& dev,
                                      const tensor::MatrixF& x_row);
 
@@ -30,14 +37,68 @@ class GenerationSession {
     return caches_.empty() ? 0 : caches_[0].used();
   }
   [[nodiscard]] std::size_t max_context() const noexcept { return max_ctx_; }
+  [[nodiscard]] bool at_capacity() const noexcept {
+    return context_length() >= max_ctx_;
+  }
 
   void reset();
 
  private:
+  [[nodiscard]] tensor::MatrixF step_layers(gpusim::Device& dev,
+                                            const tensor::MatrixF& x_row,
+                                            numeric::Precision p);
+
   const std::vector<EncoderWeights>* layers_;  // not owned
   EncoderOptions opt_;
   std::size_t max_ctx_;
   std::vector<core::KVCache> caches_;  // one per layer
 };
+
+/// Why generate() stopped emitting tokens.
+enum class StopReason {
+  kMaxTokens,    ///< reached the requested token budget — the happy path
+  kKvCacheFull,  ///< per-layer KV caches reached capacity
+  kKernelFault,  ///< a kernel failed mid-step (injected or real)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::kMaxTokens: return "max_tokens";
+    case StopReason::kKvCacheFull: return "kv_cache_full";
+    case StopReason::kKernelFault: return "kernel_fault";
+  }
+  return "?";
+}
+
+/// Outcome of a generate() call. Tokens emitted before a fault or a full
+/// cache are always preserved — running out of capacity mid-reply returns
+/// the partial reply, it never throws it away.
+struct GenerationResult {
+  std::vector<std::int32_t> tokens;  ///< tokens emitted, in order
+  StopReason stop_reason = StopReason::kMaxTokens;
+  std::string fault_kernel;  ///< faulted kernel when stop_reason == kKernelFault
+};
+
+/// Maps a token id (and its absolute position) to its input embedding row
+/// (1 × d_model) — embedding table + positional encoding in most callers.
+using EmbedFn =
+    std::function<tensor::MatrixF(std::int32_t token, std::size_t position)>;
+
+/// Picks the next token from the top-layer hidden state (1 × d_model) —
+/// greedy argmax over an LM head in most callers.
+using SelectFn = std::function<std::int32_t(const tensor::MatrixF& hidden)>;
+
+/// Autoregressive generation with graceful limits: feeds `first_token`,
+/// then repeatedly selects and feeds the next token, up to
+/// `max_new_tokens` emissions. KV-cache exhaustion and per-step kernel
+/// faults are stop conditions, not errors: the result carries everything
+/// generated so far plus the reason generation ended. Only non-fault
+/// exceptions (e.g. a bad config) propagate.
+[[nodiscard]] GenerationResult generate(gpusim::Device& dev,
+                                        GenerationSession& session,
+                                        std::int32_t first_token,
+                                        std::size_t max_new_tokens,
+                                        const EmbedFn& embed,
+                                        const SelectFn& select);
 
 }  // namespace et::nn

@@ -1,18 +1,27 @@
 #include "nn/serialize.hpp"
 
+#include <array>
 #include <cstdint>
 #include <fstream>
+#include <iostream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace et::nn {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x31575445;   // "ETW1" (encoder stacks)
-constexpr std::uint32_t kDecMagic = 0x31445445;  // "ETD1" (decoder stacks)
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMagicV1 = 0x31575445;     // "ETW1" (legacy)
+constexpr std::uint32_t kMagicV2 = 0x32575445;     // "ETW2" (checksummed)
+constexpr std::uint32_t kDecMagicV1 = 0x31445445;  // "ETD1" (legacy)
+constexpr std::uint32_t kDecMagicV2 = 0x32445445;  // "ETD2" (checksummed)
+constexpr std::uint32_t kVersion1 = 1;
+constexpr std::uint32_t kVersion2 = 2;
+
+/// A tampered layer-count field must not become a giant reserve().
+constexpr std::uint64_t kMaxLayers = 1ull << 16;
 
 enum class Tag : std::uint32_t {
   kDense = 1,
@@ -21,6 +30,30 @@ enum class Tag : std::uint32_t {
   kTile = 4,
   kIrregular = 5,
 };
+
+// ------------------------------------------------------------- CRC32 ----
+
+/// CRC-32 (IEEE 802.3), table-driven; the same polynomial gzip and PNG
+/// use, so a checkpoint's section CRCs can be cross-checked externally.
+std::uint32_t crc32(const char* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xffu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
 
 // ------------------------------------------------------- raw helpers ----
 
@@ -92,6 +125,81 @@ tensor::MatrixF get_matrix(std::istream& is) {
   tensor::MatrixF m(rows, cols);
   std::copy(flat.begin(), flat.end(), m.data());
   return m;
+}
+
+// ---------------------------------------------------------- sections ----
+// A section is one named, independently-checksummed unit of the stream:
+//   u32 name length, name bytes, u64 payload size, u32 CRC32, payload.
+// Every load-side failure mode — truncation, a flipped byte anywhere in
+// header or payload, a wrong layer count — surfaces as an exception that
+// names the section, so a corrupted checkpoint points at *what* is bad.
+
+void write_section(std::ostream& os, const std::string& name,
+                   const std::string& payload) {
+  put_u32(os, static_cast<std::uint32_t>(name.size()));
+  os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  put_u64(os, payload.size());
+  put_u32(os, crc32(payload.data(), payload.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+[[noreturn]] void section_error(const std::string& section,
+                                const std::string& what) {
+  throw std::runtime_error("et::nn::load: checkpoint section '" + section +
+                           "': " + what);
+}
+
+std::string read_section(std::istream& is, const std::string& expected) {
+  std::uint32_t name_len = 0;
+  is.read(reinterpret_cast<char*>(&name_len), sizeof name_len);
+  if (!is) section_error(expected, "truncated stream (section header)");
+  // A corrupted length would otherwise turn into a huge allocation.
+  if (name_len != expected.size()) {
+    section_error(expected, "unexpected section name (corrupted header)");
+  }
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  if (!is) section_error(expected, "truncated stream (section name)");
+  if (name != expected) {
+    section_error(expected, "found section '" + name + "' instead");
+  }
+  std::uint64_t size = 0;
+  is.read(reinterpret_cast<char*>(&size), sizeof size);
+  std::uint32_t stored_crc = 0;
+  is.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc);
+  if (!is) section_error(expected, "truncated stream (section header)");
+  // A flipped byte in the size field must not become a huge allocation.
+  constexpr std::uint64_t kMaxSectionBytes = 1ull << 32;
+  if (size > kMaxSectionBytes) {
+    section_error(expected, "implausible section size (corrupted header)");
+  }
+  std::string payload(size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(size));
+  if (!is || static_cast<std::uint64_t>(is.gcount()) != size) {
+    section_error(expected, "truncated stream (payload)");
+  }
+  if (crc32(payload.data(), payload.size()) != stored_crc) {
+    section_error(expected, "CRC32 mismatch (checkpoint corrupted)");
+  }
+  return payload;
+}
+
+/// Serialize through `fill` into a buffered payload, then emit it as a
+/// checksummed section.
+template <typename Fn>
+void put_section(std::ostream& os, const std::string& name, Fn&& fill) {
+  std::ostringstream payload;
+  fill(payload);
+  write_section(os, name, payload.str());
+}
+
+/// Read a section and parse its payload through `parse`. A short payload
+/// (which only a corrupted-but-CRC-colliding stream could produce) still
+/// fails inside `parse` with the plain truncation errors.
+template <typename Fn>
+auto get_section(std::istream& is, const std::string& name, Fn&& parse) {
+  std::istringstream payload(read_section(is, name));
+  return parse(payload);
 }
 
 // ----------------------------------------------------- weight formats ----
@@ -195,14 +303,77 @@ void put_vector(std::ostream& os, const std::vector<float>& v) {
   put_floats(os, v.data(), v.size());
 }
 
-}  // namespace
+// ----------------------------------------------- section payload parts ----
 
-void save_encoder_weights(std::ostream& os, const EncoderWeights& w) {
+void put_attention(std::ostream& os, const core::AttentionWeights& a) {
+  put_weight(os, a.wq);
+  put_weight(os, a.wk);
+  put_weight(os, a.wv);
+  put_weight(os, a.wo);
+  // Pre-computed W_VO (may be empty).
+  put_u64(os, a.vo.num_heads);
+  put_u32s(os, a.vo.kept_cols);
+  put_matrix(os, a.vo.weight);
+}
+
+core::AttentionWeights get_attention(std::istream& is) {
+  core::AttentionWeights a;
+  a.wq = get_weight(is);
+  a.wk = get_weight(is);
+  a.wv = get_weight(is);
+  a.wo = get_weight(is);
+  a.vo.num_heads = get_u64(is);
+  a.vo.kept_cols = get_u32s(is);
+  a.vo.weight = get_matrix(is);
+  return a;
+}
+
+void save_encoder_sections(std::ostream& os, const EncoderWeights& w,
+                           const std::string& prefix) {
+  put_section(os, prefix + "attention",
+              [&](std::ostream& p) { put_attention(p, w.attn); });
+  put_section(os, prefix + "ffn", [&](std::ostream& p) {
+    put_weight(p, w.w_ff1);
+    put_weight(p, w.w_ff2);
+    put_vector(p, w.b_ff1);
+    put_vector(p, w.b_ff2);
+  });
+  put_section(os, prefix + "layernorm", [&](std::ostream& p) {
+    put_vector(p, w.ln1_gamma);
+    put_vector(p, w.ln1_beta);
+    put_vector(p, w.ln2_gamma);
+    put_vector(p, w.ln2_beta);
+  });
+}
+
+EncoderWeights load_encoder_sections(std::istream& is,
+                                     const std::string& prefix) {
+  EncoderWeights w;
+  w.attn = get_section(is, prefix + "attention",
+                       [](std::istream& p) { return get_attention(p); });
+  get_section(is, prefix + "ffn", [&](std::istream& p) {
+    w.w_ff1 = get_weight(p);
+    w.w_ff2 = get_weight(p);
+    w.b_ff1 = get_floats(p);
+    w.b_ff2 = get_floats(p);
+    return 0;
+  });
+  get_section(is, prefix + "layernorm", [&](std::istream& p) {
+    w.ln1_gamma = get_floats(p);
+    w.ln1_beta = get_floats(p);
+    w.ln2_gamma = get_floats(p);
+    w.ln2_beta = get_floats(p);
+    return 0;
+  });
+  return w;
+}
+
+/// Legacy v1 layer layout: a flat, unchecksummed field sequence.
+void save_encoder_weights_v1(std::ostream& os, const EncoderWeights& w) {
   put_weight(os, w.attn.wq);
   put_weight(os, w.attn.wk);
   put_weight(os, w.attn.wv);
   put_weight(os, w.attn.wo);
-  // Pre-computed W_VO (may be empty).
   put_u64(os, w.attn.vo.num_heads);
   put_u32s(os, w.attn.vo.kept_cols);
   put_matrix(os, w.attn.vo.weight);
@@ -216,7 +387,7 @@ void save_encoder_weights(std::ostream& os, const EncoderWeights& w) {
   put_vector(os, w.ln2_beta);
 }
 
-EncoderWeights load_encoder_weights(std::istream& is) {
+EncoderWeights load_encoder_weights_v1(std::istream& is) {
   EncoderWeights w;
   w.attn.wq = get_weight(is);
   w.attn.wk = get_weight(is);
@@ -236,34 +407,59 @@ EncoderWeights load_encoder_weights(std::istream& is) {
   return w;
 }
 
-namespace {
-void put_attention(std::ostream& os, const core::AttentionWeights& a) {
-  put_weight(os, a.wq);
-  put_weight(os, a.wk);
-  put_weight(os, a.wv);
-  put_weight(os, a.wo);
-  put_u64(os, a.vo.num_heads);
-  put_u32s(os, a.vo.kept_cols);
-  put_matrix(os, a.vo.weight);
+std::string layer_prefix(std::uint64_t i) {
+  return "layer" + std::to_string(i) + "/";
 }
 
-core::AttentionWeights get_attention(std::istream& is) {
-  core::AttentionWeights a;
-  a.wq = get_weight(is);
-  a.wk = get_weight(is);
-  a.wv = get_weight(is);
-  a.wo = get_weight(is);
-  a.vo.num_heads = get_u64(is);
-  a.vo.kept_cols = get_u32s(is);
-  a.vo.weight = get_matrix(is);
-  return a;
+void warn_legacy(const char* kind) {
+  std::cerr << "et::nn::load: warning: loading legacy " << kind
+            << " checkpoint without per-section checksums; re-save to "
+               "upgrade to the checksummed v2 format\n";
 }
+
 }  // namespace
+
+void save_encoder_weights(std::ostream& os, const EncoderWeights& w) {
+  save_encoder_sections(os, w, "");
+}
+
+EncoderWeights load_encoder_weights(std::istream& is) {
+  return load_encoder_sections(is, "");
+}
 
 void save_decoder_stack(std::ostream& os,
                         const std::vector<DecoderWeights>& layers) {
-  put_u32(os, kDecMagic);
-  put_u32(os, kVersion);
+  put_u32(os, kDecMagicV2);
+  put_u32(os, kVersion2);
+  put_u64(os, layers.size());
+  for (std::uint64_t i = 0; i < layers.size(); ++i) {
+    const auto& w = layers[i];
+    const std::string prefix = layer_prefix(i);
+    put_section(os, prefix + "self_attention",
+                [&](std::ostream& p) { put_attention(p, w.self_attn); });
+    put_section(os, prefix + "cross_attention",
+                [&](std::ostream& p) { put_attention(p, w.cross_attn); });
+    put_section(os, prefix + "ffn", [&](std::ostream& p) {
+      put_weight(p, w.w_ff1);
+      put_weight(p, w.w_ff2);
+      put_vector(p, w.b_ff1);
+      put_vector(p, w.b_ff2);
+    });
+    put_section(os, prefix + "layernorm", [&](std::ostream& p) {
+      put_vector(p, w.ln1_gamma);
+      put_vector(p, w.ln1_beta);
+      put_vector(p, w.ln2_gamma);
+      put_vector(p, w.ln2_beta);
+      put_vector(p, w.ln3_gamma);
+      put_vector(p, w.ln3_beta);
+    });
+  }
+}
+
+void save_decoder_stack_v1(std::ostream& os,
+                           const std::vector<DecoderWeights>& layers) {
+  put_u32(os, kDecMagicV1);
+  put_u32(os, kVersion1);
   put_u64(os, layers.size());
   for (const auto& w : layers) {
     put_attention(os, w.self_attn);
@@ -282,29 +478,66 @@ void save_decoder_stack(std::ostream& os,
 }
 
 std::vector<DecoderWeights> load_decoder_stack(std::istream& is) {
-  if (get_u32(is) != kDecMagic) {
+  const std::uint32_t magic = get_u32(is);
+  if (magic != kDecMagicV1 && magic != kDecMagicV2) {
     throw std::runtime_error("et::nn::load: bad magic (not an ETD file)");
   }
-  if (get_u32(is) != kVersion) {
-    throw std::runtime_error("et::nn::load: unsupported decoder version");
+  const std::uint32_t version = get_u32(is);
+  if ((magic == kDecMagicV1 && version != kVersion1) ||
+      (magic == kDecMagicV2 && version != kVersion2)) {
+    throw std::runtime_error("et::nn::load: unsupported decoder version " +
+                             std::to_string(version));
   }
+  if (magic == kDecMagicV1) warn_legacy("ETD1");
   const std::uint64_t count = get_u64(is);
+  if (count > kMaxLayers) {
+    throw std::runtime_error("et::nn::load: implausible layer count " +
+                             std::to_string(count));
+  }
   std::vector<DecoderWeights> layers;
   layers.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     DecoderWeights w;
-    w.self_attn = get_attention(is);
-    w.cross_attn = get_attention(is);
-    w.w_ff1 = get_weight(is);
-    w.w_ff2 = get_weight(is);
-    w.b_ff1 = get_floats(is);
-    w.b_ff2 = get_floats(is);
-    w.ln1_gamma = get_floats(is);
-    w.ln1_beta = get_floats(is);
-    w.ln2_gamma = get_floats(is);
-    w.ln2_beta = get_floats(is);
-    w.ln3_gamma = get_floats(is);
-    w.ln3_beta = get_floats(is);
+    if (magic == kDecMagicV1) {
+      w.self_attn = get_attention(is);
+      w.cross_attn = get_attention(is);
+      w.w_ff1 = get_weight(is);
+      w.w_ff2 = get_weight(is);
+      w.b_ff1 = get_floats(is);
+      w.b_ff2 = get_floats(is);
+      w.ln1_gamma = get_floats(is);
+      w.ln1_beta = get_floats(is);
+      w.ln2_gamma = get_floats(is);
+      w.ln2_beta = get_floats(is);
+      w.ln3_gamma = get_floats(is);
+      w.ln3_beta = get_floats(is);
+    } else {
+      const std::string prefix = layer_prefix(i);
+      w.self_attn = get_section(is, prefix + "self_attention",
+                                [](std::istream& p) {
+                                  return get_attention(p);
+                                });
+      w.cross_attn = get_section(is, prefix + "cross_attention",
+                                 [](std::istream& p) {
+                                   return get_attention(p);
+                                 });
+      get_section(is, prefix + "ffn", [&](std::istream& p) {
+        w.w_ff1 = get_weight(p);
+        w.w_ff2 = get_weight(p);
+        w.b_ff1 = get_floats(p);
+        w.b_ff2 = get_floats(p);
+        return 0;
+      });
+      get_section(is, prefix + "layernorm", [&](std::istream& p) {
+        w.ln1_gamma = get_floats(p);
+        w.ln1_beta = get_floats(p);
+        w.ln2_gamma = get_floats(p);
+        w.ln2_beta = get_floats(p);
+        w.ln3_gamma = get_floats(p);
+        w.ln3_beta = get_floats(p);
+        return 0;
+      });
+    }
     layers.push_back(std::move(w));
   }
   return layers;
@@ -312,26 +545,45 @@ std::vector<DecoderWeights> load_decoder_stack(std::istream& is) {
 
 void save_encoder_stack(std::ostream& os,
                         const std::vector<EncoderWeights>& layers) {
-  put_u32(os, kMagic);
-  put_u32(os, kVersion);
+  put_u32(os, kMagicV2);
+  put_u32(os, kVersion2);
   put_u64(os, layers.size());
-  for (const auto& layer : layers) save_encoder_weights(os, layer);
+  for (std::uint64_t i = 0; i < layers.size(); ++i) {
+    save_encoder_sections(os, layers[i], layer_prefix(i));
+  }
+}
+
+void save_encoder_stack_v1(std::ostream& os,
+                           const std::vector<EncoderWeights>& layers) {
+  put_u32(os, kMagicV1);
+  put_u32(os, kVersion1);
+  put_u64(os, layers.size());
+  for (const auto& layer : layers) save_encoder_weights_v1(os, layer);
 }
 
 std::vector<EncoderWeights> load_encoder_stack(std::istream& is) {
-  if (get_u32(is) != kMagic) {
+  const std::uint32_t magic = get_u32(is);
+  if (magic != kMagicV1 && magic != kMagicV2) {
     throw std::runtime_error("et::nn::load: bad magic (not an ETW file)");
   }
   const std::uint32_t version = get_u32(is);
-  if (version != kVersion) {
+  if ((magic == kMagicV1 && version != kVersion1) ||
+      (magic == kMagicV2 && version != kVersion2)) {
     throw std::runtime_error("et::nn::load: unsupported version " +
                              std::to_string(version));
   }
+  if (magic == kMagicV1) warn_legacy("ETW1");
   const std::uint64_t count = get_u64(is);
+  if (count > kMaxLayers) {
+    throw std::runtime_error("et::nn::load: implausible layer count " +
+                             std::to_string(count));
+  }
   std::vector<EncoderWeights> layers;
   layers.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    layers.push_back(load_encoder_weights(is));
+    layers.push_back(magic == kMagicV1
+                         ? load_encoder_weights_v1(is)
+                         : load_encoder_sections(is, layer_prefix(i)));
   }
   return layers;
 }

@@ -3,10 +3,13 @@
 // formats round-trip, so a model pruned on one machine loads for
 // inference elsewhere without re-deriving masks.
 //
-// Format: little-endian, "ETW1" magic + version, then a tagged stream of
-// sections. Not designed for cross-endian portability (like most ML
-// checkpoint formats); integrity is guarded by the magic, version and
-// per-section element counts.
+// Format (v2): little-endian, "ETW2" magic + version, then named sections
+// ("layer0/attention", "layer0/ffn", ...), each carrying its payload size
+// and a CRC32 of the payload. A truncated or bit-flipped checkpoint is
+// rejected with an error naming the bad section instead of loading
+// garbage weights. Legacy "ETW1"/"ETD1" streams (magic + element counts,
+// no checksums) still load, with a warning. Not designed for cross-endian
+// portability (like most ML checkpoint formats).
 #pragma once
 
 #include <iosfwd>
@@ -18,11 +21,12 @@
 
 namespace et::nn {
 
-/// Serialize one encoder layer's weights.
+/// Serialize one encoder layer's weights as checksummed sections
+/// ("attention", "ffn", "layernorm") without a file header.
 void save_encoder_weights(std::ostream& os, const EncoderWeights& w);
 [[nodiscard]] EncoderWeights load_encoder_weights(std::istream& is);
 
-/// Serialize a whole stack (layer count + layers).
+/// Serialize a whole stack (magic + version + layer count + sections).
 void save_encoder_stack(std::ostream& os,
                         const std::vector<EncoderWeights>& layers);
 [[nodiscard]] std::vector<EncoderWeights> load_encoder_stack(std::istream& is);
@@ -31,6 +35,14 @@ void save_encoder_stack(std::ostream& os,
 void save_decoder_stack(std::ostream& os,
                         const std::vector<DecoderWeights>& layers);
 [[nodiscard]] std::vector<DecoderWeights> load_decoder_stack(std::istream& is);
+
+/// Legacy v1 writers (no per-section checksums). Retained so compat tests
+/// and older tooling can still produce ETW1/ETD1 streams; new code should
+/// use the checksummed save_*_stack above.
+void save_encoder_stack_v1(std::ostream& os,
+                           const std::vector<EncoderWeights>& layers);
+void save_decoder_stack_v1(std::ostream& os,
+                           const std::vector<DecoderWeights>& layers);
 
 /// File-path convenience wrappers; throw std::runtime_error on IO failure.
 void save_encoder_stack(const std::string& path,
