@@ -1,64 +1,102 @@
-// Ablation: latency-optimized (one sequence at a time, the paper's
-// metric) vs throughput-optimized batched inference (the TurboTransformer
-// regime the §6 discussion positions E.T. as a backend for). Batched
-// execution amortizes weight loads and kernel launches across sequences;
-// per-sequence latency rises slightly while aggregate throughput climbs.
+// Ablation: decode throughput vs batch size through the slot-based
+// BatchedGenerationScheduler (docs/serving.md). Autoregressive decode is
+// weight-load-bound — every step re-reads the projection and FFN weights
+// for ONE row of activations — so batching B sequences into one fused
+// tick amortizes those loads ~B× (the batched q/k/v GEMM stages its
+// weight panels once, the stacked MLP likewise) while each sequence still
+// attends over its own KV cache. Tokens/sec should therefore scale
+// strongly with batch size; per-sequence latency is the price.
+//
+// --json emits the standard bench JSON shape; --csv the usual CSV.
 #include "bench_common.hpp"
 #include "gpusim/device.hpp"
-#include "nn/encoder.hpp"
-#include "tensor/random.hpp"
+#include "nn/batched_generation.hpp"
+#include "nn/generation.hpp"
 
 int main(int argc, char** argv) {
   const bool csv = et::bench::csv_mode(argc, argv);
-  const auto model = et::nn::bert_base();
-  const auto w = et::nn::make_dense_encoder_weights(model, 1);
-  const auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 128);
+  const bool json = et::bench::json_mode(argc, argv);
 
-  std::printf("Ablation — batched E.T. inference, BERT_BASE encoder layer, "
-              "seq=128\n\n");
-  et::bench::Table table({"batch", "sequential_us", "batched_us",
-                          "per_seq_us", "throughput_seq_per_ms",
-                          "amortization"},
-                         csv);
-  for (const std::size_t batch_size : {1u, 2u, 4u, 8u, 16u}) {
-    std::vector<et::tensor::MatrixF> batch(
-        batch_size, et::tensor::MatrixF(128, model.d_model));
+  // BERT_BASE-width decoder, 4 layers: big enough that weight traffic
+  // dominates, small enough to build in seconds.
+  et::nn::ModelConfig model;
+  model.num_layers = 4;
+  model.d_model = 768;
+  model.num_heads = 12;
+  model.d_ff = 3072;
 
-    et::gpusim::Device seq_dev;
-    seq_dev.set_traffic_only(true);
-    for (const auto& x : batch) {
-      (void)et::nn::encoder_forward(seq_dev, x, w, opt);
+  std::vector<et::nn::EncoderWeights> layers;
+  for (std::size_t l = 0; l < model.num_layers; ++l) {
+    layers.push_back(et::nn::make_dense_encoder_weights(model, 1 + l));
+  }
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 128,
+                                 /*causal=*/true);
+
+  constexpr std::size_t kTokensPerSeq = 32;
+  constexpr std::size_t kMaxContext = 64;
+  const auto embed = [&](std::int32_t, std::size_t) {
+    return et::tensor::MatrixF(1, model.d_model);
+  };
+  const auto select = [](const et::tensor::MatrixF&) {
+    return std::int32_t{1};
+  };
+
+  if (!csv && !json) {
+    std::printf("Ablation — batched decode throughput, %zux d=%zu decoder, "
+                "%zu tokens/sequence\n\n",
+                model.num_layers, model.d_model, kTokensPerSeq);
+  }
+  et::bench::Table table({"batch", "total_tokens", "ticks", "batched_ticks",
+                          "time_us", "tokens_per_sec", "per_token_us",
+                          "speedup_vs_b1"},
+                         csv, json);
+
+  double base_tps = 0.0;
+  for (const std::size_t batch : {1u, 2u, 4u, 8u, 16u}) {
+    et::nn::BatchedGenerationScheduler sched(&layers, opt, batch,
+                                             kMaxContext);
+    for (std::size_t i = 0; i < batch; ++i) {
+      et::nn::GenerationRequest req;
+      req.first_token = static_cast<std::int32_t>(i);
+      req.max_new_tokens = kTokensPerSeq;
+      req.embed = embed;
+      req.select = select;
+      (void)sched.submit(std::move(req));
     }
-    const double sequential = seq_dev.total_time_us();
 
-    et::gpusim::Device bat_dev;
-    bat_dev.set_traffic_only(true);
-    (void)et::nn::batched_encoder_forward(bat_dev, batch, w, opt);
-    const double batched = bat_dev.total_time_us();
+    et::gpusim::Device dev;
+    dev.set_traffic_only(true);
+    const auto results = sched.run(dev);
 
-    table.add_row({std::to_string(batch_size),
-                   et::bench::fmt(sequential, 1), et::bench::fmt(batched, 1),
-                   et::bench::fmt(batched / batch_size, 1),
-                   et::bench::fmt(1000.0 * batch_size / batched, 1),
-                   et::bench::fmt_ratio(sequential / batched)});
+    std::size_t total_tokens = 0;
+    for (const auto& r : results) total_tokens += r.tokens.size();
+    const double time_us = dev.total_time_us();
+    const double tps = 1e6 * static_cast<double>(total_tokens) / time_us;
+    if (batch == 1) base_tps = tps;
+
+    table.add_row({std::to_string(batch), std::to_string(total_tokens),
+                   std::to_string(sched.ticks()),
+                   std::to_string(sched.batched_ticks()),
+                   et::bench::fmt(time_us, 1), et::bench::fmt(tps, 1),
+                   et::bench::fmt(time_us / static_cast<double>(total_tokens),
+                                  2),
+                   et::bench::fmt(tps / base_tps, 2)});
   }
   table.print();
-  std::printf("\nVariable-length batch (no padding): ");
-  std::vector<et::tensor::MatrixF> varlen;
-  for (const std::size_t s : {32u, 64u, 96u, 128u}) {
-    varlen.emplace_back(s, model.d_model);
+
+  if (!csv && !json) {
+    std::printf(
+        "\nThe same model through sequential nn::generate (the batch=1 "
+        "API): ");
+    et::gpusim::Device dev;
+    dev.set_traffic_only(true);
+    et::nn::GenerationSession session(&layers, opt, kMaxContext);
+    const auto r =
+        et::nn::generate(dev, session, 0, kTokensPerSeq, embed, select);
+    std::printf("%.1f us for %zu tokens (%.1f tokens/sec)\n",
+                dev.total_time_us(), r.tokens.size(),
+                1e6 * static_cast<double>(r.tokens.size()) /
+                    dev.total_time_us());
   }
-  et::gpusim::Device var_dev;
-  var_dev.set_traffic_only(true);
-  (void)et::nn::batched_encoder_forward(var_dev, varlen, w, opt);
-  const double unpadded = var_dev.total_time_us();
-  std::vector<et::tensor::MatrixF> padded(
-      4, et::tensor::MatrixF(128, model.d_model));
-  et::gpusim::Device pad_dev;
-  pad_dev.set_traffic_only(true);
-  (void)et::nn::batched_encoder_forward(pad_dev, padded, w, opt);
-  std::printf("%.1f us vs %.1f us padded -> %.0f%% saved\n", unpadded,
-              pad_dev.total_time_us(),
-              100.0 * (1.0 - unpadded / pad_dev.total_time_us()));
   return 0;
 }

@@ -1,7 +1,9 @@
 // Shared helpers for the paper-reproduction bench binaries: aligned table
-// printing, optional CSV output (--csv), and env-var workload scaling.
+// printing, optional CSV (--csv) or JSON (--json) output, and env-var
+// workload scaling.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,11 +12,22 @@
 
 namespace et::bench {
 
-inline bool csv_mode(int argc, char** argv) {
+inline bool flag_set(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) return true;
+    if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+inline bool csv_mode(int argc, char** argv) {
+  return flag_set(argc, argv, "--csv");
+}
+
+/// The standard bench JSON shape: the table becomes an array of row
+/// objects keyed by header, numeric cells emitted as JSON numbers —
+/// machine-readable for ablation plots and CI trend tracking.
+inline bool json_mode(int argc, char** argv) {
+  return flag_set(argc, argv, "--json");
 }
 
 /// Scale factor for training-heavy benches: ET_EPOCH_SCALE=4 trains 4×
@@ -26,14 +39,19 @@ inline double epoch_scale() {
 
 class Table {
  public:
-  explicit Table(std::vector<std::string> headers, bool csv = false)
-      : headers_(std::move(headers)), csv_(csv) {}
+  explicit Table(std::vector<std::string> headers, bool csv = false,
+                 bool json = false)
+      : headers_(std::move(headers)), csv_(csv), json_(json) {}
 
   void add_row(std::vector<std::string> cells) {
     rows_.push_back(std::move(cells));
   }
 
   void print() const {
+    if (json_) {
+      print_json();
+      return;
+    }
     if (csv_) {
       print_delimited(",");
       return;
@@ -66,6 +84,43 @@ class Table {
     }
     std::printf("\n");
   }
+  static bool is_number(const std::string& s) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    (void)std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  static void print_json_string(const std::string& s) {
+    std::printf("\"");
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') std::printf("\\%c", ch);
+      else if (ch == '\n') std::printf("\\n");
+      else std::printf("%c", ch);
+    }
+    std::printf("\"");
+  }
+
+  void print_json() const {
+    std::printf("[\n");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::printf("  {");
+      const auto& row = rows_[r];
+      for (std::size_t c = 0; c < row.size() && c < headers_.size(); ++c) {
+        print_json_string(headers_[c]);
+        std::printf(": ");
+        if (is_number(row[c])) {
+          std::printf("%s", row[c].c_str());
+        } else {
+          print_json_string(row[c]);
+        }
+        if (c + 1 < row.size() && c + 1 < headers_.size()) std::printf(", ");
+      }
+      std::printf("}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::printf("]\n");
+  }
+
   void print_delimited(const char* sep) const {
     const auto line = [&](const std::vector<std::string>& row) {
       for (std::size_t c = 0; c < row.size(); ++c) {
@@ -80,6 +135,7 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
   bool csv_ = false;
+  bool json_ = false;
 };
 
 inline std::string fmt(double v, int prec = 2) {

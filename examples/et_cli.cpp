@@ -15,6 +15,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/profiler.hpp"
 #include "gpusim/trace_export.hpp"
+#include "nn/batched_generation.hpp"
 #include "nn/encoder.hpp"
 #include "pruning/strategy.hpp"
 #include "train/model.hpp"
@@ -27,6 +28,8 @@ struct Args {
   std::string strategy = "none";
   std::string device = "v100s";
   std::size_t seq = 128;
+  std::size_t batch = 0;    // > 0: batched-generation serving demo
+  std::size_t tokens = 16;  // tokens per sequence in the serving demo
   double ratio = 0.0;
   bool profile = false;
   bool help = false;
@@ -119,6 +122,8 @@ Args parse(int argc, char** argv) {
     else if (arg == "--strategy") a.strategy = next();
     else if (arg == "--device") a.device = next();
     else if (arg == "--seq") a.seq = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--batch") a.batch = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--tokens") a.tokens = std::strtoul(next(), nullptr, 10);
     else if (arg == "--ratio") a.ratio = std::atof(next());
     else if (arg == "--profile") a.profile = true;
     else if (arg == "--trace") a.trace = next();
@@ -140,6 +145,9 @@ void usage() {
       "  --strategy  none | irregular | column | tile | attention-aware\n"
       "  --ratio     pruning ratio in [0, 1)          (default 0)\n"
       "  --seq       sequence length                  (default 128)\n"
+      "  --batch N   serving demo: decode N sequences through the\n"
+      "              slot-based batched scheduler (see docs/serving.md)\n"
+      "  --tokens T  tokens per sequence in the serving demo (default 16)\n"
       "  --device    v100s | a100                     (default v100s)\n"
       "  --profile   print the per-kernel nvprof-style table\n"
       "  --trace F   write a chrome://tracing JSON timeline to F\n"
@@ -201,6 +209,70 @@ int main(int argc, char** argv) {
       !arm_from_spec(dev.fault_injector(), args.inject_fault)) {
     return 2;
   }
+  if (args.batch > 0) {
+    // Serving demo: decode N sequences through the slot-based batched
+    // scheduler (docs/serving.md) — two decoder layers at the chosen
+    // model's width, up to 8 slots, queue + backfill beyond that.
+    std::vector<et::nn::EncoderWeights> layers(2, weights);
+    for (auto& l : layers) l.attn.vo = {};  // cached decode path only
+    const auto gopt =
+        et::nn::options_for(pipeline, model, args.seq, /*causal=*/true);
+    const std::size_t max_batch = args.batch < 8 ? args.batch : 8;
+    et::nn::BatchedGenerationScheduler sched(&layers, gopt, max_batch,
+                                             args.tokens + 1);
+    for (std::size_t i = 0; i < args.batch; ++i) {
+      et::nn::GenerationRequest req;
+      req.first_token = static_cast<std::int32_t>(i);
+      req.max_new_tokens = args.tokens;
+      req.embed = [&model](std::int32_t, std::size_t) {
+        return et::tensor::MatrixF(1, model.d_model);
+      };
+      req.select = [](const et::tensor::MatrixF&) { return std::int32_t{1}; };
+      (void)sched.submit(std::move(req));
+    }
+    const auto results = sched.run(dev);
+
+    std::size_t total_tokens = 0;
+    for (const auto& r : results) total_tokens += r.tokens.size();
+    std::printf("%s · %s · serving %zu sequences on %zu slot(s) · %s\n",
+                model.name.c_str(), args.pipeline.c_str(), args.batch,
+                max_batch, spec.name.c_str());
+    std::printf("  %zu tokens in %.1f us (%.1f tokens/sec), %zu ticks "
+                "(%zu batched, %zu degraded to per-slot)\n",
+                total_tokens, dev.total_time_us(),
+                1e6 * static_cast<double>(total_tokens) / dev.total_time_us(),
+                sched.ticks(), sched.batched_ticks(),
+                sched.per_slot_fallback_ticks());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::printf("  seq %zu: %zu token(s), stop=%s", i,
+                  results[i].tokens.size(),
+                  std::string(to_string(results[i].stop_reason)).c_str());
+      if (!results[i].fault_kernel.empty()) {
+        std::printf(" (kernel '%s')", results[i].fault_kernel.c_str());
+      }
+      std::printf("\n");
+    }
+    for (std::size_t s = 0; s < max_batch; ++s) {
+      std::printf("  slot %zu attention time: %.1f us\n", s,
+                  dev.time_us_for_slot(static_cast<int>(s)));
+    }
+    for (const auto& f : dev.fallback_log()) {
+      std::printf("  recovered: %s -> %s after fault in '%s' (%s)\n",
+                  f.from_impl.c_str(), f.to_impl.c_str(), f.kernel.c_str(),
+                  f.cause.c_str());
+    }
+    if (args.profile) {
+      std::printf("\n");
+      print_report(std::cout, et::gpusim::profile(dev));
+    }
+    if (!args.trace.empty()) {
+      et::gpusim::write_chrome_trace(args.trace, dev);
+      std::printf("trace written to %s (open in chrome://tracing)\n",
+                  args.trace.c_str());
+    }
+    return 0;
+  }
+
   et::tensor::MatrixF x(args.seq, model.d_model);
   try {
     (void)et::nn::encoder_forward(

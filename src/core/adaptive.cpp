@@ -94,4 +94,9 @@ tensor::MatrixF adaptive_attention(gpusim::Device& dev,
   }
 }
 
+bool use_batched_decode(const AdaptivePolicy& policy,
+                        std::size_t active_slots) noexcept {
+  return active_slots >= policy.batched_decode_min_slots;
+}
+
 }  // namespace et::core

@@ -10,16 +10,57 @@ namespace et::core {
 
 void KVCache::append(std::span<const float> k_row,
                      std::span<const float> v_row) {
+  // Every check precedes the first write to either plane: a rejected
+  // append must never leave K one row longer than V (or half-written).
   if (full()) {
     throw std::length_error("KVCache::append: cache is full (" +
                             std::to_string(capacity()) + " rows)");
   }
-  assert(k_row.size() == k_.cols() && v_row.size() == v_.cols());
+  if (k_row.size() != k_.cols() || v_row.size() != v_.cols()) {
+    throw std::invalid_argument(
+        "KVCache::append: row width mismatch (k " +
+        std::to_string(k_row.size()) + ", v " + std::to_string(v_row.size()) +
+        ", cache " + std::to_string(k_.cols()) + ")");
+  }
   for (std::size_t c = 0; c < k_.cols(); ++c) {
     k_(used_, c) = k_row[c];
     v_(used_, c) = v_row[c];
   }
   ++used_;
+}
+
+KVCachePool::KVCachePool(std::size_t num_slots, std::size_t num_layers,
+                         std::size_t capacity, std::size_t d_model) {
+  slots_.resize(num_slots);
+  free_.reserve(num_slots);
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    slots_[s].caches.reserve(num_layers);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      slots_[s].caches.emplace_back(capacity, d_model);
+    }
+    free_.push_back(num_slots - 1 - s);  // pop order: slot 0 first
+  }
+}
+
+std::size_t KVCachePool::acquire() {
+  if (free_.empty()) {
+    throw std::runtime_error("KVCachePool::acquire: no free slot");
+  }
+  const std::size_t slot = free_.back();
+  free_.pop_back();
+  slots_[slot].in_use = true;
+  for (auto& cache : slots_[slot].caches) cache.reset();
+  return slot;
+}
+
+void KVCachePool::release(std::size_t slot) {
+  if (slot >= slots_.size() || !slots_[slot].in_use) {
+    throw std::invalid_argument("KVCachePool::release: slot " +
+                                std::to_string(slot) +
+                                " is not an acquired slot");
+  }
+  slots_[slot].in_use = false;
+  free_.push_back(slot);
 }
 
 tensor::MatrixF KVCache::k_prefix() const {

@@ -26,7 +26,9 @@ class KVCache {
   [[nodiscard]] bool full() const noexcept { return used_ == capacity(); }
 
   /// Append one projected row to each of K and V. Throws std::length_error
-  /// when the cache is full.
+  /// when the cache is full and std::invalid_argument on a row-width
+  /// mismatch. Strong guarantee: every check runs before either plane is
+  /// written, so a failed append leaves K and V untouched and consistent.
   void append(std::span<const float> k_row, std::span<const float> v_row);
 
   /// Contiguous views of the filled prefix (used × d_model copies).
@@ -46,6 +48,50 @@ class KVCache {
   tensor::MatrixF k_;
   tensor::MatrixF v_;
   std::size_t used_ = 0;
+};
+
+/// Fixed pool of per-slot, per-layer KV caches for batched serving. All
+/// storage is allocated once up front (`num_slots` slots × `num_layers`
+/// caches of `capacity` rows each) and recycled across sequences: acquire
+/// resets a slot's caches, it never reallocates — admission cost under
+/// heavy traffic is O(1), not O(context·d_model).
+class KVCachePool {
+ public:
+  KVCachePool(std::size_t num_slots, std::size_t num_layers,
+              std::size_t capacity, std::size_t d_model);
+
+  [[nodiscard]] std::size_t num_slots() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] std::size_t free_slots() const noexcept {
+    return free_.size();
+  }
+  [[nodiscard]] bool has_free() const noexcept { return !free_.empty(); }
+
+  /// Claim a free slot; its caches come back reset. Throws
+  /// std::runtime_error when every slot is in use (callers gate on
+  /// has_free()).
+  [[nodiscard]] std::size_t acquire();
+
+  /// Return a slot to the pool. Throws std::invalid_argument on an
+  /// out-of-range id or a double release.
+  void release(std::size_t slot);
+
+  /// The per-layer caches of an acquired slot (index = layer).
+  [[nodiscard]] std::vector<KVCache>& caches(std::size_t slot) {
+    return slots_.at(slot).caches;
+  }
+  [[nodiscard]] const std::vector<KVCache>& caches(std::size_t slot) const {
+    return slots_.at(slot).caches;
+  }
+
+ private:
+  struct Slot {
+    std::vector<KVCache> caches;
+    bool in_use = false;
+  };
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> free_;  // LIFO keeps recently-hot slots warm
 };
 
 /// One autoregressive attention step: `x_row` is the current token's

@@ -38,8 +38,17 @@ Launch Device::launch(LaunchConfig cfg) {
 }
 
 void Device::record(KernelStats stats) {
+  stats.slot = current_slot_;
   apply_latency_model(stats, spec_);
   log_.push_back(std::move(stats));
+}
+
+double Device::time_us_for_slot(int slot) const {
+  double t = 0.0;
+  for (const auto& k : log_) {
+    if (k.slot == slot) t += k.time_us;
+  }
+  return t;
 }
 
 double Device::total_time_us() const noexcept {

@@ -51,6 +51,9 @@ struct FallbackEvent {
   std::string to_impl;
   std::string kernel;
   std::string cause;
+  /// Serving slot the recovery applied to (kNoSlot = whole device, e.g.
+  /// a batched tick degrading to per-slot stepping).
+  int slot = kNoSlot;
 };
 
 struct LaunchConfig {
@@ -155,6 +158,14 @@ class Device {
   void set_traffic_only(bool v) noexcept { traffic_only_ = v; }
   [[nodiscard]] bool traffic_only() const noexcept { return traffic_only_; }
 
+  /// Serving slot stamped onto every launch recorded while set (kNoSlot =
+  /// unattributed). Prefer the RAII SlotScope below.
+  void set_current_slot(int slot) noexcept { current_slot_ = slot; }
+  [[nodiscard]] int current_slot() const noexcept { return current_slot_; }
+
+  /// Time spent in launches attributed to `slot` (see SlotScope).
+  [[nodiscard]] double time_us_for_slot(int slot) const;
+
  private:
   friend class Launch;
   void record(KernelStats stats);
@@ -164,6 +175,27 @@ class Device {
   std::vector<FallbackEvent> fallbacks_;
   FaultInjector injector_;
   bool traffic_only_ = false;
+  int current_slot_ = kNoSlot;
+};
+
+/// RAII slot attribution: every launch recorded while the scope lives is
+/// stamped with `slot`, so profiler reports can split a batched decode
+/// tick's per-sequence work (each slot's attention over its own cache)
+/// from the shared batched kernels. Scopes restore the previous slot on
+/// destruction, so nesting behaves.
+class SlotScope {
+ public:
+  SlotScope(Device& dev, int slot) noexcept
+      : dev_(&dev), previous_(dev.current_slot()) {
+    dev_->set_current_slot(slot);
+  }
+  SlotScope(const SlotScope&) = delete;
+  SlotScope& operator=(const SlotScope&) = delete;
+  ~SlotScope() { dev_->set_current_slot(previous_); }
+
+ private:
+  Device* dev_;
+  int previous_;
 };
 
 }  // namespace et::gpusim

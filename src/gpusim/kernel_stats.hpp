@@ -9,11 +9,18 @@
 
 namespace et::gpusim {
 
+/// Sentinel for KernelStats::slot — launch not attributed to any slot.
+inline constexpr int kNoSlot = -1;
+
 struct KernelStats {
   std::string name;
   std::size_t ctas = 0;                  ///< grid size in CTAs
   std::size_t shared_bytes_per_cta = 0;  ///< shared-memory footprint
   AccessPattern pattern = AccessPattern::kStreaming;
+  /// Serving-slot attribution (kNoSlot = whole-device / shared work).
+  /// Stamped by Device::record from the active SlotScope so batched-decode
+  /// profiles can be broken down per sequence.
+  int slot = kNoSlot;
 
   std::uint64_t global_load_bytes = 0;
   std::uint64_t global_store_bytes = 0;

@@ -1,6 +1,8 @@
 #include "gpusim/profiler.hpp"
 
+#include <algorithm>
 #include <iomanip>
+#include <map>
 #include <ostream>
 
 namespace et::gpusim {
@@ -45,6 +47,23 @@ DeviceReport profile(const Device& dev) {
   if (total_bytes > 0) {
     rep.avg_achieved_gbps = weighted_bw / static_cast<double>(total_bytes);
   }
+
+  // Per-slot attribution: only meaningful once something was slot-scoped.
+  std::map<int, SlotReport> by_slot;
+  bool any_slot = false;
+  for (const auto& k : dev.history()) {
+    if (k.slot != kNoSlot) any_slot = true;
+    auto& sr = by_slot[k.slot];
+    sr.slot = k.slot;
+    ++sr.launches;
+    sr.time_us += k.time_us;
+    sr.load_bytes += k.global_load_bytes;
+    sr.store_bytes += k.global_store_bytes;
+  }
+  if (any_slot) {
+    for (auto& [slot, sr] : by_slot) rep.slots.push_back(sr);
+  }
+
   rep.fallbacks = dev.fallback_log();
   return rep;
 }
@@ -71,11 +90,27 @@ void print_report(std::ostream& os, const DeviceReport& report) {
      << report.avg_achieved_gbps << std::setw(8) << "" << std::setw(7) << ""
      << std::setw(8) << std::setprecision(2) << report.avg_sm_efficiency
      << std::setw(7) << report.avg_ipc << '\n';
+  if (!report.slots.empty()) {
+    os << "\nper-slot attribution:\n";
+    for (const auto& s : report.slots) {
+      os << "  ";
+      if (s.slot == kNoSlot) {
+        os << std::left << std::setw(10) << "shared";
+      } else {
+        os << "slot " << std::left << std::setw(5) << s.slot;
+      }
+      os << std::right << std::fixed << std::setprecision(2) << std::setw(10)
+         << s.time_us << " us" << std::setw(8) << s.launches << " launches"
+         << std::setw(14) << (s.load_bytes + s.store_bytes) << " B\n";
+    }
+  }
   if (!report.fallbacks.empty()) {
     os << "\nfallbacks (" << report.fallbacks.size() << "):\n";
     for (const auto& f : report.fallbacks) {
       os << "  " << f.from_impl << " -> " << f.to_impl << "  (kernel '"
-         << f.kernel << "', cause: " << f.cause << ")\n";
+         << f.kernel << "', cause: " << f.cause;
+      if (f.slot != kNoSlot) os << ", slot " << f.slot;
+      os << ")\n";
     }
   }
 }

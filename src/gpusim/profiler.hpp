@@ -30,8 +30,22 @@ struct KernelReport {
   double ipc = 0.0;
 };
 
+/// Aggregate over the launches attributed to one serving slot via
+/// gpusim::SlotScope (batched decode: each sequence's attention kernels).
+struct SlotReport {
+  int slot = kNoSlot;
+  std::size_t launches = 0;
+  double time_us = 0.0;
+  std::uint64_t load_bytes = 0;
+  std::uint64_t store_bytes = 0;
+};
+
 struct DeviceReport {
   std::vector<KernelReport> kernels;
+  /// Per-slot attribution of the launch history, ordered by slot id.
+  /// Includes a kNoSlot row for shared/unattributed work when any launch
+  /// carried a slot; empty when nothing was slot-scoped.
+  std::vector<SlotReport> slots;
   /// Degradation steps the resilient execution layer took during the run
   /// (e.g. otf → partial_otf after an injected kernel fault). Empty on a
   /// healthy run.

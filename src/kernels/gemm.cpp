@@ -1,5 +1,6 @@
 #include "kernels/gemm.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -174,6 +175,66 @@ tensor::MatrixF gemm_nn(gpusim::Device& dev, const tensor::MatrixF& a,
                         const tensor::MatrixF& b, numeric::Precision p,
                         const GemmAlgo* algo, std::string_view name) {
   return gemm_impl<false>(dev, a, b, p, algo, name);
+}
+
+std::vector<tensor::MatrixF> batched_gemm_nt(
+    gpusim::Device& dev, const tensor::MatrixF& a,
+    const std::vector<const tensor::MatrixF*>& bs, numeric::Precision p,
+    const GemmAlgo* algo, std::string_view name) {
+  assert(!bs.empty());
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t sb = numeric::storage_bytes(p);
+
+  // Autotune once for the widest problem in the batch; one fused kernel
+  // must run a single block shape for every panel.
+  std::size_t n_max = 0;
+  std::uint64_t n_total = 0;
+  for (const auto* b : bs) {
+    assert(b != nullptr && b->cols() == kk);
+    n_max = std::max(n_max, b->rows());
+    n_total += b->rows();
+  }
+  if (algo == nullptr) algo = &autotune_gemm(dev.spec(), m, n_max, kk, p);
+
+  const std::size_t blocks_m = ceil_div(m, algo->block_m);
+  gpusim::KernelStats st;
+  std::uint64_t ctas = 0;
+  std::uint64_t b_loads = 0;
+  std::uint64_t a_loads = 0;
+  for (const auto* b : bs) {
+    const std::size_t blocks_n = ceil_div(b->rows(), algo->block_n);
+    ctas += blocks_m * blocks_n * algo->split_k;
+    b_loads += static_cast<std::uint64_t>(blocks_m) * b->rows() * kk * sb;
+    // The A strips are staged once and reused by every panel, so only the
+    // widest panel's re-read factor is charged (vs once per gemm_nt call).
+    a_loads = std::max(
+        a_loads, static_cast<std::uint64_t>(blocks_n) * m * kk * sb);
+  }
+  auto launch = dev.launch(
+      {.name = std::string(name) + "[" + algo->name + "x" +
+                   std::to_string(bs.size()) + "]",
+       .ctas = static_cast<std::size_t>(ctas),
+       .shared_bytes_per_cta = 2 * (algo->block_m + algo->block_n) * 16 * sb,
+       .pattern = gpusim::AccessPattern::kTiled});
+  launch.load_bytes(a_loads + b_loads);
+  launch.store_bytes(static_cast<std::uint64_t>(algo->split_k) * m * n_total *
+                     sb);
+  const std::uint64_t flops = 2ull * m * n_total * kk;
+  if (p == Precision::kFp32) {
+    launch.fp_ops(flops);
+  } else {
+    launch.tensor_ops(flops);
+  }
+
+  std::vector<tensor::MatrixF> out;
+  out.reserve(bs.size());
+  for (const auto* b : bs) {
+    tensor::MatrixF c(m, b->rows());
+    if (!dev.traffic_only()) gemm_math<true>(a, *b, c, p);
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
 }  // namespace et::kernels

@@ -59,4 +59,19 @@ struct GemmAlgo {
     numeric::Precision p = numeric::Precision::kFp32,
     const GemmAlgo* algo = nullptr, std::string_view name = "gemm_nn");
 
+/// Batched C_i = A · B_iᵀ over one shared input panel: the whole batch
+/// executes in ONE launch (the cublasGemmStridedBatchedEx analogue) with
+/// the A strips staged in shared memory once and every B panel streamed
+/// against them — so the A traffic is paid once for the batch instead of
+/// once per multiplication. The decode scheduler uses this to fuse the
+/// q/k/v projections of a whole batch of sequences.
+///
+/// Per-element math is exactly gemm_nt's accumulation loop, so each C_i
+/// is bit-identical to an unbatched gemm_nt(a, *bs[i]) call.
+[[nodiscard]] std::vector<tensor::MatrixF> batched_gemm_nt(
+    gpusim::Device& dev, const tensor::MatrixF& a,
+    const std::vector<const tensor::MatrixF*>& bs,
+    numeric::Precision p = numeric::Precision::kFp32,
+    const GemmAlgo* algo = nullptr, std::string_view name = "batched_gemm_nt");
+
 }  // namespace et::kernels

@@ -1,0 +1,398 @@
+#include "nn/batched_generation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/attention_math.hpp"
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/linear.hpp"
+
+namespace et::nn {
+
+namespace {
+
+/// Per-sequence state threaded through one tick. `pre_used` is the
+/// context length every layer's cache is rolled back to if this slot (or
+/// the whole tick) has to be undone — the PR-1 step-atomicity invariant,
+/// per slot.
+struct TickSlot {
+  enum class State { kRunning, kOk, kKernelFault, kKvCacheFull };
+
+  std::size_t pool_slot = 0;
+  std::size_t request_id = 0;
+  std::vector<core::KVCache>* caches = nullptr;
+  std::size_t pre_used = 0;
+
+  State state = State::kRunning;
+  std::string fault_kernel;
+  tensor::MatrixF hidden;  // 1 × d_model when state == kOk
+};
+
+void rollback(TickSlot& slot) {
+  for (auto& cache : *slot.caches) cache.truncate(slot.pre_used);
+  slot.hidden = tensor::MatrixF();
+}
+
+/// One fused decode step for every sequence in `live` (rows(i) is
+/// live[i]'s embedded input). The math mirrors GenerationSession's
+/// step_layers + core::incremental_attention row for row — each shared
+/// kernel is row-wise independent, so every sequence's output is
+/// bit-identical to its sequential step. Slot-attributed faults retire
+/// only the owning slot (its caches rolled back, its row dropped); faults
+/// in shared kernels roll back every live slot and propagate to the
+/// caller, which degrades the tick to per-slot stepping.
+void fused_step(gpusim::Device& dev, const std::vector<EncoderWeights>& layers,
+                const EncoderOptions& opt, std::vector<TickSlot*> live,
+                tensor::MatrixF rows) {
+  const auto p = opt.attn.precision;
+  const std::size_t d = opt.attn.d_model;
+  const std::size_t sb = numeric::storage_bytes(p);
+  kernels::LinearOptions lopt;
+  lopt.precision = p;
+
+  const auto rollback_all = [&live]() {
+    for (TickSlot* slot : live) rollback(*slot);
+  };
+
+  tensor::MatrixF h = std::move(rows);
+  try {
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      const EncoderWeights& w = layers[l];
+
+      // Shared: the whole batch's q/k/v projections. Dense weights fuse
+      // into ONE batched GEMM (the A strips — the stacked hidden rows —
+      // staged once for all three panels); pruned formats keep their
+      // specialized kernels, still amortized across the batch by stacking.
+      tensor::MatrixF q, k_new, v_new;
+      const auto* dq = std::get_if<sparse::DenseWeight>(&w.attn.wq);
+      const auto* dk = std::get_if<sparse::DenseWeight>(&w.attn.wk);
+      const auto* dv = std::get_if<sparse::DenseWeight>(&w.attn.wv);
+      if (dq != nullptr && dk != nullptr && dv != nullptr) {
+        auto qkv = kernels::batched_gemm_nt(
+            dev, h, {&dq->matrix(), &dk->matrix(), &dv->matrix()}, p, nullptr,
+            "gen_qkv_batched");
+        q = std::move(qkv[0]);
+        k_new = std::move(qkv[1]);
+        v_new = std::move(qkv[2]);
+      } else {
+        q = kernels::linear(dev, h, w.attn.wq, lopt, "gen_q_linear").y;
+        k_new = kernels::linear(dev, h, w.attn.wk, lopt, "gen_k_linear").y;
+        v_new = kernels::linear(dev, h, w.attn.wv, lopt, "gen_v_linear").y;
+      }
+
+      // Per slot: append this token's K/V row and attend over the slot's
+      // own cache — a 1-row OTF instance per sequence, identical to
+      // core::incremental_attention. Launches here carry the slot id, so
+      // a fault is attributable: only the owning slot retires.
+      tensor::MatrixF z(live.size(), d);
+      std::vector<bool> dead(live.size(), false);
+      bool any_dead = false;
+      for (std::size_t b = 0; b < live.size(); ++b) {
+        TickSlot& slot = *live[b];
+        core::KVCache& cache = (*slot.caches)[l];
+        gpusim::SlotScope scope(dev, static_cast<int>(slot.pool_slot));
+        try {
+          cache.append(k_new.row(b), v_new.row(b));
+          const std::size_t ctx = cache.used();
+          {
+            auto launch = dev.launch(
+                {.name = "incremental_otf_attention",
+                 .ctas = opt.attn.num_heads,
+                 .shared_bytes_per_cta =
+                     opt.attn.d_k() * numeric::accumulator_bytes(p) +
+                     ctx * numeric::accumulator_bytes(p),
+                 .pattern = gpusim::AccessPattern::kTiled});
+            launch.load_bytes(d * sb);
+            launch.load_bytes(2ull * ctx * d * sb);
+            launch.store_bytes(d * sb);
+            const std::uint64_t flops = 2ull * ctx * d * 2;
+            if (p == numeric::Precision::kFp32) {
+              launch.fp_ops(flops + 5ull * ctx * opt.attn.num_heads);
+            } else {
+              launch.tensor_ops(flops);
+              launch.fp_ops(5ull * ctx * opt.attn.num_heads);
+            }
+          }
+          if (!dev.traffic_only()) {
+            core::AttentionConfig step_cfg = opt.attn;
+            step_cfg.seq_len = 1;
+            step_cfg.causal_mask = false;
+            const tensor::MatrixF zb = core::detail::attention_math(
+                tensor::slice_rows(q, b, 1), cache.k_prefix(),
+                cache.v_prefix(), nullptr, nullptr, step_cfg);
+            for (std::size_t c = 0; c < d; ++c) z(b, c) = zb(0, c);
+          }
+        } catch (const gpusim::KernelFault& f) {
+          rollback(slot);
+          slot.state = TickSlot::State::kKernelFault;
+          slot.fault_kernel = f.kernel();
+          dev.note_fallback({"batched_decode", "retire_slot", f.kernel(),
+                             std::string(to_string(f.cause())),
+                             static_cast<int>(slot.pool_slot)});
+          dead[b] = true;
+          any_dead = true;
+        } catch (const std::length_error&) {
+          // A cache filled behind the tick's capacity pre-check; degrade
+          // exactly like generate()'s defensive kv_cache_full stop.
+          rollback(slot);
+          slot.state = TickSlot::State::kKvCacheFull;
+          dead[b] = true;
+          any_dead = true;
+        }
+      }
+      if (any_dead) {
+        std::vector<TickSlot*> survivors;
+        std::vector<std::size_t> keep;
+        for (std::size_t b = 0; b < live.size(); ++b) {
+          if (!dead[b]) {
+            survivors.push_back(live[b]);
+            keep.push_back(b);
+          }
+        }
+        live = std::move(survivors);
+        if (live.empty()) return;
+        tensor::MatrixF h2(live.size(), d), z2(live.size(), d);
+        for (std::size_t b = 0; b < keep.size(); ++b) {
+          for (std::size_t c = 0; c < d; ++c) {
+            h2(b, c) = h(keep[b], c);
+            z2(b, c) = z(keep[b], c);
+          }
+        }
+        h = std::move(h2);
+        z = std::move(z2);
+      }
+
+      // Shared: output projection, residual+LN and the MLP over the
+      // stacked survivors — one launch each instead of one per sequence.
+      tensor::MatrixF attn =
+          kernels::linear(dev, z, w.attn.wo, lopt, "gen_out_linear").y;
+      kernels::fused_residual_layernorm(dev, attn, h, w.ln1_gamma, w.ln1_beta,
+                                        p, "gen_residual_layernorm1");
+      tensor::MatrixF m = kernels::linear(dev, attn, w.w_ff1, lopt,
+                                          "gen_ff1").y;
+      if (!dev.traffic_only()) {
+        constexpr float kSqrt2OverPi = 0.7978845608028654f;
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+          for (std::size_t c = 0; c < m.cols(); ++c) {
+            const float v = m(r, c) + w.b_ff1[c];
+            const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+            m(r, c) = numeric::round_to_storage(
+                p, 0.5f * v * (1.0f + std::tanh(inner)));
+          }
+        }
+      }
+      tensor::MatrixF y = kernels::linear(dev, m, w.w_ff2, lopt, "gen_ff2").y;
+      if (!dev.traffic_only()) {
+        for (std::size_t r = 0; r < y.rows(); ++r) {
+          for (std::size_t c = 0; c < y.cols(); ++c) {
+            y(r, c) = numeric::round_to_storage(p, y(r, c) + w.b_ff2[c]);
+          }
+        }
+      }
+      kernels::fused_residual_layernorm(dev, y, attn, w.ln2_gamma, w.ln2_beta,
+                                        p, "gen_residual_layernorm2");
+      h = std::move(y);
+    }
+  } catch (...) {
+    // A shared kernel failed: no slot can be blamed, so no slot may keep
+    // this tick's partial work. Roll back everything and let the caller
+    // degrade to per-slot stepping.
+    rollback_all();
+    throw;
+  }
+
+  for (std::size_t b = 0; b < live.size(); ++b) {
+    live[b]->state = TickSlot::State::kOk;
+    live[b]->hidden = tensor::slice_rows(h, b, 1);
+  }
+}
+
+}  // namespace
+
+BatchedGenerationScheduler::BatchedGenerationScheduler(
+    const std::vector<EncoderWeights>* layers, EncoderOptions opt,
+    std::size_t max_batch, std::size_t max_context)
+    : layers_(layers),
+      opt_(std::move(opt)),
+      max_ctx_(max_context),
+      pool_(max_batch, layers != nullptr ? layers->size() : 0, max_context,
+            opt_.attn.d_model),
+      slots_(max_batch) {
+  assert(layers_ != nullptr);
+  opt_.attn.validate();
+  if (max_batch == 0) {
+    throw std::invalid_argument(
+        "BatchedGenerationScheduler: max_batch must be nonzero");
+  }
+  for (const EncoderWeights& w : *layers_) {
+    if (w.attn.has_precomputed()) {
+      throw std::invalid_argument(
+          "BatchedGenerationScheduler: pre-computed W_VO is not supported "
+          "in the cached decode path");
+    }
+  }
+}
+
+std::size_t BatchedGenerationScheduler::submit(GenerationRequest req) {
+  const std::size_t id = requests_.size();
+  requests_.push_back(std::move(req));
+  results_.emplace_back();
+  completed_.push_back(false);
+  if (requests_.back().max_new_tokens == 0) {
+    // Nothing to decode — mirror generate()'s empty happy path.
+    results_.back().stop_reason = StopReason::kMaxTokens;
+    completed_.back() = true;
+  } else {
+    queue_.push_back(id);
+  }
+  return id;
+}
+
+std::size_t BatchedGenerationScheduler::active() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : slots_) n += s.has_value() ? 1 : 0;
+  return n;
+}
+
+const GenerationResult& BatchedGenerationScheduler::result(
+    std::size_t id) const {
+  if (!completed_.at(id)) {
+    throw std::logic_error("BatchedGenerationScheduler::result: request " +
+                           std::to_string(id) + " has not finished");
+  }
+  return results_[id];
+}
+
+void BatchedGenerationScheduler::admit(std::size_t request_id) {
+  const std::size_t slot = pool_.acquire();
+  slots_[slot] = ActiveSlot{request_id, requests_[request_id].first_token};
+}
+
+void BatchedGenerationScheduler::retire(std::size_t pool_slot,
+                                        StopReason reason) {
+  const std::size_t id = slots_[pool_slot]->request_id;
+  results_[id].stop_reason = reason;
+  completed_[id] = true;
+  slots_[pool_slot].reset();
+  pool_.release(pool_slot);
+}
+
+void BatchedGenerationScheduler::tick(gpusim::Device& dev) {
+  ++ticks_;
+
+  // Admission: backfill every free slot from the FIFO queue.
+  while (pool_.has_free() && !queue_.empty()) {
+    admit(queue_.front());
+    queue_.pop_front();
+  }
+
+  // Capacity pre-check — the same at_capacity() stop generate() takes
+  // before a step, applied per slot so one exhausted sequence never
+  // blocks the rest of the batch.
+  std::vector<TickSlot> tick_slots;
+  tick_slots.reserve(slots_.size());
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].has_value()) continue;
+    auto& caches = pool_.caches(s);
+    if (!caches.empty() && caches[0].used() >= max_ctx_) {
+      retire(s, StopReason::kKvCacheFull);
+      continue;
+    }
+    TickSlot ts;
+    ts.pool_slot = s;
+    ts.request_id = slots_[s]->request_id;
+    ts.caches = &caches;
+    ts.pre_used = caches.empty() ? 0 : caches[0].used();
+    tick_slots.push_back(std::move(ts));
+  }
+  if (tick_slots.empty()) return;
+
+  // Embed every sequence's next token at its own context position.
+  const std::size_t d = opt_.attn.d_model;
+  tensor::MatrixF rows(tick_slots.size(), d);
+  for (std::size_t i = 0; i < tick_slots.size(); ++i) {
+    const TickSlot& ts = tick_slots[i];
+    const tensor::MatrixF row = requests_[ts.request_id].embed(
+        slots_[ts.pool_slot]->next_token, ts.pre_used);
+    assert(row.rows() == 1 && row.cols() == d);
+    for (std::size_t c = 0; c < d; ++c) rows(i, c) = row(0, c);
+  }
+
+  bool per_slot = !core::use_batched_decode(opt_.adaptive, tick_slots.size());
+  if (!per_slot) {
+    ++batched_ticks_;
+    std::vector<TickSlot*> live;
+    live.reserve(tick_slots.size());
+    for (auto& ts : tick_slots) live.push_back(&ts);
+    try {
+      fused_step(dev, *layers_, opt_, std::move(live), rows);
+    } catch (const gpusim::KernelFault& f) {
+      // Shared-kernel fault: the aborted batched attempt has no effect
+      // (fused_step rolled every slot back). Degrade this tick to
+      // per-slot stepping so any persistent fault becomes attributable.
+      for (auto& ts : tick_slots) {
+        ts.state = TickSlot::State::kRunning;
+        ts.fault_kernel.clear();
+      }
+      dev.note_fallback({"batched_decode", "per_slot_decode", f.kernel(),
+                         std::string(to_string(f.cause())), gpusim::kNoSlot});
+      ++fallback_ticks_;
+      per_slot = true;
+    }
+  }
+  if (per_slot) {
+    for (std::size_t i = 0; i < tick_slots.size(); ++i) {
+      TickSlot& ts = tick_slots[i];
+      if (ts.state != TickSlot::State::kRunning) continue;
+      try {
+        fused_step(dev, *layers_, opt_, {&ts}, tensor::slice_rows(rows, i, 1));
+      } catch (const gpusim::KernelFault& f) {
+        ts.state = TickSlot::State::kKernelFault;
+        ts.fault_kernel = f.kernel();
+      }
+    }
+  }
+
+  // Retire / advance.
+  for (TickSlot& ts : tick_slots) {
+    switch (ts.state) {
+      case TickSlot::State::kOk: {
+        auto& res = results_[ts.request_id];
+        const GenerationRequest& req = requests_[ts.request_id];
+        const std::int32_t token = req.select(ts.hidden);
+        res.tokens.push_back(token);
+        if (req.eos_token >= 0 && token == req.eos_token) {
+          retire(ts.pool_slot, StopReason::kEos);
+        } else if (res.tokens.size() >= req.max_new_tokens) {
+          retire(ts.pool_slot, StopReason::kMaxTokens);
+        } else {
+          slots_[ts.pool_slot]->next_token = token;
+        }
+        break;
+      }
+      case TickSlot::State::kKernelFault:
+        results_[ts.request_id].fault_kernel = ts.fault_kernel;
+        retire(ts.pool_slot, StopReason::kKernelFault);
+        break;
+      case TickSlot::State::kKvCacheFull:
+        retire(ts.pool_slot, StopReason::kKvCacheFull);
+        break;
+      case TickSlot::State::kRunning:
+        // Unreachable: every path above resolves the slot.
+        assert(false);
+        break;
+    }
+  }
+}
+
+std::vector<GenerationResult> BatchedGenerationScheduler::run(
+    gpusim::Device& dev) {
+  while (!idle()) tick(dev);
+  return results_;
+}
+
+}  // namespace et::nn

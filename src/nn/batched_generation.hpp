@@ -1,0 +1,120 @@
+// Slot-based batched generation: the serving-side engine over the
+// incremental decode path. Up to `max_batch` sequences are decoded
+// together, one fused tick at a time — the per-slot q/k/v projections
+// collapse into one batched GEMM (kernels::batched_gemm_nt) and the MLP
+// runs once over the stacked rows, amortizing weight loads and kernel
+// launches across the batch, while attention stays partitioned per slot
+// (each sequence attends over its own KVCache, E.T.'s single-row OTF
+// instance). Finished sequences (eos / max_tokens / kv_cache_full /
+// kernel_fault) retire their slot, which is immediately backfilled from a
+// FIFO pending queue; KV storage is recycled through core::KVCachePool.
+//
+// The correctness contract, enforced by tests/test_batched_generation.cpp:
+// every per-row kernel is row-wise independent, so a batch-of-N decode is
+// BIT-IDENTICAL to N independent nn::generate runs — batching buys
+// throughput, never different answers.
+//
+// Fault semantics (extends the PR-1 truncate-on-fault step atomicity):
+//   - a fault in a slot-attributed kernel (that slot's attention) rolls
+//     back and retires only the owning slot; the other slots' tick
+//     completes unaffected;
+//   - a fault in a shared batched kernel rolls every slot back to its
+//     pre-tick context and the tick degrades to per-slot stepping
+//     (recorded via Device::note_fallback), where any persistent fault is
+//     attributable again.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/kv_cache.hpp"
+#include "nn/encoder.hpp"
+#include "nn/generation.hpp"
+
+namespace et::nn {
+
+/// One generation job: semantics match a `nn::generate(dev, session,
+/// first_token, max_new_tokens, embed, select, eos_token)` call.
+struct GenerationRequest {
+  std::int32_t first_token = 0;
+  std::size_t max_new_tokens = 0;
+  EmbedFn embed;
+  SelectFn select;
+  std::int32_t eos_token = kNoEosToken;
+};
+
+class BatchedGenerationScheduler {
+ public:
+  /// `layers` is borrowed (same contract as GenerationSession). Every
+  /// slot's per-layer caches hold `max_context` rows, allocated once.
+  /// Throws std::invalid_argument on an invalid attention config, a zero
+  /// batch size, or pre-computed W_VO weights (unsupported in the cached
+  /// path, exactly as in core::incremental_attention).
+  BatchedGenerationScheduler(const std::vector<EncoderWeights>* layers,
+                             EncoderOptions opt, std::size_t max_batch,
+                             std::size_t max_context);
+
+  /// Enqueue a request; returns its id (index into run()'s results).
+  /// Admission to a slot happens at the next tick.
+  std::size_t submit(GenerationRequest req);
+
+  /// One decode tick: backfill free slots from the queue, step every
+  /// active sequence by one token, retire finished ones.
+  void tick(gpusim::Device& dev);
+
+  /// Drain: tick until every submitted request has a result. Returns all
+  /// results so far, indexed by the id submit() returned.
+  std::vector<GenerationResult> run(gpusim::Device& dev);
+
+  [[nodiscard]] bool idle() const noexcept {
+    return queue_.empty() && active() == 0;
+  }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t active() const noexcept;
+  [[nodiscard]] std::size_t max_batch() const noexcept {
+    return slots_.size();
+  }
+
+  [[nodiscard]] bool finished(std::size_t id) const {
+    return completed_.at(id);
+  }
+  [[nodiscard]] const GenerationResult& result(std::size_t id) const;
+
+  /// Tick accounting for benchmarks and tests.
+  [[nodiscard]] std::size_t ticks() const noexcept { return ticks_; }
+  [[nodiscard]] std::size_t batched_ticks() const noexcept {
+    return batched_ticks_;
+  }
+  [[nodiscard]] std::size_t per_slot_fallback_ticks() const noexcept {
+    return fallback_ticks_;
+  }
+
+ private:
+  struct ActiveSlot {
+    std::size_t request_id = 0;
+    std::int32_t next_token = 0;
+  };
+
+  void admit(std::size_t request_id);
+  void retire(std::size_t pool_slot, StopReason reason);
+
+  const std::vector<EncoderWeights>* layers_;  // not owned
+  EncoderOptions opt_;
+  std::size_t max_ctx_;
+  core::KVCachePool pool_;
+  std::vector<std::optional<ActiveSlot>> slots_;  // index == pool slot id
+  std::deque<std::size_t> queue_;                 // pending request ids
+
+  std::vector<GenerationRequest> requests_;
+  std::vector<GenerationResult> results_;
+  std::vector<bool> completed_;
+
+  std::size_t ticks_ = 0;
+  std::size_t batched_ticks_ = 0;
+  std::size_t fallback_ticks_ = 0;
+};
+
+}  // namespace et::nn

@@ -94,7 +94,7 @@ void GenerationSession::reset() {
 GenerationResult generate(gpusim::Device& dev, GenerationSession& session,
                           std::int32_t first_token,
                           std::size_t max_new_tokens, const EmbedFn& embed,
-                          const SelectFn& select) {
+                          const SelectFn& select, std::int32_t eos_token) {
   GenerationResult result;
   std::int32_t token = first_token;
   for (std::size_t t = 0; t < max_new_tokens; ++t) {
@@ -118,6 +118,10 @@ GenerationResult generate(gpusim::Device& dev, GenerationSession& session,
     }
     token = select(h);
     result.tokens.push_back(token);
+    if (eos_token >= 0 && token == eos_token) {
+      result.stop_reason = StopReason::kEos;
+      return result;
+    }
   }
   result.stop_reason = StopReason::kMaxTokens;
   return result;

@@ -57,6 +57,7 @@ class GenerationSession {
 /// Why generate() stopped emitting tokens.
 enum class StopReason {
   kMaxTokens,    ///< reached the requested token budget — the happy path
+  kEos,          ///< the model emitted the end-of-sequence token
   kKvCacheFull,  ///< per-layer KV caches reached capacity
   kKernelFault,  ///< a kernel failed mid-step (injected or real)
 };
@@ -64,11 +65,16 @@ enum class StopReason {
 [[nodiscard]] constexpr std::string_view to_string(StopReason r) noexcept {
   switch (r) {
     case StopReason::kMaxTokens: return "max_tokens";
+    case StopReason::kEos: return "eos";
     case StopReason::kKvCacheFull: return "kv_cache_full";
     case StopReason::kKernelFault: return "kernel_fault";
   }
   return "?";
 }
+
+/// Tokens are vocabulary indices (>= 0); any negative eos_token disables
+/// end-of-sequence detection.
+inline constexpr std::int32_t kNoEosToken = -1;
 
 /// Outcome of a generate() call. Tokens emitted before a fault or a full
 /// cache are always preserved — running out of capacity mid-reply returns
@@ -93,12 +99,15 @@ using SelectFn = std::function<std::int32_t(const tensor::MatrixF& hidden)>;
 /// `max_new_tokens` emissions. KV-cache exhaustion and per-step kernel
 /// faults are stop conditions, not errors: the result carries everything
 /// generated so far plus the reason generation ended. Only non-fault
-/// exceptions (e.g. a bad config) propagate.
+/// exceptions (e.g. a bad config) propagate. A non-negative `eos_token`
+/// additionally stops (reason kEos) once that token is emitted — the
+/// emission itself is kept in the result.
 [[nodiscard]] GenerationResult generate(gpusim::Device& dev,
                                         GenerationSession& session,
                                         std::int32_t first_token,
                                         std::size_t max_new_tokens,
                                         const EmbedFn& embed,
-                                        const SelectFn& select);
+                                        const SelectFn& select,
+                                        std::int32_t eos_token = kNoEosToken);
 
 }  // namespace et::nn

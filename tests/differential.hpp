@@ -1,0 +1,166 @@
+// Differential-testing harness for batched generation (docs/serving.md):
+// the same workload is decoded twice — N independent nn::generate runs
+// (the sequential reference) and one BatchedGenerationScheduler run — and
+// the two transcripts must match BIT FOR BIT.
+//
+// Bit-identity is checkable because the embed/select closures are
+// deterministic hash functions: embed() derives every input row from
+// (seed, token, position, column), and select() folds the raw IEEE-754
+// bits of the hidden state into a 64-bit hash before reducing it to a
+// token. Each request logs those hashes, so two runs agree on the hash
+// stream iff every hidden state they produced is bit-identical — a float
+// that differs in its last ulp flips the hash, the token stream, and the
+// test. Tolerance-based comparison would hide exactly the class of bug
+// (reordered reductions, batch-dependent math) this harness exists to
+// catch.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "nn/batched_generation.hpp"
+#include "nn/generation.hpp"
+
+namespace et::diff {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Map a hash to [-0.5, 0.5) — modest magnitudes keep the decode
+/// numerically tame across many steps.
+inline float unit_float(std::uint64_t h) {
+  return static_cast<float>(h >> 40) / static_cast<float>(1ull << 24) - 0.5f;
+}
+
+/// Deterministic embedding: row entries depend only on
+/// (seed, token, position, column) — no shared state, safe to call from
+/// interleaved batched ticks in any order.
+inline nn::EmbedFn make_embed(std::size_t d_model, std::uint64_t seed) {
+  return [d_model, seed](std::int32_t token, std::size_t position) {
+    tensor::MatrixF row(1, d_model);
+    const std::uint64_t base =
+        splitmix64(seed ^ (static_cast<std::uint64_t>(token) << 32) ^
+                   static_cast<std::uint64_t>(position));
+    for (std::size_t c = 0; c < d_model; ++c) {
+      row(0, c) = unit_float(splitmix64(base + c));
+    }
+    return row;
+  };
+}
+
+/// Bit-sensitive selection: hashes the exact float bits of the hidden
+/// state (appending each hash to `log` when given), then reduces to a
+/// token in [0, vocab).
+inline nn::SelectFn make_select(std::int32_t vocab,
+                                std::vector<std::uint64_t>* log = nullptr) {
+  return [vocab, log](const tensor::MatrixF& hidden) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (float v : hidden.flat()) {
+      h = splitmix64(h ^ std::bit_cast<std::uint32_t>(v));
+    }
+    if (log != nullptr) log->push_back(h);
+    return static_cast<std::int32_t>(h % static_cast<std::uint64_t>(vocab));
+  };
+}
+
+/// One generation job in harness terms; expanded to a GenerationRequest
+/// (batched run) or a generate() call (sequential run) with per-request
+/// embed/select closures derived from `seed`.
+struct Request {
+  std::int32_t first_token = 0;
+  std::size_t max_new_tokens = 8;
+  std::int32_t eos_token = nn::kNoEosToken;
+  std::uint64_t seed = 0;
+};
+
+/// A request's transcript: the API-visible result plus the hidden-state
+/// bit-hash stream select() observed.
+struct Outcome {
+  nn::GenerationResult result;
+  std::vector<std::uint64_t> hidden_hashes;
+};
+
+/// Sequential reference: one fresh GenerationSession + nn::generate per
+/// request, in submission order.
+inline std::vector<Outcome> run_sequential(
+    gpusim::Device& dev, const std::vector<nn::EncoderWeights>& layers,
+    const nn::EncoderOptions& opt, std::size_t max_context,
+    const std::vector<Request>& requests, std::int32_t vocab) {
+  std::vector<Outcome> outcomes(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    nn::GenerationSession session(&layers, opt, max_context);
+    outcomes[i].result = nn::generate(
+        dev, session, r.first_token, r.max_new_tokens,
+        make_embed(opt.attn.d_model, r.seed),
+        make_select(vocab, &outcomes[i].hidden_hashes), r.eos_token);
+  }
+  return outcomes;
+}
+
+struct BatchedRun {
+  std::vector<Outcome> outcomes;
+  std::size_t ticks = 0;
+  std::size_t batched_ticks = 0;
+  std::size_t per_slot_fallback_ticks = 0;
+};
+
+/// Batched run: submit everything up front, drain the scheduler. The
+/// device is caller-provided so tests can arm its FaultInjector first.
+inline BatchedRun run_batched(gpusim::Device& dev,
+                              const std::vector<nn::EncoderWeights>& layers,
+                              const nn::EncoderOptions& opt,
+                              std::size_t max_batch, std::size_t max_context,
+                              const std::vector<Request>& requests,
+                              std::int32_t vocab) {
+  BatchedRun run;
+  run.outcomes.resize(requests.size());
+  nn::BatchedGenerationScheduler sched(&layers, opt, max_batch, max_context);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    nn::GenerationRequest req;
+    req.first_token = r.first_token;
+    req.max_new_tokens = r.max_new_tokens;
+    req.embed = make_embed(opt.attn.d_model, r.seed);
+    req.select = make_select(vocab, &run.outcomes[i].hidden_hashes);
+    req.eos_token = r.eos_token;
+    const std::size_t id = sched.submit(std::move(req));
+    EXPECT_EQ(id, i);
+  }
+  const auto results = sched.run(dev);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    run.outcomes[i].result = results[i];
+  }
+  run.ticks = sched.ticks();
+  run.batched_ticks = sched.batched_ticks();
+  run.per_slot_fallback_ticks = sched.per_slot_fallback_ticks();
+  return run;
+}
+
+/// The differential assertion: token streams, stop reasons, fault
+/// kernels AND hidden-state bit hashes all equal.
+inline void expect_bit_identical(const std::vector<Outcome>& sequential,
+                                 const std::vector<Outcome>& batched) {
+  ASSERT_EQ(sequential.size(), batched.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    const auto& s = sequential[i];
+    const auto& b = batched[i];
+    EXPECT_EQ(s.result.tokens, b.result.tokens) << "request " << i;
+    EXPECT_EQ(s.result.stop_reason, b.result.stop_reason)
+        << "request " << i << ": sequential "
+        << to_string(s.result.stop_reason) << " vs batched "
+        << to_string(b.result.stop_reason);
+    EXPECT_EQ(s.result.fault_kernel, b.result.fault_kernel) << "request " << i;
+    EXPECT_EQ(s.hidden_hashes, b.hidden_hashes)
+        << "request " << i << ": hidden states are not bit-identical";
+  }
+}
+
+}  // namespace et::diff

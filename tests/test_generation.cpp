@@ -53,6 +53,61 @@ TEST(KVCache, ThrowsWhenFull) {
   EXPECT_THROW(cache.append(r, r), std::length_error);
 }
 
+TEST(KVCache, RejectedAppendLeavesBothPlanesUntouched) {
+  // Regression: every validation must precede the first write, or a
+  // rejected append leaves K one row longer than V (or a row half-set).
+  et::core::KVCache cache(2, 3);
+  const float k1[] = {1, 2, 3};
+  const float v1[] = {4, 5, 6};
+  const float narrow[] = {7, 8};
+  cache.append(k1, v1);
+
+  EXPECT_THROW(cache.append(narrow, v1), std::invalid_argument);
+  EXPECT_THROW(cache.append(k1, narrow), std::invalid_argument);
+  EXPECT_EQ(cache.used(), 1u);
+  const auto k = cache.k_prefix();
+  const auto v = cache.v_prefix();
+  ASSERT_EQ(k.rows(), 1u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(k(0, c), k1[c]);
+    EXPECT_EQ(v(0, c), v1[c]);
+  }
+
+  // The capacity check fires before the width check touches anything.
+  cache.append(v1, k1);
+  EXPECT_THROW(cache.append(k1, narrow), std::length_error);
+  EXPECT_EQ(cache.used(), 2u);
+  EXPECT_EQ(cache.k_prefix()(1, 0), 4.0f);
+  EXPECT_EQ(cache.v_prefix()(1, 0), 1.0f);
+}
+
+TEST(KVCachePool, RecyclesSlotsAndValidatesRelease) {
+  et::core::KVCachePool pool(2, /*num_layers=*/3, /*capacity=*/4,
+                             /*d_model=*/3);
+  EXPECT_EQ(pool.num_slots(), 2u);
+  EXPECT_EQ(pool.free_slots(), 2u);
+
+  const std::size_t a = pool.acquire();
+  const std::size_t b = pool.acquire();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_FALSE(pool.has_free());
+  EXPECT_THROW((void)pool.acquire(), std::runtime_error);
+  ASSERT_EQ(pool.caches(a).size(), 3u);
+
+  const float r[] = {1, 2, 3};
+  pool.caches(a)[0].append(r, r);
+  pool.release(a);
+  EXPECT_THROW(pool.release(a), std::invalid_argument);
+  EXPECT_THROW(pool.release(99), std::invalid_argument);
+
+  // Reacquiring hands back reset caches — stale context must never leak
+  // between sequences.
+  const std::size_t again = pool.acquire();
+  EXPECT_EQ(again, a);
+  EXPECT_EQ(pool.caches(again)[0].used(), 0u);
+}
+
 TEST(IncrementalAttention, MatchesCausalAttentionPerPosition) {
   et::core::AttentionConfig cfg;
   cfg.seq_len = 12;
@@ -183,6 +238,35 @@ TEST(GenerationSession, WorksWithPrunedWeights) {
     for (float v : h.flat()) ASSERT_TRUE(std::isfinite(v));
   }
   EXPECT_GT(dev.time_us_matching("bcsr"), 0.0);
+}
+
+TEST(Generate, StopsAtEosTokenAndKeepsTheEmission) {
+  const auto model = tiny_model();
+  std::vector<et::nn::EncoderWeights> layers = {
+      et::nn::make_dense_encoder_weights(model, 30)};
+  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 8, true);
+  opt.attn.precision = et::numeric::Precision::kFp32;
+
+  const auto embed = [&](std::int32_t token, std::size_t) {
+    MatrixF row(1, model.d_model);
+    row(0, 0) = 0.1f * static_cast<float>(token);
+    return row;
+  };
+  const auto select = [](const MatrixF&) { return std::int32_t{5}; };
+
+  et::gpusim::Device dev;
+  et::nn::GenerationSession session(&layers, opt, 8);
+  const auto r =
+      et::nn::generate(dev, session, 1, 6, embed, select, /*eos_token=*/5);
+  EXPECT_EQ(r.stop_reason, et::nn::StopReason::kEos);
+  ASSERT_EQ(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0], 5);
+
+  // A negative eos_token (the default) disables the check entirely.
+  session.reset();
+  const auto full = et::nn::generate(dev, session, 1, 6, embed, select);
+  EXPECT_EQ(full.stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(full.tokens.size(), 6u);
 }
 
 }  // namespace

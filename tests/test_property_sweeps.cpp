@@ -5,6 +5,7 @@
 #include <random>
 
 #include "core/attention.hpp"
+#include "core/kv_cache.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/gemm.hpp"
 #include "nn/reference.hpp"
@@ -161,6 +162,48 @@ TEST_P(SeedSweep, PrecomputeIdentityAcrossSeeds) {
   w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
   const MatrixF with_pre = et::core::otf_attention(dev, x, w, cfg);
   EXPECT_TRUE(allclose(with_pre, without, 1e-3, 1e-3));
+}
+
+TEST_P(SeedSweep, IncrementalPrefixDecodeMatchesFullOtf) {
+  // Prefix-decode equivalence over random shapes: running a causal
+  // sequence through the KV-cached incremental path one position at a
+  // time must reproduce the full-sequence OTF forward position by
+  // position — the invariant the generation stack (and its batched
+  // scheduler) is built on.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 17);
+  const std::size_t heads =
+      std::uniform_int_distribution<std::size_t>(0, 2)(rng) + 1;  // 1..3
+  const std::size_t d_k =
+      8 * std::uniform_int_distribution<std::size_t>(1, 2)(rng);  // 8 or 16
+  const std::size_t d_model = heads * d_k;
+  const std::size_t seq =
+      std::uniform_int_distribution<std::size_t>(2, 14)(rng);
+
+  et::core::AttentionConfig cfg;
+  cfg.seq_len = seq;
+  cfg.d_model = d_model;
+  cfg.num_heads = heads;
+  cfg.precision = et::numeric::Precision::kFp32;
+  cfg.causal_mask = true;
+  const auto w =
+      et::core::make_dense_weights(cfg, static_cast<std::uint64_t>(GetParam()));
+  MatrixF x(seq, d_model);
+  et::tensor::fill_normal(x, static_cast<std::uint64_t>(GetParam()) + 200);
+
+  et::gpusim::Device dev;
+  const MatrixF full = et::core::otf_attention(dev, x, w, cfg);
+
+  et::core::KVCache cache(seq, d_model);
+  for (std::size_t t = 0; t < seq; ++t) {
+    const MatrixF step = et::core::incremental_attention(
+        dev, et::tensor::slice_rows(x, t, 1), w, cfg, cache);
+    for (std::size_t c = 0; c < d_model; ++c) {
+      ASSERT_NEAR(step(0, c), full(t, c), 1e-4f)
+          << "heads " << heads << " d_model " << d_model << " seq " << seq
+          << " position " << t << " col " << c;
+    }
+  }
+  EXPECT_EQ(cache.used(), seq);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(1, 11));
