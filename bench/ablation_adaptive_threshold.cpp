@@ -12,12 +12,13 @@ namespace {
 double run_us(const et::core::AttentionWeights& w,
               et::core::AttentionConfig cfg, bool partial) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   et::tensor::MatrixF x(cfg.seq_len, cfg.d_model);
   if (partial) {
-    (void)et::core::partial_otf_attention(dev, x, w, cfg);
+    (void)et::core::partial_otf_attention(ctx, x, w, cfg);
   } else {
-    (void)et::core::otf_attention(dev, x, w, cfg);
+    (void)et::core::otf_attention(ctx, x, w, cfg);
   }
   return dev.total_time_us();
 }

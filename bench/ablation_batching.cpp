@@ -1,5 +1,7 @@
-// Ablation: decode throughput vs batch size through the slot-based
-// BatchedGenerationScheduler (docs/serving.md). Autoregressive decode is
+// Ablation: decode throughput vs batch size AND thread count through the
+// slot-based BatchedGenerationScheduler (docs/serving.md).
+//
+// Batch axis (modeled time, traffic-only): autoregressive decode is
 // weight-load-bound — every step re-reads the projection and FFN weights
 // for ONE row of activations — so batching B sequences into one fused
 // tick amortizes those loads ~B× (the batched q/k/v GEMM stages its
@@ -7,18 +9,95 @@
 // attends over its own KV cache. Tokens/sec should therefore scale
 // strongly with batch size; per-sequence latency is the price.
 //
-// --json emits the standard bench JSON shape; --csv the usual CSV.
+// Threads axis (wall clock, real math): the same batch-8 decode through
+// ExecContext pools of 1/2/4/8 threads. The per-slot attention segment
+// and the kernel row loops partition across the pool with fixed
+// thread-count-independent chunks (docs/threading.md), so the transcripts
+// and the modeled time_us stay bit-identical while host wall time drops
+// with cores. The bench verifies the bit-identity and exits nonzero on
+// any divergence. On a single-core host the wall_ms column will not show
+// a speedup — the determinism columns still must hold.
+//
+// --json emits the standard bench JSON shape (one array; the `sweep`
+// column tags each row "batch" or "threads"); --csv the usual CSV.
+// Field names match `et_cli --batch N --json`.
+#include <chrono>
+#include <cstdio>
+
 #include "bench_common.hpp"
+#include "core/exec_context.hpp"
 #include "gpusim/device.hpp"
 #include "nn/batched_generation.hpp"
 #include "nn/generation.hpp"
+
+namespace {
+
+struct RunOutcome {
+  std::vector<et::nn::GenerationResult> results;
+  std::size_t ticks = 0;
+  std::size_t batched_ticks = 0;
+  std::size_t per_slot_fallback_ticks = 0;
+  double time_us = 0.0;  // modeled device time
+  double wall_ms = 0.0;  // host wall clock around run()
+};
+
+RunOutcome run_batched(const std::vector<et::nn::EncoderWeights>& layers,
+                       const et::nn::EncoderOptions& opt, std::size_t batch,
+                       std::size_t tokens_per_seq, std::size_t max_context,
+                       std::size_t d_model, std::size_t threads,
+                       bool traffic_only) {
+  et::nn::BatchedGenerationScheduler sched(&layers, opt, batch, max_context);
+  for (std::size_t i = 0; i < batch; ++i) {
+    et::nn::GenerationRequest req;
+    req.first_token = static_cast<std::int32_t>(i);
+    req.max_new_tokens = tokens_per_seq;
+    req.embed = [d_model](std::int32_t, std::size_t) {
+      return et::tensor::MatrixF(1, d_model);
+    };
+    req.select = [](const et::tensor::MatrixF&) { return std::int32_t{1}; };
+    (void)sched.submit(std::move(req));
+  }
+
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev, threads);
+  dev.set_traffic_only(traffic_only);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunOutcome out;
+  out.results = sched.run(ctx);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.ticks = sched.ticks();
+  out.batched_ticks = sched.batched_ticks();
+  out.per_slot_fallback_ticks = sched.per_slot_fallback_ticks();
+  out.time_us = dev.total_time_us();
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+std::size_t token_count(const RunOutcome& r) {
+  std::size_t total = 0;
+  for (const auto& g : r.results) total += g.tokens.size();
+  return total;
+}
+
+bool same_transcripts(const RunOutcome& a, const RunOutcome& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    if (a.results[i].tokens != b.results[i].tokens) return false;
+    if (a.results[i].stop_reason != b.results[i].stop_reason) return false;
+  }
+  return a.ticks == b.ticks && a.batched_ticks == b.batched_ticks;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bool csv = et::bench::csv_mode(argc, argv);
   const bool json = et::bench::json_mode(argc, argv);
 
   // BERT_BASE-width decoder, 4 layers: big enough that weight traffic
-  // dominates, small enough to build in seconds.
+  // dominates, small enough to build in seconds. Used for the modeled
+  // batch-axis sweep only.
   et::nn::ModelConfig model;
   model.num_layers = 4;
   model.d_model = 768;
@@ -29,70 +108,117 @@ int main(int argc, char** argv) {
   for (std::size_t l = 0; l < model.num_layers; ++l) {
     layers.push_back(et::nn::make_dense_encoder_weights(model, 1 + l));
   }
-  auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 128,
-                                 /*causal=*/true);
+  const auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 128,
+                                       /*causal=*/true);
 
   constexpr std::size_t kTokensPerSeq = 32;
   constexpr std::size_t kMaxContext = 64;
-  const auto embed = [&](std::int32_t, std::size_t) {
-    return et::tensor::MatrixF(1, model.d_model);
-  };
-  const auto select = [](const et::tensor::MatrixF&) {
-    return std::int32_t{1};
-  };
 
   if (!csv && !json) {
     std::printf("Ablation — batched decode throughput, %zux d=%zu decoder, "
                 "%zu tokens/sequence\n\n",
                 model.num_layers, model.d_model, kTokensPerSeq);
   }
-  et::bench::Table table({"batch", "total_tokens", "ticks", "batched_ticks",
-                          "time_us", "tokens_per_sec", "per_token_us",
-                          "speedup_vs_b1"},
+  et::bench::Table table({"sweep", "batch", "threads", "total_tokens",
+                          "ticks", "batched_ticks", "per_slot_fallback_ticks",
+                          "time_us", "wall_ms", "tokens_per_sec",
+                          "per_token_us", "speedup"},
                          csv, json);
 
+  // ---- Batch axis: modeled device time, traffic-only (instant math). ----
   double base_tps = 0.0;
   for (const std::size_t batch : {1u, 2u, 4u, 8u, 16u}) {
-    et::nn::BatchedGenerationScheduler sched(&layers, opt, batch,
-                                             kMaxContext);
-    for (std::size_t i = 0; i < batch; ++i) {
-      et::nn::GenerationRequest req;
-      req.first_token = static_cast<std::int32_t>(i);
-      req.max_new_tokens = kTokensPerSeq;
-      req.embed = embed;
-      req.select = select;
-      (void)sched.submit(std::move(req));
-    }
-
-    et::gpusim::Device dev;
-    dev.set_traffic_only(true);
-    const auto results = sched.run(dev);
-
-    std::size_t total_tokens = 0;
-    for (const auto& r : results) total_tokens += r.tokens.size();
-    const double time_us = dev.total_time_us();
-    const double tps = 1e6 * static_cast<double>(total_tokens) / time_us;
+    const RunOutcome r =
+        run_batched(layers, opt, batch, kTokensPerSeq, kMaxContext,
+                    model.d_model, /*threads=*/1, /*traffic_only=*/true);
+    const std::size_t total_tokens = token_count(r);
+    const double tps = 1e6 * static_cast<double>(total_tokens) / r.time_us;
     if (batch == 1) base_tps = tps;
-
-    table.add_row({std::to_string(batch), std::to_string(total_tokens),
-                   std::to_string(sched.ticks()),
-                   std::to_string(sched.batched_ticks()),
-                   et::bench::fmt(time_us, 1), et::bench::fmt(tps, 1),
-                   et::bench::fmt(time_us / static_cast<double>(total_tokens),
+    table.add_row({"batch", std::to_string(batch), "1",
+                   std::to_string(total_tokens), std::to_string(r.ticks),
+                   std::to_string(r.batched_ticks),
+                   std::to_string(r.per_slot_fallback_ticks),
+                   et::bench::fmt(r.time_us, 1), et::bench::fmt(r.wall_ms, 2),
+                   et::bench::fmt(tps, 1),
+                   et::bench::fmt(r.time_us /
+                                      static_cast<double>(total_tokens),
                                   2),
                    et::bench::fmt(tps / base_tps, 2)});
+  }
+
+  // ---- Threads axis: real math, wall clock, fixed batch 8. ----
+  // A slimmer decoder keeps the scalar math tractable; the point is the
+  // host-side scaling shape, not the absolute numbers.
+  et::nn::ModelConfig small;
+  small.num_layers = 2;
+  small.d_model = 256;
+  small.num_heads = 4;
+  small.d_ff = 512;
+  std::vector<et::nn::EncoderWeights> small_layers;
+  for (std::size_t l = 0; l < small.num_layers; ++l) {
+    small_layers.push_back(et::nn::make_dense_encoder_weights(small, 11 + l));
+  }
+  const auto small_opt = et::nn::options_for(et::nn::Pipeline::kET, small, 64,
+                                             /*causal=*/true);
+  constexpr std::size_t kThreadBatch = 8;
+  constexpr std::size_t kThreadTokens = 8;
+
+  RunOutcome serial_ref;
+  double base_wall = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const RunOutcome r =
+        run_batched(small_layers, small_opt, kThreadBatch, kThreadTokens,
+                    kThreadTokens + 2, small.d_model, threads,
+                    /*traffic_only=*/false);
+    if (threads == 1) {
+      serial_ref = r;
+      base_wall = r.wall_ms;
+    } else if (!same_transcripts(serial_ref, r) ||
+               serial_ref.time_us != r.time_us) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: threads=%zu diverged from the "
+                   "serial run\n",
+                   threads);
+      return 1;
+    }
+    const std::size_t total_tokens = token_count(r);
+    const double wall_tps =
+        1e3 * static_cast<double>(total_tokens) / r.wall_ms;
+    table.add_row({"threads", std::to_string(kThreadBatch),
+                   std::to_string(threads), std::to_string(total_tokens),
+                   std::to_string(r.ticks), std::to_string(r.batched_ticks),
+                   std::to_string(r.per_slot_fallback_ticks),
+                   et::bench::fmt(r.time_us, 1), et::bench::fmt(r.wall_ms, 2),
+                   et::bench::fmt(wall_tps, 1),
+                   et::bench::fmt(1e3 * r.wall_ms /
+                                      static_cast<double>(total_tokens),
+                                  2),
+                   et::bench::fmt(base_wall / r.wall_ms, 2)});
   }
   table.print();
 
   if (!csv && !json) {
     std::printf(
+        "\nbatch rows: modeled device time (traffic-only), speedup vs "
+        "batch=1.\nthreads rows: REAL math on a %zux d=%zu decoder, wall "
+        "clock, speedup vs threads=1;\ntime_us is the modeled time and is "
+        "identical at every thread count (verified).\n",
+        small.num_layers, small.d_model);
+    std::printf(
         "\nThe same model through sequential nn::generate (the batch=1 "
         "API): ");
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
     et::nn::GenerationSession session(&layers, opt, kMaxContext);
+    const auto embed = [&model](std::int32_t, std::size_t) {
+      return et::tensor::MatrixF(1, model.d_model);
+    };
+    const auto select = [](const et::tensor::MatrixF&) {
+      return std::int32_t{1};
+    };
     const auto r =
-        et::nn::generate(dev, session, 0, kTokensPerSeq, embed, select);
+        et::nn::generate(ctx, session, 0, kTokensPerSeq, embed, select);
     std::printf("%.1f us for %zu tokens (%.1f tokens/sec)\n",
                 dev.total_time_us(), r.tokens.size(),
                 1e6 * static_cast<double>(r.tokens.size()) /

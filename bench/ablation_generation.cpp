@@ -53,21 +53,24 @@ int main(int argc, char** argv) {
 
     // Prefill a 128-token prompt (token-by-token through the cache).
     et::gpusim::Device prefill_dev;
+    et::core::ExecContext prefill_dev_ctx(prefill_dev);
     prefill_dev.set_traffic_only(true);
-    for (int t = 0; t < 128; ++t) (void)session.step(prefill_dev, row);
+    for (int t = 0; t < 128; ++t) (void)session.step(prefill_dev_ctx, row);
     const double prefill = prefill_dev.total_time_us();
 
     const auto step_cost = [&] {
       et::gpusim::Device dev;
+      et::core::ExecContext ctx(dev);
       dev.set_traffic_only(true);
-      (void)session.step(dev, row);
+      (void)session.step(ctx, row);
       return dev.total_time_us();
     };
     const double at_128 = step_cost();
     while (session.context_length() < 512) {
       et::gpusim::Device dev;
+      et::core::ExecContext ctx(dev);
       dev.set_traffic_only(true);
-      (void)session.step(dev, row);
+      (void)session.step(ctx, row);
     }
     const double at_512 = step_cost();
 

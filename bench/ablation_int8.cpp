@@ -24,8 +24,9 @@ int main(int argc, char** argv) {
   const auto mb = [](double bytes) { return bytes / 1024.0 / 1024.0; };
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
-  (void)et::kernels::gemm_nt(dev, x, w, et::numeric::Precision::kMixed);
+  (void)et::kernels::gemm_nt(ctx, x, w, et::numeric::Precision::kMixed);
   const double fp16 = dev.total_time_us();
   table.add_row({"fp16 dense", et::bench::fmt(fp16, 1),
                  et::bench::fmt(mb(w.size() * 2.0), 1), "1.00x"});
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
     const auto mask = et::pruning::tile_mask(w, ratio);
     const auto tp = et::sparse::TilePrunedWeight::from_masked(w, mask);
     dev.reset();
-    (void)et::kernels::bcsr_gemm_nt(dev, x, tp,
+    (void)et::kernels::bcsr_gemm_nt(ctx, x, tp,
                                     et::numeric::Precision::kMixed);
     const double tile = dev.total_time_us();
     table.add_row({"fp16 tile-pruned " + et::bench::fmt(ratio, 1),

@@ -52,8 +52,9 @@ int main(int argc, char** argv) {
     cfg.precision = c.precision;
     cfg.scale_before_multiply = c.reorder;
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     et::numeric::reset_overflow_count();
-    (void)et::core::otf_attention(dev, x, w, cfg);
+    (void)et::core::otf_attention(ctx, x, w, cfg);
     table.add_row({c.name, std::to_string(et::numeric::overflow_count()),
                    std::to_string(et::core::otf_shared_bytes(cfg)),
                    et::bench::fmt(dev.total_time_us(), 1)});

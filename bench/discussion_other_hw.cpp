@@ -17,15 +17,17 @@ double encoder_us(const et::gpusim::DeviceSpec& spec, et::nn::Pipeline p,
                   const et::nn::EncoderWeights& w,
                   const et::nn::ModelConfig& model) {
   et::gpusim::Device dev(spec);
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   et::tensor::MatrixF x(128, model.d_model);
-  (void)et::nn::encoder_forward(dev, x, w,
+  (void)et::nn::encoder_forward(ctx, x, w,
                                 et::nn::options_for(p, model, 128));
   return dev.total_time_us();
 }
 
 std::size_t crossover_seq(const et::gpusim::DeviceSpec& spec) {
   et::gpusim::Device dev(spec);
+  et::core::ExecContext ctx(dev);
   et::core::AttentionConfig cfg;
   cfg.d_model = 768;
   cfg.num_heads = 12;

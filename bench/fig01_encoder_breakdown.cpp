@@ -22,9 +22,10 @@ struct Breakdown {
 Breakdown run(et::nn::Pipeline p, const et::nn::EncoderWeights& w,
               const et::nn::ModelConfig& model) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   et::tensor::MatrixF x(128, model.d_model);
-  (void)et::nn::encoder_forward(dev, x, w,
+  (void)et::nn::encoder_forward(ctx, x, w,
                                 et::nn::options_for(p, model, 128));
   Breakdown b;
   for (const auto& k : dev.history()) {

@@ -6,10 +6,14 @@
 // attention-aware pruned execution above (§5.2.1). Expected shape: E.T.
 // fastest everywhere, with max speedups ~13.7× (PyTorch), ~3.4× (TensorRT)
 // and ~2.5× (FasterTransformer) at the highest ratio.
+#include <chrono>
+
 #include "bench_common.hpp"
+#include "core/exec_context.hpp"
 #include "gpusim/device.hpp"
 #include "nn/encoder.hpp"
 #include "pruning/strategy.hpp"
+#include "tensor/random.hpp"
 #include "train/model.hpp"
 
 namespace {
@@ -19,9 +23,10 @@ using et::nn::Pipeline;
 double encoder_us(Pipeline p, const et::nn::EncoderWeights& w,
                   const et::nn::ModelConfig& model, std::size_t seq) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   et::tensor::MatrixF x(seq, model.d_model);
-  (void)et::nn::encoder_forward(dev, x, w,
+  (void)et::nn::encoder_forward(ctx, x, w,
                                 et::nn::options_for(p, model, seq));
   return dev.total_time_us();
 }
@@ -88,5 +93,63 @@ int main(int argc, char** argv) {
   std::printf("\nmax speedup: %.1fx vs PyTorch, %.1fx vs TensorRT, %.1fx vs "
               "FasterTransformer\n",
               max_vs_pt, max_vs_trt, max_vs_ft);
+
+  // Host-side wall-clock scaling: the same E.T. forward with REAL math
+  // through ExecContext pools of 1/2/4/8 threads. The kernel row loops
+  // partition across the pool with fixed chunks (docs/threading.md), so
+  // outputs and the modeled time_us are bit-identical at every thread
+  // count (verified below — the bench exits nonzero on divergence) while
+  // wall time drops with available cores.
+  et::nn::ModelConfig half;
+  half.num_layers = 1;
+  half.d_model = 256;
+  half.num_heads = 4;
+  half.d_ff = 1024;
+  const std::size_t half_seq = 48;
+  const auto half_w = et::nn::make_dense_encoder_weights(half, 9);
+  et::tensor::MatrixF hx(half_seq, half.d_model);
+  et::tensor::fill_normal(hx, 10);
+  const auto half_opt = et::nn::options_for(Pipeline::kET, half, half_seq);
+
+  et::bench::Table scaling({"threads", "wall_ms", "time_us", "speedup"},
+                           csv);
+  et::tensor::MatrixF ref_out;
+  double ref_time_us = 0.0, base_wall = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev, threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = et::nn::encoder_forward(ctx, hx, half_w, half_opt);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (threads == 1) {
+      ref_out = out;
+      ref_time_us = dev.total_time_us();
+      base_wall = wall_ms;
+    } else {
+      bool same = dev.total_time_us() == ref_time_us &&
+                  out.rows() == ref_out.rows() && out.cols() == ref_out.cols();
+      for (std::size_t r = 0; same && r < out.rows(); ++r) {
+        for (std::size_t c = 0; same && c < out.cols(); ++c) {
+          same = out(r, c) == ref_out(r, c);
+        }
+      }
+      if (!same) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: threads=%zu diverged from the "
+                     "serial forward\n",
+                     threads);
+        return 1;
+      }
+    }
+    scaling.add_row({std::to_string(threads), et::bench::fmt(wall_ms, 2),
+                     et::bench::fmt(dev.total_time_us(), 1),
+                     et::bench::fmt(base_wall / wall_ms, 2)});
+  }
+  std::printf("\nwall-clock scaling — d=%zu E.T. layer, seq=%zu, real math, "
+              "bit-identical at every thread count:\n\n",
+              half.d_model, half_seq);
+  scaling.print();
   return 0;
 }

@@ -23,6 +23,7 @@ using et::core::AttentionWeights;
 double attention_region_us(
     const std::function<void(et::gpusim::Device&)>& run) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   run(dev);
   double us = 0.0;
@@ -55,13 +56,16 @@ void sweep(const char* name, std::size_t d_model, std::size_t heads,
     trt_cfg.precision = et::numeric::Precision::kMixed;
     trt_cfg.scale_before_multiply = false;
     const double trt = attention_region_us([&](et::gpusim::Device& dev) {
-      (void)et::core::fused_attention(dev, x, w, trt_cfg);
+      et::core::ExecContext ctx(dev);
+      (void)et::core::fused_attention(ctx, x, w, trt_cfg);
     });
     const double full = attention_region_us([&](et::gpusim::Device& dev) {
-      (void)et::core::otf_attention(dev, x, w, cfg);
+      et::core::ExecContext ctx(dev);
+      (void)et::core::otf_attention(ctx, x, w, cfg);
     });
     const double partial = attention_region_us([&](et::gpusim::Device& dev) {
-      (void)et::core::partial_otf_attention(dev, x, w, cfg);
+      et::core::ExecContext ctx(dev);
+      (void)et::core::partial_otf_attention(ctx, x, w, cfg);
     });
     const double best = std::min(full, partial);
     if (seq >= 64 && seq <= 256) {

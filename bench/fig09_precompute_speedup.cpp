@@ -98,10 +98,11 @@ double encoder_us(const AttentionWeights& attn, std::size_t d,
   model.num_heads = heads;
   model.d_ff = d_ff;
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   MatrixF x(128, d);
   (void)et::nn::encoder_forward(
-      dev, x, w, et::nn::options_for(et::nn::Pipeline::kET, model, 128));
+      ctx, x, w, et::nn::options_for(et::nn::Pipeline::kET, model, 128));
   return dev.total_time_us();
 }
 

@@ -18,10 +18,11 @@ using et::tensor::MatrixF;
 
 double linear_us(const MatrixF& x, const et::sparse::AnyWeight& w) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   et::kernels::LinearOptions opt;
   opt.precision = et::numeric::Precision::kMixed;
-  (void)et::kernels::linear(dev, x, w, opt);
+  (void)et::kernels::linear(ctx, x, w, opt);
   return dev.total_time_us();
 }
 
@@ -31,13 +32,14 @@ void sweep(std::size_t d, bool csv) {
   MatrixF x(128, d);
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   // Dense baseline pinned to the ALGO5 analogue, as in §5.2.4.
-  (void)et::kernels::gemm_nt(dev, x, weight, et::numeric::Precision::kMixed,
+  (void)et::kernels::gemm_nt(ctx, x, weight, et::numeric::Precision::kMixed,
                              &et::kernels::gemm_algo5(), "dense_algo5");
   const double dense = dev.total_time_us();
   dev.reset();
-  (void)et::kernels::gemm_nt(dev, x, weight, et::numeric::Precision::kMixed,
+  (void)et::kernels::gemm_nt(ctx, x, weight, et::numeric::Precision::kMixed,
                              nullptr, "dense_auto");
   const double dense_auto = dev.total_time_us();
 

@@ -56,11 +56,13 @@ int main(int argc, char** argv) {
   auto trt_cfg = cfg;
   trt_cfg.precision = et::numeric::Precision::kMixed;
   trt_cfg.scale_before_multiply = false;
-  (void)et::core::fused_attention(trt_dev, x, w, trt_cfg);
+  et::core::ExecContext trt_ctx(trt_dev);
+  (void)et::core::fused_attention(trt_ctx, x, w, trt_cfg);
 
   auto et_cfg = cfg;
   et_cfg.precision = et::numeric::Precision::kPureFp16;
-  (void)et::core::otf_attention(otf_dev, x, w, et_cfg);
+  et::core::ExecContext otf_ctx(otf_dev);
+  (void)et::core::otf_attention(otf_ctx, x, w, et_cfg);
 
   const RegionStats trt = attention_region(trt_dev);
   const RegionStats otf = attention_region(otf_dev);

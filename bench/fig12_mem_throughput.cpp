@@ -25,8 +25,9 @@ int main(int argc, char** argv) {
   et::tensor::MatrixF x(cfg.seq_len, cfg.d_model);
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
-  (void)et::core::fused_attention(dev, x, w, cfg);
+  (void)et::core::fused_attention(ctx, x, w, cfg);
   const auto rep = et::gpusim::profile(dev);
 
   const double peak = dev.spec().hbm_bw_gbps;
@@ -52,11 +53,12 @@ int main(int argc, char** argv) {
 
   // The fused OTF kernel for comparison.
   et::gpusim::Device otf_dev;
+  et::core::ExecContext otf_dev_ctx(otf_dev);
   otf_dev.set_traffic_only(true);
   auto et_cfg = cfg;
   et_cfg.precision = et::numeric::Precision::kPureFp16;
   et_cfg.scale_before_multiply = true;
-  (void)et::core::otf_attention(otf_dev, x, w, et_cfg);
+  (void)et::core::otf_attention(otf_dev_ctx, x, w, et_cfg);
   for (const auto& k : otf_dev.history()) {
     if (k.name != "otf_attention") continue;
     std::printf("\nE.T. on-the-fly kernel: %.1f GB/s (%.1f%% of peak; paper "

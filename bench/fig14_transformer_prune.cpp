@@ -46,12 +46,13 @@ double latency_us(Strategy strategy, double ratio) {
 
   et::nn::ModelConfig model = et::nn::transformer_wikitext();
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   et::tensor::MatrixF x(128, model.d_model);
   const auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 128,
                                        /*causal=*/true);
   for (std::size_t l = 0; l < model.num_layers; ++l) {
-    (void)et::nn::encoder_forward(dev, x, weights, opt);
+    (void)et::nn::encoder_forward(ctx, x, weights, opt);
   }
   return dev.total_time_us();
 }

@@ -21,8 +21,9 @@ void BM_GemmNtFp32(benchmark::State& state) {
   et::tensor::fill_normal(a, 1);
   et::tensor::fill_normal(b, 2);
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(et::kernels::gemm_nt(dev, a, b));
+    benchmark::DoNotOptimize(et::kernels::gemm_nt(ctx, a, b));
     dev.reset();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
@@ -36,9 +37,10 @@ void BM_GemmNtPureFp16(benchmark::State& state) {
   et::tensor::fill_normal(a, 1);
   et::tensor::fill_normal(b, 2);
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        et::kernels::gemm_nt(dev, a, b, et::numeric::Precision::kPureFp16));
+        et::kernels::gemm_nt(ctx, a, b, et::numeric::Precision::kPureFp16));
     dev.reset();
   }
 }
@@ -52,8 +54,9 @@ void BM_BcsrGemm(benchmark::State& state) {
   const auto tp = et::sparse::TilePrunedWeight::from_masked(
       w, et::pruning::tile_mask(w, ratio));
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(et::kernels::bcsr_gemm_nt(dev, x, tp));
+    benchmark::DoNotOptimize(et::kernels::bcsr_gemm_nt(ctx, x, tp));
     dev.reset();
   }
 }
@@ -63,6 +66,7 @@ void BM_Softmax(benchmark::State& state) {
   MatrixF m(256, 256);
   et::tensor::fill_normal(m, 5);
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   for (auto _ : state) {
     MatrixF copy = m;
     et::kernels::softmax_rows(dev, copy);
@@ -81,8 +85,9 @@ void BM_OtfAttentionMath(benchmark::State& state) {
   MatrixF x(cfg.seq_len, cfg.d_model);
   et::tensor::fill_normal(x, 7);
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(et::core::otf_attention(dev, x, w, cfg));
+    benchmark::DoNotOptimize(et::core::otf_attention(ctx, x, w, cfg));
     dev.reset();
   }
 }

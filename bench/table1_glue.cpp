@@ -74,11 +74,12 @@ double model_latency_ms(const et::nn::ModelConfig& model, Strategy strategy,
   const auto weights = et::pruning::deploy_layer(it->second.layers()[0],
                                                  masks, strategy);
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   et::tensor::MatrixF x(128, model.d_model);
   const auto opt =
       et::nn::options_for(et::nn::Pipeline::kET, model, 128, false);
-  (void)et::nn::encoder_forward(dev, x, weights, opt);
+  (void)et::nn::encoder_forward(ctx, x, weights, opt);
   return dev.total_time_us() * static_cast<double>(model.num_layers) / 1e3;
 }
 

@@ -30,8 +30,10 @@ struct Args {
   std::size_t seq = 128;
   std::size_t batch = 0;    // > 0: batched-generation serving demo
   std::size_t tokens = 16;  // tokens per sequence in the serving demo
+  std::size_t threads = 1;  // ExecContext thread-pool size
   double ratio = 0.0;
   bool profile = false;
+  bool json = false;
   bool help = false;
   std::string trace;         // chrome-trace output path
   bool inject_given = false;
@@ -124,8 +126,10 @@ Args parse(int argc, char** argv) {
     else if (arg == "--seq") a.seq = std::strtoul(next(), nullptr, 10);
     else if (arg == "--batch") a.batch = std::strtoul(next(), nullptr, 10);
     else if (arg == "--tokens") a.tokens = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--threads") a.threads = std::strtoul(next(), nullptr, 10);
     else if (arg == "--ratio") a.ratio = std::atof(next());
     else if (arg == "--profile") a.profile = true;
+    else if (arg == "--json") a.json = true;
     else if (arg == "--trace") a.trace = next();
     else if (arg == "--inject-fault") {
       a.inject_given = true;
@@ -148,7 +152,11 @@ void usage() {
       "  --batch N   serving demo: decode N sequences through the\n"
       "              slot-based batched scheduler (see docs/serving.md)\n"
       "  --tokens T  tokens per sequence in the serving demo (default 16)\n"
+      "  --threads N run kernels on an N-thread ExecContext pool; output\n"
+      "              is bit-identical at every N (docs/threading.md)\n"
       "  --device    v100s | a100                     (default v100s)\n"
+      "  --json      machine-readable output; serving-demo field names\n"
+      "              match bench/ablation_batching --json\n"
       "  --profile   print the per-kernel nvprof-style table\n"
       "  --trace F   write a chrome://tracing JSON timeline to F\n"
       "  --inject-fault SPEC\n"
@@ -204,6 +212,7 @@ int main(int argc, char** argv) {
   }
 
   et::gpusim::Device dev(spec);
+  et::core::ExecContext ctx(dev, args.threads == 0 ? 1 : args.threads);
   dev.set_traffic_only(true);
   if (args.inject_given &&
       !arm_from_spec(dev.fault_injector(), args.inject_fault)) {
@@ -230,10 +239,53 @@ int main(int argc, char** argv) {
       req.select = [](const et::tensor::MatrixF&) { return std::int32_t{1}; };
       (void)sched.submit(std::move(req));
     }
-    const auto results = sched.run(dev);
+    const auto results = sched.run(ctx);
 
     std::size_t total_tokens = 0;
     for (const auto& r : results) total_tokens += r.tokens.size();
+    if (args.json) {
+      // One JSON object per run; scalar field names are identical to the
+      // bench/ablation_batching --json row keys so serving dashboards can
+      // consume either source unchanged.
+      std::printf("{\n");
+      std::printf("  \"model\": \"%s\", \"pipeline\": \"%s\", \"device\": "
+                  "\"%s\",\n",
+                  model.name.c_str(), args.pipeline.c_str(),
+                  spec.name.c_str());
+      std::printf("  \"batch\": %zu, \"threads\": %zu, \"slots\": %zu,\n",
+                  args.batch, ctx.threads(), max_batch);
+      std::printf("  \"total_tokens\": %zu, \"ticks\": %zu, "
+                  "\"batched_ticks\": %zu, \"per_slot_fallback_ticks\": "
+                  "%zu,\n",
+                  total_tokens, sched.ticks(), sched.batched_ticks(),
+                  sched.per_slot_fallback_ticks());
+      std::printf("  \"time_us\": %.1f, \"tokens_per_sec\": %.1f,\n",
+                  dev.total_time_us(),
+                  1e6 * static_cast<double>(total_tokens) /
+                      dev.total_time_us());
+      std::printf("  \"results\": [\n");
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        std::printf("    {\"id\": %zu, \"tokens\": %zu, \"stop_reason\": "
+                    "\"%s\", \"fault_kernel\": \"%s\"}%s\n",
+                    i, results[i].tokens.size(),
+                    std::string(to_string(results[i].stop_reason)).c_str(),
+                    results[i].fault_kernel.c_str(),
+                    i + 1 < results.size() ? "," : "");
+      }
+      std::printf("  ],\n");
+      std::printf("  \"slot_time_us\": [");
+      for (std::size_t s = 0; s < max_batch; ++s) {
+        std::printf("%.1f%s", dev.time_us_for_slot(static_cast<int>(s)),
+                    s + 1 < max_batch ? ", " : "");
+      }
+      std::printf("],\n");
+      std::printf("  \"fallbacks\": %zu\n", dev.fallback_log().size());
+      std::printf("}\n");
+      if (!args.trace.empty()) {
+        et::gpusim::write_chrome_trace(args.trace, dev);
+      }
+      return 0;
+    }
     std::printf("%s · %s · serving %zu sequences on %zu slot(s) · %s\n",
                 model.name.c_str(), args.pipeline.c_str(), args.batch,
                 max_batch, spec.name.c_str());
@@ -276,7 +328,7 @@ int main(int argc, char** argv) {
   et::tensor::MatrixF x(args.seq, model.d_model);
   try {
     (void)et::nn::encoder_forward(
-        dev, x, weights, et::nn::options_for(pipeline, model, args.seq));
+        ctx, x, weights, et::nn::options_for(pipeline, model, args.seq));
   } catch (const et::gpusim::KernelFault& f) {
     // Only the E.T. pipeline routes attention through the resilient
     // adaptive dispatch; the baselines die on the first fault — which is
@@ -299,6 +351,19 @@ int main(int argc, char** argv) {
   }
 
   const double layer_us = dev.total_time_us();
+  if (args.json) {
+    std::printf("{\"model\": \"%s\", \"pipeline\": \"%s\", \"seq\": %zu, "
+                "\"device\": \"%s\", \"threads\": %zu, \"ratio\": %.2f, "
+                "\"layer_us\": %.1f, \"model_ms\": %.2f, \"kernels\": %zu}\n",
+                model.name.c_str(), args.pipeline.c_str(), args.seq,
+                spec.name.c_str(), ctx.threads(), args.ratio, layer_us,
+                layer_us * static_cast<double>(model.num_layers) / 1e3,
+                dev.launch_count());
+    if (!args.trace.empty()) {
+      et::gpusim::write_chrome_trace(args.trace, dev);
+    }
+    return 0;
+  }
   std::printf("%s · %s · seq %zu · %s", model.name.c_str(),
               args.pipeline.c_str(), args.seq, spec.name.c_str());
   if (args.ratio > 0.0) {

@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
   // inference stack has no attention biases, so logits differ slightly
   // from the training-side forward; greedy argmax is robust to that.
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   et::nn::GenerationSession session(&layers, opt,
                                     num_tokens + 2);
   std::int32_t token = corpus.train()[0].tokens[0];
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < row.cols(); ++c) {
       row(0, c) = lm.trunk.embedding.table.w(token, c) + pe(t, c);
     }
-    const et::tensor::MatrixF h = session.step(dev, row);
+    const et::tensor::MatrixF h = session.step(ctx, row);
     // LM head from the trained model.
     std::int32_t best = 0;
     float best_logit = -1e30f;

@@ -75,10 +75,11 @@ int main(int argc, char** argv) {
       shapes.layers()[0], layer_masks, et::pruning::Strategy::kAttentionAware);
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   et::tensor::MatrixF x(128, model.d_model);
   (void)et::nn::encoder_forward(
-      dev, x, weights,
+      ctx, x, weights,
       et::nn::options_for(et::nn::Pipeline::kET, model, 128, false));
   const double per_layer = dev.total_time_us();
   std::printf("modeled latency at BERT_BASE scale: %.1f us/layer, %.2f ms "

@@ -72,9 +72,10 @@ int main(int argc, char** argv) {
   const auto time_for = [&](et::nn::Pipeline p,
                             const std::vector<et::nn::EncoderWeights>& w) {
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
     (void)et::nn::encoder_stack_forward(
-        dev, x, w, et::nn::options_for(p, model, 32, /*causal=*/true));
+        ctx, x, w, et::nn::options_for(p, model, 32, /*causal=*/true));
     return dev.total_time_us();
   };
   std::vector<et::nn::EncoderWeights> dense_layers;

@@ -31,8 +31,9 @@ int main(int argc, char** argv) {
        {et::nn::Pipeline::kModular, et::nn::Pipeline::kTensorRT,
         et::nn::Pipeline::kFasterTransformer, et::nn::Pipeline::kET}) {
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     const auto opt = et::nn::options_for(pipeline, model, seq);
-    const et::tensor::MatrixF y = et::nn::encoder_forward(dev, x, weights, opt);
+    const et::tensor::MatrixF y = et::nn::encoder_forward(ctx, x, weights, opt);
     std::printf("%-18s %7.1f us  %2zu kernel launches   (output[0][0] = %+.4f)\n",
                 std::string(to_string(pipeline)).c_str(),
                 dev.total_time_us(), dev.launch_count(),
@@ -41,8 +42,9 @@ int main(int argc, char** argv) {
 
   // 4. Peek inside E.T.'s launch log with the nvprof-style profiler.
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   (void)et::nn::encoder_forward(
-      dev, x, weights, et::nn::options_for(et::nn::Pipeline::kET, model, seq));
+      ctx, x, weights, et::nn::options_for(et::nn::Pipeline::kET, model, seq));
   std::printf("\nE.T. kernel-by-kernel profile:\n");
   print_report(std::cout, et::gpusim::profile(dev));
   return 0;

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
       et::nn::options_for(et::nn::Pipeline::kET, model, tgt_len, true);
 
   et::gpusim::Device dev;
-  const auto out = et::nn::seq2seq_forward(dev, source, target, encoder,
+  et::core::ExecContext ctx(dev);
+  const auto out = et::nn::seq2seq_forward(ctx, source, target, encoder,
                                            decoder, enc_opt, dec_opt);
   std::printf("seq2seq %s: %zu source tokens -> %zu target positions "
               "(%zu x %zu output)\n",
@@ -79,8 +80,9 @@ int main(int argc, char** argv) {
   }
 
   et::gpusim::Device pruned_dev;
+  et::core::ExecContext pruned_dev_ctx(pruned_dev);
   pruned_dev.set_traffic_only(true);
-  (void)et::nn::seq2seq_forward(pruned_dev, source, target, enc_p, dec_p,
+  (void)et::nn::seq2seq_forward(pruned_dev_ctx, source, target, enc_p, dec_p,
                                 enc_opt, dec_opt);
   std::printf("attention-aware pruned at 70%%: %.1f us -> %.2fx\n",
               pruned_dev.total_time_us(),

@@ -18,14 +18,16 @@ AttentionImpl choose_attention_impl(const gpusim::Device& dev,
                ? AttentionImpl::kPartialOtf
                : AttentionImpl::kOtf;
   }
-  // Replay both variants against the latency model only (no math).
+  // Replay both variants against the latency model only (no math, so a
+  // serial scratch context is all that's needed).
   const auto replay = [&](AttentionImpl impl) {
     gpusim::Device scratch(dev.spec());
     scratch.set_traffic_only(true);
+    ExecContext scratch_ctx(scratch);
     if (impl == AttentionImpl::kOtf) {
-      (void)otf_attention(scratch, x, w, cfg);
+      (void)otf_attention(scratch_ctx, x, w, cfg);
     } else {
-      (void)partial_otf_attention(scratch, x, w, cfg);
+      (void)partial_otf_attention(scratch_ctx, x, w, cfg);
     }
     return scratch.total_time_us();
   };
@@ -36,29 +38,29 @@ AttentionImpl choose_attention_impl(const gpusim::Device& dev,
 
 namespace {
 
-tensor::MatrixF run_impl(AttentionImpl impl, gpusim::Device& dev,
+tensor::MatrixF run_impl(AttentionImpl impl, ExecContext& ctx,
                          const tensor::MatrixF& x, const AttentionWeights& w,
                          const AttentionConfig& cfg) {
   switch (impl) {
     case AttentionImpl::kOtf:
-      return otf_attention(dev, x, w, cfg);
+      return otf_attention(ctx, x, w, cfg);
     case AttentionImpl::kPartialOtf:
-      return partial_otf_attention(dev, x, w, cfg);
+      return partial_otf_attention(ctx, x, w, cfg);
     case AttentionImpl::kFused:
-      return fused_attention(dev, x, w, cfg);
+      return fused_attention(ctx, x, w, cfg);
     case AttentionImpl::kModular:
       break;
   }
-  return modular_attention(dev, x, w, cfg);
+  return modular_attention(ctx, x, w, cfg);
 }
 
 }  // namespace
 
-tensor::MatrixF adaptive_attention(gpusim::Device& dev,
-                                   const tensor::MatrixF& x,
+tensor::MatrixF adaptive_attention(ExecContext& ctx, const tensor::MatrixF& x,
                                    const AttentionWeights& w,
                                    const AttentionConfig& cfg,
                                    const AdaptivePolicy& policy) {
+  gpusim::Device& dev = ctx.device();
   cfg.validate();
   // All four implementations compute the same function (the tests assert
   // cross-equivalence), so any faster operator that fails mid-flight can
@@ -79,7 +81,7 @@ tensor::MatrixF adaptive_attention(gpusim::Device& dev,
 
   for (std::size_t i = start;; ++i) {
     try {
-      return run_impl(kChain[i], dev, x, w, cfg);
+      return run_impl(kChain[i], ctx, x, w, cfg);
     } catch (const gpusim::KernelFault& f) {
       if (i + 1 >= kChainLen) throw;  // nothing safer than modular
       dev.note_fallback({std::string(to_string(kChain[i])),
@@ -92,6 +94,15 @@ tensor::MatrixF adaptive_attention(gpusim::Device& dev,
                          "shared_mem_overflow"});
     }
   }
+}
+
+tensor::MatrixF adaptive_attention(gpusim::Device& dev,
+                                   const tensor::MatrixF& x,
+                                   const AttentionWeights& w,
+                                   const AttentionConfig& cfg,
+                                   const AdaptivePolicy& policy) {
+  ExecContext ctx(dev);
+  return adaptive_attention(ctx, x, w, cfg, policy);
 }
 
 bool use_batched_decode(const AdaptivePolicy& policy,

@@ -48,7 +48,9 @@ struct AdaptivePolicy {
 [[nodiscard]] bool use_batched_decode(const AdaptivePolicy& policy,
                                       std::size_t active_slots) noexcept;
 
-/// Decide which E.T. operator to run for this configuration.
+/// Decide which E.T. operator to run for this configuration. A pure query
+/// against the device spec (auto-tune replays on internal scratch
+/// devices), so it deliberately keeps the const Device& signature.
 [[nodiscard]] AttentionImpl choose_attention_impl(
     const gpusim::Device& dev, const tensor::MatrixF& x,
     const AttentionWeights& w, const AttentionConfig& cfg,
@@ -61,6 +63,13 @@ struct AdaptivePolicy {
 /// always a valid substitute). Each hop is recorded via
 /// Device::note_fallback and surfaces in the profiler report; only a fault
 /// in the modular baseline itself propagates.
+[[nodiscard]] tensor::MatrixF adaptive_attention(
+    ExecContext& ctx, const tensor::MatrixF& x, const AttentionWeights& w,
+    const AttentionConfig& cfg, const AdaptivePolicy& policy = {});
+
+/// Transitional Device&-only entry point; forwards through a serial
+/// ExecContext. Migrate callers to the overload above.
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
 [[nodiscard]] tensor::MatrixF adaptive_attention(
     gpusim::Device& dev, const tensor::MatrixF& x, const AttentionWeights& w,
     const AttentionConfig& cfg, const AdaptivePolicy& policy = {});

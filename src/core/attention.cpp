@@ -43,11 +43,11 @@ struct Projections {
   }
 };
 
-bool try_fused_qkv(gpusim::Device& dev, const tensor::MatrixF& x,
+bool try_fused_qkv(ExecContext& ctx, const tensor::MatrixF& x,
                    const AttentionWeights& w, const AttentionConfig& cfg,
                    Projections& pr);
 
-Projections project(gpusim::Device& dev, const tensor::MatrixF& x,
+Projections project(ExecContext& ctx, const tensor::MatrixF& x,
                     const AttentionWeights& w, const AttentionConfig& cfg,
                     bool et_operators) {
   cfg.validate();
@@ -56,36 +56,36 @@ Projections project(gpusim::Device& dev, const tensor::MatrixF& x,
 
   Projections pr;
   if (et_operators && !w.has_precomputed() &&
-      try_fused_qkv(dev, x, w, cfg, pr)) {
+      try_fused_qkv(ctx, x, w, cfg, pr)) {
     // Below the pruning regime E.T. also batches Q/K/V into one autotuned
     // GEMM — the "best cuBLAS routine" search of §5.2.1.
     return pr;
   }
-  pr.q = kernels::linear(dev, x, w.wq, opt, "q_linear").y;
-  pr.k = kernels::linear(dev, x, w.wk, opt, "k_linear").y;
+  pr.q = kernels::linear(ctx, x, w.wq, opt, "q_linear").y;
+  pr.k = kernels::linear(ctx, x, w.wk, opt, "k_linear").y;
   if (et_operators && w.has_precomputed()) {
     pr.vo = &w.vo;
     // One dense GEMM against the pre-computed (H·kept × d) matrix — the
     // fold of steps ① (V part) and ⑦ (Eq. 5).
-    pr.ctx = kernels::gemm_nt(dev, x, w.vo.weight, cfg.precision, nullptr,
+    pr.ctx = kernels::gemm_nt(ctx, x, w.vo.weight, cfg.precision, nullptr,
                               "vo_linear");
   } else if (et_operators && w.v_condensable(cfg.num_heads)) {
     // Attention-aware row-pruned W_V: keep the GEMM output condensed so
     // step ⑥ touches only the surviving columns (§5.3.3).
     opt.scatter_row_pruned_output = false;
-    auto res = kernels::linear(dev, x, w.wv, opt, "v_linear");
+    auto res = kernels::linear(ctx, x, w.wv, opt, "v_linear");
     pr.ctx = std::move(res.y);
     pr.v_kept = std::move(res.nonzero_cols);
     opt.scatter_row_pruned_output = true;
   } else {
-    pr.ctx = kernels::linear(dev, x, w.wv, opt, "v_linear").y;
+    pr.ctx = kernels::linear(ctx, x, w.wv, opt, "v_linear").y;
   }
   return pr;
 }
 
 /// TensorRT-style horizontally-fused QKV projection: when all three
 /// weights are dense, one GEMM against the stacked (3d × d) weight.
-bool try_fused_qkv(gpusim::Device& dev, const tensor::MatrixF& x,
+bool try_fused_qkv(ExecContext& ctx, const tensor::MatrixF& x,
                    const AttentionWeights& w, const AttentionConfig& cfg,
                    Projections& pr) {
   const auto* dq = std::get_if<sparse::DenseWeight>(&w.wq);
@@ -103,7 +103,7 @@ bool try_fused_qkv(gpusim::Device& dev, const tensor::MatrixF& x,
     }
   }
   tensor::MatrixF qkv =
-      kernels::gemm_nt(dev, x, stacked, cfg.precision, nullptr, "qkv_linear");
+      kernels::gemm_nt(ctx, x, stacked, cfg.precision, nullptr, "qkv_linear");
   pr.q = tensor::slice_cols(qkv, 0, d);
   pr.k = tensor::slice_cols(qkv, d, d);
   pr.ctx = tensor::slice_cols(qkv, 2 * d, d);
@@ -154,12 +154,12 @@ void record_score_stream(gpusim::Device& dev, std::string name,
   launch.fp_ops(flops);
 }
 
-tensor::MatrixF output_linear(gpusim::Device& dev, const tensor::MatrixF& z,
+tensor::MatrixF output_linear(ExecContext& ctx, const tensor::MatrixF& z,
                               const AttentionWeights& w,
                               const AttentionConfig& cfg) {
   kernels::LinearOptions opt;
   opt.precision = cfg.precision;
-  return kernels::linear(dev, z, w.wo, opt, "out_linear").y;
+  return kernels::linear(ctx, z, w.wo, opt, "out_linear").y;
 }
 
 }  // namespace
@@ -180,10 +180,10 @@ std::size_t otf_shared_bytes(const AttentionConfig& cfg, std::size_t kv_len) {
 // --------------------------------------------------------------------------
 // PyTorch-like modular pipeline: every operator is its own kernel.
 // --------------------------------------------------------------------------
-tensor::MatrixF modular_attention(gpusim::Device& dev,
-                                  const tensor::MatrixF& x,
+tensor::MatrixF modular_attention(ExecContext& ctx, const tensor::MatrixF& x,
                                   const AttentionWeights& w,
                                   const AttentionConfig& cfg) {
+  gpusim::Device& dev = ctx.device();
   cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t d = cfg.d_model;
@@ -191,7 +191,7 @@ tensor::MatrixF modular_attention(gpusim::Device& dev,
   const std::size_t score_elems = s * s * h;
   const Precision p = cfg.precision;
 
-  Projections pr = project(dev, x, w, cfg, /*et_operators=*/false);
+  Projections pr = project(ctx, x, w, cfg, /*et_operators=*/false);
 
   // torch.bmm(Q, K^T): batched over heads.
   record_batched_gemm(dev, "bmm_qk", s * d, s * d, score_elems,
@@ -210,8 +210,9 @@ tensor::MatrixF modular_attention(gpusim::Device& dev,
   tensor::MatrixF z =
       dev.traffic_only()
           ? tensor::MatrixF(s, d)
-          : detail::attention_math(pr.q, pr.k, pr.ctx, nullptr, nullptr, cfg);
-  return output_linear(dev, z, w, cfg);
+          : detail::attention_math(pr.q, pr.k, pr.ctx, nullptr, nullptr, cfg,
+                                   &ctx.pool());
+  return output_linear(ctx, z, w, cfg);
 }
 
 // --------------------------------------------------------------------------
@@ -219,10 +220,11 @@ tensor::MatrixF modular_attention(gpusim::Device& dev,
 // vertically-fused pointwise ops — but intermediates still in global
 // memory (steps ①,③,④,⑤,⑥,⑦ of Fig. 12).
 // --------------------------------------------------------------------------
-tensor::MatrixF fused_attention(gpusim::Device& dev, const tensor::MatrixF& x,
+tensor::MatrixF fused_attention(ExecContext& ctx, const tensor::MatrixF& x,
                                 const AttentionWeights& w,
                                 const AttentionConfig& cfg,
                                 bool aggressive_fusion) {
+  gpusim::Device& dev = ctx.device();
   cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t d = cfg.d_model;
@@ -231,8 +233,8 @@ tensor::MatrixF fused_attention(gpusim::Device& dev, const tensor::MatrixF& x,
   const Precision p = cfg.precision;
 
   Projections pr;
-  if (!try_fused_qkv(dev, x, w, cfg, pr)) {
-    pr = project(dev, x, w, cfg, /*et_operators=*/false);
+  if (!try_fused_qkv(ctx, x, w, cfg, pr)) {
+    pr = project(ctx, x, w, cfg, /*et_operators=*/false);
   }
 
   // ③ batched Q·Kᵀ with the scaling folded in (TensorRT fuses the
@@ -259,16 +261,18 @@ tensor::MatrixF fused_attention(gpusim::Device& dev, const tensor::MatrixF& x,
   tensor::MatrixF z =
       dev.traffic_only()
           ? tensor::MatrixF(s, d)
-          : detail::attention_math(pr.q, pr.k, pr.ctx, nullptr, nullptr, cfg);
-  return output_linear(dev, z, w, cfg);
+          : detail::attention_math(pr.q, pr.k, pr.ctx, nullptr, nullptr, cfg,
+                                   &ctx.pool());
+  return output_linear(ctx, z, w, cfg);
 }
 
 // --------------------------------------------------------------------------
 // E.T. full on-the-fly operator: steps ②–⑥ in one kernel.
 // --------------------------------------------------------------------------
-tensor::MatrixF otf_attention(gpusim::Device& dev, const tensor::MatrixF& x,
+tensor::MatrixF otf_attention(ExecContext& ctx, const tensor::MatrixF& x,
                               const AttentionWeights& w,
                               const AttentionConfig& cfg) {
+  gpusim::Device& dev = ctx.device();
   cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t d = cfg.d_model;
@@ -277,7 +281,7 @@ tensor::MatrixF otf_attention(gpusim::Device& dev, const tensor::MatrixF& x,
   const Precision p = cfg.precision;
   const bool pre = w.has_precomputed();
 
-  Projections pr = project(dev, x, w, cfg, /*et_operators=*/true);
+  Projections pr = project(ctx, x, w, cfg, /*et_operators=*/true);
 
   const std::size_t row_tiles = ceil_div(s, 16);
   // Without pre-computation a CTA owns (head, row-tile); with it the CTA
@@ -316,20 +320,22 @@ tensor::MatrixF otf_attention(gpusim::Device& dev, const tensor::MatrixF& x,
   tensor::MatrixF z =
       dev.traffic_only()
           ? tensor::MatrixF(s, d)
-          : detail::attention_math(pr.q, pr.k, pr.ctx, pr.vo, pr.v_kept_ptr(), cfg);
+          : detail::attention_math(pr.q, pr.k, pr.ctx, pr.vo,
+                                   pr.v_kept_ptr(), cfg, &ctx.pool());
   if (pre) return z;  // Eq. 5: the output linear is already folded in.
-  return output_linear(dev, z, w, cfg);
+  return output_linear(ctx, z, w, cfg);
 }
 
 // --------------------------------------------------------------------------
 // E.T. on-the-fly cross-attention: same kernel structure as otf_attention,
 // with K/V projected from the encoder memory.
 // --------------------------------------------------------------------------
-tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
+tensor::MatrixF otf_cross_attention(ExecContext& ctx,
                                     const tensor::MatrixF& x,
                                     const tensor::MatrixF& memory,
                                     const AttentionWeights& w,
                                     const AttentionConfig& cfg) {
+  gpusim::Device& dev = ctx.device();
   cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t kv = memory.rows();
@@ -342,19 +348,19 @@ tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
   kernels::LinearOptions opt;
   opt.precision = cfg.precision;
   Projections pr;
-  pr.q = kernels::linear(dev, x, w.wq, opt, "xattn_q_linear").y;
-  pr.k = kernels::linear(dev, memory, w.wk, opt, "xattn_k_linear").y;
+  pr.q = kernels::linear(ctx, x, w.wq, opt, "xattn_q_linear").y;
+  pr.k = kernels::linear(ctx, memory, w.wk, opt, "xattn_k_linear").y;
   if (pre) {
     pr.vo = &w.vo;
-    pr.ctx = kernels::gemm_nt(dev, memory, w.vo.weight, cfg.precision,
+    pr.ctx = kernels::gemm_nt(ctx, memory, w.vo.weight, cfg.precision,
                               nullptr, "xattn_vo_linear");
   } else if (w.v_condensable(cfg.num_heads)) {
     opt.scatter_row_pruned_output = false;
-    auto res = kernels::linear(dev, memory, w.wv, opt, "xattn_v_linear");
+    auto res = kernels::linear(ctx, memory, w.wv, opt, "xattn_v_linear");
     pr.ctx = std::move(res.y);
     pr.v_kept = std::move(res.nonzero_cols);
   } else {
-    pr.ctx = kernels::linear(dev, memory, w.wv, opt, "xattn_v_linear").y;
+    pr.ctx = kernels::linear(ctx, memory, w.wv, opt, "xattn_v_linear").y;
   }
 
   const std::size_t row_tiles = ceil_div(s, 16);
@@ -387,19 +393,20 @@ tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
       dev.traffic_only()
           ? tensor::MatrixF(s, d)
           : detail::attention_math(pr.q, pr.k, pr.ctx, pr.vo,
-                                   pr.v_kept_ptr(), cfg);
+                                   pr.v_kept_ptr(), cfg, &ctx.pool());
   if (pre) return z;
-  return output_linear(dev, z, w, cfg);
+  return output_linear(ctx, z, w, cfg);
 }
 
 // --------------------------------------------------------------------------
 // E.T. partial on-the-fly operator (§3.2): ②–③ as one outer-product GEMM
 // kernel (Q, K read once; S written once), ④–⑥ as a second fused kernel.
 // --------------------------------------------------------------------------
-tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
+tensor::MatrixF partial_otf_attention(ExecContext& ctx,
                                       const tensor::MatrixF& x,
                                       const AttentionWeights& w,
                                       const AttentionConfig& cfg) {
+  gpusim::Device& dev = ctx.device();
   cfg.validate();
   const std::size_t s = cfg.seq_len;
   const std::size_t d = cfg.d_model;
@@ -410,7 +417,7 @@ tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
   const Precision p = cfg.precision;
   const bool pre = w.has_precomputed();
 
-  Projections pr = project(dev, x, w, cfg, /*et_operators=*/true);
+  Projections pr = project(ctx, x, w, cfg, /*et_operators=*/true);
   const std::size_t ctx_cols = pr.ctx.cols();
 
   // Kernel A: ②–③. Outer-product decomposition reads Q and K exactly
@@ -466,9 +473,50 @@ tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
   tensor::MatrixF z =
       dev.traffic_only()
           ? tensor::MatrixF(s, d)
-          : detail::attention_math(pr.q, pr.k, pr.ctx, pr.vo, pr.v_kept_ptr(), cfg);
+          : detail::attention_math(pr.q, pr.k, pr.ctx, pr.vo,
+                                   pr.v_kept_ptr(), cfg, &ctx.pool());
   if (pre) return z;
-  return output_linear(dev, z, w, cfg);
+  return output_linear(ctx, z, w, cfg);
+}
+
+tensor::MatrixF modular_attention(gpusim::Device& dev,
+                                  const tensor::MatrixF& x,
+                                  const AttentionWeights& w,
+                                  const AttentionConfig& cfg) {
+  ExecContext ctx(dev);
+  return modular_attention(ctx, x, w, cfg);
+}
+
+tensor::MatrixF fused_attention(gpusim::Device& dev, const tensor::MatrixF& x,
+                                const AttentionWeights& w,
+                                const AttentionConfig& cfg,
+                                bool aggressive_fusion) {
+  ExecContext ctx(dev);
+  return fused_attention(ctx, x, w, cfg, aggressive_fusion);
+}
+
+tensor::MatrixF otf_attention(gpusim::Device& dev, const tensor::MatrixF& x,
+                              const AttentionWeights& w,
+                              const AttentionConfig& cfg) {
+  ExecContext ctx(dev);
+  return otf_attention(ctx, x, w, cfg);
+}
+
+tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
+                                      const tensor::MatrixF& x,
+                                      const AttentionWeights& w,
+                                      const AttentionConfig& cfg) {
+  ExecContext ctx(dev);
+  return partial_otf_attention(ctx, x, w, cfg);
+}
+
+tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
+                                    const tensor::MatrixF& x,
+                                    const tensor::MatrixF& memory,
+                                    const AttentionWeights& w,
+                                    const AttentionConfig& cfg) {
+  ExecContext ctx(dev);
+  return otf_cross_attention(ctx, x, memory, w, cfg);
 }
 
 }  // namespace et::core

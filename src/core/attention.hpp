@@ -21,16 +21,20 @@
 //                            S written once), ④–⑥ a second fused kernel.
 //
 // All four compute the same function; tests assert cross-equivalence.
+// Every operator takes a core::ExecContext: the projections run on its
+// device and the row-parallel attention math on its ThreadPool, with
+// results bit-identical at any thread count (docs/threading.md).
 #pragma once
 
 #include "core/config.hpp"
+#include "core/exec_context.hpp"
 #include "core/weights.hpp"
 #include "gpusim/device.hpp"
 #include "tensor/matrix.hpp"
 
 namespace et::core {
 
-[[nodiscard]] tensor::MatrixF modular_attention(gpusim::Device& dev,
+[[nodiscard]] tensor::MatrixF modular_attention(ExecContext& ctx,
                                                 const tensor::MatrixF& x,
                                                 const AttentionWeights& w,
                                                 const AttentionConfig& cfg);
@@ -38,18 +42,18 @@ namespace et::core {
 /// `aggressive_fusion` = FasterTransformer-style: masking and softmax
 /// merged into one kernel (one fewer global round trip of S than the
 /// TensorRT step list of Fig. 12).
-[[nodiscard]] tensor::MatrixF fused_attention(gpusim::Device& dev,
+[[nodiscard]] tensor::MatrixF fused_attention(ExecContext& ctx,
                                               const tensor::MatrixF& x,
                                               const AttentionWeights& w,
                                               const AttentionConfig& cfg,
                                               bool aggressive_fusion = false);
 
-[[nodiscard]] tensor::MatrixF otf_attention(gpusim::Device& dev,
+[[nodiscard]] tensor::MatrixF otf_attention(ExecContext& ctx,
                                             const tensor::MatrixF& x,
                                             const AttentionWeights& w,
                                             const AttentionConfig& cfg);
 
-[[nodiscard]] tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
+[[nodiscard]] tensor::MatrixF partial_otf_attention(ExecContext& ctx,
                                                     const tensor::MatrixF& x,
                                                     const AttentionWeights& w,
                                                     const AttentionConfig& cfg);
@@ -59,7 +63,7 @@ namespace et::core {
 /// (any number of rows). This is the decoder-side attention of the
 /// original Transformer (§2.1 notes the decoder mirrors the encoder);
 /// the causal mask never applies across the memory.
-[[nodiscard]] tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
+[[nodiscard]] tensor::MatrixF otf_cross_attention(ExecContext& ctx,
                                                   const tensor::MatrixF& x,
                                                   const tensor::MatrixF& memory,
                                                   const AttentionWeights& w,
@@ -73,5 +77,40 @@ namespace et::core {
 /// Cross-attention variant: the score row is kv_len wide.
 [[nodiscard]] std::size_t otf_shared_bytes(const AttentionConfig& cfg,
                                            std::size_t kv_len);
+
+// Transitional Device&-only entry points; each forwards through a serial
+// ExecContext. Migrate callers to the overloads above.
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF modular_attention(gpusim::Device& dev,
+                                                const tensor::MatrixF& x,
+                                                const AttentionWeights& w,
+                                                const AttentionConfig& cfg);
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF fused_attention(gpusim::Device& dev,
+                                              const tensor::MatrixF& x,
+                                              const AttentionWeights& w,
+                                              const AttentionConfig& cfg,
+                                              bool aggressive_fusion = false);
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF otf_attention(gpusim::Device& dev,
+                                            const tensor::MatrixF& x,
+                                            const AttentionWeights& w,
+                                            const AttentionConfig& cfg);
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
+                                                    const tensor::MatrixF& x,
+                                                    const AttentionWeights& w,
+                                                    const AttentionConfig& cfg);
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
+                                                  const tensor::MatrixF& x,
+                                                  const tensor::MatrixF& memory,
+                                                  const AttentionWeights& w,
+                                                  const AttentionConfig& cfg);
 
 }  // namespace et::core

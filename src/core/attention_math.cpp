@@ -18,7 +18,7 @@ tensor::MatrixF attention_math(const tensor::MatrixF& q,
                                const tensor::MatrixF& context,
                                const PrecomputedVO* vo,
                                const std::vector<std::uint32_t>* v_kept,
-                               const AttentionConfig& cfg) {
+                               const AttentionConfig& cfg, ThreadPool* pool) {
   const std::size_t s = cfg.seq_len;
   // Cross-attention: keys/values may come from a memory of different
   // length; self-attention has kv == s.
@@ -46,8 +46,7 @@ tensor::MatrixF attention_math(const tensor::MatrixF& q,
 
   tensor::MatrixF out(s, d);
 
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < s; ++i) {
+  const auto row_body = [&](std::size_t i) {
     std::vector<float> qrow(dk);
     std::vector<float> scores(kv);
     for (std::size_t h = 0; h < h_count; ++h) {
@@ -158,6 +157,12 @@ tensor::MatrixF attention_math(const tensor::MatrixF& q,
         }
       }
     }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(s, row_body);
+  } else {
+    for (std::size_t i = 0; i < s; ++i) row_body(i);
   }
   return out;
 }

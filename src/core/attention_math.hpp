@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/config.hpp"
+#include "core/thread_pool.hpp"
 #include "core/weights.hpp"
 #include "tensor/matrix.hpp"
 
@@ -30,9 +31,16 @@ namespace et::core::detail {
 ///     the original d_model column each condensed column maps to; the
 ///     returned Z is full width with zeros at pruned positions (W_O linear
 ///     still follows).
+///
+/// Rows of the output are independent (even in the W_VO head-sum case the
+/// accumulation is row-private), so a non-null `pool` partitions the row
+/// loop with ThreadPool's thread-count-invariant chunks; the per-row math
+/// is untouched, so results are bit-identical at any thread count. This is
+/// a pure-math region — no Device calls happen inside.
 [[nodiscard]] tensor::MatrixF attention_math(
     const tensor::MatrixF& q, const tensor::MatrixF& k,
     const tensor::MatrixF& context, const PrecomputedVO* vo,
-    const std::vector<std::uint32_t>* v_kept, const AttentionConfig& cfg);
+    const std::vector<std::uint32_t>* v_kept, const AttentionConfig& cfg,
+    ThreadPool* pool = nullptr);
 
 }  // namespace et::core::detail

@@ -79,11 +79,12 @@ tensor::MatrixF KVCache::v_prefix() const {
   return out;
 }
 
-tensor::MatrixF incremental_attention(gpusim::Device& dev,
+tensor::MatrixF incremental_attention(ExecContext& ctx,
                                       const tensor::MatrixF& x_row,
                                       const AttentionWeights& w,
                                       const AttentionConfig& cfg,
                                       KVCache& cache) {
+  gpusim::Device& dev = ctx.device();
   cfg.validate();
   assert(x_row.rows() == 1 && x_row.cols() == cfg.d_model);
   if (w.has_precomputed()) {
@@ -97,40 +98,40 @@ tensor::MatrixF incremental_attention(gpusim::Device& dev,
 
   // Project the new token's q/k/v (three skinny GEMMs — generation is
   // kernel-launch- and weight-load-bound, which these counters expose).
-  const tensor::MatrixF q = kernels::linear(dev, x_row, w.wq, opt,
+  const tensor::MatrixF q = kernels::linear(ctx, x_row, w.wq, opt,
                                             "gen_q_linear").y;
-  const tensor::MatrixF k_new = kernels::linear(dev, x_row, w.wk, opt,
+  const tensor::MatrixF k_new = kernels::linear(ctx, x_row, w.wk, opt,
                                                 "gen_k_linear").y;
   const tensor::MatrixF v_new =
-      kernels::linear(dev, x_row, w.wv, opt,
+      kernels::linear(ctx, x_row, w.wv, opt,
                       "gen_v_linear")
           .y;
   cache.append(k_new.row(0), v_new.row(0));
 
-  const std::size_t ctx = cache.used();
+  const std::size_t ctx_len = cache.used();
   const std::size_t d = cfg.d_model;
   const std::size_t sb = numeric::storage_bytes(cfg.precision);
 
   // One fused kernel: the single query row against the cache. The score
-  // row (H × ctx entries across CTAs) stays in shared memory — a 1-row
-  // OTF instance.
+  // row (H × ctx_len entries across CTAs) stays in shared memory — a
+  // 1-row OTF instance.
   {
     auto launch = dev.launch(
         {.name = "incremental_otf_attention",
          .ctas = cfg.num_heads,
          .shared_bytes_per_cta =
              cfg.d_k() * numeric::accumulator_bytes(cfg.precision) +
-             ctx * numeric::accumulator_bytes(cfg.precision),
+             ctx_len * numeric::accumulator_bytes(cfg.precision),
          .pattern = gpusim::AccessPattern::kTiled});
-    launch.load_bytes(d * sb);                 // q
-    launch.load_bytes(2ull * ctx * d * sb);    // cached K and V, once each
-    launch.store_bytes(d * sb);                // one output row
-    const std::uint64_t flops = 2ull * ctx * d * 2;  // q·K^T and s·V
+    launch.load_bytes(d * sb);                  // q
+    launch.load_bytes(2ull * ctx_len * d * sb); // cached K and V, once each
+    launch.store_bytes(d * sb);                 // one output row
+    const std::uint64_t flops = 2ull * ctx_len * d * 2;  // q·K^T and s·V
     if (cfg.precision == numeric::Precision::kFp32) {
-      launch.fp_ops(flops + 5ull * ctx * cfg.num_heads);
+      launch.fp_ops(flops + 5ull * ctx_len * cfg.num_heads);
     } else {
       launch.tensor_ops(flops);
-      launch.fp_ops(5ull * ctx * cfg.num_heads);
+      launch.fp_ops(5ull * ctx_len * cfg.num_heads);
     }
   }
 
@@ -144,7 +145,16 @@ tensor::MatrixF incremental_attention(gpusim::Device& dev,
     z = detail::attention_math(q, cache.k_prefix(), cache.v_prefix(),
                                nullptr, nullptr, step_cfg);
   }
-  return kernels::linear(dev, z, w.wo, opt, "gen_out_linear").y;
+  return kernels::linear(ctx, z, w.wo, opt, "gen_out_linear").y;
+}
+
+tensor::MatrixF incremental_attention(gpusim::Device& dev,
+                                      const tensor::MatrixF& x_row,
+                                      const AttentionWeights& w,
+                                      const AttentionConfig& cfg,
+                                      KVCache& cache) {
+  ExecContext ctx(dev);
+  return incremental_attention(ctx, x_row, w, cfg, cache);
 }
 
 }  // namespace et::core

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "core/config.hpp"
+#include "core/exec_context.hpp"
 #include "core/weights.hpp"
 #include "gpusim/device.hpp"
 #include "tensor/matrix.hpp"
@@ -100,6 +101,15 @@ class KVCachePool {
 /// attending over the whole cache. Pre-computed W_VO and condensed-V
 /// layouts are not supported in the incremental path (the cache stores
 /// full-width rows); w.wo is applied as usual.
+[[nodiscard]] tensor::MatrixF incremental_attention(ExecContext& ctx,
+                                                    const tensor::MatrixF& x_row,
+                                                    const AttentionWeights& w,
+                                                    const AttentionConfig& cfg,
+                                                    KVCache& cache);
+
+/// Transitional Device&-only entry point; forwards through a serial
+/// ExecContext. Migrate callers to the overload above.
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
 [[nodiscard]] tensor::MatrixF incremental_attention(gpusim::Device& dev,
                                                     const tensor::MatrixF& x_row,
                                                     const AttentionWeights& w,

@@ -31,9 +31,12 @@ tensor::MatrixF otf_attention_measured(gpusim::Device& dev,
 
   kernels::LinearOptions opt;
   opt.precision = cfg.precision;
-  const tensor::MatrixF q = kernels::linear(dev, x, w.wq, opt, "q_linear").y;
-  const tensor::MatrixF k = kernels::linear(dev, x, w.wk, opt, "k_linear").y;
-  const tensor::MatrixF v = kernels::linear(dev, x, w.wv, opt, "v_linear").y;
+  // The CTA engine interprets serially; a serial context for the linears
+  // keeps this instrumented path single-threaded end to end.
+  ExecContext exec(dev);
+  const tensor::MatrixF q = kernels::linear(exec, x, w.wq, opt, "q_linear").y;
+  const tensor::MatrixF k = kernels::linear(exec, x, w.wk, opt, "k_linear").y;
+  const tensor::MatrixF v = kernels::linear(exec, x, w.wv, opt, "v_linear").y;
 
   constexpr std::size_t kTileRows = 16;
   const std::size_t row_tiles = (s + kTileRows - 1) / kTileRows;
@@ -134,7 +137,7 @@ tensor::MatrixF otf_attention_measured(gpusim::Device& dev,
     }
   });
 
-  return kernels::linear(dev, z, w.wo, opt, "out_linear").y;
+  return kernels::linear(exec, z, w.wo, opt, "out_linear").y;
 }
 
 }  // namespace et::core

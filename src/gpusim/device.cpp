@@ -7,6 +7,30 @@
 
 namespace et::gpusim {
 
+namespace {
+/// The (device, sink) pair bound to this thread by a live SinkScope.
+/// Keyed on the device pointer: a scratch Device used inside a chunk
+/// (e.g. the adaptive auto-tune replay) records normally.
+thread_local Device* tl_sink_device = nullptr;
+thread_local LaunchSink* tl_sink = nullptr;
+}  // namespace
+
+SinkScope::SinkScope(Device& dev, LaunchSink& sink) noexcept
+    : prev_dev_(tl_sink_device), prev_sink_(tl_sink) {
+  sink.slot = dev.current_slot();  // inherit the region's outer slot
+  tl_sink_device = &dev;
+  tl_sink = &sink;
+}
+
+SinkScope::~SinkScope() {
+  tl_sink_device = prev_dev_;
+  tl_sink = prev_sink_;
+}
+
+LaunchSink* Device::bound_sink() const noexcept {
+  return tl_sink_device == this ? tl_sink : nullptr;
+}
+
 Launch::Launch(Device& dev, LaunchConfig cfg) : dev_(&dev) {
   stats_.name = std::move(cfg.name);
   stats_.ctas = cfg.ctas;
@@ -29,6 +53,19 @@ void Launch::finish() {
 Launch::~Launch() { finish(); }
 
 Launch Device::launch(LaunchConfig cfg) {
+  if (LaunchSink* sink = bound_sink()) {
+    // Inside a parallel-region chunk: attempts are counted in the sink
+    // and folded into the injector's launch index at merge time. The
+    // injector itself is never consulted here — ExecContext::parallel_for
+    // serializes whenever rules are armed, precisely so fault indices
+    // stay thread-count-independent (docs/threading.md).
+    ++sink->launches_attempted;
+    if (cfg.shared_bytes_per_cta > spec_.shared_mem_per_cta_bytes) {
+      throw SharedMemOverflow(cfg.name, cfg.shared_bytes_per_cta,
+                              spec_.shared_mem_per_cta_bytes);
+    }
+    return Launch(*this, std::move(cfg));
+  }
   injector_.on_launch(cfg.name, cfg.shared_bytes_per_cta);
   if (cfg.shared_bytes_per_cta > spec_.shared_mem_per_cta_bytes) {
     throw SharedMemOverflow(cfg.name, cfg.shared_bytes_per_cta,
@@ -38,9 +75,42 @@ Launch Device::launch(LaunchConfig cfg) {
 }
 
 void Device::record(KernelStats stats) {
+  if (LaunchSink* sink = bound_sink()) {
+    stats.slot = sink->slot;
+    apply_latency_model(stats, spec_);  // pure function of (stats, spec)
+    sink->log.push_back(std::move(stats));
+    return;
+  }
   stats.slot = current_slot_;
   apply_latency_model(stats, spec_);
   log_.push_back(std::move(stats));
+}
+
+void Device::note_fallback(FallbackEvent event) {
+  if (LaunchSink* sink = bound_sink()) {
+    sink->fallbacks.push_back(std::move(event));
+    return;
+  }
+  fallbacks_.push_back(std::move(event));
+}
+
+void Device::set_current_slot(int slot) noexcept {
+  if (LaunchSink* sink = bound_sink()) {
+    sink->slot = slot;
+    return;
+  }
+  current_slot_ = slot;
+}
+
+int Device::current_slot() const noexcept {
+  if (const LaunchSink* sink = bound_sink()) return sink->slot;
+  return current_slot_;
+}
+
+void Device::merge(LaunchSink&& sink) {
+  injector_.advance(sink.launches_attempted);
+  for (auto& stats : sink.log) log_.push_back(std::move(stats));
+  for (auto& event : sink.fallbacks) fallbacks_.push_back(std::move(event));
 }
 
 double Device::time_us_for_slot(int slot) const {

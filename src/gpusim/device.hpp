@@ -63,6 +63,26 @@ struct LaunchConfig {
   AccessPattern pattern = AccessPattern::kStreaming;
 };
 
+/// Per-chunk staging buffer for one chunk of a core::ExecContext parallel
+/// region. While a SinkScope binds a sink on a thread, everything that
+/// thread records against the device — launches, fallback events, slot
+/// changes, launch-attempt counts — lands here instead of in the shared
+/// device state. The region owner then calls Device::merge on the sinks
+/// in chunk order, so the device log ends up byte-for-byte the order a
+/// 1-thread run would have produced. See docs/threading.md.
+struct LaunchSink {
+  std::vector<KernelStats> log;
+  std::vector<FallbackEvent> fallbacks;
+  /// Launch attempts staged here; merge advances the fault injector's
+  /// launch index by this count so post-region arming sees the same
+  /// logical indices as a serial run.
+  std::size_t launches_attempted = 0;
+  /// The thread-local current slot within this chunk (SlotScope routes
+  /// here while the sink is bound). Seeded from the device's slot at
+  /// bind time so chunks inherit the region's outer attribution.
+  int slot = kNoSlot;
+};
+
 class Device;
 
 /// RAII handle for one simulated kernel launch. Counters accumulate while
@@ -114,10 +134,9 @@ class Device {
   }
 
   /// Resilient layers report each degradation step here so recovery is
-  /// observable in the profiler rather than silent.
-  void note_fallback(FallbackEvent event) {
-    fallbacks_.push_back(std::move(event));
-  }
+  /// observable in the profiler rather than silent. Routed to the bound
+  /// LaunchSink inside a parallel-region chunk.
+  void note_fallback(FallbackEvent event);
   [[nodiscard]] const std::vector<FallbackEvent>& fallback_log()
       const noexcept {
     return fallbacks_;
@@ -159,16 +178,31 @@ class Device {
   [[nodiscard]] bool traffic_only() const noexcept { return traffic_only_; }
 
   /// Serving slot stamped onto every launch recorded while set (kNoSlot =
-  /// unattributed). Prefer the RAII SlotScope below.
-  void set_current_slot(int slot) noexcept { current_slot_ = slot; }
-  [[nodiscard]] int current_slot() const noexcept { return current_slot_; }
+  /// unattributed). Prefer the RAII SlotScope below. Thread-safe inside a
+  /// parallel-region chunk: the slot lives in the bound LaunchSink, so
+  /// concurrent chunks attribute their launches independently.
+  void set_current_slot(int slot) noexcept;
+  [[nodiscard]] int current_slot() const noexcept;
 
   /// Time spent in launches attributed to `slot` (see SlotScope).
   [[nodiscard]] double time_us_for_slot(int slot) const;
 
+  /// Fold one parallel-region chunk's staged records into the device.
+  /// Called by core::ExecContext in chunk order after the region joins —
+  /// the single point where worker-side state re-enters shared state, and
+  /// the reason the merged log is deterministic.
+  void merge(LaunchSink&& sink);
+
  private:
   friend class Launch;
+  friend class SinkScope;
   void record(KernelStats stats);
+
+  /// The LaunchSink bound to the calling thread for THIS device, or
+  /// nullptr outside parallel-region chunks (thread-local storage keyed
+  /// on the device identity, so scratch devices inside a region are
+  /// unaffected).
+  [[nodiscard]] LaunchSink* bound_sink() const noexcept;
 
   DeviceSpec spec_;
   std::vector<KernelStats> log_;
@@ -176,6 +210,22 @@ class Device {
   FaultInjector injector_;
   bool traffic_only_ = false;
   int current_slot_ = kNoSlot;
+};
+
+/// RAII binding of a LaunchSink to (this thread, one device): everything
+/// the thread records against `dev` while the scope lives is staged in
+/// `sink` for a later ordered Device::merge. Restores the previous
+/// binding on destruction so scopes nest.
+class SinkScope {
+ public:
+  SinkScope(Device& dev, LaunchSink& sink) noexcept;
+  SinkScope(const SinkScope&) = delete;
+  SinkScope& operator=(const SinkScope&) = delete;
+  ~SinkScope();
+
+ private:
+  Device* prev_dev_;
+  LaunchSink* prev_sink_;
 };
 
 /// RAII slot attribution: every launch recorded while the scope lives is

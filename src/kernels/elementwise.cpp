@@ -110,7 +110,6 @@ void softmax_rows(gpusim::Device& dev, tensor::MatrixF& m,
   // element once, ~5 flops per element (max, sub, exp, sum, div).
   auto launch = stream_launch(dev, name, m.size(), p, 1, 1, 5 * m.size());
   if (dev.traffic_only()) return;
-#pragma omp parallel for schedule(static)
   for (std::size_t r = 0; r < m.rows(); ++r) {
     auto row = m.row(r);
     float mx = -std::numeric_limits<float>::infinity();
@@ -133,7 +132,6 @@ void layernorm(gpusim::Device& dev, tensor::MatrixF& m,
   auto launch = stream_launch(dev, name, m.size(), p, 1, 1, 10 * m.size());
   launch.load_bytes(2 * m.cols() * numeric::storage_bytes(p));
   if (dev.traffic_only()) return;
-#pragma omp parallel for schedule(static)
   for (std::size_t r = 0; r < m.rows(); ++r) {
     auto row = m.row(r);
     double mean = 0.0;
@@ -174,7 +172,6 @@ void fused_residual_layernorm(gpusim::Device& dev, tensor::MatrixF& a,
   for (std::size_t i = 0; i < a.size(); ++i) {
     a.flat()[i] += residual.flat()[i];
   }
-#pragma omp parallel for schedule(static)
   for (std::size_t r = 0; r < a.rows(); ++r) {
     auto row = a.row(r);
     double mean = 0.0;

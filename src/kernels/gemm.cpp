@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/thread_pool.hpp"
 #include "gpusim/latency_model.hpp"
 
 namespace et::kernels {
@@ -58,16 +59,19 @@ gpusim::KernelStats gemm_counters(std::string name, std::size_t m,
 /// the precision policy applied at each accumulate step (tile-granularity
 /// rounding is what real tensor cores do; per-step rounding is the
 /// conservative software equivalent and reproduces the Fig. 4 overflow).
+///
+/// Rows are independent, so the pool partitions over i. No device calls
+/// happen inside, so this is a pure-math region: it may run parallel even
+/// while the fault injector is armed, and needs no LaunchSink.
 template <bool Transposed>
 void gemm_math(const tensor::MatrixF& a, const tensor::MatrixF& b,
-               tensor::MatrixF& c, Precision p) {
+               tensor::MatrixF& c, Precision p, core::ThreadPool& pool) {
   const std::size_t m = a.rows();
   const std::size_t n = Transposed ? b.rows() : b.cols();
   const std::size_t kk = a.cols();
 
   if (p == Precision::kFp32) {
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < m; ++i) {
+    pool.parallel_for(m, [&](std::size_t i) {
       for (std::size_t j = 0; j < n; ++j) {
         float acc = 0.0f;
         for (std::size_t k = 0; k < kk; ++k) {
@@ -75,12 +79,11 @@ void gemm_math(const tensor::MatrixF& a, const tensor::MatrixF& b,
         }
         c(i, j) = acc;
       }
-    }
+    });
     return;
   }
 
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
+  pool.parallel_for(m, [&](std::size_t i) {
     for (std::size_t j = 0; j < n; ++j) {
       float acc = 0.0f;
       for (std::size_t k = 0; k < kk; ++k) {
@@ -89,13 +92,14 @@ void gemm_math(const tensor::MatrixF& a, const tensor::MatrixF& b,
       }
       c(i, j) = numeric::round_to_storage(p, acc);
     }
-  }
+  });
 }
 
 template <bool Transposed>
-tensor::MatrixF gemm_impl(gpusim::Device& dev, const tensor::MatrixF& a,
+tensor::MatrixF gemm_impl(core::ExecContext& ctx, const tensor::MatrixF& a,
                           const tensor::MatrixF& b, Precision p,
                           const GemmAlgo* algo, std::string_view name) {
+  gpusim::Device& dev = ctx.device();
   const std::size_t m = a.rows();
   const std::size_t n = Transposed ? b.rows() : b.cols();
   const std::size_t kk = a.cols();
@@ -115,7 +119,7 @@ tensor::MatrixF gemm_impl(gpusim::Device& dev, const tensor::MatrixF& a,
   launch.tensor_ops(st.tensor_ops);
 
   tensor::MatrixF c(m, n);
-  if (!dev.traffic_only()) gemm_math<Transposed>(a, b, c, p);
+  if (!dev.traffic_only()) gemm_math<Transposed>(a, b, c, p, ctx.pool());
   return c;
 }
 
@@ -165,22 +169,23 @@ const GemmAlgo& autotune_gemm(const gpusim::DeviceSpec& spec, std::size_t m,
   return *best;
 }
 
-tensor::MatrixF gemm_nt(gpusim::Device& dev, const tensor::MatrixF& a,
+tensor::MatrixF gemm_nt(core::ExecContext& ctx, const tensor::MatrixF& a,
                         const tensor::MatrixF& b, numeric::Precision p,
                         const GemmAlgo* algo, std::string_view name) {
-  return gemm_impl<true>(dev, a, b, p, algo, name);
+  return gemm_impl<true>(ctx, a, b, p, algo, name);
 }
 
-tensor::MatrixF gemm_nn(gpusim::Device& dev, const tensor::MatrixF& a,
+tensor::MatrixF gemm_nn(core::ExecContext& ctx, const tensor::MatrixF& a,
                         const tensor::MatrixF& b, numeric::Precision p,
                         const GemmAlgo* algo, std::string_view name) {
-  return gemm_impl<false>(dev, a, b, p, algo, name);
+  return gemm_impl<false>(ctx, a, b, p, algo, name);
 }
 
 std::vector<tensor::MatrixF> batched_gemm_nt(
-    gpusim::Device& dev, const tensor::MatrixF& a,
+    core::ExecContext& ctx, const tensor::MatrixF& a,
     const std::vector<const tensor::MatrixF*>& bs, numeric::Precision p,
     const GemmAlgo* algo, std::string_view name) {
+  gpusim::Device& dev = ctx.device();
   assert(!bs.empty());
   const std::size_t m = a.rows();
   const std::size_t kk = a.cols();
@@ -231,10 +236,32 @@ std::vector<tensor::MatrixF> batched_gemm_nt(
   out.reserve(bs.size());
   for (const auto* b : bs) {
     tensor::MatrixF c(m, b->rows());
-    if (!dev.traffic_only()) gemm_math<true>(a, *b, c, p);
+    if (!dev.traffic_only()) gemm_math<true>(a, *b, c, p, ctx.pool());
     out.push_back(std::move(c));
   }
   return out;
+}
+
+tensor::MatrixF gemm_nt(gpusim::Device& dev, const tensor::MatrixF& a,
+                        const tensor::MatrixF& b, numeric::Precision p,
+                        const GemmAlgo* algo, std::string_view name) {
+  core::ExecContext ctx(dev);
+  return gemm_nt(ctx, a, b, p, algo, name);
+}
+
+tensor::MatrixF gemm_nn(gpusim::Device& dev, const tensor::MatrixF& a,
+                        const tensor::MatrixF& b, numeric::Precision p,
+                        const GemmAlgo* algo, std::string_view name) {
+  core::ExecContext ctx(dev);
+  return gemm_nn(ctx, a, b, p, algo, name);
+}
+
+std::vector<tensor::MatrixF> batched_gemm_nt(
+    gpusim::Device& dev, const tensor::MatrixF& a,
+    const std::vector<const tensor::MatrixF*>& bs, numeric::Precision p,
+    const GemmAlgo* algo, std::string_view name) {
+  core::ExecContext ctx(dev);
+  return batched_gemm_nt(ctx, a, bs, p, algo, name);
 }
 
 }  // namespace et::kernels

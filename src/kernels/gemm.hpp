@@ -9,13 +9,16 @@
 //
 // Math executes on the CPU with the requested accumulator-precision policy
 // so numerical claims (overflow, rounding) are real; traffic/FLOP counters
-// and the modeled latency describe the equivalent GPU kernel.
+// and the modeled latency describe the equivalent GPU kernel. Row loops
+// run on the context's ThreadPool with a thread-count-invariant partition,
+// so results are bit-identical at any thread count (docs/threading.md).
 #pragma once
 
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/exec_context.hpp"
 #include "gpusim/device.hpp"
 #include "numeric/precision.hpp"
 #include "tensor/matrix.hpp"
@@ -49,13 +52,13 @@ struct GemmAlgo {
 /// C = A (m×k) · Bᵀ (B is n×k) — the X·Wᵀ orientation of every linear
 /// transformation in the paper.
 [[nodiscard]] tensor::MatrixF gemm_nt(
-    gpusim::Device& dev, const tensor::MatrixF& a, const tensor::MatrixF& b,
+    core::ExecContext& ctx, const tensor::MatrixF& a, const tensor::MatrixF& b,
     numeric::Precision p = numeric::Precision::kFp32,
     const GemmAlgo* algo = nullptr, std::string_view name = "gemm_nt");
 
 /// C = A (m×k) · B (k×n).
 [[nodiscard]] tensor::MatrixF gemm_nn(
-    gpusim::Device& dev, const tensor::MatrixF& a, const tensor::MatrixF& b,
+    core::ExecContext& ctx, const tensor::MatrixF& a, const tensor::MatrixF& b,
     numeric::Precision p = numeric::Precision::kFp32,
     const GemmAlgo* algo = nullptr, std::string_view name = "gemm_nn");
 
@@ -68,6 +71,30 @@ struct GemmAlgo {
 ///
 /// Per-element math is exactly gemm_nt's accumulation loop, so each C_i
 /// is bit-identical to an unbatched gemm_nt(a, *bs[i]) call.
+[[nodiscard]] std::vector<tensor::MatrixF> batched_gemm_nt(
+    core::ExecContext& ctx, const tensor::MatrixF& a,
+    const std::vector<const tensor::MatrixF*>& bs,
+    numeric::Precision p = numeric::Precision::kFp32,
+    const GemmAlgo* algo = nullptr, std::string_view name = "batched_gemm_nt");
+
+// Transitional Device&-only entry points. Each constructs a serial
+// ExecContext (threads = 1) on the spot and forwards, so behaviour is
+// unchanged — but they can never parallelize. Migrate callers to the
+// ExecContext overloads above.
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF gemm_nt(
+    gpusim::Device& dev, const tensor::MatrixF& a, const tensor::MatrixF& b,
+    numeric::Precision p = numeric::Precision::kFp32,
+    const GemmAlgo* algo = nullptr, std::string_view name = "gemm_nt");
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF gemm_nn(
+    gpusim::Device& dev, const tensor::MatrixF& a, const tensor::MatrixF& b,
+    numeric::Precision p = numeric::Precision::kFp32,
+    const GemmAlgo* algo = nullptr, std::string_view name = "gemm_nn");
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
 [[nodiscard]] std::vector<tensor::MatrixF> batched_gemm_nt(
     gpusim::Device& dev, const tensor::MatrixF& a,
     const std::vector<const tensor::MatrixF*>& bs,

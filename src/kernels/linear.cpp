@@ -18,20 +18,21 @@ tensor::MatrixF LinearResult::full_width(std::size_t out_cols) const {
   return full;
 }
 
-LinearResult linear(gpusim::Device& dev, const tensor::MatrixF& x,
+LinearResult linear(core::ExecContext& ctx, const tensor::MatrixF& x,
                     const sparse::AnyWeight& w, const LinearOptions& opt,
                     std::string_view name) {
+  gpusim::Device& dev = ctx.device();
   const std::string base(name);
   LinearResult out;
 
   if (const auto* dense = std::get_if<sparse::DenseWeight>(&w)) {
-    out.y = gemm_nt(dev, x, dense->matrix(), opt.precision, opt.algo,
+    out.y = gemm_nt(ctx, x, dense->matrix(), opt.precision, opt.algo,
                     base + ".dense");
     return out;
   }
 
   if (const auto* row = std::get_if<sparse::RowPrunedWeight>(&w)) {
-    tensor::MatrixF cond = gemm_nt(dev, x, row->condensed(), opt.precision,
+    tensor::MatrixF cond = gemm_nt(ctx, x, row->condensed(), opt.precision,
                                    opt.algo, base + ".row_gemm");
     if (opt.scatter_row_pruned_output) {
       out.y = scatter_cols(dev, cond, row->kept_rows(), row->original_rows(),
@@ -47,19 +48,26 @@ LinearResult linear(gpusim::Device& dev, const tensor::MatrixF& x,
   if (const auto* col = std::get_if<sparse::ColPrunedWeight>(&w)) {
     tensor::MatrixF adjusted = gather_cols(dev, x, col->kept_cols(),
                                            opt.precision, base + ".gather");
-    out.y = gemm_nt(dev, adjusted, col->condensed(), opt.precision, opt.algo,
+    out.y = gemm_nt(ctx, adjusted, col->condensed(), opt.precision, opt.algo,
                     base + ".col_gemm");
     return out;
   }
 
   if (const auto* tile = std::get_if<sparse::TilePrunedWeight>(&w)) {
-    out.y = bcsr_gemm_nt(dev, x, *tile, opt.precision, base + ".bcsr_gemm");
+    out.y = bcsr_gemm_nt(ctx, x, *tile, opt.precision, base + ".bcsr_gemm");
     return out;
   }
 
   const auto& irr = std::get<sparse::IrregularWeight>(w);
-  out.y = irregular_gemm_nt(dev, x, irr, opt.precision, base + ".irr_gemm");
+  out.y = irregular_gemm_nt(ctx, x, irr, opt.precision, base + ".irr_gemm");
   return out;
+}
+
+LinearResult linear(gpusim::Device& dev, const tensor::MatrixF& x,
+                    const sparse::AnyWeight& w, const LinearOptions& opt,
+                    std::string_view name) {
+  core::ExecContext ctx(dev);
+  return linear(ctx, x, w, opt, name);
 }
 
 }  // namespace et::kernels

@@ -38,9 +38,10 @@ std::size_t union_col_strips(const sparse::TilePrunedWeight& w) {
 
 }  // namespace
 
-tensor::MatrixF bcsr_gemm_nt(gpusim::Device& dev, const tensor::MatrixF& x,
+tensor::MatrixF bcsr_gemm_nt(core::ExecContext& ctx, const tensor::MatrixF& x,
                              const sparse::TilePrunedWeight& w,
                              numeric::Precision p, std::string_view name) {
+  gpusim::Device& dev = ctx.device();
   assert(x.cols() == w.cols());
   const std::size_t m = x.rows();
   const std::size_t n = w.rows();
@@ -74,8 +75,9 @@ tensor::MatrixF bcsr_gemm_nt(gpusim::Device& dev, const tensor::MatrixF& x,
   tensor::MatrixF y(m, n);
   if (dev.traffic_only()) return y;
 
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
+  // Pure-math region: each X row accumulates its own Y row, no device
+  // calls, so the pool partitions over i without sink machinery.
+  ctx.pool().parallel_for(m, [&](std::size_t i) {
     for (std::size_t tr = 0; tr < w.tile_rows(); ++tr) {
       for (std::uint32_t t = w.row_ptr()[tr]; t < w.row_ptr()[tr + 1]; ++t) {
         const std::size_t tc = w.col_idx()[t];
@@ -101,15 +103,16 @@ tensor::MatrixF bcsr_gemm_nt(gpusim::Device& dev, const tensor::MatrixF& x,
         y(i, j) = numeric::round_to_storage(p, y(i, j));
       }
     }
-  }
+  });
   return y;
 }
 
-tensor::MatrixF irregular_gemm_nt(gpusim::Device& dev,
+tensor::MatrixF irregular_gemm_nt(core::ExecContext& ctx,
                                   const tensor::MatrixF& x,
                                   const sparse::IrregularWeight& w,
                                   numeric::Precision p,
                                   std::string_view name) {
+  gpusim::Device& dev = ctx.device();
   assert(x.cols() == w.cols());
   const std::size_t m = x.rows();
   const std::size_t n = w.rows();
@@ -150,8 +153,7 @@ tensor::MatrixF irregular_gemm_nt(gpusim::Device& dev,
           scratch[bit] = w.values()[v++];
         }
       }
-#pragma omp parallel for schedule(static)
-      for (std::size_t i = 0; i < m; ++i) {
+      ctx.pool().parallel_for(m, [&](std::size_t i) {
         for (std::size_t jj = 0; jj < kTileSide; ++jj) {
           float acc = y(i, tr * kTileSide + jj);
           for (std::size_t kk = 0; kk < kTileSide; ++kk) {
@@ -159,13 +161,29 @@ tensor::MatrixF irregular_gemm_nt(gpusim::Device& dev,
           }
           y(i, tr * kTileSide + jj) = acc;
         }
-      }
+      });
     }
   }
   if (p != Precision::kFp32) {
     for (auto& v : y.flat()) v = numeric::round_to_storage(p, v);
   }
   return y;
+}
+
+tensor::MatrixF bcsr_gemm_nt(gpusim::Device& dev, const tensor::MatrixF& x,
+                             const sparse::TilePrunedWeight& w,
+                             numeric::Precision p, std::string_view name) {
+  core::ExecContext ctx(dev);
+  return bcsr_gemm_nt(ctx, x, w, p, name);
+}
+
+tensor::MatrixF irregular_gemm_nt(gpusim::Device& dev,
+                                  const tensor::MatrixF& x,
+                                  const sparse::IrregularWeight& w,
+                                  numeric::Precision p,
+                                  std::string_view name) {
+  core::ExecContext ctx(dev);
+  return irregular_gemm_nt(ctx, x, w, p, name);
 }
 
 }  // namespace et::kernels

@@ -45,9 +45,10 @@ void rollback(TickSlot& slot) {
 /// only the owning slot (its caches rolled back, its row dropped); faults
 /// in shared kernels roll back every live slot and propagate to the
 /// caller, which degrades the tick to per-slot stepping.
-void fused_step(gpusim::Device& dev, const std::vector<EncoderWeights>& layers,
+void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layers,
                 const EncoderOptions& opt, std::vector<TickSlot*> live,
                 tensor::MatrixF rows) {
+  gpusim::Device& dev = ctx.device();
   const auto p = opt.attn.precision;
   const std::size_t d = opt.attn.d_model;
   const std::size_t sb = numeric::storage_bytes(p);
@@ -73,77 +74,87 @@ void fused_step(gpusim::Device& dev, const std::vector<EncoderWeights>& layers,
       const auto* dv = std::get_if<sparse::DenseWeight>(&w.attn.wv);
       if (dq != nullptr && dk != nullptr && dv != nullptr) {
         auto qkv = kernels::batched_gemm_nt(
-            dev, h, {&dq->matrix(), &dk->matrix(), &dv->matrix()}, p, nullptr,
+            ctx, h, {&dq->matrix(), &dk->matrix(), &dv->matrix()}, p, nullptr,
             "gen_qkv_batched");
         q = std::move(qkv[0]);
         k_new = std::move(qkv[1]);
         v_new = std::move(qkv[2]);
       } else {
-        q = kernels::linear(dev, h, w.attn.wq, lopt, "gen_q_linear").y;
-        k_new = kernels::linear(dev, h, w.attn.wk, lopt, "gen_k_linear").y;
-        v_new = kernels::linear(dev, h, w.attn.wv, lopt, "gen_v_linear").y;
+        q = kernels::linear(ctx, h, w.attn.wq, lopt, "gen_q_linear").y;
+        k_new = kernels::linear(ctx, h, w.attn.wk, lopt, "gen_k_linear").y;
+        v_new = kernels::linear(ctx, h, w.attn.wv, lopt, "gen_v_linear").y;
       }
 
       // Per slot: append this token's K/V row and attend over the slot's
       // own cache — a 1-row OTF instance per sequence, identical to
       // core::incremental_attention. Launches here carry the slot id, so
-      // a fault is attributable: only the owning slot retires.
+      // a fault is attributable: only the owning slot retires. Slots are
+      // independent (own cache, own output row, own dead flag), so this
+      // loop runs one slot per parallel chunk; slot-attributed launches
+      // land in per-chunk sinks that merge back in slot order, keeping
+      // the device log bit-identical to the serial tick. Faults the body
+      // handles (KernelFault, length_error) never escape a chunk; a
+      // SharedMemOverflow does, and surfaces after the merge exactly
+      // where the serial loop would have thrown it.
       tensor::MatrixF z(live.size(), d);
-      std::vector<bool> dead(live.size(), false);
-      bool any_dead = false;
-      for (std::size_t b = 0; b < live.size(); ++b) {
-        TickSlot& slot = *live[b];
-        core::KVCache& cache = (*slot.caches)[l];
-        gpusim::SlotScope scope(dev, static_cast<int>(slot.pool_slot));
-        try {
-          cache.append(k_new.row(b), v_new.row(b));
-          const std::size_t ctx = cache.used();
-          {
-            auto launch = dev.launch(
-                {.name = "incremental_otf_attention",
-                 .ctas = opt.attn.num_heads,
-                 .shared_bytes_per_cta =
-                     opt.attn.d_k() * numeric::accumulator_bytes(p) +
-                     ctx * numeric::accumulator_bytes(p),
-                 .pattern = gpusim::AccessPattern::kTiled});
-            launch.load_bytes(d * sb);
-            launch.load_bytes(2ull * ctx * d * sb);
-            launch.store_bytes(d * sb);
-            const std::uint64_t flops = 2ull * ctx * d * 2;
-            if (p == numeric::Precision::kFp32) {
-              launch.fp_ops(flops + 5ull * ctx * opt.attn.num_heads);
-            } else {
-              launch.tensor_ops(flops);
-              launch.fp_ops(5ull * ctx * opt.attn.num_heads);
+      std::vector<char> dead(live.size(), 0);  // char: written concurrently
+      ctx.parallel_for(
+          live.size(),
+          [&](std::size_t b) {
+            TickSlot& slot = *live[b];
+            core::KVCache& cache = (*slot.caches)[l];
+            gpusim::SlotScope scope(dev, static_cast<int>(slot.pool_slot));
+            try {
+              cache.append(k_new.row(b), v_new.row(b));
+              const std::size_t ctx_len = cache.used();
+              {
+                auto launch = dev.launch(
+                    {.name = "incremental_otf_attention",
+                     .ctas = opt.attn.num_heads,
+                     .shared_bytes_per_cta =
+                         opt.attn.d_k() * numeric::accumulator_bytes(p) +
+                         ctx_len * numeric::accumulator_bytes(p),
+                     .pattern = gpusim::AccessPattern::kTiled});
+                launch.load_bytes(d * sb);
+                launch.load_bytes(2ull * ctx_len * d * sb);
+                launch.store_bytes(d * sb);
+                const std::uint64_t flops = 2ull * ctx_len * d * 2;
+                if (p == numeric::Precision::kFp32) {
+                  launch.fp_ops(flops + 5ull * ctx_len * opt.attn.num_heads);
+                } else {
+                  launch.tensor_ops(flops);
+                  launch.fp_ops(5ull * ctx_len * opt.attn.num_heads);
+                }
+              }
+              if (!dev.traffic_only()) {
+                core::AttentionConfig step_cfg = opt.attn;
+                step_cfg.seq_len = 1;
+                step_cfg.causal_mask = false;
+                const tensor::MatrixF zb = core::detail::attention_math(
+                    tensor::slice_rows(q, b, 1), cache.k_prefix(),
+                    cache.v_prefix(), nullptr, nullptr, step_cfg);
+                for (std::size_t c = 0; c < d; ++c) z(b, c) = zb(0, c);
+              }
+            } catch (const gpusim::KernelFault& f) {
+              rollback(slot);
+              slot.state = TickSlot::State::kKernelFault;
+              slot.fault_kernel = f.kernel();
+              dev.note_fallback({"batched_decode", "retire_slot", f.kernel(),
+                                 std::string(to_string(f.cause())),
+                                 static_cast<int>(slot.pool_slot)});
+              dead[b] = 1;
+            } catch (const std::length_error&) {
+              // A cache filled behind the tick's capacity pre-check;
+              // degrade exactly like generate()'s defensive
+              // kv_cache_full stop.
+              rollback(slot);
+              slot.state = TickSlot::State::kKvCacheFull;
+              dead[b] = 1;
             }
-          }
-          if (!dev.traffic_only()) {
-            core::AttentionConfig step_cfg = opt.attn;
-            step_cfg.seq_len = 1;
-            step_cfg.causal_mask = false;
-            const tensor::MatrixF zb = core::detail::attention_math(
-                tensor::slice_rows(q, b, 1), cache.k_prefix(),
-                cache.v_prefix(), nullptr, nullptr, step_cfg);
-            for (std::size_t c = 0; c < d; ++c) z(b, c) = zb(0, c);
-          }
-        } catch (const gpusim::KernelFault& f) {
-          rollback(slot);
-          slot.state = TickSlot::State::kKernelFault;
-          slot.fault_kernel = f.kernel();
-          dev.note_fallback({"batched_decode", "retire_slot", f.kernel(),
-                             std::string(to_string(f.cause())),
-                             static_cast<int>(slot.pool_slot)});
-          dead[b] = true;
-          any_dead = true;
-        } catch (const std::length_error&) {
-          // A cache filled behind the tick's capacity pre-check; degrade
-          // exactly like generate()'s defensive kv_cache_full stop.
-          rollback(slot);
-          slot.state = TickSlot::State::kKvCacheFull;
-          dead[b] = true;
-          any_dead = true;
-        }
-      }
+          },
+          /*grain=*/1);
+      bool any_dead = false;
+      for (const char flag : dead) any_dead = any_dead || flag != 0;
       if (any_dead) {
         std::vector<TickSlot*> survivors;
         std::vector<std::size_t> keep;
@@ -169,10 +180,10 @@ void fused_step(gpusim::Device& dev, const std::vector<EncoderWeights>& layers,
       // Shared: output projection, residual+LN and the MLP over the
       // stacked survivors — one launch each instead of one per sequence.
       tensor::MatrixF attn =
-          kernels::linear(dev, z, w.attn.wo, lopt, "gen_out_linear").y;
+          kernels::linear(ctx, z, w.attn.wo, lopt, "gen_out_linear").y;
       kernels::fused_residual_layernorm(dev, attn, h, w.ln1_gamma, w.ln1_beta,
                                         p, "gen_residual_layernorm1");
-      tensor::MatrixF m = kernels::linear(dev, attn, w.w_ff1, lopt,
+      tensor::MatrixF m = kernels::linear(ctx, attn, w.w_ff1, lopt,
                                           "gen_ff1").y;
       if (!dev.traffic_only()) {
         constexpr float kSqrt2OverPi = 0.7978845608028654f;
@@ -185,7 +196,7 @@ void fused_step(gpusim::Device& dev, const std::vector<EncoderWeights>& layers,
           }
         }
       }
-      tensor::MatrixF y = kernels::linear(dev, m, w.w_ff2, lopt, "gen_ff2").y;
+      tensor::MatrixF y = kernels::linear(ctx, m, w.w_ff2, lopt, "gen_ff2").y;
       if (!dev.traffic_only()) {
         for (std::size_t r = 0; r < y.rows(); ++r) {
           for (std::size_t c = 0; c < y.cols(); ++c) {
@@ -281,7 +292,8 @@ void BatchedGenerationScheduler::retire(std::size_t pool_slot,
   pool_.release(pool_slot);
 }
 
-void BatchedGenerationScheduler::tick(gpusim::Device& dev) {
+void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
+  gpusim::Device& dev = ctx.device();
   ++ticks_;
 
   // Admission: backfill every free slot from the FIFO queue.
@@ -329,7 +341,7 @@ void BatchedGenerationScheduler::tick(gpusim::Device& dev) {
     live.reserve(tick_slots.size());
     for (auto& ts : tick_slots) live.push_back(&ts);
     try {
-      fused_step(dev, *layers_, opt_, std::move(live), rows);
+      fused_step(ctx, *layers_, opt_, std::move(live), rows);
     } catch (const gpusim::KernelFault& f) {
       // Shared-kernel fault: the aborted batched attempt has no effect
       // (fused_step rolled every slot back). Degrade this tick to
@@ -349,7 +361,7 @@ void BatchedGenerationScheduler::tick(gpusim::Device& dev) {
       TickSlot& ts = tick_slots[i];
       if (ts.state != TickSlot::State::kRunning) continue;
       try {
-        fused_step(dev, *layers_, opt_, {&ts}, tensor::slice_rows(rows, i, 1));
+        fused_step(ctx, *layers_, opt_, {&ts}, tensor::slice_rows(rows, i, 1));
       } catch (const gpusim::KernelFault& f) {
         ts.state = TickSlot::State::kKernelFault;
         ts.fault_kernel = f.kernel();
@@ -390,9 +402,20 @@ void BatchedGenerationScheduler::tick(gpusim::Device& dev) {
 }
 
 std::vector<GenerationResult> BatchedGenerationScheduler::run(
-    gpusim::Device& dev) {
-  while (!idle()) tick(dev);
+    core::ExecContext& ctx) {
+  while (!idle()) tick(ctx);
   return results_;
+}
+
+void BatchedGenerationScheduler::tick(gpusim::Device& dev) {
+  core::ExecContext ctx(dev);
+  tick(ctx);
+}
+
+std::vector<GenerationResult> BatchedGenerationScheduler::run(
+    gpusim::Device& dev) {
+  core::ExecContext ctx(dev);
+  return run(ctx);
 }
 
 }  // namespace et::nn

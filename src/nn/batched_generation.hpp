@@ -62,11 +62,22 @@ class BatchedGenerationScheduler {
   std::size_t submit(GenerationRequest req);
 
   /// One decode tick: backfill free slots from the queue, step every
-  /// active sequence by one token, retire finished ones.
-  void tick(gpusim::Device& dev);
+  /// active sequence by one token, retire finished ones. The per-slot
+  /// attention segment of the tick runs in parallel across active slots
+  /// (one chunk per slot through ctx.parallel_for), bit-identical to the
+  /// serial tick at any thread count.
+  void tick(core::ExecContext& ctx);
 
   /// Drain: tick until every submitted request has a result. Returns all
   /// results so far, indexed by the id submit() returned.
+  std::vector<GenerationResult> run(core::ExecContext& ctx);
+
+  /// Transitional Device&-only entry points; each forwards through a
+  /// serial ExecContext. Migrate callers to the overloads above.
+  [[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+  void tick(gpusim::Device& dev);
+
+  [[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
   std::vector<GenerationResult> run(gpusim::Device& dev);
 
   [[nodiscard]] bool idle() const noexcept {

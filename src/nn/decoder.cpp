@@ -65,10 +65,12 @@ DecoderWeights make_dense_decoder_weights(const ModelConfig& cfg,
   return w;
 }
 
-tensor::MatrixF decoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
+tensor::MatrixF decoder_forward(core::ExecContext& ctx,
+                                const tensor::MatrixF& x,
                                 const tensor::MatrixF& memory,
                                 const DecoderWeights& w,
                                 const EncoderOptions& opt) {
+  gpusim::Device& dev = ctx.device();
   assert(x.rows() == opt.attn.seq_len && x.cols() == opt.attn.d_model);
   assert(memory.cols() == opt.attn.d_model);
   const Precision p = opt.attn.precision;
@@ -76,7 +78,7 @@ tensor::MatrixF decoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
   // --- masked self-attention (always causal in a decoder) ---
   core::AttentionConfig self_cfg = opt.attn;
   self_cfg.causal_mask = true;
-  tensor::MatrixF h = core::adaptive_attention(dev, x, w.self_attn, self_cfg,
+  tensor::MatrixF h = core::adaptive_attention(ctx, x, w.self_attn, self_cfg,
                                                opt.adaptive);
   kernels::fused_residual_layernorm(dev, h, x, w.ln1_gamma, w.ln1_beta, p,
                                     "dec_residual_layernorm1");
@@ -85,7 +87,7 @@ tensor::MatrixF decoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
   core::AttentionConfig cross_cfg = opt.attn;
   cross_cfg.causal_mask = false;
   tensor::MatrixF c =
-      core::otf_cross_attention(dev, h, memory, w.cross_attn, cross_cfg);
+      core::otf_cross_attention(ctx, h, memory, w.cross_attn, cross_cfg);
   kernels::fused_residual_layernorm(dev, c, h, w.ln2_gamma, w.ln2_beta, p,
                                     "dec_residual_layernorm2");
 
@@ -93,9 +95,9 @@ tensor::MatrixF decoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
   // as in the E.T./FasterTransformer encoder path) ---
   kernels::LinearOptions lopt;
   lopt.precision = p;
-  tensor::MatrixF m = kernels::linear(dev, c, w.w_ff1, lopt, "dec_ff1").y;
+  tensor::MatrixF m = kernels::linear(ctx, c, w.w_ff1, lopt, "dec_ff1").y;
   if (!dev.traffic_only()) apply_bias_gelu_host(m, w.b_ff1, p);
-  tensor::MatrixF y = kernels::linear(dev, m, w.w_ff2, lopt, "dec_ff2").y;
+  tensor::MatrixF y = kernels::linear(ctx, m, w.w_ff2, lopt, "dec_ff2").y;
   if (!dev.traffic_only()) {
     for (std::size_t r = 0; r < y.rows(); ++r) {
       for (std::size_t col = 0; col < y.cols(); ++col) {
@@ -108,16 +110,46 @@ tensor::MatrixF decoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
   return y;
 }
 
-tensor::MatrixF decoder_stack_forward(gpusim::Device& dev,
+tensor::MatrixF decoder_stack_forward(core::ExecContext& ctx,
                                       const tensor::MatrixF& x,
                                       const tensor::MatrixF& memory,
                                       const std::vector<DecoderWeights>& layers,
                                       const EncoderOptions& opt) {
   tensor::MatrixF h = x;
   for (const auto& layer : layers) {
-    h = decoder_forward(dev, h, memory, layer, opt);
+    h = decoder_forward(ctx, h, memory, layer, opt);
   }
   return h;
+}
+
+tensor::MatrixF seq2seq_forward(core::ExecContext& ctx,
+                                const tensor::MatrixF& source,
+                                const tensor::MatrixF& target,
+                                const std::vector<EncoderWeights>& encoder_layers,
+                                const std::vector<DecoderWeights>& decoder_layers,
+                                const EncoderOptions& encoder_opt,
+                                const EncoderOptions& decoder_opt) {
+  const tensor::MatrixF memory =
+      encoder_stack_forward(ctx, source, encoder_layers, encoder_opt);
+  return decoder_stack_forward(ctx, target, memory, decoder_layers,
+                               decoder_opt);
+}
+
+tensor::MatrixF decoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
+                                const tensor::MatrixF& memory,
+                                const DecoderWeights& w,
+                                const EncoderOptions& opt) {
+  core::ExecContext ctx(dev);
+  return decoder_forward(ctx, x, memory, w, opt);
+}
+
+tensor::MatrixF decoder_stack_forward(gpusim::Device& dev,
+                                      const tensor::MatrixF& x,
+                                      const tensor::MatrixF& memory,
+                                      const std::vector<DecoderWeights>& layers,
+                                      const EncoderOptions& opt) {
+  core::ExecContext ctx(dev);
+  return decoder_stack_forward(ctx, x, memory, layers, opt);
 }
 
 tensor::MatrixF seq2seq_forward(gpusim::Device& dev,
@@ -127,10 +159,9 @@ tensor::MatrixF seq2seq_forward(gpusim::Device& dev,
                                 const std::vector<DecoderWeights>& decoder_layers,
                                 const EncoderOptions& encoder_opt,
                                 const EncoderOptions& decoder_opt) {
-  const tensor::MatrixF memory =
-      encoder_stack_forward(dev, source, encoder_layers, encoder_opt);
-  return decoder_stack_forward(dev, target, memory, decoder_layers,
-                               decoder_opt);
+  core::ExecContext ctx(dev);
+  return seq2seq_forward(ctx, source, target, encoder_layers, decoder_layers,
+                         encoder_opt, decoder_opt);
 }
 
 tensor::MatrixF reference_decoder(const tensor::MatrixF& x,

@@ -28,19 +28,43 @@ struct DecoderWeights {
 /// LN(x + SelfAttn(x)) -> LN(· + CrossAttn(·, memory)) -> LN(· + MLP(·)).
 /// Self-attention is causal regardless of opt.attn.causal_mask (decoders
 /// are autoregressive); cross-attention is never masked.
-[[nodiscard]] tensor::MatrixF decoder_forward(gpusim::Device& dev,
+[[nodiscard]] tensor::MatrixF decoder_forward(core::ExecContext& ctx,
                                               const tensor::MatrixF& x,
                                               const tensor::MatrixF& memory,
                                               const DecoderWeights& w,
                                               const EncoderOptions& opt);
 
 [[nodiscard]] tensor::MatrixF decoder_stack_forward(
-    gpusim::Device& dev, const tensor::MatrixF& x,
+    core::ExecContext& ctx, const tensor::MatrixF& x,
     const tensor::MatrixF& memory, const std::vector<DecoderWeights>& layers,
     const EncoderOptions& opt);
 
 /// Full sequence-to-sequence forward: encoder stack over the source, then
 /// decoder stack over the target attending to the encoder output.
+[[nodiscard]] tensor::MatrixF seq2seq_forward(
+    core::ExecContext& ctx, const tensor::MatrixF& source,
+    const tensor::MatrixF& target,
+    const std::vector<EncoderWeights>& encoder_layers,
+    const std::vector<DecoderWeights>& decoder_layers,
+    const EncoderOptions& encoder_opt, const EncoderOptions& decoder_opt);
+
+// Transitional Device&-only entry points; each forwards through a serial
+// ExecContext. Migrate callers to the overloads above.
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF decoder_forward(gpusim::Device& dev,
+                                              const tensor::MatrixF& x,
+                                              const tensor::MatrixF& memory,
+                                              const DecoderWeights& w,
+                                              const EncoderOptions& opt);
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF decoder_stack_forward(
+    gpusim::Device& dev, const tensor::MatrixF& x,
+    const tensor::MatrixF& memory, const std::vector<DecoderWeights>& layers,
+    const EncoderOptions& opt);
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
 [[nodiscard]] tensor::MatrixF seq2seq_forward(
     gpusim::Device& dev, const tensor::MatrixF& source,
     const tensor::MatrixF& target,

@@ -37,13 +37,14 @@ void apply_bias_gelu(tensor::MatrixF& h, const std::vector<float>& bias,
 
 /// MLP + residual + layernorm with pipeline-dependent fusion. Returns the
 /// block output; `x` is the block input (residual source).
-tensor::MatrixF mlp_block(gpusim::Device& dev, const tensor::MatrixF& x,
+tensor::MatrixF mlp_block(core::ExecContext& ctx, const tensor::MatrixF& x,
                           const EncoderWeights& w, const EncoderOptions& opt) {
+  gpusim::Device& dev = ctx.device();
   const Precision p = opt.attn.precision;
   kernels::LinearOptions lopt;
   lopt.precision = p;
 
-  tensor::MatrixF h = kernels::linear(dev, x, w.w_ff1, lopt, "ff1").y;
+  tensor::MatrixF h = kernels::linear(ctx, x, w.w_ff1, lopt, "ff1").y;
   switch (opt.pipeline) {
     case Pipeline::kModular:
       // Separate bias and activation kernels.
@@ -73,7 +74,7 @@ tensor::MatrixF mlp_block(gpusim::Device& dev, const tensor::MatrixF& x,
       break;
   }
 
-  tensor::MatrixF y = kernels::linear(dev, h, w.w_ff2, lopt, "ff2").y;
+  tensor::MatrixF y = kernels::linear(ctx, h, w.w_ff2, lopt, "ff2").y;
   switch (opt.pipeline) {
     case Pipeline::kModular:
       kernels::add_bias(dev, y, w.b_ff2, p, "ff2_bias");
@@ -122,9 +123,11 @@ EncoderWeights make_dense_encoder_weights(const ModelConfig& cfg,
   return w;
 }
 
-tensor::MatrixF encoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
+tensor::MatrixF encoder_forward(core::ExecContext& ctx,
+                                const tensor::MatrixF& x,
                                 const EncoderWeights& w,
                                 const EncoderOptions& opt) {
+  gpusim::Device& dev = ctx.device();
   assert(x.rows() == opt.attn.seq_len && x.cols() == opt.attn.d_model);
   const Precision p = opt.attn.precision;
 
@@ -132,18 +135,18 @@ tensor::MatrixF encoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
   tensor::MatrixF attn_out;
   switch (opt.pipeline) {
     case Pipeline::kModular:
-      attn_out = core::modular_attention(dev, x, w.attn, opt.attn);
+      attn_out = core::modular_attention(ctx, x, w.attn, opt.attn);
       break;
     case Pipeline::kTensorRT:
-      attn_out = core::fused_attention(dev, x, w.attn, opt.attn,
+      attn_out = core::fused_attention(ctx, x, w.attn, opt.attn,
                                        /*aggressive_fusion=*/false);
       break;
     case Pipeline::kFasterTransformer:
-      attn_out = core::fused_attention(dev, x, w.attn, opt.attn,
+      attn_out = core::fused_attention(ctx, x, w.attn, opt.attn,
                                        /*aggressive_fusion=*/true);
       break;
     case Pipeline::kET:
-      attn_out = core::adaptive_attention(dev, x, w.attn, opt.attn,
+      attn_out = core::adaptive_attention(ctx, x, w.attn, opt.attn,
                                           opt.adaptive);
       break;
   }
@@ -161,7 +164,7 @@ tensor::MatrixF encoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
   }
 
   // --- MLP ---
-  tensor::MatrixF mlp_out = mlp_block(dev, attn_out, w, opt);
+  tensor::MatrixF mlp_out = mlp_block(ctx, attn_out, w, opt);
 
   // --- residual + layernorm 2 ---
   if (fuse_res_ln) {
@@ -175,20 +178,21 @@ tensor::MatrixF encoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
   return mlp_out;
 }
 
-tensor::MatrixF encoder_stack_forward(gpusim::Device& dev,
+tensor::MatrixF encoder_stack_forward(core::ExecContext& ctx,
                                       const tensor::MatrixF& x,
                                       const std::vector<EncoderWeights>& layers,
                                       const EncoderOptions& opt) {
   tensor::MatrixF h = x;
   for (const auto& layer : layers) {
-    h = encoder_forward(dev, h, layer, opt);
+    h = encoder_forward(ctx, h, layer, opt);
   }
   return h;
 }
 
 std::vector<tensor::MatrixF> batched_encoder_forward(
-    gpusim::Device& dev, const std::vector<tensor::MatrixF>& batch,
+    core::ExecContext& ctx, const std::vector<tensor::MatrixF>& batch,
     const EncoderWeights& w, const EncoderOptions& opt) {
+  gpusim::Device& dev = ctx.device();
   const Precision p = opt.attn.precision;
   std::size_t total_rows = 0;
   for (const auto& x : batch) {
@@ -205,7 +209,7 @@ std::vector<tensor::MatrixF> batched_encoder_forward(
     core::AttentionConfig cfg = opt.attn;
     cfg.seq_len = x.rows();
     const tensor::MatrixF a =
-        core::adaptive_attention(dev, x, w.attn, cfg, opt.adaptive);
+        core::adaptive_attention(ctx, x, w.attn, cfg, opt.adaptive);
     for (std::size_t r = 0; r < x.rows(); ++r) {
       for (std::size_t c = 0; c < x.cols(); ++c) {
         stacked(row0 + r, c) = a(r, c);
@@ -220,16 +224,14 @@ std::vector<tensor::MatrixF> batched_encoder_forward(
   kernels::fused_residual_layernorm(dev, stacked, residual_src, w.ln1_gamma,
                                     w.ln1_beta, p,
                                     "batched_residual_layernorm1");
-  EncoderOptions stacked_opt = opt;
-  stacked_opt.attn.seq_len = total_rows;
   tensor::MatrixF mlp_out = [&] {
     kernels::LinearOptions lopt;
     lopt.precision = p;
     tensor::MatrixF h =
-        kernels::linear(dev, stacked, w.w_ff1, lopt, "batched_ff1").y;
+        kernels::linear(ctx, stacked, w.w_ff1, lopt, "batched_ff1").y;
     if (!dev.traffic_only()) apply_bias_gelu(h, w.b_ff1, p);
     tensor::MatrixF y =
-        kernels::linear(dev, h, w.w_ff2, lopt, "batched_ff2").y;
+        kernels::linear(ctx, h, w.w_ff2, lopt, "batched_ff2").y;
     if (!dev.traffic_only()) {
       for (std::size_t r = 0; r < y.rows(); ++r) {
         for (std::size_t c = 0; c < y.cols(); ++c) {
@@ -288,6 +290,28 @@ EncoderOptions options_for(Pipeline pipeline, const ModelConfig& model,
       break;
   }
   return opt;
+}
+
+tensor::MatrixF encoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
+                                const EncoderWeights& w,
+                                const EncoderOptions& opt) {
+  core::ExecContext ctx(dev);
+  return encoder_forward(ctx, x, w, opt);
+}
+
+tensor::MatrixF encoder_stack_forward(gpusim::Device& dev,
+                                      const tensor::MatrixF& x,
+                                      const std::vector<EncoderWeights>& layers,
+                                      const EncoderOptions& opt) {
+  core::ExecContext ctx(dev);
+  return encoder_stack_forward(ctx, x, layers, opt);
+}
+
+std::vector<tensor::MatrixF> batched_encoder_forward(
+    gpusim::Device& dev, const std::vector<tensor::MatrixF>& batch,
+    const EncoderWeights& w, const EncoderOptions& opt) {
+  core::ExecContext ctx(dev);
+  return batched_encoder_forward(ctx, batch, w, opt);
 }
 
 }  // namespace et::nn

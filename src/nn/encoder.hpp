@@ -16,6 +16,7 @@
 
 #include "core/adaptive.hpp"
 #include "core/attention.hpp"
+#include "core/exec_context.hpp"
 #include "core/weights.hpp"
 #include "gpusim/device.hpp"
 #include "nn/model_config.hpp"
@@ -56,14 +57,14 @@ struct EncoderOptions {
     const ModelConfig& cfg, std::uint64_t seed);
 
 /// Forward one encoder layer: LN(x + Attn(x)) -> LN(y + MLP(y)).
-[[nodiscard]] tensor::MatrixF encoder_forward(gpusim::Device& dev,
+[[nodiscard]] tensor::MatrixF encoder_forward(core::ExecContext& ctx,
                                               const tensor::MatrixF& x,
                                               const EncoderWeights& w,
                                               const EncoderOptions& opt);
 
 /// Forward a stack of identical-shape layers.
 [[nodiscard]] tensor::MatrixF encoder_stack_forward(
-    gpusim::Device& dev, const tensor::MatrixF& x,
+    core::ExecContext& ctx, const tensor::MatrixF& x,
     const std::vector<EncoderWeights>& layers, const EncoderOptions& opt);
 
 /// TurboTransformer-style batched inference (§6 discussion): sequences of
@@ -74,7 +75,7 @@ struct EncoderOptions {
 /// trade E.T.'s latency-focused design can serve as a backend for.
 /// opt.attn.seq_len is ignored; each sample uses its own length.
 [[nodiscard]] std::vector<tensor::MatrixF> batched_encoder_forward(
-    gpusim::Device& dev, const std::vector<tensor::MatrixF>& batch,
+    core::ExecContext& ctx, const std::vector<tensor::MatrixF>& batch,
     const EncoderWeights& w, const EncoderOptions& opt);
 
 /// Build the EncoderOptions a given pipeline conventionally runs with
@@ -83,5 +84,24 @@ struct EncoderOptions {
                                          const ModelConfig& model,
                                          std::size_t seq_len,
                                          bool causal_mask = false);
+
+// Transitional Device&-only entry points; each forwards through a serial
+// ExecContext. Migrate callers to the overloads above.
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF encoder_forward(gpusim::Device& dev,
+                                              const tensor::MatrixF& x,
+                                              const EncoderWeights& w,
+                                              const EncoderOptions& opt);
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] tensor::MatrixF encoder_stack_forward(
+    gpusim::Device& dev, const tensor::MatrixF& x,
+    const std::vector<EncoderWeights>& layers, const EncoderOptions& opt);
+
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+[[nodiscard]] std::vector<tensor::MatrixF> batched_encoder_forward(
+    gpusim::Device& dev, const std::vector<tensor::MatrixF>& batch,
+    const EncoderWeights& w, const EncoderOptions& opt);
 
 }  // namespace et::nn

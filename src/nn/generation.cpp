@@ -19,7 +19,7 @@ GenerationSession::GenerationSession(const std::vector<EncoderWeights>* layers,
   }
 }
 
-tensor::MatrixF GenerationSession::step(gpusim::Device& dev,
+tensor::MatrixF GenerationSession::step(core::ExecContext& ctx,
                                         const tensor::MatrixF& x_row) {
   assert(x_row.rows() == 1 && x_row.cols() == opt_.attn.d_model);
   const auto p = opt_.attn.precision;
@@ -32,27 +32,28 @@ tensor::MatrixF GenerationSession::step(gpusim::Device& dev,
     for (auto& cache : caches_) cache.truncate(pre_step);
   };
   try {
-    return step_layers(dev, x_row, p);
+    return step_layers(ctx, x_row, p);
   } catch (...) {
     rollback();
     throw;
   }
 }
 
-tensor::MatrixF GenerationSession::step_layers(gpusim::Device& dev,
+tensor::MatrixF GenerationSession::step_layers(core::ExecContext& ctx,
                                                const tensor::MatrixF& x_row,
                                                numeric::Precision p) {
+  gpusim::Device& dev = ctx.device();
   tensor::MatrixF h = x_row;
   for (std::size_t l = 0; l < layers_->size(); ++l) {
     const EncoderWeights& w = (*layers_)[l];
     tensor::MatrixF attn =
-        core::incremental_attention(dev, h, w.attn, opt_.attn, caches_[l]);
+        core::incremental_attention(ctx, h, w.attn, opt_.attn, caches_[l]);
     kernels::fused_residual_layernorm(dev, attn, h, w.ln1_gamma, w.ln1_beta,
                                       p, "gen_residual_layernorm1");
 
     kernels::LinearOptions lopt;
     lopt.precision = p;
-    tensor::MatrixF m = kernels::linear(dev, attn, w.w_ff1, lopt,
+    tensor::MatrixF m = kernels::linear(ctx, attn, w.w_ff1, lopt,
                                         "gen_ff1").y;
     if (!dev.traffic_only()) {
       constexpr float kSqrt2OverPi = 0.7978845608028654f;
@@ -63,7 +64,7 @@ tensor::MatrixF GenerationSession::step_layers(gpusim::Device& dev,
             p, 0.5f * v * (1.0f + std::tanh(inner)));
       }
     }
-    tensor::MatrixF y = kernels::linear(dev, m, w.w_ff2, lopt, "gen_ff2").y;
+    tensor::MatrixF y = kernels::linear(ctx, m, w.w_ff2, lopt, "gen_ff2").y;
     if (!dev.traffic_only()) {
       for (std::size_t c = 0; c < y.cols(); ++c) {
         y(0, c) = numeric::round_to_storage(p, y(0, c) + w.b_ff2[c]);
@@ -76,22 +77,34 @@ tensor::MatrixF GenerationSession::step_layers(gpusim::Device& dev,
   return h;
 }
 
-tensor::MatrixF GenerationSession::prime(gpusim::Device& dev,
+tensor::MatrixF GenerationSession::prime(core::ExecContext& ctx,
                                          const tensor::MatrixF& prompt) {
   tensor::MatrixF last;
   for (std::size_t t = 0; t < prompt.rows(); ++t) {
     tensor::MatrixF row(1, prompt.cols());
     for (std::size_t c = 0; c < prompt.cols(); ++c) row(0, c) = prompt(t, c);
-    last = step(dev, row);
+    last = step(ctx, row);
   }
   return last;
+}
+
+tensor::MatrixF GenerationSession::step(gpusim::Device& dev,
+                                        const tensor::MatrixF& x_row) {
+  core::ExecContext ctx(dev);
+  return step(ctx, x_row);
+}
+
+tensor::MatrixF GenerationSession::prime(gpusim::Device& dev,
+                                         const tensor::MatrixF& prompt) {
+  core::ExecContext ctx(dev);
+  return prime(ctx, prompt);
 }
 
 void GenerationSession::reset() {
   for (auto& cache : caches_) cache.reset();
 }
 
-GenerationResult generate(gpusim::Device& dev, GenerationSession& session,
+GenerationResult generate(core::ExecContext& ctx, GenerationSession& session,
                           std::int32_t first_token,
                           std::size_t max_new_tokens, const EmbedFn& embed,
                           const SelectFn& select, std::int32_t eos_token) {
@@ -104,7 +117,7 @@ GenerationResult generate(gpusim::Device& dev, GenerationSession& session,
     }
     tensor::MatrixF h;
     try {
-      h = session.step(dev, embed(token, session.context_length()));
+      h = session.step(ctx, embed(token, session.context_length()));
     } catch (const gpusim::KernelFault& f) {
       result.stop_reason = StopReason::kKernelFault;
       result.fault_kernel = f.kernel();
@@ -125,6 +138,15 @@ GenerationResult generate(gpusim::Device& dev, GenerationSession& session,
   }
   result.stop_reason = StopReason::kMaxTokens;
   return result;
+}
+
+GenerationResult generate(gpusim::Device& dev, GenerationSession& session,
+                          std::int32_t first_token,
+                          std::size_t max_new_tokens, const EmbedFn& embed,
+                          const SelectFn& select, std::int32_t eos_token) {
+  core::ExecContext ctx(dev);
+  return generate(ctx, session, first_token, max_new_tokens, embed, select,
+                  eos_token);
 }
 
 }  // namespace et::nn

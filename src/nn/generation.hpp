@@ -25,11 +25,21 @@ class GenerationSession {
   /// if a kernel fails partway through the layer stack, every per-layer
   /// KV cache is rolled back to its pre-step length before the exception
   /// propagates, so the session stays consistent and resumable.
-  [[nodiscard]] tensor::MatrixF step(gpusim::Device& dev,
+  [[nodiscard]] tensor::MatrixF step(core::ExecContext& ctx,
                                      const tensor::MatrixF& x_row);
 
   /// Feed a whole prompt (rows = tokens); returns the final position's
   /// hidden state.
+  [[nodiscard]] tensor::MatrixF prime(core::ExecContext& ctx,
+                                      const tensor::MatrixF& prompt);
+
+  /// Transitional Device&-only entry points; each forwards through a
+  /// serial ExecContext. Migrate callers to the overloads above.
+  [[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
+  [[nodiscard]] tensor::MatrixF step(gpusim::Device& dev,
+                                     const tensor::MatrixF& x_row);
+
+  [[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
   [[nodiscard]] tensor::MatrixF prime(gpusim::Device& dev,
                                       const tensor::MatrixF& prompt);
 
@@ -44,7 +54,7 @@ class GenerationSession {
   void reset();
 
  private:
-  [[nodiscard]] tensor::MatrixF step_layers(gpusim::Device& dev,
+  [[nodiscard]] tensor::MatrixF step_layers(core::ExecContext& ctx,
                                             const tensor::MatrixF& x_row,
                                             numeric::Precision p);
 
@@ -102,6 +112,17 @@ using SelectFn = std::function<std::int32_t(const tensor::MatrixF& hidden)>;
 /// exceptions (e.g. a bad config) propagate. A non-negative `eos_token`
 /// additionally stops (reason kEos) once that token is emitted — the
 /// emission itself is kept in the result.
+[[nodiscard]] GenerationResult generate(core::ExecContext& ctx,
+                                        GenerationSession& session,
+                                        std::int32_t first_token,
+                                        std::size_t max_new_tokens,
+                                        const EmbedFn& embed,
+                                        const SelectFn& select,
+                                        std::int32_t eos_token = kNoEosToken);
+
+/// Transitional Device&-only entry point; forwards through a serial
+/// ExecContext. Migrate callers to the overload above.
+[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
 [[nodiscard]] GenerationResult generate(gpusim::Device& dev,
                                         GenerationSession& session,
                                         std::int32_t first_token,

@@ -86,7 +86,6 @@ tensor::MatrixF int8_linear(gpusim::Device& dev, const tensor::MatrixF& x,
   for (float v : x.flat()) amax = std::max(amax, std::abs(v));
   const float xscale = amax > 0.0f ? amax / 127.0f : 1.0f;
 
-#pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < m; ++i) {
     std::vector<std::int8_t> xq(k);
     for (std::size_t c = 0; c < k; ++c) {

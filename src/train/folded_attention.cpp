@@ -66,7 +66,6 @@ tensor::MatrixF FoldedMultiHeadAttention::forward(const tensor::MatrixF& x) {
 
   // M = X · W_VOᵀ (s × H·d).
   m_ = tensor::MatrixF(s, heads_ * d);
-#pragma omp parallel for schedule(static)
   for (std::size_t t = 0; t < s; ++t) {
     for (std::size_t j = 0; j < heads_ * d; ++j) {
       float acc = 0.0f;
@@ -158,7 +157,6 @@ tensor::MatrixF FoldedMultiHeadAttention::backward(const tensor::MatrixF& dy) {
 
   // dW_VO += dMᵀ·X ; dx += dM·W_VO (per row block).
   tensor::MatrixF dx(s, d);
-#pragma omp parallel for schedule(static)
   for (std::size_t j = 0; j < heads_ * d; ++j) {
     for (std::size_t i = 0; i < d; ++i) {
       float acc = 0.0f;

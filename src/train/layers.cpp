@@ -24,7 +24,6 @@ tensor::MatrixF Linear::forward(const tensor::MatrixF& x) {
   assert(x.cols() == weight.w.cols());
   x_ = x;
   tensor::MatrixF y(x.rows(), weight.w.rows());
-#pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < x.rows(); ++i) {
     for (std::size_t j = 0; j < weight.w.rows(); ++j) {
       float acc = bias[j];
@@ -50,7 +49,6 @@ tensor::MatrixF Linear::backward(const tensor::MatrixF& dy) {
     }
   }
   tensor::MatrixF dx(x_.rows(), x_.cols());
-#pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < dx.rows(); ++i) {
     for (std::size_t k = 0; k < dx.cols(); ++k) {
       float acc = 0.0f;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/exec_context.hpp"
 #include "nn/batched_generation.hpp"
 #include "nn/generation.hpp"
 
@@ -88,17 +89,22 @@ struct Outcome {
 };
 
 /// Sequential reference: one fresh GenerationSession + nn::generate per
-/// request, in submission order.
+/// request, in submission order. `threads` sizes the ExecContext pool;
+/// the default of 1 is the canonical serial reference, and any other
+/// value must reproduce it bit for bit (the ExecContext determinism
+/// contract — the threads axis of the differential sweep).
 inline std::vector<Outcome> run_sequential(
     gpusim::Device& dev, const std::vector<nn::EncoderWeights>& layers,
     const nn::EncoderOptions& opt, std::size_t max_context,
-    const std::vector<Request>& requests, std::int32_t vocab) {
+    const std::vector<Request>& requests, std::int32_t vocab,
+    std::size_t threads = 1) {
+  core::ExecContext ctx(dev, threads);
   std::vector<Outcome> outcomes(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& r = requests[i];
     nn::GenerationSession session(&layers, opt, max_context);
     outcomes[i].result = nn::generate(
-        dev, session, r.first_token, r.max_new_tokens,
+        ctx, session, r.first_token, r.max_new_tokens,
         make_embed(opt.attn.d_model, r.seed),
         make_select(vocab, &outcomes[i].hidden_hashes), r.eos_token);
   }
@@ -114,12 +120,15 @@ struct BatchedRun {
 
 /// Batched run: submit everything up front, drain the scheduler. The
 /// device is caller-provided so tests can arm its FaultInjector first.
+/// `threads` sizes the ExecContext pool the scheduler ticks run on; every
+/// thread count must produce the same transcript bit for bit.
 inline BatchedRun run_batched(gpusim::Device& dev,
                               const std::vector<nn::EncoderWeights>& layers,
                               const nn::EncoderOptions& opt,
                               std::size_t max_batch, std::size_t max_context,
                               const std::vector<Request>& requests,
-                              std::int32_t vocab) {
+                              std::int32_t vocab, std::size_t threads = 1) {
+  core::ExecContext ctx(dev, threads);
   BatchedRun run;
   run.outcomes.resize(requests.size());
   nn::BatchedGenerationScheduler sched(&layers, opt, max_batch, max_context);
@@ -134,7 +143,7 @@ inline BatchedRun run_batched(gpusim::Device& dev,
     const std::size_t id = sched.submit(std::move(req));
     EXPECT_EQ(id, i);
   }
-  const auto results = sched.run(dev);
+  const auto results = sched.run(ctx);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     run.outcomes[i].result = results[i];
   }

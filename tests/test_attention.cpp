@@ -42,11 +42,12 @@ TEST(Attention, AllImplementationsMatchReference) {
   const MatrixF ref = et::nn::reference_attention(x, w, cfg);
 
   Device dev;
-  const MatrixF modular = et::core::modular_attention(dev, x, w, cfg);
-  const MatrixF fused = et::core::fused_attention(dev, x, w, cfg);
-  const MatrixF ft = et::core::fused_attention(dev, x, w, cfg, true);
-  const MatrixF otf = et::core::otf_attention(dev, x, w, cfg);
-  const MatrixF partial = et::core::partial_otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF modular = et::core::modular_attention(ctx, x, w, cfg);
+  const MatrixF fused = et::core::fused_attention(ctx, x, w, cfg);
+  const MatrixF ft = et::core::fused_attention(ctx, x, w, cfg, true);
+  const MatrixF otf = et::core::otf_attention(ctx, x, w, cfg);
+  const MatrixF partial = et::core::partial_otf_attention(ctx, x, w, cfg);
 
   EXPECT_TRUE(allclose(modular, ref, 1e-4, 1e-3));
   EXPECT_TRUE(allclose(fused, ref, 1e-4, 1e-3));
@@ -62,7 +63,8 @@ TEST(Attention, BidirectionalMaskMatchesReference) {
   const MatrixF x = random_input(cfg);
   const MatrixF ref = et::nn::reference_attention(x, w, cfg);
   Device dev;
-  EXPECT_TRUE(allclose(et::core::otf_attention(dev, x, w, cfg), ref, 1e-4,
+  et::core::ExecContext ctx(dev);
+  EXPECT_TRUE(allclose(et::core::otf_attention(ctx, x, w, cfg), ref, 1e-4,
                        1e-3));
 }
 
@@ -73,13 +75,14 @@ TEST(Attention, PrecomputeIsExactIdentity) {
   auto w = et::core::make_dense_weights(cfg, 7);
   const MatrixF x = random_input(cfg);
   Device dev;
-  const MatrixF without = et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF without = et::core::otf_attention(ctx, x, w, cfg);
 
   const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
   const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
   w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
   ASSERT_TRUE(w.has_precomputed());
-  const MatrixF with = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF with = et::core::otf_attention(ctx, x, w, cfg);
 
   EXPECT_TRUE(allclose(with, without, 1e-3, 1e-3))
       << "max diff " << max_abs_diff(with, without);
@@ -101,11 +104,12 @@ TEST(Attention, PrecomputeWithRowPrunedWoMatchesMaskedBaseline) {
   et::sparse::apply_mask(wo_masked, wo_mask);
   masked.wo = et::sparse::DenseWeight(wo_masked);
   Device dev;
-  const MatrixF ref = et::core::otf_attention(dev, x, masked, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF ref = et::core::otf_attention(ctx, x, masked, cfg);
 
   // Pre-computed path with only the kept rows folded in.
   w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads, wo_row.kept_rows());
-  const MatrixF pre = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF pre = et::core::otf_attention(ctx, x, w, cfg);
   EXPECT_TRUE(allclose(pre, ref, 1e-3, 1e-3))
       << "max diff " << max_abs_diff(pre, ref);
 }
@@ -115,13 +119,14 @@ TEST(Attention, PrecomputeSkipsOutputLinearKernel) {
   auto w = et::core::make_dense_weights(cfg, 9);
   const MatrixF x = random_input(cfg);
   Device dev;
-  (void)et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  (void)et::core::otf_attention(ctx, x, w, cfg);
   EXPECT_GT(dev.time_us_matching("out_linear"), 0.0);
   dev.reset();
   const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
   const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
   w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
-  (void)et::core::otf_attention(dev, x, w, cfg);
+  (void)et::core::otf_attention(ctx, x, w, cfg);
   EXPECT_EQ(dev.time_us_matching("out_linear"), 0.0);
   EXPECT_GT(dev.time_us_matching("vo_linear"), 0.0);
 }
@@ -151,8 +156,9 @@ TEST(Attention, CondensedVMatchesScatteredV) {
   padded.wv = et::sparse::DenseWeight(wv_masked);
 
   Device dev;
-  const MatrixF a = et::core::otf_attention(dev, x, pruned, cfg);
-  const MatrixF b = et::core::otf_attention(dev, x, padded, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF a = et::core::otf_attention(ctx, x, pruned, cfg);
+  const MatrixF b = et::core::otf_attention(ctx, x, padded, cfg);
   EXPECT_TRUE(allclose(a, b, 1e-4, 1e-3)) << max_abs_diff(a, b);
 }
 
@@ -167,7 +173,8 @@ TEST(Attention, UnbalancedRowPrunedVIsNotCondensable) {
   // Still numerically correct via the scatter path.
   const MatrixF x = random_input(cfg);
   Device dev;
-  const MatrixF out = et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF out = et::core::otf_attention(ctx, x, w, cfg);
   EXPECT_EQ(out.rows(), cfg.seq_len);
 }
 
@@ -176,10 +183,11 @@ TEST(Attention, ScaleReorderIsExactInFp32) {
   const auto w = et::core::make_dense_weights(cfg, 12);
   const MatrixF x = random_input(cfg);
   Device dev;
+  et::core::ExecContext ctx(dev);
   cfg.scale_before_multiply = true;
-  const MatrixF before = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF before = et::core::otf_attention(ctx, x, w, cfg);
   cfg.scale_before_multiply = false;
-  const MatrixF after = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF after = et::core::otf_attention(ctx, x, w, cfg);
   EXPECT_TRUE(allclose(before, after, 1e-5, 1e-5));
 }
 
@@ -205,15 +213,16 @@ TEST(Attention, PureFp16OverflowsWithoutReorderOnly) {
   et::tensor::fill_normal(x, 14, 0.0f, 4.0f);
 
   Device dev;
+  et::core::ExecContext ctx(dev);
   cfg.scale_before_multiply = false;
   et::numeric::reset_overflow_count();
-  (void)et::core::otf_attention(dev, x, w, cfg);
+  (void)et::core::otf_attention(ctx, x, w, cfg);
   const auto overflows_after = et::numeric::overflow_count();
   EXPECT_GT(overflows_after, 0u) << "unreordered pure FP16 must overflow";
 
   cfg.scale_before_multiply = true;
   et::numeric::reset_overflow_count();
-  (void)et::core::otf_attention(dev, x, w, cfg);
+  (void)et::core::otf_attention(ctx, x, w, cfg);
   EXPECT_EQ(et::numeric::overflow_count(), 0u)
       << "the §3.3 reorder keeps everything in range";
 }
@@ -237,6 +246,7 @@ TEST(Attention, SharedBytesFollowEq6) {
 
 TEST(Adaptive, ThresholdDispatch) {
   Device dev;
+  et::core::ExecContext ctx(dev);
   auto cfg = small_cfg();
   const auto w = et::core::make_dense_weights(cfg, 15);
   const MatrixF x = random_input(cfg);
@@ -253,6 +263,7 @@ TEST(Adaptive, SharedMemoryCapacityForcesPartial) {
   et::gpusim::DeviceSpec spec;
   spec.shared_mem_per_cta_bytes = 1024;
   Device dev(spec);
+  et::core::ExecContext ctx(dev);
   auto cfg = small_cfg();
   cfg.seq_len = 64;
   const auto w = et::core::make_dense_weights(cfg, 16);
@@ -263,6 +274,7 @@ TEST(Adaptive, SharedMemoryCapacityForcesPartial) {
 
 TEST(Adaptive, AutoTuneAgreesWithThresholdAtExtremes) {
   Device dev;
+  et::core::ExecContext ctx(dev);
   AttentionConfig cfg;
   cfg.d_model = 768;
   cfg.num_heads = 12;
@@ -294,10 +306,11 @@ TEST(Attention, OtfStoresLessLoadsMore) {
   MatrixF x(cfg.seq_len, cfg.d_model);
 
   Device trt, otf;
+  et::core::ExecContext trt_ctx(trt), otf_ctx(otf);
   trt.set_traffic_only(true);
   otf.set_traffic_only(true);
-  (void)et::core::fused_attention(trt, x, w, cfg);
-  (void)et::core::otf_attention(otf, x, w, cfg);
+  (void)et::core::fused_attention(trt_ctx, x, w, cfg);
+  (void)et::core::otf_attention(otf_ctx, x, w, cfg);
 
   // Compare the attention region only (steps ②–⑥) — both pipelines share
   // the projection and output GEMMs.

@@ -24,15 +24,16 @@ using et::tensor::MatrixF;
 
 MatrixF run_impl(AttentionImpl impl, Device& dev, const MatrixF& x,
                  const AttentionWeights& w, const AttentionConfig& cfg) {
+  et::core::ExecContext ctx(dev);
   switch (impl) {
     case AttentionImpl::kModular:
-      return et::core::modular_attention(dev, x, w, cfg);
+      return et::core::modular_attention(ctx, x, w, cfg);
     case AttentionImpl::kFused:
-      return et::core::fused_attention(dev, x, w, cfg);
+      return et::core::fused_attention(ctx, x, w, cfg);
     case AttentionImpl::kOtf:
-      return et::core::otf_attention(dev, x, w, cfg);
+      return et::core::otf_attention(ctx, x, w, cfg);
     case AttentionImpl::kPartialOtf:
-      return et::core::partial_otf_attention(dev, x, w, cfg);
+      return et::core::partial_otf_attention(ctx, x, w, cfg);
   }
   return {};
 }
@@ -57,6 +58,7 @@ TEST_P(ShapeSweep, MatchesReference) {
   et::tensor::fill_normal(x, 50 + seq);
 
   Device dev;
+  et::core::ExecContext ctx(dev);
   const MatrixF out = run_impl(impl, dev, x, w, cfg);
   const MatrixF ref = et::nn::reference_attention(x, w, cfg);
   EXPECT_TRUE(allclose(out, ref, 1e-4, 1e-3))
@@ -116,8 +118,9 @@ TEST_P(PrunedWeightSweep, OtfMatchesMaskedDense) {
   masked.wq = et::sparse::DenseWeight(wq_masked);
 
   Device dev;
-  const MatrixF a = et::core::otf_attention(dev, x, pruned, cfg);
-  const MatrixF b = et::core::otf_attention(dev, x, masked, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF a = et::core::otf_attention(ctx, x, pruned, cfg);
+  const MatrixF b = et::core::otf_attention(ctx, x, masked, cfg);
   EXPECT_TRUE(allclose(a, b, 1e-4, 1e-4))
       << to_string(method) << " @ " << ratio;
 }
@@ -147,11 +150,12 @@ TEST_P(PrecisionSweep, CloseToFp32) {
   et::tensor::fill_normal(x, 71);
 
   Device dev;
+  et::core::ExecContext ctx(dev);
   cfg.precision = Precision::kFp32;
-  const MatrixF exact = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF exact = et::core::otf_attention(ctx, x, w, cfg);
   cfg.precision = p;
   cfg.scale_before_multiply = true;
-  const MatrixF approx = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF approx = et::core::otf_attention(ctx, x, w, cfg);
   // Attention outputs are O(0.1-1); binary16 keeps ~3 decimal digits.
   EXPECT_TRUE(allclose(approx, exact, 0.05, 0.05))
       << to_string(p) << " max diff " << max_abs_diff(approx, exact);
@@ -179,7 +183,8 @@ TEST_P(AdaptiveSweep, AdaptiveMatchesReference) {
   MatrixF x(seq, 32);
   et::tensor::fill_normal(x, 81);
   Device dev;
-  const MatrixF out = et::core::adaptive_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF out = et::core::adaptive_attention(ctx, x, w, cfg);
   const MatrixF ref = et::nn::reference_attention(x, w, cfg);
   EXPECT_TRUE(allclose(out, ref, 1e-4, 1e-3));
 }

@@ -308,8 +308,17 @@ TEST(BatchedGenerationApi, RejectsZeroMaxBatchAndPrecomputedVo) {
       std::get<et::sparse::DenseWeight>(pre.layers[0].attn.wo).matrix();
   pre.layers[0].attn.vo =
       et::core::precompute_vo(wv, wo, pre.opt.attn.num_heads);
-  EXPECT_THROW(et::nn::BatchedGenerationScheduler(&pre.layers, pre.opt, 2, 8),
-               std::invalid_argument);
+  // Regression: the pre-computed W_VO contract violation must surface at
+  // construction (not as a wrong transcript ticks later) with a message
+  // that names the unsupported feature and the path that rejects it.
+  try {
+    et::nn::BatchedGenerationScheduler sched(&pre.layers, pre.opt, 2, 8);
+    FAIL() << "pre-computed W_VO weights must be rejected at construction";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pre-computed W_VO"), std::string::npos) << what;
+    EXPECT_NE(what.find("cached decode path"), std::string::npos) << what;
+  }
 }
 
 TEST(BatchedGenerationApi, ZeroTokenRequestCompletesWithoutASlot) {
@@ -339,7 +348,8 @@ TEST(BatchedGenerationApi, ResultThrowsUntilTheRequestFinishes) {
   EXPECT_EQ(sched.pending(), 1u);
 
   et::gpusim::Device dev;
-  (void)sched.run(dev);
+  et::core::ExecContext ctx(dev);
+  (void)sched.run(ctx);
   EXPECT_TRUE(sched.finished(id));
   EXPECT_EQ(sched.result(id).tokens.size(), 2u);
 }
@@ -373,6 +383,7 @@ TEST(BatchedGeneration, ProfilerAttributesAttentionToSlots) {
       {1, 4, et::nn::kNoEosToken, 61}, {2, 4, et::nn::kNoEosToken, 62}};
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   (void)et::diff::run_batched(dev, m.layers, m.opt, 2, max_context, requests,
                               kVocab);
 

@@ -98,7 +98,8 @@ OtfPair run_both(std::size_t seq, std::size_t d, std::size_t heads) {
 
   OtfPair out;
   Device a, m;
-  out.analytic_out = et::core::otf_attention(a, x, w, cfg);
+  et::core::ExecContext a_ctx(a);
+  out.analytic_out = et::core::otf_attention(a_ctx, x, w, cfg);
   out.measured_out = et::core::otf_attention_measured(m, x, w, cfg);
   for (const auto& k : a.history()) {
     if (k.name == "otf_attention") out.analytic = k;

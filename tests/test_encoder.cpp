@@ -43,7 +43,8 @@ TEST(Encoder, AllPipelinesMatchReference) {
     // exercised separately.
     opt.attn.precision = et::numeric::Precision::kFp32;
     Device dev;
-    const MatrixF y = et::nn::encoder_forward(dev, x, w, opt);
+    et::core::ExecContext ctx(dev);
+    const MatrixF y = et::nn::encoder_forward(ctx, x, w, opt);
     const MatrixF ref = et::nn::reference_encoder(x, w, opt.attn);
     EXPECT_TRUE(allclose(y, ref, 1e-3, 1e-3))
         << to_string(pipeline) << " max diff " << max_abs_diff(y, ref);
@@ -61,9 +62,10 @@ TEST(Encoder, StackAppliesLayersInOrder) {
   opt.attn.precision = et::numeric::Precision::kFp32;
 
   Device dev;
-  const MatrixF stacked = et::nn::encoder_stack_forward(dev, x, layers, opt);
+  et::core::ExecContext ctx(dev);
+  const MatrixF stacked = et::nn::encoder_stack_forward(ctx, x, layers, opt);
   const MatrixF manual = et::nn::encoder_forward(
-      dev, et::nn::encoder_forward(dev, x, layers[0], opt), layers[1], opt);
+      ctx, et::nn::encoder_forward(ctx, x, layers[0], opt), layers[1], opt);
   EXPECT_TRUE(allclose(stacked, manual, 1e-6, 1e-6));
 }
 
@@ -77,8 +79,9 @@ TEST(Encoder, ModularHasMostKernelLaunches) {
                             Pipeline::kFasterTransformer, Pipeline::kET};
   for (int i = 0; i < 4; ++i) {
     Device dev;
+    et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
-    (void)et::nn::encoder_forward(dev, x, w,
+    (void)et::nn::encoder_forward(ctx, x, w,
                                   et::nn::options_for(pipes[i], model, 16));
     launches[i] = dev.launch_count();
   }
@@ -96,8 +99,9 @@ TEST(Encoder, LatencyOrderingMatchesFig7AtDense) {
 
   const auto run = [&](Pipeline p) {
     Device dev;
+    et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
-    (void)et::nn::encoder_forward(dev, x, w,
+    (void)et::nn::encoder_forward(ctx, x, w,
                                   et::nn::options_for(p, model, 128));
     return dev.total_time_us();
   };

@@ -134,7 +134,8 @@ TEST(CrossAttention, MatchesReference) {
   et::tensor::fill_normal(memory, 9);
 
   et::gpusim::Device dev;
-  const MatrixF out = et::core::otf_cross_attention(dev, x, memory, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF out = et::core::otf_cross_attention(ctx, x, memory, w, cfg);
   const MatrixF ref = et::nn::reference_cross_attention(x, memory, w, cfg);
   EXPECT_TRUE(allclose(out, ref, 1e-4, 1e-3))
       << "max diff " << max_abs_diff(out, ref);
@@ -151,8 +152,9 @@ TEST(CrossAttention, SelfMemoryEqualsSelfAttention) {
   MatrixF x(16, 32);
   et::tensor::fill_normal(x, 11);
   et::gpusim::Device dev;
-  const MatrixF cross = et::core::otf_cross_attention(dev, x, x, w, cfg);
-  const MatrixF self = et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF cross = et::core::otf_cross_attention(ctx, x, x, w, cfg);
+  const MatrixF self = et::core::otf_attention(ctx, x, w, cfg);
   EXPECT_TRUE(allclose(cross, self, 1e-5, 1e-5));
 }
 
@@ -169,12 +171,13 @@ TEST(CrossAttention, PrecomputePathWorks) {
   et::tensor::fill_normal(memory, 14);
 
   et::gpusim::Device dev;
-  const MatrixF without = et::core::otf_cross_attention(dev, x, memory, w,
+  et::core::ExecContext ctx(dev);
+  const MatrixF without = et::core::otf_cross_attention(ctx, x, memory, w,
                                                         cfg);
   const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
   const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
   w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
-  const MatrixF with_pre = et::core::otf_cross_attention(dev, x, memory, w,
+  const MatrixF with_pre = et::core::otf_cross_attention(ctx, x, memory, w,
                                                          cfg);
   EXPECT_TRUE(allclose(with_pre, without, 1e-3, 1e-3));
 }
@@ -191,7 +194,8 @@ TEST(Decoder, MatchesReference) {
   auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 10);
   opt.attn.precision = et::numeric::Precision::kFp32;
   et::gpusim::Device dev;
-  const MatrixF out = et::nn::decoder_forward(dev, x, memory, w, opt);
+  et::core::ExecContext ctx(dev);
+  const MatrixF out = et::nn::decoder_forward(ctx, x, memory, w, opt);
   const MatrixF ref = et::nn::reference_decoder(x, memory, w, opt.attn);
   EXPECT_TRUE(allclose(out, ref, 2e-3, 2e-3))
       << "max diff " << max_abs_diff(out, ref);
@@ -214,7 +218,8 @@ TEST(Decoder, Seq2SeqRunsAndCountsKernels) {
   dec_opt.attn.causal_mask = true;
 
   et::gpusim::Device dev;
-  const MatrixF out = et::nn::seq2seq_forward(dev, source, target, enc, dec,
+  et::core::ExecContext ctx(dev);
+  const MatrixF out = et::nn::seq2seq_forward(ctx, source, target, enc, dec,
                                               enc_opt, dec_opt);
   EXPECT_EQ(out.rows(), 8u);
   EXPECT_EQ(out.cols(), model.d_model);
@@ -236,7 +241,8 @@ TEST(Decoder, PrunedCrossAttentionWeights) {
   auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 8);
   opt.attn.precision = et::numeric::Precision::kFp32;
   et::gpusim::Device dev;
-  const MatrixF out = et::nn::decoder_forward(dev, x, memory, w, opt);
+  et::core::ExecContext ctx(dev);
+  const MatrixF out = et::nn::decoder_forward(ctx, x, memory, w, opt);
   EXPECT_GT(dev.time_us_matching("bcsr"), 0.0) << "tile kernel in use";
   for (float v : out.flat()) ASSERT_TRUE(std::isfinite(v));
 }
@@ -331,9 +337,10 @@ TEST(OtherHardware, A100FasterAndShiftsCrossover) {
   MatrixF x(64, model.d_model);
   const auto run = [&](const et::gpusim::DeviceSpec& spec) {
     et::gpusim::Device dev(spec);
+    et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
     (void)et::nn::encoder_forward(
-        dev, x, w, et::nn::options_for(et::nn::Pipeline::kET, model, 64));
+        ctx, x, w, et::nn::options_for(et::nn::Pipeline::kET, model, 64));
     return dev.total_time_us();
   };
   EXPECT_LT(run(et::gpusim::a100()), run(et::gpusim::v100s()));
@@ -367,10 +374,11 @@ TEST(Serialize, DecoderStackRoundTrip) {
   auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 6);
   opt.attn.precision = et::numeric::Precision::kFp32;
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   const MatrixF a =
-      et::nn::decoder_stack_forward(dev, x, memory, layers, opt);
+      et::nn::decoder_stack_forward(ctx, x, memory, layers, opt);
   const MatrixF b =
-      et::nn::decoder_stack_forward(dev, x, memory, loaded, opt);
+      et::nn::decoder_stack_forward(ctx, x, memory, loaded, opt);
   EXPECT_TRUE(et::tensor::allclose(a, b, 1e-6, 1e-6));
 }
 

@@ -31,6 +31,7 @@ et::gpusim::Launch make_launch(et::gpusim::Device& dev, const char* name,
 
 TEST(FaultInjector, NthLaunchFaultsExactlyOnce) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.fault_injector().arm_nth_launch(2);
   make_launch(dev, "k0").finish();
   make_launch(dev, "k1").finish();
@@ -51,6 +52,7 @@ TEST(FaultInjector, NthLaunchFaultsExactlyOnce) {
 
 TEST(FaultInjector, NamedKernelFaultWithBudget) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.fault_injector().arm_kernel("otf", /*max_faults=*/2);
   EXPECT_THROW((void)make_launch(dev, "otf_attention"), KernelFault);
   make_launch(dev, "bmm_qk").finish();  // non-matching name unaffected
@@ -62,6 +64,7 @@ TEST(FaultInjector, NamedKernelFaultWithBudget) {
 
 TEST(FaultInjector, AllocationThreshold) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.fault_injector().arm_alloc_above(1024);
   make_launch(dev, "small", 1024).finish();  // at the threshold: fine
   try {
@@ -75,6 +78,7 @@ TEST(FaultInjector, AllocationThreshold) {
 TEST(FaultInjector, RandomFractionIsSeededAndDeterministic) {
   const auto faulted_indices = [](std::uint64_t seed) {
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     dev.fault_injector().arm_random(0.3, seed);
     std::vector<std::size_t> out;
     for (std::size_t i = 0; i < 100; ++i) {
@@ -95,6 +99,7 @@ TEST(FaultInjector, RandomFractionIsSeededAndDeterministic) {
 
 TEST(FaultInjector, DisarmStopsFaulting) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.fault_injector().arm_kernel("k");
   EXPECT_TRUE(dev.fault_injector().armed());
   EXPECT_THROW((void)make_launch(dev, "k"), KernelFault);
@@ -106,6 +111,7 @@ TEST(FaultInjector, DisarmStopsFaulting) {
 
 TEST(SharedMemOverflow, CarriesKernelAndSizes) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   const std::size_t cap = dev.spec().shared_mem_per_cta_bytes;
   try {
     (void)make_launch(dev, "greedy", cap + 1);
@@ -138,11 +144,13 @@ TEST(AdaptiveFallback, OtfFaultFallsBackToPartialOtf) {
             AttentionImpl::kOtf);
 
   et::gpusim::Device clean;
-  const MatrixF want = et::core::partial_otf_attention(clean, x, w, cfg);
+  et::core::ExecContext clean_ctx(clean);
+  const MatrixF want = et::core::partial_otf_attention(clean_ctx, x, w, cfg);
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.fault_injector().arm_kernel("otf_attention");
-  const MatrixF got = et::core::adaptive_attention(dev, x, w, cfg);
+  const MatrixF got = et::core::adaptive_attention(ctx, x, w, cfg);
 
   ASSERT_EQ(got.rows(), want.rows());
   for (std::size_t i = 0; i < got.size(); ++i) {
@@ -164,13 +172,15 @@ TEST(AdaptiveFallback, FullChainDegradesToModularBitIdentical) {
   et::tensor::fill_normal(x, 14);
 
   et::gpusim::Device clean;
-  const MatrixF want = et::core::modular_attention(clean, x, w, cfg);
+  et::core::ExecContext clean_ctx(clean);
+  const MatrixF want = et::core::modular_attention(clean_ctx, x, w, cfg);
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.fault_injector().arm_kernel("otf_attention");
   dev.fault_injector().arm_kernel("partial_otf");
   dev.fault_injector().arm_kernel("trt_");
-  const MatrixF got = et::core::adaptive_attention(dev, x, w, cfg);
+  const MatrixF got = et::core::adaptive_attention(ctx, x, w, cfg);
 
   ASSERT_EQ(got.size(), want.size());
   for (std::size_t i = 0; i < got.size(); ++i) {
@@ -190,9 +200,10 @@ TEST(AdaptiveFallback, FaultInModularBaselinePropagates) {
   et::tensor::fill_normal(x, 16);
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   // Matches every kernel in every implementation: nothing can recover.
   dev.fault_injector().arm_kernel("");
-  EXPECT_THROW((void)et::core::adaptive_attention(dev, x, w, cfg),
+  EXPECT_THROW((void)et::core::adaptive_attention(ctx, x, w, cfg),
                KernelFault);
 }
 
@@ -203,8 +214,9 @@ TEST(AdaptiveFallback, ProfilerReportsFallbacks) {
   et::tensor::fill_normal(x, 18);
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.fault_injector().arm_kernel("otf_attention");
-  (void)et::core::adaptive_attention(dev, x, w, cfg);
+  (void)et::core::adaptive_attention(ctx, x, w, cfg);
 
   const auto report = et::gpusim::profile(dev);
   ASSERT_EQ(report.fallbacks.size(), 1u);
@@ -221,7 +233,8 @@ TEST(AdaptiveFallback, HealthyRunRecordsNoFallback) {
   et::tensor::fill_normal(x, 20);
 
   et::gpusim::Device dev;
-  (void)et::core::adaptive_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  (void)et::core::adaptive_attention(ctx, x, w, cfg);
   EXPECT_TRUE(dev.fallback_log().empty());
   EXPECT_EQ(dev.fault_injector().faults_injected(), 0u);
 }
@@ -236,37 +249,39 @@ TEST(AttentionConfigValidation, EveryOperatorRejectsBadHeadSplit) {
   AttentionConfig bad = good;
   bad.num_heads = 3;  // 32 % 3 != 0
   et::gpusim::Device dev;
-  EXPECT_THROW((void)et::core::modular_attention(dev, x, w, bad),
+  et::core::ExecContext ctx(dev);
+  EXPECT_THROW((void)et::core::modular_attention(ctx, x, w, bad),
                std::invalid_argument);
-  EXPECT_THROW((void)et::core::fused_attention(dev, x, w, bad),
+  EXPECT_THROW((void)et::core::fused_attention(ctx, x, w, bad),
                std::invalid_argument);
-  EXPECT_THROW((void)et::core::otf_attention(dev, x, w, bad),
+  EXPECT_THROW((void)et::core::otf_attention(ctx, x, w, bad),
                std::invalid_argument);
-  EXPECT_THROW((void)et::core::partial_otf_attention(dev, x, w, bad),
+  EXPECT_THROW((void)et::core::partial_otf_attention(ctx, x, w, bad),
                std::invalid_argument);
-  EXPECT_THROW((void)et::core::adaptive_attention(dev, x, w, bad),
+  EXPECT_THROW((void)et::core::adaptive_attention(ctx, x, w, bad),
                std::invalid_argument);
-  EXPECT_THROW((void)et::core::otf_cross_attention(dev, x, x, w, bad),
+  EXPECT_THROW((void)et::core::otf_cross_attention(ctx, x, x, w, bad),
                std::invalid_argument);
   et::core::KVCache cache(4, good.d_model);
   MatrixF row(1, good.d_model);
-  EXPECT_THROW((void)et::core::incremental_attention(dev, row, w, bad, cache),
+  EXPECT_THROW((void)et::core::incremental_attention(ctx, row, w, bad, cache),
                std::invalid_argument);
 }
 
 TEST(AttentionConfigValidation, RejectsZeroDimsAndBadValidLen) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   const AttentionConfig good = small_cfg();
   const auto w = et::core::make_dense_weights(good, 22);
   MatrixF x(good.seq_len, good.d_model);
 
   AttentionConfig zero = good;
   zero.num_heads = 0;
-  EXPECT_THROW((void)et::core::adaptive_attention(dev, x, w, zero),
+  EXPECT_THROW((void)et::core::adaptive_attention(ctx, x, w, zero),
                std::invalid_argument);
   AttentionConfig pad = good;
   pad.valid_len = good.seq_len + 1;
-  EXPECT_THROW((void)et::core::otf_attention(dev, x, w, pad),
+  EXPECT_THROW((void)et::core::otf_attention(ctx, x, w, pad),
                std::invalid_argument);
 }
 
@@ -310,8 +325,9 @@ et::nn::SelectFn test_select() {
 TEST(Generate, CompletesWithMaxTokens) {
   TinyStack s;
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   et::nn::GenerationSession session(&s.layers, s.opt, /*max_context=*/16);
-  const auto result = et::nn::generate(dev, session, 0, 5,
+  const auto result = et::nn::generate(ctx, session, 0, 5,
                                        test_embed(s.model.d_model),
                                        test_select());
   EXPECT_EQ(result.stop_reason, et::nn::StopReason::kMaxTokens);
@@ -321,8 +337,9 @@ TEST(Generate, CompletesWithMaxTokens) {
 TEST(Generate, StopsCleanlyWhenKvCacheFills) {
   TinyStack s;
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   et::nn::GenerationSession session(&s.layers, s.opt, /*max_context=*/3);
-  const auto result = et::nn::generate(dev, session, 0, 10,
+  const auto result = et::nn::generate(ctx, session, 0, 10,
                                        test_embed(s.model.d_model),
                                        test_select());
   EXPECT_EQ(result.stop_reason, et::nn::StopReason::kKvCacheFull);
@@ -336,8 +353,9 @@ TEST(Generate, CapacityOneCacheReturnsInsteadOfThrowing) {
   // token and a kv_cache_full stop, never a std::length_error.
   TinyStack s;
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   et::nn::GenerationSession session(&s.layers, s.opt, /*max_context=*/1);
-  const auto result = et::nn::generate(dev, session, 0, 10,
+  const auto result = et::nn::generate(ctx, session, 0, 10,
                                        test_embed(s.model.d_model),
                                        test_select());
   EXPECT_EQ(result.stop_reason, et::nn::StopReason::kKvCacheFull);
@@ -351,16 +369,18 @@ TEST(Generate, KernelFaultMidGenerationKeepsEarlierTokens) {
   std::size_t launches_per_step = 0;
   {
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     et::nn::GenerationSession session(&s.layers, s.opt, 16);
-    (void)session.step(dev, test_embed(s.model.d_model)(0, 0));
+    (void)session.step(ctx, test_embed(s.model.d_model)(0, 0));
     launches_per_step = dev.launch_count();
   }
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   et::nn::GenerationSession session(&s.layers, s.opt, 16);
   dev.fault_injector().arm_nth_launch(2 * launches_per_step +
                                       launches_per_step / 2);
-  const auto result = et::nn::generate(dev, session, 0, 10,
+  const auto result = et::nn::generate(ctx, session, 0, 10,
                                        test_embed(s.model.d_model),
                                        test_select());
   EXPECT_EQ(result.stop_reason, et::nn::StopReason::kKernelFault);
@@ -376,36 +396,39 @@ TEST(GenerationSession, StepIsAtomicUnderFaults) {
 
   // Reference: two clean steps.
   et::gpusim::Device ref_dev;
+  et::core::ExecContext ref_dev_ctx(ref_dev);
   et::nn::GenerationSession ref(&s.layers, s.opt, 8);
-  (void)ref.step(ref_dev, embed(0, 0));
-  const MatrixF want = ref.step(ref_dev, embed(1, 1));
+  (void)ref.step(ref_dev_ctx, embed(0, 0));
+  const MatrixF want = ref.step(ref_dev_ctx, embed(1, 1));
 
   // Launches one healthy step costs, to aim a fault inside layer 1.
   std::size_t launches_per_step = 0;
   {
     et::gpusim::Device probe;
+    et::core::ExecContext probe_ctx(probe);
     et::nn::GenerationSession scratch(&s.layers, s.opt, 8);
-    (void)scratch.step(probe, embed(0, 0));
+    (void)scratch.step(probe_ctx, embed(0, 0));
     launches_per_step = probe.launch_count();
   }
   const std::size_t per_layer = launches_per_step / s.layers.size();
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   et::nn::GenerationSession session(&s.layers, s.opt, 8);
-  (void)session.step(dev, embed(0, 0));
+  (void)session.step(ctx, embed(0, 0));
   ASSERT_EQ(session.context_length(), 1u);
 
   // Fault partway through layer 1 of the next step: layer 0 has already
   // appended its K/V row when the fault fires, so a missing rollback
   // would leave the caches at inconsistent lengths.
   dev.fault_injector().arm_nth_launch(per_layer + 1);
-  EXPECT_THROW((void)session.step(dev, embed(1, 1)), KernelFault);
+  EXPECT_THROW((void)session.step(ctx, embed(1, 1)), KernelFault);
   EXPECT_EQ(session.context_length(), 1u)
       << "failed step must roll back every layer's cache";
 
   // Retrying the same step now succeeds and matches the clean run bit for
   // bit — the failed attempt left no trace in the session.
-  const MatrixF got = session.step(dev, embed(1, 1));
+  const MatrixF got = session.step(ctx, embed(1, 1));
   ASSERT_EQ(got.size(), want.size());
   for (std::size_t i = 0; i < got.size(); ++i) {
     ASSERT_EQ(got.flat()[i], want.flat()[i]);

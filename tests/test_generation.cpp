@@ -120,12 +120,13 @@ TEST(IncrementalAttention, MatchesCausalAttentionPerPosition) {
   et::tensor::fill_normal(x, 2);
 
   et::gpusim::Device dev;
-  const MatrixF full = et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF full = et::core::otf_attention(ctx, x, w, cfg);
 
   et::core::KVCache cache(12, 32);
   for (std::size_t t = 0; t < 12; ++t) {
     const MatrixF step =
-        et::core::incremental_attention(dev, row_of(x, t), w, cfg, cache);
+        et::core::incremental_attention(ctx, row_of(x, t), w, cfg, cache);
     for (std::size_t c = 0; c < 32; ++c) {
       ASSERT_NEAR(step(0, c), full(t, c), 1e-4f)
           << "position " << t << " col " << c;
@@ -144,9 +145,10 @@ TEST(IncrementalAttention, RejectsPrecomputedWeights) {
   w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
   et::core::KVCache cache(4, 32);
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   MatrixF x(1, 32);
   EXPECT_THROW(
-      (void)et::core::incremental_attention(dev, x, w, cfg, cache),
+      (void)et::core::incremental_attention(ctx, x, w, cfg, cache),
       std::invalid_argument);
 }
 
@@ -164,11 +166,12 @@ TEST(GenerationSession, MatchesFullCausalForwardPerPosition) {
   opt.attn.precision = et::numeric::Precision::kFp32;
 
   et::gpusim::Device dev;
-  const MatrixF full = et::nn::encoder_stack_forward(dev, x, layers, opt);
+  et::core::ExecContext ctx(dev);
+  const MatrixF full = et::nn::encoder_stack_forward(ctx, x, layers, opt);
 
   et::nn::GenerationSession session(&layers, opt, /*max_context=*/16);
   for (std::size_t t = 0; t < x.rows(); ++t) {
-    const MatrixF h = session.step(dev, row_of(x, t));
+    const MatrixF h = session.step(ctx, row_of(x, t));
     for (std::size_t c = 0; c < x.cols(); ++c) {
       ASSERT_NEAR(h(0, c), full(t, c), 2e-3f)
           << "position " << t << " col " << c;
@@ -187,11 +190,12 @@ TEST(GenerationSession, PrimeEqualsSteps) {
   opt.attn.precision = et::numeric::Precision::kFp32;
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   et::nn::GenerationSession a(&layers, opt, 8), b(&layers, opt, 8);
-  const MatrixF via_prime = a.prime(dev, prompt);
+  const MatrixF via_prime = a.prime(ctx, prompt);
   MatrixF via_steps;
   for (std::size_t t = 0; t < prompt.rows(); ++t) {
-    via_steps = b.step(dev, row_of(prompt, t));
+    via_steps = b.step(ctx, row_of(prompt, t));
   }
   EXPECT_TRUE(allclose(via_prime, via_steps, 1e-6, 1e-6));
 }
@@ -210,8 +214,9 @@ TEST(GenerationSession, StepCostGrowsLinearlyWithContext) {
   double early = 0.0, late = 0.0;
   for (int t = 0; t < 400; ++t) {
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
-    (void)session.step(dev, row);
+    (void)session.step(ctx, row);
     const double us = dev.time_us_matching("incremental_otf_attention");
     if (t == 10) early = us;
     if (t == 390) late = us;
@@ -230,11 +235,12 @@ TEST(GenerationSession, WorksWithPrunedWeights) {
   opt.attn.precision = et::numeric::Precision::kFp32;
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   et::nn::GenerationSession session(&layers, opt, 8);
   MatrixF row(1, model.d_model);
   et::tensor::fill_normal(row, 23, 0.0f, 0.5f);
   for (int t = 0; t < 4; ++t) {
-    const MatrixF h = session.step(dev, row);
+    const MatrixF h = session.step(ctx, row);
     for (float v : h.flat()) ASSERT_TRUE(std::isfinite(v));
   }
   EXPECT_GT(dev.time_us_matching("bcsr"), 0.0);
@@ -255,16 +261,17 @@ TEST(Generate, StopsAtEosTokenAndKeepsTheEmission) {
   const auto select = [](const MatrixF&) { return std::int32_t{5}; };
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   et::nn::GenerationSession session(&layers, opt, 8);
   const auto r =
-      et::nn::generate(dev, session, 1, 6, embed, select, /*eos_token=*/5);
+      et::nn::generate(ctx, session, 1, 6, embed, select, /*eos_token=*/5);
   EXPECT_EQ(r.stop_reason, et::nn::StopReason::kEos);
   ASSERT_EQ(r.tokens.size(), 1u);
   EXPECT_EQ(r.tokens[0], 5);
 
   // A negative eos_token (the default) disables the check entirely.
   session.reset();
-  const auto full = et::nn::generate(dev, session, 1, 6, embed, select);
+  const auto full = et::nn::generate(ctx, session, 1, 6, embed, select);
   EXPECT_EQ(full.stop_reason, et::nn::StopReason::kMaxTokens);
   EXPECT_EQ(full.tokens.size(), 6u);
 }

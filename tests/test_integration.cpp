@@ -136,7 +136,8 @@ TEST(Integration, DeployedEncoderMatchesTrainForward) {
   opt.attn.causal_mask = true;
 
   et::gpusim::Device dev;
-  const MatrixF infer_out = et::nn::encoder_forward(dev, x, weights, opt);
+  et::core::ExecContext ctx(dev);
+  const MatrixF infer_out = et::nn::encoder_forward(ctx, x, weights, opt);
   EXPECT_TRUE(et::tensor::allclose(infer_out, train_out, 5e-3, 5e-3))
       << "max diff " << et::tensor::max_abs_diff(infer_out, train_out);
 }
@@ -163,9 +164,10 @@ TEST(Integration, AttentionAwareFasterThanTileFasterThanColumn) {
     opt.attn.precision = et::numeric::Precision::kPureFp16;
     opt.attn.causal_mask = false;
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
     MatrixF x(128, 768);
-    (void)et::nn::encoder_forward(dev, x, w, opt);
+    (void)et::nn::encoder_forward(ctx, x, w, opt);
     return dev.total_time_us();
   };
 
@@ -202,9 +204,10 @@ TEST(Integration, FullPipelineSweepStaysFinite) {
     opt.attn.num_heads = 12;
     opt.attn.precision = et::numeric::Precision::kPureFp16;
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
     MatrixF x(seq, 768);
-    (void)et::nn::encoder_stack_forward(dev, x, layers, opt);
+    (void)et::nn::encoder_stack_forward(ctx, x, layers, opt);
     EXPECT_GT(dev.total_time_us(), 0.0);
     EXPECT_TRUE(std::isfinite(dev.total_time_us()));
   }

@@ -28,7 +28,8 @@ TEST_P(GemmSizes, NtMatchesReference) {
   et::tensor::fill_normal(a, 1);
   et::tensor::fill_normal(b, 2);
   Device dev;
-  const MatrixF c = gemm_nt(dev, a, b);
+  et::core::ExecContext ctx(dev);
+  const MatrixF c = gemm_nt(ctx, a, b);
   const MatrixF ref = et::tensor::reference_gemm_nt(a, b);
   EXPECT_TRUE(allclose(c, ref, 1e-3, 1e-3))
       << "max diff " << max_abs_diff(c, ref);
@@ -41,7 +42,8 @@ TEST_P(GemmSizes, NnMatchesReference) {
   et::tensor::fill_normal(a, 3);
   et::tensor::fill_normal(b, 4);
   Device dev;
-  const MatrixF c = gemm_nn(dev, a, b);
+  et::core::ExecContext ctx(dev);
+  const MatrixF c = gemm_nn(ctx, a, b);
   const MatrixF ref = et::tensor::reference_gemm(a, b);
   EXPECT_TRUE(allclose(c, ref, 1e-3, 1e-3));
 }
@@ -57,8 +59,9 @@ TEST(Gemm, MixedPrecisionCloseToFp32) {
   et::tensor::fill_normal(a, 5);
   et::tensor::fill_normal(b, 6);
   Device dev;
-  const MatrixF fp32 = gemm_nt(dev, a, b, Precision::kFp32);
-  const MatrixF mixed = gemm_nt(dev, a, b, Precision::kMixed);
+  et::core::ExecContext ctx(dev);
+  const MatrixF fp32 = gemm_nt(ctx, a, b, Precision::kFp32);
+  const MatrixF mixed = gemm_nt(ctx, a, b, Precision::kMixed);
   EXPECT_TRUE(allclose(mixed, fp32, 0.05, 0.02))
       << "max diff " << max_abs_diff(mixed, fp32);
 }
@@ -68,8 +71,9 @@ TEST(Gemm, TensorOpsOnlyForFp16Paths) {
   et::tensor::fill_normal(a, 7);
   et::tensor::fill_normal(b, 8);
   Device dev;
-  (void)gemm_nt(dev, a, b, Precision::kFp32);
-  (void)gemm_nt(dev, a, b, Precision::kMixed);
+  et::core::ExecContext ctx(dev);
+  (void)gemm_nt(ctx, a, b, Precision::kFp32);
+  (void)gemm_nt(ctx, a, b, Precision::kMixed);
   EXPECT_EQ(dev.history()[0].tensor_ops, 0u);
   EXPECT_GT(dev.history()[0].fp_ops, 0u);
   EXPECT_GT(dev.history()[1].tensor_ops, 0u);
@@ -87,8 +91,9 @@ TEST(Gemm, AutotunerPrefersBigBlocksForBigProblems) {
 TEST(Gemm, TrafficOnlySkipsMath) {
   MatrixF a(8, 8, 1.0f), b(8, 8, 1.0f);
   Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
-  const MatrixF c = gemm_nt(dev, a, b);
+  const MatrixF c = gemm_nt(ctx, a, b);
   EXPECT_EQ(c(0, 0), 0.0f) << "math skipped";
   EXPECT_EQ(dev.launch_count(), 1u);
   EXPECT_GT(dev.history()[0].total_bytes(), 0u);
@@ -97,6 +102,7 @@ TEST(Gemm, TrafficOnlySkipsMath) {
 TEST(Elementwise, Scale) {
   MatrixF m(4, 4, 2.0f);
   Device dev;
+  et::core::ExecContext ctx(dev);
   et::kernels::scale(dev, m, 0.5f);
   EXPECT_EQ(m(3, 3), 1.0f);
   EXPECT_EQ(dev.history()[0].global_load_bytes,
@@ -107,6 +113,7 @@ TEST(Elementwise, AddBiasAndResidual) {
   MatrixF m(2, 3, 1.0f);
   const std::vector<float> bias = {1.0f, 2.0f, 3.0f};
   Device dev;
+  et::core::ExecContext ctx(dev);
   et::kernels::add_bias(dev, m, bias);
   EXPECT_EQ(m(0, 0), 2.0f);
   EXPECT_EQ(m(1, 2), 4.0f);
@@ -122,6 +129,7 @@ TEST(Elementwise, ReluAndGelu) {
   m(0, 2) = 0.5f;
   m(0, 3) = 2.0f;
   Device dev;
+  et::core::ExecContext ctx(dev);
   MatrixF g = m;
   et::kernels::gelu(dev, g);
   // GELU(-2) ≈ -0.0454, GELU(2) ≈ 1.9546, GELU(0.5) ≈ 0.3457
@@ -135,6 +143,7 @@ TEST(Elementwise, ReluAndGelu) {
 TEST(Elementwise, CausalMask) {
   MatrixF s(4, 4, 1.0f);
   Device dev;
+  et::core::ExecContext ctx(dev);
   et::kernels::causal_mask(dev, s);
   for (std::size_t i = 0; i < 4; ++i) {
     for (std::size_t j = 0; j < 4; ++j) {
@@ -151,6 +160,7 @@ TEST(Elementwise, SoftmaxRowsSumToOne) {
   MatrixF m(6, 9);
   et::tensor::fill_normal(m, 9, 0.0f, 3.0f);
   Device dev;
+  et::core::ExecContext ctx(dev);
   et::kernels::softmax_rows(dev, m);
   for (std::size_t r = 0; r < m.rows(); ++r) {
     float sum = 0.0f;
@@ -166,6 +176,7 @@ TEST(Elementwise, SoftmaxHandlesMaskedRow) {
   MatrixF m(1, 4, -std::numeric_limits<float>::infinity());
   m(0, 0) = 0.0f;  // only one unmasked entry
   Device dev;
+  et::core::ExecContext ctx(dev);
   et::kernels::softmax_rows(dev, m);
   EXPECT_NEAR(m(0, 0), 1.0f, 1e-6f);
   EXPECT_EQ(m(0, 3), 0.0f);
@@ -178,6 +189,7 @@ TEST(Elementwise, SoftmaxInvariantToShift) {
     b(0, c) = static_cast<float>(c) + 100.0f;
   }
   Device dev;
+  et::core::ExecContext ctx(dev);
   et::kernels::softmax_rows(dev, a);
   et::kernels::softmax_rows(dev, b);
   EXPECT_TRUE(allclose(a, b, 1e-5));
@@ -188,6 +200,7 @@ TEST(Elementwise, LayerNormZeroMeanUnitVar) {
   et::tensor::fill_normal(m, 10, 5.0f, 3.0f);
   std::vector<float> gamma(64, 1.0f), beta(64, 0.0f);
   Device dev;
+  et::core::ExecContext ctx(dev);
   et::kernels::layernorm(dev, m, gamma, beta);
   for (std::size_t r = 0; r < m.rows(); ++r) {
     double mean = 0.0, var = 0.0;
@@ -204,6 +217,7 @@ TEST(Elementwise, TransposeKernel) {
   MatrixF m(3, 5);
   et::tensor::fill_uniform(m, 11);
   Device dev;
+  et::core::ExecContext ctx(dev);
   const MatrixF t = et::kernels::transpose_kernel(dev, m);
   EXPECT_EQ(t.rows(), 5u);
   EXPECT_EQ(t(4, 2), m(2, 4));
@@ -214,6 +228,7 @@ TEST(Elementwise, GatherScatterRoundTrip) {
   et::tensor::fill_uniform(x, 12);
   const std::vector<std::uint32_t> cols = {1, 3, 6};
   Device dev;
+  et::core::ExecContext ctx(dev);
   const MatrixF gathered = et::kernels::gather_cols(dev, x, cols);
   EXPECT_EQ(gathered.cols(), 3u);
   EXPECT_EQ(gathered(2, 1), x(2, 3));

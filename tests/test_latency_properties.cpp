@@ -19,9 +19,10 @@ using et::tensor::MatrixF;
 double encoder_us(Pipeline p, const et::nn::EncoderWeights& w,
                   const et::nn::ModelConfig& model, std::size_t seq) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   MatrixF x(seq, model.d_model);
-  (void)et::nn::encoder_forward(dev, x, w,
+  (void)et::nn::encoder_forward(ctx, x, w,
                                 et::nn::options_for(p, model, seq));
   return dev.total_time_us();
 }
@@ -49,10 +50,11 @@ TEST_P(PipelineSweep, KernelCountIndependentOfSequenceLength) {
   const std::size_t seqs[2] = {64u, is_et ? 192u : 384u};
   for (int i = 0; i < 2; ++i) {
     et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
     MatrixF x(seqs[i], model.d_model);
     (void)et::nn::encoder_forward(
-        dev, x, w, et::nn::options_for(GetParam(), model, seqs[i]));
+        ctx, x, w, et::nn::options_for(GetParam(), model, seqs[i]));
     counts[i] = dev.launch_count();
   }
   EXPECT_EQ(counts[0], counts[1]);
@@ -125,10 +127,11 @@ TEST(LatencyProperties, FullPartialCrossoverExistsOnce) {
     cfg.seq_len = seq;
     MatrixF x(seq, 768);
     et::gpusim::Device d1, d2;
+    et::core::ExecContext ctx1(d1), ctx2(d2);
     d1.set_traffic_only(true);
     d2.set_traffic_only(true);
-    (void)et::core::otf_attention(d1, x, w, cfg);
-    (void)et::core::partial_otf_attention(d2, x, w, cfg);
+    (void)et::core::otf_attention(ctx1, x, w, cfg);
+    (void)et::core::partial_otf_attention(ctx2, x, w, cfg);
     const bool full_wins = d1.total_time_us() <= d2.total_time_us();
     if (!first && full_wins != prev_full_wins) ++sign_changes;
     if (first && !full_wins) {
@@ -155,13 +158,14 @@ TEST(LatencyProperties, PrecomputeRemovesOneGemmLatency) {
   MatrixF x(64, 128);
 
   et::gpusim::Device without, with_pre;
+  et::core::ExecContext without_ctx(without), with_pre_ctx(with_pre);
   without.set_traffic_only(true);
   with_pre.set_traffic_only(true);
-  (void)et::core::otf_attention(without, x, w, cfg);
+  (void)et::core::otf_attention(without_ctx, x, w, cfg);
   const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
   const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
   w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
-  (void)et::core::otf_attention(with_pre, x, w, cfg);
+  (void)et::core::otf_attention(with_pre_ctx, x, w, cfg);
   EXPECT_EQ(with_pre.launch_count() + 1, without.launch_count());
 }
 
@@ -172,6 +176,7 @@ TEST(LatencyProperties, SharedMemViolationSurfacesAsException) {
   et::gpusim::DeviceSpec tiny;
   tiny.shared_mem_per_cta_bytes = 8 * 1024;
   et::gpusim::Device dev(tiny);
+  et::core::ExecContext ctx(dev);
   et::core::AttentionConfig cfg;
   cfg.seq_len = 256;
   cfg.d_model = 64;
@@ -179,10 +184,10 @@ TEST(LatencyProperties, SharedMemViolationSurfacesAsException) {
   const auto w = et::core::make_dense_weights(cfg, 7);
   MatrixF x(256, 64);
   ASSERT_FALSE(dev.fits_shared(et::core::otf_shared_bytes(cfg)));
-  EXPECT_THROW((void)et::core::otf_attention(dev, x, w, cfg),
+  EXPECT_THROW((void)et::core::otf_attention(ctx, x, w, cfg),
                et::gpusim::SharedMemOverflow);
   // The adaptive dispatcher routes around it.
-  EXPECT_NO_THROW((void)et::core::adaptive_attention(dev, x, w, cfg));
+  EXPECT_NO_THROW((void)et::core::adaptive_attention(ctx, x, w, cfg));
 }
 
 }  // namespace

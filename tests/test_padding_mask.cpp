@@ -32,14 +32,15 @@ TEST(PaddingMask, ValidPrefixRowsMatchTruncatedRun) {
   et::tensor::fill_normal(x, 2);
 
   et::gpusim::Device dev;
-  const MatrixF padded_out = et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF padded_out = et::core::otf_attention(ctx, x, w, cfg);
 
   auto short_cfg = cfg;
   short_cfg.seq_len = 16;
   short_cfg.valid_len = 0;
   const MatrixF truncated = et::tensor::slice_rows(x, 0, 16);
   const MatrixF short_out =
-      et::core::otf_attention(dev, truncated, w, short_cfg);
+      et::core::otf_attention(ctx, truncated, w, short_cfg);
 
   for (std::size_t r = 0; r < 16; ++r) {
     for (std::size_t c = 0; c < 32; ++c) {
@@ -61,8 +62,9 @@ TEST(PaddingMask, PaddingContentIsIrrelevant) {
     for (std::size_t c = 0; c < 32; ++c) b(r, c) = 1e3f;
   }
   et::gpusim::Device dev;
-  const MatrixF ya = et::core::otf_attention(dev, a, w, cfg);
-  const MatrixF yb = et::core::otf_attention(dev, b, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF ya = et::core::otf_attention(ctx, a, w, cfg);
+  const MatrixF yb = et::core::otf_attention(ctx, b, w, cfg);
   for (std::size_t r = 0; r < 12; ++r) {
     for (std::size_t c = 0; c < 32; ++c) {
       ASSERT_NEAR(ya(r, c), yb(r, c), 1e-4f) << r << "," << c;
@@ -77,9 +79,10 @@ TEST(PaddingMask, AllImplementationsAgree) {
   MatrixF x(24, 32);
   et::tensor::fill_normal(x, 6);
   et::gpusim::Device dev;
-  const MatrixF otf = et::core::otf_attention(dev, x, w, cfg);
-  const MatrixF fused = et::core::fused_attention(dev, x, w, cfg);
-  const MatrixF partial = et::core::partial_otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF otf = et::core::otf_attention(ctx, x, w, cfg);
+  const MatrixF fused = et::core::fused_attention(ctx, x, w, cfg);
+  const MatrixF partial = et::core::partial_otf_attention(ctx, x, w, cfg);
   const MatrixF ref = et::nn::reference_attention(x, w, cfg);
   EXPECT_TRUE(allclose(otf, ref, 1e-4, 1e-3));
   EXPECT_TRUE(allclose(fused, ref, 1e-4, 1e-3));
@@ -94,13 +97,15 @@ TEST(PaddingMask, ComposesWithCausalMask) {
   MatrixF x(24, 32);
   et::tensor::fill_normal(x, 8);
   et::gpusim::Device dev;
-  const MatrixF out = et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF out = et::core::otf_attention(ctx, x, w, cfg);
   const MatrixF ref = et::nn::reference_attention(x, w, cfg);
   EXPECT_TRUE(allclose(out, ref, 1e-4, 1e-3));
 }
 
 TEST(ConfigValidation, RejectsBadConfigs) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   MatrixF x(8, 30);
   {
     AttentionConfig cfg;
@@ -108,7 +113,7 @@ TEST(ConfigValidation, RejectsBadConfigs) {
     cfg.d_model = 30;  // not divisible by 4 heads
     cfg.num_heads = 4;
     const auto w = et::core::make_dense_weights(base_cfg(), 9);
-    EXPECT_THROW((void)et::core::otf_attention(dev, x, w, cfg),
+    EXPECT_THROW((void)et::core::otf_attention(ctx, x, w, cfg),
                  std::invalid_argument);
   }
   {
@@ -116,7 +121,7 @@ TEST(ConfigValidation, RejectsBadConfigs) {
     cfg.valid_len = 99;  // > seq_len
     const auto w = et::core::make_dense_weights(cfg, 10);
     MatrixF x2(24, 32);
-    EXPECT_THROW((void)et::core::otf_attention(dev, x2, w, cfg),
+    EXPECT_THROW((void)et::core::otf_attention(ctx, x2, w, cfg),
                  std::invalid_argument);
   }
   {

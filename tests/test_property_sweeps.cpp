@@ -95,8 +95,9 @@ TEST_P(SeedSweep, GemmTransposeSymmetry) {
   et::tensor::fill_normal(b, static_cast<std::uint64_t>(GetParam()) + 2);
 
   et::gpusim::Device dev;
-  const MatrixF ab = et::kernels::gemm_nt(dev, a, b);
-  const MatrixF ba = et::kernels::gemm_nt(dev, b, a);
+  et::core::ExecContext ctx(dev);
+  const MatrixF ab = et::kernels::gemm_nt(ctx, a, b);
+  const MatrixF ba = et::kernels::gemm_nt(ctx, b, a);
   EXPECT_TRUE(allclose(transpose(ab), ba, 1e-4, 1e-4));
 }
 
@@ -120,7 +121,8 @@ TEST_P(SeedSweep, AttentionRowsAreConvexCombinationsUnderIdentityV) {
   MatrixF x(12, 16);
   et::tensor::fill_normal(x, static_cast<std::uint64_t>(GetParam()) + 9);
   et::gpusim::Device dev;
-  const MatrixF out = et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF out = et::core::otf_attention(ctx, x, w, cfg);
   for (std::size_t c = 0; c < 16; ++c) {
     float lo = 1e30f, hi = -1e30f;
     for (std::size_t r = 0; r < 12; ++r) {
@@ -156,11 +158,12 @@ TEST_P(SeedSweep, PrecomputeIdentityAcrossSeeds) {
   MatrixF x(10, 24);
   et::tensor::fill_normal(x, static_cast<std::uint64_t>(GetParam()) + 77);
   et::gpusim::Device dev;
-  const MatrixF without = et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF without = et::core::otf_attention(ctx, x, w, cfg);
   const auto& wv = std::get<et::sparse::DenseWeight>(w.wv).matrix();
   const auto& wo = std::get<et::sparse::DenseWeight>(w.wo).matrix();
   w.vo = et::core::precompute_vo(wv, wo, cfg.num_heads);
-  const MatrixF with_pre = et::core::otf_attention(dev, x, w, cfg);
+  const MatrixF with_pre = et::core::otf_attention(ctx, x, w, cfg);
   EXPECT_TRUE(allclose(with_pre, without, 1e-3, 1e-3));
 }
 
@@ -191,12 +194,13 @@ TEST_P(SeedSweep, IncrementalPrefixDecodeMatchesFullOtf) {
   et::tensor::fill_normal(x, static_cast<std::uint64_t>(GetParam()) + 200);
 
   et::gpusim::Device dev;
-  const MatrixF full = et::core::otf_attention(dev, x, w, cfg);
+  et::core::ExecContext ctx(dev);
+  const MatrixF full = et::core::otf_attention(ctx, x, w, cfg);
 
   et::core::KVCache cache(seq, d_model);
   for (std::size_t t = 0; t < seq; ++t) {
     const MatrixF step = et::core::incremental_attention(
-        dev, et::tensor::slice_rows(x, t, 1), w, cfg, cache);
+        ctx, et::tensor::slice_rows(x, t, 1), w, cfg, cache);
     for (std::size_t c = 0; c < d_model; ++c) {
       ASSERT_NEAR(step(0, c), full(t, c), 1e-4f)
           << "heads " << heads << " d_model " << d_model << " seq " << seq

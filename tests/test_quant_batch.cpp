@@ -50,6 +50,7 @@ TEST(Quantize, Int8LinearCloseToFp32) {
   et::tensor::fill_normal(w, 3, 0.0f, 0.1f);
   const auto qw = et::quant::quantize_weight(w);
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   const MatrixF y = et::quant::int8_linear(dev, x, qw);
   const MatrixF ref = et::tensor::reference_gemm_nt(x, w);
   // int8 with per-row weight scales keeps ~2 decimal digits here.
@@ -63,11 +64,12 @@ TEST(Quantize, Int8LinearTrafficIsOneBytePerOperand) {
   et::tensor::fill_normal(w, 5);
   const auto qw = et::quant::quantize_weight(w);
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   (void)et::quant::int8_linear(dev, x, qw);
   const auto int8_loads = dev.history()[0].global_load_bytes;
   dev.reset();
-  (void)et::kernels::gemm_nt(dev, x, w, et::numeric::Precision::kMixed,
+  (void)et::kernels::gemm_nt(ctx, x, w, et::numeric::Precision::kMixed,
                              &et::kernels::gemm_algos()[3]);
   const auto fp16_loads = dev.history()[0].global_load_bytes;
   EXPECT_LT(int8_loads, fp16_loads)
@@ -77,13 +79,14 @@ TEST(Quantize, Int8LinearTrafficIsOneBytePerOperand) {
 TEST(Quantize, Int8FasterThanFp16OnModel) {
   MatrixF x(128, 768), w(3072, 768);
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   et::tensor::fill_normal(w, 6);
   const auto qw = et::quant::quantize_weight(w);
   (void)et::quant::int8_linear(dev, x, qw);
   const double int8_us = dev.total_time_us();
   dev.reset();
-  (void)et::kernels::gemm_nt(dev, x, w, et::numeric::Precision::kMixed);
+  (void)et::kernels::gemm_nt(ctx, x, w, et::numeric::Precision::kMixed);
   const double fp16_us = dev.total_time_us();
   EXPECT_LT(int8_us, fp16_us);
 }
@@ -125,14 +128,16 @@ TEST(Batched, MatchesPerSampleForward) {
   opt.attn.precision = et::numeric::Precision::kFp32;
 
   et::gpusim::Device dev;
-  const auto outs = et::nn::batched_encoder_forward(dev, batch, w, opt);
+  et::core::ExecContext ctx(dev);
+  const auto outs = et::nn::batched_encoder_forward(ctx, batch, w, opt);
   ASSERT_EQ(outs.size(), batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     auto single_opt = opt;
     single_opt.attn.seq_len = batch[i].rows();
     et::gpusim::Device single;
+    et::core::ExecContext single_ctx(single);
     const MatrixF ref =
-        et::nn::encoder_forward(single, batch[i], w, single_opt);
+        et::nn::encoder_forward(single_ctx, batch[i], w, single_opt);
     EXPECT_TRUE(allclose(outs[i], ref, 1e-4, 1e-4))
         << "sample " << i << " max diff " << max_abs_diff(outs[i], ref);
   }
@@ -149,13 +154,15 @@ TEST(Batched, AmortizesLinearKernels) {
   std::vector<MatrixF> batch(8, MatrixF(16, 64));
 
   et::gpusim::Device batched;
+  et::core::ExecContext batched_ctx(batched);
   batched.set_traffic_only(true);
-  (void)et::nn::batched_encoder_forward(batched, batch, w, opt);
+  (void)et::nn::batched_encoder_forward(batched_ctx, batch, w, opt);
 
   et::gpusim::Device sequential;
+  et::core::ExecContext sequential_ctx(sequential);
   sequential.set_traffic_only(true);
   for (const auto& x : batch) {
-    (void)et::nn::encoder_forward(sequential, x, w, opt);
+    (void)et::nn::encoder_forward(sequential_ctx, x, w, opt);
   }
   EXPECT_LT(batched.launch_count(), sequential.launch_count());
   EXPECT_LT(batched.total_time_us(), sequential.total_time_us())
@@ -177,8 +184,9 @@ TEST(Batched, VariableLengthsNoPadding) {
   batch.emplace_back(64, 32);
 
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
-  const auto outs = et::nn::batched_encoder_forward(dev, batch, w, opt);
+  const auto outs = et::nn::batched_encoder_forward(ctx, batch, w, opt);
   EXPECT_EQ(outs[0].rows(), 8u);
   EXPECT_EQ(outs[1].rows(), 64u);
   const double unpadded_us = dev.total_time_us();
@@ -189,8 +197,9 @@ TEST(Batched, VariableLengthsNoPadding) {
   padded.emplace_back(64, 32);
   padded.emplace_back(64, 32);
   et::gpusim::Device padded_dev;
+  et::core::ExecContext padded_dev_ctx(padded_dev);
   padded_dev.set_traffic_only(true);
-  (void)et::nn::batched_encoder_forward(padded_dev, padded, w, opt);
+  (void)et::nn::batched_encoder_forward(padded_dev_ctx, padded, w, opt);
   EXPECT_GT(padded_dev.total_time_us(), unpadded_us);
 }
 

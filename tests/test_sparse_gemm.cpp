@@ -35,7 +35,8 @@ TEST(BcsrGemm, MatchesReference) {
   const auto mask = et::pruning::tile_mask(f.w, 0.5);
   const auto tp = et::sparse::TilePrunedWeight::from_masked(f.w, mask);
   Device dev;
-  const MatrixF y = et::kernels::bcsr_gemm_nt(dev, f.x, tp);
+  et::core::ExecContext ctx(dev);
+  const MatrixF y = et::kernels::bcsr_gemm_nt(ctx, f.x, tp);
   const MatrixF ref = et::tensor::reference_gemm_nt(f.x, f.masked(mask));
   EXPECT_TRUE(allclose(y, ref, 1e-3, 1e-3))
       << "max diff " << max_abs_diff(y, ref);
@@ -46,20 +47,22 @@ TEST(BcsrGemm, FullyDenseMaskEqualsDenseGemm) {
   const et::sparse::Mask all(48, 64, 1);
   const auto tp = et::sparse::TilePrunedWeight::from_masked(f.w, all);
   Device dev;
-  const MatrixF sparse_y = et::kernels::bcsr_gemm_nt(dev, f.x, tp);
-  const MatrixF dense_y = et::kernels::gemm_nt(dev, f.x, f.w);
+  et::core::ExecContext ctx(dev);
+  const MatrixF sparse_y = et::kernels::bcsr_gemm_nt(ctx, f.x, tp);
+  const MatrixF dense_y = et::kernels::gemm_nt(ctx, f.x, f.w);
   EXPECT_TRUE(allclose(sparse_y, dense_y, 1e-3, 1e-3));
 }
 
 TEST(BcsrGemm, TrafficScalesWithDensity) {
   Fixture f;
   Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
   const auto run = [&](double ratio) {
     const auto tp = et::sparse::TilePrunedWeight::from_masked(
         f.w, et::pruning::tile_mask(f.w, ratio));
     dev.reset();
-    (void)et::kernels::bcsr_gemm_nt(dev, f.x, tp,
+    (void)et::kernels::bcsr_gemm_nt(ctx, f.x, tp,
                                     et::numeric::Precision::kMixed);
     return dev.history()[0];
   };
@@ -74,7 +77,8 @@ TEST(IrregularGemm, MatchesReference) {
   const auto mask = et::pruning::magnitude_mask(f.w, 0.6);
   const auto iw = et::sparse::IrregularWeight::from_masked(f.w, mask);
   Device dev;
-  const MatrixF y = et::kernels::irregular_gemm_nt(dev, f.x, iw);
+  et::core::ExecContext ctx(dev);
+  const MatrixF y = et::kernels::irregular_gemm_nt(ctx, f.x, iw);
   const MatrixF ref = et::tensor::reference_gemm_nt(f.x, f.masked(mask));
   EXPECT_TRUE(allclose(y, ref, 1e-3, 1e-3));
 }
@@ -87,18 +91,19 @@ TEST(IrregularGemm, MuchSlowerThanTileAtSameSparsity) {
   et::tensor::fill_normal(x, 31);
   et::tensor::fill_normal(w, 32);
   Device dev;
+  et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
 
   const auto tile_mask = et::pruning::tile_mask(w, 0.7);
   const auto tp = et::sparse::TilePrunedWeight::from_masked(w, tile_mask);
-  (void)et::kernels::bcsr_gemm_nt(dev, x, tp,
+  (void)et::kernels::bcsr_gemm_nt(ctx, x, tp,
                                   et::numeric::Precision::kMixed);
   const double tile_us = dev.total_time_us();
   dev.reset();
 
   const auto irr_mask = et::pruning::magnitude_mask(w, 0.7);
   const auto iw = et::sparse::IrregularWeight::from_masked(w, irr_mask);
-  (void)et::kernels::irregular_gemm_nt(dev, x, iw,
+  (void)et::kernels::irregular_gemm_nt(ctx, x, iw,
                                        et::numeric::Precision::kMixed);
   const double irr_us = dev.total_time_us();
 
@@ -109,8 +114,9 @@ TEST(IrregularGemm, MuchSlowerThanTileAtSameSparsity) {
 TEST(Linear, DenseDispatch) {
   Fixture f;
   Device dev;
+  et::core::ExecContext ctx(dev);
   const auto res = et::kernels::linear(
-      dev, f.x, et::sparse::DenseWeight(f.w));
+      ctx, f.x, et::sparse::DenseWeight(f.w));
   EXPECT_FALSE(res.condensed);
   const MatrixF ref = et::tensor::reference_gemm_nt(f.x, f.w);
   EXPECT_TRUE(allclose(res.y, ref, 1e-3, 1e-3));
@@ -121,7 +127,8 @@ TEST(Linear, RowPrunedScattered) {
   const auto mask = et::pruning::row_mask(f.w, 0.5);
   const auto w = et::sparse::make_weight(PruneMethod::kRow, f.w, mask);
   Device dev;
-  const auto res = et::kernels::linear(dev, f.x, w);
+  et::core::ExecContext ctx(dev);
+  const auto res = et::kernels::linear(ctx, f.x, w);
   EXPECT_FALSE(res.condensed);
   EXPECT_EQ(res.y.cols(), 48u);
   const MatrixF ref = et::tensor::reference_gemm_nt(f.x, f.masked(mask));
@@ -135,9 +142,10 @@ TEST(Linear, RowPrunedCondensed) {
   const auto mask = et::pruning::row_mask(f.w, 0.5);
   const auto w = et::sparse::make_weight(PruneMethod::kRow, f.w, mask);
   Device dev;
+  et::core::ExecContext ctx(dev);
   et::kernels::LinearOptions opt;
   opt.scatter_row_pruned_output = false;
-  const auto res = et::kernels::linear(dev, f.x, w, opt);
+  const auto res = et::kernels::linear(ctx, f.x, w, opt);
   EXPECT_TRUE(res.condensed);
   EXPECT_EQ(res.y.cols(), 24u);
   EXPECT_EQ(res.nonzero_cols.size(), 24u);
@@ -152,7 +160,8 @@ TEST(Linear, ColumnPrunedNeedsGather) {
   const auto mask = et::pruning::column_mask(f.w, 0.5);
   const auto w = et::sparse::make_weight(PruneMethod::kColumn, f.w, mask);
   Device dev;
-  const auto res = et::kernels::linear(dev, f.x, w);
+  et::core::ExecContext ctx(dev);
+  const auto res = et::kernels::linear(ctx, f.x, w);
   const MatrixF ref = et::tensor::reference_gemm_nt(f.x, f.masked(mask));
   EXPECT_TRUE(allclose(res.y, ref, 1e-3, 1e-3));
   EXPECT_EQ(dev.launch_count(), 2u) << "gather + gemm";
@@ -164,7 +173,8 @@ TEST(Linear, TilePrunedSingleKernel) {
   const auto mask = et::pruning::tile_mask(f.w, 0.5);
   const auto w = et::sparse::make_weight(PruneMethod::kTile, f.w, mask);
   Device dev;
-  const auto res = et::kernels::linear(dev, f.x, w);
+  et::core::ExecContext ctx(dev);
+  const auto res = et::kernels::linear(ctx, f.x, w);
   const MatrixF ref = et::tensor::reference_gemm_nt(f.x, f.masked(mask));
   EXPECT_TRUE(allclose(res.y, ref, 1e-3, 1e-3));
   EXPECT_EQ(dev.launch_count(), 1u)
@@ -191,7 +201,8 @@ TEST_P(PrunedLinearSweep, MatchesMaskedDenseReference) {
   }
   const auto w = et::sparse::make_weight(method, f.w, mask);
   Device dev;
-  const auto res = et::kernels::linear(dev, f.x, w);
+  et::core::ExecContext ctx(dev);
+  const auto res = et::kernels::linear(ctx, f.x, w);
   const MatrixF ref = et::tensor::reference_gemm_nt(f.x, f.masked(mask));
   EXPECT_TRUE(allclose(res.y, ref, 1e-3, 1e-3))
       << to_string(method) << " at ratio " << ratio;

@@ -11,6 +11,7 @@ namespace {
 
 TEST(TraceExport, EmitsOneEventPerKernelPlusMetadata) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   {
     auto l = dev.launch({.name = "alpha", .ctas = 4});
     l.load_bytes(1024);
@@ -47,6 +48,7 @@ TEST(TraceExport, EmitsOneEventPerKernelPlusMetadata) {
 
 TEST(TraceExport, KernelsLaidOutBackToBack) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   const auto model = [] {
     et::nn::ModelConfig cfg;
     cfg.d_model = 32;
@@ -58,7 +60,7 @@ TEST(TraceExport, KernelsLaidOutBackToBack) {
   et::tensor::MatrixF x(16, 32);
   dev.set_traffic_only(true);
   (void)et::nn::encoder_forward(
-      dev, x, w, et::nn::options_for(et::nn::Pipeline::kET, model, 16));
+      ctx, x, w, et::nn::options_for(et::nn::Pipeline::kET, model, 16));
 
   std::stringstream ss;
   et::gpusim::write_chrome_trace(ss, dev);
@@ -76,6 +78,7 @@ TEST(TraceExport, KernelsLaidOutBackToBack) {
 
 TEST(TraceExport, EscapesSpecialCharacters) {
   et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
   { auto l = dev.launch({.name = "weird\"name\\here"}); }
   std::stringstream ss;
   et::gpusim::write_chrome_trace(ss, dev);
