@@ -18,6 +18,7 @@
 #include "nn/batched_generation.hpp"
 #include "nn/encoder.hpp"
 #include "pruning/strategy.hpp"
+#include "serving/server.hpp"
 #include "train/model.hpp"
 
 namespace {
@@ -29,7 +30,7 @@ struct Args {
   std::string device = "v100s";
   std::size_t seq = 128;
   std::size_t batch = 0;    // > 0: batched-generation serving demo
-  std::size_t tokens = 16;  // tokens per sequence in the serving demo
+  std::size_t tokens = 16;  // tokens per sequence in serving modes
   std::size_t threads = 1;  // ExecContext thread-pool size
   double ratio = 0.0;
   bool profile = false;
@@ -38,6 +39,14 @@ struct Args {
   std::string trace;         // chrome-trace output path
   bool inject_given = false;
   std::string inject_fault;  // fault-injection spec (see usage)
+
+  // --serve: request-level serving runtime (docs/serving.md).
+  bool serve = false;
+  std::size_t requests = 8;      // total requests in the arrival script
+  std::size_t queue_cap = 16;    // bounded admission queue
+  std::size_t arrive = 0;        // requests arriving per tick; 0 = all at t0
+  std::size_t deadline = 0;      // per-request total budget (ticks); 0 = none
+  std::size_t queue_budget = 0;  // per-request queue budget (ticks); 0 = none
 };
 
 /// Arm the device's fault injector from a CLI spec:
@@ -112,33 +121,80 @@ bool arm_from_spec(et::gpusim::FaultInjector& inj, const std::string& spec) {
   return true;
 }
 
-Args parse(int argc, char** argv) {
-  Args a;
-  for (int i = 1; i < argc; ++i) {
+/// Strict CLI parsing: every error names the offending token on stderr
+/// and fails the parse (main exits 2) — a typo'd flag or a junk value
+/// must never be silently dropped or read as zero.
+bool parse(int argc, char** argv, Args& a) {
+  bool ok = true;
+  int i = 1;
+  // Value fetch for flags that require one; missing value = parse error.
+  const auto next = [&](const std::string& flag, std::string& out) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      ok = false;
+      return false;
+    }
+    out = argv[++i];
+    return true;
+  };
+  const auto next_size = [&](const std::string& flag, std::size_t& out) {
+    std::string v;
+    if (!next(flag, v)) return;
+    std::uint64_t n = 0;
+    if (!parse_u64(v, n)) {
+      std::fprintf(stderr, "bad value for %s: '%s' (want an unsigned integer)\n",
+                   flag.c_str(), v.c_str());
+      ok = false;
+      return;
+    }
+    out = static_cast<std::size_t>(n);
+  };
+  for (; i < argc; ++i) {
     const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : "";
-    };
-    if (arg == "--model") a.model = next();
-    else if (arg == "--pipeline") a.pipeline = next();
-    else if (arg == "--strategy") a.strategy = next();
-    else if (arg == "--device") a.device = next();
-    else if (arg == "--seq") a.seq = std::strtoul(next(), nullptr, 10);
-    else if (arg == "--batch") a.batch = std::strtoul(next(), nullptr, 10);
-    else if (arg == "--tokens") a.tokens = std::strtoul(next(), nullptr, 10);
-    else if (arg == "--threads") a.threads = std::strtoul(next(), nullptr, 10);
-    else if (arg == "--ratio") a.ratio = std::atof(next());
+    std::string v;
+    if (arg == "--model") { if (next(arg, v)) a.model = v; }
+    else if (arg == "--pipeline") { if (next(arg, v)) a.pipeline = v; }
+    else if (arg == "--strategy") { if (next(arg, v)) a.strategy = v; }
+    else if (arg == "--device") { if (next(arg, v)) a.device = v; }
+    else if (arg == "--seq") next_size(arg, a.seq);
+    else if (arg == "--batch") next_size(arg, a.batch);
+    else if (arg == "--tokens") next_size(arg, a.tokens);
+    else if (arg == "--threads") next_size(arg, a.threads);
+    else if (arg == "--requests") next_size(arg, a.requests);
+    else if (arg == "--queue-cap") next_size(arg, a.queue_cap);
+    else if (arg == "--arrive") next_size(arg, a.arrive);
+    else if (arg == "--deadline") next_size(arg, a.deadline);
+    else if (arg == "--queue-budget") next_size(arg, a.queue_budget);
+    else if (arg == "--ratio") {
+      if (next(arg, v)) {
+        char* end = nullptr;
+        a.ratio = std::strtod(v.c_str(), &end);
+        if (v.empty() || end != v.c_str() + v.size() || a.ratio < 0.0 ||
+            a.ratio >= 1.0) {
+          std::fprintf(stderr,
+                       "bad value for --ratio: '%s' (want a number in [0, 1))\n",
+                       v.c_str());
+          ok = false;
+        }
+      }
+    }
+    else if (arg == "--serve") a.serve = true;
     else if (arg == "--profile") a.profile = true;
     else if (arg == "--json") a.json = true;
-    else if (arg == "--trace") a.trace = next();
+    else if (arg == "--trace") { if (next(arg, v)) a.trace = v; }
     else if (arg == "--inject-fault") {
-      a.inject_given = true;
-      a.inject_fault = next();
+      if (next(arg, v)) {
+        a.inject_given = true;
+        a.inject_fault = v;
+      }
     }
     else if (arg == "--help" || arg == "-h") a.help = true;
-    else std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      ok = false;
+    }
   }
-  return a;
+  return ok;
 }
 
 void usage() {
@@ -150,13 +206,25 @@ void usage() {
       "  --ratio     pruning ratio in [0, 1)          (default 0)\n"
       "  --seq       sequence length                  (default 128)\n"
       "  --batch N   serving demo: decode N sequences through the\n"
-      "              slot-based batched scheduler (see docs/serving.md)\n"
-      "  --tokens T  tokens per sequence in the serving demo (default 16)\n"
+      "              slot-based batched scheduler (see docs/serving.md);\n"
+      "              under --serve, N is the slot count (default 4, cap 8)\n"
+      "  --tokens T  tokens per sequence in serving modes (default 16)\n"
       "  --threads N run kernels on an N-thread ExecContext pool; output\n"
       "              is bit-identical at every N (docs/threading.md)\n"
       "  --device    v100s | a100                     (default v100s)\n"
       "  --json      machine-readable output; serving-demo field names\n"
       "              match bench/ablation_batching --json\n"
+      "  --serve     request-level serving runtime: scripted arrivals\n"
+      "              through the continuous-batching InferenceServer with\n"
+      "              admission control and a metrics snapshot; --json field\n"
+      "              names match bench/ablation_serving rows\n"
+      "  --requests N      total requests in the arrival script (default 8)\n"
+      "  --queue-cap N     bounded admission queue; overflow is rejected\n"
+      "                    with backpressure (default 16)\n"
+      "  --arrive R        R requests arrive per tick; 0 = all at tick 0\n"
+      "                    (default 0)\n"
+      "  --deadline T      per-request end-to-end budget in ticks; 0 = none\n"
+      "  --queue-budget T  per-request queue-wait budget in ticks; 0 = none\n"
       "  --profile   print the per-kernel nvprof-style table\n"
       "  --trace F   write a chrome://tracing JSON timeline to F\n"
       "  --inject-fault SPEC\n"
@@ -170,7 +238,11 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
+  Args args;
+  if (!parse(argc, argv, args)) {
+    std::fprintf(stderr, "run with --help for usage\n");
+    return 2;
+  }
   if (args.help) {
     usage();
     return 0;
@@ -218,6 +290,125 @@ int main(int argc, char** argv) {
       !arm_from_spec(dev.fault_injector(), args.inject_fault)) {
     return 2;
   }
+  if (args.serve) {
+    // Request-level serving: a scripted arrival sequence through the
+    // continuous-batching InferenceServer (docs/serving.md) — two decoder
+    // layers at the chosen model's width, --batch slots (default 4, cap
+    // 8), bounded queue, optional per-request deadlines.
+    std::vector<et::nn::EncoderWeights> layers(2, weights);
+    for (auto& l : layers) l.attn.vo = {};  // cached decode path only
+    const auto gopt =
+        et::nn::options_for(pipeline, model, args.seq, /*causal=*/true);
+    const std::size_t requested = args.batch == 0 ? 4 : args.batch;
+    const std::size_t slots = requested < 8 ? requested : 8;
+    et::serving::ServerConfig cfg;
+    cfg.max_batch = slots;
+    cfg.max_context = args.tokens + 1;
+    cfg.queue_capacity = args.queue_cap;
+    et::serving::InferenceServer server(&layers, gopt, cfg);
+
+    std::vector<et::serving::RequestHandle> handles;
+    std::size_t submitted = 0;
+    const auto submit_some = [&](std::size_t n) {
+      for (std::size_t k = 0; k < n && submitted < args.requests; ++k) {
+        et::serving::Request req;
+        req.first_token = static_cast<std::int32_t>(submitted);
+        req.max_new_tokens = args.tokens;
+        req.embed = [&model](std::int32_t, std::size_t) {
+          return et::tensor::MatrixF(1, model.d_model);
+        };
+        req.select = [](const et::tensor::MatrixF&) {
+          return std::int32_t{1};
+        };
+        if (args.deadline > 0) req.total_budget_ticks = args.deadline;
+        if (args.queue_budget > 0) req.queue_budget_ticks = args.queue_budget;
+        handles.push_back(server.submit(std::move(req)));
+        ++submitted;
+      }
+    };
+    // Arrival script: everything at tick 0, or --arrive per tick — the
+    // offered-load knob bench/ablation_serving sweeps.
+    if (args.arrive == 0) submit_some(args.requests);
+    while (submitted < args.requests || !server.idle()) {
+      server.tick(ctx);
+      submit_some(args.arrive);
+    }
+
+    const auto fields = server.metrics().scalars();
+    if (args.json) {
+      // Config fields first, then every MetricsRegistry scalar — the
+      // exact name/value list bench/ablation_serving rows use, so the
+      // two outputs can never drift apart — then the full snapshot with
+      // histogram buckets.
+      std::printf("{\n");
+      std::printf("  \"model\": \"%s\", \"pipeline\": \"%s\", \"device\": "
+                  "\"%s\",\n",
+                  model.name.c_str(), args.pipeline.c_str(),
+                  spec.name.c_str());
+      std::printf("  \"requests\": %zu, \"slots\": %zu, \"queue_capacity\": "
+                  "%zu, \"offered_per_tick\": %zu, \"threads\": %zu,\n",
+                  args.requests, slots, args.queue_cap, args.arrive,
+                  ctx.threads());
+      std::printf("  \"time_us\": %.1f,\n", dev.total_time_us());
+      for (const auto& f : fields) {
+        std::printf("  \"%s\": %g,\n", f.name.c_str(), f.value);
+      }
+      std::printf("  \"metrics\": %s\n", server.metrics().json(0).c_str());
+      std::printf("}\n");
+      if (!args.trace.empty()) {
+        et::gpusim::write_chrome_trace(args.trace, dev);
+      }
+      return 0;
+    }
+    std::printf("%s · %s · serving %zu request(s) on %zu slot(s), queue %zu "
+                "· %s\n",
+                model.name.c_str(), args.pipeline.c_str(), args.requests,
+                slots, args.queue_cap, spec.name.c_str());
+    if (args.arrive > 0) {
+      std::printf("  offered load: %zu request(s)/tick\n", args.arrive);
+    }
+    const auto counter = [&](const char* name) {
+      const auto* c = server.metrics().find_counter(name);
+      return c != nullptr ? c->value() : 0;
+    };
+    std::printf("  %llu completed, %llu rejected, %llu expired over %zu "
+                "ticks\n",
+                static_cast<unsigned long long>(counter("requests_completed")),
+                static_cast<unsigned long long>(counter("requests_rejected")),
+                static_cast<unsigned long long>(counter("requests_expired")),
+                server.now());
+    std::printf("  %llu tokens in %.1f us (%.1f tokens/sec)\n",
+                static_cast<unsigned long long>(counter("tokens_emitted")),
+                dev.total_time_us(),
+                dev.total_time_us() > 0.0
+                    ? 1e6 * static_cast<double>(counter("tokens_emitted")) /
+                          dev.total_time_us()
+                    : 0.0);
+    const auto hist_mean = [&](const char* name) {
+      const auto* h = server.metrics().find_histogram(name);
+      return h != nullptr ? h->mean() : 0.0;
+    };
+    std::printf("  mean queue wait %.1f ticks, ttft %.1f ticks, e2e %.1f "
+                "ticks\n",
+                hist_mean("queue_wait_ticks"), hist_mean("ttft_ticks"),
+                hist_mean("e2e_ticks"));
+    for (const auto& f : dev.fallback_log()) {
+      std::printf("  recovered: %s -> %s after fault in '%s' (%s)\n",
+                  f.from_impl.c_str(), f.to_impl.c_str(), f.kernel.c_str(),
+                  f.cause.c_str());
+    }
+    if (args.profile) {
+      std::printf("\n");
+      print_report(std::cout, et::gpusim::profile(dev));
+    }
+    if (!args.trace.empty()) {
+      et::gpusim::write_chrome_trace(args.trace, dev);
+      std::printf("trace written to %s (open in chrome://tracing)\n",
+                  args.trace.c_str());
+    }
+    return 0;
+  }
+
   if (args.batch > 0) {
     // Serving demo: decode N sequences through the slot-based batched
     // scheduler (docs/serving.md) — two decoder layers at the chosen

@@ -26,6 +26,12 @@ class KVCache {
   [[nodiscard]] std::size_t used() const noexcept { return used_; }
   [[nodiscard]] bool full() const noexcept { return used_ == capacity(); }
 
+  /// Bytes of K/V storage held by this cache (both planes, full
+  /// capacity — the storage is allocated up front, not per row).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return 2 * k_.rows() * k_.cols() * sizeof(float);
+  }
+
   /// Append one projected row to each of K and V. Throws std::length_error
   /// when the cache is full and std::invalid_argument on a row-width
   /// mismatch. Strong guarantee: every check runs before either plane is
@@ -68,6 +74,16 @@ class KVCachePool {
     return free_.size();
   }
   [[nodiscard]] bool has_free() const noexcept { return !free_.empty(); }
+
+  /// Total bytes of KV storage the pool pre-allocated across every slot
+  /// and layer — the serving runtime's kv_bytes capacity gauge.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Slot& s : slots_) {
+      for (const KVCache& c : s.caches) total += c.memory_bytes();
+    }
+    return total;
+  }
 
   /// Claim a free slot; its caches come back reset. Throws
   /// std::runtime_error when every slot is in use (callers gate on

@@ -60,6 +60,12 @@ DeviceReport profile(const Device& dev) {
     sr.load_bytes += k.global_load_bytes;
     sr.store_bytes += k.global_store_bytes;
   }
+  for (const auto& f : dev.fallback_log()) {
+    if (f.slot != kNoSlot) any_slot = true;
+    auto& sr = by_slot[f.slot];
+    sr.slot = f.slot;
+    ++sr.fallbacks;
+  }
   if (any_slot) {
     for (auto& [slot, sr] : by_slot) rep.slots.push_back(sr);
   }
@@ -101,7 +107,9 @@ void print_report(std::ostream& os, const DeviceReport& report) {
       }
       os << std::right << std::fixed << std::setprecision(2) << std::setw(10)
          << s.time_us << " us" << std::setw(8) << s.launches << " launches"
-         << std::setw(14) << (s.load_bytes + s.store_bytes) << " B\n";
+         << std::setw(14) << (s.load_bytes + s.store_bytes) << " B";
+      if (s.fallbacks > 0) os << "  (" << s.fallbacks << " fallbacks)";
+      os << "\n";
     }
   }
   if (!report.fallbacks.empty()) {

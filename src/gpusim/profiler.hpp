@@ -38,6 +38,10 @@ struct SlotReport {
   double time_us = 0.0;
   std::uint64_t load_bytes = 0;
   std::uint64_t store_bytes = 0;
+  /// Recovery steps attributed to this slot (FallbackEvent::slot) — e.g.
+  /// a batched tick retiring exactly this sequence after a fault. The
+  /// kNoSlot row carries whole-device recoveries.
+  std::size_t fallbacks = 0;
 };
 
 struct DeviceReport {

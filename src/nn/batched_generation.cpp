@@ -263,6 +263,27 @@ std::size_t BatchedGenerationScheduler::submit(GenerationRequest req) {
   return id;
 }
 
+bool BatchedGenerationScheduler::cancel(std::size_t id, StopReason reason) {
+  if (completed_.at(id)) return false;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == id) {
+      queue_.erase(it);
+      results_[id].stop_reason = reason;
+      completed_[id] = true;
+      return true;
+    }
+  }
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].has_value() && slots_[s]->request_id == id) {
+      retire(s, reason);
+      return true;
+    }
+  }
+  // Every unfinished request is either queued or in a slot.
+  assert(false);
+  return false;
+}
+
 std::size_t BatchedGenerationScheduler::active() const noexcept {
   std::size_t n = 0;
   for (const auto& s : slots_) n += s.has_value() ? 1 : 0;

@@ -61,6 +61,27 @@ class BatchedGenerationScheduler {
   /// Admission to a slot happens at the next tick.
   std::size_t submit(GenerationRequest req);
 
+  /// Finish request `id` early with `reason` — kCancelled for an explicit
+  /// caller cancel, kDeadlineExceeded when the serving runtime's budget
+  /// expired (docs/serving.md). A still-queued request finishes with no
+  /// tokens; an active one keeps every token emitted so far and frees its
+  /// slot for the next tick's backfill. Returns false (and does nothing)
+  /// when the request already finished.
+  bool cancel(std::size_t id, StopReason reason = StopReason::kCancelled);
+
+  /// Tokens emitted so far for request `id`, finished or not — the
+  /// streaming view the serving layer reads after each tick to deliver
+  /// per-token callbacks.
+  [[nodiscard]] const std::vector<std::int32_t>& tokens_so_far(
+      std::size_t id) const {
+    return results_.at(id).tokens;
+  }
+
+  /// The slot storage, for capacity/memory accounting (kv_bytes gauge).
+  [[nodiscard]] const core::KVCachePool& pool() const noexcept {
+    return pool_;
+  }
+
   /// One decode tick: backfill free slots from the queue, step every
   /// active sequence by one token, retire finished ones. The per-slot
   /// attention segment of the tick runs in parallel across active slots

@@ -3,6 +3,7 @@
 // one token per step with per-layer KV caches.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -64,13 +65,24 @@ class GenerationSession {
   std::vector<core::KVCache> caches_;  // one per layer
 };
 
-/// Why generate() stopped emitting tokens.
+/// Why generate() stopped emitting tokens. The last three arise only
+/// through the request-level serving runtime (serving::InferenceServer,
+/// docs/serving.md), which finishes requests on behalf of a caller: an
+/// explicit cancel, an exhausted queue-wait/end-to-end budget, or refused
+/// admission at a full queue.
 enum class StopReason {
-  kMaxTokens,    ///< reached the requested token budget — the happy path
-  kEos,          ///< the model emitted the end-of-sequence token
-  kKvCacheFull,  ///< per-layer KV caches reached capacity
-  kKernelFault,  ///< a kernel failed mid-step (injected or real)
+  kMaxTokens,         ///< reached the requested token budget — the happy path
+  kEos,               ///< the model emitted the end-of-sequence token
+  kKvCacheFull,       ///< per-layer KV caches reached capacity
+  kKernelFault,       ///< a kernel failed mid-step (injected or real)
+  kCancelled,         ///< cancelled by the caller; emitted tokens are kept
+  kDeadlineExceeded,  ///< queue-wait or end-to-end budget expired
+  kRejected,          ///< refused admission (bounded queue full)
 };
+
+/// Count of StopReason enumerators, for exhaustive iteration (per-reason
+/// metrics counters, the round-trip regression test).
+inline constexpr std::size_t kStopReasonCount = 7;
 
 [[nodiscard]] constexpr std::string_view to_string(StopReason r) noexcept {
   switch (r) {
@@ -78,6 +90,9 @@ enum class StopReason {
     case StopReason::kEos: return "eos";
     case StopReason::kKvCacheFull: return "kv_cache_full";
     case StopReason::kKernelFault: return "kernel_fault";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kDeadlineExceeded: return "deadline_exceeded";
+    case StopReason::kRejected: return "rejected";
   }
   return "?";
 }

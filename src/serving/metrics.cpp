@@ -1,0 +1,193 @@
+#include "serving/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace et::serving {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t b = bounds_.size();  // overflow bucket
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      b = i;
+      break;
+    }
+  }
+  ++counts_[b];
+  ++count_;
+  sum_ += v;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  for (auto& c : counters_) {
+    if (c->name == name) return c->metric;
+  }
+  if (find_gauge(name) != nullptr || find_histogram(name) != nullptr) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another kind");
+  }
+  counters_.push_back(std::make_unique<NamedCounter>(NamedCounter{name, {}}));
+  return counters_.back()->metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  for (auto& g : gauges_) {
+    if (g->name == name) return g->metric;
+  }
+  if (find_counter(name) != nullptr || find_histogram(name) != nullptr) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another kind");
+  }
+  gauges_.push_back(std::make_unique<NamedGauge>(NamedGauge{name, {}}));
+  return gauges_.back()->metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  for (auto& h : histograms_) {
+    if (h->name == name) return h->metric;
+  }
+  if (find_counter(name) != nullptr || find_gauge(name) != nullptr) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another kind");
+  }
+  histograms_.push_back(std::make_unique<NamedHistogram>(
+      NamedHistogram{name, Histogram(std::move(bounds))}));
+  return histograms_.back()->metric;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  for (const auto& c : counters_) {
+    if (c->name == name) return &c->metric;
+  }
+  return nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  for (const auto& g : gauges_) {
+    if (g->name == name) return &g->metric;
+  }
+  return nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms_) {
+    if (h->name == name) return &h->metric;
+  }
+  return nullptr;
+}
+
+std::vector<ScalarField> MetricsRegistry::scalars() const {
+  std::vector<ScalarField> out;
+  out.reserve(counters_.size() + gauges_.size() + 3 * histograms_.size());
+  for (const auto& c : counters_) {
+    out.push_back({c->name, static_cast<double>(c->metric.value())});
+  }
+  for (const auto& g : gauges_) {
+    out.push_back({g->name, g->metric.value()});
+  }
+  for (const auto& h : histograms_) {
+    out.push_back({h->name + "_count",
+                   static_cast<double>(h->metric.count())});
+    out.push_back({h->name + "_sum", h->metric.sum()});
+    out.push_back({h->name + "_mean", h->metric.mean()});
+  }
+  return out;
+}
+
+namespace {
+
+/// Trim floats to a stable short form: integers print without a decimal
+/// point so counters stay counters in the JSON, everything else gets
+/// enough digits to round-trip the values we emit (ticks, us, rates).
+std::string fmt_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::json(int indent) const {
+  const std::string nl = indent > 0 ? "\n" : "";
+  const std::string pad = indent > 0 ? std::string(indent, ' ') : "";
+  const std::string pad2 = pad + pad;
+  const std::string pad3 = pad2 + pad;
+  std::string out = "{" + nl;
+
+  out += pad + "\"counters\": {" + nl;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out += pad2 + quoted(counters_[i]->name) + ": " +
+           fmt_number(static_cast<double>(counters_[i]->metric.value()));
+    out += (i + 1 < counters_.size() ? "," : "") + nl;
+  }
+  out += pad + "}," + nl;
+
+  out += pad + "\"gauges\": {" + nl;
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    out += pad2 + quoted(gauges_[i]->name) + ": " +
+           fmt_number(gauges_[i]->metric.value());
+    out += (i + 1 < gauges_.size() ? "," : "") + nl;
+  }
+  out += pad + "}," + nl;
+
+  out += pad + "\"histograms\": {" + nl;
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = histograms_[i]->metric;
+    out += pad2 + quoted(histograms_[i]->name) + ": {" + nl;
+    out += pad3 + "\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+      out += fmt_number(h.bounds()[b]);
+      if (b + 1 < h.bounds().size()) out += ", ";
+    }
+    out += "]," + nl;
+    out += pad3 + "\"counts\": [";
+    for (std::size_t b = 0; b < h.counts().size(); ++b) {
+      out += fmt_number(static_cast<double>(h.counts()[b]));
+      if (b + 1 < h.counts().size()) out += ", ";
+    }
+    out += "]," + nl;
+    out += pad3 + "\"count\": " + fmt_number(static_cast<double>(h.count())) +
+           "," + nl;
+    out += pad3 + "\"sum\": " + fmt_number(h.sum()) + "," + nl;
+    out += pad3 + "\"mean\": " + fmt_number(h.mean()) + nl;
+    out += pad2 + "}";
+    out += (i + 1 < histograms_.size() ? "," : "") + nl;
+  }
+  out += pad + "}" + nl;
+
+  out += "}";
+  return out;
+}
+
+}  // namespace et::serving

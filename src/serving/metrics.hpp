@@ -1,0 +1,129 @@
+// serving::MetricsRegistry — the observability spine of the request-level
+// serving runtime (docs/serving.md).
+//
+// Three primitive families, all deterministic and allocation-stable:
+//   - Counter: monotonically increasing uint64 (requests, tokens, faults);
+//   - Gauge:   instantaneous double (queue depth, active slots, kv bytes);
+//   - Histogram: fixed buckets chosen at registration — observations land
+//     in the first bucket whose upper bound is >= the value, with an
+//     implicit +inf overflow bucket. Fixed buckets keep the snapshot
+//     stable run-to-run: the same workload always produces the same
+//     counts in the same buckets.
+//
+// Two export surfaces share one source of truth:
+//   - scalars(): every counter and gauge plus <hist>_count/_sum/_mean per
+//     histogram, in registration order. This ordered name/value list IS
+//     the field-name contract between `et_cli --serve --json` and
+//     `bench/ablation_serving` rows — both iterate it, so their keys
+//     cannot drift apart.
+//   - json(): the full snapshot ({"counters": ..., "gauges": ...,
+//     "histograms": {name: {"bounds": [...], "counts": [...], "count":
+//     N, "sum": S, "mean": M}}}), stable field order (registration
+//     order), machine-parseable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace et::serving {
+
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) noexcept { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper edges in strictly
+/// increasing order; counts() has bounds.size() + 1 entries, the last
+/// being the +inf overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// sum/count, 0 when empty — the scalar summary exported per histogram.
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// One scalar snapshot field: the shared name/value unit of the JSON
+/// contract between et_cli and bench/ablation_serving.
+struct ScalarField {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Named registry with stable (registration-order) iteration. References
+/// returned by counter()/gauge()/histogram() stay valid for the registry's
+/// lifetime (deque-like storage via unique ownership).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Throws std::invalid_argument when the name is
+  /// already registered as a different metric kind, or (for histograms)
+  /// when `bounds` is empty or not strictly increasing.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Read-only lookup; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Every counter and gauge (value as double) plus
+  /// <name>_count/<name>_sum/<name>_mean per histogram, in registration
+  /// order — the flat field list both JSON emitters iterate.
+  [[nodiscard]] std::vector<ScalarField> scalars() const;
+
+  /// Full snapshot as a JSON object, stable field order. `indent` spaces
+  /// of leading indentation per line when > 0 (pretty), single line at 0.
+  [[nodiscard]] std::string json(int indent = 2) const;
+
+ private:
+  struct NamedCounter { std::string name; Counter metric; };
+  struct NamedGauge { std::string name; Gauge metric; };
+  struct NamedHistogram { std::string name; Histogram metric; };
+
+  // Vectors of unique_ptr-free values would invalidate references on
+  // growth; store stable-address nodes instead.
+  std::vector<std::unique_ptr<NamedCounter>> counters_;
+  std::vector<std::unique_ptr<NamedGauge>> gauges_;
+  std::vector<std::unique_ptr<NamedHistogram>> histograms_;
+};
+
+}  // namespace et::serving

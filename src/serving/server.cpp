@@ -1,0 +1,316 @@
+#include "serving/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace et::serving {
+
+namespace {
+
+/// Power-of-two tick buckets: latency budgets are tick counts, so the
+/// interesting range is 1..a few hundred ticks regardless of model size.
+std::vector<double> tick_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+/// Decode-rate buckets (tokens per modeled-device second) span the gap
+/// between a heavyweight model on one slot and a slim model on a full
+/// batch — log-spaced decades.
+std::vector<double> rate_bounds() {
+  return {1e2, 1e3, 1e4, 1e5, 1e6, 1e7};
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const std::vector<nn::EncoderWeights>* layers,
+                                 nn::EncoderOptions opt, ServerConfig cfg)
+    : sched_(layers, std::move(opt), cfg.max_batch, cfg.max_context),
+      cfg_(cfg) {
+  if (cfg.max_context == 0) {
+    throw std::invalid_argument("InferenceServer: max_context must be > 0");
+  }
+
+  // Registration order fixes the snapshot's field order — the contract
+  // et_cli --serve --json and bench/ablation_serving share.
+  submitted_ = &metrics_.counter("requests_submitted");
+  admitted_ = &metrics_.counter("requests_admitted");
+  completed_ = &metrics_.counter("requests_completed");
+  rejected_ = &metrics_.counter("requests_rejected");
+  cancelled_ = &metrics_.counter("requests_cancelled");
+  expired_ = &metrics_.counter("requests_expired");
+  kernel_faults_ = &metrics_.counter("kernel_faults");
+  tokens_emitted_ = &metrics_.counter("tokens_emitted");
+  ticks_ = &metrics_.counter("ticks");
+  for (std::size_t r = 0; r < nn::kStopReasonCount; ++r) {
+    stop_reason_[r] = &metrics_.counter(
+        "stop_" + std::string(to_string(static_cast<nn::StopReason>(r))));
+  }
+  queue_depth_gauge_ = &metrics_.gauge("queue_depth");
+  active_slots_gauge_ = &metrics_.gauge("active_slots");
+  kv_bytes_gauge_ = &metrics_.gauge("kv_bytes");
+  throughput_gauge_ = &metrics_.gauge("throughput_tokens_per_sec");
+  queue_wait_ = &metrics_.histogram("queue_wait_ticks", tick_bounds());
+  ttft_ = &metrics_.histogram("ttft_ticks", tick_bounds());
+  e2e_ = &metrics_.histogram("e2e_ticks", tick_bounds());
+  tokens_per_sec_ = &metrics_.histogram("tokens_per_sec", rate_bounds());
+
+  kv_bytes_gauge_->set(static_cast<double>(sched_.pool().memory_bytes()));
+}
+
+RequestHandle InferenceServer::submit(Request req) {
+  if (req.max_new_tokens > 0 && (!req.embed || !req.select)) {
+    throw std::invalid_argument(
+        "InferenceServer::submit: embed and select are required when "
+        "max_new_tokens > 0");
+  }
+  const RequestHandle h{records_.size()};
+  Record rec;
+  rec.submitted_tick = tick_;
+  rec.req = std::move(req);
+  records_.push_back(std::move(rec));
+  submitted_->inc();
+
+  Record& r = records_.back();
+  if (r.req.max_new_tokens == 0) {
+    // Nothing to decode: the empty happy path completes without touching
+    // the queue or a slot, mirroring the scheduler's own semantics.
+    finish_unadmitted(h.id, nn::StopReason::kMaxTokens, tick_);
+    completed_->inc();
+    return h;
+  }
+  if (queue_depth() >= cfg_.queue_capacity) {
+    // Backpressure: the bounded queue is the only buffer this runtime
+    // owns; when it is full the honest answer is an immediate typed
+    // rejection, not unbounded growth or silent blocking.
+    r.reject_reason = RejectReason::kQueueFull;
+    finish_unadmitted(h.id, nn::StopReason::kRejected, tick_);
+    rejected_->inc();
+    return h;
+  }
+  if (r.req.total_budget_ticks == 0) {
+    // Deadline checked at admission: a zero end-to-end budget can never
+    // produce a token, so it expires before it wastes queue space.
+    finish_unadmitted(h.id, nn::StopReason::kDeadlineExceeded, tick_);
+    expired_->inc();
+    return h;
+  }
+  queues_[static_cast<std::size_t>(r.req.priority)].push_back(h.id);
+  return h;
+}
+
+bool InferenceServer::cancel(RequestHandle h) {
+  Record& r = record(h);
+  if (r.state == RequestState::kFinished) return false;
+  if (r.state == RequestState::kQueued) {
+    auto& q = queues_[static_cast<std::size_t>(r.req.priority)];
+    q.erase(std::find(q.begin(), q.end(), h.id));
+    finish_unadmitted(h.id, nn::StopReason::kCancelled, tick_);
+    cancelled_->inc();
+    return true;
+  }
+  // Active: retire the slot now; tokens already emitted are kept (and
+  // were already streamed after the tick that produced them).
+  sched_.cancel(r.sched_id, nn::StopReason::kCancelled);
+  finish_admitted(h.id, tick_, /*device_us=*/-1.0);
+  cancelled_->inc();
+  return true;
+}
+
+void InferenceServer::expire_queued(std::size_t t) {
+  for (auto& q : queues_) {
+    for (std::size_t i = 0; i < q.size();) {
+      Record& r = records_[q[i]];
+      const std::size_t waited = t - r.submitted_tick;
+      const bool queue_out = r.req.queue_budget_ticks != kNoBudget &&
+                             waited > r.req.queue_budget_ticks;
+      const bool total_out = r.req.total_budget_ticks != kNoBudget &&
+                             waited >= r.req.total_budget_ticks;
+      if (queue_out || total_out) {
+        const std::uint64_t id = q[i];
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        finish_unadmitted(id, nn::StopReason::kDeadlineExceeded, t);
+        expired_->inc();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void InferenceServer::expire_active(std::size_t t) {
+  // Collect first: finishing erases from active_.
+  std::vector<std::uint64_t> out;
+  for (const std::uint64_t id : active_) {
+    const Record& r = records_[id];
+    if (r.req.total_budget_ticks != kNoBudget &&
+        t - r.submitted_tick >= r.req.total_budget_ticks) {
+      out.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : out) {
+    sched_.cancel(records_[id].sched_id, nn::StopReason::kDeadlineExceeded);
+    finish_admitted(id, t, /*device_us=*/-1.0);
+    expired_->inc();
+  }
+}
+
+void InferenceServer::admit_from_queues(core::ExecContext& ctx,
+                                        std::size_t t) {
+  std::size_t free = sched_.max_batch() - sched_.active();
+  for (auto& q : queues_) {  // class order: interactive, normal, bulk
+    while (free > 0 && !q.empty()) {
+      const std::uint64_t id = q.front();
+      q.pop_front();
+      Record& r = records_[id];
+      nn::GenerationRequest g;
+      g.first_token = r.req.first_token;
+      g.max_new_tokens = r.req.max_new_tokens;
+      g.embed = std::move(r.req.embed);
+      g.select = std::move(r.req.select);
+      g.eos_token = r.req.eos_token;
+      r.sched_id = sched_.submit(std::move(g));
+      r.admitted_tick = t;
+      r.admit_device_us = ctx.device().total_time_us();
+      r.state = RequestState::kActive;
+      active_.push_back(id);
+      admitted_->inc();
+      queue_wait_->observe(static_cast<double>(t - r.submitted_tick));
+      --free;
+    }
+  }
+}
+
+void InferenceServer::harvest(core::ExecContext& ctx, std::size_t t) {
+  std::vector<std::uint64_t> done;
+  for (const std::uint64_t id : active_) {
+    Record& r = records_[id];
+    const auto& toks = sched_.tokens_so_far(r.sched_id);
+    for (std::size_t j = r.streamed; j < toks.size(); ++j) {
+      if (j == 0) {
+        ttft_->observe(static_cast<double>(t + 1 - r.submitted_tick));
+      }
+      if (r.req.on_token) r.req.on_token(id, toks[j], j);
+    }
+    tokens_emitted_->inc(toks.size() - r.streamed);
+    r.streamed = toks.size();
+    if (sched_.finished(r.sched_id)) done.push_back(id);
+  }
+  for (const std::uint64_t id : done) {
+    finish_admitted(id, t + 1, ctx.device().total_time_us());
+    completed_->inc();
+  }
+}
+
+void InferenceServer::finish_unadmitted(std::uint64_t id,
+                                        nn::StopReason reason,
+                                        std::size_t t) {
+  Record& r = records_[id];
+  r.result.stop_reason = reason;
+  r.state = RequestState::kFinished;
+  r.finished_tick = t;
+  stop_reason_[static_cast<std::size_t>(reason)]->inc();
+  r.req.embed = nullptr;
+  r.req.select = nullptr;
+  r.req.on_token = nullptr;
+}
+
+void InferenceServer::finish_admitted(std::uint64_t id, std::size_t t,
+                                      double device_us) {
+  Record& r = records_[id];
+  r.result = sched_.result(r.sched_id);
+  r.streamed = r.result.tokens.size();
+  r.state = RequestState::kFinished;
+  r.finished_tick = t;
+  std::erase(active_, id);
+  e2e_->observe(static_cast<double>(t - r.submitted_tick));
+  stop_reason_[static_cast<std::size_t>(r.result.stop_reason)]->inc();
+  if (r.result.stop_reason == nn::StopReason::kKernelFault) {
+    kernel_faults_->inc();
+  }
+  if (device_us >= 0.0 && !r.result.tokens.empty()) {
+    const double span = device_us - r.admit_device_us;
+    if (span > 0.0) {
+      tokens_per_sec_->observe(
+          1e6 * static_cast<double>(r.result.tokens.size()) / span);
+    }
+  }
+  r.req.on_token = nullptr;
+}
+
+void InferenceServer::refresh_gauges(const gpusim::Device& dev) {
+  queue_depth_gauge_->set(static_cast<double>(queue_depth()));
+  active_slots_gauge_->set(static_cast<double>(sched_.active()));
+  const double us = dev.total_time_us();
+  throughput_gauge_->set(
+      us > 0.0 ? 1e6 * static_cast<double>(tokens_emitted_->value()) / us
+               : 0.0);
+}
+
+void InferenceServer::tick(core::ExecContext& ctx) {
+  const std::size_t t = tick_;
+  expire_queued(t);
+  expire_active(t);
+  admit_from_queues(ctx, t);
+  ticks_->inc();
+  if (sched_.active() > 0 || sched_.pending() > 0) {
+    sched_.tick(ctx);
+  }
+  harvest(ctx, t);
+  ++tick_;
+  refresh_gauges(ctx.device());
+}
+
+void InferenceServer::drain(core::ExecContext& ctx) {
+  while (!idle()) tick(ctx);
+}
+
+const nn::GenerationResult& InferenceServer::wait(RequestHandle h,
+                                                  core::ExecContext& ctx) {
+  while (record(h).state != RequestState::kFinished) tick(ctx);
+  return record(h).result;
+}
+
+bool InferenceServer::finished(RequestHandle h) const {
+  return record(h).state == RequestState::kFinished;
+}
+
+RequestStatus InferenceServer::status(RequestHandle h) const {
+  const Record& r = record(h);
+  RequestStatus s;
+  s.state = r.state;
+  s.reject_reason = r.reject_reason;
+  s.priority = r.req.priority;
+  s.submitted_tick = r.submitted_tick;
+  s.admitted_tick = r.admitted_tick;
+  s.finished_tick = r.finished_tick;
+  s.tokens_emitted = r.state == RequestState::kFinished
+                         ? r.result.tokens.size()
+                         : r.streamed;
+  return s;
+}
+
+const nn::GenerationResult& InferenceServer::result(RequestHandle h) const {
+  const Record& r = record(h);
+  if (r.state != RequestState::kFinished) {
+    throw std::logic_error("InferenceServer::result: request " +
+                           std::to_string(h.id) + " has not finished");
+  }
+  return r.result;
+}
+
+bool InferenceServer::idle() const noexcept {
+  if (!active_.empty()) return false;
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t InferenceServer::queue_depth() const noexcept {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+}  // namespace et::serving

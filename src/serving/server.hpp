@@ -1,0 +1,265 @@
+// serving::InferenceServer — the request-level serving runtime above
+// nn::BatchedGenerationScheduler (docs/serving.md).
+//
+// The scheduler (PR 2/3) decodes whatever it is given; this layer adds
+// the notion of a *request* arriving, waiting, being admitted, timing
+// out, being cancelled — the continuous-batching runtime that keeps the
+// fused decode tick's batch full under real traffic (the throughput
+// story of serving-oriented transformer stacks, Li et al. 2021):
+//
+//   - a bounded admission queue with explicit backpressure: submit() on a
+//     full queue finishes the request immediately with
+//     StopReason::kRejected instead of growing without bound;
+//   - priority classes (interactive > normal > bulk), FIFO within class;
+//   - per-request deadlines — a queue-wait budget and an end-to-end
+//     budget, both checked at admission and at the top of every tick;
+//   - cancellation of queued or active requests (emitted tokens kept);
+//   - streaming per-token callbacks, invoked on the drive thread in
+//     deterministic (admission) order;
+//   - a MetricsRegistry snapshot of the whole lifecycle.
+//
+// Time is LOGICAL: the clock is the server's own tick counter, so a
+// fixed arrival script and thread count reproduce the same admissions,
+// expiries, transcripts and metrics bit for bit, run after run — the
+// repo's determinism spine extended to the serving layer. Budgets are
+// therefore expressed in ticks (one tick ≈ one decoded token per active
+// request); wall-clock serving would wrap this runtime and map budgets
+// through its token cadence.
+//
+// Threading model: the drive loop (tick/drain/wait) is single-threaded —
+// host parallelism lives inside the scheduler's ExecContext-partitioned
+// kernels (docs/threading.md), which is what keeps the runtime
+// TSan-clean and its output thread-count-independent. submit/cancel/poll
+// are called from the same thread between ticks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/exec_context.hpp"
+#include "nn/batched_generation.hpp"
+#include "serving/metrics.hpp"
+
+namespace et::serving {
+
+/// Admission priority class. Lower value = served first; FIFO within a
+/// class. A full queue rejects regardless of class (backpressure is
+/// about total memory, not importance); a sustained stream of
+/// interactive arrivals can starve bulk — by design, bulk work should
+/// carry deadlines.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,
+  kNormal = 1,
+  kBulk = 2,
+};
+
+inline constexpr std::size_t kPriorityClasses = 3;
+
+[[nodiscard]] constexpr std::string_view to_string(Priority p) noexcept {
+  switch (p) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kNormal: return "normal";
+    case Priority::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+/// "No budget": the request waits / runs for as long as it takes.
+inline constexpr std::size_t kNoBudget = static_cast<std::size_t>(-1);
+
+/// Sentinel tick for "never happened" in RequestStatus.
+inline constexpr std::size_t kNoTick = static_cast<std::size_t>(-1);
+
+/// Streaming sink: called once per emitted token, on the drive thread,
+/// in deterministic order (admission order within a tick). `index` is
+/// the token's position in the request's output (0-based).
+using TokenCallback =
+    std::function<void(std::uint64_t request_id, std::int32_t token,
+                       std::size_t index)>;
+
+/// One serving request: the generation job plus its serving envelope.
+struct Request {
+  std::int32_t first_token = 0;
+  std::size_t max_new_tokens = 0;
+  nn::EmbedFn embed;
+  nn::SelectFn select;
+  std::int32_t eos_token = nn::kNoEosToken;
+
+  Priority priority = Priority::kNormal;
+  /// Max whole ticks the request may wait in the queue before admission;
+  /// exceeded => StopReason::kDeadlineExceeded with no tokens.
+  std::size_t queue_budget_ticks = kNoBudget;
+  /// Max ticks from submission to completion; exceeded => the request
+  /// finishes with kDeadlineExceeded, keeping the tokens emitted so far.
+  std::size_t total_budget_ticks = kNoBudget;
+  /// Optional streaming sink.
+  TokenCallback on_token;
+};
+
+struct RequestHandle {
+  std::uint64_t id = 0;
+  friend bool operator==(RequestHandle, RequestHandle) = default;
+};
+
+enum class RequestState : std::uint8_t { kQueued, kActive, kFinished };
+
+[[nodiscard]] constexpr std::string_view to_string(RequestState s) noexcept {
+  switch (s) {
+    case RequestState::kQueued: return "queued";
+    case RequestState::kActive: return "active";
+    case RequestState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+/// Why submit() refused admission (kNone for everything admitted).
+enum class RejectReason : std::uint8_t { kNone, kQueueFull };
+
+[[nodiscard]] constexpr std::string_view to_string(RejectReason r) noexcept {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+  }
+  return "?";
+}
+
+/// Poll view of one request's lifecycle.
+struct RequestStatus {
+  RequestState state = RequestState::kQueued;
+  RejectReason reject_reason = RejectReason::kNone;
+  Priority priority = Priority::kNormal;
+  std::size_t submitted_tick = 0;
+  std::size_t admitted_tick = kNoTick;  ///< kNoTick until admitted
+  std::size_t finished_tick = kNoTick;  ///< kNoTick until finished
+  std::size_t tokens_emitted = 0;
+};
+
+struct ServerConfig {
+  std::size_t max_batch = 8;      ///< decode slots (scheduler batch)
+  std::size_t max_context = 0;    ///< per-slot KV capacity; must be > 0
+  std::size_t queue_capacity = 64;  ///< bounded admission queue, all classes
+};
+
+class InferenceServer {
+ public:
+  /// `layers` is borrowed (same contract as the scheduler). Throws
+  /// std::invalid_argument on cfg.max_context == 0 or anything the
+  /// scheduler itself rejects (zero batch, pre-computed W_VO, bad
+  /// attention config).
+  InferenceServer(const std::vector<nn::EncoderWeights>* layers,
+                  nn::EncoderOptions opt, ServerConfig cfg);
+
+  /// Submit a request. Never blocks; on a full queue the request is
+  /// REJECTED: it finishes immediately with StopReason::kRejected and
+  /// status().reject_reason == kQueueFull. A total budget of zero ticks
+  /// likewise finishes immediately (kDeadlineExceeded) — it could never
+  /// complete. Throws std::invalid_argument when max_new_tokens > 0 but
+  /// embed/select are empty.
+  RequestHandle submit(Request req);
+
+  /// Cancel a queued or active request: it finishes with
+  /// StopReason::kCancelled, keeping tokens emitted so far. Returns
+  /// false when the request already finished (cancel lost the race).
+  bool cancel(RequestHandle h);
+
+  /// One continuous-batching drive step:
+  ///   1. expire queued/active requests whose budgets ran out,
+  ///   2. backfill every free slot from the queues (priority order,
+  ///      FIFO within class),
+  ///   3. run one scheduler tick (fused batched decode),
+  ///   4. deliver streaming tokens and retire finished requests,
+  ///   5. refresh the gauges.
+  void tick(core::ExecContext& ctx);
+
+  /// Drive until every submitted request has finished.
+  void drain(core::ExecContext& ctx);
+
+  /// Drive until `h` finishes; returns its result.
+  const nn::GenerationResult& wait(RequestHandle h, core::ExecContext& ctx);
+
+  [[nodiscard]] bool finished(RequestHandle h) const;
+  [[nodiscard]] RequestStatus status(RequestHandle h) const;
+  /// Throws std::logic_error until the request finishes.
+  [[nodiscard]] const nn::GenerationResult& result(RequestHandle h) const;
+
+  [[nodiscard]] bool idle() const noexcept;
+  [[nodiscard]] std::size_t queue_depth() const noexcept;
+  [[nodiscard]] std::size_t active_slots() const noexcept {
+    return sched_.active();
+  }
+  [[nodiscard]] std::size_t max_batch() const noexcept {
+    return sched_.max_batch();
+  }
+  /// The logical clock: number of completed drive ticks.
+  [[nodiscard]] std::size_t now() const noexcept { return tick_; }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  struct Record {
+    Request req;  // embed/select moved out at admission
+    RequestState state = RequestState::kQueued;
+    RejectReason reject_reason = RejectReason::kNone;
+    std::size_t submitted_tick = 0;
+    std::size_t admitted_tick = kNoTick;
+    std::size_t finished_tick = kNoTick;
+    std::size_t sched_id = 0;       // valid once admitted
+    std::size_t streamed = 0;       // tokens already delivered to on_token
+    double admit_device_us = 0.0;   // device clock at admission
+    nn::GenerationResult result;    // final outcome (copied from scheduler)
+  };
+
+  void expire_queued(std::size_t t);
+  void expire_active(std::size_t t);
+  void admit_from_queues(core::ExecContext& ctx, std::size_t t);
+  void harvest(core::ExecContext& ctx, std::size_t t);
+  void refresh_gauges(const gpusim::Device& dev);
+
+  /// Finish a never-admitted request (reject / cancel / queue expiry).
+  void finish_unadmitted(std::uint64_t id, nn::StopReason reason,
+                         std::size_t t);
+  /// Finish an admitted request whose scheduler result is final.
+  void finish_admitted(std::uint64_t id, std::size_t t, double device_us);
+
+  Record& record(RequestHandle h) { return records_.at(h.id); }
+  [[nodiscard]] const Record& record(RequestHandle h) const {
+    return records_.at(h.id);
+  }
+
+  nn::BatchedGenerationScheduler sched_;
+  ServerConfig cfg_;
+  std::vector<Record> records_;                       // index == handle id
+  std::deque<std::uint64_t> queues_[kPriorityClasses];  // FIFO per class
+  std::vector<std::uint64_t> active_;  // admitted, unfinished; admission order
+  std::size_t tick_ = 0;
+
+  MetricsRegistry metrics_;
+  // Named handles into metrics_, bound once in the constructor.
+  Counter* submitted_ = nullptr;
+  Counter* admitted_ = nullptr;
+  Counter* completed_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* cancelled_ = nullptr;
+  Counter* expired_ = nullptr;
+  Counter* kernel_faults_ = nullptr;
+  Counter* tokens_emitted_ = nullptr;
+  Counter* ticks_ = nullptr;
+  Counter* stop_reason_[nn::kStopReasonCount] = {};
+  Gauge* queue_depth_gauge_ = nullptr;
+  Gauge* active_slots_gauge_ = nullptr;
+  Gauge* kv_bytes_gauge_ = nullptr;
+  Gauge* throughput_gauge_ = nullptr;
+  Histogram* queue_wait_ = nullptr;
+  Histogram* ttft_ = nullptr;
+  Histogram* e2e_ = nullptr;
+  Histogram* tokens_per_sec_ = nullptr;
+};
+
+}  // namespace et::serving

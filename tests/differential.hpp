@@ -24,6 +24,7 @@
 #include "core/exec_context.hpp"
 #include "nn/batched_generation.hpp"
 #include "nn/generation.hpp"
+#include "serving/server.hpp"
 
 namespace et::diff {
 
@@ -150,6 +151,64 @@ inline BatchedRun run_batched(gpusim::Device& dev,
   run.ticks = sched.ticks();
   run.batched_ticks = sched.batched_ticks();
   run.per_slot_fallback_ticks = sched.per_slot_fallback_ticks();
+  return run;
+}
+
+/// One scripted arrival for the serving runtime: `request` becomes a
+/// serving::Request submitted right before the server's tick number
+/// `tick` runs (ticks the script skips still execute, so queued work
+/// drains between arrivals).
+struct Arrival {
+  std::size_t tick = 0;
+  Request request;
+  serving::Priority priority = serving::Priority::kNormal;
+  std::size_t queue_budget = serving::kNoBudget;
+  std::size_t total_budget = serving::kNoBudget;
+};
+
+struct ServedRun {
+  std::vector<Outcome> outcomes;  // indexed by arrival order
+  std::vector<serving::RequestHandle> handles;
+  std::size_t ticks = 0;
+};
+
+/// Drive an InferenceServer through a scripted arrival sequence and
+/// drain it. Outcomes are indexed by arrival order (== handle id order).
+/// `threads` sizes the ExecContext pool; every thread count must
+/// reproduce the same transcripts bit for bit — the serving axis of the
+/// differential sweep (docs/serving.md).
+inline ServedRun run_served(gpusim::Device& dev,
+                            const std::vector<nn::EncoderWeights>& layers,
+                            const nn::EncoderOptions& opt,
+                            const serving::ServerConfig& cfg,
+                            const std::vector<Arrival>& arrivals,
+                            std::int32_t vocab, std::size_t threads = 1) {
+  core::ExecContext ctx(dev, threads);
+  serving::InferenceServer server(&layers, opt, cfg);
+  ServedRun run;
+  run.outcomes.resize(arrivals.size());
+  std::size_t next = 0;  // arrivals must be sorted by tick
+  while (next < arrivals.size() || !server.idle()) {
+    while (next < arrivals.size() && arrivals[next].tick <= server.now()) {
+      const Arrival& a = arrivals[next];
+      serving::Request req;
+      req.first_token = a.request.first_token;
+      req.max_new_tokens = a.request.max_new_tokens;
+      req.embed = make_embed(opt.attn.d_model, a.request.seed);
+      req.select = make_select(vocab, &run.outcomes[next].hidden_hashes);
+      req.eos_token = a.request.eos_token;
+      req.priority = a.priority;
+      req.queue_budget_ticks = a.queue_budget;
+      req.total_budget_ticks = a.total_budget;
+      run.handles.push_back(server.submit(req));
+      ++next;
+    }
+    server.tick(ctx);
+  }
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    run.outcomes[i].result = server.result(run.handles[i]);
+  }
+  run.ticks = server.now();
   return run;
 }
 

@@ -4,6 +4,9 @@
 // linears).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string_view>
+
 #include "core/kv_cache.hpp"
 #include "nn/generation.hpp"
 #include "pruning/criteria.hpp"
@@ -274,6 +277,30 @@ TEST(Generate, StopsAtEosTokenAndKeepsTheEmission) {
   const auto full = et::nn::generate(ctx, session, 1, 6, embed, select);
   EXPECT_EQ(full.stop_reason, et::nn::StopReason::kMaxTokens);
   EXPECT_EQ(full.tokens.size(), 6u);
+}
+
+TEST(StopReason, ToStringIsDistinctForEveryEnumerator) {
+  // Regression for the serving-layer extension (kCancelled /
+  // kDeadlineExceeded / kRejected): every enumerator round-trips to a
+  // distinct, non-placeholder string, and kStopReasonCount matches the
+  // enum. to_string() is a no-default switch, so adding an enumerator
+  // without a case breaks the build; adding one without bumping
+  // kStopReasonCount breaks this test.
+  std::set<std::string_view> names;
+  for (std::size_t r = 0; r < et::nn::kStopReasonCount; ++r) {
+    const auto name = et::nn::to_string(static_cast<et::nn::StopReason>(r));
+    EXPECT_NE(name, "?") << "enumerator " << r << " missing a switch case";
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate to_string value: " << name;
+  }
+  EXPECT_EQ(names.size(), et::nn::kStopReasonCount);
+  // Spot-check the serving additions by exact spelling — these strings
+  // are metric names (`stop_<reason>`) and part of the JSON contract.
+  EXPECT_EQ(et::nn::to_string(et::nn::StopReason::kCancelled), "cancelled");
+  EXPECT_EQ(et::nn::to_string(et::nn::StopReason::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(et::nn::to_string(et::nn::StopReason::kRejected), "rejected");
 }
 
 }  // namespace

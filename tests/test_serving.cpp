@@ -1,0 +1,617 @@
+// serving::InferenceServer + serving::MetricsRegistry: the request-level
+// runtime must preserve the repo's determinism spine (a scripted arrival
+// sequence through the server is BIT-IDENTICAL to the sequential
+// reference at any thread count), enforce admission control (bounded
+// queue, priorities, deadlines, cancellation) with typed outcomes, and
+// account every lifecycle event in the metrics snapshot exactly once.
+// See tests/differential.hpp for the harness and docs/serving.md for the
+// methodology.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <ostream>
+#include <stdexcept>
+#include <tuple>
+
+#include "differential.hpp"
+#include "serving/metrics.hpp"
+#include "serving/server.hpp"
+
+namespace {
+
+using et::diff::Arrival;
+using et::diff::Request;
+using et::serving::InferenceServer;
+using et::serving::MetricsRegistry;
+using et::serving::Priority;
+using et::serving::RejectReason;
+using et::serving::RequestState;
+using et::serving::ServerConfig;
+
+constexpr std::int32_t kVocab = 257;
+
+struct Model {
+  std::vector<et::nn::EncoderWeights> layers;
+  et::nn::EncoderOptions opt;
+};
+
+Model make_model(std::size_t num_layers, std::size_t d_model,
+                 std::size_t num_heads, std::size_t max_context,
+                 std::uint64_t seed) {
+  et::nn::ModelConfig cfg;
+  cfg.num_layers = num_layers;
+  cfg.d_model = d_model;
+  cfg.num_heads = num_heads;
+  cfg.d_ff = 2 * d_model;
+
+  Model m;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    m.layers.push_back(et::nn::make_dense_encoder_weights(cfg, seed + l));
+  }
+  m.opt = et::nn::options_for(et::nn::Pipeline::kET, cfg, max_context,
+                              /*causal=*/true);
+  m.opt.attn.precision = et::numeric::Precision::kFp32;
+  return m;
+}
+
+/// A plain serving request over the differential harness closures.
+et::serving::Request make_request(const Model& m, std::int32_t first_token,
+                                  std::size_t max_new_tokens,
+                                  std::uint64_t seed) {
+  et::serving::Request r;
+  r.first_token = first_token;
+  r.max_new_tokens = max_new_tokens;
+  r.embed = et::diff::make_embed(m.opt.attn.d_model, seed);
+  r.select = et::diff::make_select(kVocab);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry primitives.
+// ---------------------------------------------------------------------------
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("requests");
+  c.inc();
+  c.inc(3);
+  EXPECT_EQ(c.value(), 4u);
+  EXPECT_EQ(&reg.counter("requests"), &c);  // find-or-create returns same
+
+  auto& g = reg.gauge("depth");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  EXPECT_EQ(reg.find_counter("requests"), &c);
+  EXPECT_EQ(reg.find_gauge("depth"), &g);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  EXPECT_EQ(reg.find_gauge("absent"), nullptr);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperEdgesPlusOverflow) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {1, 2, 4});
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 bounds + overflow
+
+  h.observe(1.0);  // inclusive: lands in bucket 0
+  h.observe(1.5);  // bucket 1
+  h.observe(4.0);  // bucket 2
+  h.observe(5.0);  // overflow
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 11.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 11.5 / 4.0);
+}
+
+TEST(Metrics, RegistryRejectsKindCollisionsAndBadBounds) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", {1, 2}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {2, 1}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {1, 1}), std::invalid_argument);
+}
+
+TEST(Metrics, ScalarsFollowRegistrationOrderAndCoverHistograms) {
+  MetricsRegistry reg;
+  reg.counter("b_first").inc(7);
+  reg.counter("a_second");
+  reg.gauge("depth").set(3);
+  reg.histogram("lat", {1, 2}).observe(1.5);
+
+  const auto fields = reg.scalars();
+  ASSERT_EQ(fields.size(), 6u);  // 2 counters + 1 gauge + 3 per histogram
+  EXPECT_EQ(fields[0].name, "b_first");  // registration order, not sorted
+  EXPECT_DOUBLE_EQ(fields[0].value, 7.0);
+  EXPECT_EQ(fields[1].name, "a_second");
+  EXPECT_EQ(fields[2].name, "depth");
+  EXPECT_EQ(fields[3].name, "lat_count");
+  EXPECT_DOUBLE_EQ(fields[3].value, 1.0);
+  EXPECT_EQ(fields[4].name, "lat_sum");
+  EXPECT_DOUBLE_EQ(fields[4].value, 1.5);
+  EXPECT_EQ(fields[5].name, "lat_mean");
+}
+
+TEST(Metrics, JsonSnapshotIsStableAndContainsEveryFamily) {
+  MetricsRegistry reg;
+  reg.counter("requests").inc(2);
+  reg.gauge("depth").set(1.5);
+  reg.histogram("lat", {1, 2}).observe(3.0);
+
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"counts\""), std::string::npos);
+  EXPECT_EQ(json, reg.json());  // snapshotting is pure
+
+  // Compact mode stays one line.
+  const std::string compact = reg.json(0);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: served == sequential == batched, bit for bit, at
+// threads 1/2/8 (the serving axis of the determinism spine).
+// ---------------------------------------------------------------------------
+struct ServeSweepCase {
+  std::size_t threads;
+  std::size_t max_batch;
+  std::size_t queue_capacity;
+};
+
+std::ostream& operator<<(std::ostream& os, const ServeSweepCase& c) {
+  return os << "threads=" << c.threads << " max_batch=" << c.max_batch
+            << " queue_capacity=" << c.queue_capacity;
+}
+
+class ServingDifferential : public ::testing::TestWithParam<ServeSweepCase> {};
+
+TEST_P(ServingDifferential, ScriptedArrivalsMatchSequentialBitForBit) {
+  const ServeSweepCase& c = GetParam();
+  const std::size_t max_context = 12;
+  const Model m = make_model(2, 32, 2, max_context, 40);
+
+  // Staggered arrivals: some at tick 0 (beyond the batch, so they queue),
+  // stragglers mid-run (continuous batching backfills them).
+  std::vector<Request> requests;
+  std::vector<Arrival> arrivals;
+  const std::size_t script[][2] = {
+      {0, 5}, {0, 3}, {0, 6}, {1, 4}, {3, 5}, {3, 2}, {6, 4}};
+  for (std::size_t i = 0; i < std::size(script); ++i) {
+    Request r{static_cast<std::int32_t>(i + 1), script[i][1],
+              et::nn::kNoEosToken, 90 + i};
+    requests.push_back(r);
+    arrivals.push_back({script[i][0], r});
+  }
+
+  et::gpusim::Device seq_dev, serve_dev;
+  const auto sequential = et::diff::run_sequential(
+      seq_dev, m.layers, m.opt, max_context, requests, kVocab);
+  const ServerConfig cfg{c.max_batch, max_context, c.queue_capacity};
+  const auto served = et::diff::run_served(serve_dev, m.layers, m.opt, cfg,
+                                           arrivals, kVocab, c.threads);
+
+  et::diff::expect_bit_identical(sequential, served.outcomes);
+  for (const auto& o : served.outcomes) {
+    EXPECT_EQ(o.result.stop_reason, et::nn::StopReason::kMaxTokens);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServingDifferential,
+                         ::testing::Values(ServeSweepCase{1, 3, 16},
+                                           ServeSweepCase{2, 3, 16},
+                                           ServeSweepCase{8, 3, 16},
+                                           ServeSweepCase{1, 2, 16},
+                                           ServeSweepCase{8, 2, 16}));
+
+TEST(ServingDifferentialCross, ThreadCountsAgreeOnTranscriptsAndMetrics) {
+  // Same script at threads {1,2,8}: transcripts, tick counts AND the full
+  // metrics JSON must be identical — the logical clock makes the whole
+  // serving snapshot reproducible, not just the tokens.
+  const std::size_t max_context = 10;
+  const Model m = make_model(2, 32, 2, max_context, 47);
+  std::vector<Arrival> arrivals;
+  for (std::size_t i = 0; i < 5; ++i) {
+    arrivals.push_back(
+        {i / 2, {static_cast<std::int32_t>(i + 3), 3 + i % 3,
+                 et::nn::kNoEosToken, 70 + i}});
+  }
+  const ServerConfig cfg{2, max_context, 8};
+
+  et::gpusim::Device d1;
+  const auto base = et::diff::run_served(d1, m.layers, m.opt, cfg, arrivals,
+                                         kVocab, /*threads=*/1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    et::gpusim::Device dn;
+    const auto other = et::diff::run_served(dn, m.layers, m.opt, cfg,
+                                            arrivals, kVocab, threads);
+    et::diff::expect_bit_identical(base.outcomes, other.outcomes);
+    EXPECT_EQ(base.ticks, other.ticks) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: backpressure, priorities, deadlines, cancellation.
+// ---------------------------------------------------------------------------
+TEST(Serving, FullQueueRejectsWithTypedReason) {
+  const Model m = make_model(1, 32, 2, 8, 51);
+  InferenceServer server(&m.layers, m.opt, {/*max_batch=*/1,
+                                            /*max_context=*/8,
+                                            /*queue_capacity=*/2});
+  const auto a = server.submit(make_request(m, 1, 4, 11));
+  const auto b = server.submit(make_request(m, 2, 4, 12));
+  const auto c = server.submit(make_request(m, 3, 4, 13));  // queue full
+
+  EXPECT_TRUE(server.finished(c));
+  EXPECT_EQ(server.result(c).stop_reason, et::nn::StopReason::kRejected);
+  EXPECT_TRUE(server.result(c).tokens.empty());
+  EXPECT_EQ(server.status(c).reject_reason, RejectReason::kQueueFull);
+  EXPECT_EQ(server.status(a).reject_reason, RejectReason::kNone);
+
+  EXPECT_EQ(server.metrics().find_counter("requests_rejected")->value(), 1u);
+  EXPECT_EQ(server.metrics().find_counter("stop_rejected")->value(), 1u);
+
+  // The rejection freed nothing: the queued pair still completes.
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+  server.drain(ctx);
+  EXPECT_EQ(server.result(a).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.result(b).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.metrics().find_counter("requests_completed")->value(), 2u);
+}
+
+TEST(Serving, PriorityClassesAdmitInteractiveBeforeBulk) {
+  const Model m = make_model(1, 32, 2, 10, 53);
+  InferenceServer server(&m.layers, m.opt, {1, 10, 8});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  // Occupy the single slot, then queue bulk BEFORE interactive: class
+  // order must beat FIFO order across classes.
+  const auto hog = server.submit(make_request(m, 1, 4, 21));
+  server.tick(ctx);
+  auto bulk_req = make_request(m, 2, 2, 22);
+  bulk_req.priority = Priority::kBulk;
+  const auto bulk = server.submit(std::move(bulk_req));
+  auto inter_req = make_request(m, 3, 2, 23);
+  inter_req.priority = Priority::kInteractive;
+  const auto inter = server.submit(std::move(inter_req));
+
+  server.drain(ctx);
+  EXPECT_EQ(server.result(hog).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.result(bulk).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.result(inter).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_LT(server.status(inter).admitted_tick,
+            server.status(bulk).admitted_tick);
+  EXPECT_EQ(server.status(inter).priority, Priority::kInteractive);
+}
+
+TEST(Serving, QueueBudgetExpiresWaitingRequests) {
+  const Model m = make_model(1, 32, 2, 10, 59);
+  InferenceServer server(&m.layers, m.opt, {1, 10, 8});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  const auto hog = server.submit(make_request(m, 1, 6, 31));
+  server.tick(ctx);  // hog admitted; slot stays busy for 6 ticks
+  auto impatient_req = make_request(m, 2, 3, 32);
+  impatient_req.queue_budget_ticks = 2;
+  const auto impatient = server.submit(std::move(impatient_req));
+  auto patient_req = make_request(m, 3, 3, 33);
+  const auto patient = server.submit(std::move(patient_req));
+
+  server.drain(ctx);
+  EXPECT_EQ(server.result(impatient).stop_reason,
+            et::nn::StopReason::kDeadlineExceeded);
+  EXPECT_TRUE(server.result(impatient).tokens.empty());
+  EXPECT_EQ(server.status(impatient).admitted_tick, et::serving::kNoTick);
+  // The patient request behind it still gets the slot and finishes.
+  EXPECT_EQ(server.result(patient).stop_reason,
+            et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.result(hog).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.metrics().find_counter("requests_expired")->value(), 1u);
+  EXPECT_EQ(server.metrics().find_counter("stop_deadline_exceeded")->value(),
+            1u);
+}
+
+TEST(Serving, TotalBudgetTruncatesActiveRequestKeepingThePrefix) {
+  const Model m = make_model(1, 32, 2, 16, 61);
+  InferenceServer server(&m.layers, m.opt, {1, 16, 8});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  auto req = make_request(m, 1, 12, 41);
+  req.total_budget_ticks = 3;
+  const auto h = server.submit(std::move(req));
+  server.drain(ctx);
+
+  EXPECT_EQ(server.result(h).stop_reason,
+            et::nn::StopReason::kDeadlineExceeded);
+  // Admitted at tick 0, expired at the top of tick 3: ticks 0..2 each
+  // produced a token — the kept prefix.
+  EXPECT_EQ(server.result(h).tokens.size(), 3u);
+  EXPECT_EQ(server.status(h).finished_tick, 3u);
+}
+
+TEST(Serving, ZeroTotalBudgetExpiresAtSubmit) {
+  const Model m = make_model(1, 32, 2, 8, 67);
+  InferenceServer server(&m.layers, m.opt, {1, 8, 8});
+  auto req = make_request(m, 1, 4, 43);
+  req.total_budget_ticks = 0;
+  const auto h = server.submit(std::move(req));
+  EXPECT_TRUE(server.finished(h));
+  EXPECT_EQ(server.result(h).stop_reason,
+            et::nn::StopReason::kDeadlineExceeded);
+  EXPECT_TRUE(server.idle());
+}
+
+TEST(Serving, CancelQueuedAndActiveKeepsEmittedTokens) {
+  const Model m = make_model(1, 32, 2, 16, 71);
+  InferenceServer server(&m.layers, m.opt, {1, 16, 8});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  const auto active = server.submit(make_request(m, 1, 10, 51));
+  const auto queued = server.submit(make_request(m, 2, 10, 52));
+  server.tick(ctx);
+  server.tick(ctx);  // `active` has emitted 2 tokens by now
+
+  EXPECT_TRUE(server.cancel(queued));
+  EXPECT_EQ(server.result(queued).stop_reason,
+            et::nn::StopReason::kCancelled);
+  EXPECT_TRUE(server.result(queued).tokens.empty());
+
+  EXPECT_EQ(server.status(active).state, RequestState::kActive);
+  EXPECT_TRUE(server.cancel(active));
+  EXPECT_EQ(server.result(active).stop_reason,
+            et::nn::StopReason::kCancelled);
+  EXPECT_EQ(server.result(active).tokens.size(), 2u);  // prefix kept
+  EXPECT_TRUE(server.idle());
+
+  // Cancel after finish loses the race and reports it.
+  EXPECT_FALSE(server.cancel(active));
+  EXPECT_EQ(server.metrics().find_counter("requests_cancelled")->value(), 2u);
+  EXPECT_EQ(server.metrics().find_counter("stop_cancelled")->value(), 2u);
+
+  // The freed slot is reusable: a fresh request still decodes.
+  const auto fresh = server.submit(make_request(m, 3, 2, 53));
+  server.drain(ctx);
+  EXPECT_EQ(server.result(fresh).stop_reason, et::nn::StopReason::kMaxTokens);
+}
+
+TEST(Serving, StreamingCallbacksDeliverEveryTokenInOrder) {
+  const Model m = make_model(1, 32, 2, 10, 73);
+  InferenceServer server(&m.layers, m.opt, {2, 10, 8});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  std::vector<std::tuple<std::uint64_t, std::int32_t, std::size_t>> stream;
+  et::serving::RequestHandle handles[2];
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto req = make_request(m, static_cast<std::int32_t>(i + 1), 4, 60 + i);
+    req.on_token = [&stream](std::uint64_t id, std::int32_t tok,
+                             std::size_t index) {
+      stream.emplace_back(id, tok, index);
+    };
+    handles[i] = server.submit(std::move(req));
+  }
+  server.drain(ctx);
+
+  // Every token streamed exactly once, indices contiguous per request,
+  // and the streamed values equal the final transcript.
+  std::vector<std::vector<std::int32_t>> streamed(2);
+  for (const auto& [id, tok, index] : stream) {
+    ASSERT_LT(id, 2u);
+    ASSERT_EQ(index, streamed[id].size());  // in-order, no gaps
+    streamed[id].push_back(tok);
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(streamed[i], server.result(handles[i]).tokens);
+  }
+  EXPECT_EQ(server.metrics().find_counter("tokens_emitted")->value(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Serving under fault injection (satellite 4): an armed FaultInjector
+// retires only the owning request; queued requests still complete; the
+// registry counts the fault exactly once.
+// ---------------------------------------------------------------------------
+TEST(ServingFaults, SlotFaultRetiresOnlyTheOwnerAndCountsOnce) {
+  const std::size_t max_context = 10;
+  const Model m = make_model(2, 32, 2, max_context, 79);
+  std::vector<Arrival> arrivals;
+  for (std::size_t i = 0; i < 4; ++i) {  // 2 slots: requests 2,3 queue
+    arrivals.push_back({0, {static_cast<std::int32_t>(i + 1), 5,
+                            et::nn::kNoEosToken, 80 + i}});
+  }
+  const ServerConfig cfg{2, max_context, 8};
+
+  // Clean run: reference transcripts + the launch history that locates
+  // slot 1's attention kernel in its second tick (faulted launches never
+  // reach the history, so launch index == history index).
+  et::gpusim::Device clean_dev;
+  const auto clean = et::diff::run_served(clean_dev, m.layers, m.opt, cfg,
+                                          arrivals, kVocab);
+  std::vector<std::size_t> slot1_attention;
+  const auto& history = clean_dev.history();
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history[i].slot == 1 &&
+        history[i].name == "incremental_otf_attention") {
+      slot1_attention.push_back(i);
+    }
+  }
+  ASSERT_GE(slot1_attention.size(), m.layers.size() + 1);
+  const std::size_t target = slot1_attention[m.layers.size()];
+
+  // Armed run, driven directly so the metrics are inspectable.
+  et::gpusim::Device fault_dev;
+  fault_dev.fault_injector().arm_nth_launch(target);
+  et::core::ExecContext ctx(fault_dev);
+  InferenceServer server(&m.layers, m.opt, cfg);
+  std::vector<et::serving::RequestHandle> handles;
+  std::vector<std::vector<std::uint64_t>> hashes(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    et::serving::Request req;
+    req.first_token = arrivals[i].request.first_token;
+    req.max_new_tokens = arrivals[i].request.max_new_tokens;
+    req.embed = et::diff::make_embed(m.opt.attn.d_model,
+                                     arrivals[i].request.seed);
+    req.select = et::diff::make_select(kVocab, &hashes[i]);
+    handles.push_back(server.submit(req));
+  }
+  server.drain(ctx);
+
+  // Request 1 (slot 1) faulted after one surviving tick.
+  const auto& hit = server.result(handles[1]);
+  EXPECT_EQ(hit.stop_reason, et::nn::StopReason::kKernelFault);
+  EXPECT_NE(hit.fault_kernel.find("incremental_otf_attention"),
+            std::string::npos);
+  ASSERT_EQ(hit.tokens.size(), 1u);
+  EXPECT_EQ(hit.tokens[0], clean.outcomes[1].result.tokens[0]);
+
+  // Everyone else — including the two that were QUEUED behind the fault —
+  // completes with the clean run's exact transcript: the freed slot was
+  // recycled and the fault never leaked across slots.
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    EXPECT_EQ(server.result(handles[i]).stop_reason,
+              et::nn::StopReason::kMaxTokens)
+        << "request " << i;
+    EXPECT_EQ(server.result(handles[i]).tokens,
+              clean.outcomes[i].result.tokens)
+        << "request " << i;
+    EXPECT_EQ(hashes[i], clean.outcomes[i].hidden_hashes) << "request " << i;
+  }
+
+  // The registry saw the fault exactly once, in both views.
+  const auto& metrics = server.metrics();
+  EXPECT_EQ(metrics.find_counter("kernel_faults")->value(), 1u);
+  EXPECT_EQ(metrics.find_counter("stop_kernel_fault")->value(), 1u);
+  EXPECT_EQ(metrics.find_counter("requests_completed")->value(), 4u);
+  EXPECT_EQ(metrics.find_counter("requests_submitted")->value(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Server API contract + metrics bookkeeping.
+// ---------------------------------------------------------------------------
+TEST(ServingApi, ConstructorAndSubmitValidateTheirArguments) {
+  const Model m = make_model(1, 32, 2, 8, 83);
+  EXPECT_THROW(InferenceServer(&m.layers, m.opt, {2, /*max_context=*/0, 8}),
+               std::invalid_argument);
+  EXPECT_THROW(InferenceServer(&m.layers, m.opt, {/*max_batch=*/0, 8, 8}),
+               std::invalid_argument);
+
+  InferenceServer server(&m.layers, m.opt, {2, 8, 8});
+  et::serving::Request missing;  // no embed/select
+  missing.max_new_tokens = 3;
+  EXPECT_THROW(server.submit(std::move(missing)), std::invalid_argument);
+}
+
+TEST(ServingApi, ZeroTokenRequestCompletesAtSubmit) {
+  const Model m = make_model(1, 32, 2, 8, 89);
+  InferenceServer server(&m.layers, m.opt, {2, 8, 8});
+  et::serving::Request req;  // embed/select not needed for 0 tokens
+  const auto h = server.submit(std::move(req));
+  EXPECT_TRUE(server.finished(h));
+  EXPECT_TRUE(server.idle());
+  EXPECT_TRUE(server.result(h).tokens.empty());
+  EXPECT_EQ(server.result(h).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.metrics().find_counter("requests_completed")->value(), 1u);
+}
+
+TEST(ServingApi, ResultThrowsUntilFinishedAndWaitDrivesToCompletion) {
+  const Model m = make_model(1, 32, 2, 8, 97);
+  InferenceServer server(&m.layers, m.opt, {1, 8, 8});
+  const auto h = server.submit(make_request(m, 1, 3, 71));
+  EXPECT_FALSE(server.finished(h));
+  EXPECT_THROW((void)server.result(h), std::logic_error);
+  EXPECT_EQ(server.status(h).state, RequestState::kQueued);
+  EXPECT_EQ(server.queue_depth(), 1u);
+
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+  const auto& result = server.wait(h, ctx);
+  EXPECT_EQ(result.tokens.size(), 3u);
+  EXPECT_EQ(server.status(h).state, RequestState::kFinished);
+  EXPECT_EQ(server.active_slots(), 0u);
+  EXPECT_TRUE(server.idle());
+}
+
+TEST(ServingApi, LifecycleCountersBalanceAfterAMixedWorkload) {
+  const Model m = make_model(1, 32, 2, 12, 101);
+  InferenceServer server(&m.layers, m.opt, {1, 12, 2});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  const auto done = server.submit(make_request(m, 1, 3, 81));    // completes
+  const auto victim = server.submit(make_request(m, 2, 3, 82));  // cancelled
+  const auto reject = server.submit(make_request(m, 3, 3, 83));  // queue full
+  server.cancel(victim);
+  auto hurried = make_request(m, 4, 9, 84);
+  hurried.total_budget_ticks = 2;  // expires mid-decode
+  const auto expired = server.submit(std::move(hurried));
+  server.drain(ctx);
+
+  const auto& mx = server.metrics();
+  EXPECT_EQ(mx.find_counter("requests_submitted")->value(), 4u);
+  EXPECT_EQ(mx.find_counter("requests_completed")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("requests_cancelled")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("requests_rejected")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("requests_expired")->value(), 1u);
+  // Every submission resolved to exactly one terminal stop reason.
+  EXPECT_EQ(mx.find_counter("stop_max_tokens")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("stop_cancelled")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("stop_rejected")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("stop_deadline_exceeded")->value(), 1u);
+  EXPECT_EQ(server.result(done).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.result(reject).stop_reason,
+            et::nn::StopReason::kRejected);
+  EXPECT_EQ(server.result(expired).stop_reason,
+            et::nn::StopReason::kDeadlineExceeded);
+  EXPECT_GT(mx.find_gauge("kv_bytes")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(mx.find_gauge("queue_depth")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(mx.find_gauge("active_slots")->value(), 0.0);
+}
+
+TEST(ServingApi, MetricsJsonIsIdenticalAcrossIdenticalRuns) {
+  const Model m = make_model(1, 32, 2, 10, 103);
+  std::vector<Arrival> arrivals;
+  for (std::size_t i = 0; i < 4; ++i) {
+    arrivals.push_back({i, {static_cast<std::int32_t>(i + 1), 3,
+                            et::nn::kNoEosToken, 90 + i}});
+  }
+  const ServerConfig cfg{2, 10, 4};
+
+  std::string snapshots[2];
+  for (auto& snapshot : snapshots) {
+    et::gpusim::Device dev;
+    et::core::ExecContext ctx(dev);
+    InferenceServer server(&m.layers, m.opt, cfg);
+    std::size_t next = 0;
+    while (next < arrivals.size() || !server.idle()) {
+      while (next < arrivals.size() &&
+             arrivals[next].tick <= server.now()) {
+        et::serving::Request req;
+        req.first_token = arrivals[next].request.first_token;
+        req.max_new_tokens = arrivals[next].request.max_new_tokens;
+        req.embed = et::diff::make_embed(m.opt.attn.d_model,
+                                         arrivals[next].request.seed);
+        req.select = et::diff::make_select(kVocab);
+        (void)server.submit(std::move(req));
+        ++next;
+      }
+      server.tick(ctx);
+    }
+    snapshot = server.metrics().json();
+  }
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+}
+
+}  // namespace
