@@ -46,7 +46,8 @@ RunOutcome run_batched(const std::vector<et::nn::EncoderWeights>& layers,
                        std::size_t tokens_per_seq, std::size_t max_context,
                        std::size_t d_model, std::size_t threads,
                        bool traffic_only) {
-  et::nn::BatchedGenerationScheduler sched(&layers, opt, batch, max_context);
+  et::nn::BatchedGenerationScheduler sched(
+      et::nn::Model(&layers, opt, max_context), batch);
   for (std::size_t i = 0; i < batch; ++i) {
     et::nn::GenerationRequest req;
     req.first_token = static_cast<std::int32_t>(i);
@@ -210,7 +211,7 @@ int main(int argc, char** argv) {
     et::gpusim::Device dev;
     et::core::ExecContext ctx(dev);
     dev.set_traffic_only(true);
-    et::nn::GenerationSession session(&layers, opt, kMaxContext);
+    et::nn::GenerationSession session(et::nn::Model(&layers, opt, kMaxContext));
     const auto embed = [&model](std::int32_t, std::size_t) {
       return et::tensor::MatrixF(1, model.d_model);
     };

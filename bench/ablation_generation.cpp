@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
                          csv);
   for (const double ratio : {0.0, 0.7}) {
     const auto layers = build_layers(model, ratio);
-    et::nn::GenerationSession session(&layers, opt, 600);
+    et::nn::GenerationSession session(et::nn::Model(&layers, opt, 600));
     et::tensor::MatrixF row(1, model.d_model);
 
     // Prefill a 128-token prompt (token-by-token through the cache).

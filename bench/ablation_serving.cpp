@@ -13,29 +13,79 @@
 // waits — the serving loss/latency trade, fully deterministic (modeled
 // device time, logical tick clock).
 //
-// Row fields are the run configuration plus EVERY
-// serving::MetricsRegistry scalar, pulled from metrics().scalars() — the
-// same list `et_cli --serve --json` emits, so the two outputs share one
-// field-name contract by construction. --json / --csv as usual.
+// Row fields are the run configuration (including the nn::Model weight
+// layout) plus EVERY serving::MetricsRegistry scalar, pulled from
+// metrics().scalars() — the same list `et_cli --serve --json` emits, so
+// the two outputs share one field-name contract by construction.
+// --json / --csv as usual.
 //
-// The bench also re-runs one configuration twice and at a different
-// thread count and exits nonzero if any metric differs — the serving
-// determinism contract, enforced at bench level too.
+// Two hard determinism/equivalence gates (exit nonzero on violation):
+//   1. one configuration re-run and run at 4 threads must reproduce the
+//      identical metrics snapshot (the serving determinism contract);
+//   2. the weight-layout rows decode the same workload through dense
+//      weights and through the pre-computed W_VO fold (§3.1) built so
+//      the fold is EXACT (each kept W_O row holds one ±1 per head
+//      block), and the transcripts must match token for token while the
+//      folded rows carry strictly less KV storage and device traffic.
+#include <bit>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/exec_context.hpp"
+#include "core/weights.hpp"
 #include "gpusim/device.hpp"
 #include "serving/server.hpp"
+#include "sparse/formats.hpp"
 
 namespace {
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic content-bearing embedding: every entry depends on
+/// (seed, token, position, column), so transcripts are bit-sensitive to
+/// the decode math — the same closures the differential tests use.
+et::nn::EmbedFn make_embed(std::size_t d_model, std::uint64_t seed) {
+  return [d_model, seed](std::int32_t token, std::size_t position) {
+    et::tensor::MatrixF row(1, d_model);
+    const std::uint64_t base =
+        splitmix64(seed ^ (static_cast<std::uint64_t>(token) << 32) ^
+                   static_cast<std::uint64_t>(position));
+    for (std::size_t c = 0; c < d_model; ++c) {
+      const std::uint64_t h = splitmix64(base + c);
+      row(0, c) =
+          static_cast<float>(h >> 40) / static_cast<float>(1ull << 24) - 0.5f;
+    }
+    return row;
+  };
+}
+
+/// Bit-sensitive token selection: folds the raw IEEE-754 bits of the
+/// hidden state into the next token, so a single-ulp divergence between
+/// two runs flips their transcripts.
+et::nn::SelectFn make_select(std::int32_t vocab) {
+  return [vocab](const et::tensor::MatrixF& hidden) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (float v : hidden.flat()) {
+      h = splitmix64(h ^ std::bit_cast<std::uint32_t>(v));
+    }
+    return static_cast<std::int32_t>(h % static_cast<std::uint64_t>(vocab));
+  };
+}
+
 struct ServeOutcome {
   double time_us = 0.0;
+  std::string weights;  // nn::Model::weight_layout()
   std::vector<et::serving::ScalarField> scalars;
   std::string metrics_json;
+  std::vector<std::vector<std::int32_t>> transcripts;  // submission order
+  double kv_bytes = 0.0;
 };
 
 struct ServeParams {
@@ -45,32 +95,30 @@ struct ServeParams {
   std::size_t tokens = 8;
   std::size_t arrive = 0;  // requests per tick; 0 = all at tick 0
   std::size_t threads = 1;
+  std::int32_t vocab = 96;
 };
 
 ServeOutcome run_served(const std::vector<et::nn::EncoderWeights>& layers,
-                        const et::nn::EncoderOptions& opt, std::size_t d_model,
+                        const et::nn::EncoderOptions& opt,
                         const ServeParams& p) {
-  et::serving::ServerConfig cfg;
-  cfg.max_batch = p.slots;
-  cfg.max_context = p.tokens + 1;
-  cfg.queue_capacity = p.queue_capacity;
-  et::serving::InferenceServer server(&layers, opt, cfg);
+  const et::nn::Model model(&layers, opt, p.tokens + 1);
+  et::serving::InferenceServer server(model,
+                                      {p.slots, p.queue_capacity});
 
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev, p.threads);
   dev.set_traffic_only(true);
 
+  std::vector<et::serving::RequestHandle> handles;
   std::size_t submitted = 0;
   const auto submit_some = [&](std::size_t n) {
     for (std::size_t k = 0; k < n && submitted < p.requests; ++k) {
       et::serving::Request req;
       req.first_token = static_cast<std::int32_t>(submitted);
       req.max_new_tokens = p.tokens;
-      req.embed = [d_model](std::int32_t, std::size_t) {
-        return et::tensor::MatrixF(1, d_model);
-      };
-      req.select = [](const et::tensor::MatrixF&) { return std::int32_t{1}; };
-      (void)server.submit(std::move(req));
+      req.embed = make_embed(model.d_model(), /*seed=*/31 + submitted);
+      req.select = make_select(p.vocab);
+      handles.push_back(server.submit(std::move(req)));
       ++submitted;
     }
   };
@@ -82,9 +130,34 @@ ServeOutcome run_served(const std::vector<et::nn::EncoderWeights>& layers,
 
   ServeOutcome out;
   out.time_us = dev.total_time_us();
+  out.weights = std::string(model.weight_layout());
   out.scalars = server.metrics().scalars();
   out.metrics_json = server.metrics().json(0);
+  for (const auto& h : handles) {
+    out.transcripts.push_back(server.result(h).tokens);
+  }
+  for (const auto& f : out.scalars) {
+    if (f.name == "kv_bytes") out.kv_bytes = f.value;
+  }
   return out;
+}
+
+/// A signed-selection output projection: kept row r carries exactly one
+/// ±1 entry in every head's column block (at in-head feature r), all
+/// other rows are zero. Folding it with precompute_vo is then EXACT —
+/// every folded row is ±(a W_V row) and the scattered head-sum adds the
+/// same floats in the same order the dense out-projection dot product
+/// does — so dense and folded decodes must agree bit for bit.
+et::tensor::MatrixF selection_wo(std::size_t d_model, std::size_t num_heads,
+                                 std::size_t kept) {
+  const std::size_t dk = d_model / num_heads;
+  et::tensor::MatrixF wo(d_model, d_model);
+  for (std::size_t r = 0; r < kept; ++r) {
+    for (std::size_t h = 0; h < num_heads; ++h) {
+      wo(r, h * dk + r) = ((r + h) % 2 == 0) ? 1.0f : -1.0f;
+    }
+  }
+  return wo;
 }
 
 }  // namespace
@@ -110,11 +183,13 @@ int main(int argc, char** argv) {
   // Headers: run configuration + every registry scalar, in registration
   // order. Taken from a real (empty) server so a renamed or added metric
   // propagates here and to et_cli automatically.
-  std::vector<std::string> headers = {"offered_per_tick", "requests", "slots",
-                                      "queue_capacity", "threads", "time_us"};
+  std::vector<std::string> headers = {"offered_per_tick", "requests",
+                                      "slots",            "queue_capacity",
+                                      "threads",          "weights",
+                                      "time_us"};
   {
-    et::serving::ServerConfig probe{2, 4, 4};
-    et::serving::InferenceServer server(&layers, opt, probe);
+    et::serving::InferenceServer server(et::nn::Model(&layers, opt, 4),
+                                        {2, 4});
     for (const auto& f : server.metrics().scalars()) {
       headers.push_back(f.name);
     }
@@ -130,9 +205,10 @@ int main(int argc, char** argv) {
 
   const auto add_row = [&](const ServeParams& p, const ServeOutcome& r) {
     std::vector<std::string> row = {
-        std::to_string(p.arrive),     std::to_string(p.requests),
-        std::to_string(p.slots),      std::to_string(p.queue_capacity),
-        std::to_string(p.threads),    et::bench::fmt(r.time_us, 1)};
+        std::to_string(p.arrive),  std::to_string(p.requests),
+        std::to_string(p.slots),   std::to_string(p.queue_capacity),
+        std::to_string(p.threads), r.weights,
+        et::bench::fmt(r.time_us, 1)};
     for (const auto& f : r.scalars) row.push_back(et::bench::fmt(f.value, 3));
     table.add_row(std::move(row));
   };
@@ -144,7 +220,7 @@ int main(int argc, char** argv) {
   for (const std::size_t arrive : {0u, 1u, 2u, 4u, 8u}) {
     ServeParams p;
     p.arrive = arrive;
-    add_row(p, run_served(layers, opt, model.d_model, p));
+    add_row(p, run_served(layers, opt, p));
   }
 
   // ---- Determinism spine: one mid-load configuration re-run and run
@@ -152,11 +228,11 @@ int main(int argc, char** argv) {
   {
     ServeParams p;
     p.arrive = 2;
-    const auto a = run_served(layers, opt, model.d_model, p);
-    const auto b = run_served(layers, opt, model.d_model, p);
+    const auto a = run_served(layers, opt, p);
+    const auto b = run_served(layers, opt, p);
     ServeParams pt = p;
     pt.threads = 4;
-    const auto c = run_served(layers, opt, model.d_model, pt);
+    const auto c = run_served(layers, opt, pt);
     if (a.metrics_json != b.metrics_json || a.metrics_json != c.metrics_json ||
         a.time_us != b.time_us || a.time_us != c.time_us) {
       std::fprintf(stderr,
@@ -167,6 +243,54 @@ int main(int argc, char** argv) {
     add_row(pt, c);
   }
 
+  // ---- Weight-layout rows: the same mid-load workload decoded through
+  // dense weights and through the pre-computed W_VO fold, sharing every
+  // projection. The fold condenses the cached V plane from d_model to
+  // H·kept floats per token and drops the out-projection entirely, so
+  // its row must show strictly lower kv_bytes AND device traffic — while
+  // the exact-fold construction makes any transcript divergence a bug,
+  // not noise.
+  {
+    constexpr std::size_t kKept = 16;  // per head; d_k = 64 stays condensable
+    std::vector<std::uint32_t> kept_cols(kKept);
+    for (std::size_t r = 0; r < kKept; ++r) {
+      kept_cols[r] = static_cast<std::uint32_t>(r);
+    }
+    std::vector<et::nn::EncoderWeights> dense_layers = layers;
+    std::vector<et::nn::EncoderWeights> folded_layers = layers;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      const auto& wv =
+          std::get<et::sparse::DenseWeight>(layers[l].attn.wv).matrix();
+      auto wo = selection_wo(model.d_model, model.num_heads, kKept);
+      dense_layers[l].attn.wo = et::sparse::DenseWeight(wo);
+      folded_layers[l].attn.wo = et::sparse::DenseWeight(wo);
+      folded_layers[l].attn.vo = et::core::precompute_vo(
+          wv, wo, model.num_heads, kept_cols);
+    }
+
+    ServeParams p;
+    p.arrive = 2;
+    const auto dense = run_served(dense_layers, opt, p);
+    const auto folded = run_served(folded_layers, opt, p);
+    if (dense.transcripts != folded.transcripts) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE VIOLATION: pre-computed W_VO transcripts "
+                   "diverged from the dense decode\n");
+      return 1;
+    }
+    if (!(folded.kv_bytes < dense.kv_bytes) ||
+        !(folded.time_us < dense.time_us)) {
+      std::fprintf(stderr,
+                   "TRAFFIC VIOLATION: folded layout not cheaper "
+                   "(kv_bytes %.0f vs %.0f, time_us %.1f vs %.1f)\n",
+                   folded.kv_bytes, dense.kv_bytes, folded.time_us,
+                   dense.time_us);
+      return 1;
+    }
+    add_row(p, dense);
+    add_row(p, folded);
+  }
+
   table.print();
 
   if (!csv && !json) {
@@ -174,8 +298,12 @@ int main(int argc, char** argv) {
         "\nReading the sweep: the tick-0 burst bounces off the bounded\n"
         "queue (max rejections, short waits); steadier arrivals admit\n"
         "more requests but wait longer — loss vs latency at fixed\n"
-        "capacity. The final row repeats a config at 4 threads with a\n"
-        "bit-identical snapshot (the serving determinism contract).\n");
+        "capacity. The threads=4 row repeats a config with a\n"
+        "bit-identical snapshot (the serving determinism contract), and\n"
+        "the dense/precomputed pair decodes one workload through both\n"
+        "layouts: identical transcripts, smaller KV plane and less\n"
+        "device traffic under the fold (verified; nonzero exit on any\n"
+        "divergence).\n");
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/weights.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/profiler.hpp"
 #include "gpusim/trace_export.hpp"
@@ -19,6 +20,8 @@
 #include "nn/encoder.hpp"
 #include "pruning/strategy.hpp"
 #include "serving/server.hpp"
+#include "sparse/formats.hpp"
+#include "sparse/mask.hpp"
 #include "train/model.hpp"
 
 namespace {
@@ -31,6 +34,10 @@ struct Args {
   std::size_t seq = 128;
   std::size_t batch = 0;    // > 0: batched-generation serving demo
   std::size_t tokens = 16;  // tokens per sequence in serving modes
+  // Decode-path weight layout for --serve/--batch: the cached dense
+  // path, the pre-computed W_VO fold (§3.1), or attention-aware pruned
+  // formats (condensed-V row-pruned W_V + tile-pruned W_Q).
+  std::string weights_layout = "dense";
   std::size_t threads = 1;  // ExecContext thread-pool size
   double ratio = 0.0;
   bool profile = false;
@@ -178,6 +185,19 @@ bool parse(int argc, char** argv, Args& a) {
         }
       }
     }
+    else if (arg == "--weights") {
+      if (next(arg, v)) {
+        if (v != "dense" && v != "precomputed" && v != "pruned") {
+          std::fprintf(stderr,
+                       "bad value for --weights: '%s' (want dense | "
+                       "precomputed | pruned)\n",
+                       v.c_str());
+          ok = false;
+        } else {
+          a.weights_layout = v;
+        }
+      }
+    }
     else if (arg == "--serve") a.serve = true;
     else if (arg == "--profile") a.profile = true;
     else if (arg == "--json") a.json = true;
@@ -209,6 +229,13 @@ void usage() {
       "              slot-based batched scheduler (see docs/serving.md);\n"
       "              under --serve, N is the slot count (default 4, cap 8)\n"
       "  --tokens T  tokens per sequence in serving modes (default 16)\n"
+      "  --weights   dense | precomputed | pruned   (default dense)\n"
+      "              decode-path weight layout for --serve/--batch:\n"
+      "              'precomputed' folds W_V·W_O into the condensed W_VO\n"
+      "              block (smaller KV V-plane, no out-projection);\n"
+      "              'pruned' deploys a condensable row-pruned W_V plus a\n"
+      "              tile-pruned W_Q; both need dense base projections\n"
+      "              (drop --strategy/--ratio)\n"
       "  --threads N run kernels on an N-thread ExecContext pool; output\n"
       "              is bit-identical at every N (docs/threading.md)\n"
       "  --device    v100s | a100                     (default v100s)\n"
@@ -233,6 +260,83 @@ void usage() {
       "                    random=<frac>[:seed]\n"
       "              e.g. --inject-fault kernel=otf_attention with the et\n"
       "              pipeline demos the otf->partial_otf fallback chain\n");
+}
+
+/// Build the two-layer decode stack --serve/--batch run, in the layout
+/// --weights selects. "dense" strips any fold the strategy path left
+/// behind (the cached dense decode). "precomputed" folds W_V·W_O into a
+/// per-head condensed W_VO block keeping d/(2H) output columns per head;
+/// "pruned" deploys a balanced row-pruned W_V (half of each head's rows,
+/// so the KV cache stores the condensed V) plus a checkerboard
+/// tile-pruned W_Q. The non-dense layouts rebuild from the dense
+/// projection matrices, so they refuse (with an error naming the flag)
+/// when --strategy/--ratio already replaced those with pruned formats.
+bool build_serving_layers(const Args& args, const et::nn::ModelConfig& model,
+                          const et::nn::EncoderWeights& weights,
+                          std::vector<et::nn::EncoderWeights>& layers) {
+  layers.assign(2, weights);
+  for (auto& l : layers) l.attn.vo = {};
+  if (args.weights_layout == "dense") return true;
+
+  const auto* wq = std::get_if<et::sparse::DenseWeight>(&weights.attn.wq);
+  const auto* wv = std::get_if<et::sparse::DenseWeight>(&weights.attn.wv);
+  const auto* wo = std::get_if<et::sparse::DenseWeight>(&weights.attn.wo);
+  const std::size_t d = model.d_model;
+  const std::size_t dk = d / model.num_heads;
+
+  if (args.weights_layout == "precomputed") {
+    if (wv == nullptr || wo == nullptr) {
+      std::fprintf(stderr,
+                   "--weights precomputed needs dense W_V/W_O to fold; drop "
+                   "--strategy/--ratio\n");
+      return false;
+    }
+    const std::size_t kept = dk / 2 > 0 ? dk / 2 : 1;
+    std::vector<std::uint32_t> kept_cols(kept);
+    for (std::size_t r = 0; r < kept; ++r) {
+      kept_cols[r] = static_cast<std::uint32_t>(r);
+    }
+    for (auto& l : layers) {
+      l.attn.vo = et::core::precompute_vo(wv->matrix(), wo->matrix(),
+                                          model.num_heads, kept_cols);
+    }
+    return true;
+  }
+
+  // "pruned"
+  if (wq == nullptr || wv == nullptr) {
+    std::fprintf(stderr,
+                 "--weights pruned needs dense W_Q/W_V to prune; drop "
+                 "--strategy/--ratio\n");
+    return false;
+  }
+  // Balanced per-head row pruning of W_V: keep the first half of every
+  // head's d_k rows — the condensable shape the KV cache stores condensed.
+  std::vector<std::uint32_t> kept_rows;
+  for (std::size_t h = 0; h < model.num_heads; ++h) {
+    for (std::size_t r = 0; r < dk / 2; ++r) {
+      kept_rows.push_back(static_cast<std::uint32_t>(h * dk + r));
+    }
+  }
+  // Checkerboard tile mask over W_Q (50% of the 16×16 tiles).
+  et::sparse::Mask mask(d, d, 1);
+  const std::size_t side = et::sparse::kTileSide;
+  for (std::size_t tr = 0; tr < d / side; ++tr) {
+    for (std::size_t tc = 0; tc < d / side; ++tc) {
+      if ((tr + tc) % 2 == 0) continue;
+      for (std::size_t r = 0; r < side; ++r) {
+        for (std::size_t c = 0; c < side; ++c) {
+          mask(tr * side + r, tc * side + c) = 0;
+        }
+      }
+    }
+  }
+  for (auto& l : layers) {
+    l.attn.wv =
+        et::sparse::RowPrunedWeight::from_kept_rows(wv->matrix(), kept_rows);
+    l.attn.wq = et::sparse::TilePrunedWeight::from_masked(wq->matrix(), mask);
+  }
+  return true;
 }
 
 }  // namespace
@@ -295,17 +399,14 @@ int main(int argc, char** argv) {
     // continuous-batching InferenceServer (docs/serving.md) — two decoder
     // layers at the chosen model's width, --batch slots (default 4, cap
     // 8), bounded queue, optional per-request deadlines.
-    std::vector<et::nn::EncoderWeights> layers(2, weights);
-    for (auto& l : layers) l.attn.vo = {};  // cached decode path only
+    std::vector<et::nn::EncoderWeights> layers;
+    if (!build_serving_layers(args, model, weights, layers)) return 2;
     const auto gopt =
         et::nn::options_for(pipeline, model, args.seq, /*causal=*/true);
     const std::size_t requested = args.batch == 0 ? 4 : args.batch;
     const std::size_t slots = requested < 8 ? requested : 8;
-    et::serving::ServerConfig cfg;
-    cfg.max_batch = slots;
-    cfg.max_context = args.tokens + 1;
-    cfg.queue_capacity = args.queue_cap;
-    et::serving::InferenceServer server(&layers, gopt, cfg);
+    const et::nn::Model handle(&layers, gopt, args.tokens + 1);
+    et::serving::InferenceServer server(handle, {slots, args.queue_cap});
 
     std::vector<et::serving::RequestHandle> handles;
     std::size_t submitted = 0;
@@ -346,9 +447,11 @@ int main(int argc, char** argv) {
                   model.name.c_str(), args.pipeline.c_str(),
                   spec.name.c_str());
       std::printf("  \"requests\": %zu, \"slots\": %zu, \"queue_capacity\": "
-                  "%zu, \"offered_per_tick\": %zu, \"threads\": %zu,\n",
+                  "%zu, \"offered_per_tick\": %zu, \"threads\": %zu, "
+                  "\"weights\": \"%s\",\n",
                   args.requests, slots, args.queue_cap, args.arrive,
-                  ctx.threads());
+                  ctx.threads(),
+                  std::string(handle.weight_layout()).c_str());
       std::printf("  \"time_us\": %.1f,\n", dev.total_time_us());
       for (const auto& f : fields) {
         std::printf("  \"%s\": %g,\n", f.name.c_str(), f.value);
@@ -361,9 +464,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::printf("%s · %s · serving %zu request(s) on %zu slot(s), queue %zu "
-                "· %s\n",
+                "· %s weights · %s\n",
                 model.name.c_str(), args.pipeline.c_str(), args.requests,
-                slots, args.queue_cap, spec.name.c_str());
+                slots, args.queue_cap,
+                std::string(handle.weight_layout()).c_str(),
+                spec.name.c_str());
     if (args.arrive > 0) {
       std::printf("  offered load: %zu request(s)/tick\n", args.arrive);
     }
@@ -413,13 +518,13 @@ int main(int argc, char** argv) {
     // Serving demo: decode N sequences through the slot-based batched
     // scheduler (docs/serving.md) — two decoder layers at the chosen
     // model's width, up to 8 slots, queue + backfill beyond that.
-    std::vector<et::nn::EncoderWeights> layers(2, weights);
-    for (auto& l : layers) l.attn.vo = {};  // cached decode path only
+    std::vector<et::nn::EncoderWeights> layers;
+    if (!build_serving_layers(args, model, weights, layers)) return 2;
     const auto gopt =
         et::nn::options_for(pipeline, model, args.seq, /*causal=*/true);
     const std::size_t max_batch = args.batch < 8 ? args.batch : 8;
-    et::nn::BatchedGenerationScheduler sched(&layers, gopt, max_batch,
-                                             args.tokens + 1);
+    const et::nn::Model handle(&layers, gopt, args.tokens + 1);
+    et::nn::BatchedGenerationScheduler sched(handle, max_batch);
     for (std::size_t i = 0; i < args.batch; ++i) {
       et::nn::GenerationRequest req;
       req.first_token = static_cast<std::int32_t>(i);
@@ -443,8 +548,10 @@ int main(int argc, char** argv) {
                   "\"%s\",\n",
                   model.name.c_str(), args.pipeline.c_str(),
                   spec.name.c_str());
-      std::printf("  \"batch\": %zu, \"threads\": %zu, \"slots\": %zu,\n",
-                  args.batch, ctx.threads(), max_batch);
+      std::printf("  \"batch\": %zu, \"threads\": %zu, \"slots\": %zu, "
+                  "\"weights\": \"%s\",\n",
+                  args.batch, ctx.threads(), max_batch,
+                  std::string(handle.weight_layout()).c_str());
       std::printf("  \"total_tokens\": %zu, \"ticks\": %zu, "
                   "\"batched_ticks\": %zu, \"per_slot_fallback_ticks\": "
                   "%zu,\n",
@@ -477,9 +584,11 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    std::printf("%s · %s · serving %zu sequences on %zu slot(s) · %s\n",
+    std::printf("%s · %s · serving %zu sequences on %zu slot(s) · %s "
+                "weights · %s\n",
                 model.name.c_str(), args.pipeline.c_str(), args.batch,
-                max_batch, spec.name.c_str());
+                max_batch, std::string(handle.weight_layout()).c_str(),
+                spec.name.c_str());
     std::printf("  %zu tokens in %.1f us (%.1f tokens/sec), %zu ticks "
                 "(%zu batched, %zu degraded to per-slot)\n",
                 total_tokens, dev.total_time_us(),

@@ -64,8 +64,8 @@ int main(int argc, char** argv) {
   // from the training-side forward; greedy argmax is robust to that.
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  et::nn::GenerationSession session(&layers, opt,
-                                    num_tokens + 2);
+  et::nn::GenerationSession session(
+      et::nn::Model(&layers, opt, num_tokens + 2));
   std::int32_t token = corpus.train()[0].tokens[0];
   std::printf("\ngenerated: %d", token);
   std::size_t followed_chain = 0;

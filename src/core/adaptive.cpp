@@ -96,15 +96,6 @@ tensor::MatrixF adaptive_attention(ExecContext& ctx, const tensor::MatrixF& x,
   }
 }
 
-tensor::MatrixF adaptive_attention(gpusim::Device& dev,
-                                   const tensor::MatrixF& x,
-                                   const AttentionWeights& w,
-                                   const AttentionConfig& cfg,
-                                   const AdaptivePolicy& policy) {
-  ExecContext ctx(dev);
-  return adaptive_attention(ctx, x, w, cfg, policy);
-}
-
 bool use_batched_decode(const AdaptivePolicy& policy,
                         std::size_t active_slots) noexcept {
   return active_slots >= policy.batched_decode_min_slots;

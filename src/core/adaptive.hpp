@@ -67,11 +67,4 @@ struct AdaptivePolicy {
     ExecContext& ctx, const tensor::MatrixF& x, const AttentionWeights& w,
     const AttentionConfig& cfg, const AdaptivePolicy& policy = {});
 
-/// Transitional Device&-only entry point; forwards through a serial
-/// ExecContext. Migrate callers to the overload above.
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF adaptive_attention(
-    gpusim::Device& dev, const tensor::MatrixF& x, const AttentionWeights& w,
-    const AttentionConfig& cfg, const AdaptivePolicy& policy = {});
-
 }  // namespace et::core

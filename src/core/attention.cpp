@@ -479,44 +479,4 @@ tensor::MatrixF partial_otf_attention(ExecContext& ctx,
   return output_linear(ctx, z, w, cfg);
 }
 
-tensor::MatrixF modular_attention(gpusim::Device& dev,
-                                  const tensor::MatrixF& x,
-                                  const AttentionWeights& w,
-                                  const AttentionConfig& cfg) {
-  ExecContext ctx(dev);
-  return modular_attention(ctx, x, w, cfg);
-}
-
-tensor::MatrixF fused_attention(gpusim::Device& dev, const tensor::MatrixF& x,
-                                const AttentionWeights& w,
-                                const AttentionConfig& cfg,
-                                bool aggressive_fusion) {
-  ExecContext ctx(dev);
-  return fused_attention(ctx, x, w, cfg, aggressive_fusion);
-}
-
-tensor::MatrixF otf_attention(gpusim::Device& dev, const tensor::MatrixF& x,
-                              const AttentionWeights& w,
-                              const AttentionConfig& cfg) {
-  ExecContext ctx(dev);
-  return otf_attention(ctx, x, w, cfg);
-}
-
-tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
-                                      const tensor::MatrixF& x,
-                                      const AttentionWeights& w,
-                                      const AttentionConfig& cfg) {
-  ExecContext ctx(dev);
-  return partial_otf_attention(ctx, x, w, cfg);
-}
-
-tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
-                                    const tensor::MatrixF& x,
-                                    const tensor::MatrixF& memory,
-                                    const AttentionWeights& w,
-                                    const AttentionConfig& cfg) {
-  ExecContext ctx(dev);
-  return otf_cross_attention(ctx, x, memory, w, cfg);
-}
-
 }  // namespace et::core

@@ -78,39 +78,4 @@ namespace et::core {
 [[nodiscard]] std::size_t otf_shared_bytes(const AttentionConfig& cfg,
                                            std::size_t kv_len);
 
-// Transitional Device&-only entry points; each forwards through a serial
-// ExecContext. Migrate callers to the overloads above.
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF modular_attention(gpusim::Device& dev,
-                                                const tensor::MatrixF& x,
-                                                const AttentionWeights& w,
-                                                const AttentionConfig& cfg);
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF fused_attention(gpusim::Device& dev,
-                                              const tensor::MatrixF& x,
-                                              const AttentionWeights& w,
-                                              const AttentionConfig& cfg,
-                                              bool aggressive_fusion = false);
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF otf_attention(gpusim::Device& dev,
-                                            const tensor::MatrixF& x,
-                                            const AttentionWeights& w,
-                                            const AttentionConfig& cfg);
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF partial_otf_attention(gpusim::Device& dev,
-                                                    const tensor::MatrixF& x,
-                                                    const AttentionWeights& w,
-                                                    const AttentionConfig& cfg);
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF otf_cross_attention(gpusim::Device& dev,
-                                                  const tensor::MatrixF& x,
-                                                  const tensor::MatrixF& memory,
-                                                  const AttentionWeights& w,
-                                                  const AttentionConfig& cfg);
-
 }  // namespace et::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/attention_math.hpp"
+#include "kernels/gemm.hpp"
 #include "kernels/linear.hpp"
 
 namespace et::core {
@@ -20,23 +21,27 @@ void KVCache::append(std::span<const float> k_row,
     throw std::invalid_argument(
         "KVCache::append: row width mismatch (k " +
         std::to_string(k_row.size()) + ", v " + std::to_string(v_row.size()) +
-        ", cache " + std::to_string(k_.cols()) + ")");
+        ", cache k " + std::to_string(k_.cols()) + ", cache v " +
+        std::to_string(v_.cols()) + ")");
   }
-  for (std::size_t c = 0; c < k_.cols(); ++c) {
-    k_(used_, c) = k_row[c];
-    v_(used_, c) = v_row[c];
-  }
+  for (std::size_t c = 0; c < k_.cols(); ++c) k_(used_, c) = k_row[c];
+  for (std::size_t c = 0; c < v_.cols(); ++c) v_(used_, c) = v_row[c];
   ++used_;
 }
-
 KVCachePool::KVCachePool(std::size_t num_slots, std::size_t num_layers,
-                         std::size_t capacity, std::size_t d_model) {
+                         std::size_t capacity, std::size_t d_model)
+    : KVCachePool(num_slots, capacity, d_model,
+                  std::vector<std::size_t>(num_layers, d_model)) {}
+
+KVCachePool::KVCachePool(std::size_t num_slots, std::size_t capacity,
+                         std::size_t k_width,
+                         const std::vector<std::size_t>& v_widths) {
   slots_.resize(num_slots);
   free_.reserve(num_slots);
   for (std::size_t s = 0; s < num_slots; ++s) {
-    slots_[s].caches.reserve(num_layers);
-    for (std::size_t l = 0; l < num_layers; ++l) {
-      slots_[s].caches.emplace_back(capacity, d_model);
+    slots_[s].caches.reserve(v_widths.size());
+    for (const std::size_t vw : v_widths) {
+      slots_[s].caches.emplace_back(capacity, k_width, vw);
     }
     free_.push_back(num_slots - 1 - s);  // pop order: slot 0 first
   }
@@ -87,29 +92,48 @@ tensor::MatrixF incremental_attention(ExecContext& ctx,
   gpusim::Device& dev = ctx.device();
   cfg.validate();
   assert(x_row.rows() == 1 && x_row.cols() == cfg.d_model);
-  if (w.has_precomputed()) {
-    throw std::invalid_argument(
-        "incremental_attention: pre-computed W_VO is not supported in the "
-        "cached path");
-  }
 
   kernels::LinearOptions opt;
   opt.precision = cfg.precision;
 
-  // Project the new token's q/k/v (three skinny GEMMs — generation is
+  // Project the new token's q/k (two skinny GEMMs — generation is
   // kernel-launch- and weight-load-bound, which these counters expose).
   const tensor::MatrixF q = kernels::linear(ctx, x_row, w.wq, opt,
                                             "gen_q_linear").y;
   const tensor::MatrixF k_new = kernels::linear(ctx, x_row, w.wk, opt,
                                                 "gen_k_linear").y;
-  const tensor::MatrixF v_new =
-      kernels::linear(ctx, x_row, w.wv, opt,
-                      "gen_v_linear")
-          .y;
+
+  // The V-side operand, in the layout the cache stores (docs/attention.md,
+  // "Weight layouts in the decode path"):
+  //   - pre-computed W_VO (§3.1): the cached row is m = x·W_VOᵀ, H·kept
+  //     wide — the condensed operand of the incremental S·(X·W_VO). W_O
+  //     is folded into those rows, so the step ends at the attention
+  //     output (no gen_out_linear);
+  //   - condensable row-pruned W_V (§4.3): the cached row is the
+  //     condensed v (Σkept wide); attention writes the kept coordinates
+  //     and W_O applies as usual;
+  //   - anything else: a full-width dense v row.
+  const PrecomputedVO* vo = nullptr;
+  std::vector<std::uint32_t> v_kept;
+  tensor::MatrixF v_new;
+  if (w.has_precomputed()) {
+    vo = &w.vo;
+    v_new = kernels::gemm_nt(ctx, x_row, w.vo.weight, cfg.precision, nullptr,
+                             "gen_vo_linear");
+  } else if (w.v_condensable(cfg.num_heads)) {
+    kernels::LinearOptions vopt = opt;
+    vopt.scatter_row_pruned_output = false;
+    auto res = kernels::linear(ctx, x_row, w.wv, vopt, "gen_v_linear");
+    v_new = std::move(res.y);
+    v_kept = std::move(res.nonzero_cols);
+  } else {
+    v_new = kernels::linear(ctx, x_row, w.wv, opt, "gen_v_linear").y;
+  }
   cache.append(k_new.row(0), v_new.row(0));
 
   const std::size_t ctx_len = cache.used();
   const std::size_t d = cfg.d_model;
+  const std::size_t vw = cache.v_width();  // condensed V re-read every step
   const std::size_t sb = numeric::storage_bytes(cfg.precision);
 
   // One fused kernel: the single query row against the cache. The score
@@ -123,10 +147,10 @@ tensor::MatrixF incremental_attention(ExecContext& ctx,
              cfg.d_k() * numeric::accumulator_bytes(cfg.precision) +
              ctx_len * numeric::accumulator_bytes(cfg.precision),
          .pattern = gpusim::AccessPattern::kTiled});
-    launch.load_bytes(d * sb);                  // q
-    launch.load_bytes(2ull * ctx_len * d * sb); // cached K and V, once each
-    launch.store_bytes(d * sb);                 // one output row
-    const std::uint64_t flops = 2ull * ctx_len * d * 2;  // q·K^T and s·V
+    launch.load_bytes(d * sb);                         // q
+    launch.load_bytes(ctx_len * (d + vw) * sb);        // cached K and V planes
+    launch.store_bytes(d * sb);                        // one output row
+    const std::uint64_t flops = 2ull * ctx_len * (d + vw);  // q·K^T and s·V
     if (cfg.precision == numeric::Precision::kFp32) {
       launch.fp_ops(flops + 5ull * ctx_len * cfg.num_heads);
     } else {
@@ -142,19 +166,11 @@ tensor::MatrixF incremental_attention(ExecContext& ctx,
     // The query is the latest position: it may attend to the whole cache,
     // so no mask applies within this step.
     step_cfg.causal_mask = false;
-    z = detail::attention_math(q, cache.k_prefix(), cache.v_prefix(),
-                               nullptr, nullptr, step_cfg);
+    z = detail::attention_math(q, cache.k_prefix(), cache.v_prefix(), vo,
+                               v_kept.empty() ? nullptr : &v_kept, step_cfg);
   }
+  if (vo != nullptr) return z;  // W_O is folded into the cached rows
   return kernels::linear(ctx, z, w.wo, opt, "gen_out_linear").y;
-}
-
-tensor::MatrixF incremental_attention(gpusim::Device& dev,
-                                      const tensor::MatrixF& x_row,
-                                      const AttentionWeights& w,
-                                      const AttentionConfig& cfg,
-                                      KVCache& cache) {
-  ExecContext ctx(dev);
-  return incremental_attention(ctx, x_row, w, cfg, cache);
 }
 
 }  // namespace et::core

@@ -16,20 +16,33 @@ namespace et::core {
 
 /// Per-layer key/value cache with fixed capacity. Rows are appended as
 /// tokens are generated; `used()` is the current context length.
+///
+/// The two planes have independent row widths: K always stores the
+/// full-width key row, while the V plane stores whatever representation
+/// the layer's weight layout produces — a full d_model row (dense), the
+/// condensed Σkept-wide v of a condensable row-pruned W_V (§4.3), or the
+/// H·kept-wide m = x·W_VOᵀ row of the pre-computed fold (§3.1). A
+/// condensed V plane is what makes the folded layout cheaper per token,
+/// not just per kernel: every later step re-reads the whole plane.
 class KVCache {
  public:
   KVCache() = default;
   KVCache(std::size_t capacity, std::size_t d_model)
-      : k_(capacity, d_model), v_(capacity, d_model) {}
+      : KVCache(capacity, d_model, d_model) {}
+  KVCache(std::size_t capacity, std::size_t k_width, std::size_t v_width)
+      : k_(capacity, k_width), v_(capacity, v_width) {}
 
   [[nodiscard]] std::size_t capacity() const noexcept { return k_.rows(); }
   [[nodiscard]] std::size_t used() const noexcept { return used_; }
   [[nodiscard]] bool full() const noexcept { return used_ == capacity(); }
+  [[nodiscard]] std::size_t k_width() const noexcept { return k_.cols(); }
+  [[nodiscard]] std::size_t v_width() const noexcept { return v_.cols(); }
 
   /// Bytes of K/V storage held by this cache (both planes, full
-  /// capacity — the storage is allocated up front, not per row).
+  /// capacity — the storage is allocated up front, not per row). With a
+  /// condensed V plane this is strictly less than 2·capacity·d_model·4.
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
-    return 2 * k_.rows() * k_.cols() * sizeof(float);
+    return k_.rows() * (k_.cols() + v_.cols()) * sizeof(float);
   }
 
   /// Append one projected row to each of K and V. Throws std::length_error
@@ -66,6 +79,12 @@ class KVCachePool {
  public:
   KVCachePool(std::size_t num_slots, std::size_t num_layers,
               std::size_t capacity, std::size_t d_model);
+
+  /// Per-layer V-plane widths (index = layer): the layout-aware form the
+  /// serving path uses so a folded or condensed layer allocates only its
+  /// condensed width. K rows are always `k_width` wide.
+  KVCachePool(std::size_t num_slots, std::size_t capacity,
+              std::size_t k_width, const std::vector<std::size_t>& v_widths);
 
   [[nodiscard]] std::size_t num_slots() const noexcept {
     return slots_.size();
@@ -112,21 +131,16 @@ class KVCachePool {
 };
 
 /// One autoregressive attention step: `x_row` is the current token's
-/// hidden state (1 × d_model). Projects q/k/v for the new token, appends
-/// k/v to the cache, and returns the attention output (1 × d_model)
-/// attending over the whole cache. Pre-computed W_VO and condensed-V
-/// layouts are not supported in the incremental path (the cache stores
-/// full-width rows); w.wo is applied as usual.
+/// hidden state (1 × d_model). Projects q/k for the new token, projects
+/// the V-side operand in whatever layout `w` deploys — a full-width v
+/// row, the condensed v of a condensable row-pruned W_V (§4.3), or the
+/// m = x·W_VOᵀ row of the pre-computed fold (§3.1, in which case w.wo is
+/// already folded in and is NOT applied) — appends to the cache, and
+/// returns the attention output (1 × d_model) attending over the whole
+/// cache. The cache's V plane must have been sized for the layout
+/// (nn::Model::v_width); a mismatch fails the append before either plane
+/// is written.
 [[nodiscard]] tensor::MatrixF incremental_attention(ExecContext& ctx,
-                                                    const tensor::MatrixF& x_row,
-                                                    const AttentionWeights& w,
-                                                    const AttentionConfig& cfg,
-                                                    KVCache& cache);
-
-/// Transitional Device&-only entry point; forwards through a serial
-/// ExecContext. Migrate callers to the overload above.
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF incremental_attention(gpusim::Device& dev,
                                                     const tensor::MatrixF& x_row,
                                                     const AttentionWeights& w,
                                                     const AttentionConfig& cfg,

@@ -242,26 +242,4 @@ std::vector<tensor::MatrixF> batched_gemm_nt(
   return out;
 }
 
-tensor::MatrixF gemm_nt(gpusim::Device& dev, const tensor::MatrixF& a,
-                        const tensor::MatrixF& b, numeric::Precision p,
-                        const GemmAlgo* algo, std::string_view name) {
-  core::ExecContext ctx(dev);
-  return gemm_nt(ctx, a, b, p, algo, name);
-}
-
-tensor::MatrixF gemm_nn(gpusim::Device& dev, const tensor::MatrixF& a,
-                        const tensor::MatrixF& b, numeric::Precision p,
-                        const GemmAlgo* algo, std::string_view name) {
-  core::ExecContext ctx(dev);
-  return gemm_nn(ctx, a, b, p, algo, name);
-}
-
-std::vector<tensor::MatrixF> batched_gemm_nt(
-    gpusim::Device& dev, const tensor::MatrixF& a,
-    const std::vector<const tensor::MatrixF*>& bs, numeric::Precision p,
-    const GemmAlgo* algo, std::string_view name) {
-  core::ExecContext ctx(dev);
-  return batched_gemm_nt(ctx, a, bs, p, algo, name);
-}
-
 }  // namespace et::kernels

@@ -77,28 +77,4 @@ struct GemmAlgo {
     numeric::Precision p = numeric::Precision::kFp32,
     const GemmAlgo* algo = nullptr, std::string_view name = "batched_gemm_nt");
 
-// Transitional Device&-only entry points. Each constructs a serial
-// ExecContext (threads = 1) on the spot and forwards, so behaviour is
-// unchanged — but they can never parallelize. Migrate callers to the
-// ExecContext overloads above.
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF gemm_nt(
-    gpusim::Device& dev, const tensor::MatrixF& a, const tensor::MatrixF& b,
-    numeric::Precision p = numeric::Precision::kFp32,
-    const GemmAlgo* algo = nullptr, std::string_view name = "gemm_nt");
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF gemm_nn(
-    gpusim::Device& dev, const tensor::MatrixF& a, const tensor::MatrixF& b,
-    numeric::Precision p = numeric::Precision::kFp32,
-    const GemmAlgo* algo = nullptr, std::string_view name = "gemm_nn");
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] std::vector<tensor::MatrixF> batched_gemm_nt(
-    gpusim::Device& dev, const tensor::MatrixF& a,
-    const std::vector<const tensor::MatrixF*>& bs,
-    numeric::Precision p = numeric::Precision::kFp32,
-    const GemmAlgo* algo = nullptr, std::string_view name = "batched_gemm_nt");
-
 }  // namespace et::kernels

@@ -63,11 +63,4 @@ LinearResult linear(core::ExecContext& ctx, const tensor::MatrixF& x,
   return out;
 }
 
-LinearResult linear(gpusim::Device& dev, const tensor::MatrixF& x,
-                    const sparse::AnyWeight& w, const LinearOptions& opt,
-                    std::string_view name) {
-  core::ExecContext ctx(dev);
-  return linear(ctx, x, w, opt, name);
-}
-
 }  // namespace et::kernels

@@ -52,13 +52,4 @@ struct LinearOptions {
                                   const LinearOptions& opt = {},
                                   std::string_view name = "linear");
 
-/// Transitional Device&-only entry point; forwards through a serial
-/// ExecContext. Migrate callers to the overload above.
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] LinearResult linear(gpusim::Device& dev,
-                                  const tensor::MatrixF& x,
-                                  const sparse::AnyWeight& w,
-                                  const LinearOptions& opt = {},
-                                  std::string_view name = "linear");
-
 }  // namespace et::kernels

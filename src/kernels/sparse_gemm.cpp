@@ -170,20 +170,4 @@ tensor::MatrixF irregular_gemm_nt(core::ExecContext& ctx,
   return y;
 }
 
-tensor::MatrixF bcsr_gemm_nt(gpusim::Device& dev, const tensor::MatrixF& x,
-                             const sparse::TilePrunedWeight& w,
-                             numeric::Precision p, std::string_view name) {
-  core::ExecContext ctx(dev);
-  return bcsr_gemm_nt(ctx, x, w, p, name);
-}
-
-tensor::MatrixF irregular_gemm_nt(gpusim::Device& dev,
-                                  const tensor::MatrixF& x,
-                                  const sparse::IrregularWeight& w,
-                                  numeric::Precision p,
-                                  std::string_view name) {
-  core::ExecContext ctx(dev);
-  return irregular_gemm_nt(ctx, x, w, p, name);
-}
-
 }  // namespace et::kernels

@@ -34,21 +34,4 @@ namespace et::kernels {
     numeric::Precision p = numeric::Precision::kFp32,
     std::string_view name = "irregular_gemm_nt");
 
-// Transitional Device&-only entry points; forward through a serial
-// ExecContext. Migrate callers to the overloads above.
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF bcsr_gemm_nt(
-    gpusim::Device& dev, const tensor::MatrixF& x,
-    const sparse::TilePrunedWeight& w,
-    numeric::Precision p = numeric::Precision::kFp32,
-    std::string_view name = "bcsr_gemm_nt");
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF irregular_gemm_nt(
-    gpusim::Device& dev, const tensor::MatrixF& x,
-    const sparse::IrregularWeight& w,
-    numeric::Precision p = numeric::Precision::kFp32,
-    std::string_view name = "irregular_gemm_nt");
-
 }  // namespace et::kernels

@@ -64,15 +64,43 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
     for (std::size_t l = 0; l < layers.size(); ++l) {
       const EncoderWeights& w = layers[l];
 
-      // Shared: the whole batch's q/k/v projections. Dense weights fuse
-      // into ONE batched GEMM (the A strips — the stacked hidden rows —
-      // staged once for all three panels); pruned formats keep their
-      // specialized kernels, still amortized across the batch by stacking.
+      // Shared: the whole batch's q/k/v projections, in the layout the
+      // caches store (the same three-way V split as
+      // core::incremental_attention; docs/attention.md "Weight layouts in
+      // the decode path"). Dense weights fuse into ONE batched GEMM (the
+      // A strips — the stacked hidden rows — staged once for all panels);
+      // under the W_VO fold the third panel is W_VO itself, so the
+      // batched projection directly emits the condensed m rows. Pruned
+      // formats keep their specialized kernels, still amortized across
+      // the batch by stacking.
       tensor::MatrixF q, k_new, v_new;
+      const core::PrecomputedVO* vo =
+          w.attn.has_precomputed() ? &w.attn.vo : nullptr;
+      std::vector<std::uint32_t> v_kept;
       const auto* dq = std::get_if<sparse::DenseWeight>(&w.attn.wq);
       const auto* dk = std::get_if<sparse::DenseWeight>(&w.attn.wk);
       const auto* dv = std::get_if<sparse::DenseWeight>(&w.attn.wv);
-      if (dq != nullptr && dk != nullptr && dv != nullptr) {
+      if (vo != nullptr && dq != nullptr && dk != nullptr) {
+        auto qkm = kernels::batched_gemm_nt(
+            ctx, h, {&dq->matrix(), &dk->matrix(), &vo->weight}, p, nullptr,
+            "gen_qkv_batched");
+        q = std::move(qkm[0]);
+        k_new = std::move(qkm[1]);
+        v_new = std::move(qkm[2]);
+      } else if (vo != nullptr) {
+        q = kernels::linear(ctx, h, w.attn.wq, lopt, "gen_q_linear").y;
+        k_new = kernels::linear(ctx, h, w.attn.wk, lopt, "gen_k_linear").y;
+        v_new = kernels::gemm_nt(ctx, h, vo->weight, p, nullptr,
+                                 "gen_vo_linear");
+      } else if (w.attn.v_condensable(opt.attn.num_heads)) {
+        q = kernels::linear(ctx, h, w.attn.wq, lopt, "gen_q_linear").y;
+        k_new = kernels::linear(ctx, h, w.attn.wk, lopt, "gen_k_linear").y;
+        kernels::LinearOptions vopt = lopt;
+        vopt.scatter_row_pruned_output = false;
+        auto res = kernels::linear(ctx, h, w.attn.wv, vopt, "gen_v_linear");
+        v_new = std::move(res.y);
+        v_kept = std::move(res.nonzero_cols);
+      } else if (dq != nullptr && dk != nullptr && dv != nullptr) {
         auto qkv = kernels::batched_gemm_nt(
             ctx, h, {&dq->matrix(), &dk->matrix(), &dv->matrix()}, p, nullptr,
             "gen_qkv_batched");
@@ -84,6 +112,9 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
         k_new = kernels::linear(ctx, h, w.attn.wk, lopt, "gen_k_linear").y;
         v_new = kernels::linear(ctx, h, w.attn.wv, lopt, "gen_v_linear").y;
       }
+      const std::vector<std::uint32_t>* v_kept_ptr =
+          v_kept.empty() ? nullptr : &v_kept;
+      const std::size_t vw = v_new.cols();  // V-plane width actually cached
 
       // Per slot: append this token's K/V row and attend over the slot's
       // own cache — a 1-row OTF instance per sequence, identical to
@@ -116,9 +147,9 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
                          ctx_len * numeric::accumulator_bytes(p),
                      .pattern = gpusim::AccessPattern::kTiled});
                 launch.load_bytes(d * sb);
-                launch.load_bytes(2ull * ctx_len * d * sb);
+                launch.load_bytes(ctx_len * (d + vw) * sb);
                 launch.store_bytes(d * sb);
-                const std::uint64_t flops = 2ull * ctx_len * d * 2;
+                const std::uint64_t flops = 2ull * ctx_len * (d + vw);
                 if (p == numeric::Precision::kFp32) {
                   launch.fp_ops(flops + 5ull * ctx_len * opt.attn.num_heads);
                 } else {
@@ -132,7 +163,7 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
                 step_cfg.causal_mask = false;
                 const tensor::MatrixF zb = core::detail::attention_math(
                     tensor::slice_rows(q, b, 1), cache.k_prefix(),
-                    cache.v_prefix(), nullptr, nullptr, step_cfg);
+                    cache.v_prefix(), vo, v_kept_ptr, step_cfg);
                 for (std::size_t c = 0; c < d; ++c) z(b, c) = zb(0, c);
               }
             } catch (const gpusim::KernelFault& f) {
@@ -177,10 +208,13 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
         z = std::move(z2);
       }
 
-      // Shared: output projection, residual+LN and the MLP over the
-      // stacked survivors — one launch each instead of one per sequence.
+      // Shared: output projection (already folded into the cached rows
+      // under W_VO), residual+LN and the MLP over the stacked survivors —
+      // one launch each instead of one per sequence.
       tensor::MatrixF attn =
-          kernels::linear(ctx, z, w.attn.wo, lopt, "gen_out_linear").y;
+          vo != nullptr
+              ? std::move(z)
+              : kernels::linear(ctx, z, w.attn.wo, lopt, "gen_out_linear").y;
       kernels::fused_residual_layernorm(dev, attn, h, w.ln1_gamma, w.ln1_beta,
                                         p, "gen_residual_layernorm1");
       tensor::MatrixF m = kernels::linear(ctx, attn, w.w_ff1, lopt,
@@ -224,27 +258,15 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
 
 }  // namespace
 
-BatchedGenerationScheduler::BatchedGenerationScheduler(
-    const std::vector<EncoderWeights>* layers, EncoderOptions opt,
-    std::size_t max_batch, std::size_t max_context)
-    : layers_(layers),
-      opt_(std::move(opt)),
-      max_ctx_(max_context),
-      pool_(max_batch, layers != nullptr ? layers->size() : 0, max_context,
-            opt_.attn.d_model),
+BatchedGenerationScheduler::BatchedGenerationScheduler(const Model& model,
+                                                       std::size_t max_batch)
+    : model_(model),
+      pool_(max_batch, model_.max_context(), model_.k_width(),
+            model_.v_widths()),
       slots_(max_batch) {
-  assert(layers_ != nullptr);
-  opt_.attn.validate();
   if (max_batch == 0) {
     throw std::invalid_argument(
         "BatchedGenerationScheduler: max_batch must be nonzero");
-  }
-  for (const EncoderWeights& w : *layers_) {
-    if (w.attn.has_precomputed()) {
-      throw std::invalid_argument(
-          "BatchedGenerationScheduler: pre-computed W_VO is not supported "
-          "in the cached decode path");
-    }
   }
 }
 
@@ -331,7 +353,7 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
   for (std::size_t s = 0; s < slots_.size(); ++s) {
     if (!slots_[s].has_value()) continue;
     auto& caches = pool_.caches(s);
-    if (!caches.empty() && caches[0].used() >= max_ctx_) {
+    if (!caches.empty() && caches[0].used() >= model_.max_context()) {
       retire(s, StopReason::kKvCacheFull);
       continue;
     }
@@ -345,7 +367,7 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
   if (tick_slots.empty()) return;
 
   // Embed every sequence's next token at its own context position.
-  const std::size_t d = opt_.attn.d_model;
+  const std::size_t d = model_.d_model();
   tensor::MatrixF rows(tick_slots.size(), d);
   for (std::size_t i = 0; i < tick_slots.size(); ++i) {
     const TickSlot& ts = tick_slots[i];
@@ -355,14 +377,15 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
     for (std::size_t c = 0; c < d; ++c) rows(i, c) = row(0, c);
   }
 
-  bool per_slot = !core::use_batched_decode(opt_.adaptive, tick_slots.size());
+  bool per_slot = !core::use_batched_decode(model_.options().adaptive,
+                                            tick_slots.size());
   if (!per_slot) {
     ++batched_ticks_;
     std::vector<TickSlot*> live;
     live.reserve(tick_slots.size());
     for (auto& ts : tick_slots) live.push_back(&ts);
     try {
-      fused_step(ctx, *layers_, opt_, std::move(live), rows);
+      fused_step(ctx, model_.layers(), model_.options(), std::move(live), rows);
     } catch (const gpusim::KernelFault& f) {
       // Shared-kernel fault: the aborted batched attempt has no effect
       // (fused_step rolled every slot back). Degrade this tick to
@@ -382,7 +405,8 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
       TickSlot& ts = tick_slots[i];
       if (ts.state != TickSlot::State::kRunning) continue;
       try {
-        fused_step(ctx, *layers_, opt_, {&ts}, tensor::slice_rows(rows, i, 1));
+        fused_step(ctx, model_.layers(), model_.options(), {&ts},
+                   tensor::slice_rows(rows, i, 1));
       } catch (const gpusim::KernelFault& f) {
         ts.state = TickSlot::State::kKernelFault;
         ts.fault_kernel = f.kernel();
@@ -426,17 +450,6 @@ std::vector<GenerationResult> BatchedGenerationScheduler::run(
     core::ExecContext& ctx) {
   while (!idle()) tick(ctx);
   return results_;
-}
-
-void BatchedGenerationScheduler::tick(gpusim::Device& dev) {
-  core::ExecContext ctx(dev);
-  tick(ctx);
-}
-
-std::vector<GenerationResult> BatchedGenerationScheduler::run(
-    gpusim::Device& dev) {
-  core::ExecContext ctx(dev);
-  return run(ctx);
 }
 
 }  // namespace et::nn

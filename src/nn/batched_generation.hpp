@@ -33,29 +33,24 @@
 #include "core/kv_cache.hpp"
 #include "nn/encoder.hpp"
 #include "nn/generation.hpp"
+#include "nn/model.hpp"
 
 namespace et::nn {
 
-/// One generation job: semantics match a `nn::generate(dev, session,
-/// first_token, max_new_tokens, embed, select, eos_token)` call.
-struct GenerationRequest {
-  std::int32_t first_token = 0;
-  std::size_t max_new_tokens = 0;
-  EmbedFn embed;
-  SelectFn select;
-  std::int32_t eos_token = kNoEosToken;
-};
+/// One generation job: exactly the shared nn::DecodeParams fields —
+/// semantics match a `nn::generate(ctx, session, params)` call.
+struct GenerationRequest : DecodeParams {};
 
 class BatchedGenerationScheduler {
  public:
-  /// `layers` is borrowed (same contract as GenerationSession). Every
-  /// slot's per-layer caches hold `max_context` rows, allocated once.
-  /// Throws std::invalid_argument on an invalid attention config, a zero
-  /// batch size, or pre-computed W_VO weights (unsupported in the cached
-  /// path, exactly as in core::incremental_attention).
-  BatchedGenerationScheduler(const std::vector<EncoderWeights>* layers,
-                             EncoderOptions opt, std::size_t max_batch,
-                             std::size_t max_context);
+  /// Constructed from the validated nn::Model handle (copied; the layer
+  /// vector it borrows must outlive the scheduler). Every slot's
+  /// per-layer caches hold `model.max_context()` rows, allocated once at
+  /// the layer's V-plane width — so pre-computed W_VO and condensed
+  /// row-pruned layouts run here with smaller caches, not a rejection.
+  /// Throws std::invalid_argument on a zero batch size (model validity
+  /// is the Model's own job).
+  BatchedGenerationScheduler(const Model& model, std::size_t max_batch);
 
   /// Enqueue a request; returns its id (index into run()'s results).
   /// Admission to a slot happens at the next tick.
@@ -93,13 +88,7 @@ class BatchedGenerationScheduler {
   /// results so far, indexed by the id submit() returned.
   std::vector<GenerationResult> run(core::ExecContext& ctx);
 
-  /// Transitional Device&-only entry points; each forwards through a
-  /// serial ExecContext. Migrate callers to the overloads above.
-  [[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-  void tick(gpusim::Device& dev);
-
-  [[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-  std::vector<GenerationResult> run(gpusim::Device& dev);
+  [[nodiscard]] const Model& model() const noexcept { return model_; }
 
   [[nodiscard]] bool idle() const noexcept {
     return queue_.empty() && active() == 0;
@@ -133,9 +122,7 @@ class BatchedGenerationScheduler {
   void admit(std::size_t request_id);
   void retire(std::size_t pool_slot, StopReason reason);
 
-  const std::vector<EncoderWeights>* layers_;  // not owned
-  EncoderOptions opt_;
-  std::size_t max_ctx_;
+  Model model_;
   core::KVCachePool pool_;
   std::vector<std::optional<ActiveSlot>> slots_;  // index == pool slot id
   std::deque<std::size_t> queue_;                 // pending request ids

@@ -135,35 +135,6 @@ tensor::MatrixF seq2seq_forward(core::ExecContext& ctx,
                                decoder_opt);
 }
 
-tensor::MatrixF decoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
-                                const tensor::MatrixF& memory,
-                                const DecoderWeights& w,
-                                const EncoderOptions& opt) {
-  core::ExecContext ctx(dev);
-  return decoder_forward(ctx, x, memory, w, opt);
-}
-
-tensor::MatrixF decoder_stack_forward(gpusim::Device& dev,
-                                      const tensor::MatrixF& x,
-                                      const tensor::MatrixF& memory,
-                                      const std::vector<DecoderWeights>& layers,
-                                      const EncoderOptions& opt) {
-  core::ExecContext ctx(dev);
-  return decoder_stack_forward(ctx, x, memory, layers, opt);
-}
-
-tensor::MatrixF seq2seq_forward(gpusim::Device& dev,
-                                const tensor::MatrixF& source,
-                                const tensor::MatrixF& target,
-                                const std::vector<EncoderWeights>& encoder_layers,
-                                const std::vector<DecoderWeights>& decoder_layers,
-                                const EncoderOptions& encoder_opt,
-                                const EncoderOptions& decoder_opt) {
-  core::ExecContext ctx(dev);
-  return seq2seq_forward(ctx, source, target, encoder_layers, decoder_layers,
-                         encoder_opt, decoder_opt);
-}
-
 tensor::MatrixF reference_decoder(const tensor::MatrixF& x,
                                   const tensor::MatrixF& memory,
                                   const DecoderWeights& w,

@@ -48,30 +48,6 @@ struct DecoderWeights {
     const std::vector<DecoderWeights>& decoder_layers,
     const EncoderOptions& encoder_opt, const EncoderOptions& decoder_opt);
 
-// Transitional Device&-only entry points; each forwards through a serial
-// ExecContext. Migrate callers to the overloads above.
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF decoder_forward(gpusim::Device& dev,
-                                              const tensor::MatrixF& x,
-                                              const tensor::MatrixF& memory,
-                                              const DecoderWeights& w,
-                                              const EncoderOptions& opt);
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF decoder_stack_forward(
-    gpusim::Device& dev, const tensor::MatrixF& x,
-    const tensor::MatrixF& memory, const std::vector<DecoderWeights>& layers,
-    const EncoderOptions& opt);
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF seq2seq_forward(
-    gpusim::Device& dev, const tensor::MatrixF& source,
-    const tensor::MatrixF& target,
-    const std::vector<EncoderWeights>& encoder_layers,
-    const std::vector<DecoderWeights>& decoder_layers,
-    const EncoderOptions& encoder_opt, const EncoderOptions& decoder_opt);
-
 /// Double-precision host reference for one decoder layer (test oracle).
 [[nodiscard]] tensor::MatrixF reference_decoder(const tensor::MatrixF& x,
                                                 const tensor::MatrixF& memory,

@@ -292,26 +292,4 @@ EncoderOptions options_for(Pipeline pipeline, const ModelConfig& model,
   return opt;
 }
 
-tensor::MatrixF encoder_forward(gpusim::Device& dev, const tensor::MatrixF& x,
-                                const EncoderWeights& w,
-                                const EncoderOptions& opt) {
-  core::ExecContext ctx(dev);
-  return encoder_forward(ctx, x, w, opt);
-}
-
-tensor::MatrixF encoder_stack_forward(gpusim::Device& dev,
-                                      const tensor::MatrixF& x,
-                                      const std::vector<EncoderWeights>& layers,
-                                      const EncoderOptions& opt) {
-  core::ExecContext ctx(dev);
-  return encoder_stack_forward(ctx, x, layers, opt);
-}
-
-std::vector<tensor::MatrixF> batched_encoder_forward(
-    gpusim::Device& dev, const std::vector<tensor::MatrixF>& batch,
-    const EncoderWeights& w, const EncoderOptions& opt) {
-  core::ExecContext ctx(dev);
-  return batched_encoder_forward(ctx, batch, w, opt);
-}
-
 }  // namespace et::nn

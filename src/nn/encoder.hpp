@@ -85,23 +85,4 @@ struct EncoderOptions {
                                          std::size_t seq_len,
                                          bool causal_mask = false);
 
-// Transitional Device&-only entry points; each forwards through a serial
-// ExecContext. Migrate callers to the overloads above.
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF encoder_forward(gpusim::Device& dev,
-                                              const tensor::MatrixF& x,
-                                              const EncoderWeights& w,
-                                              const EncoderOptions& opt);
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] tensor::MatrixF encoder_stack_forward(
-    gpusim::Device& dev, const tensor::MatrixF& x,
-    const std::vector<EncoderWeights>& layers, const EncoderOptions& opt);
-
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] std::vector<tensor::MatrixF> batched_encoder_forward(
-    gpusim::Device& dev, const std::vector<tensor::MatrixF>& batch,
-    const EncoderWeights& w, const EncoderOptions& opt);
-
 }  // namespace et::nn

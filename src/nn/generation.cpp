@@ -8,21 +8,18 @@
 
 namespace et::nn {
 
-GenerationSession::GenerationSession(const std::vector<EncoderWeights>* layers,
-                                     EncoderOptions opt,
-                                     std::size_t max_context)
-    : layers_(layers), opt_(opt), max_ctx_(max_context) {
-  assert(layers_ != nullptr);
-  caches_.reserve(layers_->size());
-  for (std::size_t l = 0; l < layers_->size(); ++l) {
-    caches_.emplace_back(max_context, opt_.attn.d_model);
+GenerationSession::GenerationSession(const Model& model) : model_(model) {
+  caches_.reserve(model_.num_layers());
+  for (std::size_t l = 0; l < model_.num_layers(); ++l) {
+    caches_.emplace_back(model_.max_context(), model_.k_width(),
+                         model_.v_width(l));
   }
 }
 
 tensor::MatrixF GenerationSession::step(core::ExecContext& ctx,
                                         const tensor::MatrixF& x_row) {
-  assert(x_row.rows() == 1 && x_row.cols() == opt_.attn.d_model);
-  const auto p = opt_.attn.precision;
+  assert(x_row.rows() == 1 && x_row.cols() == model_.d_model());
+  const auto p = model_.options().attn.precision;
 
   // A kernel fault partway through the stack would leave earlier layers'
   // caches one row longer than later ones. Roll every cache back to its
@@ -43,11 +40,13 @@ tensor::MatrixF GenerationSession::step_layers(core::ExecContext& ctx,
                                                const tensor::MatrixF& x_row,
                                                numeric::Precision p) {
   gpusim::Device& dev = ctx.device();
+  const std::vector<EncoderWeights>& layers = model_.layers();
+  const EncoderOptions& opt = model_.options();
   tensor::MatrixF h = x_row;
-  for (std::size_t l = 0; l < layers_->size(); ++l) {
-    const EncoderWeights& w = (*layers_)[l];
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const EncoderWeights& w = layers[l];
     tensor::MatrixF attn =
-        core::incremental_attention(ctx, h, w.attn, opt_.attn, caches_[l]);
+        core::incremental_attention(ctx, h, w.attn, opt.attn, caches_[l]);
     kernels::fused_residual_layernorm(dev, attn, h, w.ln1_gamma, w.ln1_beta,
                                       p, "gen_residual_layernorm1");
 
@@ -88,36 +87,22 @@ tensor::MatrixF GenerationSession::prime(core::ExecContext& ctx,
   return last;
 }
 
-tensor::MatrixF GenerationSession::step(gpusim::Device& dev,
-                                        const tensor::MatrixF& x_row) {
-  core::ExecContext ctx(dev);
-  return step(ctx, x_row);
-}
-
-tensor::MatrixF GenerationSession::prime(gpusim::Device& dev,
-                                         const tensor::MatrixF& prompt) {
-  core::ExecContext ctx(dev);
-  return prime(ctx, prompt);
-}
-
 void GenerationSession::reset() {
   for (auto& cache : caches_) cache.reset();
 }
 
 GenerationResult generate(core::ExecContext& ctx, GenerationSession& session,
-                          std::int32_t first_token,
-                          std::size_t max_new_tokens, const EmbedFn& embed,
-                          const SelectFn& select, std::int32_t eos_token) {
+                          const DecodeParams& params) {
   GenerationResult result;
-  std::int32_t token = first_token;
-  for (std::size_t t = 0; t < max_new_tokens; ++t) {
+  std::int32_t token = params.first_token;
+  for (std::size_t t = 0; t < params.max_new_tokens; ++t) {
     if (session.at_capacity()) {
       result.stop_reason = StopReason::kKvCacheFull;
       return result;
     }
     tensor::MatrixF h;
     try {
-      h = session.step(ctx, embed(token, session.context_length()));
+      h = session.step(ctx, params.embed(token, session.context_length()));
     } catch (const gpusim::KernelFault& f) {
       result.stop_reason = StopReason::kKernelFault;
       result.fault_kernel = f.kernel();
@@ -129,9 +114,9 @@ GenerationResult generate(core::ExecContext& ctx, GenerationSession& session,
       result.stop_reason = StopReason::kKvCacheFull;
       return result;
     }
-    token = select(h);
+    token = params.select(h);
     result.tokens.push_back(token);
-    if (eos_token >= 0 && token == eos_token) {
+    if (params.eos_token >= 0 && token == params.eos_token) {
       result.stop_reason = StopReason::kEos;
       return result;
     }
@@ -140,13 +125,17 @@ GenerationResult generate(core::ExecContext& ctx, GenerationSession& session,
   return result;
 }
 
-GenerationResult generate(gpusim::Device& dev, GenerationSession& session,
+GenerationResult generate(core::ExecContext& ctx, GenerationSession& session,
                           std::int32_t first_token,
                           std::size_t max_new_tokens, const EmbedFn& embed,
                           const SelectFn& select, std::int32_t eos_token) {
-  core::ExecContext ctx(dev);
-  return generate(ctx, session, first_token, max_new_tokens, embed, select,
-                  eos_token);
+  DecodeParams params;
+  params.first_token = first_token;
+  params.max_new_tokens = max_new_tokens;
+  params.embed = embed;
+  params.select = select;
+  params.eos_token = eos_token;
+  return generate(ctx, session, params);
 }
 
 }  // namespace et::nn

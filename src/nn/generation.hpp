@@ -10,6 +10,7 @@
 
 #include "core/kv_cache.hpp"
 #include "nn/encoder.hpp"
+#include "nn/model.hpp"
 
 namespace et::nn {
 
@@ -18,8 +19,13 @@ namespace et::nn {
 /// and the step path share one code path (and one set of tests).
 class GenerationSession {
  public:
-  GenerationSession(const std::vector<EncoderWeights>* layers,
-                    EncoderOptions opt, std::size_t max_context);
+  /// Constructed from the validated nn::Model handle — the session copies
+  /// the handle (cheap: pointer + options + flags), so the caller's Model
+  /// may be a temporary, but the layer vector the Model borrows must
+  /// outlive the session. Each per-layer cache is sized to the layer's
+  /// V-plane width (Model::v_width), so condensed and folded layouts
+  /// allocate only what they cache.
+  explicit GenerationSession(const Model& model);
 
   /// Feed one token's embedding (1 × d_model); returns the top-layer
   /// hidden state for that position (1 × d_model). Atomic under faults:
@@ -34,22 +40,16 @@ class GenerationSession {
   [[nodiscard]] tensor::MatrixF prime(core::ExecContext& ctx,
                                       const tensor::MatrixF& prompt);
 
-  /// Transitional Device&-only entry points; each forwards through a
-  /// serial ExecContext. Migrate callers to the overloads above.
-  [[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-  [[nodiscard]] tensor::MatrixF step(gpusim::Device& dev,
-                                     const tensor::MatrixF& x_row);
-
-  [[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-  [[nodiscard]] tensor::MatrixF prime(gpusim::Device& dev,
-                                      const tensor::MatrixF& prompt);
+  [[nodiscard]] const Model& model() const noexcept { return model_; }
 
   [[nodiscard]] std::size_t context_length() const noexcept {
     return caches_.empty() ? 0 : caches_[0].used();
   }
-  [[nodiscard]] std::size_t max_context() const noexcept { return max_ctx_; }
+  [[nodiscard]] std::size_t max_context() const noexcept {
+    return model_.max_context();
+  }
   [[nodiscard]] bool at_capacity() const noexcept {
-    return context_length() >= max_ctx_;
+    return context_length() >= max_context();
   }
 
   void reset();
@@ -59,9 +59,7 @@ class GenerationSession {
                                             const tensor::MatrixF& x_row,
                                             numeric::Precision p);
 
-  const std::vector<EncoderWeights>* layers_;  // not owned
-  EncoderOptions opt_;
-  std::size_t max_ctx_;
+  Model model_;
   std::vector<core::KVCache> caches_;  // one per layer
 };
 
@@ -119,26 +117,32 @@ using EmbedFn =
 /// greedy argmax over an LM head in most callers.
 using SelectFn = std::function<std::int32_t(const tensor::MatrixF& hidden)>;
 
-/// Autoregressive generation with graceful limits: feeds `first_token`,
-/// then repeatedly selects and feeds the next token, up to
-/// `max_new_tokens` emissions. KV-cache exhaustion and per-step kernel
-/// faults are stop conditions, not errors: the result carries everything
-/// generated so far plus the reason generation ended. Only non-fault
-/// exceptions (e.g. a bad config) propagate. A non-negative `eos_token`
-/// additionally stops (reason kEos) once that token is emitted — the
-/// emission itself is kept in the result.
+/// The sampling/limit fields every decode submit path shares. Both
+/// nn::GenerationRequest (scheduler) and serving::Request extend this
+/// struct, so the two request shapes cannot drift apart — one definition
+/// of what a decode job IS, envelopes added per layer.
+struct DecodeParams {
+  std::int32_t first_token = 0;
+  std::size_t max_new_tokens = 0;
+  EmbedFn embed;
+  SelectFn select;
+  std::int32_t eos_token = kNoEosToken;
+};
+
+/// Autoregressive generation with graceful limits: feeds
+/// `params.first_token`, then repeatedly selects and feeds the next
+/// token, up to `max_new_tokens` emissions. KV-cache exhaustion and
+/// per-step kernel faults are stop conditions, not errors: the result
+/// carries everything generated so far plus the reason generation ended.
+/// Only non-fault exceptions (e.g. a bad config) propagate. A
+/// non-negative `eos_token` additionally stops (reason kEos) once that
+/// token is emitted — the emission itself is kept in the result.
 [[nodiscard]] GenerationResult generate(core::ExecContext& ctx,
                                         GenerationSession& session,
-                                        std::int32_t first_token,
-                                        std::size_t max_new_tokens,
-                                        const EmbedFn& embed,
-                                        const SelectFn& select,
-                                        std::int32_t eos_token = kNoEosToken);
+                                        const DecodeParams& params);
 
-/// Transitional Device&-only entry point; forwards through a serial
-/// ExecContext. Migrate callers to the overload above.
-[[deprecated("pass a core::ExecContext instead of a raw gpusim::Device")]]
-[[nodiscard]] GenerationResult generate(gpusim::Device& dev,
+/// Field-by-field convenience spelling of the DecodeParams overload.
+[[nodiscard]] GenerationResult generate(core::ExecContext& ctx,
                                         GenerationSession& session,
                                         std::int32_t first_token,
                                         std::size_t max_new_tokens,

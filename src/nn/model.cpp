@@ -1,0 +1,69 @@
+#include "nn/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace et::nn {
+
+Model::Model(const std::vector<EncoderWeights>* layers, EncoderOptions opt,
+             std::size_t max_context)
+    : layers_(layers), opt_(std::move(opt)), max_ctx_(max_context) {
+  if (layers_ == nullptr) {
+    throw std::invalid_argument("nn::Model: layers must not be null");
+  }
+  opt_.attn.validate();
+  if (max_ctx_ == 0) {
+    throw std::invalid_argument("nn::Model: max_context must be > 0");
+  }
+
+  const std::size_t d = opt_.attn.d_model;
+  const std::size_t heads = opt_.attn.num_heads;
+  const auto note_method = [this](const sparse::AnyWeight& w) {
+    const sparse::PruneMethod m = sparse::method_of(w);
+    if (std::find(prune_methods_.begin(), prune_methods_.end(), m) ==
+        prune_methods_.end()) {
+      prune_methods_.push_back(m);
+    }
+  };
+
+  v_widths_.reserve(layers_->size());
+  for (std::size_t l = 0; l < layers_->size(); ++l) {
+    const core::AttentionWeights& aw = (*layers_)[l].attn;
+    note_method(aw.wq);
+    note_method(aw.wk);
+    note_method(aw.wv);
+    note_method(aw.wo);
+    if (aw.has_precomputed()) {
+      // The fold must agree with the attention config before any cache
+      // is sized from it — a half-checked W_VO would surface later as an
+      // opaque width mismatch deep in a decode tick.
+      const core::PrecomputedVO& vo = aw.vo;
+      if (vo.num_heads != heads || vo.weight.cols() != d ||
+          vo.weight.rows() != heads * vo.kept() || vo.kept() == 0) {
+        throw std::invalid_argument(
+            "nn::Model: layer " + std::to_string(l) +
+            " W_VO shape disagrees with the attention config");
+      }
+      has_precomputed_ = true;
+      v_widths_.push_back(heads * vo.kept());
+    } else if (aw.v_condensable(heads)) {
+      v_widths_.push_back(
+          std::get<sparse::RowPrunedWeight>(aw.wv).kept_rows().size());
+    } else {
+      v_widths_.push_back(d);
+    }
+  }
+  std::sort(prune_methods_.begin(), prune_methods_.end());
+}
+
+std::string_view Model::weight_layout() const noexcept {
+  if (has_precomputed_) return "precomputed";
+  for (const sparse::PruneMethod m : prune_methods_) {
+    if (m != sparse::PruneMethod::kDense) return "pruned";
+  }
+  return "dense";
+}
+
+}  // namespace et::nn

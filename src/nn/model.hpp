@@ -1,0 +1,82 @@
+// nn::Model — the validated model handle behind every decode entry path.
+//
+// GenerationSession, BatchedGenerationScheduler and
+// serving::InferenceServer used to each take a raw
+// `const std::vector<EncoderWeights>*` plus EncoderOptions and re-derive
+// (or reject) the weight layout independently; this handle is now the one
+// construction point. It owns the run configuration — borrowed layer
+// weights, options, the per-slot context capacity — and the capability
+// flags derived from the weights: whether the pre-computed W_VO fold
+// (§3.1) is in play, which pruned formats appear, and the per-layer
+// V-plane width the KV caches must allocate (full d_model, condensed
+// Σkept for a condensable row-pruned W_V, or H·kept under the fold).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "nn/encoder.hpp"
+
+namespace et::nn {
+
+class Model {
+ public:
+  /// `layers` is borrowed and must outlive the Model and everything
+  /// constructed from it (the lifetime contract the entry paths used to
+  /// state individually). Throws std::invalid_argument on a null layer
+  /// vector, an invalid attention config, max_context == 0, or a W_VO
+  /// block whose head count or shape disagrees with the config.
+  Model(const std::vector<EncoderWeights>* layers, EncoderOptions opt,
+        std::size_t max_context);
+
+  [[nodiscard]] const std::vector<EncoderWeights>& layers() const noexcept {
+    return *layers_;
+  }
+  [[nodiscard]] const EncoderOptions& options() const noexcept { return opt_; }
+  [[nodiscard]] std::size_t max_context() const noexcept { return max_ctx_; }
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return v_widths_.size();
+  }
+  [[nodiscard]] std::size_t d_model() const noexcept {
+    return opt_.attn.d_model;
+  }
+
+  /// True when any layer carries the pre-computed W_VO fold.
+  [[nodiscard]] bool has_precomputed() const noexcept {
+    return has_precomputed_;
+  }
+  /// Distinct formats appearing across the attention weights, in enum
+  /// order (kDense first when present).
+  [[nodiscard]] const std::vector<sparse::PruneMethod>& prune_methods()
+      const noexcept {
+    return prune_methods_;
+  }
+  /// The layout tag reported by `et_cli --json` and
+  /// `bench/ablation_serving`: "precomputed" when any layer folds W_VO,
+  /// else "pruned" when any attention weight is non-dense, else "dense".
+  [[nodiscard]] std::string_view weight_layout() const noexcept;
+
+  /// Cached K-plane row width (always the full hidden width).
+  [[nodiscard]] std::size_t k_width() const noexcept {
+    return opt_.attn.d_model;
+  }
+  /// Cached V-plane row width for `layer`: H·kept under the W_VO fold,
+  /// Σkept for a condensable row-pruned W_V, d_model otherwise.
+  [[nodiscard]] std::size_t v_width(std::size_t layer) const {
+    return v_widths_.at(layer);
+  }
+  [[nodiscard]] const std::vector<std::size_t>& v_widths() const noexcept {
+    return v_widths_;
+  }
+
+ private:
+  const std::vector<EncoderWeights>* layers_ = nullptr;  // not owned
+  EncoderOptions opt_;
+  std::size_t max_ctx_ = 0;
+  std::vector<std::size_t> v_widths_;  // index = layer
+  std::vector<sparse::PruneMethod> prune_methods_;
+  bool has_precomputed_ = false;
+};
+
+}  // namespace et::nn

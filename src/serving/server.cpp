@@ -23,14 +23,8 @@ std::vector<double> rate_bounds() {
 
 }  // namespace
 
-InferenceServer::InferenceServer(const std::vector<nn::EncoderWeights>* layers,
-                                 nn::EncoderOptions opt, ServerConfig cfg)
-    : sched_(layers, std::move(opt), cfg.max_batch, cfg.max_context),
-      cfg_(cfg) {
-  if (cfg.max_context == 0) {
-    throw std::invalid_argument("InferenceServer: max_context must be > 0");
-  }
-
+InferenceServer::InferenceServer(const nn::Model& model, ServerConfig cfg)
+    : sched_(model, cfg.max_batch), cfg_(cfg) {
   // Registration order fixes the snapshot's field order — the contract
   // et_cli --serve --json and bench/ablation_serving share.
   submitted_ = &metrics_.counter("requests_submitted");
@@ -164,11 +158,10 @@ void InferenceServer::admit_from_queues(core::ExecContext& ctx,
       q.pop_front();
       Record& r = records_[id];
       nn::GenerationRequest g;
-      g.first_token = r.req.first_token;
-      g.max_new_tokens = r.req.max_new_tokens;
-      g.embed = std::move(r.req.embed);
-      g.select = std::move(r.req.select);
-      g.eos_token = r.req.eos_token;
+      // The generation job is exactly the shared DecodeParams slice of
+      // the serving Request — move it across wholesale, envelope stays.
+      static_cast<nn::DecodeParams&>(g) =
+          std::move(static_cast<nn::DecodeParams&>(r.req));
       r.sched_id = sched_.submit(std::move(g));
       r.admitted_tick = t;
       r.admit_device_us = ctx.device().total_time_us();

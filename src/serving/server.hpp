@@ -81,14 +81,11 @@ using TokenCallback =
     std::function<void(std::uint64_t request_id, std::int32_t token,
                        std::size_t index)>;
 
-/// One serving request: the generation job plus its serving envelope.
-struct Request {
-  std::int32_t first_token = 0;
-  std::size_t max_new_tokens = 0;
-  nn::EmbedFn embed;
-  nn::SelectFn select;
-  std::int32_t eos_token = nn::kNoEosToken;
-
+/// One serving request: the shared nn::DecodeParams generation job
+/// (first_token / max_new_tokens / embed / select / eos_token — the same
+/// fields the scheduler's GenerationRequest carries, by construction)
+/// plus the serving envelope below.
+struct Request : nn::DecodeParams {
   Priority priority = Priority::kNormal;
   /// Max whole ticks the request may wait in the queue before admission;
   /// exceeded => StopReason::kDeadlineExceeded with no tokens.
@@ -140,18 +137,18 @@ struct RequestStatus {
 
 struct ServerConfig {
   std::size_t max_batch = 8;      ///< decode slots (scheduler batch)
-  std::size_t max_context = 0;    ///< per-slot KV capacity; must be > 0
   std::size_t queue_capacity = 64;  ///< bounded admission queue, all classes
 };
 
 class InferenceServer {
  public:
-  /// `layers` is borrowed (same contract as the scheduler). Throws
-  /// std::invalid_argument on cfg.max_context == 0 or anything the
-  /// scheduler itself rejects (zero batch, pre-computed W_VO, bad
-  /// attention config).
-  InferenceServer(const std::vector<nn::EncoderWeights>* layers,
-                  nn::EncoderOptions opt, ServerConfig cfg);
+  /// Constructed from the validated nn::Model handle — weights, options
+  /// and the per-slot KV capacity (model.max_context()) all arrive
+  /// through the one construction point every decode entry path shares.
+  /// The model is copied; the layer vector it borrows must outlive the
+  /// server. Throws std::invalid_argument on anything the scheduler
+  /// rejects (zero batch).
+  InferenceServer(const nn::Model& model, ServerConfig cfg);
 
   /// Submit a request. Never blocks; on a full queue the request is
   /// REJECTED: it finishes immediately with StopReason::kRejected and
@@ -193,6 +190,9 @@ class InferenceServer {
   }
   [[nodiscard]] std::size_t max_batch() const noexcept {
     return sched_.max_batch();
+  }
+  [[nodiscard]] const nn::Model& model() const noexcept {
+    return sched_.model();
   }
   /// The logical clock: number of completed drive ticks.
   [[nodiscard]] std::size_t now() const noexcept { return tick_; }

@@ -100,10 +100,11 @@ inline std::vector<Outcome> run_sequential(
     const std::vector<Request>& requests, std::int32_t vocab,
     std::size_t threads = 1) {
   core::ExecContext ctx(dev, threads);
+  const nn::Model model(&layers, opt, max_context);
   std::vector<Outcome> outcomes(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& r = requests[i];
-    nn::GenerationSession session(&layers, opt, max_context);
+    nn::GenerationSession session(model);
     outcomes[i].result = nn::generate(
         ctx, session, r.first_token, r.max_new_tokens,
         make_embed(opt.attn.d_model, r.seed),
@@ -132,7 +133,8 @@ inline BatchedRun run_batched(gpusim::Device& dev,
   core::ExecContext ctx(dev, threads);
   BatchedRun run;
   run.outcomes.resize(requests.size());
-  nn::BatchedGenerationScheduler sched(&layers, opt, max_batch, max_context);
+  nn::BatchedGenerationScheduler sched(nn::Model(&layers, opt, max_context),
+                                       max_batch);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& r = requests[i];
     nn::GenerationRequest req;
@@ -180,11 +182,12 @@ struct ServedRun {
 inline ServedRun run_served(gpusim::Device& dev,
                             const std::vector<nn::EncoderWeights>& layers,
                             const nn::EncoderOptions& opt,
+                            std::size_t max_context,
                             const serving::ServerConfig& cfg,
                             const std::vector<Arrival>& arrivals,
                             std::int32_t vocab, std::size_t threads = 1) {
   core::ExecContext ctx(dev, threads);
-  serving::InferenceServer server(&layers, opt, cfg);
+  serving::InferenceServer server(nn::Model(&layers, opt, max_context), cfg);
   ServedRun run;
   run.outcomes.resize(arrivals.size());
   std::size_t next = 0;  // arrivals must be sorted by tick

@@ -296,9 +296,10 @@ TEST(BatchedGenerationFaults, NthLaunchFaultRetiresOnlyTheFaultedSlot) {
 // ---------------------------------------------------------------------------
 // Scheduler API contract.
 // ---------------------------------------------------------------------------
-TEST(BatchedGenerationApi, RejectsZeroMaxBatchAndPrecomputedVo) {
+TEST(BatchedGenerationApi, RejectsZeroMaxBatchButAcceptsPrecomputedVo) {
   const Model m = make_model(1, 32, 2, 8, 23, false);
-  EXPECT_THROW(et::nn::BatchedGenerationScheduler(&m.layers, m.opt, 0, 8),
+  EXPECT_THROW(et::nn::BatchedGenerationScheduler(
+                   et::nn::Model(&m.layers, m.opt, 8), 0),
                std::invalid_argument);
 
   Model pre = make_model(1, 32, 2, 8, 23, false);
@@ -308,22 +309,29 @@ TEST(BatchedGenerationApi, RejectsZeroMaxBatchAndPrecomputedVo) {
       std::get<et::sparse::DenseWeight>(pre.layers[0].attn.wo).matrix();
   pre.layers[0].attn.vo =
       et::core::precompute_vo(wv, wo, pre.opt.attn.num_heads);
-  // Regression: the pre-computed W_VO contract violation must surface at
-  // construction (not as a wrong transcript ticks later) with a message
-  // that names the unsupported feature and the path that rejects it.
-  try {
-    et::nn::BatchedGenerationScheduler sched(&pre.layers, pre.opt, 2, 8);
-    FAIL() << "pre-computed W_VO weights must be rejected at construction";
-  } catch (const std::invalid_argument& e) {
-    const std::string what = e.what();
-    EXPECT_NE(what.find("pre-computed W_VO"), std::string::npos) << what;
-    EXPECT_NE(what.find("cached decode path"), std::string::npos) << what;
-  }
+  // Regression for the OLD contract: pre-computed W_VO used to be
+  // rejected at scheduler construction. The cached decode path now
+  // consumes the fold (condensed V-plane, no output projection), so the
+  // same weights must construct AND decode.
+  const et::nn::Model handle(&pre.layers, pre.opt, 8);
+  EXPECT_TRUE(handle.has_precomputed());
+  et::nn::BatchedGenerationScheduler sched(handle, 2);
+  et::nn::GenerationRequest req;
+  req.max_new_tokens = 3;
+  req.embed = et::diff::make_embed(32, 5);
+  req.select = et::diff::make_select(kVocab);
+  const std::size_t id = sched.submit(std::move(req));
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+  (void)sched.run(ctx);
+  EXPECT_EQ(sched.result(id).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(sched.result(id).tokens.size(), 3u);
 }
 
 TEST(BatchedGenerationApi, ZeroTokenRequestCompletesWithoutASlot) {
   const Model m = make_model(1, 32, 2, 8, 27, false);
-  et::nn::BatchedGenerationScheduler sched(&m.layers, m.opt, 2, 8);
+  et::nn::BatchedGenerationScheduler sched(et::nn::Model(&m.layers, m.opt, 8),
+                                           2);
   et::nn::GenerationRequest req;
   req.max_new_tokens = 0;
   req.embed = et::diff::make_embed(32, 1);
@@ -337,7 +345,8 @@ TEST(BatchedGenerationApi, ZeroTokenRequestCompletesWithoutASlot) {
 
 TEST(BatchedGenerationApi, ResultThrowsUntilTheRequestFinishes) {
   const Model m = make_model(1, 32, 2, 8, 29, false);
-  et::nn::BatchedGenerationScheduler sched(&m.layers, m.opt, 2, 8);
+  et::nn::BatchedGenerationScheduler sched(et::nn::Model(&m.layers, m.opt, 8),
+                                           2);
   et::nn::GenerationRequest req;
   req.max_new_tokens = 2;
   req.embed = et::diff::make_embed(32, 2);

@@ -80,10 +80,44 @@ TEST(CliContract, HelpListsEveryServeFlagAndExitsZero) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* flag :
        {"--serve", "--requests", "--queue-cap", "--arrive", "--deadline",
-        "--queue-budget", "--batch", "--tokens", "--threads", "--json"}) {
+        "--queue-budget", "--batch", "--tokens", "--threads", "--json",
+        "--weights"}) {
     EXPECT_NE(r.output.find(flag), std::string::npos)
         << "--help is missing " << flag;
   }
+}
+
+TEST(CliContract, WeightsFlagSelectsLayoutAndRejectsJunk) {
+  const auto bad = run_cli("--weights banana");
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("banana"), std::string::npos) << bad.output;
+
+  // Every layout serves and reports itself in the JSON config line.
+  for (const char* layout : {"dense", "precomputed", "pruned"}) {
+    const auto r = run_cli(std::string("--serve --json --requests 2 "
+                                       "--batch 1 --tokens 2 --weights ") +
+                           layout);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find(std::string("\"weights\": \"") + layout + "\""),
+              std::string::npos)
+        << r.output;
+  }
+  // The batched-scheduler mode carries the same field.
+  const auto batch =
+      run_cli("--batch 2 --json --tokens 2 --weights precomputed");
+  ASSERT_EQ(batch.exit_code, 0) << batch.output;
+  EXPECT_NE(batch.output.find("\"weights\": \"precomputed\""),
+            std::string::npos)
+      << batch.output;
+
+  // The fold rebuilds from dense projections, so combining it with a
+  // pruning strategy must fail loudly, naming the flag.
+  const auto conflict = run_cli(
+      "--serve --model transformer --weights precomputed --strategy tile "
+      "--ratio 0.5 --requests 2 --tokens 2");
+  EXPECT_EQ(conflict.exit_code, 2);
+  EXPECT_NE(conflict.output.find("--weights"), std::string::npos)
+      << conflict.output;
 }
 
 TEST(CliContract, ServeJsonCarriesEveryMetricsRegistryScalar) {
@@ -99,7 +133,8 @@ TEST(CliContract, ServeJsonCarriesEveryMetricsRegistryScalar) {
       et::nn::make_dense_encoder_weights(cfg, 1)};
   const auto opt =
       et::nn::options_for(et::nn::Pipeline::kET, cfg, 8, /*causal=*/true);
-  et::serving::InferenceServer reference(&layers, opt, {2, 8, 4});
+  et::serving::InferenceServer reference(et::nn::Model(&layers, opt, 8),
+                                         {2, 4});
 
   const auto r = run_cli(
       "--serve --json --requests 3 --batch 2 --tokens 2 --queue-cap 4");

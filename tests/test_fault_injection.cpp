@@ -326,7 +326,7 @@ TEST(Generate, CompletesWithMaxTokens) {
   TinyStack s;
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  et::nn::GenerationSession session(&s.layers, s.opt, /*max_context=*/16);
+  et::nn::GenerationSession session(et::nn::Model(&s.layers, s.opt, /*max_context=*/16));
   const auto result = et::nn::generate(ctx, session, 0, 5,
                                        test_embed(s.model.d_model),
                                        test_select());
@@ -338,7 +338,7 @@ TEST(Generate, StopsCleanlyWhenKvCacheFills) {
   TinyStack s;
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  et::nn::GenerationSession session(&s.layers, s.opt, /*max_context=*/3);
+  et::nn::GenerationSession session(et::nn::Model(&s.layers, s.opt, /*max_context=*/3));
   const auto result = et::nn::generate(ctx, session, 0, 10,
                                        test_embed(s.model.d_model),
                                        test_select());
@@ -354,7 +354,7 @@ TEST(Generate, CapacityOneCacheReturnsInsteadOfThrowing) {
   TinyStack s;
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  et::nn::GenerationSession session(&s.layers, s.opt, /*max_context=*/1);
+  et::nn::GenerationSession session(et::nn::Model(&s.layers, s.opt, /*max_context=*/1));
   const auto result = et::nn::generate(ctx, session, 0, 10,
                                        test_embed(s.model.d_model),
                                        test_select());
@@ -370,14 +370,14 @@ TEST(Generate, KernelFaultMidGenerationKeepsEarlierTokens) {
   {
     et::gpusim::Device dev;
     et::core::ExecContext ctx(dev);
-    et::nn::GenerationSession session(&s.layers, s.opt, 16);
+    et::nn::GenerationSession session(et::nn::Model(&s.layers, s.opt, 16));
     (void)session.step(ctx, test_embed(s.model.d_model)(0, 0));
     launches_per_step = dev.launch_count();
   }
 
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  et::nn::GenerationSession session(&s.layers, s.opt, 16);
+  et::nn::GenerationSession session(et::nn::Model(&s.layers, s.opt, 16));
   dev.fault_injector().arm_nth_launch(2 * launches_per_step +
                                       launches_per_step / 2);
   const auto result = et::nn::generate(ctx, session, 0, 10,
@@ -397,7 +397,7 @@ TEST(GenerationSession, StepIsAtomicUnderFaults) {
   // Reference: two clean steps.
   et::gpusim::Device ref_dev;
   et::core::ExecContext ref_dev_ctx(ref_dev);
-  et::nn::GenerationSession ref(&s.layers, s.opt, 8);
+  et::nn::GenerationSession ref(et::nn::Model(&s.layers, s.opt, 8));
   (void)ref.step(ref_dev_ctx, embed(0, 0));
   const MatrixF want = ref.step(ref_dev_ctx, embed(1, 1));
 
@@ -406,7 +406,7 @@ TEST(GenerationSession, StepIsAtomicUnderFaults) {
   {
     et::gpusim::Device probe;
     et::core::ExecContext probe_ctx(probe);
-    et::nn::GenerationSession scratch(&s.layers, s.opt, 8);
+    et::nn::GenerationSession scratch(et::nn::Model(&s.layers, s.opt, 8));
     (void)scratch.step(probe_ctx, embed(0, 0));
     launches_per_step = probe.launch_count();
   }
@@ -414,7 +414,7 @@ TEST(GenerationSession, StepIsAtomicUnderFaults) {
 
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  et::nn::GenerationSession session(&s.layers, s.opt, 8);
+  et::nn::GenerationSession session(et::nn::Model(&s.layers, s.opt, 8));
   (void)session.step(ctx, embed(0, 0));
   ASSERT_EQ(session.context_length(), 1u);
 

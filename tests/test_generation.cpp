@@ -172,7 +172,8 @@ TEST(GenerationSession, MatchesFullCausalForwardPerPosition) {
   et::core::ExecContext ctx(dev);
   const MatrixF full = et::nn::encoder_stack_forward(ctx, x, layers, opt);
 
-  et::nn::GenerationSession session(&layers, opt, /*max_context=*/16);
+  et::nn::GenerationSession session(
+      et::nn::Model(&layers, opt, /*max_context=*/16));
   for (std::size_t t = 0; t < x.rows(); ++t) {
     const MatrixF h = session.step(ctx, row_of(x, t));
     for (std::size_t c = 0; c < x.cols(); ++c) {
@@ -194,7 +195,8 @@ TEST(GenerationSession, PrimeEqualsSteps) {
 
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  et::nn::GenerationSession a(&layers, opt, 8), b(&layers, opt, 8);
+  const et::nn::Model model_handle(&layers, opt, 8);
+  et::nn::GenerationSession a(model_handle), b(model_handle);
   const MatrixF via_prime = a.prime(ctx, prompt);
   MatrixF via_steps;
   for (std::size_t t = 0; t < prompt.rows(); ++t) {
@@ -211,7 +213,7 @@ TEST(GenerationSession, StepCostGrowsLinearlyWithContext) {
       et::nn::make_dense_encoder_weights(model, 21)};
   auto opt = et::nn::options_for(et::nn::Pipeline::kET, model, 1, true);
 
-  et::nn::GenerationSession session(&layers, opt, 512);
+  et::nn::GenerationSession session(et::nn::Model(&layers, opt, 512));
   MatrixF row(1, model.d_model);
 
   double early = 0.0, late = 0.0;
@@ -239,7 +241,7 @@ TEST(GenerationSession, WorksWithPrunedWeights) {
 
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  et::nn::GenerationSession session(&layers, opt, 8);
+  et::nn::GenerationSession session(et::nn::Model(&layers, opt, 8));
   MatrixF row(1, model.d_model);
   et::tensor::fill_normal(row, 23, 0.0f, 0.5f);
   for (int t = 0; t < 4; ++t) {
@@ -265,7 +267,7 @@ TEST(Generate, StopsAtEosTokenAndKeepsTheEmission) {
 
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  et::nn::GenerationSession session(&layers, opt, 8);
+  et::nn::GenerationSession session(et::nn::Model(&layers, opt, 8));
   const auto r =
       et::nn::generate(ctx, session, 1, 6, embed, select, /*eos_token=*/5);
   EXPECT_EQ(r.stop_reason, et::nn::StopReason::kEos);

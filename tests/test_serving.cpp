@@ -54,6 +54,11 @@ Model make_model(std::size_t num_layers, std::size_t d_model,
   return m;
 }
 
+/// The validated model handle every server in this file is built from.
+et::nn::Model nn_model(const Model& m, std::size_t max_context) {
+  return et::nn::Model(&m.layers, m.opt, max_context);
+}
+
 /// A plain serving request over the differential harness closures.
 et::serving::Request make_request(const Model& m, std::int32_t first_token,
                                   std::size_t max_new_tokens,
@@ -195,9 +200,10 @@ TEST_P(ServingDifferential, ScriptedArrivalsMatchSequentialBitForBit) {
   et::gpusim::Device seq_dev, serve_dev;
   const auto sequential = et::diff::run_sequential(
       seq_dev, m.layers, m.opt, max_context, requests, kVocab);
-  const ServerConfig cfg{c.max_batch, max_context, c.queue_capacity};
-  const auto served = et::diff::run_served(serve_dev, m.layers, m.opt, cfg,
-                                           arrivals, kVocab, c.threads);
+  const ServerConfig cfg{c.max_batch, c.queue_capacity};
+  const auto served = et::diff::run_served(serve_dev, m.layers, m.opt,
+                                           max_context, cfg, arrivals, kVocab,
+                                           c.threads);
 
   et::diff::expect_bit_identical(sequential, served.outcomes);
   for (const auto& o : served.outcomes) {
@@ -224,15 +230,15 @@ TEST(ServingDifferentialCross, ThreadCountsAgreeOnTranscriptsAndMetrics) {
         {i / 2, {static_cast<std::int32_t>(i + 3), 3 + i % 3,
                  et::nn::kNoEosToken, 70 + i}});
   }
-  const ServerConfig cfg{2, max_context, 8};
+  const ServerConfig cfg{2, 8};
 
   et::gpusim::Device d1;
-  const auto base = et::diff::run_served(d1, m.layers, m.opt, cfg, arrivals,
-                                         kVocab, /*threads=*/1);
+  const auto base = et::diff::run_served(d1, m.layers, m.opt, max_context,
+                                         cfg, arrivals, kVocab, /*threads=*/1);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
     et::gpusim::Device dn;
-    const auto other = et::diff::run_served(dn, m.layers, m.opt, cfg,
-                                            arrivals, kVocab, threads);
+    const auto other = et::diff::run_served(dn, m.layers, m.opt, max_context,
+                                            cfg, arrivals, kVocab, threads);
     et::diff::expect_bit_identical(base.outcomes, other.outcomes);
     EXPECT_EQ(base.ticks, other.ticks) << "threads=" << threads;
   }
@@ -243,9 +249,8 @@ TEST(ServingDifferentialCross, ThreadCountsAgreeOnTranscriptsAndMetrics) {
 // ---------------------------------------------------------------------------
 TEST(Serving, FullQueueRejectsWithTypedReason) {
   const Model m = make_model(1, 32, 2, 8, 51);
-  InferenceServer server(&m.layers, m.opt, {/*max_batch=*/1,
-                                            /*max_context=*/8,
-                                            /*queue_capacity=*/2});
+  InferenceServer server(nn_model(m, 8), {/*max_batch=*/1,
+                                          /*queue_capacity=*/2});
   const auto a = server.submit(make_request(m, 1, 4, 11));
   const auto b = server.submit(make_request(m, 2, 4, 12));
   const auto c = server.submit(make_request(m, 3, 4, 13));  // queue full
@@ -270,7 +275,7 @@ TEST(Serving, FullQueueRejectsWithTypedReason) {
 
 TEST(Serving, PriorityClassesAdmitInteractiveBeforeBulk) {
   const Model m = make_model(1, 32, 2, 10, 53);
-  InferenceServer server(&m.layers, m.opt, {1, 10, 8});
+  InferenceServer server(nn_model(m, 10), {1, 8});
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
 
@@ -296,7 +301,7 @@ TEST(Serving, PriorityClassesAdmitInteractiveBeforeBulk) {
 
 TEST(Serving, QueueBudgetExpiresWaitingRequests) {
   const Model m = make_model(1, 32, 2, 10, 59);
-  InferenceServer server(&m.layers, m.opt, {1, 10, 8});
+  InferenceServer server(nn_model(m, 10), {1, 8});
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
 
@@ -324,7 +329,7 @@ TEST(Serving, QueueBudgetExpiresWaitingRequests) {
 
 TEST(Serving, TotalBudgetTruncatesActiveRequestKeepingThePrefix) {
   const Model m = make_model(1, 32, 2, 16, 61);
-  InferenceServer server(&m.layers, m.opt, {1, 16, 8});
+  InferenceServer server(nn_model(m, 16), {1, 8});
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
 
@@ -343,7 +348,7 @@ TEST(Serving, TotalBudgetTruncatesActiveRequestKeepingThePrefix) {
 
 TEST(Serving, ZeroTotalBudgetExpiresAtSubmit) {
   const Model m = make_model(1, 32, 2, 8, 67);
-  InferenceServer server(&m.layers, m.opt, {1, 8, 8});
+  InferenceServer server(nn_model(m, 8), {1, 8});
   auto req = make_request(m, 1, 4, 43);
   req.total_budget_ticks = 0;
   const auto h = server.submit(std::move(req));
@@ -355,7 +360,7 @@ TEST(Serving, ZeroTotalBudgetExpiresAtSubmit) {
 
 TEST(Serving, CancelQueuedAndActiveKeepsEmittedTokens) {
   const Model m = make_model(1, 32, 2, 16, 71);
-  InferenceServer server(&m.layers, m.opt, {1, 16, 8});
+  InferenceServer server(nn_model(m, 16), {1, 8});
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
 
@@ -389,7 +394,7 @@ TEST(Serving, CancelQueuedAndActiveKeepsEmittedTokens) {
 
 TEST(Serving, StreamingCallbacksDeliverEveryTokenInOrder) {
   const Model m = make_model(1, 32, 2, 10, 73);
-  InferenceServer server(&m.layers, m.opt, {2, 10, 8});
+  InferenceServer server(nn_model(m, 10), {2, 8});
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
 
@@ -432,14 +437,14 @@ TEST(ServingFaults, SlotFaultRetiresOnlyTheOwnerAndCountsOnce) {
     arrivals.push_back({0, {static_cast<std::int32_t>(i + 1), 5,
                             et::nn::kNoEosToken, 80 + i}});
   }
-  const ServerConfig cfg{2, max_context, 8};
+  const ServerConfig cfg{2, 8};
 
   // Clean run: reference transcripts + the launch history that locates
   // slot 1's attention kernel in its second tick (faulted launches never
   // reach the history, so launch index == history index).
   et::gpusim::Device clean_dev;
-  const auto clean = et::diff::run_served(clean_dev, m.layers, m.opt, cfg,
-                                          arrivals, kVocab);
+  const auto clean = et::diff::run_served(clean_dev, m.layers, m.opt,
+                                          max_context, cfg, arrivals, kVocab);
   std::vector<std::size_t> slot1_attention;
   const auto& history = clean_dev.history();
   for (std::size_t i = 0; i < history.size(); ++i) {
@@ -455,7 +460,7 @@ TEST(ServingFaults, SlotFaultRetiresOnlyTheOwnerAndCountsOnce) {
   et::gpusim::Device fault_dev;
   fault_dev.fault_injector().arm_nth_launch(target);
   et::core::ExecContext ctx(fault_dev);
-  InferenceServer server(&m.layers, m.opt, cfg);
+  InferenceServer server(nn_model(m, max_context), cfg);
   std::vector<et::serving::RequestHandle> handles;
   std::vector<std::vector<std::uint64_t>> hashes(arrivals.size());
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
@@ -503,12 +508,12 @@ TEST(ServingFaults, SlotFaultRetiresOnlyTheOwnerAndCountsOnce) {
 // ---------------------------------------------------------------------------
 TEST(ServingApi, ConstructorAndSubmitValidateTheirArguments) {
   const Model m = make_model(1, 32, 2, 8, 83);
-  EXPECT_THROW(InferenceServer(&m.layers, m.opt, {2, /*max_context=*/0, 8}),
+  EXPECT_THROW(et::nn::Model(&m.layers, m.opt, /*max_context=*/0),
                std::invalid_argument);
-  EXPECT_THROW(InferenceServer(&m.layers, m.opt, {/*max_batch=*/0, 8, 8}),
+  EXPECT_THROW(InferenceServer(nn_model(m, 8), {/*max_batch=*/0, 8}),
                std::invalid_argument);
 
-  InferenceServer server(&m.layers, m.opt, {2, 8, 8});
+  InferenceServer server(nn_model(m, 8), {2, 8});
   et::serving::Request missing;  // no embed/select
   missing.max_new_tokens = 3;
   EXPECT_THROW(server.submit(std::move(missing)), std::invalid_argument);
@@ -516,7 +521,7 @@ TEST(ServingApi, ConstructorAndSubmitValidateTheirArguments) {
 
 TEST(ServingApi, ZeroTokenRequestCompletesAtSubmit) {
   const Model m = make_model(1, 32, 2, 8, 89);
-  InferenceServer server(&m.layers, m.opt, {2, 8, 8});
+  InferenceServer server(nn_model(m, 8), {2, 8});
   et::serving::Request req;  // embed/select not needed for 0 tokens
   const auto h = server.submit(std::move(req));
   EXPECT_TRUE(server.finished(h));
@@ -528,7 +533,7 @@ TEST(ServingApi, ZeroTokenRequestCompletesAtSubmit) {
 
 TEST(ServingApi, ResultThrowsUntilFinishedAndWaitDrivesToCompletion) {
   const Model m = make_model(1, 32, 2, 8, 97);
-  InferenceServer server(&m.layers, m.opt, {1, 8, 8});
+  InferenceServer server(nn_model(m, 8), {1, 8});
   const auto h = server.submit(make_request(m, 1, 3, 71));
   EXPECT_FALSE(server.finished(h));
   EXPECT_THROW((void)server.result(h), std::logic_error);
@@ -546,7 +551,7 @@ TEST(ServingApi, ResultThrowsUntilFinishedAndWaitDrivesToCompletion) {
 
 TEST(ServingApi, LifecycleCountersBalanceAfterAMixedWorkload) {
   const Model m = make_model(1, 32, 2, 12, 101);
-  InferenceServer server(&m.layers, m.opt, {1, 12, 2});
+  InferenceServer server(nn_model(m, 12), {1, 2});
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
 
@@ -587,13 +592,13 @@ TEST(ServingApi, MetricsJsonIsIdenticalAcrossIdenticalRuns) {
     arrivals.push_back({i, {static_cast<std::int32_t>(i + 1), 3,
                             et::nn::kNoEosToken, 90 + i}});
   }
-  const ServerConfig cfg{2, 10, 4};
+  const ServerConfig cfg{2, 4};
 
   std::string snapshots[2];
   for (auto& snapshot : snapshots) {
     et::gpusim::Device dev;
     et::core::ExecContext ctx(dev);
-    InferenceServer server(&m.layers, m.opt, cfg);
+    InferenceServer server(nn_model(m, 10), cfg);
     std::size_t next = 0;
     while (next < arrivals.size() || !server.idle()) {
       while (next < arrivals.size() &&
