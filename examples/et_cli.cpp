@@ -54,6 +54,10 @@ struct Args {
   std::size_t arrive = 0;        // requests arriving per tick; 0 = all at t0
   std::size_t deadline = 0;      // per-request total budget (ticks); 0 = none
   std::size_t queue_budget = 0;  // per-request queue budget (ticks); 0 = none
+  std::size_t retries = 0;       // per-request kernel-fault retry budget
+  std::size_t backoff_ticks = 0; // ticks between a fault and re-admission
+  bool backoff_given = false;    // --backoff-ticks without --retries is an error
+  bool preempt = true;           // priority preemption with recompute-resume
 };
 
 /// Arm the device's fault injector from a CLI spec:
@@ -172,6 +176,23 @@ bool parse(int argc, char** argv, Args& a) {
     else if (arg == "--arrive") next_size(arg, a.arrive);
     else if (arg == "--deadline") next_size(arg, a.deadline);
     else if (arg == "--queue-budget") next_size(arg, a.queue_budget);
+    else if (arg == "--retries") next_size(arg, a.retries);
+    else if (arg == "--backoff-ticks") {
+      a.backoff_given = true;
+      next_size(arg, a.backoff_ticks);
+    }
+    else if (arg == "--preempt") {
+      if (next(arg, v)) {
+        if (v != "on" && v != "off") {
+          std::fprintf(stderr,
+                       "bad value for --preempt: '%s' (want on | off)\n",
+                       v.c_str());
+          ok = false;
+        } else {
+          a.preempt = v == "on";
+        }
+      }
+    }
     else if (arg == "--ratio") {
       if (next(arg, v)) {
         char* end = nullptr;
@@ -214,6 +235,14 @@ bool parse(int argc, char** argv, Args& a) {
       ok = false;
     }
   }
+  // Cross-flag validation: a backoff without a retry budget would never
+  // apply (no fault is ever requeued), so reject it loudly instead of
+  // letting the flag silently do nothing.
+  if (ok && a.backoff_given && a.retries == 0) {
+    std::fprintf(stderr,
+                 "--backoff-ticks requires --retries N with N > 0\n");
+    ok = false;
+  }
   return ok;
 }
 
@@ -252,6 +281,13 @@ void usage() {
       "                    (default 0)\n"
       "  --deadline T      per-request end-to-end budget in ticks; 0 = none\n"
       "  --queue-budget T  per-request queue-wait budget in ticks; 0 = none\n"
+      "  --retries N       per-request kernel-fault retry budget; a faulted\n"
+      "                    request is requeued and recomputed up to N times\n"
+      "                    before retiring as kernel_fault (default 0)\n"
+      "  --backoff-ticks T ticks a faulted request sits out before it is\n"
+      "                    eligible for re-admission (needs --retries > 0)\n"
+      "  --preempt on|off  priority preemption with recompute-resume\n"
+      "                    (docs/robustness.md; default on)\n"
       "  --profile   print the per-kernel nvprof-style table\n"
       "  --trace F   write a chrome://tracing JSON timeline to F\n"
       "  --inject-fault SPEC\n"
@@ -406,7 +442,11 @@ int main(int argc, char** argv) {
     const std::size_t requested = args.batch == 0 ? 4 : args.batch;
     const std::size_t slots = requested < 8 ? requested : 8;
     const et::nn::Model handle(&layers, gopt, args.tokens + 1);
-    et::serving::InferenceServer server(handle, {slots, args.queue_cap});
+    et::serving::ServerConfig scfg;
+    scfg.max_batch = slots;
+    scfg.queue_capacity = args.queue_cap;
+    scfg.enable_preemption = args.preempt;
+    et::serving::InferenceServer server(handle, scfg);
 
     std::vector<et::serving::RequestHandle> handles;
     std::size_t submitted = 0;
@@ -423,6 +463,8 @@ int main(int argc, char** argv) {
         };
         if (args.deadline > 0) req.total_budget_ticks = args.deadline;
         if (args.queue_budget > 0) req.queue_budget_ticks = args.queue_budget;
+        req.retry_budget = args.retries;
+        req.retry_backoff_ticks = args.backoff_ticks;
         handles.push_back(server.submit(std::move(req)));
         ++submitted;
       }
@@ -452,6 +494,10 @@ int main(int argc, char** argv) {
                   args.requests, slots, args.queue_cap, args.arrive,
                   ctx.threads(),
                   std::string(handle.weight_layout()).c_str());
+      std::printf("  \"retries\": %zu, \"backoff_ticks\": %zu, "
+                  "\"preempt\": %s,\n",
+                  args.retries, args.backoff_ticks,
+                  args.preempt ? "true" : "false");
       std::printf("  \"time_us\": %.1f,\n", dev.total_time_us());
       for (const auto& f : fields) {
         std::printf("  \"%s\": %g,\n", f.name.c_str(), f.value);

@@ -45,6 +45,12 @@ class KVCache {
     return k_.rows() * (k_.cols() + v_.cols()) * sizeof(float);
   }
 
+  /// Bytes of the filled prefix only (`used()` rows of both planes) —
+  /// the live-context share of memory_bytes().
+  [[nodiscard]] std::size_t used_bytes() const noexcept {
+    return used_ * (k_.cols() + v_.cols()) * sizeof(float);
+  }
+
   /// Append one projected row to each of K and V. Throws std::length_error
   /// when the cache is full and std::invalid_argument on a row-width
   /// mismatch. Strong guarantee: every check runs before either plane is
@@ -100,6 +106,20 @@ class KVCachePool {
     std::size_t total = 0;
     for (const Slot& s : slots_) {
       for (const KVCache& c : s.caches) total += c.memory_bytes();
+    }
+    return total;
+  }
+
+  /// Bytes of KV storage currently holding live context: the filled rows
+  /// of every acquired slot's caches (a released slot contributes zero
+  /// even before its next reset). This is the serving runtime's
+  /// kv_bytes_used gauge, and the chaos harness's drain invariant — it
+  /// must return to zero once every request has retired.
+  [[nodiscard]] std::size_t used_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Slot& s : slots_) {
+      if (!s.in_use) continue;
+      for (const KVCache& c : s.caches) total += c.used_bytes();
     }
     return total;
   }

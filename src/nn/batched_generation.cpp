@@ -420,7 +420,16 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
       case TickSlot::State::kOk: {
         auto& res = results_[ts.request_id];
         const GenerationRequest& req = requests_[ts.request_id];
-        const std::int32_t token = req.select(ts.hidden);
+        // Recompute-resume replay: while tokens from a preempted/faulted
+        // earlier run remain, the tick rebuilt their KV rows and the
+        // outcome is already known — take it verbatim instead of calling
+        // select(), whose side effects (streaming hashes, logging) must
+        // fire once per token across the request's whole life.
+        ActiveSlot& as = *slots_[ts.pool_slot];
+        const bool replaying = as.replayed < req.resume_tokens.size();
+        const std::int32_t token = replaying
+                                       ? req.resume_tokens[as.replayed++]
+                                       : req.select(ts.hidden);
         res.tokens.push_back(token);
         if (req.eos_token >= 0 && token == req.eos_token) {
           retire(ts.pool_slot, StopReason::kEos);

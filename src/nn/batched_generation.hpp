@@ -37,9 +37,19 @@
 
 namespace et::nn {
 
-/// One generation job: exactly the shared nn::DecodeParams fields —
-/// semantics match a `nn::generate(ctx, session, params)` call.
-struct GenerationRequest : DecodeParams {};
+/// One generation job: the shared nn::DecodeParams fields —
+/// semantics match a `nn::generate(ctx, session, params)` call — plus an
+/// optional recompute-resume prefix.
+struct GenerationRequest : DecodeParams {
+  /// Tokens an earlier run of this job already emitted (the serving
+  /// runtime's preemption/retry resume path, docs/robustness.md). They
+  /// are REPLAYED through the fused decode tick to rebuild the KV caches
+  /// — embed() runs for each, select() does NOT (the outcome is already
+  /// known, and the caller's select may carry observable side effects) —
+  /// and they re-appear at the front of the result's token stream, so a
+  /// resumed job's transcript is bit-identical to an uninterrupted run.
+  std::vector<std::int32_t> resume_tokens;
+};
 
 class BatchedGenerationScheduler {
  public:
@@ -117,6 +127,7 @@ class BatchedGenerationScheduler {
   struct ActiveSlot {
     std::size_t request_id = 0;
     std::int32_t next_token = 0;
+    std::size_t replayed = 0;  ///< resume_tokens consumed so far
   };
 
   void admit(std::size_t request_id);

@@ -75,12 +75,13 @@ enum class StopReason {
   kKernelFault,       ///< a kernel failed mid-step (injected or real)
   kCancelled,         ///< cancelled by the caller; emitted tokens are kept
   kDeadlineExceeded,  ///< queue-wait or end-to-end budget expired
-  kRejected,          ///< refused admission (bounded queue full)
+  kRejected,          ///< refused admission (bounded queue full or shed)
+  kPreemptionLimit,   ///< preempted more times than the server allows
 };
 
 /// Count of StopReason enumerators, for exhaustive iteration (per-reason
 /// metrics counters, the round-trip regression test).
-inline constexpr std::size_t kStopReasonCount = 7;
+inline constexpr std::size_t kStopReasonCount = 8;
 
 [[nodiscard]] constexpr std::string_view to_string(StopReason r) noexcept {
   switch (r) {
@@ -91,6 +92,7 @@ inline constexpr std::size_t kStopReasonCount = 7;
     case StopReason::kCancelled: return "cancelled";
     case StopReason::kDeadlineExceeded: return "deadline_exceeded";
     case StopReason::kRejected: return "rejected";
+    case StopReason::kPreemptionLimit: return "preemption_limit";
   }
   return "?";
 }

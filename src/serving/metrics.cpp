@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace et::serving {
@@ -30,6 +31,19 @@ void Histogram::observe(double v) noexcept {
   ++counts_[b];
   ++count_;
   sum_ += v;
+}
+
+double Histogram::quantile_bound(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) return bounds_[i];
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -70,6 +70,14 @@ class Histogram {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
 
+  /// Upper bound of the bucket containing the q-quantile observation
+  /// (q in [0, 1]): the smallest bound B such that at least ⌈q·count⌉
+  /// observations are <= B. Returns 0 on an empty histogram and +inf when
+  /// the quantile lands in the overflow bucket. Fixed buckets make this a
+  /// conservative (never under-reporting) tail estimate — the p99 the
+  /// overload rows in bench/ablation_serving report.
+  [[nodiscard]] double quantile_bound(double q) const noexcept;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)

@@ -34,6 +34,9 @@ InferenceServer::InferenceServer(const nn::Model& model, ServerConfig cfg)
   cancelled_ = &metrics_.counter("requests_cancelled");
   expired_ = &metrics_.counter("requests_expired");
   kernel_faults_ = &metrics_.counter("kernel_faults");
+  preemptions_ = &metrics_.counter("preemptions");
+  retries_ = &metrics_.counter("retries");
+  shed_ = &metrics_.counter("shed");
   tokens_emitted_ = &metrics_.counter("tokens_emitted");
   ticks_ = &metrics_.counter("ticks");
   for (std::size_t r = 0; r < nn::kStopReasonCount; ++r) {
@@ -43,7 +46,9 @@ InferenceServer::InferenceServer(const nn::Model& model, ServerConfig cfg)
   queue_depth_gauge_ = &metrics_.gauge("queue_depth");
   active_slots_gauge_ = &metrics_.gauge("active_slots");
   kv_bytes_gauge_ = &metrics_.gauge("kv_bytes");
+  kv_bytes_used_gauge_ = &metrics_.gauge("kv_bytes_used");
   throughput_gauge_ = &metrics_.gauge("throughput_tokens_per_sec");
+  health_gauge_ = &metrics_.gauge("health");
   queue_wait_ = &metrics_.histogram("queue_wait_ticks", tick_bounds());
   ttft_ = &metrics_.histogram("ttft_ticks", tick_bounds());
   e2e_ = &metrics_.histogram("e2e_ticks", tick_bounds());
@@ -61,6 +66,7 @@ RequestHandle InferenceServer::submit(Request req) {
   const RequestHandle h{records_.size()};
   Record rec;
   rec.submitted_tick = tick_;
+  rec.queued_since_tick = tick_;
   rec.req = std::move(req);
   records_.push_back(std::move(rec));
   submitted_->inc();
@@ -89,6 +95,27 @@ RequestHandle InferenceServer::submit(Request req) {
     expired_->inc();
     return h;
   }
+  if (cfg_.enable_shedding && r.req.queue_budget_ticks != kNoBudget) {
+    // Load shedding: the backlog at or above this request's class bounds
+    // its queue wait from below (max_batch admissions per tick at best).
+    // If even that optimistic estimate blows the queue budget, refusing
+    // now is strictly better than letting the request occupy queue space
+    // until it expires — the caller learns immediately and the queue
+    // keeps its room for requests that can still make their deadlines.
+    std::size_t ahead = 0;
+    for (std::size_t c = 0; c <= static_cast<std::size_t>(r.req.priority);
+         ++c) {
+      ahead += queues_[c].size();
+    }
+    const std::size_t est_wait =
+        (ahead + sched_.max_batch() - 1) / sched_.max_batch();
+    if (est_wait > r.req.queue_budget_ticks) {
+      r.reject_reason = RejectReason::kShed;
+      finish_unadmitted(h.id, nn::StopReason::kRejected, tick_);
+      shed_->inc();
+      return h;
+    }
+  }
   queues_[static_cast<std::size_t>(r.req.priority)].push_back(h.id);
   return h;
 }
@@ -96,7 +123,11 @@ RequestHandle InferenceServer::submit(Request req) {
 bool InferenceServer::cancel(RequestHandle h) {
   Record& r = record(h);
   if (r.state == RequestState::kFinished) return false;
-  if (r.state == RequestState::kQueued) {
+  if (r.state == RequestState::kQueued ||
+      r.state == RequestState::kPreempted) {
+    // Both live in a class queue; a preempted request keeps the tokens
+    // its earlier slot tenure emitted (finish_unadmitted moves them
+    // into the result).
     auto& q = queues_[static_cast<std::size_t>(r.req.priority)];
     q.erase(std::find(q.begin(), q.end(), h.id));
     finish_unadmitted(h.id, nn::StopReason::kCancelled, tick_);
@@ -115,9 +146,13 @@ void InferenceServer::expire_queued(std::size_t t) {
   for (auto& q : queues_) {
     for (std::size_t i = 0; i < q.size();) {
       Record& r = records_[q[i]];
+      // The queue budget bounds each queue STINT (a preempted or
+      // retrying request starts a fresh stint when requeued); the total
+      // budget always runs from submission.
+      const std::size_t stint = t - r.queued_since_tick;
       const std::size_t waited = t - r.submitted_tick;
       const bool queue_out = r.req.queue_budget_ticks != kNoBudget &&
-                             waited > r.req.queue_budget_ticks;
+                             stint > r.req.queue_budget_ticks;
       const bool total_out = r.req.total_budget_ticks != kNoBudget &&
                              waited >= r.req.total_budget_ticks;
       if (queue_out || total_out) {
@@ -153,25 +188,106 @@ void InferenceServer::admit_from_queues(core::ExecContext& ctx,
                                         std::size_t t) {
   std::size_t free = sched_.max_batch() - sched_.active();
   for (auto& q : queues_) {  // class order: interactive, normal, bulk
-    while (free > 0 && !q.empty()) {
-      const std::uint64_t id = q.front();
-      q.pop_front();
-      Record& r = records_[id];
-      nn::GenerationRequest g;
-      // The generation job is exactly the shared DecodeParams slice of
-      // the serving Request — move it across wholesale, envelope stays.
-      static_cast<nn::DecodeParams&>(g) =
-          std::move(static_cast<nn::DecodeParams&>(r.req));
-      r.sched_id = sched_.submit(std::move(g));
-      r.admitted_tick = t;
-      r.admit_device_us = ctx.device().total_time_us();
-      r.state = RequestState::kActive;
-      active_.push_back(id);
-      admitted_->inc();
-      queue_wait_->observe(static_cast<double>(t - r.submitted_tick));
+    for (std::size_t i = 0; free > 0 && i < q.size();) {
+      if (records_[q[i]].earliest_admit_tick > t) {
+        // Still serving its retry backoff — skip it without blocking the
+        // rest of the class (it keeps its place for when it is ready).
+        ++i;
+        continue;
+      }
+      const std::uint64_t id = q[i];
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      admit_one(ctx, id, t);
       --free;
     }
   }
+  if (!cfg_.enable_preemption) return;
+  // Preemption pass. Every slot is occupied by now (an eligible waiter
+  // plus a free slot would have been matched above), so a request whose
+  // class strictly outranks some active request's class may displace it:
+  // the victim's slot is released and the victim requeued with its
+  // tokens as a replay prefix (recompute-resume). Bulk, the lowest
+  // class, never preempts. Displacement cascades deterministically — a
+  // normal request preempted by an interactive one may in turn displace
+  // an active bulk request this same tick.
+  for (std::size_t c = 0; c + 1 < kPriorityClasses; ++c) {
+    auto& q = queues_[c];
+    for (std::size_t i = 0; i < q.size();) {
+      if (records_[q[i]].earliest_admit_tick > t) {
+        ++i;
+        continue;
+      }
+      const std::size_t victim = pick_victim(static_cast<Priority>(c));
+      if (victim == active_.size()) break;  // nothing below class c runs
+      preempt(victim, t);
+      const std::uint64_t id = q[i];
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      admit_one(ctx, id, t);
+    }
+  }
+}
+
+void InferenceServer::admit_one(core::ExecContext& ctx, std::uint64_t id,
+                                std::size_t t) {
+  Record& r = records_[id];
+  nn::GenerationRequest g;
+  // The generation job is the shared DecodeParams slice of the serving
+  // Request — COPIED, not moved: a later preemption or fault retry
+  // re-submits the same job with a longer replay prefix, so the record
+  // keeps its params until the request is terminal.
+  static_cast<nn::DecodeParams&>(g) =
+      static_cast<const nn::DecodeParams&>(r.req);
+  g.resume_tokens = std::move(r.resume);
+  r.resume.clear();
+  r.sched_id = sched_.submit(std::move(g));
+  if (r.admitted_tick == kNoTick) r.admitted_tick = t;
+  r.admit_device_us = ctx.device().total_time_us();
+  r.state = RequestState::kActive;
+  active_.push_back(id);
+  admitted_->inc();  // counts every admission, re-admissions included
+  queue_wait_->observe(static_cast<double>(t - r.queued_since_tick));
+}
+
+std::size_t InferenceServer::pick_victim(Priority cls) const noexcept {
+  // Lowest priority strictly below `cls`; among equals the most recently
+  // admitted (active_ is admission-ordered, so the LAST match) — the one
+  // with the least sunk decode work to replay.
+  std::size_t best = active_.size();
+  auto best_pri = static_cast<std::uint8_t>(cls);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const auto p =
+        static_cast<std::uint8_t>(records_[active_[i]].req.priority);
+    if (p > best_pri || (p == best_pri && best != active_.size())) {
+      best = i;
+      best_pri = p;
+    }
+  }
+  return best;
+}
+
+void InferenceServer::preempt(std::size_t victim, std::size_t t) {
+  const std::uint64_t id = active_[victim];
+  Record& r = records_[id];
+  if (r.preemptions >= cfg_.preemption_limit) {
+    // The cap converts endless churn into an honest terminal state: the
+    // request keeps every token it emitted, typed kPreemptionLimit.
+    sched_.cancel(r.sched_id, nn::StopReason::kPreemptionLimit);
+    finish_admitted(id, t, /*device_us=*/-1.0);
+    return;
+  }
+  ++r.preemptions;
+  preemptions_->inc();
+  // Retire the slot (KV released back to the pool); the emitted tokens
+  // become the replay prefix that rebuilds the KV on re-admission.
+  sched_.cancel(r.sched_id, nn::StopReason::kCancelled);
+  r.resume = sched_.result(r.sched_id).tokens;
+  r.state = RequestState::kPreempted;
+  r.queued_since_tick = t;  // fresh queue stint
+  r.earliest_admit_tick = 0;
+  std::erase(active_, id);
+  // Head of its class: the victim outranks everything waiting behind it
+  // (it had already been admitted once).
+  queues_[static_cast<std::size_t>(r.req.priority)].push_front(id);
 }
 
 void InferenceServer::harvest(core::ExecContext& ctx, std::size_t t) {
@@ -179,17 +295,43 @@ void InferenceServer::harvest(core::ExecContext& ctx, std::size_t t) {
   for (const std::uint64_t id : active_) {
     Record& r = records_[id];
     const auto& toks = sched_.tokens_so_far(r.sched_id);
-    for (std::size_t j = r.streamed; j < toks.size(); ++j) {
-      if (j == 0) {
-        ttft_->observe(static_cast<double>(t + 1 - r.submitted_tick));
+    // While a recompute-resume replay is catching up, toks is a prefix
+    // of what was already streamed — the guard keeps every token's
+    // delivery (and its count) exactly-once across tenures.
+    if (toks.size() > r.streamed) {
+      for (std::size_t j = r.streamed; j < toks.size(); ++j) {
+        if (j == 0) {
+          ttft_->observe(static_cast<double>(t + 1 - r.submitted_tick));
+        }
+        if (r.req.on_token) r.req.on_token(id, toks[j], j);
       }
-      if (r.req.on_token) r.req.on_token(id, toks[j], j);
+      tokens_emitted_->inc(toks.size() - r.streamed);
+      r.streamed = toks.size();
     }
-    tokens_emitted_->inc(toks.size() - r.streamed);
-    r.streamed = toks.size();
     if (sched_.finished(r.sched_id)) done.push_back(id);
   }
   for (const std::uint64_t id : done) {
+    Record& r = records_[id];
+    const auto& res = sched_.result(r.sched_id);
+    if (res.stop_reason == nn::StopReason::kKernelFault) {
+      kernel_faults_->inc();  // every fault event, retried or terminal
+      if (r.retries < r.req.retry_budget) {
+        // Fault retry with recompute: requeue at the head of the class
+        // (the request has seniority — it was admitted once already),
+        // gated by the backoff before it may take a slot again. Emitted
+        // tokens become the replay prefix, so the resumed transcript is
+        // bit-identical to a fault-free run.
+        ++r.retries;
+        retries_->inc();
+        r.resume = res.tokens;
+        r.state = RequestState::kQueued;
+        r.queued_since_tick = t + 1;
+        r.earliest_admit_tick = t + 1 + r.req.retry_backoff_ticks;
+        std::erase(active_, id);
+        queues_[static_cast<std::size_t>(r.req.priority)].push_front(id);
+        continue;
+      }
+    }
     finish_admitted(id, t + 1, ctx.device().total_time_us());
     completed_->inc();
   }
@@ -200,6 +342,10 @@ void InferenceServer::finish_unadmitted(std::uint64_t id,
                                         std::size_t t) {
   Record& r = records_[id];
   r.result.stop_reason = reason;
+  // Tokens from earlier slot tenures survive a terminal-from-the-queue:
+  // a request cancelled or expired while preempted keeps its output.
+  r.result.tokens = std::move(r.resume);
+  r.resume.clear();
   r.state = RequestState::kFinished;
   r.finished_tick = t;
   stop_reason_[static_cast<std::size_t>(reason)]->inc();
@@ -218,9 +364,8 @@ void InferenceServer::finish_admitted(std::uint64_t id, std::size_t t,
   std::erase(active_, id);
   e2e_->observe(static_cast<double>(t - r.submitted_tick));
   stop_reason_[static_cast<std::size_t>(r.result.stop_reason)]->inc();
-  if (r.result.stop_reason == nn::StopReason::kKernelFault) {
-    kernel_faults_->inc();
-  }
+  // kernel_faults is counted per fault EVENT in harvest (a retried fault
+  // still counts), not here at the terminal.
   if (device_us >= 0.0 && !r.result.tokens.empty()) {
     const double span = device_us - r.admit_device_us;
     if (span > 0.0) {
@@ -228,12 +373,16 @@ void InferenceServer::finish_admitted(std::uint64_t id, std::size_t t,
           1e6 * static_cast<double>(r.result.tokens.size()) / span);
     }
   }
+  r.req.embed = nullptr;
+  r.req.select = nullptr;
   r.req.on_token = nullptr;
 }
 
 void InferenceServer::refresh_gauges(const gpusim::Device& dev) {
   queue_depth_gauge_->set(static_cast<double>(queue_depth()));
   active_slots_gauge_->set(static_cast<double>(sched_.active()));
+  kv_bytes_used_gauge_->set(static_cast<double>(sched_.pool().used_bytes()));
+  health_gauge_->set(static_cast<double>(static_cast<std::uint8_t>(health())));
   const double us = dev.total_time_us();
   throughput_gauge_->set(
       us > 0.0 ? 1e6 * static_cast<double>(tokens_emitted_->value()) / us
@@ -280,6 +429,8 @@ RequestStatus InferenceServer::status(RequestHandle h) const {
   s.tokens_emitted = r.state == RequestState::kFinished
                          ? r.result.tokens.size()
                          : r.streamed;
+  s.preemptions = r.preemptions;
+  s.retries = r.retries;
   return s;
 }
 
@@ -304,6 +455,12 @@ std::size_t InferenceServer::queue_depth() const noexcept {
   std::size_t n = 0;
   for (const auto& q : queues_) n += q.size();
   return n;
+}
+
+ServerHealth InferenceServer::health() const noexcept {
+  const std::size_t depth = queue_depth();
+  if (depth >= cfg_.queue_capacity) return ServerHealth::kOverloaded;
+  return depth > 0 ? ServerHealth::kDegraded : ServerHealth::kHealthy;
 }
 
 }  // namespace et::serving

@@ -18,6 +18,25 @@
 //     deterministic (admission) order;
 //   - a MetricsRegistry snapshot of the whole lifecycle.
 //
+// Overload and fault resilience (docs/robustness.md) — three mechanisms,
+// one state machine:
+//   - priority preemption with recompute-resume: when a strictly
+//     higher-priority arrival finds every slot occupied, the
+//     lowest-priority, most-recently-admitted active request is
+//     preempted — its KV slot released, the request requeued at the HEAD
+//     of its class carrying the tokens emitted so far; on re-admission
+//     the scheduler replays that prefix through the fused tick to
+//     rebuild the KV, so the resumed transcript is bit-identical to an
+//     uninterrupted run. A per-request preemption cap turns the
+//     (cap+1)th preemption into StopReason::kPreemptionLimit;
+//   - fault retry with bounded backoff: a kernel-fault retirement with
+//     retry budget left becomes a requeue-with-recompute after
+//     retry_backoff_ticks instead of a terminal kKernelFault;
+//   - load shedding: submit() estimates queue wait from per-class queue
+//     depths and fast-rejects requests whose queue budget cannot be met
+//     (RejectReason::kShed), and health() summarizes the server as
+//     healthy / degraded / overloaded in the metrics snapshot.
+//
 // Time is LOGICAL: the clock is the server's own tick counter, so a
 // fixed arrival script and thread count reproduce the same admissions,
 // expiries, transcripts and metrics bit for bit, run after run — the
@@ -88,11 +107,22 @@ using TokenCallback =
 struct Request : nn::DecodeParams {
   Priority priority = Priority::kNormal;
   /// Max whole ticks the request may wait in the queue before admission;
-  /// exceeded => StopReason::kDeadlineExceeded with no tokens.
+  /// exceeded => StopReason::kDeadlineExceeded with no tokens. After a
+  /// preemption or retry the budget applies to each queue STINT, not the
+  /// cumulative wait — a preempted request is not punished for time it
+  /// already spent decoding.
   std::size_t queue_budget_ticks = kNoBudget;
   /// Max ticks from submission to completion; exceeded => the request
   /// finishes with kDeadlineExceeded, keeping the tokens emitted so far.
   std::size_t total_budget_ticks = kNoBudget;
+  /// Kernel-fault retries this request may spend. A fault retirement with
+  /// budget left is requeued (recompute-resume) instead of finishing with
+  /// StopReason::kKernelFault; only when the budget is exhausted does the
+  /// fault become terminal.
+  std::size_t retry_budget = 0;
+  /// Ticks a faulted request sits out before it is eligible for
+  /// re-admission (bounded backoff; 0 = next tick).
+  std::size_t retry_backoff_ticks = 0;
   /// Optional streaming sink.
   TokenCallback on_token;
 };
@@ -102,24 +132,56 @@ struct RequestHandle {
   friend bool operator==(RequestHandle, RequestHandle) = default;
 };
 
-enum class RequestState : std::uint8_t { kQueued, kActive, kFinished };
+/// kPreempted is "queued again with progress": the request sits in its
+/// class queue carrying the tokens an earlier slot tenure emitted, and
+/// will rebuild its KV by replaying them on re-admission. A retrying
+/// (faulted) request goes back to plain kQueued — the distinction is
+/// WHY the slot was lost, and kPreempted is the one callers may want to
+/// observe (e.g. to stop feeding a repeatedly-displaced bulk job).
+enum class RequestState : std::uint8_t {
+  kQueued,
+  kActive,
+  kPreempted,
+  kFinished,
+};
 
 [[nodiscard]] constexpr std::string_view to_string(RequestState s) noexcept {
   switch (s) {
     case RequestState::kQueued: return "queued";
     case RequestState::kActive: return "active";
+    case RequestState::kPreempted: return "preempted";
     case RequestState::kFinished: return "finished";
   }
   return "?";
 }
 
 /// Why submit() refused admission (kNone for everything admitted).
-enum class RejectReason : std::uint8_t { kNone, kQueueFull };
+/// kShed is the load-shedding fast path: the queue had room, but the
+/// estimated queue wait (per-class depth / max_batch) already exceeded
+/// the request's queue budget, so it was refused at the door instead of
+/// being left to expire after waiting.
+enum class RejectReason : std::uint8_t { kNone, kQueueFull, kShed };
 
 [[nodiscard]] constexpr std::string_view to_string(RejectReason r) noexcept {
   switch (r) {
     case RejectReason::kNone: return "none";
     case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kShed: return "shed";
+  }
+  return "?";
+}
+
+/// Coarse load summary exported as the `health` gauge (0/1/2):
+/// healthy = nothing waiting; degraded = a backlog exists but the queue
+/// has room; overloaded = the queue is at (or beyond) capacity, so new
+/// arrivals are being rejected or shed.
+enum class ServerHealth : std::uint8_t { kHealthy, kDegraded, kOverloaded };
+
+[[nodiscard]] constexpr std::string_view to_string(ServerHealth h) noexcept {
+  switch (h) {
+    case ServerHealth::kHealthy: return "healthy";
+    case ServerHealth::kDegraded: return "degraded";
+    case ServerHealth::kOverloaded: return "overloaded";
   }
   return "?";
 }
@@ -130,14 +192,26 @@ struct RequestStatus {
   RejectReason reject_reason = RejectReason::kNone;
   Priority priority = Priority::kNormal;
   std::size_t submitted_tick = 0;
-  std::size_t admitted_tick = kNoTick;  ///< kNoTick until admitted
+  std::size_t admitted_tick = kNoTick;  ///< kNoTick until first admission
   std::size_t finished_tick = kNoTick;  ///< kNoTick until finished
   std::size_t tokens_emitted = 0;
+  std::size_t preemptions = 0;  ///< times displaced by a higher class
+  std::size_t retries = 0;      ///< kernel-fault retries consumed
 };
 
 struct ServerConfig {
   std::size_t max_batch = 8;      ///< decode slots (scheduler batch)
   std::size_t queue_capacity = 64;  ///< bounded admission queue, all classes
+  /// Let strictly higher-priority arrivals displace active work when no
+  /// slot is free (recompute-resume; docs/robustness.md).
+  bool enable_preemption = true;
+  /// Times one request may be preempted before the next displacement
+  /// finishes it with StopReason::kPreemptionLimit instead (the bound
+  /// that keeps churn from starving a bulk job forever).
+  std::size_t preemption_limit = 2;
+  /// Fast-reject requests whose queue budget the current backlog already
+  /// makes unmeetable (RejectReason::kShed).
+  bool enable_shedding = true;
 };
 
 class InferenceServer {
@@ -154,8 +228,11 @@ class InferenceServer {
   /// REJECTED: it finishes immediately with StopReason::kRejected and
   /// status().reject_reason == kQueueFull. A total budget of zero ticks
   /// likewise finishes immediately (kDeadlineExceeded) — it could never
-  /// complete. Throws std::invalid_argument when max_new_tokens > 0 but
-  /// embed/select are empty.
+  /// complete. With shedding enabled, a finite queue budget smaller than
+  /// the estimated queue wait (⌈waiting-at-or-above-my-class /
+  /// max_batch⌉ ticks) is refused up front with kRejected /
+  /// RejectReason::kShed. Throws std::invalid_argument when
+  /// max_new_tokens > 0 but embed/select are empty.
   RequestHandle submit(Request req);
 
   /// Cancel a queued or active request: it finishes with
@@ -185,6 +262,9 @@ class InferenceServer {
 
   [[nodiscard]] bool idle() const noexcept;
   [[nodiscard]] std::size_t queue_depth() const noexcept;
+  /// Coarse load state derived from the queue backlog (also exported as
+  /// the `health` gauge each tick).
+  [[nodiscard]] ServerHealth health() const noexcept;
   [[nodiscard]] std::size_t active_slots() const noexcept {
     return sched_.active();
   }
@@ -204,15 +284,20 @@ class InferenceServer {
 
  private:
   struct Record {
-    Request req;  // embed/select moved out at admission
+    Request req;  // embed/select kept until finish (re-admission needs them)
     RequestState state = RequestState::kQueued;
     RejectReason reject_reason = RejectReason::kNone;
     std::size_t submitted_tick = 0;
-    std::size_t admitted_tick = kNoTick;
+    std::size_t admitted_tick = kNoTick;  // first admission only
     std::size_t finished_tick = kNoTick;
-    std::size_t sched_id = 0;       // valid once admitted
+    std::size_t sched_id = 0;       // valid once admitted (latest tenure)
     std::size_t streamed = 0;       // tokens already delivered to on_token
-    double admit_device_us = 0.0;   // device clock at admission
+    std::size_t preemptions = 0;    // slot tenures lost to a higher class
+    std::size_t retries = 0;        // kernel-fault retries consumed
+    std::size_t queued_since_tick = 0;     // start of the current queue stint
+    std::size_t earliest_admit_tick = 0;   // retry backoff gate
+    std::vector<std::int32_t> resume;      // emitted tokens awaiting replay
+    double admit_device_us = 0.0;   // device clock at latest admission
     nn::GenerationResult result;    // final outcome (copied from scheduler)
   };
 
@@ -222,7 +307,24 @@ class InferenceServer {
   void harvest(core::ExecContext& ctx, std::size_t t);
   void refresh_gauges(const gpusim::Device& dev);
 
-  /// Finish a never-admitted request (reject / cancel / queue expiry).
+  /// Move a queued request into a scheduler slot (DecodeParams are
+  /// COPIED — a later preemption/retry re-submits them; Record::resume
+  /// rides along as the scheduler's replay prefix).
+  void admit_one(core::ExecContext& ctx, std::uint64_t id, std::size_t t);
+  /// Index into active_ of the preemption victim for an arrival of class
+  /// `cls`: lowest priority strictly below `cls`, most recently admitted
+  /// among those. active_.size() when nobody is preemptible.
+  [[nodiscard]] std::size_t pick_victim(Priority cls) const noexcept;
+  /// Displace active_[victim]: release its slot and requeue it at the
+  /// head of its class with its tokens as the replay prefix — unless its
+  /// preemption cap is already spent, in which case it finishes with
+  /// StopReason::kPreemptionLimit. Either way one slot is free after.
+  void preempt(std::size_t victim, std::size_t t);
+
+  /// Finish a request that is not in a slot (reject / shed / cancel /
+  /// queue expiry). Tokens from earlier tenures (Record::resume) become
+  /// the result's token stream, so a request cancelled while preempted
+  /// keeps everything it emitted.
   void finish_unadmitted(std::uint64_t id, nn::StopReason reason,
                          std::size_t t);
   /// Finish an admitted request whose scheduler result is final.
@@ -249,13 +351,18 @@ class InferenceServer {
   Counter* cancelled_ = nullptr;
   Counter* expired_ = nullptr;
   Counter* kernel_faults_ = nullptr;
+  Counter* preemptions_ = nullptr;
+  Counter* retries_ = nullptr;
+  Counter* shed_ = nullptr;
   Counter* tokens_emitted_ = nullptr;
   Counter* ticks_ = nullptr;
   Counter* stop_reason_[nn::kStopReasonCount] = {};
   Gauge* queue_depth_gauge_ = nullptr;
   Gauge* active_slots_gauge_ = nullptr;
   Gauge* kv_bytes_gauge_ = nullptr;
+  Gauge* kv_bytes_used_gauge_ = nullptr;
   Gauge* throughput_gauge_ = nullptr;
+  Gauge* health_gauge_ = nullptr;
   Histogram* queue_wait_ = nullptr;
   Histogram* ttft_ = nullptr;
   Histogram* e2e_ = nullptr;

@@ -19,6 +19,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/exec_context.hpp"
@@ -166,12 +167,15 @@ struct Arrival {
   serving::Priority priority = serving::Priority::kNormal;
   std::size_t queue_budget = serving::kNoBudget;
   std::size_t total_budget = serving::kNoBudget;
+  std::size_t retry_budget = 0;    ///< kernel-fault retries allowed
+  std::size_t retry_backoff = 0;   ///< ticks between fault and re-admission
 };
 
 struct ServedRun {
   std::vector<Outcome> outcomes;  // indexed by arrival order
   std::vector<serving::RequestHandle> handles;
   std::size_t ticks = 0;
+  std::string metrics_json;  ///< full snapshot at drain (determinism probe)
 };
 
 /// Drive an InferenceServer through a scripted arrival sequence and
@@ -203,6 +207,8 @@ inline ServedRun run_served(gpusim::Device& dev,
       req.priority = a.priority;
       req.queue_budget_ticks = a.queue_budget;
       req.total_budget_ticks = a.total_budget;
+      req.retry_budget = a.retry_budget;
+      req.retry_backoff_ticks = a.retry_backoff;
       run.handles.push_back(server.submit(req));
       ++next;
     }
@@ -212,6 +218,7 @@ inline ServedRun run_served(gpusim::Device& dev,
     run.outcomes[i].result = server.result(run.handles[i]);
   }
   run.ticks = server.now();
+  run.metrics_json = server.metrics().json(0);
   return run;
 }
 

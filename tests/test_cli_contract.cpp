@@ -51,7 +51,8 @@ TEST(CliContract, UnknownFlagExitsNonzeroNamingTheToken) {
 TEST(CliContract, JunkNumericValueExitsNonzeroNamingTheToken) {
   for (const char* flag :
        {"--seq", "--requests", "--queue-cap", "--arrive", "--deadline",
-        "--queue-budget", "--threads", "--tokens", "--batch"}) {
+        "--queue-budget", "--retries", "--backoff-ticks", "--threads",
+        "--tokens", "--batch"}) {
     const auto r = run_cli(std::string(flag) + " banana");
     EXPECT_EQ(r.exit_code, 2) << flag;
     EXPECT_NE(r.output.find("banana"), std::string::npos)
@@ -80,8 +81,8 @@ TEST(CliContract, HelpListsEveryServeFlagAndExitsZero) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* flag :
        {"--serve", "--requests", "--queue-cap", "--arrive", "--deadline",
-        "--queue-budget", "--batch", "--tokens", "--threads", "--json",
-        "--weights"}) {
+        "--queue-budget", "--retries", "--backoff-ticks", "--preempt",
+        "--batch", "--tokens", "--threads", "--json", "--weights"}) {
     EXPECT_NE(r.output.find(flag), std::string::npos)
         << "--help is missing " << flag;
   }
@@ -172,6 +173,39 @@ TEST(CliContract, ServeOutputIsByteIdenticalAcrossRunsAndThreadCounts) {
     return s.substr(s.find("\"time_us\""));
   };
   EXPECT_EQ(tail(a.output), tail(threaded.output));
+}
+
+TEST(CliContract, ResilienceFlagsValidateAndLandInTheJsonConfigLine) {
+  // --preempt takes exactly on|off; junk names the flag and the value.
+  const auto bad = run_cli("--preempt banana");
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("--preempt"), std::string::npos) << bad.output;
+  EXPECT_NE(bad.output.find("banana"), std::string::npos) << bad.output;
+
+  // A backoff without a retry budget could never fire — conflicting flags
+  // exit 2 naming --backoff-ticks rather than silently doing nothing.
+  const auto conflict = run_cli("--serve --backoff-ticks 2 --requests 2");
+  EXPECT_EQ(conflict.exit_code, 2);
+  EXPECT_NE(conflict.output.find("--backoff-ticks"), std::string::npos)
+      << conflict.output;
+
+  // The three knobs echo into the --json config line, so a saved JSON
+  // blob always records the resilience policy that produced it.
+  const auto r = run_cli(
+      "--serve --json --requests 2 --batch 1 --tokens 2 --retries 3 "
+      "--backoff-ticks 2 --preempt off");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"retries\": 3"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"backoff_ticks\": 2"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"preempt\": false"), std::string::npos)
+      << r.output;
+
+  // Defaults: preemption on, no retries.
+  const auto d = run_cli("--serve --json --requests 2 --batch 1 --tokens 2");
+  ASSERT_EQ(d.exit_code, 0) << d.output;
+  EXPECT_NE(d.output.find("\"retries\": 0"), std::string::npos) << d.output;
+  EXPECT_NE(d.output.find("\"preempt\": true"), std::string::npos) << d.output;
 }
 
 TEST(CliContract, ServeRejectsAndExpiresUnderPressureDeterministically) {

@@ -245,6 +245,111 @@ TEST(ServingDifferentialCross, ThreadCountsAgreeOnTranscriptsAndMetrics) {
 }
 
 // ---------------------------------------------------------------------------
+// Resilience differential (the PR's acceptance bar): a preempted-then-
+// resumed request and a faulted-then-retried request must both produce
+// transcripts bit-identical to the undisturbed run, at threads {1,2,8}.
+// Recompute-resume replays the emitted prefix through the fused tick
+// without calling select(), so even the hidden-state hash streams match.
+// ---------------------------------------------------------------------------
+class ResilienceDifferential : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ResilienceDifferential, PreemptedThenResumedMatchesUnpreemptedBitForBit) {
+  const std::size_t threads = GetParam();
+  const std::size_t max_context = 14;
+  const Model m = make_model(2, 32, 2, max_context, 111);
+
+  // One slot: the bulk request holds it until the interactive arrival
+  // displaces it mid-decode, then resumes and finishes.
+  const std::vector<Request> requests = {{1, 8, et::nn::kNoEosToken, 120},
+                                         {2, 2, et::nn::kNoEosToken, 121}};
+  std::vector<Arrival> arrivals;
+  arrivals.push_back({0, requests[0], Priority::kBulk});
+  arrivals.push_back({3, requests[1], Priority::kInteractive});
+  const ServerConfig cfg{1, 8};
+
+  et::gpusim::Device seq_dev, serve_dev;
+  const auto sequential = et::diff::run_sequential(
+      seq_dev, m.layers, m.opt, max_context, requests, kVocab);
+  const auto served = et::diff::run_served(serve_dev, m.layers, m.opt,
+                                           max_context, cfg, arrivals, kVocab,
+                                           threads);
+  et::diff::expect_bit_identical(sequential, served.outcomes);
+  for (const auto& o : served.outcomes) {
+    EXPECT_EQ(o.result.stop_reason, et::nn::StopReason::kMaxTokens);
+  }
+  // The displacement really happened...
+  EXPECT_NE(served.metrics_json.find("\"preemptions\": 1"), std::string::npos)
+      << served.metrics_json;
+
+  // ...and a preemption-disabled run of the same script agrees on every
+  // transcript and hash: resume is recompute, not approximation.
+  ServerConfig off = cfg;
+  off.enable_preemption = false;
+  et::gpusim::Device off_dev;
+  const auto unpreempted = et::diff::run_served(
+      off_dev, m.layers, m.opt, max_context, off, arrivals, kVocab, threads);
+  et::diff::expect_bit_identical(unpreempted.outcomes, served.outcomes);
+  EXPECT_NE(unpreempted.metrics_json.find("\"preemptions\": 0"),
+            std::string::npos);
+}
+
+TEST_P(ResilienceDifferential, FaultedThenRetriedMatchesFaultFreeBitForBit) {
+  const std::size_t threads = GetParam();
+  const std::size_t max_context = 12;
+  const Model m = make_model(2, 32, 2, max_context, 113);
+
+  std::vector<Request> requests;
+  std::vector<Arrival> arrivals;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Request r{static_cast<std::int32_t>(i + 1), 5, et::nn::kNoEosToken,
+              130 + i};
+    requests.push_back(r);
+    Arrival a{0, r};
+    a.retry_budget = 1;
+    a.retry_backoff = 1;
+    arrivals.push_back(a);
+  }
+  const ServerConfig cfg{2, 8};
+
+  // Fault-free reference; its launch history locates slot 1's attention
+  // kernel in its second tick (mid-stream, so the retry has a prefix to
+  // replay).
+  et::gpusim::Device clean_dev;
+  const auto clean = et::diff::run_served(clean_dev, m.layers, m.opt,
+                                          max_context, cfg, arrivals, kVocab);
+  std::vector<std::size_t> slot1_attention;
+  const auto& history = clean_dev.history();
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history[i].slot == 1 &&
+        history[i].name == "incremental_otf_attention") {
+      slot1_attention.push_back(i);
+    }
+  }
+  ASSERT_GE(slot1_attention.size(), m.layers.size() + 1);
+
+  et::gpusim::Device fault_dev;
+  fault_dev.fault_injector().arm_nth_launch(
+      slot1_attention[m.layers.size()]);
+  const auto retried = et::diff::run_served(fault_dev, m.layers, m.opt,
+                                            max_context, cfg, arrivals, kVocab,
+                                            threads);
+  et::diff::expect_bit_identical(clean.outcomes, retried.outcomes);
+  for (const auto& o : retried.outcomes) {
+    EXPECT_EQ(o.result.stop_reason, et::nn::StopReason::kMaxTokens);
+  }
+  // One fault event, one retry, zero terminal kernel faults.
+  EXPECT_NE(retried.metrics_json.find("\"kernel_faults\": 1"),
+            std::string::npos)
+      << retried.metrics_json;
+  EXPECT_NE(retried.metrics_json.find("\"retries\": 1"), std::string::npos);
+  EXPECT_NE(retried.metrics_json.find("\"stop_kernel_fault\": 0"),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ResilienceDifferential,
+                         ::testing::Values(1, 2, 8));
+
+// ---------------------------------------------------------------------------
 // Admission control: backpressure, priorities, deadlines, cancellation.
 // ---------------------------------------------------------------------------
 TEST(Serving, FullQueueRejectsWithTypedReason) {
@@ -617,6 +722,275 @@ TEST(ServingApi, MetricsJsonIsIdenticalAcrossIdenticalRuns) {
     snapshot = server.metrics().json();
   }
   EXPECT_EQ(snapshots[0], snapshots[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Overload resilience: preemption, fault retry, shedding, health — the
+// state machine of docs/robustness.md, observed through status() and the
+// metrics registry.
+// ---------------------------------------------------------------------------
+TEST(ServingResilience, PreemptionDisplacesLowestMostRecentAndResumes) {
+  const Model m = make_model(1, 32, 2, 16, 117);
+  InferenceServer server(nn_model(m, 16), {2, 8});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  auto bulk_a = make_request(m, 1, 6, 141);
+  bulk_a.priority = Priority::kBulk;
+  auto bulk_b = make_request(m, 2, 6, 142);
+  bulk_b.priority = Priority::kBulk;
+  const auto a = server.submit(std::move(bulk_a));
+  const auto b = server.submit(std::move(bulk_b));
+  server.tick(ctx);  // both admitted at tick 0
+
+  auto inter = make_request(m, 3, 2, 143);
+  inter.priority = Priority::kInteractive;
+  const auto c = server.submit(std::move(inter));
+  server.tick(ctx);  // c preempts the most recently admitted bulk (b)
+
+  EXPECT_EQ(server.status(b).state, RequestState::kPreempted);
+  EXPECT_EQ(server.status(b).preemptions, 1u);
+  EXPECT_EQ(server.status(a).state, RequestState::kActive);
+  EXPECT_EQ(server.status(c).admitted_tick, 1u);
+
+  server.drain(ctx);
+  for (const auto h : {a, b, c}) {
+    EXPECT_EQ(server.result(h).stop_reason, et::nn::StopReason::kMaxTokens);
+  }
+  EXPECT_EQ(server.result(b).tokens.size(), 6u);  // nothing lost to the gap
+  EXPECT_EQ(server.metrics().find_counter("preemptions")->value(), 1u);
+  // The re-admission is visible in the admission count: 3 requests, 4
+  // slot tenures.
+  EXPECT_EQ(server.metrics().find_counter("requests_admitted")->value(), 4u);
+}
+
+TEST(ServingResilience, PreemptionLimitFinishesTheVictimTyped) {
+  const Model m = make_model(1, 32, 2, 16, 119);
+  ServerConfig cfg{1, 8};
+  cfg.preemption_limit = 0;  // first displacement is already terminal
+  InferenceServer server(nn_model(m, 16), cfg);
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  auto bulk = make_request(m, 1, 6, 151);
+  bulk.priority = Priority::kBulk;
+  const auto victim = server.submit(std::move(bulk));
+  server.tick(ctx);
+  server.tick(ctx);  // two tokens emitted
+
+  auto inter = make_request(m, 2, 2, 152);
+  inter.priority = Priority::kInteractive;
+  const auto winner = server.submit(std::move(inter));
+  server.drain(ctx);
+
+  EXPECT_EQ(server.result(victim).stop_reason,
+            et::nn::StopReason::kPreemptionLimit);
+  EXPECT_EQ(server.result(victim).tokens.size(), 2u);  // prefix kept
+  EXPECT_EQ(server.result(winner).stop_reason,
+            et::nn::StopReason::kMaxTokens);
+  const auto& mx = server.metrics();
+  EXPECT_EQ(mx.find_counter("stop_preemption_limit")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("preemptions")->value(), 0u);  // none resumable
+  EXPECT_EQ(mx.find_counter("requests_completed")->value(), 1u);
+}
+
+TEST(ServingResilience, PreemptionCanBeDisabled) {
+  const Model m = make_model(1, 32, 2, 16, 123);
+  ServerConfig cfg{1, 8};
+  cfg.enable_preemption = false;
+  InferenceServer server(nn_model(m, 16), cfg);
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  auto bulk = make_request(m, 1, 4, 153);
+  bulk.priority = Priority::kBulk;
+  const auto hog = server.submit(std::move(bulk));
+  server.tick(ctx);
+  auto inter = make_request(m, 2, 2, 154);
+  inter.priority = Priority::kInteractive;
+  const auto waiter = server.submit(std::move(inter));
+  server.drain(ctx);
+
+  EXPECT_EQ(server.status(hog).preemptions, 0u);
+  EXPECT_GE(server.status(waiter).admitted_tick, 4u);  // waited out the hog
+  EXPECT_EQ(server.metrics().find_counter("preemptions")->value(), 0u);
+}
+
+TEST(ServingResilience, FaultRetrySitsOutItsBackoffThenReproducesTheRun) {
+  const Model m = make_model(1, 32, 2, 16, 127);
+
+  // Clean reference transcript.
+  et::gpusim::Device clean_dev;
+  et::core::ExecContext clean_ctx(clean_dev);
+  InferenceServer clean(nn_model(m, 16), {1, 8});
+  const auto ref = clean.submit(make_request(m, 1, 4, 161));
+  clean.drain(clean_ctx);
+
+  // Armed run: the first attention launch faults, the retry succeeds.
+  et::gpusim::Device dev;
+  dev.fault_injector().arm_kernel("incremental_otf_attention",
+                                  /*max_faults=*/1);
+  et::core::ExecContext ctx(dev);
+  InferenceServer server(nn_model(m, 16), {1, 8});
+  auto req = make_request(m, 1, 4, 161);
+  req.retry_budget = 1;
+  req.retry_backoff_ticks = 2;
+  const auto h = server.submit(std::move(req));
+  server.drain(ctx);
+
+  EXPECT_EQ(server.result(h).stop_reason, et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.result(h).tokens, clean.result(ref).tokens);
+  EXPECT_EQ(server.status(h).retries, 1u);
+  const auto& mx = server.metrics();
+  EXPECT_EQ(mx.find_counter("kernel_faults")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("retries")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("stop_kernel_fault")->value(), 0u);
+  // Timeline pins the backoff: fault at tick 0, eligible again at tick
+  // 0+1+2 = 3, four decode ticks (3..6) => drained after tick 7. A zero
+  // backoff would have finished two ticks earlier.
+  EXPECT_EQ(server.now(), 7u);
+}
+
+TEST(ServingResilience, RetryBudgetExhaustionKeepsTheKernelFault) {
+  const Model m = make_model(1, 32, 2, 16, 131);
+  et::gpusim::Device dev;
+  dev.fault_injector().arm_kernel("incremental_otf_attention",
+                                  /*max_faults=*/2);
+  et::core::ExecContext ctx(dev);
+  InferenceServer server(nn_model(m, 16), {1, 8});
+  auto req = make_request(m, 1, 4, 163);
+  req.retry_budget = 1;
+  const auto h = server.submit(std::move(req));
+  server.drain(ctx);
+
+  EXPECT_EQ(server.result(h).stop_reason, et::nn::StopReason::kKernelFault);
+  EXPECT_EQ(server.status(h).retries, 1u);
+  const auto& mx = server.metrics();
+  EXPECT_EQ(mx.find_counter("kernel_faults")->value(), 2u);  // both events
+  EXPECT_EQ(mx.find_counter("retries")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("stop_kernel_fault")->value(), 1u);
+}
+
+TEST(ServingResilience, ShedRefusesUnmeetableQueueBudgetsAtSubmit) {
+  const Model m = make_model(1, 32, 2, 16, 137);
+  InferenceServer server(nn_model(m, 16), {1, 16});
+  for (int i = 0; i < 3; ++i) {  // three requests already waiting
+    (void)server.submit(make_request(m, i + 1, 3, 170 + i));
+  }
+
+  auto doomed = make_request(m, 5, 3, 175);
+  doomed.queue_budget_ticks = 2;  // estimated wait is 3 ticks
+  const auto shed = server.submit(std::move(doomed));
+  EXPECT_TRUE(server.finished(shed));
+  EXPECT_EQ(server.status(shed).reject_reason, RejectReason::kShed);
+  EXPECT_EQ(server.result(shed).stop_reason, et::nn::StopReason::kRejected);
+
+  auto feasible = make_request(m, 6, 3, 176);
+  feasible.queue_budget_ticks = 3;  // exactly meets the estimate
+  const auto kept = server.submit(std::move(feasible));
+  EXPECT_FALSE(server.finished(kept));
+
+  const auto& mx = server.metrics();
+  EXPECT_EQ(mx.find_counter("shed")->value(), 1u);
+  EXPECT_EQ(mx.find_counter("requests_rejected")->value(), 0u);
+
+  // Same backlog with shedding disabled: the request queues instead.
+  ServerConfig off{1, 16};
+  off.enable_shedding = false;
+  InferenceServer relaxed(nn_model(m, 16), off);
+  for (int i = 0; i < 3; ++i) {
+    (void)relaxed.submit(make_request(m, i + 1, 3, 180 + i));
+  }
+  auto tolerated = make_request(m, 5, 3, 185);
+  tolerated.queue_budget_ticks = 2;
+  EXPECT_FALSE(relaxed.finished(relaxed.submit(std::move(tolerated))));
+  EXPECT_EQ(relaxed.metrics().find_counter("shed")->value(), 0u);
+}
+
+TEST(ServingResilience, HealthTracksTheBacklog) {
+  using et::serving::ServerHealth;
+  const Model m = make_model(1, 32, 2, 16, 139);
+  InferenceServer server(nn_model(m, 16), {1, 2});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  EXPECT_EQ(server.health(), ServerHealth::kHealthy);
+  (void)server.submit(make_request(m, 1, 2, 190));
+  (void)server.submit(make_request(m, 2, 2, 191));
+  EXPECT_EQ(server.health(), ServerHealth::kOverloaded);  // queue at cap
+  server.tick(ctx);  // one admitted, one still waiting
+  EXPECT_EQ(server.health(), ServerHealth::kDegraded);
+  EXPECT_DOUBLE_EQ(server.metrics().find_gauge("health")->value(), 1.0);
+  server.drain(ctx);
+  EXPECT_EQ(server.health(), ServerHealth::kHealthy);
+  EXPECT_DOUBLE_EQ(server.metrics().find_gauge("health")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(server.metrics().find_gauge("kv_bytes_used")->value(),
+                   0.0);  // every slot's KV returned to the pool
+}
+
+TEST(ServingResilience, EnumeratorNamesAreDistinctAndStable) {
+  using et::serving::ServerHealth;
+  EXPECT_EQ(to_string(RequestState::kPreempted), "preempted");
+  EXPECT_EQ(to_string(RejectReason::kShed), "shed");
+  EXPECT_EQ(to_string(ServerHealth::kHealthy), "healthy");
+  EXPECT_EQ(to_string(ServerHealth::kDegraded), "degraded");
+  EXPECT_EQ(to_string(ServerHealth::kOverloaded), "overloaded");
+  EXPECT_EQ(to_string(et::nn::StopReason::kPreemptionLimit),
+            "preemption_limit");
+}
+
+TEST(ServingResilience, ConservationIdentitiesHoldAfterAResilienceStorm) {
+  const Model m = make_model(1, 32, 2, 16, 149);
+  InferenceServer server(nn_model(m, 16), {1, 8});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  auto bulk = make_request(m, 1, 8, 200);
+  bulk.priority = Priority::kBulk;
+  (void)server.submit(std::move(bulk));
+  server.tick(ctx);  // bulk takes the slot
+
+  for (int i = 0; i < 3; ++i) {  // interactive burst: first one preempts
+    auto inter = make_request(m, 2 + i, 2, 201 + i);
+    inter.priority = Priority::kInteractive;
+    (void)server.submit(std::move(inter));
+  }
+  auto impatient = make_request(m, 6, 2, 205);
+  impatient.queue_budget_ticks = 0;  // backlog of 3 ahead => shed
+  (void)server.submit(std::move(impatient));
+  const auto doomed = server.submit(make_request(m, 7, 2, 206));
+  server.cancel(doomed);
+  auto hurried = make_request(m, 8, 2, 207);
+  hurried.total_budget_ticks = 1;  // expires while queued behind the burst
+  (void)server.submit(std::move(hurried));
+  server.drain(ctx);
+
+  const auto& mx = server.metrics();
+  const auto c = [&mx](const char* name) {
+    return mx.find_counter(name)->value();
+  };
+  EXPECT_GE(c("preemptions"), 1u);
+  EXPECT_EQ(c("shed"), 1u);
+  EXPECT_EQ(c("requests_cancelled"), 1u);
+  EXPECT_EQ(c("requests_expired"), 1u);
+
+  // Conservation: every submission resolves to exactly one terminal.
+  EXPECT_EQ(c("requests_submitted"),
+            c("requests_completed") + c("requests_rejected") + c("shed") +
+                c("requests_cancelled") + c("requests_expired") +
+                c("stop_preemption_limit"));
+  std::uint64_t stop_sum = 0;
+  for (std::size_t r = 0; r < et::nn::kStopReasonCount; ++r) {
+    stop_sum += mx.find_counter(
+                      "stop_" + std::string(et::nn::to_string(
+                                    static_cast<et::nn::StopReason>(r))))
+                    ->value();
+  }
+  EXPECT_EQ(stop_sum, c("requests_submitted"));
+  // And the machine is fully drained: no residual slot or KV occupancy.
+  EXPECT_DOUBLE_EQ(mx.find_gauge("active_slots")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(mx.find_gauge("queue_depth")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(mx.find_gauge("kv_bytes_used")->value(), 0.0);
 }
 
 }  // namespace
