@@ -96,19 +96,57 @@ RequestHandle InferenceServer::submit(Request req) {
     return h;
   }
   if (cfg_.enable_shedding && r.req.queue_budget_ticks != kNoBudget) {
-    // Load shedding: the backlog at or above this request's class bounds
-    // its queue wait from below (max_batch admissions per tick at best).
-    // If even that optimistic estimate blows the queue budget, refusing
-    // now is strictly better than letting the request occupy queue space
-    // until it expires — the caller learns immediately and the queue
-    // keeps its room for requests that can still make their deadlines.
+    // Load shedding: estimate the queue wait from below, so a shed is
+    // provably unmeetable given the current queue and slot state (a
+    // future cancel() is the one thing the bound cannot foresee). The
+    // request is admitted this very tick (wait 0) iff the eligible
+    // backlog at or above its class fits the capacity the next tick
+    // frees; otherwise later ticks admit at most max_batch each. If
+    // even that optimistic estimate blows the queue budget, refusing
+    // now is strictly better than letting the request occupy queue
+    // space until it expires — the caller learns immediately and the
+    // queue keeps its room for requests that can still make their
+    // deadlines.
+    //
+    // "Eligible" backlog: entries already past a budget expire before
+    // the next admission pass, and entries sitting out a retry backoff
+    // cannot take a slot next tick — dropping both can only lower the
+    // estimate, which keeps it a lower bound.
     std::size_t ahead = 0;
     for (std::size_t c = 0; c <= static_cast<std::size_t>(r.req.priority);
          ++c) {
-      ahead += queues_[c].size();
+      for (const std::uint64_t qid : queues_[c]) {
+        const Record& o = records_[qid];
+        const bool queue_out =
+            o.req.queue_budget_ticks != kNoBudget &&
+            tick_ - o.queued_since_tick > o.req.queue_budget_ticks;
+        const bool total_out =
+            o.req.total_budget_ticks != kNoBudget &&
+            tick_ - o.submitted_tick >= o.req.total_budget_ticks;
+        if (!queue_out && !total_out && o.earliest_admit_tick <= tick_) {
+          ++ahead;
+        }
+      }
+    }
+    // Next-tick capacity: free slots, plus slots whose occupant's total
+    // budget expires at the next tick, plus (with preemption on) every
+    // active request this class strictly outranks — displaced or
+    // finished at its preemption cap, either way its slot frees.
+    std::size_t capacity = sched_.max_batch() - sched_.active();
+    for (const std::uint64_t aid : active_) {
+      const Record& o = records_[aid];
+      const bool expiring =
+          o.req.total_budget_ticks != kNoBudget &&
+          tick_ - o.submitted_tick >= o.req.total_budget_ticks;
+      const bool outranked =
+          cfg_.enable_preemption &&
+          static_cast<std::uint8_t>(o.req.priority) >
+              static_cast<std::uint8_t>(r.req.priority);
+      if (expiring || outranked) ++capacity;
     }
     const std::size_t est_wait =
-        (ahead + sched_.max_batch() - 1) / sched_.max_batch();
+        ahead < capacity ? 0
+                         : 1 + (ahead - capacity) / sched_.max_batch();
     if (est_wait > r.req.queue_budget_ticks) {
       r.reject_reason = RejectReason::kShed;
       finish_unadmitted(h.id, nn::StopReason::kRejected, tick_);
@@ -237,8 +275,13 @@ void InferenceServer::admit_one(core::ExecContext& ctx, std::uint64_t id,
   // keeps its params until the request is terminal.
   static_cast<nn::DecodeParams&>(g) =
       static_cast<const nn::DecodeParams&>(r.req);
-  g.resume_tokens = std::move(r.resume);
-  r.resume.clear();
+  // COPIED, not moved: until the new tenure's replay has caught up,
+  // r.resume stays the authoritative transcript — the scheduler result
+  // holds only the replayed-so-far prefix, and a displacement or
+  // termination mid-replay must not shrink what was already delivered
+  // (harvest clears it once the replay is complete).
+  g.resume_tokens = r.resume;
+  r.replay_len = r.resume.size();
   r.sched_id = sched_.submit(std::move(g));
   if (r.admitted_tick == kNoTick) r.admitted_tick = t;
   r.admit_device_us = ctx.device().total_time_us();
@@ -278,9 +321,13 @@ void InferenceServer::preempt(std::size_t victim, std::size_t t) {
   ++r.preemptions;
   preemptions_->inc();
   // Retire the slot (KV released back to the pool); the emitted tokens
-  // become the replay prefix that rebuilds the KV on re-admission.
+  // become the replay prefix that rebuilds the KV on re-admission. If
+  // this tenure was itself still replaying, the scheduler result is
+  // only the replayed-so-far prefix of r.resume — keep the longer
+  // transcript, never shrink it below what was already streamed.
   sched_.cancel(r.sched_id, nn::StopReason::kCancelled);
-  r.resume = sched_.result(r.sched_id).tokens;
+  const auto& toks = sched_.result(r.sched_id).tokens;
+  if (toks.size() > r.resume.size()) r.resume = toks;
   r.state = RequestState::kPreempted;
   r.queued_since_tick = t;  // fresh queue stint
   r.earliest_admit_tick = 0;
@@ -308,6 +355,11 @@ void InferenceServer::harvest(core::ExecContext& ctx, std::size_t t) {
       tokens_emitted_->inc(toks.size() - r.streamed);
       r.streamed = toks.size();
     }
+    if (!r.resume.empty() && toks.size() >= r.resume.size()) {
+      // Replay caught up: from here the scheduler transcript supersedes
+      // the kept prefix, so the copy retained at admission can go.
+      r.resume.clear();
+    }
     if (sched_.finished(r.sched_id)) done.push_back(id);
   }
   for (const std::uint64_t id : done) {
@@ -323,7 +375,10 @@ void InferenceServer::harvest(core::ExecContext& ctx, std::size_t t) {
         // bit-identical to a fault-free run.
         ++r.retries;
         retries_->inc();
-        r.resume = res.tokens;
+        // A fault can strike while this tenure is still replaying, in
+        // which case res.tokens is the shorter replayed-so-far prefix —
+        // keep whichever transcript is longer.
+        if (res.tokens.size() > r.resume.size()) r.resume = res.tokens;
         r.state = RequestState::kQueued;
         r.queued_since_tick = t + 1;
         r.earliest_admit_tick = t + 1 + r.req.retry_backoff_ticks;
@@ -358,6 +413,14 @@ void InferenceServer::finish_admitted(std::uint64_t id, std::size_t t,
                                       double device_us) {
   Record& r = records_[id];
   r.result = sched_.result(r.sched_id);
+  // Terminated mid-replay (preemption-limit, cancel, expiry): the
+  // scheduler transcript is only the replayed-so-far prefix of what
+  // earlier tenures already delivered — r.resume, still held from
+  // admission, is then the longer, authoritative token stream.
+  if (r.resume.size() > r.result.tokens.size()) {
+    r.result.tokens = std::move(r.resume);
+  }
+  r.resume.clear();
   r.streamed = r.result.tokens.size();
   r.state = RequestState::kFinished;
   r.finished_tick = t;
@@ -366,11 +429,18 @@ void InferenceServer::finish_admitted(std::uint64_t id, std::size_t t,
   stop_reason_[static_cast<std::size_t>(r.result.stop_reason)]->inc();
   // kernel_faults is counted per fault EVENT in harvest (a retried fault
   // still counts), not here at the terminal.
-  if (device_us >= 0.0 && !r.result.tokens.empty()) {
+  //
+  // Decode throughput counts only the tokens this final tenure newly
+  // generated (result minus its replay prefix) — admit_device_us resets
+  // on every re-admission, so charging replayed tokens from earlier
+  // tenures against the last tenure's span would overstate the rate.
+  const std::size_t fresh = r.result.tokens.size() > r.replay_len
+                                ? r.result.tokens.size() - r.replay_len
+                                : 0;
+  if (device_us >= 0.0 && fresh > 0) {
     const double span = device_us - r.admit_device_us;
     if (span > 0.0) {
-      tokens_per_sec_->observe(
-          1e6 * static_cast<double>(r.result.tokens.size()) / span);
+      tokens_per_sec_->observe(1e6 * static_cast<double>(fresh) / span);
     }
   }
   r.req.embed = nullptr;

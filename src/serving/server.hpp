@@ -156,10 +156,13 @@ enum class RequestState : std::uint8_t {
 }
 
 /// Why submit() refused admission (kNone for everything admitted).
-/// kShed is the load-shedding fast path: the queue had room, but the
-/// estimated queue wait (per-class depth / max_batch) already exceeded
-/// the request's queue budget, so it was refused at the door instead of
-/// being left to expire after waiting.
+/// kShed is the load-shedding fast path: the queue had room, but even a
+/// lower-bound estimate of the queue wait (eligible backlog at or above
+/// the request's class vs the capacity the next tick frees — free
+/// slots, expiring occupants, preemptible victims — then max_batch
+/// admissions per tick) already exceeded the request's queue budget, so
+/// it was refused at the door instead of being left to expire after
+/// waiting.
 enum class RejectReason : std::uint8_t { kNone, kQueueFull, kShed };
 
 [[nodiscard]] constexpr std::string_view to_string(RejectReason r) noexcept {
@@ -229,10 +232,15 @@ class InferenceServer {
   /// status().reject_reason == kQueueFull. A total budget of zero ticks
   /// likewise finishes immediately (kDeadlineExceeded) — it could never
   /// complete. With shedding enabled, a finite queue budget smaller than
-  /// the estimated queue wait (⌈waiting-at-or-above-my-class /
-  /// max_batch⌉ ticks) is refused up front with kRejected /
-  /// RejectReason::kShed. Throws std::invalid_argument when
-  /// max_new_tokens > 0 but embed/select are empty.
+  /// a lower-bound queue-wait estimate is refused up front with
+  /// kRejected / RejectReason::kShed: wait 0 iff the eligible backlog
+  /// at or above the request's class fits the capacity the next tick
+  /// frees (free slots + expiring occupants + preemptible victims),
+  /// else 1 + ⌈remainder / max_batch⌉-style ticks beyond that — so a
+  /// shed request provably could not have met its budget given the
+  /// current queue/slot state (a future cancel() excepted). Throws
+  /// std::invalid_argument when max_new_tokens > 0 but embed/select are
+  /// empty.
   RequestHandle submit(Request req);
 
   /// Cancel a queued or active request: it finishes with
@@ -296,7 +304,13 @@ class InferenceServer {
     std::size_t retries = 0;        // kernel-fault retries consumed
     std::size_t queued_since_tick = 0;     // start of the current queue stint
     std::size_t earliest_admit_tick = 0;   // retry backoff gate
-    std::vector<std::int32_t> resume;      // emitted tokens awaiting replay
+    std::size_t replay_len = 0;  // resume-prefix length at latest admission
+    // Emitted tokens awaiting replay. Retained (not moved) across an
+    // admission until the new tenure's replay catches up: while the
+    // scheduler is still replaying, its result holds only a prefix of
+    // this transcript, and any mid-replay displacement or termination
+    // must keep the longer of the two.
+    std::vector<std::int32_t> resume;
     double admit_device_us = 0.0;   // device clock at latest admission
     nn::GenerationResult result;    // final outcome (copied from scheduler)
   };

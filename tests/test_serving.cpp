@@ -8,6 +8,7 @@
 // methodology.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <iterator>
 #include <ostream>
 #include <stdexcept>
@@ -764,6 +765,118 @@ TEST(ServingResilience, PreemptionDisplacesLowestMostRecentAndResumes) {
   EXPECT_EQ(server.metrics().find_counter("requests_admitted")->value(), 4u);
 }
 
+// A displacement while the victim's own recompute-resume replay is
+// still catching up must not shrink the kept transcript: the scheduler
+// result holds only the replayed-so-far prefix at that point, and the
+// server retains the longer transcript across the gap. The resumed run
+// stays bit-identical to the never-interrupted reference, with every
+// token streamed exactly once.
+TEST(ServingResilience, MidReplayPreemptionKeepsTheFullTranscript) {
+  const Model m = make_model(1, 32, 2, 16, 118);
+
+  et::gpusim::Device clean_dev;
+  et::core::ExecContext clean_ctx(clean_dev);
+  InferenceServer clean(nn_model(m, 16), {1, 8});
+  auto ref_req = make_request(m, 1, 6, 144);
+  ref_req.priority = Priority::kBulk;
+  const auto ref = clean.submit(std::move(ref_req));
+  clean.drain(clean_ctx);
+
+  InferenceServer server(nn_model(m, 16), {1, 8});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+  std::vector<std::int32_t> streamed;
+  auto bulk = make_request(m, 1, 6, 144);
+  bulk.priority = Priority::kBulk;
+  bulk.on_token = [&streamed](std::uint64_t, std::int32_t tok, std::size_t) {
+    streamed.push_back(tok);
+  };
+  // select() side effects must fire exactly once per emitted token
+  // across the request's whole life — a replay that loses part of its
+  // prefix would re-select (and re-fire) the lost tail.
+  std::size_t select_calls = 0;
+  bulk.select = [&select_calls, inner = bulk.select](
+                    const et::tensor::MatrixF& hidden) {
+    ++select_calls;
+    return inner(hidden);
+  };
+  const auto victim = server.submit(std::move(bulk));
+  for (int i = 0; i < 3; ++i) server.tick(ctx);  // three tokens emitted
+
+  auto first = make_request(m, 2, 2, 145);
+  first.priority = Priority::kInteractive;
+  const auto a = server.submit(std::move(first));
+  server.tick(ctx);  // preemption #1: victim carries a 3-token prefix
+  EXPECT_EQ(server.status(victim).state, RequestState::kPreempted);
+  server.tick(ctx);  // interactive finishes
+  ASSERT_TRUE(server.finished(a));
+  server.tick(ctx);  // victim re-admitted, replay 1 of 3
+
+  auto second = make_request(m, 3, 2, 146);
+  second.priority = Priority::kInteractive;
+  const auto b = server.submit(std::move(second));
+  server.tick(ctx);  // preemption #2 strikes MID-REPLAY
+  EXPECT_EQ(server.status(victim).state, RequestState::kPreempted);
+  EXPECT_EQ(server.status(victim).preemptions, 2u);
+  // Nothing already delivered may be forgotten across the gap.
+  EXPECT_EQ(server.status(victim).tokens_emitted, 3u);
+  server.drain(ctx);
+
+  EXPECT_EQ(server.result(victim).stop_reason,
+            et::nn::StopReason::kMaxTokens);
+  EXPECT_EQ(server.result(victim).tokens, clean.result(ref).tokens);
+  EXPECT_EQ(streamed, server.result(victim).tokens);  // exactly once each
+  EXPECT_EQ(select_calls, 6u);  // never re-selected during any replay
+  ASSERT_TRUE(server.finished(b));
+}
+
+// Terminating a request mid-replay (here: an explicit cancel) keeps the
+// full previously-delivered transcript, not the replayed-so-far prefix —
+// the result can never be shorter than what on_token already streamed.
+TEST(ServingResilience, CancelDuringReplayKeepsEveryStreamedToken) {
+  const Model m = make_model(1, 32, 2, 16, 122);
+
+  et::gpusim::Device clean_dev;
+  et::core::ExecContext clean_ctx(clean_dev);
+  InferenceServer clean(nn_model(m, 16), {1, 8});
+  auto ref_req = make_request(m, 1, 6, 147);
+  ref_req.priority = Priority::kBulk;
+  const auto ref = clean.submit(std::move(ref_req));
+  clean.drain(clean_ctx);
+
+  InferenceServer server(nn_model(m, 16), {1, 8});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+  std::vector<std::int32_t> streamed;
+  auto bulk = make_request(m, 1, 6, 147);
+  bulk.priority = Priority::kBulk;
+  bulk.on_token = [&streamed](std::uint64_t, std::int32_t tok, std::size_t) {
+    streamed.push_back(tok);
+  };
+  const auto victim = server.submit(std::move(bulk));
+  for (int i = 0; i < 3; ++i) server.tick(ctx);  // three tokens emitted
+
+  auto inter = make_request(m, 2, 2, 148);
+  inter.priority = Priority::kInteractive;
+  const auto a = server.submit(std::move(inter));
+  server.tick(ctx);  // preempt: victim carries a 3-token prefix
+  server.tick(ctx);  // interactive finishes
+  ASSERT_TRUE(server.finished(a));
+  server.tick(ctx);  // victim re-admitted, replay 1 of 3
+  EXPECT_EQ(server.status(victim).state, RequestState::kActive);
+
+  ASSERT_TRUE(server.cancel(victim));  // cancel strikes MID-REPLAY
+  EXPECT_EQ(server.result(victim).stop_reason,
+            et::nn::StopReason::kCancelled);
+  ASSERT_EQ(server.result(victim).tokens.size(), 3u);
+  const auto& ref_toks = clean.result(ref).tokens;
+  EXPECT_TRUE(std::equal(server.result(victim).tokens.begin(),
+                         server.result(victim).tokens.end(),
+                         ref_toks.begin()));
+  EXPECT_EQ(streamed, server.result(victim).tokens);
+  EXPECT_EQ(server.status(victim).tokens_emitted, 3u);
+}
+
 TEST(ServingResilience, PreemptionLimitFinishesTheVictimTyped) {
   const Model m = make_model(1, 32, 2, 16, 119);
   ServerConfig cfg{1, 8};
@@ -905,6 +1018,32 @@ TEST(ServingResilience, ShedRefusesUnmeetableQueueBudgetsAtSubmit) {
   tolerated.queue_budget_ticks = 2;
   EXPECT_FALSE(relaxed.finished(relaxed.submit(std::move(tolerated))));
   EXPECT_EQ(relaxed.metrics().find_counter("shed")->value(), 0u);
+}
+
+// The shed estimate is a LOWER bound: a small backlog that fits the
+// free slots is admitted next tick with zero wait, so even a zero
+// queue budget must not be shed — shedding it would refuse a request
+// that was actually admissible.
+TEST(ServingResilience, ShedSparesRequestsTheFreeSlotsCanAbsorb) {
+  const Model m = make_model(1, 32, 2, 16, 143);
+  InferenceServer server(nn_model(m, 16), {4, 16});
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+
+  for (int i = 0; i < 2; ++i) {  // backlog of 2 over 4 free slots
+    (void)server.submit(make_request(m, i + 1, 2, 210 + i));
+  }
+  auto urgent = make_request(m, 3, 2, 212);
+  urgent.queue_budget_ticks = 0;  // must be admitted this very tick
+  const auto h = server.submit(std::move(urgent));
+  EXPECT_FALSE(server.finished(h));  // not shed: 3 <= 4 free slots
+  EXPECT_EQ(server.metrics().find_counter("shed")->value(), 0u);
+
+  server.tick(ctx);
+  EXPECT_EQ(server.status(h).state, RequestState::kActive);
+  EXPECT_EQ(server.status(h).admitted_tick, 0u);  // zero queue wait
+  server.drain(ctx);
+  EXPECT_EQ(server.result(h).stop_reason, et::nn::StopReason::kMaxTokens);
 }
 
 TEST(ServingResilience, HealthTracksTheBacklog) {
