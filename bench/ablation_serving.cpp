@@ -113,16 +113,26 @@ struct ServeParams {
   bool shedding = true;
   double fault_fraction = 0.0;  // > 0: arm_random over every kernel launch
   std::uint64_t fault_seed = 0;
+  // Paged-KV shape (docs/serving.md "Paged KV and prefix sharing").
+  // prompt_len > 0 gives every request a prompt whose first
+  // prompt_len - 1 tokens are common to its prefix group (consecutive
+  // runs of `group_size` requests, sharing one embed seed) with a unique
+  // final token — the shared-system-prompt workload.
+  std::size_t prompt_len = 0;
+  std::size_t group_size = 0;
+  et::core::PagedKVOptions kv;
 };
 
 ServeOutcome run_served(const std::vector<et::nn::EncoderWeights>& layers,
                         const et::nn::EncoderOptions& opt,
                         const ServeParams& p) {
-  const et::nn::Model model(&layers, opt, p.tokens + 1);
+  const et::nn::Model model(
+      &layers, opt, p.tokens + (p.prompt_len > 0 ? p.prompt_len : 1));
   et::serving::ServerConfig scfg;
   scfg.max_batch = p.slots;
   scfg.queue_capacity = p.queue_capacity;
   scfg.enable_shedding = p.shedding;
+  scfg.kv = p.kv;
   et::serving::InferenceServer server(model, scfg);
 
   et::gpusim::Device dev;
@@ -137,9 +147,24 @@ ServeOutcome run_served(const std::vector<et::nn::EncoderWeights>& layers,
   const auto submit_some = [&](std::size_t n) {
     for (std::size_t k = 0; k < n && submitted < p.requests; ++k) {
       et::serving::Request req;
-      req.first_token = static_cast<std::int32_t>(submitted);
       req.max_new_tokens = p.tokens;
-      req.embed = make_embed(model.d_model(), /*seed=*/31 + submitted);
+      if (p.prompt_len > 0) {
+        const std::uint64_t group =
+            1 + (p.group_size > 0 ? submitted / p.group_size : submitted);
+        std::vector<std::int32_t> prompt(p.prompt_len);
+        for (std::size_t j = 0; j + 1 < p.prompt_len; ++j) {
+          prompt[j] = static_cast<std::int32_t>(100 * group + j);
+        }
+        prompt[p.prompt_len - 1] = static_cast<std::int32_t>(submitted);
+        req.prompt_tokens = std::move(prompt);
+        req.prefix_group = group;
+        // One embedding identity per group — the contract that makes
+        // aliasing another member's KV rows sound.
+        req.embed = make_embed(model.d_model(), /*seed=*/31 + group);
+      } else {
+        req.first_token = static_cast<std::int32_t>(submitted);
+        req.embed = make_embed(model.d_model(), /*seed=*/31 + submitted);
+      }
       req.select = make_select(p.vocab);
       if (p.queue_budget != et::serving::kNoBudget) {
         req.queue_budget_ticks = p.queue_budget;
@@ -196,6 +221,12 @@ et::tensor::MatrixF selection_wo(std::size_t d_model, std::size_t num_heads,
 int main(int argc, char** argv) {
   const bool csv = et::bench::csv_mode(argc, argv);
   const bool json = et::bench::json_mode(argc, argv);
+  // Fast path for the paged-kv smoke test: only the shared-prefix rows
+  // (and their hard gates) run.
+  bool shared_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--shared-prefix-only") shared_only = true;
+  }
 
   // Slim decoder: the serving dynamics (admission, queueing, rejection)
   // are what's measured; model width only scales the per-tick cost.
@@ -218,8 +249,8 @@ int main(int argc, char** argv) {
       "offered_per_tick", "requests",       "slots",
       "queue_capacity",   "threads",        "weights",
       "shedding",         "queue_budget",   "retry_budget",
-      "fault_fraction",   "time_us",        "p99_queue_wait",
-      "retry_success"};
+      "fault_fraction",   "block_tokens",   "sharing",
+      "time_us",          "p99_queue_wait", "retry_success"};
   {
     et::serving::InferenceServer server(et::nn::Model(&layers, opt, 4),
                                         {2, 4});
@@ -255,6 +286,9 @@ int main(int argc, char** argv) {
             : std::to_string(p.queue_budget),
         std::to_string(p.retry_budget),
         et::bench::fmt(p.fault_fraction, 3),
+        p.kv.block_tokens == 0 ? std::string("ctx")
+                               : std::to_string(p.kv.block_tokens),
+        p.kv.enable_prefix_sharing ? "on" : "off",
         et::bench::fmt(r.time_us, 1),
         et::bench::fmt(r.p99_queue_wait, 1),
         et::bench::fmt(success, 3)};
@@ -266,15 +300,17 @@ int main(int argc, char** argv) {
   // queue is deliberately smaller than the offered total so every row
   // shows backpressure (requests_rejected > 0); burstier arrivals reject
   // more and wait less, steadier arrivals admit more and wait longer.
-  for (const std::size_t arrive : {0u, 1u, 2u, 4u, 8u}) {
-    ServeParams p;
-    p.arrive = arrive;
-    add_row(p, run_served(layers, opt, p));
+  if (!shared_only) {
+    for (const std::size_t arrive : {0u, 1u, 2u, 4u, 8u}) {
+      ServeParams p;
+      p.arrive = arrive;
+      add_row(p, run_served(layers, opt, p));
+    }
   }
 
   // ---- Determinism spine: one mid-load configuration re-run and run
   // again at 4 threads must reproduce the identical snapshot.
-  {
+  if (!shared_only) {
     ServeParams p;
     p.arrive = 2;
     const auto a = run_served(layers, opt, p);
@@ -299,7 +335,7 @@ int main(int argc, char** argv) {
   // its row must show strictly lower kv_bytes AND device traffic — while
   // the exact-fold construction makes any transcript divergence a bug,
   // not noise.
-  {
+  if (!shared_only) {
     constexpr std::size_t kKept = 16;  // per head; d_k = 64 stays condensable
     std::vector<std::uint32_t> kept_cols(kKept);
     for (std::size_t r = 0; r < kKept; ++r) {
@@ -350,7 +386,7 @@ int main(int argc, char** argv) {
   // IS admitted stays within the budget. Both configurations re-run and
   // must reproduce their metrics snapshot bit for bit (hard gate), and
   // the protected tail must be strictly shorter than the unprotected one.
-  {
+  if (!shared_only) {
     ServeParams shed;
     shed.requests = 64;
     shed.slots = 4;
@@ -392,7 +428,7 @@ int main(int argc, char** argv) {
   // recompute converted into a clean retirement. Re-run must reproduce
   // the snapshot bit for bit — faulted launches never reach the device,
   // so the fault script is part of the deterministic transcript.
-  {
+  if (!shared_only) {
     ServeParams p;
     p.requests = 24;
     p.slots = 4;
@@ -417,6 +453,62 @@ int main(int argc, char** argv) {
                    "ran — the row no longer measures fault recovery\n");
       return 1;
     }
+    add_row(p, a);
+  }
+
+  // ---- Shared-prefix rows (docs/serving.md "Paged KV and prefix
+  // sharing"): a staggered storm of 12 requests in consecutive groups of
+  // 4, each group sharing a 7-token system prefix plus a unique final
+  // token, decoded with prefix sharing ON and OFF over 2-token blocks.
+  // Later group members arrive while earlier ones still hold registered
+  // blocks, so admission aliases their prompt rows and the unique tail
+  // CoW-splits the last shared block. Hard gates (nonzero exit):
+  // transcripts identical sharing on vs off (sharing is memory-only),
+  // the on-run re-runs bit for bit, sharing actually fired
+  // (prefix_hits > 0), and kv_bytes_used_peak is STRICTLY lower with
+  // sharing on.
+  {
+    ServeParams p;
+    p.requests = 12;
+    p.slots = 4;
+    p.queue_capacity = 16;
+    p.tokens = 4;
+    p.arrive = 1;
+    p.prompt_len = 8;
+    p.group_size = 4;
+    p.kv.block_tokens = 2;
+    ServeParams off = p;
+    off.kv.enable_prefix_sharing = false;
+    const auto a = run_served(layers, opt, p);
+    const auto a2 = run_served(layers, opt, p);
+    const auto b = run_served(layers, opt, off);
+    if (a.metrics_json != a2.metrics_json || a.transcripts != a2.transcripts) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: shared-prefix row diverged across "
+                   "identical re-runs\n");
+      return 1;
+    }
+    if (a.transcripts != b.transcripts) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE VIOLATION: prefix sharing changed the "
+                   "transcripts — sharing must be memory-only\n");
+      return 1;
+    }
+    if (a.scalar("prefix_hits") <= 0.0) {
+      std::fprintf(stderr,
+                   "SHARED-PREFIX ROW VIOLATION: no admission aliased a "
+                   "prefix — the row no longer measures sharing\n");
+      return 1;
+    }
+    if (!(a.scalar("kv_bytes_used_peak") < b.scalar("kv_bytes_used_peak"))) {
+      std::fprintf(stderr,
+                   "SHARED-PREFIX ROW VIOLATION: peak KV residency %.0f with "
+                   "sharing on is not strictly below %.0f with it off\n",
+                   a.scalar("kv_bytes_used_peak"),
+                   b.scalar("kv_bytes_used_peak"));
+      return 1;
+    }
+    add_row(off, b);
     add_row(p, a);
   }
 

@@ -1,0 +1,134 @@
+#include "core/prefix_trie.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace et::core {
+
+PrefixTrie::PrefixTrie(std::size_t block_tokens)
+    : block_tokens_(block_tokens) {
+  if (block_tokens == 0) {
+    throw std::invalid_argument("PrefixTrie: block_tokens must be nonzero");
+  }
+}
+
+std::map<std::size_t, PrefixTrie::Node>::const_iterator
+PrefixTrie::find_child(std::size_t parent, std::uint64_t group,
+                       std::span<const std::int32_t> chunk) const {
+  for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+    const Node& n = it->second;
+    if (n.parent != parent) continue;
+    if (parent == kRoot && n.group != group) continue;
+    if (n.tokens.size() != chunk.size()) continue;
+    if (std::equal(n.tokens.begin(), n.tokens.end(), chunk.begin())) {
+      return it;
+    }
+  }
+  return nodes_.end();
+}
+
+bool PrefixTrie::has_partial_child(std::size_t parent,
+                                   std::uint64_t group) const {
+  for (const auto& [id, n] : nodes_) {
+    if (n.parent == parent && n.partial &&
+        (parent != kRoot || n.group == group)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PrefixTrie::Match PrefixTrie::lookup(std::uint64_t group,
+                                     std::span<const std::int32_t> prompt,
+                                     std::size_t max_tokens) const {
+  Match m;
+  if (group == kNoPrefixGroup) return m;
+  const std::size_t limit = std::min(max_tokens, prompt.size());
+  std::size_t parent = kRoot;
+  // Full-chunk walk: every matched full node contributes a whole block,
+  // except the one a row cap lands inside — taken partially, ending the
+  // walk (the consumer's first append there CoW-splits it).
+  while (m.tokens + block_tokens_ <= prompt.size()) {
+    if (m.tokens >= limit) return m;
+    const auto it = find_child(
+        parent, group, prompt.subspan(m.tokens, block_tokens_));
+    if (it == nodes_.end()) break;
+    const std::size_t take = std::min(block_tokens_, limit - m.tokens);
+    m.blocks.push_back(it->second.block);
+    m.tokens += take;
+    if (take < block_tokens_) return m;
+    parent = it->first;
+  }
+  // Partial leaf: share however many of its tokens agree with the
+  // remaining prompt (first divergence, prompt end, or the cap).
+  for (const auto& [id, n] : nodes_) {
+    if (n.parent != parent || !n.partial) continue;
+    if (parent == kRoot && n.group != group) continue;
+    std::size_t p = 0;
+    while (p < n.tokens.size() && m.tokens + p < limit &&
+           n.tokens[p] == prompt[m.tokens + p]) {
+      ++p;
+    }
+    if (p > 0) {
+      m.blocks.push_back(n.block);
+      m.tokens += p;
+    }
+    break;  // at most one partial leaf per parent
+  }
+  return m;
+}
+
+void PrefixTrie::insert(std::uint64_t group,
+                        std::span<const std::int32_t> prompt_prefix,
+                        BlockId block) {
+  if (group == kNoPrefixGroup || prompt_prefix.empty()) return;
+  const std::size_t full = prompt_prefix.size() / block_tokens_;
+  const std::size_t tail = prompt_prefix.size() % block_tokens_;
+  const std::size_t parents = tail == 0 ? full - 1 : full;
+  std::size_t parent = kRoot;
+  for (std::size_t i = 0; i < parents; ++i) {
+    const auto it = find_child(
+        parent, group, prompt_prefix.subspan(i * block_tokens_, block_tokens_));
+    if (it == nodes_.end()) return;  // parent chain incomplete — skip
+    parent = it->first;
+  }
+  const auto chunk = prompt_prefix.subspan(parents * block_tokens_);
+  if (tail == 0) {
+    if (find_child(parent, group, chunk) != nodes_.end()) return;  // first wins
+  } else if (has_partial_child(parent, group)) {
+    return;  // one partial leaf per parent, first wins
+  }
+  Node n;
+  n.group = group;
+  n.parent = parent;
+  n.tokens.assign(chunk.begin(), chunk.end());
+  n.block = block;
+  n.partial = tail != 0;
+  nodes_.emplace(next_id_++, std::move(n));
+}
+
+void PrefixTrie::erase_subtree(std::size_t id) {
+  std::vector<std::size_t> doomed{id};
+  for (std::size_t i = 0; i < doomed.size(); ++i) {
+    for (const auto& [cid, n] : nodes_) {
+      if (n.parent == doomed[i]) doomed.push_back(cid);
+    }
+  }
+  for (const std::size_t d : doomed) nodes_.erase(d);
+}
+
+void PrefixTrie::invalidate(BlockId block, std::size_t written_row) {
+  for (;;) {
+    bool erased = false;
+    for (const auto& [id, n] : nodes_) {
+      if (n.block == block && n.tokens.size() > written_row) {
+        erase_subtree(id);
+        erased = true;
+        break;  // iterators invalidated — rescan
+      }
+    }
+    if (!erased) return;
+  }
+}
+
+}  // namespace et::core

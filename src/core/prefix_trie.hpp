@@ -1,0 +1,113 @@
+// Prompt-prefix trie for copy-on-write KV sharing (docs/serving.md
+// "Paged KV and prefix sharing"). Requests whose prompts begin with the
+// same token sequence — the shared-system-prompt workload of PagedAttention
+// (Kwon et al.) and the radix-tree reuse of SGLang — can alias the KV
+// blocks an earlier request already filled instead of recomputing storage
+// for them.
+//
+// The trie is keyed on (prefix_group, token chunks): each edge holds one
+// KV block's worth of prompt tokens (`block_tokens` per full node, fewer
+// for the single partial leaf a node may carry). A prefix_group scopes
+// matching to requests whose embed() closures agree — token ids alone do
+// not determine KV content, the embedding does, so callers assign one
+// group id per embedding identity and kNoPrefixGroup opts out entirely.
+//
+// Ownership: the trie owns NOTHING. A node is an advertisement that some
+// resident block holds the KV rows of a known token chunk; block
+// lifetime is the BlockAllocator's refcount, held only by per-slot block
+// tables. When the last table reference drops and a block frees, the
+// pool erases its node (erase_block), so the trie never pins memory and
+// the drain invariant (kv_bytes_used == 0 with no live requests) is
+// preserved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace et::core {
+
+/// Index into a BlockAllocator's block array.
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNoBlock = static_cast<BlockId>(-1);
+
+/// DecodeParams::prefix_group value meaning "never share" (the default:
+/// sharing is opt-in because it is only sound between requests whose
+/// embed() closures are bit-identical functions).
+inline constexpr std::uint64_t kNoPrefixGroup = 0;
+
+class PrefixTrie {
+ public:
+  /// `block_tokens` is the KV block granularity: full nodes advertise
+  /// exactly that many rows, the (at most one per parent) partial leaf
+  /// advertises fewer. Throws std::invalid_argument on zero.
+  explicit PrefixTrie(std::size_t block_tokens);
+
+  struct Match {
+    std::vector<BlockId> blocks;  ///< aliasable blocks, prefix order
+    std::size_t tokens = 0;       ///< rows of KV the blocks cover
+  };
+
+  /// Longest registered prefix of `prompt` within `group`, capped at
+  /// `max_tokens` rows. The final matched block may be covered only
+  /// partially (a cap landing mid-block, or a partial-leaf whose chunk
+  /// diverges after a few tokens) — the caller aliases the whole block
+  /// and lets its first divergent append trigger the CoW split.
+  [[nodiscard]] Match lookup(std::uint64_t group,
+                             std::span<const std::int32_t> prompt,
+                             std::size_t max_tokens) const;
+
+  /// Advertise that `block` holds the KV rows of
+  /// `prompt_prefix[last_chunk_start .. size)`, where the preceding full
+  /// chunks must already be registered (blocks register in position
+  /// order, so parents exist first; a missing parent skips the insert).
+  /// A multiple-of-block_tokens prefix registers a full node, anything
+  /// else the parent's single partial leaf. Idempotent and first-wins:
+  /// an existing node (same chunk, or any partial leaf) is kept.
+  void insert(std::uint64_t group, std::span<const std::int32_t> prompt_prefix,
+              BlockId block);
+
+  /// A writer appended into `block` at row offset `written_row`: every
+  /// node advertising more than `written_row` rows of that block no
+  /// longer describes its contents — erase it (and its subtree, which
+  /// extended the now-stale prefix).
+  void invalidate(BlockId block, std::size_t written_row);
+
+  /// The block was freed: nothing may advertise it. Equivalent to
+  /// invalidate(block, 0).
+  void erase_block(BlockId block) { invalidate(block, 0); }
+
+  /// Live node count (tests).
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t block_tokens() const noexcept {
+    return block_tokens_;
+  }
+
+ private:
+  static constexpr std::size_t kRoot = static_cast<std::size_t>(-1);
+
+  struct Node {
+    std::uint64_t group = kNoPrefixGroup;
+    std::size_t parent = kRoot;
+    std::vector<std::int32_t> tokens;  ///< this edge's chunk
+    BlockId block = kNoBlock;
+    bool partial = false;  ///< tokens.size() < block_tokens
+  };
+
+  /// Child of `parent` (within `group` when parent == kRoot) whose chunk
+  /// equals `chunk`; nodes_.end() when absent.
+  [[nodiscard]] std::map<std::size_t, Node>::const_iterator find_child(
+      std::size_t parent, std::uint64_t group,
+      std::span<const std::int32_t> chunk) const;
+  [[nodiscard]] bool has_partial_child(std::size_t parent,
+                                       std::uint64_t group) const;
+  void erase_subtree(std::size_t id);
+
+  std::size_t block_tokens_;
+  std::map<std::size_t, Node> nodes_;  // id -> node; ids never reused
+  std::size_t next_id_ = 0;
+};
+
+}  // namespace et::core

@@ -24,7 +24,7 @@ struct TickSlot {
 
   std::size_t pool_slot = 0;
   std::size_t request_id = 0;
-  std::vector<core::KVCache>* caches = nullptr;
+  std::vector<core::PagedKVCache>* caches = nullptr;
   std::size_t pre_used = 0;
 
   State state = State::kRunning;
@@ -32,9 +32,25 @@ struct TickSlot {
   tensor::MatrixF hidden;  // 1 × d_model when state == kOk
 };
 
+// Cursor-only: PagedKVCache::truncate never frees a block, so this is
+// safe from the parallel per-slot chunks AND the same-tick per-slot
+// retry after a shared-kernel fault still finds its prepared block in
+// the table. Storage reclamation happens at slot release.
 void rollback(TickSlot& slot) {
   for (auto& cache : *slot.caches) cache.truncate(slot.pre_used);
   slot.hidden = tensor::MatrixF();
+}
+
+/// The input token for context position `pos`: a prompt position embeds
+/// the prompt token, everything after embeds the emission stream (which
+/// replay re-fills, so a resumed request derives identical inputs).
+std::int32_t input_token(const GenerationRequest& req,
+                         const std::vector<std::int32_t>& emitted,
+                         std::size_t pos) {
+  const std::vector<std::int32_t>& pt = req.prompt_tokens;
+  const std::size_t n = pt.empty() ? 1 : pt.size();
+  if (pos < n) return pt.empty() ? req.first_token : pt[pos];
+  return emitted.at(pos - n);
 }
 
 /// One fused decode step for every sequence in `live` (rows(i) is
@@ -133,7 +149,7 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
           live.size(),
           [&](std::size_t b) {
             TickSlot& slot = *live[b];
-            core::KVCache& cache = (*slot.caches)[l];
+            core::PagedKVCache& cache = (*slot.caches)[l];
             gpusim::SlotScope scope(dev, static_cast<int>(slot.pool_slot));
             try {
               cache.append(k_new.row(b), v_new.row(b));
@@ -258,17 +274,25 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
 
 }  // namespace
 
-BatchedGenerationScheduler::BatchedGenerationScheduler(const Model& model,
-                                                       std::size_t max_batch)
-    : model_(model),
-      pool_(max_batch, model_.max_context(), model_.k_width(),
-            model_.v_widths()),
-      slots_(max_batch) {
+namespace {
+std::size_t checked_batch(std::size_t max_batch) {
+  // Thrown before pool_ is constructed so the zero-batch error keeps the
+  // scheduler's own message, not the pool's.
   if (max_batch == 0) {
     throw std::invalid_argument(
         "BatchedGenerationScheduler: max_batch must be nonzero");
   }
+  return max_batch;
 }
+}  // namespace
+
+BatchedGenerationScheduler::BatchedGenerationScheduler(const Model& model,
+                                                       std::size_t max_batch,
+                                                       core::PagedKVOptions kv)
+    : model_(model),
+      pool_(checked_batch(max_batch), model_.max_context(), model_.k_width(),
+            model_.v_widths(), kv),
+      slots_(max_batch) {}
 
 std::size_t BatchedGenerationScheduler::submit(GenerationRequest req) {
   const std::size_t id = requests_.size();
@@ -322,8 +346,13 @@ const GenerationResult& BatchedGenerationScheduler::result(
 }
 
 void BatchedGenerationScheduler::admit(std::size_t request_id) {
-  const std::size_t slot = pool_.acquire();
-  slots_[slot] = ActiveSlot{request_id, requests_[request_id].first_token};
+  const GenerationRequest& req = requests_[request_id];
+  // Prompt-aware acquisition: the pool's prefix trie may seed the slot's
+  // block table with another request's resident prompt blocks (refcounts
+  // bumped; appends below the shared frontier skip the write).
+  const std::vector<std::int32_t> prompt = req.prompt();
+  const std::size_t slot = pool_.acquire(req.prefix_group, prompt);
+  slots_[slot] = ActiveSlot{request_id};
 }
 
 void BatchedGenerationScheduler::retire(std::size_t pool_slot,
@@ -339,6 +368,11 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
   gpusim::Device& dev = ctx.device();
   ++ticks_;
 
+  // Serial trie flush: advertise every prompt block the PREVIOUS tick's
+  // parallel appends completed, before this tick's admissions look the
+  // prefix up. Trie writes therefore never race the decode section.
+  pool_.flush_registrations();
+
   // Admission: backfill every free slot from the FIFO queue.
   while (pool_.has_free() && !queue_.empty()) {
     admit(queue_.front());
@@ -347,32 +381,46 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
 
   // Capacity pre-check — the same at_capacity() stop generate() takes
   // before a step, applied per slot so one exhausted sequence never
-  // blocks the rest of the batch.
+  // blocks the rest of the batch. prepare_append is the paged half of
+  // it, run SERIALLY in slot order: it allocates (or CoW-splits) the
+  // block this tick's append lands in, so block exhaustion retires the
+  // slot kv_cache_full here, deterministically, and the parallel appends
+  // below are pure row writes. A retirement frees blocks that later
+  // slots' prepares may immediately reuse — still deterministic, the
+  // loop is serial.
   std::vector<TickSlot> tick_slots;
   tick_slots.reserve(slots_.size());
   for (std::size_t s = 0; s < slots_.size(); ++s) {
     if (!slots_[s].has_value()) continue;
-    auto& caches = pool_.caches(s);
-    if (!caches.empty() && caches[0].used() >= model_.max_context()) {
+    core::PagedKVSlot& kv_slot = pool_.slot(s);
+    if (kv_slot.tokens() >= model_.max_context()) {
+      retire(s, StopReason::kKvCacheFull);
+      continue;
+    }
+    if (!kv_slot.prepare_append()) {
       retire(s, StopReason::kKvCacheFull);
       continue;
     }
     TickSlot ts;
     ts.pool_slot = s;
     ts.request_id = slots_[s]->request_id;
-    ts.caches = &caches;
-    ts.pre_used = caches.empty() ? 0 : caches[0].used();
+    ts.caches = &pool_.caches(s);
+    ts.pre_used = kv_slot.tokens();
     tick_slots.push_back(std::move(ts));
   }
   if (tick_slots.empty()) return;
 
-  // Embed every sequence's next token at its own context position.
+  // Embed every sequence's input at its own context position: prompt
+  // tokens first (prefill and decode share this one code path), then the
+  // emission stream.
   const std::size_t d = model_.d_model();
   tensor::MatrixF rows(tick_slots.size(), d);
   for (std::size_t i = 0; i < tick_slots.size(); ++i) {
     const TickSlot& ts = tick_slots[i];
-    const tensor::MatrixF row = requests_[ts.request_id].embed(
-        slots_[ts.pool_slot]->next_token, ts.pre_used);
+    const GenerationRequest& req = requests_[ts.request_id];
+    const std::int32_t token =
+        input_token(req, results_[ts.request_id].tokens, ts.pre_used);
+    const tensor::MatrixF row = req.embed(token, ts.pre_used);
     assert(row.rows() == 1 && row.cols() == d);
     for (std::size_t c = 0; c < d; ++c) rows(i, c) = row(0, c);
   }
@@ -420,6 +468,12 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
       case TickSlot::State::kOk: {
         auto& res = results_[ts.request_id];
         const GenerationRequest& req = requests_[ts.request_id];
+        // Prefill positions (every prompt token but the last) emit
+        // nothing: the hidden state is discarded and the slot just
+        // advances, exactly like nn::generate's prefill loop.
+        const std::size_t prompt_len =
+            req.prompt_tokens.empty() ? 1 : req.prompt_tokens.size();
+        if (ts.pre_used + 1 < prompt_len) break;
         // Recompute-resume replay: while tokens from a preempted/faulted
         // earlier run remain, the tick rebuilt their KV rows and the
         // outcome is already known — take it verbatim instead of calling
@@ -435,8 +489,6 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
           retire(ts.pool_slot, StopReason::kEos);
         } else if (res.tokens.size() >= req.max_new_tokens) {
           retire(ts.pool_slot, StopReason::kMaxTokens);
-        } else {
-          slots_[ts.pool_slot]->next_token = token;
         }
         break;
       }

@@ -7,7 +7,10 @@
 // (each sequence attends over its own KVCache, E.T.'s single-row OTF
 // instance). Finished sequences (eos / max_tokens / kv_cache_full /
 // kernel_fault) retire their slot, which is immediately backfilled from a
-// FIFO pending queue; KV storage is recycled through core::KVCachePool.
+// FIFO pending queue; KV storage is recycled through the paged, block-
+// refcounted core::PagedKVPool (docs/serving.md "Paged KV and prefix
+// sharing") — retiring a slot drops one reference per block in its
+// table, so prompt-prefix blocks other requests still alias survive.
 //
 // The correctness contract, enforced by tests/test_batched_generation.cpp:
 // every per-row kernel is row-wise independent, so a batch-of-N decode is
@@ -30,6 +33,7 @@
 #include <vector>
 
 #include "core/adaptive.hpp"
+#include "core/block_allocator.hpp"
 #include "core/kv_cache.hpp"
 #include "nn/encoder.hpp"
 #include "nn/generation.hpp"
@@ -54,13 +58,21 @@ struct GenerationRequest : DecodeParams {
 class BatchedGenerationScheduler {
  public:
   /// Constructed from the validated nn::Model handle (copied; the layer
-  /// vector it borrows must outlive the scheduler). Every slot's
-  /// per-layer caches hold `model.max_context()` rows, allocated once at
-  /// the layer's V-plane width — so pre-computed W_VO and condensed
-  /// row-pruned layouts run here with smaller caches, not a rejection.
+  /// vector it borrows must outlive the scheduler). KV storage is the
+  /// PAGED pool (core::PagedKVPool): fixed-size refcounted blocks with
+  /// per-slot block tables, shaped by `kv` — per-layer V-plane widths
+  /// from the Model are preserved inside the block geometry, so
+  /// pre-computed W_VO and condensed row-pruned layouts still cache only
+  /// what they need. The default PagedKVOptions sizes the pool so no
+  /// workload the old contiguous pool could serve can OOM; a smaller
+  /// num_blocks makes block exhaustion a typed kv_cache_full stop, and
+  /// kv.enable_prefix_sharing lets same-group requests with a common
+  /// prompt prefix alias blocks copy-on-write (memory only — transcripts
+  /// and metrics are bit-identical either way).
   /// Throws std::invalid_argument on a zero batch size (model validity
   /// is the Model's own job).
-  BatchedGenerationScheduler(const Model& model, std::size_t max_batch);
+  BatchedGenerationScheduler(const Model& model, std::size_t max_batch,
+                             core::PagedKVOptions kv = {});
 
   /// Enqueue a request; returns its id (index into run()'s results).
   /// Admission to a slot happens at the next tick.
@@ -82,8 +94,9 @@ class BatchedGenerationScheduler {
     return results_.at(id).tokens;
   }
 
-  /// The slot storage, for capacity/memory accounting (kv_bytes gauge).
-  [[nodiscard]] const core::KVCachePool& pool() const noexcept {
+  /// The paged slot storage, for capacity/memory accounting (the
+  /// kv_bytes gauges count resident blocks) and the sharing stats.
+  [[nodiscard]] const core::PagedKVPool& pool() const noexcept {
     return pool_;
   }
 
@@ -126,7 +139,6 @@ class BatchedGenerationScheduler {
  private:
   struct ActiveSlot {
     std::size_t request_id = 0;
-    std::int32_t next_token = 0;
     std::size_t replayed = 0;  ///< resume_tokens consumed so far
   };
 
@@ -134,7 +146,7 @@ class BatchedGenerationScheduler {
   void retire(std::size_t pool_slot, StopReason reason);
 
   Model model_;
-  core::KVCachePool pool_;
+  core::PagedKVPool pool_;
   std::vector<std::optional<ActiveSlot>> slots_;  // index == pool slot id
   std::deque<std::size_t> queue_;                 // pending request ids
 

@@ -94,7 +94,32 @@ void GenerationSession::reset() {
 GenerationResult generate(core::ExecContext& ctx, GenerationSession& session,
                           const DecodeParams& params) {
   GenerationResult result;
-  std::int32_t token = params.first_token;
+  if (params.max_new_tokens == 0) {
+    result.stop_reason = StopReason::kMaxTokens;
+    return result;
+  }
+  const std::vector<std::int32_t> prompt = params.prompt();
+  // Prefill: positions 0..n-2 populate the KV caches and emit nothing;
+  // their hidden states are discarded. Capacity and fault stops degrade
+  // exactly like the decode loop's — the (empty) partial reply is kept.
+  for (std::size_t t = 0; t + 1 < prompt.size(); ++t) {
+    if (session.at_capacity()) {
+      result.stop_reason = StopReason::kKvCacheFull;
+      return result;
+    }
+    try {
+      (void)session.step(ctx,
+                         params.embed(prompt[t], session.context_length()));
+    } catch (const gpusim::KernelFault& f) {
+      result.stop_reason = StopReason::kKernelFault;
+      result.fault_kernel = f.kernel();
+      return result;
+    } catch (const std::length_error&) {
+      result.stop_reason = StopReason::kKvCacheFull;
+      return result;
+    }
+  }
+  std::int32_t token = prompt.back();
   for (std::size_t t = 0; t < params.max_new_tokens; ++t) {
     if (session.at_capacity()) {
       result.stop_reason = StopReason::kKvCacheFull;

@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/kv_cache.hpp"
+#include "core/prefix_trie.hpp"
 #include "nn/encoder.hpp"
 #include "nn/model.hpp"
 
@@ -125,10 +127,28 @@ using SelectFn = std::function<std::int32_t(const tensor::MatrixF& hidden)>;
 /// of what a decode job IS, envelopes added per layer.
 struct DecodeParams {
   std::int32_t first_token = 0;
+  /// Optional multi-token prompt. Empty: the legacy single-token shape —
+  /// `first_token` alone seeds decoding. Non-empty: overrides
+  /// first_token; positions 0..n-2 prefill the KV caches (their hidden
+  /// states are discarded, nothing is emitted for them) and position n-1
+  /// decodes the first emission. The prompt is also what paged prefix
+  /// sharing keys on (core::PrefixTrie, docs/serving.md).
+  std::vector<std::int32_t> prompt_tokens;
+  /// Prefix-sharing scope; core::kNoPrefixGroup (the default) never
+  /// shares. Callers may put two requests in one group ONLY when their
+  /// embed closures are bit-identical functions — token ids alone do not
+  /// determine KV content, the embedding does.
+  std::uint64_t prefix_group = core::kNoPrefixGroup;
   std::size_t max_new_tokens = 0;
   EmbedFn embed;
   SelectFn select;
   std::int32_t eos_token = kNoEosToken;
+
+  /// The effective prompt: prompt_tokens, or the single first_token.
+  [[nodiscard]] std::vector<std::int32_t> prompt() const {
+    if (!prompt_tokens.empty()) return prompt_tokens;
+    return {first_token};
+  }
 };
 
 /// Autoregressive generation with graceful limits: feeds

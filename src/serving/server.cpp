@@ -24,7 +24,7 @@ std::vector<double> rate_bounds() {
 }  // namespace
 
 InferenceServer::InferenceServer(const nn::Model& model, ServerConfig cfg)
-    : sched_(model, cfg.max_batch), cfg_(cfg) {
+    : sched_(model, cfg.max_batch, cfg.kv), cfg_(cfg) {
   // Registration order fixes the snapshot's field order — the contract
   // et_cli --serve --json and bench/ablation_serving share.
   submitted_ = &metrics_.counter("requests_submitted");
@@ -53,6 +53,12 @@ InferenceServer::InferenceServer(const nn::Model& model, ServerConfig cfg)
   ttft_ = &metrics_.histogram("ttft_ticks", tick_bounds());
   e2e_ = &metrics_.histogram("e2e_ticks", tick_bounds());
   tokens_per_sec_ = &metrics_.histogram("tokens_per_sec", rate_bounds());
+  // Paged-KV fields register LAST so older snapshots remain a prefix of
+  // the scalar order above (the --json field-order contract).
+  kv_bytes_used_peak_gauge_ = &metrics_.gauge("kv_bytes_used_peak");
+  prefix_hits_gauge_ = &metrics_.gauge("prefix_hits");
+  prefix_shared_tokens_gauge_ = &metrics_.gauge("prefix_shared_tokens");
+  cow_splits_gauge_ = &metrics_.gauge("cow_splits");
 
   kv_bytes_gauge_->set(static_cast<double>(sched_.pool().memory_bytes()));
 }
@@ -451,7 +457,19 @@ void InferenceServer::finish_admitted(std::uint64_t id, std::size_t t,
 void InferenceServer::refresh_gauges(const gpusim::Device& dev) {
   queue_depth_gauge_->set(static_cast<double>(queue_depth()));
   active_slots_gauge_->set(static_cast<double>(sched_.active()));
-  kv_bytes_used_gauge_->set(static_cast<double>(sched_.pool().used_bytes()));
+  // Block-granular residency: aliased prefix blocks count ONCE, which is
+  // why a common-prefix storm's peak drops with sharing on (the
+  // ablation_serving gate). The peak is tickwise — sampled here, after
+  // the tick's retirements, so it is a stable function of the schedule.
+  const double used = static_cast<double>(sched_.pool().used_bytes());
+  kv_bytes_used_gauge_->set(used);
+  if (used > kv_used_peak_) kv_used_peak_ = used;
+  kv_bytes_used_peak_gauge_->set(kv_used_peak_);
+  const core::PagedKVStats& kv = sched_.pool().stats();
+  prefix_hits_gauge_->set(static_cast<double>(kv.prefix_hits));
+  prefix_shared_tokens_gauge_->set(
+      static_cast<double>(kv.prefix_shared_tokens));
+  cow_splits_gauge_->set(static_cast<double>(kv.cow_splits));
   health_gauge_->set(static_cast<double>(static_cast<std::uint8_t>(health())));
   const double us = dev.total_time_us();
   throughput_gauge_->set(

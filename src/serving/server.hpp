@@ -215,6 +215,12 @@ struct ServerConfig {
   /// Fast-reject requests whose queue budget the current backlog already
   /// makes unmeetable (RejectReason::kShed).
   bool enable_shedding = true;
+  /// Paged KV pool shape (block size, physical block count, prefix
+  /// sharing) handed straight to the scheduler — see core::PagedKVOptions
+  /// and docs/serving.md "Paged KV and prefix sharing". Sharing changes
+  /// kv_bytes_used only; transcripts and every other metric are
+  /// bit-identical with it on or off.
+  core::PagedKVOptions kv;
 };
 
 class InferenceServer {
@@ -381,6 +387,16 @@ class InferenceServer {
   Histogram* ttft_ = nullptr;
   Histogram* e2e_ = nullptr;
   Histogram* tokens_per_sec_ = nullptr;
+  // Paged-KV observability (registered after everything above so older
+  // scalar snapshots stay a prefix of newer ones). kv_bytes_used_peak is
+  // the gauge the shared-prefix ablation row gates on: block-granular
+  // residency at the tickwise high-water mark, where aliased prefixes
+  // count once.
+  Gauge* kv_bytes_used_peak_gauge_ = nullptr;
+  Gauge* prefix_hits_gauge_ = nullptr;
+  Gauge* prefix_shared_tokens_gauge_ = nullptr;
+  Gauge* cow_splits_gauge_ = nullptr;
+  double kv_used_peak_ = 0.0;
 };
 
 }  // namespace et::serving

@@ -81,6 +81,12 @@ struct Request {
   std::size_t max_new_tokens = 8;
   std::int32_t eos_token = nn::kNoEosToken;
   std::uint64_t seed = 0;
+  /// Optional multi-token prompt (overrides first_token when non-empty)
+  /// — the prefix-sharing axis of the sweep. Requests sharing a
+  /// prefix_group MUST also share `seed` (identical embed closures); the
+  /// harness mirrors the production contract, it does not check it.
+  std::vector<std::int32_t> prompt;
+  std::uint64_t prefix_group = core::kNoPrefixGroup;
 };
 
 /// A request's transcript: the API-visible result plus the hidden-state
@@ -106,10 +112,14 @@ inline std::vector<Outcome> run_sequential(
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& r = requests[i];
     nn::GenerationSession session(model);
-    outcomes[i].result = nn::generate(
-        ctx, session, r.first_token, r.max_new_tokens,
-        make_embed(opt.attn.d_model, r.seed),
-        make_select(vocab, &outcomes[i].hidden_hashes), r.eos_token);
+    nn::DecodeParams params;
+    params.first_token = r.first_token;
+    params.prompt_tokens = r.prompt;
+    params.max_new_tokens = r.max_new_tokens;
+    params.embed = make_embed(opt.attn.d_model, r.seed);
+    params.select = make_select(vocab, &outcomes[i].hidden_hashes);
+    params.eos_token = r.eos_token;
+    outcomes[i].result = nn::generate(ctx, session, params);
   }
   return outcomes;
 }
@@ -130,16 +140,19 @@ inline BatchedRun run_batched(gpusim::Device& dev,
                               const nn::EncoderOptions& opt,
                               std::size_t max_batch, std::size_t max_context,
                               const std::vector<Request>& requests,
-                              std::int32_t vocab, std::size_t threads = 1) {
+                              std::int32_t vocab, std::size_t threads = 1,
+                              core::PagedKVOptions kv = {}) {
   core::ExecContext ctx(dev, threads);
   BatchedRun run;
   run.outcomes.resize(requests.size());
   nn::BatchedGenerationScheduler sched(nn::Model(&layers, opt, max_context),
-                                       max_batch);
+                                       max_batch, kv);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& r = requests[i];
     nn::GenerationRequest req;
     req.first_token = r.first_token;
+    req.prompt_tokens = r.prompt;
+    req.prefix_group = r.prefix_group;
     req.max_new_tokens = r.max_new_tokens;
     req.embed = make_embed(opt.attn.d_model, r.seed);
     req.select = make_select(vocab, &run.outcomes[i].hidden_hashes);
@@ -176,6 +189,10 @@ struct ServedRun {
   std::vector<serving::RequestHandle> handles;
   std::size_t ticks = 0;
   std::string metrics_json;  ///< full snapshot at drain (determinism probe)
+  /// The same snapshot as named fields, for comparisons that must exempt
+  /// specific scalars (the sharing-differential exempts the four
+  /// sharing-observability gauges and nothing else).
+  std::vector<serving::ScalarField> scalars;
 };
 
 /// Drive an InferenceServer through a scripted arrival sequence and
@@ -200,6 +217,8 @@ inline ServedRun run_served(gpusim::Device& dev,
       const Arrival& a = arrivals[next];
       serving::Request req;
       req.first_token = a.request.first_token;
+      req.prompt_tokens = a.request.prompt;
+      req.prefix_group = a.request.prefix_group;
       req.max_new_tokens = a.request.max_new_tokens;
       req.embed = make_embed(opt.attn.d_model, a.request.seed);
       req.select = make_select(vocab, &run.outcomes[next].hidden_hashes);
@@ -219,7 +238,38 @@ inline ServedRun run_served(gpusim::Device& dev,
   }
   run.ticks = server.now();
   run.metrics_json = server.metrics().json(0);
+  run.scalars = server.metrics().scalars();
   return run;
+}
+
+/// The four scalars prefix sharing is ALLOWED to change — its own
+/// observability gauges. Everything else in the snapshot (every counter,
+/// stop-reason tally, latency histogram moment, the kv_bytes capacity
+/// gauge...) must be bit-identical with sharing on or off: sharing buys
+/// memory, never different behavior.
+inline const std::vector<std::string>& sharing_only_scalars() {
+  static const std::vector<std::string> names = {
+      "kv_bytes_used_peak", "prefix_hits", "prefix_shared_tokens",
+      "cow_splits"};
+  return names;
+}
+
+/// Compare two scalar snapshots field by field, exempting `except` by
+/// name. Field NAMES and ORDER must match exactly (both runs come from
+/// the same server build); exempted fields may differ in value only.
+inline void expect_scalars_identical_except(
+    const std::vector<serving::ScalarField>& a,
+    const std::vector<serving::ScalarField>& b,
+    const std::vector<std::string>& except) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].name, b[i].name) << "scalar order diverged at " << i;
+    bool exempt = false;
+    for (const std::string& n : except) exempt = exempt || n == a[i].name;
+    if (!exempt) {
+      EXPECT_EQ(a[i].value, b[i].value) << "scalar " << a[i].name;
+    }
+  }
 }
 
 /// The differential assertion: token streams, stop reasons, fault

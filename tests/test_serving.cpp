@@ -246,6 +246,150 @@ TEST(ServingDifferentialCross, ThreadCountsAgreeOnTranscriptsAndMetrics) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharing differential (docs/serving.md "Paged KV and prefix sharing"):
+// the same scripted storm with prefix sharing ON, OFF, and under the
+// contiguous reference layout (block_tokens = 0) must produce
+// bit-identical transcripts, tick counts, and metrics — every scalar
+// except the four sharing-observability gauges. Sharing buys memory,
+// never behavior, including under priority preemption and random-fault
+// retry storms.
+// ---------------------------------------------------------------------------
+
+/// Storm with two prefix groups (same-group arrivals share a prompt AND
+/// an embed seed — the sharing soundness contract), staggered so later
+/// members arrive inside the window where the first member's prompt
+/// blocks are registered and still resident, plus priority mix for
+/// preemption churn. `chaos` arms per-arrival fault-retry budgets.
+std::vector<Arrival> shared_prefix_storm(bool chaos) {
+  std::vector<Arrival> arrivals;
+  const auto add = [&](std::size_t tick, std::vector<std::int32_t> prompt,
+                       std::uint64_t group, std::uint64_t seed,
+                       std::size_t max_new, Priority prio) {
+    Request r;
+    r.prompt = std::move(prompt);
+    r.prefix_group = group;
+    r.seed = seed;
+    r.max_new_tokens = max_new;
+    Arrival a{tick, r};
+    a.priority = prio;
+    if (chaos) {
+      a.retry_budget = 2;
+      a.retry_backoff = 1;
+    }
+    arrivals.push_back(a);
+  };
+  const std::vector<std::int32_t> sys1{11, 12, 13, 14, 15, 16, 17, 18};
+  const std::vector<std::int32_t> sys2{21, 22, 23, 24, 25};
+  add(0, sys1, 1, 601, 3, Priority::kBulk);
+  add(1, sys2, 2, 602, 3, Priority::kNormal);
+  add(2, {}, et::core::kNoPrefixGroup, 31, 4, Priority::kNormal);
+  add(6, sys1, 1, 601, 3, Priority::kBulk);
+  add(7, sys1, 1, 601, 2, Priority::kInteractive);  // preempts a bulk
+  add(8, sys2, 2, 602, 3, Priority::kNormal);
+  return arrivals;
+}
+
+double scalar_value(const std::vector<et::serving::ScalarField>& scalars,
+                    const char* name) {
+  for (const auto& f : scalars) {
+    if (f.name == name) return f.value;
+  }
+  ADD_FAILURE() << "scalar " << name << " not in snapshot";
+  return 0.0;
+}
+
+class SharingDifferential : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SharingDifferential, OnOffContiguousAgreeOnEverythingButKvGauges) {
+  const std::size_t threads = GetParam();
+  const std::size_t max_context = 12;
+  const Model m = make_model(2, 32, 2, max_context, 57);
+  for (const bool chaos : {false, true}) {
+    SCOPED_TRACE(chaos ? "chaos storm" : "calm storm");
+    const auto arrivals = shared_prefix_storm(chaos);
+
+    ServerConfig on{2, 16};
+    on.kv.block_tokens = 3;
+    on.kv.enable_prefix_sharing = true;
+    ServerConfig off = on;
+    off.kv.enable_prefix_sharing = false;
+    ServerConfig contiguous = on;
+    contiguous.kv.block_tokens = 0;  // pre-paged reference layout
+
+    et::gpusim::Device d_on, d_off, d_contig;
+    if (chaos) {
+      d_on.fault_injector().arm_random(0.02, 777);
+      d_off.fault_injector().arm_random(0.02, 777);
+      d_contig.fault_injector().arm_random(0.02, 777);
+    }
+    const auto a = et::diff::run_served(d_on, m.layers, m.opt, max_context,
+                                        on, arrivals, kVocab, threads);
+    const auto b = et::diff::run_served(d_off, m.layers, m.opt, max_context,
+                                        off, arrivals, kVocab, threads);
+    const auto c = et::diff::run_served(d_contig, m.layers, m.opt,
+                                        max_context, contiguous, arrivals,
+                                        kVocab, threads);
+
+    et::diff::expect_bit_identical(a.outcomes, b.outcomes);
+    et::diff::expect_bit_identical(a.outcomes, c.outcomes);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.ticks, c.ticks);
+    et::diff::expect_scalars_identical_except(a.scalars, b.scalars,
+                                              et::diff::sharing_only_scalars());
+    et::diff::expect_scalars_identical_except(a.scalars, c.scalars,
+                                              et::diff::sharing_only_scalars());
+    // Sharing can only be off in the other two runs.
+    EXPECT_EQ(scalar_value(b.scalars, "prefix_hits"), 0.0);
+    EXPECT_EQ(scalar_value(c.scalars, "prefix_hits"), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SharingDifferential,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{8}));
+
+TEST(SharingEffectiveness, OverlappingGroupSharesBlocksAndLowersPeakBytes) {
+  // Calm overlap: one 8-token-prompt group whose later members arrive
+  // after the first member's blocks are registered (rows 3 and 6 flush at
+  // ticks 3 and 6) and before it retires — sharing MUST fire, and the
+  // peak KV residency must be strictly below the sharing-off run's.
+  const std::size_t max_context = 12;
+  const Model m = make_model(2, 32, 2, max_context, 58);
+  std::vector<Arrival> arrivals;
+  const std::vector<std::int32_t> sys{11, 12, 13, 14, 15, 16, 17, 18};
+  for (const std::size_t tick : {std::size_t{0}, std::size_t{6},
+                                 std::size_t{7}}) {
+    Request r;
+    r.prompt = sys;
+    r.prefix_group = 5;
+    r.seed = 900;
+    r.max_new_tokens = 3;
+    arrivals.push_back({tick, r});
+  }
+  ServerConfig on{3, 8};
+  on.kv.block_tokens = 3;
+  ServerConfig off = on;
+  off.kv.enable_prefix_sharing = false;
+
+  et::gpusim::Device d_on, d_off;
+  const auto a = et::diff::run_served(d_on, m.layers, m.opt, max_context, on,
+                                      arrivals, kVocab);
+  const auto b = et::diff::run_served(d_off, m.layers, m.opt, max_context,
+                                      off, arrivals, kVocab);
+  et::diff::expect_bit_identical(a.outcomes, b.outcomes);
+
+  EXPECT_GE(scalar_value(a.scalars, "prefix_hits"), 2.0);
+  EXPECT_GE(scalar_value(a.scalars, "prefix_shared_tokens"), 12.0);
+  EXPECT_LT(scalar_value(a.scalars, "kv_bytes_used_peak"),
+            scalar_value(b.scalars, "kv_bytes_used_peak"));
+  // Capacity is a pool constant — identical either way.
+  EXPECT_EQ(scalar_value(a.scalars, "kv_bytes"),
+            scalar_value(b.scalars, "kv_bytes"));
+  // Drained servers hold no blocks (the gauge reads zero at the end).
+  EXPECT_EQ(scalar_value(a.scalars, "kv_bytes_used"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // Resilience differential (the PR's acceptance bar): a preempted-then-
 // resumed request and a faulted-then-retried request must both produce
 // transcripts bit-identical to the undisturbed run, at threads {1,2,8}.
