@@ -1,41 +1,74 @@
-// Figure 8: attention-computation latency (steps ②–⑥ of Fig. 3) vs
-// sequence length for full on-the-fly, partial on-the-fly, and the
-// TensorRT-like attention, on the Transformer (d=800, H=4) and BERT_BASE
-// (d=768, H=12) configurations.
+// Figure 8, grown into the operator ablation: attention-computation
+// latency (steps ②–⑥ of Fig. 3) AND score-matrix traffic vs sequence
+// length for full on-the-fly, partial on-the-fly, and the streaming flash
+// operator, with the TensorRT-like attention as the paper's baseline — on
+// the Transformer (d=800, H=4) and BERT_BASE (d=768, H=12) configurations.
 //
-// Expected shape: both E.T. variants beat TensorRT at every length; full
-// OTF wins at short sequences, partial OTF takes over past a crossover in
-// the low-200s (the paper reports 224 and sets the adaptive threshold
-// there).
+// Expected shape: every E.T. variant beats TensorRT at every length; full
+// OTF wins only within one 16-row tile, flash takes over past seq 16 and
+// keeps winning (its Br-row tiles re-read K/V 4x less than OTF's 16-row
+// tiles). The score-bytes columns are the asymptotic story: OTF never
+// touches global memory with scores (0), partial-OTF materializes the
+// full S = Q·Kᵀ once (O(N²)), flash spills only the per-row (m, ℓ)
+// softmax statistics (O(N)). Every operator runs through
+// adaptive_attention with a forced policy — the same dispatch path
+// et_cli --attention uses.
+//
+// --smoke: small sweep with hard gates on the asymptotics (flash strictly
+// below partial-OTF at the longest length, linear vs quadratic growth);
+// exits nonzero on violation so ctest can pin the property.
+#include <cstdint>
 #include <functional>
 
 #include "bench_common.hpp"
-#include "core/attention.hpp"
+#include "core/adaptive.hpp"
 #include "gpusim/device.hpp"
 
 namespace {
 
 using et::core::AttentionConfig;
+using et::core::AttentionImpl;
 using et::core::AttentionWeights;
 
-/// Time of the attention-region kernels only (projection / output linears
-/// excluded — they are identical across the three implementations).
-double attention_region_us(
-    const std::function<void(et::gpusim::Device&)>& run) {
+struct RegionCost {
+  double us = 0.0;                 ///< attention-region kernel time
+  std::uint64_t score_bytes = 0;   ///< global-memory score-matrix traffic
+};
+
+/// Cost of the attention-region kernels only (projection / output linears
+/// excluded — they are identical across the implementations). Each run
+/// gets a fresh traffic-only device so launches never mix; the operator
+/// is pinned through AdaptivePolicy::forced, exactly like et_cli
+/// --attention, so the bench exercises the real dispatch path.
+RegionCost attention_region(AttentionImpl impl, const et::tensor::MatrixF& x,
+                            const AttentionWeights& w,
+                            const AttentionConfig& cfg) {
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
-  run(dev);
-  double us = 0.0;
+  et::core::AdaptivePolicy policy;
+  policy.forced = impl;
+  (void)et::core::adaptive_attention(ctx, x, w, cfg, policy);
+  RegionCost cost;
   for (const auto& k : dev.history()) {
     if (k.name.find("linear") != std::string::npos) continue;
-    us += k.time_us;
+    cost.us += k.time_us;
+    cost.score_bytes += k.score_bytes;
   }
-  return us;
+  return cost;
 }
 
-void sweep(const char* name, std::size_t d_model, std::size_t heads,
-           bool csv) {
+struct SweepResult {
+  // score-bytes at the two longest swept lengths, for the asymptotic
+  // gates (the longest is 2x the second-longest by construction).
+  std::uint64_t flash_half = 0, flash_max = 0;
+  std::uint64_t partial_half = 0, partial_max = 0;
+  std::size_t max_seq = 0;
+};
+
+SweepResult sweep(const char* name, std::size_t d_model, std::size_t heads,
+                  bool csv, bool json, std::size_t seq_step,
+                  std::size_t seq_max) {
   AttentionConfig cfg;
   cfg.d_model = d_model;
   cfg.num_heads = heads;
@@ -43,55 +76,135 @@ void sweep(const char* name, std::size_t d_model, std::size_t heads,
   cfg.causal_mask = false;
   const AttentionWeights w = et::core::make_dense_weights(cfg, 11);
 
-  et::bench::Table table({"seq_len", "TensorRT_us", "full_OTF_us",
-                          "partial_OTF_us", "OTF_vs_TRT", "winner"},
-                         csv);
+  et::bench::Table table(
+      {"seq_len", "TensorRT_us", "full_OTF_us", "partial_OTF_us", "flash_us",
+       "OTF_scoreB", "partial_scoreB", "flash_scoreB", "ET_vs_TRT", "winner"},
+      csv, json);
   double sum_speedup = 0.0;
   int count = 0;
-  std::size_t crossover = 0;
-  for (std::size_t seq = 64; seq <= 512; seq += 32) {
+  std::size_t flash_crossover = 0;
+  SweepResult result;
+  for (std::size_t seq = seq_step; seq <= seq_max; seq += seq_step) {
     cfg.seq_len = seq;
     et::tensor::MatrixF x(seq, d_model);
     AttentionConfig trt_cfg = cfg;
     trt_cfg.precision = et::numeric::Precision::kMixed;
     trt_cfg.scale_before_multiply = false;
-    const double trt = attention_region_us([&](et::gpusim::Device& dev) {
-      et::core::ExecContext ctx(dev);
-      (void)et::core::fused_attention(ctx, x, w, trt_cfg);
-    });
-    const double full = attention_region_us([&](et::gpusim::Device& dev) {
-      et::core::ExecContext ctx(dev);
-      (void)et::core::otf_attention(ctx, x, w, cfg);
-    });
-    const double partial = attention_region_us([&](et::gpusim::Device& dev) {
-      et::core::ExecContext ctx(dev);
-      (void)et::core::partial_otf_attention(ctx, x, w, cfg);
-    });
-    const double best = std::min(full, partial);
+    const RegionCost trt = attention_region(AttentionImpl::kFused, x, w,
+                                            trt_cfg);
+    const RegionCost full = attention_region(AttentionImpl::kOtf, x, w, cfg);
+    const RegionCost partial = attention_region(AttentionImpl::kPartialOtf,
+                                                x, w, cfg);
+    const RegionCost flash = attention_region(AttentionImpl::kFlash, x, w,
+                                              cfg);
+    const double best =
+        std::min(flash.us, std::min(full.us, partial.us));
     if (seq >= 64 && seq <= 256) {
-      sum_speedup += trt / best;
+      sum_speedup += trt.us / best;
       ++count;
     }
-    if (crossover == 0 && partial < full) crossover = seq;
-    table.add_row({std::to_string(seq), et::bench::fmt(trt, 1),
-                   et::bench::fmt(full, 1), et::bench::fmt(partial, 1),
-                   et::bench::fmt_ratio(trt / best),
-                   full <= partial ? "full" : "partial"});
+    if (flash_crossover == 0 && flash.us < full.us &&
+        flash.us < partial.us) {
+      flash_crossover = seq;
+    }
+    const char* winner = flash.us <= full.us && flash.us <= partial.us
+                             ? "flash"
+                             : (full.us <= partial.us ? "full" : "partial");
+    table.add_row({std::to_string(seq), et::bench::fmt(trt.us, 1),
+                   et::bench::fmt(full.us, 1), et::bench::fmt(partial.us, 1),
+                   et::bench::fmt(flash.us, 1),
+                   std::to_string(full.score_bytes),
+                   std::to_string(partial.score_bytes),
+                   std::to_string(flash.score_bytes),
+                   et::bench::fmt_ratio(trt.us / best), winner});
+    if (seq == seq_max / 2) {
+      result.flash_half = flash.score_bytes;
+      result.partial_half = partial.score_bytes;
+    }
+    if (seq == seq_max) {
+      result.flash_max = flash.score_bytes;
+      result.partial_max = partial.score_bytes;
+      result.max_seq = seq;
+    }
   }
-  std::printf("\n%s (d_model=%zu, H=%zu)\n\n", name, d_model, heads);
+  if (!json) {
+    std::printf("\n%s (d_model=%zu, H=%zu)\n\n", name, d_model, heads);
+  }
   table.print();
-  std::printf("\navg speedup over TensorRT (seq 64-256): %.1fx; "
-              "full->partial crossover at seq=%zu (paper: ~224)\n",
-              sum_speedup / count, crossover);
+  if (!json) {
+    std::printf("\navg speedup over TensorRT (seq 64-256): %.1fx; flash "
+                "takes over from seq=%zu (threshold: one 16-row OTF tile); "
+                "score traffic at seq=%zu: partial %llu B (O(N^2)) vs "
+                "flash %llu B (O(N))\n",
+                sum_speedup / count, flash_crossover, result.max_seq,
+                static_cast<unsigned long long>(result.partial_max),
+                static_cast<unsigned long long>(result.flash_max));
+  }
+  return result;
+}
+
+/// The --smoke gates: hard-fail (exit 1) if the asymptotics the flash
+/// operator exists for do not hold in the traffic model.
+bool check_asymptotics(const SweepResult& r) {
+  bool ok = true;
+  if (r.flash_max >= r.partial_max) {
+    std::fprintf(stderr,
+                 "FAIL: flash score bytes (%llu) not strictly below "
+                 "partial-OTF's (%llu) at seq_len=%zu\n",
+                 static_cast<unsigned long long>(r.flash_max),
+                 static_cast<unsigned long long>(r.partial_max), r.max_seq);
+    ok = false;
+  }
+  // Doubling the sequence must exactly double flash's score traffic (the
+  // per-row (m, ℓ) statistics are linear in N)...
+  if (r.flash_max != 2 * r.flash_half) {
+    std::fprintf(stderr,
+                 "FAIL: flash score bytes not linear: %llu at seq/2 vs "
+                 "%llu at seq (want exactly 2x)\n",
+                 static_cast<unsigned long long>(r.flash_half),
+                 static_cast<unsigned long long>(r.flash_max));
+    ok = false;
+  }
+  // ...and exactly quadruple partial-OTF's (the materialized S is N×N).
+  if (r.partial_max != 4 * r.partial_half) {
+    std::fprintf(stderr,
+                 "FAIL: partial-OTF score bytes not quadratic: %llu at "
+                 "seq/2 vs %llu at seq (want exactly 4x)\n",
+                 static_cast<unsigned long long>(r.partial_half),
+                 static_cast<unsigned long long>(r.partial_max));
+    ok = false;
+  }
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool csv = et::bench::csv_mode(argc, argv);
-  std::printf("Figure 8 — attention implementations vs sequence length "
-              "(paper: avg 2.5x Transformer / 3.3x BERT over TensorRT)\n");
-  sweep("Transformer", 800, 4, csv);
-  sweep("BERT_BASE", 768, 12, csv);
-  return 0;
+  const bool json = et::bench::json_mode(argc, argv);
+  const bool smoke = et::bench::flag_set(argc, argv, "--smoke");
+  if (smoke) {
+    // Small sweep whose two longest lengths are 256 and 512 — enough to
+    // pin the O(N) vs O(N^2) contract under ctest in milliseconds.
+    const SweepResult r =
+        sweep("BERT_BASE", 768, 12, csv, json, /*seq_step=*/128,
+              /*seq_max=*/512);
+    if (!check_asymptotics(r)) return 1;
+    std::printf("smoke OK: flash %llu B < partial %llu B at seq %zu; "
+                "linear vs quadratic growth verified\n",
+                static_cast<unsigned long long>(r.flash_max),
+                static_cast<unsigned long long>(r.partial_max), r.max_seq);
+    return 0;
+  }
+  if (!json) {
+    std::printf("Figure 8 — attention implementations vs sequence length "
+                "(paper: avg 2.5x Transformer / 3.3x BERT over TensorRT)\n");
+  }
+  const SweepResult tr = sweep("Transformer", 800, 4, csv, json,
+                               /*seq_step=*/32, /*seq_max=*/512);
+  const SweepResult bb = sweep("BERT_BASE", 768, 12, csv, json,
+                               /*seq_step=*/32, /*seq_max=*/512);
+  // The asymptotic contract holds in every mode, not just --smoke; a
+  // bench that prints numbers contradicting the paper should not pass.
+  return check_asymptotics(tr) && check_asymptotics(bb) ? 0 : 1;
 }

@@ -1,7 +1,10 @@
 // Sequence-length-aware dispatch (§3.2) in action: watch E.T. choose
-// between the full and partial on-the-fly operators as the sequence grows,
-// and see the Eq. 6 shared-memory constraint force the partial variant on
-// a hypothetical device with a small scratchpad.
+// between the streaming flash operator and the full/partial on-the-fly
+// operators as the sequence grows, and see the shared-memory constraints
+// (Eq. 6 for OTF, the Br×Bc tile for flash) force degraded variants on a
+// hypothetical device with a small scratchpad. A final section shows the
+// forced override — the mechanism behind et_cli --attention — pinning
+// each of the five operators regardless of shape.
 //
 //   $ ./examples/adaptive_attention
 #include <cstdio>
@@ -22,18 +25,50 @@ void sweep(et::gpusim::Device& dev, const char* title) {
 
   std::printf("\n%s (shared memory per CTA: %zu KB)\n", title,
               dev.spec().shared_mem_per_cta_bytes / 1024);
-  std::printf("%8s  %14s  %10s  %12s\n", "seq_len", "Eq.6 bytes", "fits?",
-              "chosen impl");
+  std::printf("%8s  %14s  %6s  %13s  %6s  %12s\n", "seq_len", "Eq.6 bytes",
+              "fits?", "flash bytes", "fits?", "chosen impl");
   et::core::AdaptivePolicy policy;
   policy.auto_tune = true;  // decide by replaying the latency model
   for (std::size_t seq = 64; seq <= 512; seq += 64) {
     cfg.seq_len = seq;
     et::tensor::MatrixF x(seq, cfg.d_model);
-    const std::size_t bytes = et::core::otf_shared_bytes(cfg);
+    const std::size_t otf_bytes = et::core::otf_shared_bytes(cfg);
+    // Seq-independent by design: the Br×Bc tile never grows with seq_len.
+    const std::size_t flash_bytes = et::core::flash_shared_bytes(cfg);
     const auto impl = et::core::choose_attention_impl(dev, x, w, cfg, policy);
-    std::printf("%8zu  %14zu  %10s  %12s\n", seq, bytes,
-                dev.fits_shared(bytes) ? "yes" : "NO",
+    std::printf("%8zu  %14zu  %6s  %13zu  %6s  %12s\n", seq, otf_bytes,
+                dev.fits_shared(otf_bytes) ? "yes" : "NO", flash_bytes,
+                dev.fits_shared(flash_bytes) ? "yes" : "NO",
                 std::string(to_string(impl)).c_str());
+  }
+}
+
+// The forced override: pin every operator in turn on one shape. This is
+// what et_cli --attention and the bench ablations go through — selection
+// is bypassed, but the degradation chain still guards the launch.
+void forced_demo(et::gpusim::Device& dev) {
+  et::core::AttentionConfig cfg;
+  cfg.d_model = 768;
+  cfg.num_heads = 12;
+  cfg.seq_len = 256;
+  cfg.precision = et::numeric::Precision::kPureFp16;
+  const auto w = et::core::make_dense_weights(cfg, 3);
+  et::tensor::MatrixF x(cfg.seq_len, cfg.d_model);
+
+  std::printf("\nforced override (seq_len 256 on %s)\n",
+              dev.spec().name.c_str());
+  constexpr et::core::AttentionImpl kAll[] = {
+      et::core::AttentionImpl::kModular, et::core::AttentionImpl::kFused,
+      et::core::AttentionImpl::kOtf, et::core::AttentionImpl::kPartialOtf,
+      et::core::AttentionImpl::kFlash};
+  for (const auto impl : kAll) {
+    et::core::AdaptivePolicy policy;
+    policy.forced = impl;
+    const auto chosen = et::core::choose_attention_impl(dev, x, w, cfg,
+                                                        policy);
+    std::printf("  forced=%-11s -> runs %s\n",
+                std::string(to_string(impl)).c_str(),
+                std::string(to_string(chosen)).c_str());
   }
 }
 
@@ -45,9 +80,9 @@ int main(int, char**) {
   et::gpusim::Device v100(et::gpusim::v100s());
   sweep(v100, "V100S (96 KB shared memory)");
 
-  // A hypothetical accelerator with a tiny scratchpad: the full OTF
-  // operator cannot stage its score row, so the dispatcher must fall back
-  // to the partial variant even at short sequences.
+  // A hypothetical accelerator with a tiny scratchpad: neither the Eq. 6
+  // score row nor the flash Br×Bc tile can be staged, so the dispatcher
+  // must fall back to the partial variant even at short sequences.
   et::gpusim::DeviceSpec tiny = et::gpusim::v100s();
   tiny.name = "tiny-scratchpad accelerator";
   tiny.shared_mem_per_cta_bytes = 4 * 1024;
@@ -58,5 +93,7 @@ int main(int, char**) {
   // the crossover.
   et::gpusim::Device a100(et::gpusim::a100());
   sweep(a100, "A100 (164 KB shared memory)");
+
+  forced_demo(v100);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/adaptive.hpp"
 #include "core/weights.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/profiler.hpp"
@@ -30,6 +31,10 @@ struct Args {
   std::string model = "bert_base";
   std::string pipeline = "et";
   std::string strategy = "none";
+  // E.T. attention operator: a name core::from_string accepts pins
+  // adaptive.forced; "auto" leaves selection to choose_attention_impl.
+  // Distinct from --strategy, which picks the *pruning* strategy.
+  std::string attention = "auto";
   std::string device = "v100s";
   std::size_t seq = 128;
   std::size_t batch = 0;    // > 0: batched-generation serving demo
@@ -166,6 +171,19 @@ bool parse(int argc, char** argv, Args& a) {
     if (arg == "--model") { if (next(arg, v)) a.model = v; }
     else if (arg == "--pipeline") { if (next(arg, v)) a.pipeline = v; }
     else if (arg == "--strategy") { if (next(arg, v)) a.strategy = v; }
+    else if (arg == "--attention") {
+      if (next(arg, v)) {
+        if (v != "auto" && !et::core::from_string(v)) {
+          std::fprintf(stderr,
+                       "bad value for --attention: '%s' (want modular | "
+                       "fused | otf | partial_otf | flash | auto)\n",
+                       v.c_str());
+          ok = false;
+        } else {
+          a.attention = v;
+        }
+      }
+    }
     else if (arg == "--device") { if (next(arg, v)) a.device = v; }
     else if (arg == "--seq") next_size(arg, a.seq);
     else if (arg == "--batch") next_size(arg, a.batch);
@@ -252,6 +270,11 @@ void usage() {
       "  --model     transformer | bert_base | distilbert | bert_large\n"
       "  --pipeline  pytorch | tensorrt | fastertransformer | et\n"
       "  --strategy  none | irregular | column | tile | attention-aware\n"
+      "  --attention modular | fused | otf | partial_otf | flash | auto\n"
+      "              pin the E.T. attention operator (default auto: the\n"
+      "              adaptive dispatch picks; docs/attention.md). Distinct\n"
+      "              from --strategy, which selects the pruning strategy.\n"
+      "              Launch-time faults still degrade down the chain\n"
       "  --ratio     pruning ratio in [0, 1)          (default 0)\n"
       "  --seq       sequence length                  (default 128)\n"
       "  --batch N   serving demo: decode N sequences through the\n"
@@ -294,8 +317,8 @@ void usage() {
       "              arm deterministic fault injection and show recovery.\n"
       "              SPEC: kernel=<substr> | nth=<N> | alloc=<bytes> |\n"
       "                    random=<frac>[:seed]\n"
-      "              e.g. --inject-fault kernel=otf_attention with the et\n"
-      "              pipeline demos the otf->partial_otf fallback chain\n");
+      "              e.g. --inject-fault kernel=flash_attention with the et\n"
+      "              pipeline demos the flash->otf fallback chain\n");
 }
 
 /// Build the two-layer decode stack --serve/--batch run, in the layout
@@ -400,6 +423,12 @@ int main(int argc, char** argv) {
                                              : et::nn::Pipeline::kET;
   const et::gpusim::DeviceSpec spec =
       args.device == "a100" ? et::gpusim::a100() : et::gpusim::v100s();
+  // "auto" keeps adaptive selection; anything else was validated by parse()
+  // and pins the operator through AdaptivePolicy::forced (only the E.T.
+  // pipeline consults the policy — baselines model fixed engines).
+  const std::optional<et::core::AttentionImpl> forced_attention =
+      args.attention == "auto" ? std::optional<et::core::AttentionImpl>{}
+                               : et::core::from_string(args.attention);
 
   // Build weights: dense, or pruned through the requested strategy.
   et::nn::EncoderWeights weights;
@@ -437,8 +466,9 @@ int main(int argc, char** argv) {
     // 8), bounded queue, optional per-request deadlines.
     std::vector<et::nn::EncoderWeights> layers;
     if (!build_serving_layers(args, model, weights, layers)) return 2;
-    const auto gopt =
+    auto gopt =
         et::nn::options_for(pipeline, model, args.seq, /*causal=*/true);
+    gopt.adaptive.forced = forced_attention;
     const std::size_t requested = args.batch == 0 ? 4 : args.batch;
     const std::size_t slots = requested < 8 ? requested : 8;
     const et::nn::Model handle(&layers, gopt, args.tokens + 1);
@@ -490,10 +520,11 @@ int main(int argc, char** argv) {
                   spec.name.c_str());
       std::printf("  \"requests\": %zu, \"slots\": %zu, \"queue_capacity\": "
                   "%zu, \"offered_per_tick\": %zu, \"threads\": %zu, "
-                  "\"weights\": \"%s\",\n",
+                  "\"weights\": \"%s\", \"attention\": \"%s\",\n",
                   args.requests, slots, args.queue_cap, args.arrive,
                   ctx.threads(),
-                  std::string(handle.weight_layout()).c_str());
+                  std::string(handle.weight_layout()).c_str(),
+                  args.attention.c_str());
       std::printf("  \"retries\": %zu, \"backoff_ticks\": %zu, "
                   "\"preempt\": %s,\n",
                   args.retries, args.backoff_ticks,
@@ -566,8 +597,9 @@ int main(int argc, char** argv) {
     // model's width, up to 8 slots, queue + backfill beyond that.
     std::vector<et::nn::EncoderWeights> layers;
     if (!build_serving_layers(args, model, weights, layers)) return 2;
-    const auto gopt =
+    auto gopt =
         et::nn::options_for(pipeline, model, args.seq, /*causal=*/true);
+    gopt.adaptive.forced = forced_attention;
     const std::size_t max_batch = args.batch < 8 ? args.batch : 8;
     const et::nn::Model handle(&layers, gopt, args.tokens + 1);
     et::nn::BatchedGenerationScheduler sched(handle, max_batch);
@@ -595,9 +627,10 @@ int main(int argc, char** argv) {
                   model.name.c_str(), args.pipeline.c_str(),
                   spec.name.c_str());
       std::printf("  \"batch\": %zu, \"threads\": %zu, \"slots\": %zu, "
-                  "\"weights\": \"%s\",\n",
+                  "\"weights\": \"%s\", \"attention\": \"%s\",\n",
                   args.batch, ctx.threads(), max_batch,
-                  std::string(handle.weight_layout()).c_str());
+                  std::string(handle.weight_layout()).c_str(),
+                  args.attention.c_str());
       std::printf("  \"total_tokens\": %zu, \"ticks\": %zu, "
                   "\"batched_ticks\": %zu, \"per_slot_fallback_ticks\": "
                   "%zu,\n",
@@ -672,9 +705,10 @@ int main(int argc, char** argv) {
   }
 
   et::tensor::MatrixF x(args.seq, model.d_model);
+  auto opt = et::nn::options_for(pipeline, model, args.seq);
+  opt.adaptive.forced = forced_attention;
   try {
-    (void)et::nn::encoder_forward(
-        ctx, x, weights, et::nn::options_for(pipeline, model, args.seq));
+    (void)et::nn::encoder_forward(ctx, x, weights, opt);
   } catch (const et::gpusim::KernelFault& f) {
     // Only the E.T. pipeline routes attention through the resilient
     // adaptive dispatch; the baselines die on the first fault — which is
@@ -700,9 +734,11 @@ int main(int argc, char** argv) {
   if (args.json) {
     std::printf("{\"model\": \"%s\", \"pipeline\": \"%s\", \"seq\": %zu, "
                 "\"device\": \"%s\", \"threads\": %zu, \"ratio\": %.2f, "
-                "\"layer_us\": %.1f, \"model_ms\": %.2f, \"kernels\": %zu}\n",
+                "\"attention\": \"%s\", \"layer_us\": %.1f, "
+                "\"model_ms\": %.2f, \"kernels\": %zu}\n",
                 model.name.c_str(), args.pipeline.c_str(), args.seq,
-                spec.name.c_str(), ctx.threads(), args.ratio, layer_us,
+                spec.name.c_str(), ctx.threads(), args.ratio,
+                args.attention.c_str(), layer_us,
                 layer_us * static_cast<double>(model.num_layers) / 1e3,
                 dev.launch_count());
     if (!args.trace.empty()) {
@@ -714,6 +750,9 @@ int main(int argc, char** argv) {
               args.pipeline.c_str(), args.seq, spec.name.c_str());
   if (args.ratio > 0.0) {
     std::printf(" · %s @ %.0f%%", args.strategy.c_str(), 100 * args.ratio);
+  }
+  if (args.attention != "auto") {
+    std::printf(" · %s attention", args.attention.c_str());
   }
   std::printf("\n  %.1f us / layer,  %.2f ms for the %zu-layer model,  "
               "%zu kernels\n",

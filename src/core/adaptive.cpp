@@ -8,32 +8,60 @@ AttentionImpl choose_attention_impl(const gpusim::Device& dev,
                                     const AttentionConfig& cfg,
                                     const AdaptivePolicy& policy) {
   cfg.validate();
-  // Hard constraint first: the full OTF kernel must fit Eq. 6 in shared
-  // memory.
-  if (!dev.fits_shared(otf_shared_bytes(cfg))) {
-    return AttentionImpl::kPartialOtf;
-  }
+  // A forced operator is a contract, not a heuristic: start there (the
+  // degradation chain still applies if it fails at launch time).
+  if (policy.forced) return *policy.forced;
+  const bool flash_fits = dev.fits_shared(flash_shared_bytes(cfg));
+  const bool otf_fits = dev.fits_shared(otf_shared_bytes(cfg));
   if (!policy.auto_tune) {
+    if (flash_fits && cfg.seq_len > policy.flash_min_seq) {
+      return AttentionImpl::kFlash;
+    }
+    // Flash out of the picture (short sequence, or a tile too big for the
+    // scratchpad): the paper's original §3.2 decision between the OTF
+    // variants, with the Eq. 6 capacity constraint checked first.
+    if (!otf_fits) return AttentionImpl::kPartialOtf;
     return cfg.seq_len > policy.partial_otf_min_seq
                ? AttentionImpl::kPartialOtf
                : AttentionImpl::kOtf;
   }
-  // Replay both variants against the latency model only (no math, so a
-  // serial scratch context is all that's needed).
+  // Replay each feasible variant against the latency model only (no math,
+  // so a serial scratch context is all that's needed) and keep the lowest
+  // modeled time; ties go to the earlier candidate.
   const auto replay = [&](AttentionImpl impl) {
     gpusim::Device scratch(dev.spec());
     scratch.set_traffic_only(true);
     ExecContext scratch_ctx(scratch);
-    if (impl == AttentionImpl::kOtf) {
-      (void)otf_attention(scratch_ctx, x, w, cfg);
-    } else {
-      (void)partial_otf_attention(scratch_ctx, x, w, cfg);
+    switch (impl) {
+      case AttentionImpl::kFlash:
+        (void)flash_attention(scratch_ctx, x, w, cfg);
+        break;
+      case AttentionImpl::kOtf:
+        (void)otf_attention(scratch_ctx, x, w, cfg);
+        break;
+      default:
+        (void)partial_otf_attention(scratch_ctx, x, w, cfg);
+        break;
     }
     return scratch.total_time_us();
   };
-  return replay(AttentionImpl::kOtf) <= replay(AttentionImpl::kPartialOtf)
-             ? AttentionImpl::kOtf
-             : AttentionImpl::kPartialOtf;
+  AttentionImpl best = AttentionImpl::kPartialOtf;  // always feasible
+  double best_us = replay(best);
+  if (otf_fits) {
+    const double t = replay(AttentionImpl::kOtf);
+    if (t <= best_us) {
+      best = AttentionImpl::kOtf;
+      best_us = t;
+    }
+  }
+  if (flash_fits) {
+    const double t = replay(AttentionImpl::kFlash);
+    if (t <= best_us) {
+      best = AttentionImpl::kFlash;
+      best_us = t;
+    }
+  }
+  return best;
 }
 
 namespace {
@@ -42,6 +70,8 @@ tensor::MatrixF run_impl(AttentionImpl impl, ExecContext& ctx,
                          const tensor::MatrixF& x, const AttentionWeights& w,
                          const AttentionConfig& cfg) {
   switch (impl) {
+    case AttentionImpl::kFlash:
+      return flash_attention(ctx, x, w, cfg);
     case AttentionImpl::kOtf:
       return otf_attention(ctx, x, w, cfg);
     case AttentionImpl::kPartialOtf:
@@ -62,17 +92,17 @@ tensor::MatrixF adaptive_attention(ExecContext& ctx, const tensor::MatrixF& x,
                                    const AdaptivePolicy& policy) {
   gpusim::Device& dev = ctx.device();
   cfg.validate();
-  // All four implementations compute the same function (the tests assert
+  // All five implementations compute the same function (the tests assert
   // cross-equivalence), so any faster operator that fails mid-flight can
   // be substituted by the next slower one without changing the answer —
-  // the FlashAttention exact-fallback guarantee. Walk the chain from the
-  // chosen operator toward kModular, the always-safe baseline; each hop is
-  // reported to the device so degradation is observable, not silent.
-  // Launches already recorded by a failed attempt stay in the log: that is
-  // real (wasted) work the profiler should charge for.
+  // the exact-fallback guarantee. Walk the chain from the chosen operator
+  // toward kModular, the always-safe baseline; each hop is reported to
+  // the device so degradation is observable, not silent. Launches already
+  // recorded by a failed attempt stay in the log: that is real (wasted)
+  // work the profiler should charge for.
   static constexpr AttentionImpl kChain[] = {
-      AttentionImpl::kOtf, AttentionImpl::kPartialOtf, AttentionImpl::kFused,
-      AttentionImpl::kModular};
+      AttentionImpl::kFlash, AttentionImpl::kOtf, AttentionImpl::kPartialOtf,
+      AttentionImpl::kFused, AttentionImpl::kModular};
   constexpr std::size_t kChainLen = std::size(kChain);
 
   const AttentionImpl first = choose_attention_impl(dev, x, w, cfg, policy);

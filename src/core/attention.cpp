@@ -111,13 +111,41 @@ bool try_fused_qkv(ExecContext& ctx, const tensor::MatrixF& x,
   return true;
 }
 
+/// Q from the decoder input, K and the context operand from the encoder
+/// memory — shared by both cross-attention operators.
+Projections project_cross(ExecContext& ctx, const tensor::MatrixF& x,
+                          const tensor::MatrixF& memory,
+                          const AttentionWeights& w,
+                          const AttentionConfig& cfg) {
+  kernels::LinearOptions opt;
+  opt.precision = cfg.precision;
+  Projections pr;
+  pr.q = kernels::linear(ctx, x, w.wq, opt, "xattn_q_linear").y;
+  pr.k = kernels::linear(ctx, memory, w.wk, opt, "xattn_k_linear").y;
+  if (w.has_precomputed()) {
+    pr.vo = &w.vo;
+    pr.ctx = kernels::gemm_nt(ctx, memory, w.vo.weight, cfg.precision,
+                              nullptr, "xattn_vo_linear");
+  } else if (w.v_condensable(cfg.num_heads)) {
+    opt.scatter_row_pruned_output = false;
+    auto res = kernels::linear(ctx, memory, w.wv, opt, "xattn_v_linear");
+    pr.ctx = std::move(res.y);
+    pr.v_kept = std::move(res.nonzero_cols);
+  } else {
+    pr.ctx = kernels::linear(ctx, memory, w.wv, opt, "xattn_v_linear").y;
+  }
+  return pr;
+}
+
 /// Record a batched per-head GEMM kernel (one launch covering all heads),
 /// e.g. torch.bmm or the TensorRT batched-GEMM step. Loads both operands
-/// once, stores the result once.
+/// once, stores the result once. `score_elems` tags how many of those
+/// elements belong to the S matrix (stored by Q·Kᵀ, loaded by S·V).
 void record_batched_gemm(gpusim::Device& dev, std::string name,
                          std::size_t load_elems_a, std::size_t load_elems_b,
                          std::size_t store_elems, std::uint64_t flops,
-                         std::size_t ctas, Precision p) {
+                         std::size_t ctas, Precision p,
+                         std::size_t score_elems = 0) {
   const std::size_t sb = numeric::storage_bytes(p);
   auto launch = dev.launch({.name = std::move(name),
                             .ctas = ctas,
@@ -126,6 +154,7 @@ void record_batched_gemm(gpusim::Device& dev, std::string name,
                             .pattern = AccessPattern::kTiled});
   launch.load_bytes((load_elems_a + load_elems_b) * sb);
   launch.store_bytes(store_elems * sb);
+  launch.score_bytes(static_cast<std::uint64_t>(score_elems) * sb);
   if (p == Precision::kFp32) {
     launch.fp_ops(flops);
   } else {
@@ -147,10 +176,14 @@ void record_score_stream(gpusim::Device& dev, std::string name,
                   .ctas = std::max<std::size_t>(1, elems / 4096),
                   .shared_bytes_per_cta = 0,
                   .pattern = AccessPattern::kStrided});
-  launch.load_bytes(
-      static_cast<std::uint64_t>(static_cast<double>(elems * sb) * load_frac));
-  launch.store_bytes(static_cast<std::uint64_t>(
-      static_cast<double>(elems * sb) * store_frac));
+  const auto loads = static_cast<std::uint64_t>(
+      static_cast<double>(elems * sb) * load_frac);
+  const auto stores = static_cast<std::uint64_t>(
+      static_cast<double>(elems * sb) * store_frac);
+  launch.load_bytes(loads);
+  launch.store_bytes(stores);
+  // Everything a score-stream kernel touches IS the score matrix.
+  launch.score_bytes(loads + stores);
   launch.fp_ops(flops);
 }
 
@@ -164,17 +197,29 @@ tensor::MatrixF output_linear(ExecContext& ctx, const tensor::MatrixF& z,
 
 }  // namespace
 
-std::size_t otf_shared_bytes(const AttentionConfig& cfg) {
-  return otf_shared_bytes(cfg, cfg.seq_len);
-}
-
 std::size_t otf_shared_bytes(const AttentionConfig& cfg, std::size_t kv_len) {
+  if (kv_len == 0) kv_len = cfg.seq_len;  // self-attention
   const std::size_t acc = numeric::accumulator_bytes(cfg.precision);
   const std::size_t tile_height = 16;
   // Eq. 6: tileHeight·d_k (the Q tile) + tileHeight·kvLen (the score
   // tile row), plus a double-buffered 16×16 staging tile for K/V.
   return tile_height * cfg.d_k() * acc + tile_height * kv_len * acc +
          2 * 16 * 16 * numeric::storage_bytes(cfg.precision);
+}
+
+std::size_t flash_shared_bytes(const AttentionConfig& cfg,
+                               std::size_t kv_len) {
+  // Deliberately independent of how much K/V streams past the CTA — the
+  // score tile is Br×Bc no matter the sequence (or memory) length, which
+  // is why flash keeps fitting where Eq. 6 overflows.
+  (void)kv_len;
+  const std::size_t acc = numeric::accumulator_bytes(cfg.precision);
+  // Eq. 6 with the kvLen-wide score row replaced by the fixed Bc-wide
+  // block: Br·d_k (the Q tile) + Br·Bc (the score tile), plus
+  // double-buffered 16×16 staging tiles for both K and V.
+  return cfg.flash_block_rows * cfg.d_k() * acc +
+         cfg.flash_block_rows * cfg.flash_block_cols * acc +
+         4 * 16 * 16 * numeric::storage_bytes(cfg.precision);
 }
 
 // --------------------------------------------------------------------------
@@ -193,19 +238,19 @@ tensor::MatrixF modular_attention(ExecContext& ctx, const tensor::MatrixF& x,
 
   Projections pr = project(ctx, x, w, cfg, /*et_operators=*/false);
 
-  // torch.bmm(Q, K^T): batched over heads.
+  // torch.bmm(Q, K^T): batched over heads. S is stored once here…
   record_batched_gemm(dev, "bmm_qk", s * d, s * d, score_elems,
                       2ull * s * s * d, h * ceil_div(s, 128) * ceil_div(s, 128),
-                      p);
+                      p, score_elems);
   // Separate scale, mask, softmax kernels, each a full global round trip.
   record_score_stream(dev, "scale", score_elems, 1.0, 1.0, score_elems, p);
   record_score_stream(dev, "mask", score_elems, 1.0, 1.0, score_elems / 2, p);
   record_score_stream(dev, "softmax", score_elems, 1.0, 1.0, 5 * score_elems,
                       p);
-  // torch.bmm(S, V).
+  // …and loaded again by torch.bmm(S, V).
   record_batched_gemm(dev, "bmm_sv", score_elems, s * d, s * d,
                       2ull * s * s * d, h * ceil_div(s, 128) * ceil_div(d, 128),
-                      p);
+                      p, score_elems);
 
   tensor::MatrixF z =
       dev.traffic_only()
@@ -241,7 +286,7 @@ tensor::MatrixF fused_attention(ExecContext& ctx, const tensor::MatrixF& x,
   // element-wise scale into the GEMM epilogue).
   record_batched_gemm(dev, "trt_qk_scale", s * d, s * d, score_elems,
                       2ull * s * s * d + score_elems,
-                      h * ceil_div(s, 128) * ceil_div(s, 128), p);
+                      h * ceil_div(s, 128) * ceil_div(s, 128), p, score_elems);
   if (aggressive_fusion) {
     // FasterTransformer: ④+⑤ fused — S transits global memory once.
     record_score_stream(dev, "ft_mask_softmax", score_elems, 1.0, 1.0,
@@ -256,7 +301,7 @@ tensor::MatrixF fused_attention(ExecContext& ctx, const tensor::MatrixF& x,
   // ⑥ batched S·V.
   record_batched_gemm(dev, "trt_sv", score_elems, s * d, s * d,
                       2ull * s * s * d, h * ceil_div(s, 128) * ceil_div(d, 128),
-                      p);
+                      p, score_elems);
 
   tensor::MatrixF z =
       dev.traffic_only()
@@ -327,6 +372,78 @@ tensor::MatrixF otf_attention(ExecContext& ctx, const tensor::MatrixF& x,
 }
 
 // --------------------------------------------------------------------------
+// Streaming flash operator (FlashAttention-2): one kernel; each CTA owns a
+// Br-row query tile of one head — the seq-length work partitioning — and
+// streams K/V through its online softmax in Bc-column blocks. Q·Kᵀ and S
+// never exist in global memory at ANY sequence length; the only
+// score-derived global traffic is the per-row (m, ℓ) statistics, O(N).
+// --------------------------------------------------------------------------
+tensor::MatrixF flash_attention(ExecContext& ctx, const tensor::MatrixF& x,
+                                const AttentionWeights& w,
+                                const AttentionConfig& cfg) {
+  gpusim::Device& dev = ctx.device();
+  cfg.validate();
+  const std::size_t s = cfg.seq_len;
+  const std::size_t d = cfg.d_model;
+  const std::size_t h = cfg.num_heads;
+  const std::size_t sb = numeric::storage_bytes(cfg.precision);
+  const std::size_t acc = numeric::accumulator_bytes(cfg.precision);
+  const Precision p = cfg.precision;
+  const bool pre = w.has_precomputed();
+
+  Projections pr = project(ctx, x, w, cfg, /*et_operators=*/true);
+
+  const std::size_t row_tiles = ceil_div(s, cfg.flash_block_rows);
+  const std::size_t kv_blocks = ceil_div(s, cfg.flash_block_cols);
+  // Same CTA ownership rule as OTF (pre-computation keeps the head sum in
+  // registers), but over Br-row tiles instead of 16-row ones.
+  const std::size_t ctas = pre ? row_tiles : row_tiles * h;
+  const std::size_t ctx_cols = pr.ctx.cols();
+
+  auto launch = dev.launch({.name = "flash_attention",
+                            .ctas = ctas,
+                            .shared_bytes_per_cta = flash_shared_bytes(cfg),
+                            .pattern = AccessPattern::kTiled});
+  // Q read once; K and the context operand re-read once per Br-row tile —
+  // the OTF trade again, but Br = 64 re-reads 4x less than 16-row tiles.
+  launch.load_bytes(static_cast<std::uint64_t>(s) * d * sb);
+  launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * s * d * sb);
+  launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * s * ctx_cols * sb);
+  launch.store_bytes(static_cast<std::uint64_t>(s) *
+                     (pr.vo != nullptr ? d : ctx_cols) * sb);
+  // The running (m, ℓ) pair per row and head — the logsumexp line real
+  // flash kernels persist — is the operator's entire score-side global
+  // traffic: linear in N where partial-OTF's S round trip is quadratic.
+  const std::uint64_t stats_bytes = 2ull * s * h * acc;
+  launch.store_bytes(stats_bytes);
+  launch.score_bytes(stats_bytes);
+
+  const std::uint64_t qk_flops = 2ull * s * s * d;
+  const std::uint64_t sv_flops = 2ull * s * s * ctx_cols;
+  // Online softmax costs one extra op per score (the running-max compare)
+  // plus an accumulator rescale of each row's output block per K/V block.
+  const std::uint64_t pointwise =
+      s * d /*scale*/ + 6ull * s * s * h /*online softmax*/ +
+      static_cast<std::uint64_t>(s) * kv_blocks * (ctx_cols + 2 * h)
+      /*rescale*/;
+  if (p == Precision::kFp32) {
+    launch.fp_ops(qk_flops + sv_flops + pointwise);
+  } else {
+    launch.tensor_ops(qk_flops + sv_flops);
+    launch.fp_ops(pointwise);
+  }
+  launch.finish();
+
+  tensor::MatrixF z =
+      dev.traffic_only()
+          ? tensor::MatrixF(s, d)
+          : detail::flash_attention_math(pr.q, pr.k, pr.ctx, pr.vo,
+                                         pr.v_kept_ptr(), cfg, &ctx.pool());
+  if (pre) return z;  // Eq. 5: the output linear is already folded in.
+  return output_linear(ctx, z, w, cfg);
+}
+
+// --------------------------------------------------------------------------
 // E.T. on-the-fly cross-attention: same kernel structure as otf_attention,
 // with K/V projected from the encoder memory.
 // --------------------------------------------------------------------------
@@ -345,23 +462,7 @@ tensor::MatrixF otf_cross_attention(ExecContext& ctx,
   const bool pre = w.has_precomputed();
   assert(x.rows() == s && memory.cols() == d);
 
-  kernels::LinearOptions opt;
-  opt.precision = cfg.precision;
-  Projections pr;
-  pr.q = kernels::linear(ctx, x, w.wq, opt, "xattn_q_linear").y;
-  pr.k = kernels::linear(ctx, memory, w.wk, opt, "xattn_k_linear").y;
-  if (pre) {
-    pr.vo = &w.vo;
-    pr.ctx = kernels::gemm_nt(ctx, memory, w.vo.weight, cfg.precision,
-                              nullptr, "xattn_vo_linear");
-  } else if (w.v_condensable(cfg.num_heads)) {
-    opt.scatter_row_pruned_output = false;
-    auto res = kernels::linear(ctx, memory, w.wv, opt, "xattn_v_linear");
-    pr.ctx = std::move(res.y);
-    pr.v_kept = std::move(res.nonzero_cols);
-  } else {
-    pr.ctx = kernels::linear(ctx, memory, w.wv, opt, "xattn_v_linear").y;
-  }
+  Projections pr = project_cross(ctx, x, memory, w, cfg);
 
   const std::size_t row_tiles = ceil_div(s, 16);
   const std::size_t ctas = pre ? row_tiles : row_tiles * cfg.num_heads;
@@ -399,6 +500,72 @@ tensor::MatrixF otf_cross_attention(ExecContext& ctx,
 }
 
 // --------------------------------------------------------------------------
+// Streaming cross-attention: the flash kernel structure with K/V from the
+// encoder memory. The memory is the streamed operand, so the score tile
+// stays Br×Bc however long the encoder output grows — where the OTF
+// cross kernel's Eq. 6 row is kv wide.
+// --------------------------------------------------------------------------
+tensor::MatrixF flash_cross_attention(ExecContext& ctx,
+                                      const tensor::MatrixF& x,
+                                      const tensor::MatrixF& memory,
+                                      const AttentionWeights& w,
+                                      const AttentionConfig& cfg) {
+  gpusim::Device& dev = ctx.device();
+  cfg.validate();
+  const std::size_t s = cfg.seq_len;
+  const std::size_t kv = memory.rows();
+  const std::size_t d = cfg.d_model;
+  const std::size_t h = cfg.num_heads;
+  const std::size_t sb = numeric::storage_bytes(cfg.precision);
+  const std::size_t acc = numeric::accumulator_bytes(cfg.precision);
+  const Precision p = cfg.precision;
+  const bool pre = w.has_precomputed();
+  assert(x.rows() == s && memory.cols() == d);
+
+  Projections pr = project_cross(ctx, x, memory, w, cfg);
+
+  const std::size_t row_tiles = ceil_div(s, cfg.flash_block_rows);
+  const std::size_t kv_blocks = ceil_div(kv, cfg.flash_block_cols);
+  const std::size_t ctas = pre ? row_tiles : row_tiles * h;
+  const std::size_t ctx_cols = pr.ctx.cols();
+
+  auto launch = dev.launch({.name = "flash_cross_attention",
+                            .ctas = ctas,
+                            .shared_bytes_per_cta =
+                                flash_shared_bytes(cfg, kv),
+                            .pattern = AccessPattern::kTiled});
+  launch.load_bytes(static_cast<std::uint64_t>(s) * d * sb);
+  launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * kv * d * sb);
+  launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * kv * ctx_cols *
+                    sb);
+  launch.store_bytes(static_cast<std::uint64_t>(s) *
+                     (pr.vo != nullptr ? d : ctx_cols) * sb);
+  const std::uint64_t stats_bytes = 2ull * s * h * acc;
+  launch.store_bytes(stats_bytes);
+  launch.score_bytes(stats_bytes);
+  const std::uint64_t qk_flops = 2ull * s * kv * d;
+  const std::uint64_t sv_flops = 2ull * s * kv * ctx_cols;
+  const std::uint64_t pointwise =
+      s * d + 6ull * s * kv * h +
+      static_cast<std::uint64_t>(s) * kv_blocks * (ctx_cols + 2 * h);
+  if (p == Precision::kFp32) {
+    launch.fp_ops(qk_flops + sv_flops + pointwise);
+  } else {
+    launch.tensor_ops(qk_flops + sv_flops);
+    launch.fp_ops(pointwise);
+  }
+  launch.finish();
+
+  tensor::MatrixF z =
+      dev.traffic_only()
+          ? tensor::MatrixF(s, d)
+          : detail::flash_attention_math(pr.q, pr.k, pr.ctx, pr.vo,
+                                         pr.v_kept_ptr(), cfg, &ctx.pool());
+  if (pre) return z;
+  return output_linear(ctx, z, w, cfg);
+}
+
+// --------------------------------------------------------------------------
 // E.T. partial on-the-fly operator (§3.2): ②–③ as one outer-product GEMM
 // kernel (Q, K read once; S written once), ④–⑥ as a second fused kernel.
 // --------------------------------------------------------------------------
@@ -430,6 +597,7 @@ tensor::MatrixF partial_otf_attention(ExecContext& ctx,
          .pattern = AccessPattern::kTiled});
     launch.load_bytes(2ull * s * d * sb);
     launch.store_bytes(static_cast<std::uint64_t>(score_elems) * sb);
+    launch.score_bytes(static_cast<std::uint64_t>(score_elems) * sb);
     const std::uint64_t flops = 2ull * s * s * d + s * d /*scale*/;
     if (p == Precision::kFp32) {
       launch.fp_ops(flops);
@@ -457,6 +625,7 @@ tensor::MatrixF partial_otf_attention(ExecContext& ctx,
          .shared_bytes_per_cta = rows_per_cta * s * acc + staging,
          .pattern = AccessPattern::kTiled});
     launch.load_bytes(static_cast<std::uint64_t>(score_elems) * sb);
+    launch.score_bytes(static_cast<std::uint64_t>(score_elems) * sb);
     launch.load_bytes(static_cast<std::uint64_t>(row_tiles) * s * ctx_cols *
                       sb);
     launch.store_bytes(static_cast<std::uint64_t>(s) * d * sb);

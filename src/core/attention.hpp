@@ -1,4 +1,5 @@
-// The four self-attention implementations the paper compares.
+// The self-attention implementations the paper compares, plus the
+// IO-aware streaming operator from FlashAttention-1/2.
 //
 //   modular_attention      — "PyTorch-like": one kernel per operator, FP32
 //                            general-core math, dense weights; every
@@ -19,8 +20,19 @@
 //   partial_otf_attention  — §3.2's long-sequence variant: ②–③ become an
 //                            outer-product GEMM kernel (Q and K read once,
 //                            S written once), ④–⑥ a second fused kernel.
+//   flash_attention        — FlashAttention-2-style streaming operator:
+//                            one kernel; each CTA owns a Br-row query tile
+//                            of one head (seq-length work partitioning)
+//                            and streams K/V in Bc-column blocks through
+//                            an online softmax (running max/denominator
+//                            with rescaling). Neither Q·Kᵀ nor S ever
+//                            touches global memory at ANY seq_len — score
+//                            traffic is O(N) (per-row softmax statistics)
+//                            instead of partial-OTF's O(N²).
 //
-// All four compute the same function; tests assert cross-equivalence.
+// All five compute the same function; tests assert cross-equivalence
+// (flash within a bounded error of the others: its blockwise softmax
+// reassociates the sums).
 // Every operator takes a core::ExecContext: the projections run on its
 // device and the row-parallel attention math on its ThreadPool, with
 // results bit-identical at any thread count (docs/threading.md).
@@ -58,6 +70,11 @@ namespace et::core {
                                                     const AttentionWeights& w,
                                                     const AttentionConfig& cfg);
 
+[[nodiscard]] tensor::MatrixF flash_attention(ExecContext& ctx,
+                                              const tensor::MatrixF& x,
+                                              const AttentionWeights& w,
+                                              const AttentionConfig& cfg);
+
 /// Cross-attention with E.T.'s on-the-fly operator: queries come from `x`
 /// (cfg.seq_len rows) while keys/values come from an encoder `memory`
 /// (any number of rows). This is the decoder-side attention of the
@@ -69,13 +86,27 @@ namespace et::core {
                                                   const AttentionWeights& w,
                                                   const AttentionConfig& cfg);
 
-/// Shared memory one OTF CTA needs (Eq. 6): a 16-row tile of Q's head
-/// slice plus a 16-row tile of the seq_len-wide score matrix, in
-/// accumulator precision, plus a staging buffer for K tiles.
-[[nodiscard]] std::size_t otf_shared_bytes(const AttentionConfig& cfg);
+/// Streaming cross-attention: flash_attention's kernel structure with K/V
+/// projected from an encoder `memory`. The win over otf_cross_attention
+/// grows with the memory length — exactly the operand the online softmax
+/// streams in O(N) — so the decoder dispatches on memory.rows().
+[[nodiscard]] tensor::MatrixF flash_cross_attention(
+    ExecContext& ctx, const tensor::MatrixF& x, const tensor::MatrixF& memory,
+    const AttentionWeights& w, const AttentionConfig& cfg);
 
-/// Cross-attention variant: the score row is kv_len wide.
+/// Shared memory one OTF CTA needs (Eq. 6): a 16-row tile of Q's head
+/// slice plus a 16-row tile of the kv_len-wide score matrix, in
+/// accumulator precision, plus a staging buffer for K tiles.
+/// kv_len == 0 means self-attention: the score row is cfg.seq_len wide.
 [[nodiscard]] std::size_t otf_shared_bytes(const AttentionConfig& cfg,
-                                           std::size_t kv_len);
+                                           std::size_t kv_len = 0);
+
+/// Shared memory one flash CTA needs: the Br-row Q tile plus the Br×Bc
+/// score tile in accumulator precision, plus K/V staging buffers. Unlike
+/// Eq. 6 this never depends on the sequence (or memory) length — the
+/// whole point of streaming the K/V blocks — so the same `kv_len = 0`
+/// signature exists purely for interface symmetry with otf_shared_bytes.
+[[nodiscard]] std::size_t flash_shared_bytes(const AttentionConfig& cfg,
+                                             std::size_t kv_len = 0);
 
 }  // namespace et::core

@@ -167,4 +167,158 @@ tensor::MatrixF attention_math(const tensor::MatrixF& q,
   return out;
 }
 
+tensor::MatrixF flash_attention_math(const tensor::MatrixF& q,
+                                     const tensor::MatrixF& k,
+                                     const tensor::MatrixF& context,
+                                     const PrecomputedVO* vo,
+                                     const std::vector<std::uint32_t>* v_kept,
+                                     const AttentionConfig& cfg,
+                                     ThreadPool* pool) {
+  const std::size_t s = cfg.seq_len;
+  const std::size_t kv = k.rows();
+  const std::size_t d = cfg.d_model;
+  const std::size_t h_count = cfg.num_heads;
+  const std::size_t dk = cfg.d_k();
+  const std::size_t br = cfg.flash_block_rows;
+  const std::size_t bc = cfg.flash_block_cols;
+  const Precision p = cfg.precision;
+  const float scale = cfg.scale();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+
+  assert(q.rows() == s && q.cols() == d);
+  assert(k.cols() == d);
+  assert(context.rows() == kv);
+  assert(vo == nullptr || v_kept == nullptr);
+  if (vo != nullptr) {
+    assert(context.cols() == h_count * vo->kept());
+  } else if (v_kept != nullptr) {
+    assert(context.cols() == v_kept->size());
+    assert(v_kept->size() % h_count == 0);
+  } else {
+    assert(context.cols() == d);
+  }
+  /// Width of one head's slice of the context operand.
+  const std::size_t v_cols = vo != nullptr
+                                 ? vo->kept()
+                                 : (v_kept != nullptr
+                                        ? v_kept->size() / h_count
+                                        : dk);
+  // P·V multiplicands are rounded to the policy's storage type but always
+  // accumulate in FP32 (the flash kernel keeps O in FP32 registers while
+  // rescaling — see the header); pure FP16 therefore shares kMixed's step.
+  const Precision pv = p == Precision::kBf16Mixed ? Precision::kBf16Mixed
+                                                  : Precision::kMixed;
+
+  tensor::MatrixF out(s, d);
+
+  const auto tile_body = [&](std::size_t t) {
+    std::vector<float> qrow(dk);
+    std::vector<float> block(bc);
+    std::vector<float> acc(v_cols);
+    const std::size_t i_end = std::min(s, (t + 1) * br);
+    for (std::size_t i = t * br; i < i_end; ++i) {
+      for (std::size_t h = 0; h < h_count; ++h) {
+        // ② the scaling operator, reordered exactly as attention_math.
+        for (std::size_t c = 0; c < dk; ++c) {
+          const float v = q(i, h * dk + c);
+          qrow[c] = cfg.scale_before_multiply
+                        ? numeric::round_to_storage(p, v * scale)
+                        : v;
+        }
+        // Fully-masked keys contribute exp(-inf) = 0, so the streaming
+        // loop stops at the causal diagonal / valid prefix — the block
+        // skip a flash kernel performs. At least one key always remains
+        // (the diagonal itself).
+        std::size_t kv_end = kv;
+        if (cfg.causal_mask && kv == s) kv_end = std::min(kv_end, i + 1);
+        if (cfg.valid_len > 0 && cfg.valid_len < kv) {
+          kv_end = std::min(kv_end, cfg.valid_len);
+        }
+
+        float m = -kInf;   // running row max
+        float l = 0.0f;    // running softmax denominator
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        for (std::size_t b0 = 0; b0 < kv_end; b0 += bc) {
+          const std::size_t b1 = std::min(kv_end, b0 + bc);
+          // ③ one Bc-wide block of the score row, under the same
+          // precision policy (and §3.3 overflow behavior) as every other
+          // operator.
+          float bm = -kInf;
+          for (std::size_t j = b0; j < b1; ++j) {
+            float sc = 0.0f;
+            if (p == Precision::kFp32) {
+              for (std::size_t c = 0; c < dk; ++c) {
+                sc += qrow[c] * k(j, h * dk + c);
+              }
+            } else {
+              for (std::size_t c = 0; c < dk; ++c) {
+                sc = numeric::fma_step(p, qrow[c], k(j, h * dk + c), sc);
+              }
+              sc = numeric::round_to_storage(p, sc);
+            }
+            if (!cfg.scale_before_multiply) {
+              sc = numeric::round_to_storage(p, sc * scale);
+            }
+            block[j - b0] = sc;
+            bm = std::max(bm, sc);
+          }
+          // ④–⑤ online softmax update: rescale the running denominator
+          // and output by exp(m − m_new), then fold the block in. An
+          // FP16-saturated −inf block with no prior mass contributes
+          // nothing; a +inf overflow poisons ℓ and the accumulator with
+          // NaN exactly as the one-shot softmax would.
+          const float m_new = std::max(m, bm);
+          if (m_new == -kInf) continue;
+          const float corr = m == -kInf ? 0.0f : std::exp(m - m_new);
+          l *= corr;
+          for (std::size_t c = 0; c < v_cols; ++c) acc[c] *= corr;
+          for (std::size_t j = b0; j < b1; ++j) {
+            const float pj = std::exp(block[j - b0] - m_new);
+            l += pj;
+            // ⑥ fold the block's slice of the context operand in.
+            const std::size_t base = h * v_cols;
+            if (p == Precision::kFp32) {
+              for (std::size_t c = 0; c < v_cols; ++c) {
+                acc[c] += pj * context(j, base + c);
+              }
+            } else {
+              for (std::size_t c = 0; c < v_cols; ++c) {
+                acc[c] = numeric::fma_step(pv, pj, context(j, base + c),
+                                           acc[c]);
+              }
+            }
+          }
+          m = m_new;
+        }
+        // Deferred 1/ℓ normalization: one rounding to storage at the end.
+        const float inv = l > 0.0f ? 1.0f / l : 0.0f;
+        if (v_kept != nullptr) {
+          for (std::size_t c = 0; c < v_cols; ++c) {
+            out(i, (*v_kept)[h * v_cols + c]) =
+                numeric::round_to_storage(p, acc[c] * inv);
+          }
+        } else if (vo != nullptr) {
+          // ⑧ heads sum into the shared output columns (Eq. 4/5).
+          for (std::size_t c = 0; c < v_cols; ++c) {
+            out(i, vo->kept_cols[c]) +=
+                numeric::round_to_storage(p, acc[c] * inv);
+          }
+        } else {
+          for (std::size_t c = 0; c < v_cols; ++c) {
+            out(i, h * dk + c) = numeric::round_to_storage(p, acc[c] * inv);
+          }
+        }
+      }
+    }
+  };
+
+  const std::size_t tiles = (s + br - 1) / br;
+  if (pool != nullptr) {
+    pool->parallel_for(tiles, tile_body);
+  } else {
+    for (std::size_t t = 0; t < tiles; ++t) tile_body(t);
+  }
+  return out;
+}
+
 }  // namespace et::core::detail

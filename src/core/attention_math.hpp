@@ -43,4 +43,30 @@ namespace et::core::detail {
     const std::vector<std::uint32_t>* v_kept, const AttentionConfig& cfg,
     ThreadPool* pool = nullptr);
 
+/// Streaming (FlashAttention-2) evaluation of the same function, with the
+/// same three context-operand forms. Keys/values are consumed in
+/// cfg.flash_block_cols-wide blocks through an online softmax: each query
+/// row carries a running max m and denominator ℓ, and every new block
+/// rescales the existing partial output by exp(m_old − m_new) — so no
+/// score row is ever held at full width, mirroring what the simulated
+/// flash kernel keeps out of global memory.
+///
+/// Numerics: Q·Kᵀ follows the same precision policy (and §3.3 scale
+/// reordering / pure-FP16 overflow behavior) as attention_math; the
+/// output accumulator stays FP32 across blocks (flash kernels keep O in
+/// FP32 registers while rescaling) with multiplicands rounded to the
+/// policy's storage type, and a single round to storage after the final
+/// 1/ℓ normalization. The blockwise reassociation makes results
+/// bounded-error — not bit-identical — vs attention_math.
+///
+/// Work is partitioned across cfg.flash_block_rows-row query tiles (the
+/// FlashAttention-2 seq-length split) on `pool`; each row is computed by
+/// exactly one tile with tile-size-dependent but thread-count-independent
+/// math, so results are bit-identical at any thread count.
+[[nodiscard]] tensor::MatrixF flash_attention_math(
+    const tensor::MatrixF& q, const tensor::MatrixF& k,
+    const tensor::MatrixF& context, const PrecomputedVO* vo,
+    const std::vector<std::uint32_t>* v_kept, const AttentionConfig& cfg,
+    ThreadPool* pool = nullptr);
+
 }  // namespace et::core::detail

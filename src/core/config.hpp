@@ -32,6 +32,15 @@ struct AttentionConfig {
   /// in encoder-only models). 0 means "no padding" (all positions valid).
   std::size_t valid_len = 0;
 
+  /// Flash-attention tile shape: each flash CTA owns a Br-row query tile
+  /// of one head and streams K/V in Bc-column blocks through its online
+  /// softmax (FlashAttention-2 partitions the seq-length dimension this
+  /// way). Only the tile — never a full score row — lives in shared
+  /// memory, so flash_shared_bytes is seq_len-independent. Tests shrink
+  /// these to cross tile boundaries at small sizes.
+  std::size_t flash_block_rows = 64;  ///< Br
+  std::size_t flash_block_cols = 64;  ///< Bc
+
   [[nodiscard]] std::size_t d_k() const noexcept {
     return d_model / num_heads;
   }
@@ -52,6 +61,10 @@ struct AttentionConfig {
     if (valid_len > seq_len) {
       throw std::invalid_argument(
           "AttentionConfig: valid_len exceeds seq_len");
+    }
+    if (flash_block_rows == 0 || flash_block_cols == 0) {
+      throw std::invalid_argument(
+          "AttentionConfig: flash tile dimensions must be nonzero");
     }
   }
 };

@@ -139,6 +139,12 @@ std::uint64_t Device::total_store_bytes() const noexcept {
   return b;
 }
 
+std::uint64_t Device::total_score_bytes() const noexcept {
+  std::uint64_t b = 0;
+  for (const auto& k : log_) b += k.score_bytes;
+  return b;
+}
+
 std::uint64_t Device::total_ops() const noexcept {
   std::uint64_t n = 0;
   for (const auto& k : log_) n += k.total_ops();

@@ -100,6 +100,10 @@ class Launch {
   void store_bytes(std::uint64_t b) noexcept {
     stats_.global_store_bytes += b;
   }
+  /// Tag `b` of the bytes already (or about to be) counted above as
+  /// score-matrix traffic (see KernelStats::score_bytes). Attribution
+  /// only: call IN ADDITION to load_bytes/store_bytes, never instead.
+  void score_bytes(std::uint64_t b) noexcept { stats_.score_bytes += b; }
   void fp_ops(std::uint64_t n) noexcept { stats_.fp_ops += n; }
   void tensor_ops(std::uint64_t n) noexcept { stats_.tensor_ops += n; }
 
@@ -159,6 +163,9 @@ class Device {
   [[nodiscard]] double total_time_us() const noexcept;
   [[nodiscard]] std::uint64_t total_load_bytes() const noexcept;
   [[nodiscard]] std::uint64_t total_store_bytes() const noexcept;
+  /// Global-memory bytes attributed to the score matrix across the log —
+  /// the instrument behind the fig08 O(N²) vs O(N) score-traffic claim.
+  [[nodiscard]] std::uint64_t total_score_bytes() const noexcept;
   [[nodiscard]] std::uint64_t total_ops() const noexcept;
 
   /// Time spent in kernels whose name contains `substr`.

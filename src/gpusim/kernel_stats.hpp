@@ -24,6 +24,12 @@ struct KernelStats {
 
   std::uint64_t global_load_bytes = 0;
   std::uint64_t global_store_bytes = 0;
+  /// Subset of the global traffic above attributable to the score matrix
+  /// S = Q·Kᵀ (or per-row softmax statistics derived from it). Purely an
+  /// attribution tag — always also counted in load/store bytes — so the
+  /// FlashAttention O(N²) → O(N) score-traffic claim is measurable per
+  /// operator without string-matching kernel names.
+  std::uint64_t score_bytes = 0;
   std::uint64_t fp_ops = 0;      ///< general-core floating-point ops
   std::uint64_t tensor_ops = 0;  ///< tensor-core ops (1 FMA = 2 ops)
 

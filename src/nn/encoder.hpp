@@ -6,9 +6,13 @@
 //   kTensorRT          — fused pointwise ops, batched GEMMs, FP16.
 //   kFasterTransformer — like TensorRT with more aggressive fusion and an
 //                        autotuned GEMM choice.
-//   kET                — this paper: adaptive on-the-fly attention,
-//                        pre-computed linear transformation when weights
-//                        provide it, pruned-format linears, pure FP16.
+//   kET                — this paper: adaptive attention dispatch (the
+//                        five-way flash / otf / partial_otf / fused /
+//                        modular switch in core::adaptive, governed by
+//                        EncoderOptions::adaptive — including a forced
+//                        operator override), pre-computed linear
+//                        transformation when weights provide it,
+//                        pruned-format linears, pure FP16.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +53,9 @@ struct EncoderWeights {
 struct EncoderOptions {
   core::AttentionConfig attn;
   Pipeline pipeline = Pipeline::kET;
-  core::AdaptivePolicy adaptive;  ///< E.T. full/partial OTF dispatch
+  /// E.T. operator selection (flash/otf/partial crossovers, auto-tune,
+  /// forced override) — consumed by self- AND cross-attention dispatch.
+  core::AdaptivePolicy adaptive;
 };
 
 /// Dense random-initialized encoder weights (deterministic).

@@ -48,6 +48,7 @@ TEST(Attention, AllImplementationsMatchReference) {
   const MatrixF ft = et::core::fused_attention(ctx, x, w, cfg, true);
   const MatrixF otf = et::core::otf_attention(ctx, x, w, cfg);
   const MatrixF partial = et::core::partial_otf_attention(ctx, x, w, cfg);
+  const MatrixF flash = et::core::flash_attention(ctx, x, w, cfg);
 
   EXPECT_TRUE(allclose(modular, ref, 1e-4, 1e-3));
   EXPECT_TRUE(allclose(fused, ref, 1e-4, 1e-3));
@@ -55,6 +56,8 @@ TEST(Attention, AllImplementationsMatchReference) {
   EXPECT_TRUE(allclose(otf, ref, 1e-4, 1e-3))
       << "max diff " << max_abs_diff(otf, ref);
   EXPECT_TRUE(allclose(partial, ref, 1e-4, 1e-3));
+  EXPECT_TRUE(allclose(flash, ref, 1e-4, 1e-3))
+      << "max diff " << max_abs_diff(flash, ref);
 }
 
 TEST(Attention, BidirectionalMaskMatchesReference) {
@@ -250,7 +253,52 @@ TEST(Adaptive, ThresholdDispatch) {
   auto cfg = small_cfg();
   const auto w = et::core::make_dense_weights(cfg, 15);
   const MatrixF x = random_input(cfg);
+  // Within one 16-row OTF tile the two kernels stream K/V identically, so
+  // OTF keeps the short-sequence regime...
+  cfg.seq_len = 16;
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x, w, cfg),
+            et::core::AttentionImpl::kOtf);
+  // ...and flash takes everything longer when its Br×Bc tile fits — on
+  // both sides of the legacy otf/partial crossover at 224.
   cfg.seq_len = 128;
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x, w, cfg),
+            et::core::AttentionImpl::kFlash);
+  cfg.seq_len = 225;
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x, w, cfg),
+            et::core::AttentionImpl::kFlash);
+}
+
+TEST(Adaptive, ForcedOverrideBypassesSelection) {
+  Device dev;
+  et::core::ExecContext ctx(dev);
+  auto cfg = small_cfg();
+  const auto w = et::core::make_dense_weights(cfg, 15);
+  const MatrixF x = random_input(cfg);
+  cfg.seq_len = 128;  // selection would say kFlash
+  et::core::AdaptivePolicy policy;
+  for (const auto impl :
+       {et::core::AttentionImpl::kModular, et::core::AttentionImpl::kFused,
+        et::core::AttentionImpl::kOtf, et::core::AttentionImpl::kPartialOtf,
+        et::core::AttentionImpl::kFlash}) {
+    policy.forced = impl;
+    EXPECT_EQ(et::core::choose_attention_impl(dev, x, w, cfg, policy), impl);
+  }
+}
+
+TEST(Adaptive, FlashInfeasibleRestoresLegacyCrossover) {
+  // Shared memory sized so the flash Br×Bc tile (28 KB for this config in
+  // FP32) does not fit but the Eq. 6 OTF row does: the dispatcher must
+  // fall back to the paper's original otf/partial decision at 224.
+  et::gpusim::DeviceSpec spec;
+  spec.shared_mem_per_cta_bytes = 20 * 1024;
+  Device dev(spec);
+  et::core::ExecContext ctx(dev);
+  auto cfg = small_cfg();
+  const auto w = et::core::make_dense_weights(cfg, 15);
+  const MatrixF x = random_input(cfg);
+  ASSERT_FALSE(dev.fits_shared(et::core::flash_shared_bytes(cfg)));
+  cfg.seq_len = 128;
+  ASSERT_TRUE(dev.fits_shared(et::core::otf_shared_bytes(cfg)));
   EXPECT_EQ(et::core::choose_attention_impl(dev, x, w, cfg),
             et::core::AttentionImpl::kOtf);
   cfg.seq_len = 225;
@@ -280,6 +328,37 @@ TEST(Adaptive, AutoTuneAgreesWithThresholdAtExtremes) {
   cfg.num_heads = 12;
   cfg.precision = Precision::kPureFp16;
   const auto w = et::core::make_dense_weights(cfg, 17);
+  et::core::AdaptivePolicy policy;
+  policy.auto_tune = true;
+
+  // On a full-sized scratchpad the latency replay rediscovers the fixed
+  // thresholds: flash wins at every length past one OTF row tile.
+  cfg.seq_len = 64;
+  MatrixF x64(64, 768);
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x64, w, cfg, policy),
+            et::core::AttentionImpl::kFlash);
+
+  cfg.seq_len = 512;
+  MatrixF x512(512, 768);
+  EXPECT_EQ(et::core::choose_attention_impl(dev, x512, w, cfg, policy),
+            et::core::AttentionImpl::kFlash);
+}
+
+TEST(Adaptive, AutoTuneWithoutFlashRediscoversLegacyCrossover) {
+  // 16 KB of shared memory: the 18 KB flash tile is infeasible for
+  // BERT_BASE pure-FP16, the Eq. 6 row fits at seq 64 (5 KB) but not at
+  // seq 512 (19 KB) — the replay must land exactly where the paper's
+  // fixed thresholds did before flash existed.
+  et::gpusim::DeviceSpec spec;
+  spec.shared_mem_per_cta_bytes = 16 * 1024;
+  Device dev(spec);
+  et::core::ExecContext ctx(dev);
+  AttentionConfig cfg;
+  cfg.d_model = 768;
+  cfg.num_heads = 12;
+  cfg.precision = Precision::kPureFp16;
+  const auto w = et::core::make_dense_weights(cfg, 17);
+  ASSERT_FALSE(dev.fits_shared(et::core::flash_shared_bytes(cfg)));
   et::core::AdaptivePolicy policy;
   policy.auto_tune = true;
 

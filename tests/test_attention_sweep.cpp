@@ -34,6 +34,8 @@ MatrixF run_impl(AttentionImpl impl, Device& dev, const MatrixF& x,
       return et::core::otf_attention(ctx, x, w, cfg);
     case AttentionImpl::kPartialOtf:
       return et::core::partial_otf_attention(ctx, x, w, cfg);
+    case AttentionImpl::kFlash:
+      return et::core::flash_attention(ctx, x, w, cfg);
   }
   return {};
 }
@@ -75,7 +77,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(AttentionImpl::kModular,
                                          AttentionImpl::kFused,
                                          AttentionImpl::kOtf,
-                                         AttentionImpl::kPartialOtf)));
+                                         AttentionImpl::kPartialOtf,
+                                         AttentionImpl::kFlash)));
 
 // ---------------------------------------------------------------------------
 // Pruned-weight sweep: the OTF operator over every format × ratio must

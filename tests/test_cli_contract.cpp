@@ -82,7 +82,8 @@ TEST(CliContract, HelpListsEveryServeFlagAndExitsZero) {
   for (const char* flag :
        {"--serve", "--requests", "--queue-cap", "--arrive", "--deadline",
         "--queue-budget", "--retries", "--backoff-ticks", "--preempt",
-        "--batch", "--tokens", "--threads", "--json", "--weights"}) {
+        "--batch", "--tokens", "--threads", "--json", "--weights",
+        "--attention"}) {
     EXPECT_NE(r.output.find(flag), std::string::npos)
         << "--help is missing " << flag;
   }
@@ -119,6 +120,57 @@ TEST(CliContract, WeightsFlagSelectsLayoutAndRejectsJunk) {
   EXPECT_EQ(conflict.exit_code, 2);
   EXPECT_NE(conflict.output.find("--weights"), std::string::npos)
       << conflict.output;
+}
+
+TEST(CliContract, AttentionFlagPinsOperatorAndRejectsJunk) {
+  // Junk names both the flag and the token and exits 2 — --attention is
+  // operator selection, distinct from the pruning --strategy flag.
+  const auto bad = run_cli("--attention banana");
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("--attention"), std::string::npos) << bad.output;
+  EXPECT_NE(bad.output.find("banana"), std::string::npos) << bad.output;
+  // A *strategy* name is not an operator name: cross-flag confusion must
+  // be caught, not silently accepted.
+  const auto crossed = run_cli("--attention attention-aware");
+  EXPECT_EQ(crossed.exit_code, 2);
+  EXPECT_NE(crossed.output.find("attention-aware"), std::string::npos)
+      << crossed.output;
+
+  // Every operator name (and "auto") runs the encoder demo and echoes
+  // itself into the --json config line.
+  for (const char* op :
+       {"modular", "fused", "otf", "partial_otf", "flash", "auto"}) {
+    const auto r = run_cli(std::string("--json --seq 64 --attention ") + op);
+    ASSERT_EQ(r.exit_code, 0) << op << ": " << r.output;
+    EXPECT_NE(r.output.find(std::string("\"attention\": \"") + op + "\""),
+              std::string::npos)
+        << r.output;
+  }
+  // The serving modes carry the same field.
+  const auto serve = run_cli(
+      "--serve --json --requests 2 --batch 1 --tokens 2 --attention flash");
+  ASSERT_EQ(serve.exit_code, 0) << serve.output;
+  EXPECT_NE(serve.output.find("\"attention\": \"flash\""), std::string::npos)
+      << serve.output;
+  const auto batch =
+      run_cli("--batch 2 --json --tokens 2 --attention otf");
+  ASSERT_EQ(batch.exit_code, 0) << batch.output;
+  EXPECT_NE(batch.output.find("\"attention\": \"otf\""), std::string::npos)
+      << batch.output;
+
+  // Pinning the operator changes the modeled latency (flash streams K/V
+  // through fewer, larger tiles than otf at this length), proving the
+  // flag reaches the dispatch rather than just the echo.
+  const auto otf = run_cli("--json --seq 512 --attention otf");
+  const auto flash = run_cli("--json --seq 512 --attention flash");
+  ASSERT_EQ(otf.exit_code, 0) << otf.output;
+  ASSERT_EQ(flash.exit_code, 0) << flash.output;
+  const auto layer_us = [](const std::string& s) {
+    const auto pos = s.find("\"layer_us\": ");
+    return s.substr(pos, s.find(',', pos) - pos);
+  };
+  EXPECT_NE(layer_us(otf.output), layer_us(flash.output))
+      << "otf: " << otf.output << "\nflash: " << flash.output;
 }
 
 TEST(CliContract, ServeJsonCarriesEveryMetricsRegistryScalar) {

@@ -1,6 +1,6 @@
 // The fault-injection framework and the resilient execution layer built
 // on it: injector rules fire deterministically, adaptive_attention walks
-// the otf → partial_otf → fused → modular degradation chain with
+// the flash → otf → partial_otf → fused → modular degradation chain with
 // observable (profiled) fallbacks and bit-identical output, and generate()
 // turns KV-cache exhaustion and mid-step kernel faults into graceful stop
 // reasons instead of exceptions. See docs/robustness.md.
@@ -127,21 +127,50 @@ TEST(SharedMemOverflow, CarriesKernelAndSizes) {
 
 AttentionConfig small_cfg() {
   AttentionConfig cfg;
-  cfg.seq_len = 32;  // < 224 and fits Eq. 6 => dispatch chooses full OTF
+  cfg.seq_len = 32;  // > one 16-row tile and the Br×Bc tile fits => flash
   cfg.d_model = 32;
   cfg.num_heads = 2;
   cfg.precision = et::numeric::Precision::kFp32;
   return cfg;
 }
 
-TEST(AdaptiveFallback, OtfFaultFallsBackToPartialOtf) {
+TEST(AdaptiveFallback, FlashFaultFallsBackToOtf) {
   const AttentionConfig cfg = small_cfg();
   const auto w = et::core::make_dense_weights(cfg, 11);
   MatrixF x(cfg.seq_len, cfg.d_model);
   et::tensor::fill_normal(x, 12);
 
   ASSERT_EQ(et::core::choose_attention_impl(et::gpusim::Device(), x, w, cfg),
-            AttentionImpl::kOtf);
+            AttentionImpl::kFlash);
+
+  et::gpusim::Device clean;
+  et::core::ExecContext clean_ctx(clean);
+  const MatrixF want = et::core::otf_attention(clean_ctx, x, w, cfg);
+
+  et::gpusim::Device dev;
+  et::core::ExecContext ctx(dev);
+  dev.fault_injector().arm_kernel("flash_attention");
+  const MatrixF got = et::core::adaptive_attention(ctx, x, w, cfg);
+
+  ASSERT_EQ(got.rows(), want.rows());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got.flat()[i], want.flat()[i]) << "bit-identical at " << i;
+  }
+  ASSERT_EQ(dev.fallback_log().size(), 1u);
+  EXPECT_EQ(dev.fallback_log()[0].from_impl, "flash");
+  EXPECT_EQ(dev.fallback_log()[0].to_impl, "otf");
+  EXPECT_EQ(dev.fallback_log()[0].kernel, "flash_attention");
+  EXPECT_EQ(dev.fallback_log()[0].cause, "kernel_name");
+}
+
+TEST(AdaptiveFallback, OtfFaultFallsBackToPartialOtf) {
+  // Pin the chain's entry at otf through the forced policy (the same
+  // mechanism et_cli --attention uses): a fault there must degrade to
+  // partial_otf, not restart selection.
+  const AttentionConfig cfg = small_cfg();
+  const auto w = et::core::make_dense_weights(cfg, 11);
+  MatrixF x(cfg.seq_len, cfg.d_model);
+  et::tensor::fill_normal(x, 12);
 
   et::gpusim::Device clean;
   et::core::ExecContext clean_ctx(clean);
@@ -149,8 +178,10 @@ TEST(AdaptiveFallback, OtfFaultFallsBackToPartialOtf) {
 
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
+  et::core::AdaptivePolicy policy;
+  policy.forced = AttentionImpl::kOtf;
   dev.fault_injector().arm_kernel("otf_attention");
-  const MatrixF got = et::core::adaptive_attention(ctx, x, w, cfg);
+  const MatrixF got = et::core::adaptive_attention(ctx, x, w, cfg, policy);
 
   ASSERT_EQ(got.rows(), want.rows());
   for (std::size_t i = 0; i < got.size(); ++i) {
@@ -177,6 +208,7 @@ TEST(AdaptiveFallback, FullChainDegradesToModularBitIdentical) {
 
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
+  dev.fault_injector().arm_kernel("flash_attention");
   dev.fault_injector().arm_kernel("otf_attention");
   dev.fault_injector().arm_kernel("partial_otf");
   dev.fault_injector().arm_kernel("trt_");
@@ -186,11 +218,13 @@ TEST(AdaptiveFallback, FullChainDegradesToModularBitIdentical) {
   for (std::size_t i = 0; i < got.size(); ++i) {
     ASSERT_EQ(got.flat()[i], want.flat()[i]) << "bit-identical at " << i;
   }
-  ASSERT_EQ(dev.fallback_log().size(), 3u);
-  EXPECT_EQ(dev.fallback_log()[0].from_impl, "otf");
-  EXPECT_EQ(dev.fallback_log()[1].from_impl, "partial_otf");
-  EXPECT_EQ(dev.fallback_log()[2].from_impl, "fused");
-  EXPECT_EQ(dev.fallback_log()[2].to_impl, "modular");
+  ASSERT_EQ(dev.fallback_log().size(), 4u);
+  EXPECT_EQ(dev.fallback_log()[0].from_impl, "flash");
+  EXPECT_EQ(dev.fallback_log()[0].to_impl, "otf");
+  EXPECT_EQ(dev.fallback_log()[1].from_impl, "otf");
+  EXPECT_EQ(dev.fallback_log()[2].from_impl, "partial_otf");
+  EXPECT_EQ(dev.fallback_log()[3].from_impl, "fused");
+  EXPECT_EQ(dev.fallback_log()[3].to_impl, "modular");
 }
 
 TEST(AdaptiveFallback, FaultInModularBaselinePropagates) {
@@ -215,7 +249,7 @@ TEST(AdaptiveFallback, ProfilerReportsFallbacks) {
 
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  dev.fault_injector().arm_kernel("otf_attention");
+  dev.fault_injector().arm_kernel("flash_attention");
   (void)et::core::adaptive_attention(ctx, x, w, cfg);
 
   const auto report = et::gpusim::profile(dev);
@@ -223,7 +257,7 @@ TEST(AdaptiveFallback, ProfilerReportsFallbacks) {
   std::ostringstream os;
   et::gpusim::print_report(os, report);
   EXPECT_NE(os.str().find("fallbacks (1)"), std::string::npos);
-  EXPECT_NE(os.str().find("otf -> partial_otf"), std::string::npos);
+  EXPECT_NE(os.str().find("flash -> otf"), std::string::npos);
 }
 
 TEST(AdaptiveFallback, HealthyRunRecordsNoFallback) {
@@ -258,9 +292,13 @@ TEST(AttentionConfigValidation, EveryOperatorRejectsBadHeadSplit) {
                std::invalid_argument);
   EXPECT_THROW((void)et::core::partial_otf_attention(ctx, x, w, bad),
                std::invalid_argument);
+  EXPECT_THROW((void)et::core::flash_attention(ctx, x, w, bad),
+               std::invalid_argument);
   EXPECT_THROW((void)et::core::adaptive_attention(ctx, x, w, bad),
                std::invalid_argument);
   EXPECT_THROW((void)et::core::otf_cross_attention(ctx, x, x, w, bad),
+               std::invalid_argument);
+  EXPECT_THROW((void)et::core::flash_cross_attention(ctx, x, x, w, bad),
                std::invalid_argument);
   et::core::KVCache cache(4, good.d_model);
   MatrixF row(1, good.d_model);
