@@ -5,27 +5,42 @@
 //
 //   $ ./examples/et_cli --model bert_base --pipeline et --seq 128 \
 //       --strategy attention-aware --ratio 0.7 --device a100 --profile
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/adaptive.hpp"
 #include "core/weights.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/profiler.hpp"
 #include "gpusim/trace_export.hpp"
+#include "net/server.hpp"
 #include "nn/batched_generation.hpp"
 #include "nn/encoder.hpp"
 #include "pruning/strategy.hpp"
+#include "serving/registry.hpp"
 #include "serving/server.hpp"
 #include "sparse/formats.hpp"
 #include "sparse/mask.hpp"
 #include "train/model.hpp"
 
 namespace {
+
+// SIGINT/SIGTERM request a graceful drain (finish in-flight work within
+// the --drain-ticks budget, then exit 0) instead of aborting mid-tick.
+volatile std::sig_atomic_t g_signal = 0;
+extern "C" void handle_stop_signal(int) { g_signal = 1; }
+
+void install_stop_signals() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
 
 struct Args {
   std::string model = "bert_base";
@@ -63,6 +78,12 @@ struct Args {
   std::size_t backoff_ticks = 0; // ticks between a fault and re-admission
   bool backoff_given = false;    // --backoff-ticks without --retries is an error
   bool preempt = true;           // priority preemption with recompute-resume
+
+  // --listen: the network API server (docs/api.md).
+  bool listen_given = false;
+  std::size_t listen_port = 0;       // 0 = ephemeral, printed at startup
+  std::size_t drain_ticks = 64;      // graceful-shutdown drain budget
+  bool allow_unchecksummed = false;  // accept legacy ETW1 checkpoints
 };
 
 /// Arm the device's fault injector from a CLI spec:
@@ -238,6 +259,17 @@ bool parse(int argc, char** argv, Args& a) {
       }
     }
     else if (arg == "--serve") a.serve = true;
+    else if (arg == "--listen") {
+      a.listen_given = true;
+      next_size(arg, a.listen_port);
+      if (ok && a.listen_port > 65535) {
+        std::fprintf(stderr, "bad value for --listen: port %zu > 65535\n",
+                     a.listen_port);
+        ok = false;
+      }
+    }
+    else if (arg == "--drain-ticks") next_size(arg, a.drain_ticks);
+    else if (arg == "--allow-unchecksummed") a.allow_unchecksummed = true;
     else if (arg == "--profile") a.profile = true;
     else if (arg == "--json") a.json = true;
     else if (arg == "--trace") { if (next(arg, v)) a.trace = v; }
@@ -297,7 +329,19 @@ void usage() {
       "              through the continuous-batching InferenceServer with\n"
       "              admission control and a metrics snapshot; --json field\n"
       "              names match bench/ablation_serving rows\n"
-      "  --requests N      total requests in the arrival script (default 8)\n"
+      "  --listen PORT     network API server on 127.0.0.1:PORT (0 picks an\n"
+      "                    ephemeral port, printed at startup); demo tenants\n"
+      "                    demo-interactive / demo-normal / demo-bulk, model\n"
+      "                    'demo' v1 from the registry (docs/api.md). SIGINT/\n"
+      "                    SIGTERM drains in flight work and exits 0\n"
+      "  --drain-ticks N   graceful-shutdown drain budget for --serve and\n"
+      "                    --listen: ticks to let in-flight requests finish\n"
+      "                    before cancelling the rest (default 64)\n"
+      "  --allow-unchecksummed\n"
+      "                    let the model registry load legacy ETW1 (no\n"
+      "                    per-section CRC) checkpoints\n"
+      "  --requests N      total requests in the arrival script (default 8);\n"
+      "                    0 = unbounded, serve until SIGINT/SIGTERM\n"
       "  --queue-cap N     bounded admission queue; overflow is rejected\n"
       "                    with backpressure (default 16)\n"
       "  --arrive R        R requests arrive per tick; 0 = all at tick 0\n"
@@ -459,6 +503,51 @@ int main(int argc, char** argv) {
       !arm_from_spec(dev.fault_injector(), args.inject_fault)) {
     return 2;
   }
+  if (args.listen_given) {
+    // Network API server (docs/api.md): the demo model registered as
+    // ("demo", v1) in a ModelRegistry, served to the three demo tenants
+    // over the frame protocol. Runs until SIGINT/SIGTERM, then drains.
+    std::vector<et::nn::EncoderWeights> layers;
+    if (!build_serving_layers(args, model, weights, layers)) return 2;
+    auto gopt =
+        et::nn::options_for(pipeline, model, args.seq, /*causal=*/true);
+    gopt.adaptive.forced = forced_attention;
+
+    et::serving::ModelRegistry registry(args.allow_unchecksummed);
+    registry.add("demo", 1, std::move(layers), gopt, args.seq);
+
+    et::net::ApiServerConfig ncfg;
+    ncfg.port = static_cast<std::uint16_t>(args.listen_port);
+    ncfg.default_model = "demo";
+    const std::size_t requested = args.batch == 0 ? 4 : args.batch;
+    ncfg.engine.max_batch = requested < 8 ? requested : 8;
+    ncfg.engine.queue_capacity = args.queue_cap;
+    ncfg.engine.enable_preemption = args.preempt;
+
+    et::net::ApiServer api(ncfg, et::net::TenantTable::demo(), registry);
+    api.serve_model("demo");
+    // Handlers go in before the readiness line is printed: a script
+    // that reads the line and immediately signals must hit the graceful
+    // path, never the default-action window.
+    install_stop_signals();
+    api.start(ctx);
+    // The startup line is the readiness handshake scripts wait for.
+    std::printf("listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(api.port()));
+    std::fflush(stdout);
+    while (g_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    const et::net::DrainResult dr = api.shutdown(args.drain_ticks);
+    if (args.json) {
+      std::printf("%s\n", api.metrics_json(2).c_str());
+    } else {
+      std::printf("drained in %zu tick(s), %zu request(s) cancelled\n",
+                  dr.drain_ticks_used, dr.cancelled);
+    }
+    return 0;
+  }
+
   if (args.serve) {
     // Request-level serving: a scripted arrival sequence through the
     // continuous-batching InferenceServer (docs/serving.md) — two decoder
@@ -481,7 +570,8 @@ int main(int argc, char** argv) {
     std::vector<et::serving::RequestHandle> handles;
     std::size_t submitted = 0;
     const auto submit_some = [&](std::size_t n) {
-      for (std::size_t k = 0; k < n && submitted < args.requests; ++k) {
+      for (std::size_t k = 0;
+           k < n && (args.requests == 0 || submitted < args.requests); ++k) {
         et::serving::Request req;
         req.first_token = static_cast<std::int32_t>(submitted);
         req.max_new_tokens = args.tokens;
@@ -500,11 +590,28 @@ int main(int argc, char** argv) {
       }
     };
     // Arrival script: everything at tick 0, or --arrive per tick — the
-    // offered-load knob bench/ablation_serving sweeps.
+    // offered-load knob bench/ablation_serving sweeps. --requests 0 keeps
+    // serving until a signal. On SIGINT/SIGTERM arrivals stop and the
+    // server drains: in-flight requests get --drain-ticks more ticks to
+    // finish, then the remainder is cancelled — never an abort mid-tick.
+    install_stop_signals();
     if (args.arrive == 0) submit_some(args.requests);
-    while (submitted < args.requests || !server.idle()) {
+    const bool unbounded = args.requests == 0;
+    std::size_t drain_used = 0;
+    bool draining = false;
+    for (;;) {
+      if (g_signal != 0) draining = true;
+      const bool more_arrivals =
+          !draining && (unbounded || submitted < args.requests);
+      if (!more_arrivals && server.idle()) break;
+      if (draining) {
+        if (drain_used >= args.drain_ticks) {
+          for (const auto& h : handles) (void)server.cancel(h);
+        }
+        ++drain_used;
+      }
       server.tick(ctx);
-      submit_some(args.arrive);
+      if (more_arrivals) submit_some(args.arrive);
     }
 
     const auto fields = server.metrics().scalars();

@@ -1,0 +1,155 @@
+// Minimal client for the et_cli --listen API server (docs/api.md):
+// authenticate with a tenant key, submit one generation, stream the
+// tokens to stdout.
+//
+//   $ ./examples/et_cli --listen 0 &          # prints the bound port
+//   $ ./examples/et_client --port 40123 --key demo-interactive --prompt 3,7
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "et_client — demo client for the et_cli --listen API server\n\n"
+      "  --port P    server port on 127.0.0.1 (required)\n"
+      "  --key K     tenant API key (default demo-interactive)\n"
+      "  --model M   served model name (default: server default)\n"
+      "  --prompt L  comma-separated prompt token ids (default 0)\n"
+      "  --tokens N  tokens to generate (default 8)\n");
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_prompt(const std::string& s, std::vector<std::int32_t>& out) {
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    std::uint64_t v = 0;
+    if (!parse_u64(tok, v)) return false;
+    out.push_back(static_cast<std::int32_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t port = 0;
+  std::string key = "demo-interactive";
+  std::string model;
+  std::vector<std::int32_t> prompt;
+  std::uint64_t tokens = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, port) || port == 0 || port > 65535) {
+        std::fprintf(stderr, "bad --port value\n");
+        return 2;
+      }
+    } else if (arg == "--key") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      key = v;
+    } else if (arg == "--model") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      model = v;
+    } else if (arg == "--prompt") {
+      const char* v = next();
+      if (v == nullptr || !parse_prompt(v, prompt)) {
+        std::fprintf(stderr, "bad --prompt value (want t1,t2,...)\n");
+        return 2;
+      }
+    } else if (arg == "--tokens") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, tokens)) {
+        std::fprintf(stderr, "bad --tokens value\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "--port is required (see --help)\n");
+    return 2;
+  }
+  if (prompt.empty()) prompt.push_back(0);
+
+  try {
+    et::net::Client client;
+    client.connect(static_cast<std::uint16_t>(port));
+    const auto hello = client.hello(key);
+    if (!hello || hello->type != et::net::FrameType::kHelloOk) {
+      std::fprintf(stderr, "auth failed: %s\n",
+                   hello ? hello->text.c_str()
+                         : client.error_detail().c_str());
+      return 1;
+    }
+    std::printf("authenticated as tenant '%s'\n", hello->text.c_str());
+
+    client.submit(1, model, prompt, static_cast<std::uint32_t>(tokens));
+    for (;;) {
+      const auto f = client.next();
+      if (!f) {
+        std::fprintf(stderr, "connection lost: %s\n",
+                     client.error_detail().c_str());
+        return 1;
+      }
+      switch (f->type) {
+        case et::net::FrameType::kToken:
+          std::printf("token[%u] = %d\n", f->index, f->token);
+          break;
+        case et::net::FrameType::kDone:
+          std::printf("done: %u token(s), stop=%s\n", f->index,
+                      std::string(to_string(
+                          static_cast<et::nn::StopReason>(f->code)))
+                          .c_str());
+          return 0;
+        case et::net::FrameType::kReject:
+          std::fprintf(stderr, "rejected: %s (%s)\n",
+                       std::string(to_string(
+                           static_cast<et::net::NetStatus>(f->code)))
+                           .c_str(),
+                       f->text.c_str());
+          return 1;
+        case et::net::FrameType::kError:
+          std::fprintf(stderr, "protocol error: %s\n", f->text.c_str());
+          return 1;
+        default:
+          break;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,55 @@
+#include "net/auth.hpp"
+
+#include <stdexcept>
+
+namespace et::net {
+
+TenantTable::TenantTable(std::vector<Tenant> tenants)
+    : tenants_(std::move(tenants)) {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].name.empty() || tenants_[i].api_key.empty()) {
+      throw std::invalid_argument(
+          "TenantTable: tenant name and api_key must be non-empty");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (tenants_[j].api_key == tenants_[i].api_key) {
+        throw std::invalid_argument("TenantTable: duplicate api_key for '" +
+                                    tenants_[j].name + "' and '" +
+                                    tenants_[i].name + "'");
+      }
+    }
+  }
+}
+
+std::size_t TenantTable::find_by_key(std::string_view api_key) const {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].api_key == api_key) return i;
+  }
+  return npos;
+}
+
+TenantTable TenantTable::demo() {
+  return TenantTable({
+      {"interactive", "demo-interactive", serving::Priority::kInteractive,
+       /*bucket_capacity=*/64, /*refill_per_tick=*/4, /*max_inflight=*/16},
+      {"normal", "demo-normal", serving::Priority::kNormal,
+       /*bucket_capacity=*/64, /*refill_per_tick=*/2, /*max_inflight=*/16},
+      {"bulk", "demo-bulk", serving::Priority::kBulk,
+       /*bucket_capacity=*/32, /*refill_per_tick=*/1, /*max_inflight=*/8},
+  });
+}
+
+void refill_bucket(const Tenant& t, TenantState& s) {
+  if (t.bucket_capacity == kUnlimited) return;
+  const std::size_t room = t.bucket_capacity - s.bucket;
+  s.bucket += t.refill_per_tick < room ? t.refill_per_tick : room;
+}
+
+bool try_consume(const Tenant& t, TenantState& s) {
+  if (t.bucket_capacity == kUnlimited) return true;
+  if (s.bucket == 0) return false;
+  --s.bucket;
+  return true;
+}
+
+}  // namespace et::net

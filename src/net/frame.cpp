@@ -1,0 +1,309 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace et::net {
+
+namespace {
+
+// ------------------------------------------------------ payload writers ----
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, sizeof v);
+  out.append(b, sizeof v);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, sizeof v);
+  out.append(b, sizeof v);
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  char b[4];
+  std::memcpy(b, &v, sizeof v);
+  out.append(b, sizeof v);
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+// ------------------------------------------------------ payload readers ----
+// Bounds-checked cursor over one frame's payload; any read past the end
+// flags the frame malformed instead of reading garbage.
+
+struct Cursor {
+  const char* p = nullptr;
+  std::size_t left = 0;
+  bool ok = true;
+
+  bool take(void* out, std::size_t n) {
+    if (!ok || left < n) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok || left < n) {
+      ok = false;
+      return {};
+    }
+    std::string s(p, n);
+    p += n;
+    left -= n;
+    return s;
+  }
+};
+
+}  // namespace
+
+std::string encode_frame(const Frame& f) {
+  std::string payload;
+  payload.push_back(static_cast<char>(f.type));
+  switch (f.type) {
+    case FrameType::kHello:
+      put_string(payload, f.text);
+      break;
+    case FrameType::kHelloOk:
+      put_string(payload, f.text);
+      put_u8(payload, f.code);
+      break;
+    case FrameType::kSubmit:
+      put_u64(payload, f.stream_id);
+      put_string(payload, f.text);
+      put_u32(payload, f.max_new_tokens);
+      put_i32(payload, f.eos_token);
+      put_u32(payload, static_cast<std::uint32_t>(f.prompt.size()));
+      for (std::int32_t t : f.prompt) put_i32(payload, t);
+      break;
+    case FrameType::kToken:
+      put_u64(payload, f.stream_id);
+      put_u32(payload, f.index);
+      put_i32(payload, f.token);
+      break;
+    case FrameType::kDone:
+      put_u64(payload, f.stream_id);
+      put_u8(payload, f.code);
+      put_u32(payload, f.index);
+      break;
+    case FrameType::kReject:
+      put_u64(payload, f.stream_id);
+      put_u8(payload, f.code);
+      put_string(payload, f.text);
+      break;
+    case FrameType::kCancel:
+      put_u64(payload, f.stream_id);
+      break;
+    case FrameType::kError:
+      put_string(payload, f.text);
+      break;
+  }
+  std::string out;
+  out.reserve(4 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+Frame make_hello(std::string_view api_key) {
+  Frame f;
+  f.type = FrameType::kHello;
+  f.text = api_key;
+  return f;
+}
+
+Frame make_hello_ok(std::string_view tenant, serving::Priority tier) {
+  Frame f;
+  f.type = FrameType::kHelloOk;
+  f.text = tenant;
+  f.code = static_cast<std::uint8_t>(tier);
+  return f;
+}
+
+Frame make_submit(std::uint64_t stream_id, std::string_view model,
+                  std::vector<std::int32_t> prompt,
+                  std::uint32_t max_new_tokens, std::int32_t eos_token) {
+  Frame f;
+  f.type = FrameType::kSubmit;
+  f.stream_id = stream_id;
+  f.text = model;
+  f.prompt = std::move(prompt);
+  f.max_new_tokens = max_new_tokens;
+  f.eos_token = eos_token;
+  return f;
+}
+
+Frame make_token(std::uint64_t stream_id, std::uint32_t index,
+                 std::int32_t token) {
+  Frame f;
+  f.type = FrameType::kToken;
+  f.stream_id = stream_id;
+  f.index = index;
+  f.token = token;
+  return f;
+}
+
+Frame make_done(std::uint64_t stream_id, nn::StopReason reason,
+                std::uint32_t token_count) {
+  Frame f;
+  f.type = FrameType::kDone;
+  f.stream_id = stream_id;
+  f.code = static_cast<std::uint8_t>(reason);
+  f.index = token_count;
+  return f;
+}
+
+Frame make_reject(std::uint64_t stream_id, NetStatus status,
+                  std::string_view detail) {
+  Frame f;
+  f.type = FrameType::kReject;
+  f.stream_id = stream_id;
+  f.code = static_cast<std::uint8_t>(status);
+  f.text = detail;
+  return f;
+}
+
+Frame make_cancel(std::uint64_t stream_id) {
+  Frame f;
+  f.type = FrameType::kCancel;
+  f.stream_id = stream_id;
+  return f;
+}
+
+Frame make_error(std::string_view detail) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.text = detail;
+  return f;
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  if (!error_.empty()) return;
+  buf_.append(data, n);
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (!error_.empty()) return std::nullopt;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + pos_, sizeof len);
+  if (len > kMaxFramePayload) {
+    error_ = "frame payload length " + std::to_string(len) +
+             " exceeds the protocol cap";
+    return std::nullopt;
+  }
+  if (len == 0) {
+    error_ = "empty frame payload (missing type byte)";
+    return std::nullopt;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+
+  Cursor c{buf_.data() + pos_ + 4, len, true};
+  pos_ += 4 + static_cast<std::size_t>(len);
+
+  Frame f;
+  const std::uint8_t type = c.u8();
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+      f.type = FrameType::kHello;
+      f.text = c.str();
+      break;
+    case FrameType::kHelloOk:
+      f.type = FrameType::kHelloOk;
+      f.text = c.str();
+      f.code = c.u8();
+      break;
+    case FrameType::kSubmit: {
+      f.type = FrameType::kSubmit;
+      f.stream_id = c.u64();
+      f.text = c.str();
+      f.max_new_tokens = c.u32();
+      f.eos_token = c.i32();
+      const std::uint32_t n = c.u32();
+      // The prompt must actually fit the payload that framed it.
+      if (c.ok && static_cast<std::size_t>(n) * 4 <= c.left) {
+        f.prompt.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) f.prompt.push_back(c.i32());
+      } else {
+        c.ok = false;
+      }
+      break;
+    }
+    case FrameType::kToken:
+      f.type = FrameType::kToken;
+      f.stream_id = c.u64();
+      f.index = c.u32();
+      f.token = c.i32();
+      break;
+    case FrameType::kDone:
+      f.type = FrameType::kDone;
+      f.stream_id = c.u64();
+      f.code = c.u8();
+      f.index = c.u32();
+      break;
+    case FrameType::kReject:
+      f.type = FrameType::kReject;
+      f.stream_id = c.u64();
+      f.code = c.u8();
+      f.text = c.str();
+      break;
+    case FrameType::kCancel:
+      f.type = FrameType::kCancel;
+      f.stream_id = c.u64();
+      break;
+    case FrameType::kError:
+      f.type = FrameType::kError;
+      f.text = c.str();
+      break;
+    default:
+      error_ = "unknown frame type " + std::to_string(type);
+      return std::nullopt;
+  }
+  if (!c.ok) {
+    error_ = std::string("truncated ") + std::string(to_string(f.type)) +
+             " frame payload";
+    return std::nullopt;
+  }
+  return f;
+}
+
+}  // namespace et::net

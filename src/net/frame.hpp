@@ -1,0 +1,162 @@
+// net::Frame — the length-prefixed binary wire protocol of the API
+// server (docs/api.md "Frame format").
+//
+// Every frame is `u32 payload_length | u8 type | payload`, little-endian
+// throughout (the same convention as the ETW checkpoint format; not
+// designed for cross-endian portability). The codec is pure byte-buffer
+// work — encode_frame() produces the exact bytes a socket write sends,
+// and FrameReader incrementally consumes whatever chunk boundaries TCP
+// delivers — so the whole protocol is unit-testable without a socket.
+//
+// Client → server: kHello (authenticate), kSubmit (start a generation
+// stream), kCancel (stop one). Server → client: kHelloOk, kToken (one
+// streamed token), kDone (stream finished, typed stop reason), kReject
+// (stream refused, typed NetStatus — admission rejects reuse
+// serving::RejectReason verbatim), kError (protocol violation; the
+// connection closes after).
+//
+// Streams are client-numbered: the client picks a stream_id per submit
+// and every server frame for that request carries it, so one connection
+// multiplexes any number of concurrent generations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/generation.hpp"
+#include "serving/server.hpp"
+
+namespace et::net {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kHelloOk = 2,
+  kSubmit = 3,
+  kToken = 4,
+  kDone = 5,
+  kReject = 6,
+  kCancel = 7,
+  kError = 8,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloOk: return "hello_ok";
+    case FrameType::kSubmit: return "submit";
+    case FrameType::kToken: return "token";
+    case FrameType::kDone: return "done";
+    case FrameType::kReject: return "reject";
+    case FrameType::kCancel: return "cancel";
+    case FrameType::kError: return "error";
+  }
+  return "?";
+}
+
+/// Why a stream (or connection) was refused. The first two reuse
+/// serving::RejectReason's semantics verbatim — a kReject frame carrying
+/// them is the wire image of an InferenceServer admission reject; the
+/// rest are the network layer's own door checks.
+enum class NetStatus : std::uint8_t {
+  kQueueFull = 0,      ///< serving::RejectReason::kQueueFull
+  kShed = 1,           ///< serving::RejectReason::kShed
+  kBadKey = 2,         ///< kHello carried an unknown API key
+  kNotAuthed = 3,      ///< kSubmit/kCancel before a successful kHello
+  kRateLimited = 4,    ///< tenant token bucket empty
+  kQuotaExceeded = 5,  ///< tenant at its in-flight cap
+  kUnknownModel = 6,   ///< submit named a model the server does not serve
+  kDraining = 7,       ///< server is shutting down; no new work
+};
+
+[[nodiscard]] constexpr std::string_view to_string(NetStatus s) noexcept {
+  switch (s) {
+    case NetStatus::kQueueFull: return "queue_full";
+    case NetStatus::kShed: return "shed";
+    case NetStatus::kBadKey: return "bad_key";
+    case NetStatus::kNotAuthed: return "not_authed";
+    case NetStatus::kRateLimited: return "rate_limited";
+    case NetStatus::kQuotaExceeded: return "quota_exceeded";
+    case NetStatus::kUnknownModel: return "unknown_model";
+    case NetStatus::kDraining: return "draining";
+  }
+  return "?";
+}
+
+/// The wire image of a serving::RejectReason (kNone never reaches the
+/// wire — an admitted request streams instead of rejecting).
+[[nodiscard]] constexpr NetStatus to_net_status(
+    serving::RejectReason r) noexcept {
+  return r == serving::RejectReason::kShed ? NetStatus::kShed
+                                           : NetStatus::kQueueFull;
+}
+
+/// One decoded frame: type plus its already-parsed payload fields. Only
+/// the fields a type carries are meaningful (see docs/api.md).
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint64_t stream_id = 0;            // submit/token/done/reject/cancel
+  std::string text;                        // hello: api key; hello_ok:
+                                           // tenant; error/reject: detail;
+                                           // submit: model name
+  std::uint8_t code = 0;                   // hello_ok: tier; done: stop
+                                           // reason; reject: NetStatus
+  std::uint32_t index = 0;                 // token: position; done: count
+  std::int32_t token = 0;                  // token: value
+  std::uint32_t max_new_tokens = 0;        // submit
+  std::int32_t eos_token = nn::kNoEosToken;  // submit
+  std::vector<std::int32_t> prompt;        // submit
+};
+
+/// Hard cap on a frame payload; a length prefix beyond it is a protocol
+/// error, not an allocation (a garbage or hostile peer must not OOM the
+/// server).
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+/// Serialize a frame to its exact wire bytes.
+[[nodiscard]] std::string encode_frame(const Frame& f);
+
+// Typed convenience constructors for the frames each side sends.
+[[nodiscard]] Frame make_hello(std::string_view api_key);
+[[nodiscard]] Frame make_hello_ok(std::string_view tenant,
+                                  serving::Priority tier);
+[[nodiscard]] Frame make_submit(std::uint64_t stream_id,
+                                std::string_view model,
+                                std::vector<std::int32_t> prompt,
+                                std::uint32_t max_new_tokens,
+                                std::int32_t eos_token = nn::kNoEosToken);
+[[nodiscard]] Frame make_token(std::uint64_t stream_id, std::uint32_t index,
+                               std::int32_t token);
+[[nodiscard]] Frame make_done(std::uint64_t stream_id, nn::StopReason reason,
+                              std::uint32_t token_count);
+[[nodiscard]] Frame make_reject(std::uint64_t stream_id, NetStatus status,
+                                std::string_view detail);
+[[nodiscard]] Frame make_cancel(std::uint64_t stream_id);
+[[nodiscard]] Frame make_error(std::string_view detail);
+
+/// Incremental frame parser: feed() whatever bytes arrived, next() pops
+/// complete frames in order. A malformed frame (oversized length, unknown
+/// type, truncated payload) sets error() permanently — the connection
+/// must be torn down, there is no resynchronization in a length-prefixed
+/// stream.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t n);
+  /// The next complete frame, or nullopt when more bytes are needed (or
+  /// the stream is in error).
+  [[nodiscard]] std::optional<Frame> next();
+  [[nodiscard]] bool error() const noexcept { return !error_.empty(); }
+  [[nodiscard]] const std::string& error_detail() const noexcept {
+    return error_;
+  }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::string error_;
+};
+
+}  // namespace et::net

@@ -1,5 +1,6 @@
 #include "serving/metrics.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -127,24 +128,42 @@ std::vector<ScalarField> MetricsRegistry::scalars() const {
 namespace {
 
 /// Trim floats to a stable short form: integers print without a decimal
-/// point so counters stay counters in the JSON, everything else gets
-/// enough digits to round-trip the values we emit (ticks, us, rates).
+/// point so counters stay counters in the JSON, everything else gets the
+/// shortest digits that round-trip. std::to_chars, not snprintf — the
+/// output must be valid JSON under ANY process locale (a "," decimal
+/// separator from %g would corrupt the document), and to_chars is
+/// locale-independent by specification. Non-finite values have no JSON
+/// spelling; emit null rather than a bare token parsers choke on.
 std::string fmt_number(double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", v);
-    return buf;
-  }
+  if (!std::isfinite(v)) return "null";
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  return buf;
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    const auto r = std::to_chars(buf, buf + sizeof buf,
+                                 static_cast<long long>(v));
+    return std::string(buf, r.ptr);
+  }
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, r.ptr);
 }
 
+/// JSON string literal: escapes quotes, backslashes and (as \u00XX)
+/// control characters, so any metric name — including ones built from
+/// tenant or model names — yields a parseable document.
 std::string quoted(const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
   std::string out = "\"";
   for (char ch : s) {
-    if (ch == '"' || ch == '\\') out += '\\';
-    out += ch;
+    const auto u = static_cast<unsigned char>(ch);
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (u < 0x20) {
+      out += "\\u00";
+      out += kHex[u >> 4];
+      out += kHex[u & 0xF];
+    } else {
+      out += ch;
+    }
   }
   out += '"';
   return out;

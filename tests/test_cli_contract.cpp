@@ -11,7 +11,10 @@
 
 #include <cstdio>
 #include <string>
+#include <csignal>
+#include <poll.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include "nn/encoder.hpp"
 #include "serving/server.hpp"
@@ -38,6 +41,58 @@ RunResult run_cli(const std::string& args) {
     r.output.append(buf, n);
   }
   const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+// Spawn et_cli directly (popen cannot deliver signals), wait for the
+// readiness marker on its combined stdout/stderr, send `sig`, then
+// collect the rest of the output and the exit status. If the marker
+// never appears within the deadline the child is SIGKILLed so the test
+// fails with output instead of hanging.
+RunResult run_until_marker_then_signal(const std::string& args,
+                                       const std::string& marker, int sig) {
+  RunResult r;
+  int fds[2];
+  if (::pipe(fds) != 0) return r;
+  const pid_t pid = ::fork();
+  if (pid < 0) return r;
+  if (pid == 0) {
+    ::dup2(fds[1], 1);
+    ::dup2(fds[1], 2);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    const std::string cmd = std::string(ET_CLI_PATH) + " " + args;
+    ::execl("/bin/sh", "sh", "-c", ("exec " + cmd).c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(fds[1]);
+  bool signalled = false;
+  const int deadline_ms = 60000;
+  int waited_ms = 0;
+  char buf[512];
+  for (;;) {
+    pollfd p{fds[0], POLLIN, 0};
+    const int rc = ::poll(&p, 1, 100);
+    if (rc == 0) {
+      waited_ms += 100;
+      if (waited_ms >= deadline_ms) break;  // wedged: fail with output
+      continue;
+    }
+    if (rc < 0) break;
+    const ssize_t n = ::read(fds[0], buf, sizeof buf);
+    if (n <= 0) break;  // EOF: child exited
+    r.output.append(buf, static_cast<std::size_t>(n));
+    if (!signalled && r.output.find(marker) != std::string::npos) {
+      ::kill(pid, sig);
+      signalled = true;
+    }
+  }
+  if (!signalled) ::kill(pid, SIGKILL);
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
   if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
   return r;
 }
@@ -258,6 +313,42 @@ TEST(CliContract, ResilienceFlagsValidateAndLandInTheJsonConfigLine) {
   ASSERT_EQ(d.exit_code, 0) << d.output;
   EXPECT_NE(d.output.find("\"retries\": 0"), std::string::npos) << d.output;
   EXPECT_NE(d.output.find("\"preempt\": true"), std::string::npos) << d.output;
+}
+
+TEST(CliContract, ListenFlagValidatesPortAndDrainTicks) {
+  // Junk and out-of-range ports are named and refused, not truncated.
+  const auto junk = run_cli("--listen banana");
+  EXPECT_EQ(junk.exit_code, 2);
+  EXPECT_NE(junk.output.find("banana"), std::string::npos) << junk.output;
+  const auto range = run_cli("--listen 70000");
+  EXPECT_EQ(range.exit_code, 2);
+  EXPECT_NE(range.output.find("65535"), std::string::npos) << range.output;
+  const auto ticks = run_cli("--drain-ticks banana");
+  EXPECT_EQ(ticks.exit_code, 2);
+  EXPECT_NE(ticks.output.find("--drain-ticks"), std::string::npos)
+      << ticks.output;
+  // And --help documents the whole network flag set.
+  const auto help = run_cli("--help");
+  ASSERT_EQ(help.exit_code, 0);
+  for (const char* flag :
+       {"--listen", "--drain-ticks", "--allow-unchecksummed"}) {
+    EXPECT_NE(help.output.find(flag), std::string::npos)
+        << "--help is missing " << flag;
+  }
+}
+
+TEST(CliContract, ListenShutsDownGracefullyOnStopSignals) {
+  // The readiness line is the handshake: once it appears, a stop signal
+  // must take the graceful path — drain, report, exit 0 — never the
+  // default action. Both SIGINT and SIGTERM are wired.
+  for (const int sig : {SIGINT, SIGTERM}) {
+    const auto r = run_until_marker_then_signal(
+        "--listen 0 --seq 64 --drain-ticks 8", "listening on 127.0.0.1:",
+        sig);
+    EXPECT_EQ(r.exit_code, 0) << "signal " << sig << ": " << r.output;
+    EXPECT_NE(r.output.find("drained in"), std::string::npos)
+        << "signal " << sig << ": " << r.output;
+  }
 }
 
 TEST(CliContract, ServeRejectsAndExpiresUnderPressureDeterministically) {

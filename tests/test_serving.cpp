@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <clocale>
 #include <iterator>
 #include <ostream>
 #include <stdexcept>
@@ -161,6 +162,48 @@ TEST(Metrics, JsonSnapshotIsStableAndContainsEveryFamily) {
   // Compact mode stays one line.
   const std::string compact = reg.json(0);
   EXPECT_EQ(compact.find('\n'), std::string::npos);
+}
+
+TEST(Metrics, JsonNumbersAreLocaleIndependent) {
+  // json() is documented as valid JSON under ANY process locale: a
+  // comma decimal separator leaking in from printf-family formatting
+  // would corrupt the document. Flip LC_NUMERIC to a comma locale when
+  // the image ships one; either way the invariant below must hold.
+  const std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+  const char* active = nullptr;
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      active = name;
+      break;
+    }
+  }
+  MetricsRegistry reg;
+  reg.gauge("depth").set(1.5);
+  reg.gauge("tiny").set(0.0078125);  // exact binary fraction
+  reg.counter("requests").inc(3);
+  const std::string json = reg.json();
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  SCOPED_TRACE(active != nullptr ? std::string("locale ") + active
+                                 : std::string("no comma locale installed"));
+  EXPECT_NE(json.find("\"depth\": 1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tiny\": 0.0078125"), std::string::npos) << json;
+  // Integers print without a decimal point, so counters stay counters.
+  EXPECT_NE(json.find("\"requests\": 3"), std::string::npos) << json;
+  EXPECT_EQ(json.find("1,5"), std::string::npos) << json;  // never "1,5"
+}
+
+TEST(Metrics, JsonEscapesHostileMetricNames) {
+  // Metric names are built from tenant and model strings the server does
+  // not control — quotes, backslashes and control characters must come
+  // out as JSON escapes, not document corruption.
+  MetricsRegistry reg;
+  reg.counter("a\"b\\c\nd").inc();
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"a\\\"b\\\\c\\u000ad\": 1"), std::string::npos)
+      << json;
+  // Compact mode carries the same escaping.
+  EXPECT_NE(reg.json(0).find("\\u000a"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
