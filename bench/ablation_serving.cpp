@@ -29,6 +29,7 @@
 //      folded rows carry strictly less KV storage and device traffic.
 #include <bit>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -121,13 +122,18 @@ struct ServeParams {
   std::size_t prompt_len = 0;
   std::size_t group_size = 0;
   et::core::PagedKVOptions kv;
+  // Weight-format descriptor handed to nn::Model (nullopt = derive from
+  // the weights, the historical behavior); kInt8 serves the quantized
+  // decode path.
+  std::optional<et::nn::WeightFormat> weights;
 };
 
 ServeOutcome run_served(const std::vector<et::nn::EncoderWeights>& layers,
                         const et::nn::EncoderOptions& opt,
                         const ServeParams& p) {
   const et::nn::Model model(
-      &layers, opt, p.tokens + (p.prompt_len > 0 ? p.prompt_len : 1));
+      &layers, opt, p.tokens + (p.prompt_len > 0 ? p.prompt_len : 1),
+      p.weights);
   et::serving::ServerConfig scfg;
   scfg.max_batch = p.slots;
   scfg.queue_capacity = p.queue_capacity;
@@ -183,7 +189,7 @@ ServeOutcome run_served(const std::vector<et::nn::EncoderWeights>& layers,
 
   ServeOutcome out;
   out.time_us = dev.total_time_us();
-  out.weights = std::string(model.weight_layout());
+  out.weights = std::string(et::nn::to_string(model.weight_layout()));
   out.scalars = server.metrics().scalars();
   out.metrics_json = server.metrics().json(0);
   for (const auto& h : handles) {
@@ -250,7 +256,8 @@ int main(int argc, char** argv) {
       "queue_capacity",   "threads",        "weights",
       "shedding",         "queue_budget",   "retry_budget",
       "fault_fraction",   "block_tokens",   "sharing",
-      "time_us",          "p99_queue_wait", "retry_success"};
+      "kv_precision",     "time_us",        "p99_queue_wait",
+      "retry_success"};
   {
     et::serving::InferenceServer server(et::nn::Model(&layers, opt, 4),
                                         {2, 4});
@@ -289,6 +296,7 @@ int main(int argc, char** argv) {
         p.kv.block_tokens == 0 ? std::string("ctx")
                                : std::to_string(p.kv.block_tokens),
         p.kv.enable_prefix_sharing ? "on" : "off",
+        std::string(et::core::to_string(p.kv.precision)),
         et::bench::fmt(r.time_us, 1),
         et::bench::fmt(r.p99_queue_wait, 1),
         et::bench::fmt(success, 3)};
@@ -510,6 +518,60 @@ int main(int argc, char** argv) {
     }
     add_row(off, b);
     add_row(p, a);
+  }
+
+  // ---- INT8-KV rows (docs/quantization.md): the same mid-load INT8-weight
+  // workload served over an fp32 and an int8 paged-KV pool. Quantized KV
+  // stores one byte per element plus two fp32 scales per row, so at equal
+  // offered load the peak KV residency must drop to ≤ 55% of the fp32
+  // baseline — at a fixed physical byte budget that is ≥ 2× the resident
+  // batch. INT8 KV rounds the cached rows (documented, lossy), so the
+  // cross-precision gate is on bytes and shape, not transcripts; the int8
+  // run itself must still reproduce bit for bit across a re-run and at 4
+  // threads (the serving determinism contract is precision-independent).
+  if (!shared_only) {
+    ServeParams p;
+    p.arrive = 2;
+    p.weights = et::nn::WeightFormat::kInt8;
+    ServeParams pi = p;
+    pi.kv.precision = et::core::KvPrecision::kInt8;
+    const auto fp = run_served(layers, opt, p);
+    const auto i8 = run_served(layers, opt, pi);
+    const auto i8_re = run_served(layers, opt, pi);
+    ServeParams pit = pi;
+    pit.threads = 4;
+    const auto i8_t = run_served(layers, opt, pit);
+    if (i8.metrics_json != i8_re.metrics_json ||
+        i8.metrics_json != i8_t.metrics_json ||
+        i8.transcripts != i8_re.transcripts ||
+        i8.transcripts != i8_t.transcripts) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: int8-KV row diverged across "
+                   "identical re-runs / thread counts\n");
+      return 1;
+    }
+    if (!(i8.scalar("kv_bytes_used_peak") <=
+          0.55 * fp.scalar("kv_bytes_used_peak"))) {
+      std::fprintf(stderr,
+                   "INT8-KV ROW VIOLATION: peak KV residency %.0f is not "
+                   "<= 55%% of the fp32 baseline %.0f\n",
+                   i8.scalar("kv_bytes_used_peak"),
+                   fp.scalar("kv_bytes_used_peak"));
+      return 1;
+    }
+    bool same_shape = fp.transcripts.size() == i8.transcripts.size();
+    for (std::size_t r = 0; same_shape && r < fp.transcripts.size(); ++r) {
+      same_shape = fp.transcripts[r].size() == i8.transcripts[r].size();
+    }
+    if (!same_shape) {
+      std::fprintf(stderr,
+                   "INT8-KV ROW VIOLATION: KV precision changed the shape "
+                   "of the serve (per-request token counts) — it must only "
+                   "round values, never scheduling\n");
+      return 1;
+    }
+    add_row(p, fp);
+    add_row(pi, i8);
   }
 
   table.print();

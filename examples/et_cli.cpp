@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "core/adaptive.hpp"
+#include "core/block_allocator.hpp"
 #include "core/weights.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/profiler.hpp"
@@ -54,10 +55,16 @@ struct Args {
   std::size_t seq = 128;
   std::size_t batch = 0;    // > 0: batched-generation serving demo
   std::size_t tokens = 16;  // tokens per sequence in serving modes
-  // Decode-path weight layout for --serve/--batch: the cached dense
-  // path, the pre-computed W_VO fold (§3.1), or attention-aware pruned
-  // formats (condensed-V row-pruned W_V + tile-pruned W_Q).
-  std::string weights_layout = "dense";
+  // Decode-path weight layout for --serve/--batch/--listen: the cached
+  // dense path, the pre-computed W_VO fold (§3.1), attention-aware pruned
+  // formats (condensed-V row-pruned W_V + tile-pruned W_Q), or per-channel
+  // INT8 GEMMs over the dense materialization (docs/quantization.md).
+  et::nn::WeightFormat weights_layout = et::nn::WeightFormat::kDense;
+  // Paged-KV storage precision for the serving modes: fp32 (lossless) or
+  // int8 with per-row scales (~4× smaller KV blocks, bounded decode
+  // error — docs/quantization.md).
+  et::core::KvPrecision kv_precision = et::core::KvPrecision::kFp32;
+  bool kv_precision_given = false;  // flag only applies to serving modes
   std::size_t threads = 1;  // ExecContext thread-pool size
   double ratio = 0.0;
   bool profile = false;
@@ -247,14 +254,30 @@ bool parse(int argc, char** argv, Args& a) {
     }
     else if (arg == "--weights") {
       if (next(arg, v)) {
-        if (v != "dense" && v != "precomputed" && v != "pruned") {
+        const auto f = et::nn::from_string(v);
+        if (!f) {
           std::fprintf(stderr,
                        "bad value for --weights: '%s' (want dense | "
-                       "precomputed | pruned)\n",
+                       "precomputed | pruned | int8)\n",
                        v.c_str());
           ok = false;
         } else {
-          a.weights_layout = v;
+          a.weights_layout = *f;
+        }
+      }
+    }
+    else if (arg == "--kv-precision") {
+      if (next(arg, v)) {
+        const auto p = et::core::kv_precision_from_string(v);
+        if (!p) {
+          std::fprintf(stderr,
+                       "bad value for --kv-precision: '%s' (want fp32 | "
+                       "int8)\n",
+                       v.c_str());
+          ok = false;
+        } else {
+          a.kv_precision = *p;
+          a.kv_precision_given = true;
         }
       }
     }
@@ -293,6 +316,16 @@ bool parse(int argc, char** argv, Args& a) {
                  "--backoff-ticks requires --retries N with N > 0\n");
     ok = false;
   }
+  // --kv-precision selects the paged KV pool's storage precision, which
+  // only the serving modes own — outside them the flag would silently do
+  // nothing.
+  if (ok && a.kv_precision_given && !a.serve && a.batch == 0 &&
+      !a.listen_given) {
+    std::fprintf(stderr,
+                 "--kv-precision requires a serving mode (--serve, --batch N "
+                 "or --listen)\n");
+    ok = false;
+  }
   return ok;
 }
 
@@ -313,13 +346,20 @@ void usage() {
       "              slot-based batched scheduler (see docs/serving.md);\n"
       "              under --serve, N is the slot count (default 4, cap 8)\n"
       "  --tokens T  tokens per sequence in serving modes (default 16)\n"
-      "  --weights   dense | precomputed | pruned   (default dense)\n"
-      "              decode-path weight layout for --serve/--batch:\n"
+      "  --weights   dense | precomputed | pruned | int8  (default dense)\n"
+      "              decode-path weight layout for --serve/--batch/--listen:\n"
       "              'precomputed' folds W_V·W_O into the condensed W_VO\n"
       "              block (smaller KV V-plane, no out-projection);\n"
       "              'pruned' deploys a condensable row-pruned W_V plus a\n"
       "              tile-pruned W_Q; both need dense base projections\n"
-      "              (drop --strategy/--ratio)\n"
+      "              (drop --strategy/--ratio). 'int8' runs every decode\n"
+      "              GEMM as a per-channel INT8 kernel over the dense\n"
+      "              materialization (docs/quantization.md)\n"
+      "  --kv-precision fp32 | int8               (default fp32)\n"
+      "              paged-KV storage precision for the serving modes:\n"
+      "              'int8' stores K/V rows quantized with per-row scales\n"
+      "              (~4x smaller blocks, bounded decode error); needs\n"
+      "              --serve, --batch or --listen\n"
       "  --threads N run kernels on an N-thread ExecContext pool; output\n"
       "              is bit-identical at every N (docs/threading.md)\n"
       "  --device    v100s | a100                     (default v100s)\n"
@@ -366,20 +406,25 @@ void usage() {
 }
 
 /// Build the two-layer decode stack --serve/--batch run, in the layout
-/// --weights selects. "dense" strips any fold the strategy path left
-/// behind (the cached dense decode). "precomputed" folds W_V·W_O into a
+/// --weights selects. kDense strips any fold the strategy path left
+/// behind (the cached dense decode). kPrecomputed folds W_V·W_O into a
 /// per-head condensed W_VO block keeping d/(2H) output columns per head;
-/// "pruned" deploys a balanced row-pruned W_V (half of each head's rows,
+/// kPruned deploys a balanced row-pruned W_V (half of each head's rows,
 /// so the KV cache stores the condensed V) plus a checkerboard
-/// tile-pruned W_Q. The non-dense layouts rebuild from the dense
-/// projection matrices, so they refuse (with an error naming the flag)
-/// when --strategy/--ratio already replaced those with pruned formats.
+/// tile-pruned W_Q. Those two rebuild from the dense projection matrices,
+/// so they refuse (with an error naming the flag) when --strategy/--ratio
+/// already replaced those with pruned formats. kInt8 keeps whatever
+/// layout the strategy path deployed — the nn::Model handle quantizes
+/// each weight's dense materialization at construction.
 bool build_serving_layers(const Args& args, const et::nn::ModelConfig& model,
                           const et::nn::EncoderWeights& weights,
                           std::vector<et::nn::EncoderWeights>& layers) {
   layers.assign(2, weights);
   for (auto& l : layers) l.attn.vo = {};
-  if (args.weights_layout == "dense") return true;
+  if (args.weights_layout == et::nn::WeightFormat::kDense ||
+      args.weights_layout == et::nn::WeightFormat::kInt8) {
+    return true;
+  }
 
   const auto* wq = std::get_if<et::sparse::DenseWeight>(&weights.attn.wq);
   const auto* wv = std::get_if<et::sparse::DenseWeight>(&weights.attn.wv);
@@ -387,7 +432,7 @@ bool build_serving_layers(const Args& args, const et::nn::ModelConfig& model,
   const std::size_t d = model.d_model;
   const std::size_t dk = d / model.num_heads;
 
-  if (args.weights_layout == "precomputed") {
+  if (args.weights_layout == et::nn::WeightFormat::kPrecomputed) {
     if (wv == nullptr || wo == nullptr) {
       std::fprintf(stderr,
                    "--weights precomputed needs dense W_V/W_O to fold; drop "
@@ -503,6 +548,15 @@ int main(int argc, char** argv) {
       !arm_from_spec(dev.fault_injector(), args.inject_fault)) {
     return 2;
   }
+  // Explicit non-dense formats are validated (or, for int8, applied) by
+  // the nn::Model handle against the deployed weights. kDense stays
+  // nullopt-derived: under --strategy the "dense" layout legitimately
+  // carries pruned formats, and an explicit kDense request would refuse
+  // them.
+  const std::optional<et::nn::WeightFormat> weight_format =
+      args.weights_layout == et::nn::WeightFormat::kDense
+          ? std::optional<et::nn::WeightFormat>{}
+          : std::optional<et::nn::WeightFormat>(args.weights_layout);
   if (args.listen_given) {
     // Network API server (docs/api.md): the demo model registered as
     // ("demo", v1) in a ModelRegistry, served to the three demo tenants
@@ -514,7 +568,8 @@ int main(int argc, char** argv) {
     gopt.adaptive.forced = forced_attention;
 
     et::serving::ModelRegistry registry(args.allow_unchecksummed);
-    registry.add("demo", 1, std::move(layers), gopt, args.seq);
+    registry.add("demo", 1, std::move(layers), gopt, args.seq, 257,
+                 weight_format);
 
     et::net::ApiServerConfig ncfg;
     ncfg.port = static_cast<std::uint16_t>(args.listen_port);
@@ -523,6 +578,7 @@ int main(int argc, char** argv) {
     ncfg.engine.max_batch = requested < 8 ? requested : 8;
     ncfg.engine.queue_capacity = args.queue_cap;
     ncfg.engine.enable_preemption = args.preempt;
+    ncfg.engine.kv.precision = args.kv_precision;
 
     et::net::ApiServer api(ncfg, et::net::TenantTable::demo(), registry);
     api.serve_model("demo");
@@ -540,7 +596,13 @@ int main(int argc, char** argv) {
     }
     const et::net::DrainResult dr = api.shutdown(args.drain_ticks);
     if (args.json) {
-      std::printf("%s\n", api.metrics_json(2).c_str());
+      // Config echo first (the same weights/kv_precision keys the other
+      // serving modes carry), then the metrics snapshot.
+      std::printf("{\n  \"weights\": \"%s\", \"kv_precision\": \"%s\",\n"
+                  "  \"metrics\": %s\n}\n",
+                  std::string(et::nn::to_string(args.weights_layout)).c_str(),
+                  std::string(et::core::to_string(args.kv_precision)).c_str(),
+                  api.metrics_json(2).c_str());
     } else {
       std::printf("drained in %zu tick(s), %zu request(s) cancelled\n",
                   dr.drain_ticks_used, dr.cancelled);
@@ -560,11 +622,12 @@ int main(int argc, char** argv) {
     gopt.adaptive.forced = forced_attention;
     const std::size_t requested = args.batch == 0 ? 4 : args.batch;
     const std::size_t slots = requested < 8 ? requested : 8;
-    const et::nn::Model handle(&layers, gopt, args.tokens + 1);
+    const et::nn::Model handle(&layers, gopt, args.tokens + 1, weight_format);
     et::serving::ServerConfig scfg;
     scfg.max_batch = slots;
     scfg.queue_capacity = args.queue_cap;
     scfg.enable_preemption = args.preempt;
+    scfg.kv.precision = args.kv_precision;
     et::serving::InferenceServer server(handle, scfg);
 
     std::vector<et::serving::RequestHandle> handles;
@@ -627,10 +690,12 @@ int main(int argc, char** argv) {
                   spec.name.c_str());
       std::printf("  \"requests\": %zu, \"slots\": %zu, \"queue_capacity\": "
                   "%zu, \"offered_per_tick\": %zu, \"threads\": %zu, "
-                  "\"weights\": \"%s\", \"attention\": \"%s\",\n",
+                  "\"weights\": \"%s\", \"kv_precision\": \"%s\", "
+                  "\"attention\": \"%s\",\n",
                   args.requests, slots, args.queue_cap, args.arrive,
                   ctx.threads(),
-                  std::string(handle.weight_layout()).c_str(),
+                  std::string(et::nn::to_string(handle.weight_layout())).c_str(),
+                  std::string(et::core::to_string(args.kv_precision)).c_str(),
                   args.attention.c_str());
       std::printf("  \"retries\": %zu, \"backoff_ticks\": %zu, "
                   "\"preempt\": %s,\n",
@@ -648,10 +713,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::printf("%s · %s · serving %zu request(s) on %zu slot(s), queue %zu "
-                "· %s weights · %s\n",
+                "· %s weights · %s kv · %s\n",
                 model.name.c_str(), args.pipeline.c_str(), args.requests,
                 slots, args.queue_cap,
-                std::string(handle.weight_layout()).c_str(),
+                std::string(et::nn::to_string(handle.weight_layout())).c_str(),
+                std::string(et::core::to_string(args.kv_precision)).c_str(),
                 spec.name.c_str());
     if (args.arrive > 0) {
       std::printf("  offered load: %zu request(s)/tick\n", args.arrive);
@@ -708,8 +774,10 @@ int main(int argc, char** argv) {
         et::nn::options_for(pipeline, model, args.seq, /*causal=*/true);
     gopt.adaptive.forced = forced_attention;
     const std::size_t max_batch = args.batch < 8 ? args.batch : 8;
-    const et::nn::Model handle(&layers, gopt, args.tokens + 1);
-    et::nn::BatchedGenerationScheduler sched(handle, max_batch);
+    const et::nn::Model handle(&layers, gopt, args.tokens + 1, weight_format);
+    et::core::PagedKVOptions kv;
+    kv.precision = args.kv_precision;
+    et::nn::BatchedGenerationScheduler sched(handle, max_batch, kv);
     for (std::size_t i = 0; i < args.batch; ++i) {
       et::nn::GenerationRequest req;
       req.first_token = static_cast<std::int32_t>(i);
@@ -734,9 +802,11 @@ int main(int argc, char** argv) {
                   model.name.c_str(), args.pipeline.c_str(),
                   spec.name.c_str());
       std::printf("  \"batch\": %zu, \"threads\": %zu, \"slots\": %zu, "
-                  "\"weights\": \"%s\", \"attention\": \"%s\",\n",
+                  "\"weights\": \"%s\", \"kv_precision\": \"%s\", "
+                  "\"attention\": \"%s\",\n",
                   args.batch, ctx.threads(), max_batch,
-                  std::string(handle.weight_layout()).c_str(),
+                  std::string(et::nn::to_string(handle.weight_layout())).c_str(),
+                  std::string(et::core::to_string(args.kv_precision)).c_str(),
                   args.attention.c_str());
       std::printf("  \"total_tokens\": %zu, \"ticks\": %zu, "
                   "\"batched_ticks\": %zu, \"per_slot_fallback_ticks\": "
@@ -771,9 +841,10 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::printf("%s · %s · serving %zu sequences on %zu slot(s) · %s "
-                "weights · %s\n",
+                "weights · %s kv · %s\n",
                 model.name.c_str(), args.pipeline.c_str(), args.batch,
-                max_batch, std::string(handle.weight_layout()).c_str(),
+                max_batch, std::string(et::nn::to_string(handle.weight_layout())).c_str(),
+                std::string(et::core::to_string(args.kv_precision)).c_str(),
                 spec.name.c_str());
     std::printf("  %zu tokens in %.1f us (%.1f tokens/sec), %zu ticks "
                 "(%zu batched, %zu degraded to per-slot)\n",

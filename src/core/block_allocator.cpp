@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -11,10 +12,34 @@ namespace et::core {
 // ---------------------------------------------------------------------------
 // BlockAllocator
 
+namespace {
+
+/// Symmetric int8 quantization of one row against its own amax — the
+/// same scheme as quant::quantize_weight, restated here so core stays
+/// below et_quant in the library graph. A pure function of `src`:
+/// deterministic at any thread count, identical whichever slot writes
+/// the row.
+void quantize_row(std::span<const float> src, std::int8_t* dst,
+                  float& scale) {
+  float amax = 0.0f;
+  for (const float v : src) amax = std::max(amax, std::abs(v));
+  scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+  for (std::size_t c = 0; c < src.size(); ++c) {
+    dst[c] = static_cast<std::int8_t>(
+        std::clamp(std::round(src[c] / scale), -127.0f, 127.0f));
+  }
+}
+
+}  // namespace
+
 BlockAllocator::BlockAllocator(std::size_t num_blocks, std::size_t block_tokens,
                                std::size_t k_width,
-                               const std::vector<std::size_t>& v_widths)
-    : block_tokens_(block_tokens), k_width_(k_width), v_widths_(v_widths) {
+                               const std::vector<std::size_t>& v_widths,
+                               KvPrecision precision)
+    : block_tokens_(block_tokens),
+      k_width_(k_width),
+      precision_(precision),
+      v_widths_(v_widths) {
   if (num_blocks == 0 || block_tokens == 0 || k_width == 0) {
     throw std::invalid_argument(
         "BlockAllocator: num_blocks, block_tokens and k_width must be "
@@ -23,18 +48,35 @@ BlockAllocator::BlockAllocator(std::size_t num_blocks, std::size_t block_tokens,
   if (v_widths_.empty()) {
     throw std::invalid_argument("BlockAllocator: v_widths must be non-empty");
   }
+  const bool int8 = precision_ == KvPrecision::kInt8;
   for (const std::size_t vw : v_widths_) {
     if (vw == 0) {
       throw std::invalid_argument("BlockAllocator: zero v_width");
     }
-    row_bytes_ += (k_width + vw) * sizeof(float);
+    // kInt8: 1 byte per element plus the two per-row reconstruction
+    // scales (K and V) the block metadata carries.
+    row_bytes_ += int8 ? (k_width + vw) + 2 * sizeof(float)
+                       : (k_width + vw) * sizeof(float);
   }
   const std::size_t rows = num_blocks * block_tokens;
-  k_planes_.reserve(v_widths_.size());
-  v_planes_.reserve(v_widths_.size());
-  for (const std::size_t vw : v_widths_) {
-    k_planes_.emplace_back(rows, k_width);
-    v_planes_.emplace_back(rows, vw);
+  if (int8) {
+    k8_planes_.reserve(v_widths_.size());
+    v8_planes_.reserve(v_widths_.size());
+    k_scales_.reserve(v_widths_.size());
+    v_scales_.reserve(v_widths_.size());
+    for (const std::size_t vw : v_widths_) {
+      k8_planes_.emplace_back(rows, k_width);
+      v8_planes_.emplace_back(rows, vw);
+      k_scales_.emplace_back(rows, 1.0f);
+      v_scales_.emplace_back(rows, 1.0f);
+    }
+  } else {
+    k_planes_.reserve(v_widths_.size());
+    v_planes_.reserve(v_widths_.size());
+    for (const std::size_t vw : v_widths_) {
+      k_planes_.emplace_back(rows, k_width);
+      v_planes_.emplace_back(rows, vw);
+    }
   }
   refs_.assign(num_blocks, 0);
   free_.reserve(num_blocks);
@@ -72,9 +114,18 @@ bool BlockAllocator::release(BlockId block) {
   return true;
 }
 
+namespace {
+[[noreturn]] void throw_raw_row_on_int8(const char* fn) {
+  throw std::logic_error(std::string("BlockAllocator::") + fn +
+                         ": raw FP32 rows do not exist on a kInt8 pool "
+                         "(use store_/load_ row IO)");
+}
+}  // namespace
+
 std::span<float> BlockAllocator::k_row(std::size_t layer, BlockId block,
                                        std::size_t offset) {
   assert(refs_.at(block) > 0 && offset < block_tokens_);
+  if (precision_ == KvPrecision::kInt8) throw_raw_row_on_int8("k_row");
   tensor::MatrixF& plane = k_planes_.at(layer);
   return plane.row(block * block_tokens_ + offset);
 }
@@ -82,6 +133,7 @@ std::span<float> BlockAllocator::k_row(std::size_t layer, BlockId block,
 std::span<const float> BlockAllocator::k_row(std::size_t layer, BlockId block,
                                              std::size_t offset) const {
   assert(refs_.at(block) > 0 && offset < block_tokens_);
+  if (precision_ == KvPrecision::kInt8) throw_raw_row_on_int8("k_row");
   const tensor::MatrixF& plane = k_planes_.at(layer);
   return plane.row(block * block_tokens_ + offset);
 }
@@ -89,6 +141,7 @@ std::span<const float> BlockAllocator::k_row(std::size_t layer, BlockId block,
 std::span<float> BlockAllocator::v_row(std::size_t layer, BlockId block,
                                        std::size_t offset) {
   assert(refs_.at(block) > 0 && offset < block_tokens_);
+  if (precision_ == KvPrecision::kInt8) throw_raw_row_on_int8("v_row");
   tensor::MatrixF& plane = v_planes_.at(layer);
   return plane.row(block * block_tokens_ + offset);
 }
@@ -96,12 +149,108 @@ std::span<float> BlockAllocator::v_row(std::size_t layer, BlockId block,
 std::span<const float> BlockAllocator::v_row(std::size_t layer, BlockId block,
                                              std::size_t offset) const {
   assert(refs_.at(block) > 0 && offset < block_tokens_);
+  if (precision_ == KvPrecision::kInt8) throw_raw_row_on_int8("v_row");
   const tensor::MatrixF& plane = v_planes_.at(layer);
   return plane.row(block * block_tokens_ + offset);
 }
 
+void BlockAllocator::store_k_row(std::size_t layer, BlockId block,
+                                 std::size_t offset,
+                                 std::span<const float> src) {
+  assert(refs_.at(block) > 0 && offset < block_tokens_ &&
+         src.size() == k_width_);
+  const std::size_t r = block * block_tokens_ + offset;
+  if (precision_ == KvPrecision::kInt8) {
+    quantize_row(src, k8_planes_.at(layer).row(r).data(),
+                 k_scales_[layer][r]);
+  } else {
+    std::memcpy(k_planes_.at(layer).row(r).data(), src.data(),
+                src.size() * sizeof(float));
+  }
+}
+
+void BlockAllocator::store_v_row(std::size_t layer, BlockId block,
+                                 std::size_t offset,
+                                 std::span<const float> src) {
+  assert(refs_.at(block) > 0 && offset < block_tokens_ &&
+         src.size() == v_widths_.at(layer));
+  const std::size_t r = block * block_tokens_ + offset;
+  if (precision_ == KvPrecision::kInt8) {
+    quantize_row(src, v8_planes_.at(layer).row(r).data(),
+                 v_scales_[layer][r]);
+  } else {
+    std::memcpy(v_planes_.at(layer).row(r).data(), src.data(),
+                src.size() * sizeof(float));
+  }
+}
+
+void BlockAllocator::load_k_row(std::size_t layer, BlockId block,
+                                std::size_t offset,
+                                std::span<float> dst) const {
+  assert(refs_.at(block) > 0 && offset < block_tokens_ &&
+         dst.size() == k_width_);
+  const std::size_t r = block * block_tokens_ + offset;
+  if (precision_ == KvPrecision::kInt8) {
+    const auto q = k8_planes_.at(layer).row(r);
+    const float scale = k_scales_[layer][r];
+    for (std::size_t c = 0; c < dst.size(); ++c) {
+      dst[c] = static_cast<float>(q[c]) * scale;
+    }
+  } else {
+    const auto s = k_planes_.at(layer).row(r);
+    std::memcpy(dst.data(), s.data(), dst.size() * sizeof(float));
+  }
+}
+
+void BlockAllocator::load_v_row(std::size_t layer, BlockId block,
+                                std::size_t offset,
+                                std::span<float> dst) const {
+  assert(refs_.at(block) > 0 && offset < block_tokens_ &&
+         dst.size() == v_widths_.at(layer));
+  const std::size_t r = block * block_tokens_ + offset;
+  if (precision_ == KvPrecision::kInt8) {
+    const auto q = v8_planes_.at(layer).row(r);
+    const float scale = v_scales_[layer][r];
+    for (std::size_t c = 0; c < dst.size(); ++c) {
+      dst[c] = static_cast<float>(q[c]) * scale;
+    }
+  } else {
+    const auto s = v_planes_.at(layer).row(r);
+    std::memcpy(dst.data(), s.data(), dst.size() * sizeof(float));
+  }
+}
+
+float BlockAllocator::k_row_scale(std::size_t layer, BlockId block,
+                                  std::size_t offset) const {
+  if (precision_ != KvPrecision::kInt8) return 1.0f;
+  return k_scales_.at(layer).at(block * block_tokens_ + offset);
+}
+
+float BlockAllocator::v_row_scale(std::size_t layer, BlockId block,
+                                  std::size_t offset) const {
+  if (precision_ != KvPrecision::kInt8) return 1.0f;
+  return v_scales_.at(layer).at(block * block_tokens_ + offset);
+}
+
 void BlockAllocator::copy_rows(BlockId from, BlockId to, std::size_t rows) {
   assert(rows <= block_tokens_);
+  if (precision_ == KvPrecision::kInt8) {
+    // Verbatim int8 + scale copy — re-quantizing a reconstruction would
+    // compound error and break the CoW-is-invisible contract.
+    for (std::size_t l = 0; l < num_layers(); ++l) {
+      const std::size_t fb = from * block_tokens_;
+      const std::size_t tb = to * block_tokens_;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const auto ks = k8_planes_[l].row(fb + r);
+        const auto vs = v8_planes_[l].row(fb + r);
+        std::memcpy(k8_planes_[l].row(tb + r).data(), ks.data(), ks.size());
+        std::memcpy(v8_planes_[l].row(tb + r).data(), vs.data(), vs.size());
+        k_scales_[l][tb + r] = k_scales_[l][fb + r];
+        v_scales_[l][tb + r] = v_scales_[l][fb + r];
+      }
+    }
+    return;
+  }
   for (std::size_t l = 0; l < num_layers(); ++l) {
     for (std::size_t r = 0; r < rows; ++r) {
       const auto ks = k_row(l, from, r);
@@ -126,6 +275,9 @@ std::size_t PagedKVCache::k_width() const noexcept {
 }
 std::size_t PagedKVCache::v_width() const noexcept {
   return slot_->pool_->allocator().v_width(layer_);
+}
+KvPrecision PagedKVCache::precision() const noexcept {
+  return slot_->pool_->allocator().precision();
 }
 void PagedKVCache::append(std::span<const float> k_row,
                           std::span<const float> v_row) {
@@ -231,10 +383,12 @@ void PagedKVSlot::append(std::size_t layer, std::span<const float> k_row,
   }
   pool_->trie_.invalidate(table_[bi], off);  // no-op after prepare_append
   const BlockId b = table_[bi];
-  std::memcpy(alloc.k_row(layer, b, off).data(), k_row.data(),
-              kw * sizeof(float));
-  std::memcpy(alloc.v_row(layer, b, off).data(), v_row.data(),
-              vw * sizeof(float));
+  // Precision-aware row write: a plain copy on fp32 pools, a
+  // deterministic per-row quantization (scale recorded in the block
+  // metadata) on int8 ones. Still a pure row write — safe from the
+  // parallel decode section.
+  alloc.store_k_row(layer, b, off, k_row);
+  alloc.store_v_row(layer, b, off, v_row);
   ++used_[layer];
   if (layer + 1 == alloc.num_layers()) register_completed_prefix(pos + 1);
 }
@@ -258,8 +412,7 @@ tensor::MatrixF PagedKVSlot::k_prefix(std::size_t layer) const {
   const std::size_t used = used_.at(layer);
   tensor::MatrixF out(used, alloc.k_width());
   for (std::size_t r = 0; r < used; ++r) {
-    const auto row = alloc.k_row(layer, table_[r / bt], r % bt);
-    std::memcpy(out.row(r).data(), row.data(), row.size() * sizeof(float));
+    alloc.load_k_row(layer, table_[r / bt], r % bt, out.row(r));
   }
   return out;
 }
@@ -270,8 +423,7 @@ tensor::MatrixF PagedKVSlot::v_prefix(std::size_t layer) const {
   const std::size_t used = used_.at(layer);
   tensor::MatrixF out(used, alloc.v_width(layer));
   for (std::size_t r = 0; r < used; ++r) {
-    const auto row = alloc.v_row(layer, table_[r / bt], r % bt);
-    std::memcpy(out.row(r).data(), row.data(), row.size() * sizeof(float));
+    alloc.load_v_row(layer, table_[r / bt], r % bt, out.row(r));
   }
   return out;
 }
@@ -320,7 +472,8 @@ PagedKVPool::PagedKVPool(std::size_t num_slots, std::size_t max_context,
                          PagedKVOptions opts)
     : alloc_(resolve_num_blocks(num_slots, max_context,
                                 resolve_block_tokens(max_context, opts), opts),
-             resolve_block_tokens(max_context, opts), k_width, v_widths),
+             resolve_block_tokens(max_context, opts), k_width, v_widths,
+             opts.precision),
       trie_(alloc_.block_tokens()),
       max_context_(max_context),
       // Whole-context blocks (the contiguous reference layout) cannot

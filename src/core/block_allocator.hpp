@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,37 @@
 #include "tensor/matrix.hpp"
 
 namespace et::core {
+
+/// Storage precision of the pooled KV planes. kFp32 is the lossless
+/// reference layout; kInt8 stores every K/V row as symmetric int8 with
+/// one FP32 reconstruction scale per row per plane, held in the block
+/// metadata (scale = amax/127 over that row alone, so quantization is a
+/// pure function of the appended row — deterministic at any thread count
+/// and identical whether the row is written by its first author or
+/// skipped under prefix sharing). Gathers reconstruct FP32, so decode
+/// math is unchanged in shape and bounded-error in value
+/// (docs/quantization.md).
+enum class KvPrecision : std::uint8_t { kFp32, kInt8 };
+
+[[nodiscard]] constexpr std::string_view to_string(KvPrecision p) noexcept {
+  switch (p) {
+    case KvPrecision::kFp32: return "fp32";
+    case KvPrecision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+/// Round-trip inverse of to_string (the PR-8 parsing convention): parse a
+/// CLI token or config value; nullopt on junk. Named for its enum because
+/// C++ cannot overload core::from_string on return type alone.
+[[nodiscard]] constexpr std::optional<KvPrecision> kv_precision_from_string(
+    std::string_view name) noexcept {
+  constexpr KvPrecision kAll[] = {KvPrecision::kFp32, KvPrecision::kInt8};
+  for (KvPrecision p : kAll) {
+    if (to_string(p) == name) return p;
+  }
+  return std::nullopt;
+}
 
 /// Default KV block granularity (tokens per block). Under the
 /// ET_CONTIGUOUS_KV build flag the default degenerates to "one block =
@@ -62,6 +94,12 @@ struct PagedKVOptions {
   /// Off: every request fills private blocks; transcripts and device
   /// traffic are identical either way — sharing changes memory only.
   bool enable_prefix_sharing = true;
+  /// Plane storage precision. kInt8 shrinks every KV element from 4
+  /// bytes to 1 (+ one FP32 scale per row per plane in block metadata),
+  /// so kv_bytes / kv_bytes_used drop to roughly a quarter of the fp32
+  /// layout and the same pool holds ~2× the resident batch of a
+  /// half-precision one (bench/ablation_serving's capacity row).
+  KvPrecision precision = KvPrecision::kFp32;
 };
 
 /// Pool-lifetime sharing statistics (monotonic; serving gauges).
@@ -81,7 +119,10 @@ class BlockAllocator {
   /// Throws std::invalid_argument on zero blocks/block_tokens/k_width,
   /// empty v_widths, or a zero v_width entry.
   BlockAllocator(std::size_t num_blocks, std::size_t block_tokens,
-                 std::size_t k_width, const std::vector<std::size_t>& v_widths);
+                 std::size_t k_width, const std::vector<std::size_t>& v_widths,
+                 KvPrecision precision = KvPrecision::kFp32);
+
+  [[nodiscard]] KvPrecision precision() const noexcept { return precision_; }
 
   [[nodiscard]] std::size_t num_blocks() const noexcept { return refs_.size(); }
   [[nodiscard]] std::size_t block_tokens() const noexcept {
@@ -105,7 +146,8 @@ class BlockAllocator {
   /// Bytes one block holds across every layer's K and V planes — the
   /// unit of the kv_bytes accounting formula (docs/serving.md):
   ///   kv_bytes_used = resident_blocks * block_tokens * Σ_l (k_width +
-  ///   v_width_l) * sizeof(float).
+  ///   v_width_l) * elem_bytes   (+ 2 scale floats per row per layer
+  /// under kInt8, where elem_bytes is 1 instead of sizeof(float)).
   [[nodiscard]] std::size_t bytes_per_block() const noexcept {
     return block_tokens_ * row_bytes_;
   }
@@ -137,7 +179,10 @@ class BlockAllocator {
     return refs_.at(block);
   }
 
-  /// Row accessors: row `offset` (< block_tokens) of `block` in `layer`.
+  /// Raw FP32 row accessors: row `offset` (< block_tokens) of `block` in
+  /// `layer`. Only meaningful on kFp32 pools (throws std::logic_error on
+  /// kInt8 ones — int8 rows are reached through store_/load_ below, which
+  /// own the scale bookkeeping).
   [[nodiscard]] std::span<float> k_row(std::size_t layer, BlockId block,
                                        std::size_t offset);
   [[nodiscard]] std::span<const float> k_row(std::size_t layer, BlockId block,
@@ -147,8 +192,32 @@ class BlockAllocator {
   [[nodiscard]] std::span<const float> v_row(std::size_t layer, BlockId block,
                                              std::size_t offset) const;
 
+  /// Precision-aware row IO. store_* writes `src` in the pool's storage
+  /// precision — a plain copy under kFp32; under kInt8 a symmetric
+  /// round-to-nearest quantization against the row's own amax with the
+  /// reconstruction scale recorded in the block metadata. load_* fills
+  /// `dst` with the FP32 reconstruction (exact under kFp32, q·scale
+  /// under kInt8). Spans must match the plane width.
+  void store_k_row(std::size_t layer, BlockId block, std::size_t offset,
+                   std::span<const float> src);
+  void store_v_row(std::size_t layer, BlockId block, std::size_t offset,
+                   std::span<const float> src);
+  void load_k_row(std::size_t layer, BlockId block, std::size_t offset,
+                  std::span<float> dst) const;
+  void load_v_row(std::size_t layer, BlockId block, std::size_t offset,
+                  std::span<float> dst) const;
+
+  /// Reconstruction scale stored for a row (1.0 on kFp32 pools) — the
+  /// per-block metadata the quant property suite reconstructs against.
+  [[nodiscard]] float k_row_scale(std::size_t layer, BlockId block,
+                                  std::size_t offset) const;
+  [[nodiscard]] float v_row_scale(std::size_t layer, BlockId block,
+                                  std::size_t offset) const;
+
   /// CoW split: copy the first `rows` rows of every layer's planes from
-  /// `from` into `to`. The destination must already be allocated.
+  /// `from` into `to` (including the per-row scales on kInt8 pools — a
+  /// split must never re-quantize). The destination must already be
+  /// allocated.
   void copy_rows(BlockId from, BlockId to, std::size_t rows);
 
   /// Free-list snapshot (LIFO order), for the invariant/fuzz suite:
@@ -161,10 +230,18 @@ class BlockAllocator {
  private:
   std::size_t block_tokens_;
   std::size_t k_width_;
-  std::size_t row_bytes_ = 0;  // Σ_l (k_width + v_width_l) * sizeof(float)
+  std::size_t row_bytes_ = 0;  // Σ_l (k_width + v_width_l) * elem + scales
+  KvPrecision precision_ = KvPrecision::kFp32;
   std::vector<std::size_t> v_widths_;
+  // Exactly one plane family is populated, per precision_.
   std::vector<tensor::MatrixF> k_planes_;  // per layer: num_blocks*bt rows
   std::vector<tensor::MatrixF> v_planes_;
+  std::vector<tensor::Matrix<std::int8_t>> k8_planes_;
+  std::vector<tensor::Matrix<std::int8_t>> v8_planes_;
+  // kInt8 block metadata: one reconstruction scale per row per plane,
+  // indexed [layer][block * block_tokens + offset].
+  std::vector<std::vector<float>> k_scales_;
+  std::vector<std::vector<float>> v_scales_;
   std::vector<std::uint32_t> refs_;  // per block; 0 == free
   std::vector<BlockId> free_;        // LIFO
 };
@@ -187,6 +264,9 @@ class PagedKVCache {
   [[nodiscard]] bool full() const noexcept { return used() == capacity(); }
   [[nodiscard]] std::size_t k_width() const noexcept;
   [[nodiscard]] std::size_t v_width() const noexcept;
+  /// Storage precision of the backing pool — the decode tick reads this
+  /// to account 1-byte K/V traffic (plus scale loads) on int8 pools.
+  [[nodiscard]] KvPrecision precision() const noexcept;
 
   /// Same contract as KVCache::append — std::length_error when the
   /// logical capacity OR the block pool is exhausted (both are the typed
@@ -327,6 +407,9 @@ class PagedKVPool {
     return alloc_.block_tokens();
   }
   [[nodiscard]] bool sharing_enabled() const noexcept { return sharing_; }
+  [[nodiscard]] KvPrecision precision() const noexcept {
+    return alloc_.precision();
+  }
 
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return alloc_.memory_bytes();

@@ -89,7 +89,6 @@ tensor::MatrixF incremental_attention(ExecContext& ctx,
                                       const AttentionWeights& w,
                                       const AttentionConfig& cfg,
                                       KVCache& cache) {
-  gpusim::Device& dev = ctx.device();
   cfg.validate();
   assert(x_row.rows() == 1 && x_row.cols() == cfg.d_model);
 
@@ -129,6 +128,19 @@ tensor::MatrixF incremental_attention(ExecContext& ctx,
   } else {
     v_new = kernels::linear(ctx, x_row, w.wv, opt, "gen_v_linear").y;
   }
+  tensor::MatrixF z = incremental_attention_step(
+      ctx, q, k_new, v_new, vo, v_kept.empty() ? nullptr : &v_kept, cfg,
+      cache);
+  if (vo != nullptr) return z;  // W_O is folded into the cached rows
+  return kernels::linear(ctx, z, w.wo, opt, "gen_out_linear").y;
+}
+
+tensor::MatrixF incremental_attention_step(
+    ExecContext& ctx, const tensor::MatrixF& q, const tensor::MatrixF& k_new,
+    const tensor::MatrixF& v_new, const PrecomputedVO* vo,
+    const std::vector<std::uint32_t>* v_kept, const AttentionConfig& cfg,
+    KVCache& cache) {
+  gpusim::Device& dev = ctx.device();
   cache.append(k_new.row(0), v_new.row(0));
 
   const std::size_t ctx_len = cache.used();
@@ -167,10 +179,9 @@ tensor::MatrixF incremental_attention(ExecContext& ctx,
     // so no mask applies within this step.
     step_cfg.causal_mask = false;
     z = detail::attention_math(q, cache.k_prefix(), cache.v_prefix(), vo,
-                               v_kept.empty() ? nullptr : &v_kept, step_cfg);
+                               v_kept, step_cfg);
   }
-  if (vo != nullptr) return z;  // W_O is folded into the cached rows
-  return kernels::linear(ctx, z, w.wo, opt, "gen_out_linear").y;
+  return z;
 }
 
 }  // namespace et::core

@@ -166,4 +166,18 @@ class KVCachePool {
                                                     const AttentionConfig& cfg,
                                                     KVCache& cache);
 
+/// The post-projection half of incremental_attention: append the already
+/// projected (q, k_new, v_new) rows and run the 1-row OTF attention step
+/// over the cache — the same "incremental_otf_attention" launch
+/// accounting and detail::attention_math call. Returns z (1 × d_model):
+/// the attention output BEFORE W_O when `vo` is null (the caller applies
+/// its own output projection — this split is what lets the INT8 decode
+/// path swap every projection GEMM while keeping the attention step
+/// byte-for-byte shared), or the final folded output when `vo` is set.
+[[nodiscard]] tensor::MatrixF incremental_attention_step(
+    ExecContext& ctx, const tensor::MatrixF& q, const tensor::MatrixF& k_new,
+    const tensor::MatrixF& v_new, const PrecomputedVO* vo,
+    const std::vector<std::uint32_t>* v_kept, const AttentionConfig& cfg,
+    KVCache& cache);
+
 }  // namespace et::core

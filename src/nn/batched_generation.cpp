@@ -10,6 +10,7 @@
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/linear.hpp"
+#include "quant/quantize.hpp"
 
 namespace et::nn {
 
@@ -57,14 +58,19 @@ std::int32_t input_token(const GenerationRequest& req,
 /// live[i]'s embedded input). The math mirrors GenerationSession's
 /// step_layers + core::incremental_attention row for row — each shared
 /// kernel is row-wise independent, so every sequence's output is
-/// bit-identical to its sequential step. Slot-attributed faults retire
+/// bit-identical to its sequential step. Under Model's kInt8 descriptor
+/// every projection/FF GEMM swaps to quant::int8_linear, whose per-ROW
+/// activation scales keep that row-wise independence exactly (a stacked
+/// row quantizes as it would alone). Slot-attributed faults retire
 /// only the owning slot (its caches rolled back, its row dropped); faults
 /// in shared kernels roll back every live slot and propagate to the
 /// caller, which degrades the tick to per-slot stepping.
-void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layers,
-                const EncoderOptions& opt, std::vector<TickSlot*> live,
-                tensor::MatrixF rows) {
+void fused_step(core::ExecContext& ctx, const Model& model,
+                std::vector<TickSlot*> live, tensor::MatrixF rows) {
   gpusim::Device& dev = ctx.device();
+  const std::vector<EncoderWeights>& layers = model.layers();
+  const EncoderOptions& opt = model.options();
+  const bool int8 = model.quantized();
   const auto p = opt.attn.precision;
   const std::size_t d = opt.attn.d_model;
   const std::size_t sb = numeric::storage_bytes(p);
@@ -93,10 +99,23 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
       const core::PrecomputedVO* vo =
           w.attn.has_precomputed() ? &w.attn.vo : nullptr;
       std::vector<std::uint32_t> v_kept;
+      const QuantizedLayer* ql = int8 ? &model.quantized_layer(l) : nullptr;
       const auto* dq = std::get_if<sparse::DenseWeight>(&w.attn.wq);
       const auto* dk = std::get_if<sparse::DenseWeight>(&w.attn.wk);
       const auto* dv = std::get_if<sparse::DenseWeight>(&w.attn.wv);
-      if (vo != nullptr && dq != nullptr && dk != nullptr) {
+      if (int8) {
+        // INT8 keeps the same three-way V split, fused into ONE launch
+        // like the dense batched projection (decode is launch-bound —
+        // three separate launches would hand the fp16 path back its
+        // win). The fold's metadata (kept/heads) still reads the fp
+        // W_VO while the GEMM operand is the quantized one.
+        auto qkv = quant::int8_batched_linear(
+            ctx, h, {&ql->wq, &ql->wk, vo != nullptr ? &ql->vo : &ql->wv},
+            "gen_qkv_int8");
+        q = std::move(qkv[0]);
+        k_new = std::move(qkv[1]);
+        v_new = std::move(qkv[2]);
+      } else if (vo != nullptr && dq != nullptr && dk != nullptr) {
         auto qkm = kernels::batched_gemm_nt(
             ctx, h, {&dq->matrix(), &dk->matrix(), &vo->weight}, p, nullptr,
             "gen_qkv_batched");
@@ -129,7 +148,8 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
         v_new = kernels::linear(ctx, h, w.attn.wv, lopt, "gen_v_linear").y;
       }
       const std::vector<std::uint32_t>* v_kept_ptr =
-          v_kept.empty() ? nullptr : &v_kept;
+          int8 ? (ql->v_kept.empty() ? nullptr : &ql->v_kept)
+               : (v_kept.empty() ? nullptr : &v_kept);
       const std::size_t vw = v_new.cols();  // V-plane width actually cached
 
       // Per slot: append this token's K/V row and attend over the slot's
@@ -163,7 +183,14 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
                          ctx_len * numeric::accumulator_bytes(p),
                      .pattern = gpusim::AccessPattern::kTiled});
                 launch.load_bytes(d * sb);
-                launch.load_bytes(ctx_len * (d + vw) * sb);
+                // Cached K/V rows: one byte per element plus two FP32
+                // scales per row under an INT8 pool — the traffic the
+                // halved-footprint cache actually moves.
+                const std::size_t kv_row_bytes =
+                    cache.precision() == core::KvPrecision::kInt8
+                        ? (d + vw) + 2 * sizeof(float)
+                        : (d + vw) * sb;
+                launch.load_bytes(ctx_len * kv_row_bytes);
                 launch.store_bytes(d * sb);
                 const std::uint64_t flops = 2ull * ctx_len * (d + vw);
                 if (p == numeric::Precision::kFp32) {
@@ -230,11 +257,16 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
       tensor::MatrixF attn =
           vo != nullptr
               ? std::move(z)
-              : kernels::linear(ctx, z, w.attn.wo, lopt, "gen_out_linear").y;
+              : (int8
+                     ? quant::int8_linear(ctx, z, ql->wo, "gen_out_int8")
+                     : kernels::linear(ctx, z, w.attn.wo, lopt,
+                                       "gen_out_linear")
+                           .y);
       kernels::fused_residual_layernorm(dev, attn, h, w.ln1_gamma, w.ln1_beta,
                                         p, "gen_residual_layernorm1");
-      tensor::MatrixF m = kernels::linear(ctx, attn, w.w_ff1, lopt,
-                                          "gen_ff1").y;
+      tensor::MatrixF m =
+          int8 ? quant::int8_linear(ctx, attn, ql->ff1, "gen_ff1_int8")
+               : kernels::linear(ctx, attn, w.w_ff1, lopt, "gen_ff1").y;
       if (!dev.traffic_only()) {
         constexpr float kSqrt2OverPi = 0.7978845608028654f;
         for (std::size_t r = 0; r < m.rows(); ++r) {
@@ -246,7 +278,9 @@ void fused_step(core::ExecContext& ctx, const std::vector<EncoderWeights>& layer
           }
         }
       }
-      tensor::MatrixF y = kernels::linear(ctx, m, w.w_ff2, lopt, "gen_ff2").y;
+      tensor::MatrixF y =
+          int8 ? quant::int8_linear(ctx, m, ql->ff2, "gen_ff2_int8")
+               : kernels::linear(ctx, m, w.w_ff2, lopt, "gen_ff2").y;
       if (!dev.traffic_only()) {
         for (std::size_t r = 0; r < y.rows(); ++r) {
           for (std::size_t c = 0; c < y.cols(); ++c) {
@@ -433,7 +467,7 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
     live.reserve(tick_slots.size());
     for (auto& ts : tick_slots) live.push_back(&ts);
     try {
-      fused_step(ctx, model_.layers(), model_.options(), std::move(live), rows);
+      fused_step(ctx, model_, std::move(live), rows);
     } catch (const gpusim::KernelFault& f) {
       // Shared-kernel fault: the aborted batched attempt has no effect
       // (fused_step rolled every slot back). Degrade this tick to
@@ -453,8 +487,7 @@ void BatchedGenerationScheduler::tick(core::ExecContext& ctx) {
       TickSlot& ts = tick_slots[i];
       if (ts.state != TickSlot::State::kRunning) continue;
       try {
-        fused_step(ctx, model_.layers(), model_.options(), {&ts},
-                   tensor::slice_rows(rows, i, 1));
+        fused_step(ctx, model_, {&ts}, tensor::slice_rows(rows, i, 1));
       } catch (const gpusim::KernelFault& f) {
         ts.state = TickSlot::State::kKernelFault;
         ts.fault_kernel = f.kernel();

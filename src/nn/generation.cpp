@@ -3,8 +3,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/kv_cache.hpp"
 #include "kernels/elementwise.hpp"
 #include "kernels/linear.hpp"
+#include "quant/quantize.hpp"
 
 namespace et::nn {
 
@@ -42,18 +44,46 @@ tensor::MatrixF GenerationSession::step_layers(core::ExecContext& ctx,
   gpusim::Device& dev = ctx.device();
   const std::vector<EncoderWeights>& layers = model_.layers();
   const EncoderOptions& opt = model_.options();
+  const bool int8 = model_.quantized();
   tensor::MatrixF h = x_row;
   for (std::size_t l = 0; l < layers.size(); ++l) {
     const EncoderWeights& w = layers[l];
-    tensor::MatrixF attn =
-        core::incremental_attention(ctx, h, w.attn, opt.attn, caches_[l]);
+    const QuantizedLayer* ql = int8 ? &model_.quantized_layer(l) : nullptr;
+    tensor::MatrixF attn;
+    if (int8) {
+      // INT8 swaps every projection GEMM; the attention step itself
+      // (append + 1-row OTF launch + softmax math) is the shared fp32
+      // core::incremental_attention_step — quantization never touches
+      // the score math, only the operands feeding it.
+      tensor::MatrixF q = quant::int8_linear(ctx, h, ql->wq, "gen_q_int8");
+      tensor::MatrixF k_new =
+          quant::int8_linear(ctx, h, ql->wk, "gen_k_int8");
+      const core::PrecomputedVO* vo = nullptr;
+      tensor::MatrixF v_new;
+      if (w.attn.has_precomputed()) {
+        vo = &w.attn.vo;  // metadata (kept/heads) still reads the fp fold
+        v_new = quant::int8_linear(ctx, h, ql->vo, "gen_vo_int8");
+      } else {
+        v_new = quant::int8_linear(ctx, h, ql->wv, "gen_v_int8");
+      }
+      tensor::MatrixF z = core::incremental_attention_step(
+          ctx, q, k_new, v_new, vo,
+          ql->v_kept.empty() ? nullptr : &ql->v_kept, opt.attn, caches_[l]);
+      attn = (vo != nullptr)
+                 ? std::move(z)
+                 : quant::int8_linear(ctx, z, ql->wo, "gen_out_int8");
+    } else {
+      attn = core::incremental_attention(ctx, h, w.attn, opt.attn,
+                                         caches_[l]);
+    }
     kernels::fused_residual_layernorm(dev, attn, h, w.ln1_gamma, w.ln1_beta,
                                       p, "gen_residual_layernorm1");
 
     kernels::LinearOptions lopt;
     lopt.precision = p;
-    tensor::MatrixF m = kernels::linear(ctx, attn, w.w_ff1, lopt,
-                                        "gen_ff1").y;
+    tensor::MatrixF m =
+        int8 ? quant::int8_linear(ctx, attn, ql->ff1, "gen_ff1_int8")
+             : kernels::linear(ctx, attn, w.w_ff1, lopt, "gen_ff1").y;
     if (!dev.traffic_only()) {
       constexpr float kSqrt2OverPi = 0.7978845608028654f;
       for (std::size_t c = 0; c < m.cols(); ++c) {
@@ -63,7 +93,9 @@ tensor::MatrixF GenerationSession::step_layers(core::ExecContext& ctx,
             p, 0.5f * v * (1.0f + std::tanh(inner)));
       }
     }
-    tensor::MatrixF y = kernels::linear(ctx, m, w.w_ff2, lopt, "gen_ff2").y;
+    tensor::MatrixF y =
+        int8 ? quant::int8_linear(ctx, m, ql->ff2, "gen_ff2_int8")
+             : kernels::linear(ctx, m, w.w_ff2, lopt, "gen_ff2").y;
     if (!dev.traffic_only()) {
       for (std::size_t c = 0; c < y.cols(); ++c) {
         y(0, c) = numeric::round_to_storage(p, y(0, c) + w.b_ff2[c]);

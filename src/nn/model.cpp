@@ -8,7 +8,7 @@
 namespace et::nn {
 
 Model::Model(const std::vector<EncoderWeights>* layers, EncoderOptions opt,
-             std::size_t max_context)
+             std::size_t max_context, std::optional<WeightFormat> format)
     : layers_(layers), opt_(std::move(opt)), max_ctx_(max_context) {
   if (layers_ == nullptr) {
     throw std::invalid_argument("nn::Model: layers must not be null");
@@ -56,14 +56,54 @@ Model::Model(const std::vector<EncoderWeights>* layers, EncoderOptions opt,
     }
   }
   std::sort(prune_methods_.begin(), prune_methods_.end());
-}
 
-std::string_view Model::weight_layout() const noexcept {
-  if (has_precomputed_) return "precomputed";
-  for (const sparse::PruneMethod m : prune_methods_) {
-    if (m != sparse::PruneMethod::kDense) return "pruned";
+  // Derive the base layout, then reconcile it with the requested
+  // descriptor. kInt8 layers ON TOP of any base layout (it quantizes the
+  // dense materialization the decode GEMMs would read anyway); every
+  // other explicit request must agree with what the weights actually
+  // are.
+  WeightFormat derived = WeightFormat::kDense;
+  if (has_precomputed_) {
+    derived = WeightFormat::kPrecomputed;
+  } else {
+    for (const sparse::PruneMethod m : prune_methods_) {
+      if (m != sparse::PruneMethod::kDense) derived = WeightFormat::kPruned;
+    }
   }
-  return "dense";
+  format_ = format.value_or(derived);
+  if (format_ != WeightFormat::kInt8 && format_ != derived) {
+    throw std::invalid_argument(
+        "nn::Model: requested weight format '" +
+        std::string(to_string(format_)) + "' but the weights are '" +
+        std::string(to_string(derived)) + "'");
+  }
+  if (format_ != WeightFormat::kInt8) return;
+
+  // Quantize every GEMM operand the decode tick reads, in the exact
+  // layout it reads them: the folded W_VO replaces wv/wo, a condensable
+  // row-pruned W_V quantizes condensed (v_kept preserving the column
+  // map), and everything else quantizes its dense materialization —
+  // pruned zeros round to exact zeros, so the mask survives bit for bit.
+  qlayers_.reserve(layers_->size());
+  for (const EncoderWeights& w : *layers_) {
+    QuantizedLayer ql;
+    ql.wq = quant::quantize_weight(sparse::to_dense(w.attn.wq));
+    ql.wk = quant::quantize_weight(sparse::to_dense(w.attn.wk));
+    if (w.attn.has_precomputed()) {
+      ql.vo = quant::quantize_weight(w.attn.vo.weight);
+    } else if (w.attn.v_condensable(opt_.attn.num_heads)) {
+      const auto& rp = std::get<sparse::RowPrunedWeight>(w.attn.wv);
+      ql.wv = quant::quantize_weight(rp.condensed());
+      ql.v_kept = rp.kept_rows();
+      ql.wo = quant::quantize_weight(sparse::to_dense(w.attn.wo));
+    } else {
+      ql.wv = quant::quantize_weight(sparse::to_dense(w.attn.wv));
+      ql.wo = quant::quantize_weight(sparse::to_dense(w.attn.wo));
+    }
+    ql.ff1 = quant::quantize_weight(sparse::to_dense(w.w_ff1));
+    ql.ff2 = quant::quantize_weight(sparse::to_dense(w.w_ff2));
+    qlayers_.push_back(std::move(ql));
+  }
 }
 
 }  // namespace et::nn

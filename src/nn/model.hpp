@@ -13,12 +13,29 @@
 #pragma once
 
 #include <cstddef>
-#include <string_view>
+#include <optional>
 #include <vector>
 
 #include "nn/encoder.hpp"
+#include "nn/weight_format.hpp"
+#include "quant/quantize.hpp"
 
 namespace et::nn {
+
+/// One layer's INT8 weights, owned by the Model when it was constructed
+/// with WeightFormat::kInt8. Every GEMM operand of the decode tick is
+/// quantized from its dense materialization (so pruned zeros survive
+/// exactly); `vo` replaces wv/wo under the W_VO fold, and a condensable
+/// row-pruned W_V quantizes its condensed matrix with `v_kept` naming the
+/// original column per condensed column (the cache keeps its narrow
+/// V-plane width — INT8 composes with the PR-5 layouts, not instead of
+/// them).
+struct QuantizedLayer {
+  quant::QuantizedWeight wq, wk, wv, wo;
+  quant::QuantizedWeight vo;   ///< folded W_VO; empty unless precomputed
+  quant::QuantizedWeight ff1, ff2;
+  std::vector<std::uint32_t> v_kept;  ///< condensed-V column map
+};
 
 class Model {
  public:
@@ -27,8 +44,17 @@ class Model {
   /// state individually). Throws std::invalid_argument on a null layer
   /// vector, an invalid attention config, max_context == 0, or a W_VO
   /// block whose head count or shape disagrees with the config.
+  ///
+  /// `format` is the requested WeightFormat: std::nullopt derives it from
+  /// the weights (dense / pruned / precomputed — the historical
+  /// behavior); WeightFormat::kInt8 additionally quantizes every decode
+  /// GEMM operand into owned QuantizedLayers; any other explicit value
+  /// must MATCH the derived layout (a descriptor that contradicts the
+  /// weights throws std::invalid_argument naming both sides — the
+  /// validation et_cli leans on).
   Model(const std::vector<EncoderWeights>* layers, EncoderOptions opt,
-        std::size_t max_context);
+        std::size_t max_context,
+        std::optional<WeightFormat> format = std::nullopt);
 
   [[nodiscard]] const std::vector<EncoderWeights>& layers() const noexcept {
     return *layers_;
@@ -52,10 +78,22 @@ class Model {
       const noexcept {
     return prune_methods_;
   }
-  /// The layout tag reported by `et_cli --json` and
-  /// `bench/ablation_serving`: "precomputed" when any layer folds W_VO,
-  /// else "pruned" when any attention weight is non-dense, else "dense".
-  [[nodiscard]] std::string_view weight_layout() const noexcept;
+  /// The WeightFormat descriptor consumed by the scheduler's decode tick
+  /// and echoed (via to_string) by `et_cli --json` and the benches:
+  /// kInt8 when quantization was requested; else kPrecomputed when any
+  /// layer folds W_VO, else kPruned when any attention weight is
+  /// non-dense, else kDense.
+  [[nodiscard]] WeightFormat weight_layout() const noexcept { return format_; }
+
+  /// True when the decode paths run the INT8 GEMM variants.
+  [[nodiscard]] bool quantized() const noexcept {
+    return format_ == WeightFormat::kInt8;
+  }
+  /// The owned INT8 weights for `layer`; only meaningful when
+  /// quantized().
+  [[nodiscard]] const QuantizedLayer& quantized_layer(std::size_t layer) const {
+    return qlayers_.at(layer);
+  }
 
   /// Cached K-plane row width (always the full hidden width).
   [[nodiscard]] std::size_t k_width() const noexcept {
@@ -77,6 +115,8 @@ class Model {
   std::vector<std::size_t> v_widths_;  // index = layer
   std::vector<sparse::PruneMethod> prune_methods_;
   bool has_precomputed_ = false;
+  WeightFormat format_ = WeightFormat::kDense;
+  std::vector<QuantizedLayer> qlayers_;  // non-empty iff kInt8
 };
 
 }  // namespace et::nn

@@ -1,0 +1,52 @@
+// nn::WeightFormat — the unified weight-layout/precision descriptor.
+//
+// Before this header, the layout knob was a string: Model::weight_layout()
+// returned "dense" / "pruned" / "precomputed" string_views that et_cli,
+// bench/ablation_serving and the tests compared by value, and INT8 had no
+// seat at the table. The descriptor replaces that plumbing with one enum
+// reported by Model::weight_layout(), consumed by the scheduler's fused
+// tick, echoed by et_cli --json, and round-tripped through
+// to_string/from_string exactly as PR 8 established for operator
+// selection (core::AttentionImpl).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace et::nn {
+
+/// How the decode path runs a model's weights:
+///   kDense       — every attention weight a plain FP matrix;
+///   kPruned      — ≥1 attention weight in a sparse format (§4), no fold;
+///   kPrecomputed — the pre-computed W_VO fold (§3.1) on ≥1 layer;
+///   kInt8        — per-channel INT8 GEMMs over the weights' dense
+///                  materialization (pruned zeros quantize to exact
+///                  zeros, and the W_VO fold quantizes folded — INT8
+///                  composes with the other three, docs/quantization.md).
+enum class WeightFormat { kDense, kPrecomputed, kPruned, kInt8 };
+
+[[nodiscard]] constexpr std::string_view to_string(WeightFormat f) noexcept {
+  switch (f) {
+    case WeightFormat::kDense: return "dense";
+    case WeightFormat::kPrecomputed: return "precomputed";
+    case WeightFormat::kPruned: return "pruned";
+    case WeightFormat::kInt8: return "int8";
+  }
+  return "?";
+}
+
+/// The single inverse of to_string (et_cli --weights, bench flags, config
+/// values). Defined by round trip over the enumerators, so a new format
+/// is parseable the moment to_string knows it.
+[[nodiscard]] constexpr std::optional<WeightFormat> from_string(
+    std::string_view name) noexcept {
+  constexpr WeightFormat kAll[] = {WeightFormat::kDense,
+                                   WeightFormat::kPrecomputed,
+                                   WeightFormat::kPruned, WeightFormat::kInt8};
+  for (WeightFormat f : kAll) {
+    if (to_string(f) == name) return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace et::nn

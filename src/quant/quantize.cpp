@@ -51,9 +51,10 @@ double max_quantization_error_steps(const tensor::MatrixF& w,
   return worst;
 }
 
-tensor::MatrixF int8_linear(gpusim::Device& dev, const tensor::MatrixF& x,
+tensor::MatrixF int8_linear(core::ExecContext& ctx, const tensor::MatrixF& x,
                             const QuantizedWeight& w, std::string_view name) {
   assert(x.cols() == w.cols());
+  gpusim::Device& dev = ctx.device();
   const std::size_t m = x.rows();
   const std::size_t n = w.rows();
   const std::size_t k = x.cols();
@@ -68,9 +69,10 @@ tensor::MatrixF int8_linear(gpusim::Device& dev, const tensor::MatrixF& x,
                                 2 * (block + block) * 16,
                                 dev.spec().shared_mem_per_cta_bytes),
                             .pattern = gpusim::AccessPattern::kTiled});
-  // INT8 operands: one byte per element.
+  // INT8 operands: one byte per element; the per-row weight and
+  // activation scales ride along in FP32.
   launch.load_bytes(blocks_n * m * k + blocks_m * n * k +
-                    w.row_scale.size() * sizeof(float));
+                    (w.row_scale.size() + m) * sizeof(float));
   launch.store_bytes(m * n * 2);  // fp16 output
   // INT8 tensor cores run at 2× the FP16 rate: account the ops as tensor
   // ops and half again (the model divides by the FP16 peak).
@@ -81,13 +83,13 @@ tensor::MatrixF int8_linear(gpusim::Device& dev, const tensor::MatrixF& x,
   tensor::MatrixF y(m, n);
   if (dev.traffic_only()) return y;
 
-  // Per-tensor activation scale.
-  float amax = 0.0f;
-  for (float v : x.flat()) amax = std::max(amax, std::abs(v));
-  const float xscale = amax > 0.0f ? amax / 127.0f : 1.0f;
-
+  std::vector<std::int8_t> xq(k);
   for (std::size_t i = 0; i < m; ++i) {
-    std::vector<std::int8_t> xq(k);
+    // Per-row activation scale: row i quantizes against its own amax, so
+    // its result is independent of what else is stacked in the batch.
+    float amax = 0.0f;
+    for (std::size_t c = 0; c < k; ++c) amax = std::max(amax, std::abs(x(i, c)));
+    const float xscale = amax > 0.0f ? amax / 127.0f : 1.0f;
     for (std::size_t c = 0; c < k; ++c) {
       xq[c] = static_cast<std::int8_t>(
           std::clamp(std::round(x(i, c) / xscale), -127.0f, 127.0f));
@@ -102,6 +104,76 @@ tensor::MatrixF int8_linear(gpusim::Device& dev, const tensor::MatrixF& x,
     }
   }
   return y;
+}
+
+std::vector<tensor::MatrixF> int8_batched_linear(
+    core::ExecContext& ctx, const tensor::MatrixF& x,
+    const std::vector<const QuantizedWeight*>& ws, std::string_view name) {
+  assert(!ws.empty());
+  gpusim::Device& dev = ctx.device();
+  const std::size_t m = x.rows();
+  const std::size_t k = x.cols();
+
+  const std::size_t block = 128;
+  const std::size_t blocks_m = (m + block - 1) / block;
+  std::uint64_t ctas = 0, a_loads = 0, b_loads = 0, scale_loads = 0;
+  std::uint64_t n_total = 0;
+  for (const QuantizedWeight* w : ws) {
+    assert(w != nullptr && w->cols() == k);
+    const std::size_t n = w->rows();
+    const std::size_t blocks_n = (n + block - 1) / block;
+    ctas += blocks_m * blocks_n;
+    // A strips staged once and reused by every panel: charge only the
+    // widest panel's re-read factor (the batched_gemm_nt accounting).
+    a_loads = std::max(a_loads, static_cast<std::uint64_t>(blocks_n) * m * k);
+    b_loads += static_cast<std::uint64_t>(blocks_m) * n * k;
+    scale_loads += n * sizeof(float);
+    n_total += n;
+  }
+  auto launch = dev.launch(
+      {.name = std::string(name) + "[x" + std::to_string(ws.size()) + "]",
+       .ctas = static_cast<std::size_t>(ctas),
+       .shared_bytes_per_cta = std::min<std::size_t>(
+           2 * (block + block) * 16, dev.spec().shared_mem_per_cta_bytes),
+       .pattern = gpusim::AccessPattern::kTiled});
+  launch.load_bytes(a_loads + b_loads + scale_loads + m * sizeof(float));
+  launch.store_bytes(m * n_total * 2);  // fp16 outputs
+  launch.tensor_ops(2ull * m * n_total * k / 2);
+  launch.fp_ops(m * n_total);  // epilogue rescale
+  launch.finish();
+
+  std::vector<tensor::MatrixF> out;
+  out.reserve(ws.size());
+  for (const QuantizedWeight* w : ws) {
+    out.emplace_back(m, w->rows());
+  }
+  if (dev.traffic_only()) return out;
+
+  std::vector<std::int8_t> xq(k);
+  for (std::size_t i = 0; i < m; ++i) {
+    // One activation quantization per row, shared by every panel — the
+    // same xq/xscale each separate int8_linear call would derive, so the
+    // fused results match those calls bit for bit.
+    float amax = 0.0f;
+    for (std::size_t c = 0; c < k; ++c) amax = std::max(amax, std::abs(x(i, c)));
+    const float xscale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    for (std::size_t c = 0; c < k; ++c) {
+      xq[c] = static_cast<std::int8_t>(
+          std::clamp(std::round(x(i, c) / xscale), -127.0f, 127.0f));
+    }
+    for (std::size_t p = 0; p < ws.size(); ++p) {
+      const QuantizedWeight& w = *ws[p];
+      for (std::size_t j = 0; j < w.rows(); ++j) {
+        std::int32_t acc = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+          acc += static_cast<std::int32_t>(xq[c]) *
+                 static_cast<std::int32_t>(w.q(j, c));
+        }
+        out[p](i, j) = static_cast<float>(acc) * xscale * w.row_scale[j];
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace et::quant

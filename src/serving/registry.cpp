@@ -34,12 +34,13 @@ constexpr std::uint32_t kMagicEtw2 = 0x32575445;  // "ETW2"
 LoadedModel::LoadedModel(std::string name, std::uint64_t version,
                          std::vector<nn::EncoderWeights> layers,
                          nn::EncoderOptions opt, std::size_t max_context,
-                         std::int32_t vocab)
+                         std::int32_t vocab,
+                         std::optional<nn::WeightFormat> format)
     : name_(std::move(name)),
       version_(version),
       layers_(std::move(layers)),
       opt_(opt),
-      model_(&layers_, opt_, max_context),
+      model_(&layers_, opt_, max_context, format),
       vocab_(vocab) {
   if (vocab_ <= 0) {
     throw std::invalid_argument("LoadedModel: vocab must be positive");
@@ -103,9 +104,10 @@ void ModelRegistry::load_file(const std::string& name, std::uint64_t version,
 void ModelRegistry::add(const std::string& name, std::uint64_t version,
                         std::vector<nn::EncoderWeights> layers,
                         nn::EncoderOptions opt, std::size_t max_context,
-                        std::int32_t vocab) {
+                        std::int32_t vocab,
+                        std::optional<nn::WeightFormat> format) {
   auto model = std::make_shared<LoadedModel>(name, version, std::move(layers),
-                                             opt, max_context, vocab);
+                                             opt, max_context, vocab, format);
   const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : entries_) {
     if (e.name == name && e.version == version) {

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,9 +53,14 @@ namespace et::serving {
 /// the server-side decode head.
 class LoadedModel {
  public:
+  /// `format` is the nn::WeightFormat descriptor forwarded to the
+  /// nn::Model handle (nullopt derives it from the weights; kInt8
+  /// quantizes every decode GEMM operand at load time — the network
+  /// server's quantized serving path).
   LoadedModel(std::string name, std::uint64_t version,
               std::vector<nn::EncoderWeights> layers, nn::EncoderOptions opt,
-              std::size_t max_context, std::int32_t vocab);
+              std::size_t max_context, std::int32_t vocab,
+              std::optional<nn::WeightFormat> format = std::nullopt);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
@@ -108,7 +114,8 @@ class ModelRegistry {
   /// CLI demo and tests use; weights are moved into the registry.
   void add(const std::string& name, std::uint64_t version,
            std::vector<nn::EncoderWeights> layers, nn::EncoderOptions opt,
-           std::size_t max_context, std::int32_t vocab = 257);
+           std::size_t max_context, std::int32_t vocab = 257,
+           std::optional<nn::WeightFormat> format = std::nullopt);
 
   /// Drop the registry's reference to (name, version). The instance is
   /// destroyed now if unpinned, else when its last pin drops. Returns

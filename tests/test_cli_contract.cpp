@@ -138,7 +138,7 @@ TEST(CliContract, HelpListsEveryServeFlagAndExitsZero) {
        {"--serve", "--requests", "--queue-cap", "--arrive", "--deadline",
         "--queue-budget", "--retries", "--backoff-ticks", "--preempt",
         "--batch", "--tokens", "--threads", "--json", "--weights",
-        "--attention"}) {
+        "--kv-precision", "--attention"}) {
     EXPECT_NE(r.output.find(flag), std::string::npos)
         << "--help is missing " << flag;
   }
@@ -150,7 +150,7 @@ TEST(CliContract, WeightsFlagSelectsLayoutAndRejectsJunk) {
   EXPECT_NE(bad.output.find("banana"), std::string::npos) << bad.output;
 
   // Every layout serves and reports itself in the JSON config line.
-  for (const char* layout : {"dense", "precomputed", "pruned"}) {
+  for (const char* layout : {"dense", "precomputed", "pruned", "int8"}) {
     const auto r = run_cli(std::string("--serve --json --requests 2 "
                                        "--batch 1 --tokens 2 --weights ") +
                            layout);
@@ -175,6 +175,57 @@ TEST(CliContract, WeightsFlagSelectsLayoutAndRejectsJunk) {
   EXPECT_EQ(conflict.exit_code, 2);
   EXPECT_NE(conflict.output.find("--weights"), std::string::npos)
       << conflict.output;
+}
+
+TEST(CliContract, KvPrecisionFlagValidatesEchoesAndReachesThePool) {
+  // Junk names both the flag and the token and exits 2.
+  const auto bad = run_cli("--serve --kv-precision banana");
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("--kv-precision"), std::string::npos) << bad.output;
+  EXPECT_NE(bad.output.find("banana"), std::string::npos) << bad.output;
+
+  // The flag configures the paged KV pool, which only the serving modes
+  // own — without one it would silently do nothing, so it exits 2 naming
+  // the flag.
+  const auto orphan = run_cli("--kv-precision int8 --seq 64");
+  EXPECT_EQ(orphan.exit_code, 2);
+  EXPECT_NE(orphan.output.find("--kv-precision"), std::string::npos)
+      << orphan.output;
+
+  // Default is lossless fp32, echoed in the --serve config line.
+  const auto d = run_cli("--serve --json --requests 2 --batch 1 --tokens 2");
+  ASSERT_EQ(d.exit_code, 0) << d.output;
+  EXPECT_NE(d.output.find("\"kv_precision\": \"fp32\""), std::string::npos)
+      << d.output;
+
+  // int8 echoes itself — in --serve, --batch and --listen/--json alike —
+  // and measurably shrinks the pool: the kv_bytes gauge in the metrics
+  // snapshot must differ from the fp32 run, proving the flag reaches the
+  // BlockAllocator rather than just the echo.
+  const std::string serve_flags =
+      "--serve --json --requests 2 --batch 1 --tokens 2 --kv-precision ";
+  const auto i8 = run_cli(serve_flags + "int8");
+  ASSERT_EQ(i8.exit_code, 0) << i8.output;
+  EXPECT_NE(i8.output.find("\"kv_precision\": \"int8\""), std::string::npos)
+      << i8.output;
+  const auto kv_bytes = [](const std::string& s) {
+    const auto pos = s.find("\"kv_bytes\":");
+    return s.substr(pos, s.find(',', pos) - pos);
+  };
+  ASSERT_NE(d.output.find("\"kv_bytes\":"), std::string::npos) << d.output;
+  EXPECT_NE(kv_bytes(d.output), kv_bytes(i8.output))
+      << "fp32: " << d.output << "\nint8: " << i8.output;
+
+  const auto batch =
+      run_cli("--batch 2 --json --tokens 2 --kv-precision int8");
+  ASSERT_EQ(batch.exit_code, 0) << batch.output;
+  EXPECT_NE(batch.output.find("\"kv_precision\": \"int8\""), std::string::npos)
+      << batch.output;
+
+  // Quantized serving stays deterministic: byte-identical reruns.
+  const auto again = run_cli(serve_flags + "int8");
+  ASSERT_EQ(again.exit_code, 0) << again.output;
+  EXPECT_EQ(i8.output, again.output);
 }
 
 TEST(CliContract, AttentionFlagPinsOperatorAndRejectsJunk) {

@@ -199,7 +199,7 @@ TEST(DecodeFormats, ModelHandleReportsLayoutAndWidths) {
 
   const et::nn::Model d(&dense.layers, dense.opt, kMaxContext);
   EXPECT_FALSE(d.has_precomputed());
-  EXPECT_EQ(d.weight_layout(), "dense");
+  EXPECT_EQ(d.weight_layout(), et::nn::WeightFormat::kDense);
   EXPECT_EQ(d.k_width(), kDModel);
   EXPECT_EQ(d.v_widths(), std::vector<std::size_t>({kDModel, kDModel}));
   ASSERT_EQ(d.prune_methods().size(), 1u);
@@ -207,7 +207,7 @@ TEST(DecodeFormats, ModelHandleReportsLayoutAndWidths) {
 
   const et::nn::Model f(&folded.layers, folded.opt, kMaxContext);
   EXPECT_TRUE(f.has_precomputed());
-  EXPECT_EQ(f.weight_layout(), "precomputed");
+  EXPECT_EQ(f.weight_layout(), et::nn::WeightFormat::kPrecomputed);
   EXPECT_EQ(f.v_width(0), kHeads * kFoldKept);
   EXPECT_EQ(f.v_width(1), kHeads * kFoldKept);
   EXPECT_EQ(f.num_layers(), 2u);
@@ -215,13 +215,13 @@ TEST(DecodeFormats, ModelHandleReportsLayoutAndWidths) {
   Stack masked, row;
   make_row_pair(43, masked, row);
   const et::nn::Model r(&row.layers, row.opt, kMaxContext);
-  EXPECT_EQ(r.weight_layout(), "pruned");
+  EXPECT_EQ(r.weight_layout(), et::nn::WeightFormat::kPruned);
   EXPECT_EQ(r.v_width(0), kDModel / 2);  // Σkept across both head blocks
 
   Stack tmasked, tile;
   make_tile_pair(47, tmasked, tile);
   const et::nn::Model t(&tile.layers, tile.opt, kMaxContext);
-  EXPECT_EQ(t.weight_layout(), "pruned");
+  EXPECT_EQ(t.weight_layout(), et::nn::WeightFormat::kPruned);
   EXPECT_EQ(t.v_width(0), kDModel);  // a pruned W_Q leaves the V plane full
 }
 

@@ -51,7 +51,7 @@ TEST(Quantize, Int8LinearCloseToFp32) {
   const auto qw = et::quant::quantize_weight(w);
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
-  const MatrixF y = et::quant::int8_linear(dev, x, qw);
+  const MatrixF y = et::quant::int8_linear(ctx, x, qw);
   const MatrixF ref = et::tensor::reference_gemm_nt(x, w);
   // int8 with per-row weight scales keeps ~2 decimal digits here.
   EXPECT_TRUE(allclose(y, ref, 0.12, 0.05))
@@ -66,7 +66,7 @@ TEST(Quantize, Int8LinearTrafficIsOneBytePerOperand) {
   et::gpusim::Device dev;
   et::core::ExecContext ctx(dev);
   dev.set_traffic_only(true);
-  (void)et::quant::int8_linear(dev, x, qw);
+  (void)et::quant::int8_linear(ctx, x, qw);
   const auto int8_loads = dev.history()[0].global_load_bytes;
   dev.reset();
   (void)et::kernels::gemm_nt(ctx, x, w, et::numeric::Precision::kMixed,
@@ -83,7 +83,7 @@ TEST(Quantize, Int8FasterThanFp16OnModel) {
   dev.set_traffic_only(true);
   et::tensor::fill_normal(w, 6);
   const auto qw = et::quant::quantize_weight(w);
-  (void)et::quant::int8_linear(dev, x, qw);
+  (void)et::quant::int8_linear(ctx, x, qw);
   const double int8_us = dev.total_time_us();
   dev.reset();
   (void)et::kernels::gemm_nt(ctx, x, w, et::numeric::Precision::kMixed);

@@ -1,0 +1,282 @@
+// The quantized decode path, pinned from both ends:
+//
+//   Property side — the INT8 scheme itself: symmetric per-row weight
+//   quantization reconstructs within half a quantization step, pruned
+//   zeros survive exactly, and the paged-KV int8 planes store per-row
+//   reconstruction scales that rebuild every row within half a step (and
+//   a CoW split copies scales verbatim — never re-quantizes).
+//
+//   Differential side — int8 is DETERMINISTIC even though it is lossy:
+//   the batched scheduler's int8 tick must be bit-identical to the
+//   sequential int8 reference at every thread count (per-ROW activation
+//   scales make stacking rows a no-op for each row's math), and the fused
+//   int8_batched_linear launch must match separate int8_linear calls bit
+//   for bit. Against the FP32 reference the comparison is the harness's
+//   one bounded-error mode: a scripted (precision-independent) token path
+//   with every hidden state within a documented number of quantization
+//   steps (docs/quantization.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/block_allocator.hpp"
+#include "differential.hpp"
+#include "quant/quantize.hpp"
+
+namespace {
+
+constexpr std::int32_t kVocab = 97;
+constexpr std::size_t kDModel = 32;
+constexpr std::size_t kHeads = 2;
+constexpr std::size_t kMaxContext = 8;
+
+// Empirical ceiling for the 2-layer stack below, with margin; the point
+// is that the bound EXISTS and is small relative to the 127-step range,
+// not its exact value. Bit-identity tests carry the determinism load.
+constexpr double kMaxHiddenSteps = 24.0;
+
+struct Stack {
+  std::vector<et::nn::EncoderWeights> layers;
+  et::nn::EncoderOptions opt;
+};
+
+Stack make_dense_stack(std::uint64_t seed) {
+  et::nn::ModelConfig cfg;
+  cfg.num_layers = 2;
+  cfg.d_model = kDModel;
+  cfg.num_heads = kHeads;
+  cfg.d_ff = 2 * kDModel;
+  Stack s;
+  for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+    s.layers.push_back(et::nn::make_dense_encoder_weights(cfg, seed + l));
+  }
+  s.opt = et::nn::options_for(et::nn::Pipeline::kET, cfg, kMaxContext,
+                              /*causal=*/true);
+  s.opt.attn.precision = et::numeric::Precision::kFp32;
+  return s;
+}
+
+std::vector<et::diff::Request> make_requests(std::size_t n) {
+  std::vector<et::diff::Request> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].first_token = static_cast<std::int32_t>(3 * i + 1);
+    reqs[i].max_new_tokens = 5 + (i % 3);
+    reqs[i].seed = 0xABCDull + i;
+  }
+  return reqs;
+}
+
+et::tensor::MatrixF random_matrix(std::size_t rows, std::size_t cols,
+                                  std::uint64_t seed) {
+  et::tensor::MatrixF m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = et::diff::unit_float(
+          et::diff::splitmix64(seed ^ (r * 8191 + c)));
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------
+// Property side: the scheme.
+
+TEST(QuantProperty, WeightRoundTripWithinHalfStep) {
+  for (std::uint64_t seed : {1ull, 7ull, 99ull, 12345ull}) {
+    const auto w = random_matrix(48, 32, seed);
+    const auto qw = et::quant::quantize_weight(w);
+    // Round-to-nearest against the row amax: every element reconstructs
+    // within half a quantization step.
+    EXPECT_LE(et::quant::max_quantization_error_steps(w, qw), 0.5)
+        << "seed " << seed;
+  }
+}
+
+TEST(QuantProperty, ZerosAndZeroRowsSurviveExactly) {
+  auto w = random_matrix(16, 16, 42);
+  // A pruned-looking pattern: one all-zero row and scattered exact zeros.
+  for (std::size_t c = 0; c < w.cols(); ++c) w(3, c) = 0.0f;
+  w(0, 5) = 0.0f;
+  w(7, 0) = 0.0f;
+  const auto qw = et::quant::quantize_weight(w);
+  const auto back = et::quant::dequantize(qw);
+  for (std::size_t c = 0; c < w.cols(); ++c) {
+    EXPECT_EQ(back(3, c), 0.0f) << "zero row col " << c;
+  }
+  EXPECT_EQ(back(0, 5), 0.0f);
+  EXPECT_EQ(back(7, 0), 0.0f);
+  // Zero rows get the sentinel scale 1.0, never a 0/0.
+  EXPECT_EQ(qw.row_scale[3], 1.0f);
+}
+
+TEST(QuantProperty, KvBlockScalesReconstructEveryRow) {
+  const std::size_t k_width = 16;
+  const std::vector<std::size_t> v_widths = {16, 8};
+  et::core::BlockAllocator alloc(/*num_blocks=*/4, /*block_tokens=*/4,
+                                 k_width, v_widths,
+                                 et::core::KvPrecision::kInt8);
+  const auto block = alloc.allocate();
+  ASSERT_TRUE(block.has_value());
+  std::vector<float> dst(k_width);
+  for (std::size_t layer = 0; layer < v_widths.size(); ++layer) {
+    for (std::size_t off = 0; off < alloc.block_tokens(); ++off) {
+      const auto row =
+          random_matrix(1, k_width, 0xBEEF + layer * 16 + off);
+      alloc.store_k_row(layer, *block, off, row.flat());
+      // The stored reconstruction scale is the symmetric-scheme scale:
+      // row amax / 127.
+      float amax = 0.0f;
+      for (float v : row.flat()) amax = std::max(amax, std::abs(v));
+      const float scale = alloc.k_row_scale(layer, *block, off);
+      EXPECT_FLOAT_EQ(scale, amax / 127.0f);
+      // And reconstruction lands within half a step of the original.
+      alloc.load_k_row(layer, *block, off, dst);
+      for (std::size_t c = 0; c < k_width; ++c) {
+        EXPECT_NEAR(dst[c], row(0, c), 0.5f * scale)
+            << "layer " << layer << " off " << off << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, CowSplitCopiesScalesWithoutRequantizing) {
+  const std::size_t k_width = 8;
+  et::core::BlockAllocator alloc(/*num_blocks=*/4, /*block_tokens=*/2,
+                                 k_width, {8},
+                                 et::core::KvPrecision::kInt8);
+  const auto a = alloc.allocate();
+  const auto b = alloc.allocate();
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  const auto row = random_matrix(1, k_width, 7);
+  alloc.store_k_row(0, *a, 0, row.flat());
+  alloc.store_v_row(0, *a, 0, row.flat());
+  alloc.copy_rows(*a, *b, 1);
+  EXPECT_EQ(alloc.k_row_scale(0, *a, 0), alloc.k_row_scale(0, *b, 0));
+  EXPECT_EQ(alloc.v_row_scale(0, *a, 0), alloc.v_row_scale(0, *b, 0));
+  std::vector<float> from_a(k_width), from_b(k_width);
+  alloc.load_k_row(0, *a, 0, from_a);
+  alloc.load_k_row(0, *b, 0, from_b);
+  EXPECT_EQ(from_a, from_b);  // bit-equal reconstruction: no requantize
+}
+
+TEST(QuantProperty, BatchedLinearMatchesSeparateCallsBitForBit) {
+  et::gpusim::Device dev(et::gpusim::v100s());
+  et::core::ExecContext ctx(dev, 1);
+  const auto x = random_matrix(5, kDModel, 11);
+  const auto wa = et::quant::quantize_weight(random_matrix(24, kDModel, 21));
+  const auto wb = et::quant::quantize_weight(random_matrix(32, kDModel, 22));
+  const auto wc = et::quant::quantize_weight(random_matrix(16, kDModel, 23));
+  const auto fused =
+      et::quant::int8_batched_linear(ctx, x, {&wa, &wb, &wc}, "fused");
+  const et::quant::QuantizedWeight* ws[] = {&wa, &wb, &wc};
+  for (std::size_t p = 0; p < 3; ++p) {
+    const auto solo = et::quant::int8_linear(ctx, x, *ws[p], "solo");
+    ASSERT_EQ(fused[p].rows(), solo.rows());
+    ASSERT_EQ(fused[p].cols(), solo.cols());
+    for (std::size_t r = 0; r < solo.rows(); ++r) {
+      for (std::size_t c = 0; c < solo.cols(); ++c) {
+        EXPECT_EQ(fused[p](r, c), solo(r, c)) << "panel " << p;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Differential side: int8 decode across schedulers and thread counts.
+
+TEST(QuantDiff, Int8BatchedMatchesInt8SequentialAtEveryThreadCount) {
+  const Stack s = make_dense_stack(0x51ull);
+  const auto reqs = make_requests(4);
+  et::gpusim::Device ref_dev(et::gpusim::v100s());
+  const auto reference = et::diff::run_sequential(
+      ref_dev, s.layers, s.opt, kMaxContext, reqs, kVocab, /*threads=*/1,
+      et::nn::WeightFormat::kInt8, /*scripted=*/true);
+  // The int8-KV run is lossy relative to the fp32-KV one (rows round-trip
+  // through the per-row scales) but must itself be deterministic: pin its
+  // 1-thread transcript and hold every thread count to it bit for bit.
+  et::core::PagedKVOptions kv;
+  kv.precision = et::core::KvPrecision::kInt8;
+  et::gpusim::Device kv_ref_dev(et::gpusim::v100s());
+  const auto kv_reference = et::diff::run_batched(
+      kv_ref_dev, s.layers, s.opt, /*max_batch=*/4, kMaxContext, reqs,
+      kVocab, /*threads=*/1, kv, et::nn::WeightFormat::kInt8,
+      /*scripted=*/true);
+  for (const std::size_t threads : {1ull, 2ull, 8ull}) {
+    et::gpusim::Device dev(et::gpusim::v100s());
+    const auto batched = et::diff::run_batched(
+        dev, s.layers, s.opt, /*max_batch=*/4, kMaxContext, reqs, kVocab,
+        threads, {}, et::nn::WeightFormat::kInt8, /*scripted=*/true);
+    et::diff::expect_bit_identical(reference, batched.outcomes);
+    et::gpusim::Device dev2(et::gpusim::v100s());
+    const auto batched_i8kv = et::diff::run_batched(
+        dev2, s.layers, s.opt, /*max_batch=*/4, kMaxContext, reqs, kVocab,
+        threads, kv, et::nn::WeightFormat::kInt8, /*scripted=*/true);
+    et::diff::expect_bit_identical(kv_reference.outcomes,
+                                   batched_i8kv.outcomes);
+  }
+}
+
+TEST(QuantDiff, Int8SequentialIsThreadCountInvariant) {
+  const Stack s = make_dense_stack(0x52ull);
+  const auto reqs = make_requests(3);
+  et::gpusim::Device d1(et::gpusim::v100s());
+  const auto t1 = et::diff::run_sequential(
+      d1, s.layers, s.opt, kMaxContext, reqs, kVocab, 1,
+      et::nn::WeightFormat::kInt8, /*scripted=*/true);
+  for (const std::size_t threads : {2ull, 8ull}) {
+    et::gpusim::Device dn(et::gpusim::v100s());
+    const auto tn = et::diff::run_sequential(
+        dn, s.layers, s.opt, kMaxContext, reqs, kVocab, threads,
+        et::nn::WeightFormat::kInt8, /*scripted=*/true);
+    et::diff::expect_bit_identical(t1, tn);
+  }
+}
+
+TEST(QuantDiff, Int8TracksFp32WithinDocumentedSteps) {
+  const Stack s = make_dense_stack(0x53ull);
+  const auto reqs = make_requests(4);
+  // Scripted select: the fp32 and int8 runs decode the SAME token path,
+  // so their logged hidden states are comparable step for step.
+  et::gpusim::Device fp_dev(et::gpusim::v100s());
+  const auto fp32 = et::diff::run_sequential(
+      fp_dev, s.layers, s.opt, kMaxContext, reqs, kVocab, /*threads=*/1,
+      /*format=*/{}, /*scripted=*/true);
+  et::gpusim::Device i8_dev(et::gpusim::v100s());
+  const auto int8 = et::diff::run_sequential(
+      i8_dev, s.layers, s.opt, kMaxContext, reqs, kVocab, /*threads=*/1,
+      et::nn::WeightFormat::kInt8, /*scripted=*/true);
+  et::diff::expect_within_steps(fp32, int8, kMaxHiddenSteps);
+  // The batched int8 run sits within the same bound of the same fp32
+  // reference (it is bit-identical to sequential int8, so this is the
+  // transitive check kept explicit) — at 1 thread and at 8.
+  for (const std::size_t threads : {1ull, 8ull}) {
+    et::gpusim::Device b_dev(et::gpusim::v100s());
+    const auto batched = et::diff::run_batched(
+        b_dev, s.layers, s.opt, /*max_batch=*/4, kMaxContext, reqs, kVocab,
+        threads, {}, et::nn::WeightFormat::kInt8, /*scripted=*/true);
+    et::diff::expect_within_steps(fp32, batched.outcomes, kMaxHiddenSteps);
+  }
+}
+
+// A lossy KV cache is the one place int8 decode is allowed to drift from
+// its own fp32-KV twin (K/V rows round-trip through the per-row scales).
+// The drift must still sit inside the documented hidden-state bound
+// against the full-fp32 reference.
+TEST(QuantDiff, Int8KvStaysWithinDocumentedStepsOfFp32) {
+  const Stack s = make_dense_stack(0x54ull);
+  const auto reqs = make_requests(3);
+  et::gpusim::Device fp_dev(et::gpusim::v100s());
+  const auto fp32 = et::diff::run_sequential(
+      fp_dev, s.layers, s.opt, kMaxContext, reqs, kVocab, /*threads=*/1,
+      /*format=*/{}, /*scripted=*/true);
+  et::core::PagedKVOptions kv;
+  kv.precision = et::core::KvPrecision::kInt8;
+  et::gpusim::Device b_dev(et::gpusim::v100s());
+  const auto batched = et::diff::run_batched(
+      b_dev, s.layers, s.opt, /*max_batch=*/4, kMaxContext, reqs, kVocab,
+      /*threads=*/1, kv, et::nn::WeightFormat::kInt8, /*scripted=*/true);
+  et::diff::expect_within_steps(fp32, batched.outcomes, kMaxHiddenSteps);
+}
+
+}  // namespace
